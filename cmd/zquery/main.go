@@ -1,0 +1,213 @@
+// Command zquery builds a z-ordered spatial index over generated or
+// CSV points and runs range or partial-match queries against it,
+// printing results and page-access statistics.
+//
+// Usage:
+//
+//	zquery [flags] XLO XHI YLO YHI
+//	zquery [flags] -partial x=VALUE
+//
+// Examples:
+//
+//	zquery -n 5000 -dist uniform 100 300 50 180
+//	zquery -points pts.csv -strategy bigmin 0 1023 0 1023
+//	zquery -n 5000 -partial x=17
+//
+// CSV rows are "id,x,y".
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"probe"
+	"probe/internal/workload"
+)
+
+func main() {
+	var (
+		bits     = flag.Int("bits", 10, "grid resolution in bits per dimension")
+		n        = flag.Int("n", 5000, "number of generated points")
+		dist     = flag.String("dist", "uniform", "point distribution: uniform, clustered, diagonal")
+		seed     = flag.Int64("seed", 1986, "generator seed")
+		file     = flag.String("points", "", "CSV file of id,x,y points (overrides -dist)")
+		strategy = flag.String("strategy", "lazy", "range-search strategy: decomposed, lazy, bigmin")
+		leafCap  = flag.Int("leaf", 20, "points per index page")
+		partial  = flag.String("partial", "", "partial match, e.g. x=17 or y=250")
+		verbose  = flag.Bool("v", false, "print matching points")
+	)
+	flag.Parse()
+
+	g, err := probe.NewGrid(2, *bits)
+	if err != nil {
+		fatal(err)
+	}
+	db, err := probe.Open(g, probe.Options{LeafCapacity: *leafCap})
+	if err != nil {
+		fatal(err)
+	}
+	pts, err := loadPoints(g, *file, *dist, *n, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if err := db.InsertAll(pts); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("indexed %d points on %v: %d data pages of %d points\n",
+		db.Len(), g, db.LeafPages(), *leafCap)
+
+	strat, err := parseStrategy(*strategy)
+	if err != nil {
+		fatal(err)
+	}
+	var results []probe.Point
+	var stats probe.SearchStats
+	switch {
+	case *partial != "":
+		results, stats, err = runPartial(db, *partial)
+	default:
+		results, stats, err = runRange(db, g, strat, flag.Args())
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *verbose {
+		for _, p := range results {
+			fmt.Printf("  %d (%d, %d)\n", p.ID, p.Coords[0], p.Coords[1])
+		}
+	}
+	fmt.Printf("results: %d points\n", stats.Results)
+	fmt.Printf("data pages accessed: %d (efficiency %.3f)\n",
+		stats.DataPages, stats.Efficiency(*leafCap))
+	fmt.Printf("random accesses (seeks): %d, elements/skips: %d\n", stats.Seeks, stats.Elements)
+}
+
+func runRange(db *probe.DB, g probe.Grid, strat probe.Strategy, args []string) ([]probe.Point, probe.SearchStats, error) {
+	if len(args) != 4 {
+		return nil, probe.SearchStats{}, fmt.Errorf("expected XLO XHI YLO YHI, got %d args", len(args))
+	}
+	vals := make([]uint32, 4)
+	for i, a := range args {
+		v, err := strconv.ParseUint(a, 10, 32)
+		if err != nil {
+			return nil, probe.SearchStats{}, fmt.Errorf("bad bound %q: %v", a, err)
+		}
+		if v >= g.Side() {
+			return nil, probe.SearchStats{}, fmt.Errorf("bound %d outside grid side %d", v, g.Side())
+		}
+		vals[i] = uint32(v)
+	}
+	box, err := probe.NewBox([]uint32{vals[0], vals[2]}, []uint32{vals[1], vals[3]})
+	if err != nil {
+		return nil, probe.SearchStats{}, err
+	}
+	if err := db.DropCaches(); err != nil {
+		return nil, probe.SearchStats{}, err
+	}
+	fmt.Printf("range query %v (%s)\n", box, strat)
+	return db.RangeSearchWith(box, strat)
+}
+
+func runPartial(db *probe.DB, spec string) ([]probe.Point, probe.SearchStats, error) {
+	parts := strings.SplitN(spec, "=", 2)
+	if len(parts) != 2 {
+		return nil, probe.SearchStats{}, fmt.Errorf("bad -partial %q, want x=V or y=V", spec)
+	}
+	v, err := strconv.ParseUint(parts[1], 10, 32)
+	if err != nil {
+		return nil, probe.SearchStats{}, fmt.Errorf("bad value %q: %v", parts[1], err)
+	}
+	restricted := []bool{false, false}
+	value := []uint32{0, 0}
+	switch parts[0] {
+	case "x":
+		restricted[0], value[0] = true, uint32(v)
+	case "y":
+		restricted[1], value[1] = true, uint32(v)
+	default:
+		return nil, probe.SearchStats{}, fmt.Errorf("bad dimension %q", parts[0])
+	}
+	if err := db.DropCaches(); err != nil {
+		return nil, probe.SearchStats{}, err
+	}
+	fmt.Printf("partial match %s\n", spec)
+	return db.PartialMatch(restricted, value)
+}
+
+func parseStrategy(s string) (probe.Strategy, error) {
+	switch s {
+	case "decomposed":
+		return probe.MergeDecomposed, nil
+	case "lazy":
+		return probe.MergeLazy, nil
+	case "bigmin":
+		return probe.SkipBigMin, nil
+	}
+	return 0, fmt.Errorf("unknown strategy %q", s)
+}
+
+func loadPoints(g probe.Grid, file, dist string, n int, seed int64) ([]probe.Point, error) {
+	if file != "" {
+		return readCSV(g, file)
+	}
+	switch dist {
+	case "uniform":
+		return workload.Uniform(g, n, seed), nil
+	case "clustered":
+		return workload.Clustered(g, 50, n/50, float64(g.Side())/80, seed), nil
+	case "diagonal":
+		return workload.Diagonal(g, n, float64(g.Side())/256, seed), nil
+	}
+	return nil, fmt.Errorf("unknown distribution %q", dist)
+}
+
+func readCSV(g probe.Grid, path string) ([]probe.Point, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var pts []probe.Point
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: want id,x,y", path, line)
+		}
+		id, err := strconv.ParseUint(strings.TrimSpace(fields[0]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad id: %v", path, line, err)
+		}
+		x, err := strconv.ParseUint(strings.TrimSpace(fields[1]), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad x: %v", path, line, err)
+		}
+		y, err := strconv.ParseUint(strings.TrimSpace(fields[2]), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad y: %v", path, line, err)
+		}
+		if x >= g.Side() || y >= g.Side() {
+			return nil, fmt.Errorf("%s:%d: point (%d,%d) outside grid", path, line, x, y)
+		}
+		pts = append(pts, probe.Pt2(id, uint32(x), uint32(y)))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "zquery: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,168 @@
+// Command zviz renders the paper's figures as text: the z curve of
+// Figure 4, the box decomposition of Figure 2, and the page-partition
+// plots of Figure 6.
+//
+// Usage:
+//
+//	zviz curve [-bits D]
+//	zviz decompose [-bits D] XLO XHI YLO YHI
+//	zviz partition [-dataset U|C|D] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"probe"
+	"probe/internal/experiment"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "curve":
+		curve(os.Args[2:])
+	case "decompose":
+		decomposeCmd(os.Args[2:])
+	case "partition":
+		partition(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: zviz curve|decompose|partition [flags] [args]")
+	os.Exit(2)
+}
+
+// curve prints the z-order ranks of a small grid: Figure 4.
+func curve(args []string) {
+	fs := flag.NewFlagSet("curve", flag.ExitOnError)
+	bits := fs.Int("bits", 3, "bits per dimension")
+	fs.Parse(args)
+	fmt.Print(renderCurve(*bits))
+}
+
+// renderCurve builds the Figure 4 rank grid as text.
+func renderCurve(bits int) string {
+	g := probe.MustGrid(2, bits)
+	side := uint32(g.Side())
+	var b strings.Builder
+	fmt.Fprintf(&b, "z-order ranks on a %dx%d grid (Figure 4); [3,5] -> %d\n",
+		side, side, rankOrZero(g, 3, 5))
+	for y := side; y > 0; y-- {
+		for x := uint32(0); x < side; x++ {
+			fmt.Fprintf(&b, "%4d", g.Rank([]uint32{x, y - 1}))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func rankOrZero(g probe.Grid, x, y uint32) uint64 {
+	if uint64(x) >= g.Side() || uint64(y) >= g.Side() {
+		return 0
+	}
+	return g.Rank([]uint32{x, y})
+}
+
+// decomposeCmd prints the elements of a box decomposition: Figure 2.
+func decomposeCmd(args []string) {
+	fs := flag.NewFlagSet("decompose", flag.ExitOnError)
+	bits := fs.Int("bits", 3, "bits per dimension")
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) != 4 {
+		fmt.Fprintln(os.Stderr, "zviz decompose: want XLO XHI YLO YHI")
+		os.Exit(2)
+	}
+	g := probe.MustGrid(2, *bits)
+	vals := make([]uint32, 4)
+	for i, a := range rest {
+		v, err := strconv.ParseUint(a, 10, 32)
+		if err != nil || v >= g.Side() {
+			fmt.Fprintf(os.Stderr, "zviz decompose: bad bound %q\n", a)
+			os.Exit(2)
+		}
+		vals[i] = uint32(v)
+	}
+	box, err := probe.NewBox([]uint32{vals[0], vals[2]}, []uint32{vals[1], vals[3]})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zviz decompose: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Print(renderDecomposition(g, box))
+}
+
+// renderDecomposition builds the Figure 2 element listing and grid.
+func renderDecomposition(g probe.Grid, box probe.Box) string {
+	elems := probe.DecomposeBox(g, box)
+	var b strings.Builder
+	fmt.Fprintf(&b, "decomposition of %v into %d elements (Figure 2):\n", box, len(elems))
+	for _, e := range elems {
+		lo, hi := g.Region(e)
+		fmt.Fprintf(&b, "  %-12s x %d..%d  y %d..%d  (%d pixels)\n",
+			e, lo[0], hi[0], lo[1], hi[1], e.PixelCount(g))
+	}
+	// Draw the grid with one letter per element.
+	const alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	side := uint32(g.Side())
+	for y := side; y > 0; y-- {
+		for x := uint32(0); x < side; x++ {
+			ch := byte('.')
+			p := g.Shuffle([]uint32{x, y - 1})
+			for i, e := range elems {
+				if e.Contains(p) {
+					ch = alphabet[i%len(alphabet)]
+					break
+				}
+			}
+			b.WriteByte(ch)
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// partition renders Figure 6 for one dataset.
+func partition(args []string) {
+	fs := flag.NewFlagSet("partition", flag.ExitOnError)
+	dataset := fs.String("dataset", "U", "dataset: U, C or D")
+	quick := fs.Bool("quick", false, "smaller data set")
+	fs.Parse(args)
+	var ds experiment.Dataset
+	switch *dataset {
+	case "U":
+		ds = experiment.U
+	case "C":
+		ds = experiment.C
+	case "D":
+		ds = experiment.D
+	default:
+		fmt.Fprintf(os.Stderr, "zviz partition: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+	cfg := experiment.DefaultConfig()
+	if *quick {
+		cfg.N = 1000
+		cfg.GridBits = 8
+	}
+	in, err := experiment.Build(cfg, ds)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zviz partition: %v\n", err)
+		os.Exit(1)
+	}
+	art, err := in.RenderPartition(96, 48)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zviz partition: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(art)
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"probe"
+)
+
+func TestRenderCurveFigure4(t *testing.T) {
+	out := renderCurve(3)
+	if !strings.Contains(out, "[3,5] -> 27") {
+		t.Errorf("Figure 4 worked example missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 9 { // header + 8 rows
+		t.Fatalf("curve render has %d lines", len(lines))
+	}
+	// Bottom-left pixel is rank 0; it is the first number of the last
+	// line.
+	if !strings.HasPrefix(strings.TrimSpace(lines[8]), "0 ") {
+		t.Errorf("origin rank not 0: %q", lines[8])
+	}
+}
+
+func TestRenderDecompositionFigure2(t *testing.T) {
+	g := probe.MustGrid(2, 3)
+	out := renderDecomposition(g, probe.Box2(1, 3, 0, 4))
+	for _, want := range []string{"6 elements", "00001", "00011", "001 ", "010010", "011000", "011010"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, ". ") {
+		t.Errorf("uncovered pixels should render as dots")
+	}
+}
+
+func TestRankOrZero(t *testing.T) {
+	g := probe.MustGrid(2, 2)
+	if rankOrZero(g, 9, 9) != 0 {
+		t.Errorf("out-of-grid rank should be 0")
+	}
+	if rankOrZero(g, 1, 1) != 3 {
+		t.Errorf("rank(1,1) = %d, want 3", rankOrZero(g, 1, 1))
+	}
+}

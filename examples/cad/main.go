@@ -1,0 +1,68 @@
+// CAD: interference detection between machine parts (Section 6).
+// Parts are polygons on a shared work plane; the spatial-join broad
+// phase finds candidate collisions from the decomposed outlines and
+// the exact narrow phase confirms them — the re-expression of
+// [MANT83]'s localized set operations in terms of spatial join.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"probe"
+)
+
+func main() {
+	g := probe.MustGrid(2, 9) // a 512 x 512 work plane
+
+	parts := []probe.Part{
+		{ID: 1, Outline: gear(120, 120, 48)},
+		{ID: 2, Outline: gear(200, 130, 44)}, // meshes with part 1
+		{ID: 3, Outline: plate(300, 300, 80, 24)},
+		{ID: 4, Outline: plate(330, 310, 80, 24)}, // stacked on part 3
+		{ID: 5, Outline: gear(440, 80, 36)},       // clear of everything
+		{ID: 6, Outline: plate(90, 400, 60, 60)},  // clear of everything
+	}
+
+	fmt.Println("full-resolution detection:")
+	report(g, parts, 0)
+
+	fmt.Println("\ncoarse broad phase (maxLen 10), exact narrow phase:")
+	report(g, parts, 10)
+}
+
+func report(g probe.Grid, parts []probe.Part, maxLen int) {
+	pairs, stats, err := probe.DetectInterference(g, parts, maxLen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d parts -> %d decomposed elements\n", stats.Parts, stats.Elements)
+	fmt.Printf("  broad phase kept %d of %d pairs; %d confirmed\n",
+		stats.Candidates, stats.AllPairs, stats.Confirmed)
+	for _, p := range pairs {
+		fmt.Printf("  part %d interferes with part %d\n", p.A, p.B)
+	}
+}
+
+// gear approximates a gear as an octagon.
+func gear(cx, cy, r float64) probe.Polygon {
+	v := make([]probe.Vertex, 0, 8)
+	dirs := [][2]float64{
+		{1, 0}, {0.707, 0.707}, {0, 1}, {-0.707, 0.707},
+		{-1, 0}, {-0.707, -0.707}, {0, -1}, {0.707, -0.707},
+	}
+	for _, d := range dirs {
+		v = append(v, probe.Vertex{X: cx + r*d[0], Y: cy + r*d[1]})
+	}
+	return probe.Polygon{V: v}
+}
+
+// plate is a rectangular plate.
+func plate(cx, cy, w, h float64) probe.Polygon {
+	return probe.Polygon{V: []probe.Vertex{
+		{X: cx - w/2, Y: cy - h/2},
+		{X: cx + w/2, Y: cy - h/2},
+		{X: cx + w/2, Y: cy + h/2},
+		{X: cx - w/2, Y: cy + h/2},
+	}}
+}

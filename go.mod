@@ -1,0 +1,3 @@
+module probe
+
+go 1.22

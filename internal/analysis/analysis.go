@@ -1,0 +1,145 @@
+// Package analysis implements the analytical models of Section 5:
+// the fixed-size-page block model that predicts page accesses for
+// range queries (O(vN)) and partial-match queries (O(N^(1-t/k))),
+// and the proximity measurements of Section 5.2.
+//
+// The model: under the fixed-size-page assumption the space is
+// partitioned into rectangular blocks of the same size and shape,
+// and the number of pages per block is bounded by a constant that
+// depends only on dimensionality — 6 in 2d, 28/3 in 3d (Section 5.2).
+// The predicted page count for a query is (pages per block) x (number
+// of blocks the query box touches). The paper's experiments found the
+// prediction to be an upper bound on observed behavior.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"probe/internal/geom"
+	"probe/internal/zorder"
+)
+
+// PagesPerBlock returns the paper's bound on pages per block for
+// dimensionality k: 6 in 2d, 28/3 in 3d. For other k it extrapolates
+// with the 1d value 2 and a geometric fit through the published
+// constants; the exact constants are used where the paper states
+// them.
+func PagesPerBlock(k int) float64 {
+	switch k {
+	case 1:
+		return 2
+	case 2:
+		return 6
+	case 3:
+		return 28.0 / 3.0
+	default:
+		// Extrapolate the published growth ratio (28/3)/6 per added
+		// dimension beyond 3d.
+		return 28.0 / 3.0 * math.Pow((28.0/3.0)/6.0, float64(k-3))
+	}
+}
+
+// Model is the fixed-size-page block model for one data set.
+type Model struct {
+	Grid  zorder.Grid
+	N     int // total data pages (leaf pages)
+	PPB   float64
+	side  float64 // block side length in grid units (equal per dim)
+	sides []float64
+}
+
+// NewModel builds the block model: N pages grouped into N/PPB equal
+// blocks tiling the space; blocks are hypercubes (the regularity
+// result of Section 5.2: "the space is partitioned into rectangular
+// blocks of the same size and shape").
+func NewModel(g zorder.Grid, totalPages int) (*Model, error) {
+	if totalPages < 1 {
+		return nil, fmt.Errorf("analysis: total pages %d < 1", totalPages)
+	}
+	ppb := PagesPerBlock(g.Dims())
+	blocks := float64(totalPages) / ppb
+	if blocks < 1 {
+		blocks = 1
+	}
+	side := float64(g.Side()) / math.Pow(blocks, 1/float64(g.Dims()))
+	m := &Model{Grid: g, N: totalPages, PPB: ppb, side: side}
+	m.sides = make([]float64, g.Dims())
+	for i := range m.sides {
+		m.sides[i] = side
+	}
+	return m, nil
+}
+
+// BlockSide returns the side length of a block in grid units.
+func (m *Model) BlockSide() float64 { return m.side }
+
+// PredictPages returns the predicted number of data-page accesses for
+// a range query: pages per block times the number of blocks the box
+// overlaps. A box of side s in a dimension with block side b touches
+// at most floor(s/b)+1 block columns (the +1 accounts for arbitrary
+// alignment), so long narrow queries are predicted to cost more than
+// square ones of the same volume — the shape dependence the
+// experiments confirmed.
+func (m *Model) PredictPages(box geom.Box) float64 {
+	blocks := 1.0
+	for d := 0; d < m.Grid.Dims(); d++ {
+		span := float64(box.Side(d))/m.side + 1
+		max := math.Ceil(float64(m.Grid.Side()) / m.side)
+		if span > max {
+			span = max
+		}
+		blocks *= span
+	}
+	p := m.PPB * blocks
+	if p > float64(m.N) {
+		p = float64(m.N)
+	}
+	return p
+}
+
+// PredictPagesVolume returns the leading-term prediction O(vN) for a
+// query covering volume fraction v, without the boundary terms: the
+// form quoted in Section 5.3.1.
+func (m *Model) PredictPagesVolume(v float64) float64 {
+	p := v * float64(m.N)
+	if p > float64(m.N) {
+		p = float64(m.N)
+	}
+	return p
+}
+
+// PredictPartialMatch returns the O(N^(1-t/k)) prediction for a
+// partial-match query restricting t of k attributes, including the
+// pages-per-block constant.
+func (m *Model) PredictPartialMatch(t int) (float64, error) {
+	k := m.Grid.Dims()
+	if t < 0 || t >= k {
+		return 0, fmt.Errorf("analysis: t=%d must be in [0,%d)", t, k)
+	}
+	blocks := float64(m.N) / m.PPB
+	if blocks < 1 {
+		blocks = 1
+	}
+	p := m.PPB * math.Pow(blocks, 1-float64(t)/float64(k))
+	if p > float64(m.N) {
+		p = float64(m.N)
+	}
+	return p, nil
+}
+
+// OptimalAspect reports the query aspect ratios the analysis predicts
+// to be most efficient: "square or twice as tall as they are wide"
+// (Section 5.3.2). A query of aspect a is predicted optimal when a is
+// in [0.5, 1]; the function returns the distance of a from that band
+// (0 means predicted optimal).
+func OptimalAspect(a float64) float64 {
+	switch {
+	case a < 0.5:
+		return 0.5 - a
+	case a > 1:
+		return a - 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"probe/internal/geom"
+	"probe/internal/zorder"
+)
+
+func TestPagesPerBlockConstants(t *testing.T) {
+	if PagesPerBlock(2) != 6 {
+		t.Errorf("2d pages per block = %v, want 6", PagesPerBlock(2))
+	}
+	if math.Abs(PagesPerBlock(3)-28.0/3.0) > 1e-12 {
+		t.Errorf("3d pages per block = %v, want 28/3", PagesPerBlock(3))
+	}
+	if PagesPerBlock(1) != 2 {
+		t.Errorf("1d pages per block = %v", PagesPerBlock(1))
+	}
+	if PagesPerBlock(4) <= PagesPerBlock(3) {
+		t.Errorf("pages per block should grow with dimensionality")
+	}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	g := zorder.MustGrid(2, 10)
+	if _, err := NewModel(g, 0); err == nil {
+		t.Errorf("zero pages accepted")
+	}
+	m, err := NewModel(g, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 300 pages / 6 per block = 50 blocks over a 1024^2 space:
+	// block side = 1024/sqrt(50) ~ 144.8.
+	want := 1024.0 / math.Sqrt(50)
+	if math.Abs(m.BlockSide()-want) > 1e-9 {
+		t.Errorf("block side = %v, want %v", m.BlockSide(), want)
+	}
+}
+
+func TestPredictPagesScalesWithVolume(t *testing.T) {
+	g := zorder.MustGrid(2, 10)
+	m, _ := NewModel(g, 300)
+	small := m.PredictPages(geom.Box2(0, 99, 0, 99))
+	large := m.PredictPages(geom.Box2(0, 399, 0, 399))
+	if large <= small {
+		t.Errorf("prediction should grow with volume: %v vs %v", small, large)
+	}
+	// Prediction is capped at N.
+	if p := m.PredictPages(geom.FullBox(g)); p > 300 {
+		t.Errorf("prediction %v exceeds total pages", p)
+	}
+}
+
+// TestShapeDependence: the analysis predicts long narrow queries cost
+// more than square queries of equal volume (Section 5.3.2 hypothesis 1).
+func TestShapeDependence(t *testing.T) {
+	g := zorder.MustGrid(2, 10)
+	m, _ := NewModel(g, 300)
+	square := m.PredictPages(geom.Box2(0, 127, 0, 127)) // 128x128
+	narrow := m.PredictPages(geom.Box2(0, 1023, 0, 15)) // 1024x16, same volume
+	if narrow <= square {
+		t.Errorf("narrow query predicted cheaper than square: %v vs %v", narrow, square)
+	}
+}
+
+func TestPredictPagesVolume(t *testing.T) {
+	g := zorder.MustGrid(2, 10)
+	m, _ := NewModel(g, 300)
+	if p := m.PredictPagesVolume(0.1); p != 30 {
+		t.Errorf("O(vN) = %v, want 30", p)
+	}
+	if p := m.PredictPagesVolume(5); p != 300 {
+		t.Errorf("overflow volume should cap at N")
+	}
+}
+
+func TestPredictPartialMatch(t *testing.T) {
+	g := zorder.MustGrid(2, 10)
+	m, _ := NewModel(g, 600)
+	// t=0 -> all N pages (every block).
+	p0, err := m.PredictPartialMatch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p0-600) > 1e-9 {
+		t.Errorf("t=0 prediction = %v, want 600", p0)
+	}
+	// t=1, k=2 -> 6 * (N/6)^(1/2) = 60 for N=600.
+	p1, _ := m.PredictPartialMatch(1)
+	want := 6 * math.Sqrt(100)
+	if math.Abs(p1-want) > 1e-9 {
+		t.Errorf("t=1 prediction = %v, want %v", p1, want)
+	}
+	if _, err := m.PredictPartialMatch(2); err == nil {
+		t.Errorf("t=k accepted")
+	}
+	if _, err := m.PredictPartialMatch(-1); err == nil {
+		t.Errorf("negative t accepted")
+	}
+}
+
+func TestPartialMatchDecreasesWithT(t *testing.T) {
+	g := zorder.MustGrid(3, 8)
+	m, _ := NewModel(g, 1000)
+	prev := math.Inf(1)
+	for tt := 0; tt < 3; tt++ {
+		p, err := m.PredictPartialMatch(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p >= prev {
+			t.Errorf("prediction should fall as more attributes are restricted: t=%d -> %v", tt, p)
+		}
+		prev = p
+	}
+}
+
+func TestOptimalAspect(t *testing.T) {
+	if OptimalAspect(1) != 0 || OptimalAspect(0.5) != 0 || OptimalAspect(0.7) != 0 {
+		t.Errorf("square and 2:1-tall should be optimal")
+	}
+	if OptimalAspect(4) <= 0 || OptimalAspect(0.1) <= 0 {
+		t.Errorf("extreme aspects should be non-optimal")
+	}
+	if OptimalAspect(16) <= OptimalAspect(2) {
+		t.Errorf("distance should grow with aspect")
+	}
+}
+
+// TestProximityDecaysWithDistance reproduces Section 5.2: nearby
+// points are usually nearby in z order, and the fraction of "z-close"
+// pairs falls as spatial distance grows.
+func TestProximityDecaysWithDistance(t *testing.T) {
+	g := zorder.MustGrid(2, 8)
+	samples := MeasureProximity(g, []uint32{1, 4, 16, 64}, 32)
+	if len(samples) != 4 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	for i, s := range samples {
+		if s.Pairs == 0 {
+			t.Fatalf("sample %d has no pairs", i)
+		}
+		if i > 0 && s.MeanZDist <= samples[i-1].MeanZDist {
+			t.Errorf("mean z distance should grow with spatial distance: %v then %v",
+				samples[i-1].MeanZDist, s.MeanZDist)
+		}
+	}
+	// At distance 1, most pairs should be z-close.
+	if samples[0].FracZClose < 0.5 {
+		t.Errorf("at distance 1 only %.0f%% of pairs are z-close", samples[0].FracZClose*100)
+	}
+	if samples[0].MedianZDist > samples[0].P90ZDist {
+		t.Errorf("median exceeds p90")
+	}
+}
+
+func TestMeasureProximitySkipsOversizedDistances(t *testing.T) {
+	g := zorder.MustGrid(2, 3)
+	samples := MeasureProximity(g, []uint32{2, 100}, 8)
+	if len(samples) != 1 {
+		t.Errorf("oversized distance not skipped: %d samples", len(samples))
+	}
+}
+
+// TestZOrderBeatsRowMajorOrders: the reason the paper uses z order —
+// for isotropic proximity, bit interleaving keeps both x- and
+// y-neighbors close, while row-major orders scatter y-neighbors a
+// full row apart.
+func TestZOrderBeatsRowMajorOrders(t *testing.T) {
+	g := zorder.MustGrid(2, 8)
+	for _, dist := range []uint32{1, 4, 16} {
+		res := CompareOrderings(g, dist, 64)
+		if len(res) != 3 {
+			t.Fatalf("dist %d: %d orderings measured", dist, len(res))
+		}
+		if res[ZOrder] <= res[RowMajor] {
+			t.Errorf("dist %d: z order frac-close %.2f not above row-major %.2f",
+				dist, res[ZOrder], res[RowMajor])
+		}
+		if res[ZOrder] <= res[Snake] {
+			t.Errorf("dist %d: z order %.2f not above snake %.2f", dist, res[ZOrder], res[Snake])
+		}
+	}
+	for _, o := range []Ordering{ZOrder, RowMajor, Snake, Ordering(9)} {
+		if o.String() == "" {
+			t.Errorf("ordering %d renders empty", o)
+		}
+	}
+	// Degenerate inputs yield empty results.
+	if len(CompareOrderings(zorder.MustGrid(3, 4), 1, 8)) != 0 {
+		t.Errorf("3d grid should be rejected")
+	}
+	if len(CompareOrderings(g, 10000, 8)) != 0 {
+		t.Errorf("oversized distance should be rejected")
+	}
+}

@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"probe/internal/zorder"
+)
+
+// This file measures the proximity-preservation property of z order
+// (Section 5.2): "Proximity in space in any direction usually
+// corresponds to proximity in z order. The greater the discrepancy,
+// the less likely it is to occur."
+
+// ProximitySample is one bucket of the proximity measurement: for
+// point pairs at the given spatial (Chebyshev) distance, the
+// distribution of their z-rank distances.
+type ProximitySample struct {
+	SpatialDist  uint32
+	Pairs        int
+	MeanZDist    float64
+	MedianZDist  float64
+	P90ZDist     float64
+	FracZClose   float64 // fraction of pairs with z distance <= Threshold
+	ZCloseThresh uint64
+}
+
+// MeasureProximity samples point pairs at each spatial distance in
+// dists and reports their z-rank distance statistics. The z-close
+// threshold is chosen as (2*dist+1)^k, the pixel count of the
+// neighborhood — pairs within it are "as close in z order as they are
+// in space". Sampling is deterministic: for each distance the probe
+// walks a fixed lattice of base points and directions.
+func MeasureProximity(g zorder.Grid, dists []uint32, samplesPerDist int) []ProximitySample {
+	out := make([]ProximitySample, 0, len(dists))
+	k := g.Dims()
+	for _, dist := range dists {
+		if uint64(dist) >= g.Side() {
+			continue
+		}
+		thresh := uint64(math.Pow(float64(2*dist+1), float64(k)))
+		var zdists []float64
+		// Walk base points on a lattice, pairing each with the point
+		// dist away along each axis direction.
+		step := g.Side() / uint64(samplesPerDist)
+		if step == 0 {
+			step = 1
+		}
+		coords := make([]uint32, k)
+		other := make([]uint32, k)
+		var walk func(dim int)
+		walk = func(dim int) {
+			if dim == k {
+				base := g.Rank(coords)
+				for d := 0; d < k; d++ {
+					if uint64(coords[d])+uint64(dist) >= g.Side() {
+						continue
+					}
+					copy(other, coords)
+					other[d] += dist
+					zd := math.Abs(float64(g.Rank(other)) - float64(base))
+					zdists = append(zdists, zd)
+				}
+				return
+			}
+			for c := uint64(0); c < g.Side(); c += step {
+				coords[dim] = uint32(c)
+				walk(dim + 1)
+			}
+		}
+		walk(0)
+		if len(zdists) == 0 {
+			continue
+		}
+		s := summarize(zdists)
+		close := 0
+		for _, zd := range zdists {
+			if zd <= float64(thresh) {
+				close++
+			}
+		}
+		out = append(out, ProximitySample{
+			SpatialDist:  dist,
+			Pairs:        len(zdists),
+			MeanZDist:    s.mean,
+			MedianZDist:  s.median,
+			P90ZDist:     s.p90,
+			FracZClose:   float64(close) / float64(len(zdists)),
+			ZCloseThresh: thresh,
+		})
+	}
+	return out
+}
+
+type summary struct {
+	mean, median, p90 float64
+}
+
+func summarize(xs []float64) summary {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	return summary{
+		mean:   sum / float64(len(sorted)),
+		median: quantile(sorted, 0.5),
+		p90:    quantile(sorted, 0.9),
+	}
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// Ordering names a linearization of the 2-d grid, for comparing z
+// order's proximity preservation against straw-man orders (the reason
+// Section 5.2 exists: the curve was chosen because "if two points are
+// close in space then they are likely to be close in z order").
+type Ordering int
+
+const (
+	// ZOrder is bit interleaving (the paper's curve).
+	ZOrder Ordering = iota
+	// RowMajor is y*side + x.
+	RowMajor
+	// Snake is row-major with alternate rows reversed.
+	Snake
+)
+
+// String implements fmt.Stringer.
+func (o Ordering) String() string {
+	switch o {
+	case ZOrder:
+		return "z-order"
+	case RowMajor:
+		return "row-major"
+	case Snake:
+		return "snake"
+	}
+	return "Ordering(?)"
+}
+
+// rankUnder computes a pixel's position under the ordering.
+func rankUnder(g zorder.Grid, o Ordering, x, y uint32) uint64 {
+	switch o {
+	case RowMajor:
+		return uint64(y)*g.Side() + uint64(x)
+	case Snake:
+		if y%2 == 1 {
+			return uint64(y)*g.Side() + (g.Side() - 1 - uint64(x))
+		}
+		return uint64(y)*g.Side() + uint64(x)
+	default:
+		return g.Rank([]uint32{x, y})
+	}
+}
+
+// CompareOrderings measures, for each ordering, the fraction of
+// pixel pairs at the given spatial (Chebyshev) distance whose rank
+// distance stays within the neighborhood window (2*dist+1)^2 — the
+// paper's notion of proximity preservation ("if two points are close
+// in space then they are likely to be close in z order"). Higher is
+// better. Row-major orders score near 0.5: x-neighbors are adjacent
+// but every y-neighbor is a full row away.
+func CompareOrderings(g zorder.Grid, dist uint32, samples int) map[Ordering]float64 {
+	out := make(map[Ordering]float64, 3)
+	if g.Dims() != 2 || uint64(dist) >= g.Side() {
+		return out
+	}
+	step := g.Side() / uint64(samples)
+	if step == 0 {
+		step = 1
+	}
+	window := float64(2*dist+1) * float64(2*dist+1)
+	for _, o := range []Ordering{ZOrder, RowMajor, Snake} {
+		close, n := 0, 0
+		for x := uint64(0); x < g.Side(); x += step {
+			for y := uint64(0); y < g.Side(); y += step {
+				base := rankUnder(g, o, uint32(x), uint32(y))
+				if x+uint64(dist) < g.Side() {
+					d := math.Abs(float64(rankUnder(g, o, uint32(x+uint64(dist)), uint32(y))) - float64(base))
+					if d <= window {
+						close++
+					}
+					n++
+				}
+				if y+uint64(dist) < g.Side() {
+					d := math.Abs(float64(rankUnder(g, o, uint32(x), uint32(y+uint64(dist)))) - float64(base))
+					if d <= window {
+						close++
+					}
+					n++
+				}
+			}
+		}
+		if n > 0 {
+			out[o] = float64(close) / float64(n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package btree
+
+import (
+	"probe/internal/disk"
+)
+
+// Cursor iterates leaf entries in key order. It supports the two
+// access patterns the range-search merge requires (Section 3.3):
+// sequential access (Next, via the leaf sibling links) and random
+// access (SeekGE, a root-to-leaf descent).
+//
+// A cursor holds decoded copies of one leaf at a time and no pins, so
+// any number of cursors may be open. Mutating the tree invalidates
+// open cursors.
+type Cursor struct {
+	t     *Tree
+	leaf  *leafNode
+	id    disk.PageID
+	pos   int
+	valid bool
+}
+
+// Cursor returns a new cursor positioned before the first entry.
+func (t *Tree) Cursor() *Cursor { return &Cursor{t: t} }
+
+// Valid reports whether the cursor is positioned on an entry.
+func (c *Cursor) Valid() bool { return c.valid }
+
+// Key returns the current entry's key; the cursor must be Valid.
+func (c *Cursor) Key() Key {
+	if !c.valid {
+		panic("btree: Key on invalid cursor")
+	}
+	return c.leaf.keys[c.pos]
+}
+
+// Value returns the current entry's value; the cursor must be Valid.
+// The returned slice is the cursor's copy; callers must not hold it
+// across Next.
+func (c *Cursor) Value() []byte {
+	if !c.valid {
+		panic("btree: Value on invalid cursor")
+	}
+	return c.leaf.values[c.pos]
+}
+
+// First positions the cursor on the smallest entry. It reports
+// whether the tree is non-empty.
+func (c *Cursor) First() (bool, error) {
+	return c.SeekGE(Key{})
+}
+
+// SeekGE positions the cursor on the first entry with key >= k.
+func (c *Cursor) SeekGE(k Key) (bool, error) {
+	var enc [encodedKeyLen]byte
+	k.encode(enc[:])
+	id, _, err := c.t.findLeaf(enc[:])
+	if err != nil {
+		c.valid = false
+		return false, err
+	}
+	n, err := c.t.loadLeaf(id)
+	if err != nil {
+		c.valid = false
+		return false, err
+	}
+	c.leaf, c.id = n, id
+	c.pos = searchLeaf(n, k)
+	// The target may start in the next leaf (the descend key landed
+	// at this leaf's end).
+	for c.pos >= len(c.leaf.keys) {
+		if c.leaf.next == disk.InvalidPage {
+			c.valid = false
+			return false, nil
+		}
+		id = c.leaf.next
+		n, err = c.t.loadLeaf(id)
+		if err != nil {
+			c.valid = false
+			return false, err
+		}
+		c.leaf, c.id, c.pos = n, id, 0
+	}
+	c.valid = true
+	return true, nil
+}
+
+// Next advances to the next entry in key order.
+func (c *Cursor) Next() (bool, error) {
+	if !c.valid {
+		return false, nil
+	}
+	c.pos++
+	for c.pos >= len(c.leaf.keys) {
+		if c.leaf.next == disk.InvalidPage {
+			c.valid = false
+			return false, nil
+		}
+		id := c.leaf.next
+		n, err := c.t.loadLeaf(id)
+		if err != nil {
+			c.valid = false
+			return false, err
+		}
+		c.leaf, c.id, c.pos = n, id, 0
+	}
+	return true, nil
+}
+
+// Prev moves to the previous entry in key order.
+func (c *Cursor) Prev() (bool, error) {
+	if !c.valid {
+		return false, nil
+	}
+	c.pos--
+	for c.pos < 0 {
+		if c.leaf.prev == disk.InvalidPage {
+			c.valid = false
+			return false, nil
+		}
+		id := c.leaf.prev
+		n, err := c.t.loadLeaf(id)
+		if err != nil {
+			c.valid = false
+			return false, err
+		}
+		c.leaf, c.id, c.pos = n, id, len(n.keys)-1
+	}
+	return true, nil
+}
+
+// LeafID returns the page id of the leaf under the cursor; the
+// cursor must be Valid. The experiment harness uses it to attribute
+// entries to pages (Figure 6).
+func (c *Cursor) LeafID() disk.PageID {
+	if !c.valid {
+		panic("btree: LeafID on invalid cursor")
+	}
+	return c.id
+}

@@ -1,0 +1,298 @@
+package btree
+
+import (
+	"fmt"
+
+	"probe/internal/disk"
+)
+
+// load/store helpers: decode copies page contents, so frames are
+// unpinned immediately and structure modifications never hold more
+// than one pin at a time.
+
+func (t *Tree) loadLeaf(id disk.PageID) (*leafNode, error) {
+	f, n, err := t.readLeaf(id)
+	if err != nil {
+		return nil, err
+	}
+	return n, t.pool.Unpin(f.ID, false)
+}
+
+func (t *Tree) storeLeaf(id disk.PageID, n *leafNode) error {
+	f, err := t.pool.Get(id)
+	if err != nil {
+		return err
+	}
+	n.encode(f.Data, t.valueSize)
+	return t.pool.Unpin(id, true)
+}
+
+func (t *Tree) loadInternal(id disk.PageID) (*internalNode, error) {
+	f, n, err := t.readInternal(id)
+	if err != nil {
+		return nil, err
+	}
+	return n, t.pool.Unpin(f.ID, false)
+}
+
+func (t *Tree) storeInternal(id disk.PageID, n *internalNode) error {
+	f, err := t.pool.Get(id)
+	if err != nil {
+		return err
+	}
+	n.encode(f.Data)
+	return t.pool.Unpin(id, true)
+}
+
+func (t *Tree) minLeafEntries() int { return t.leafCap / 2 }
+func (t *Tree) minChildren() int    { return t.fanout / 2 }
+
+// Delete removes the entry with the given key. It returns false when
+// the key is absent. Underfull nodes borrow from or merge with
+// siblings, so the tree adapts gracefully as the point set shrinks
+// (the third requirement of Section 2).
+func (t *Tree) Delete(k Key) (bool, error) {
+	var enc [encodedKeyLen]byte
+	k.encode(enc[:])
+	leafID, path, err := t.findLeaf(enc[:])
+	if err != nil {
+		return false, err
+	}
+	n, err := t.loadLeaf(leafID)
+	if err != nil {
+		return false, err
+	}
+	i := searchLeaf(n, k)
+	if i >= len(n.keys) || n.keys[i] != k {
+		return false, nil
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.values = append(n.values[:i], n.values[i+1:]...)
+	t.count--
+	if err := t.storeLeaf(leafID, n); err != nil {
+		return false, err
+	}
+	if len(n.keys) >= t.minLeafEntries() || len(path) == 0 {
+		return true, nil // no underflow, or the root leaf may shrink freely
+	}
+	if err := t.rebalanceLeaf(leafID, n, path); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// rebalanceLeaf restores the occupancy invariant of an underfull,
+// non-root leaf.
+func (t *Tree) rebalanceLeaf(id disk.PageID, n *leafNode, path []pathEntry) error {
+	pe := path[len(path)-1]
+	parent, err := t.loadInternal(pe.id)
+	if err != nil {
+		return err
+	}
+	ci := pe.child
+
+	encMax := func(l *leafNode) []byte {
+		var b [encodedKeyLen]byte
+		l.keys[len(l.keys)-1].encode(b[:])
+		return b[:]
+	}
+	encMin := func(l *leafNode) []byte {
+		var b [encodedKeyLen]byte
+		l.keys[0].encode(b[:])
+		return b[:]
+	}
+
+	// Borrow from the left sibling.
+	if ci > 0 {
+		leftID := parent.children[ci-1]
+		left, err := t.loadLeaf(leftID)
+		if err != nil {
+			return err
+		}
+		if len(left.keys) > t.minLeafEntries() {
+			last := len(left.keys) - 1
+			n.keys = append([]Key{left.keys[last]}, n.keys...)
+			n.values = append([][]byte{left.values[last]}, n.values...)
+			left.keys = left.keys[:last]
+			left.values = left.values[:last]
+			parent.seps[ci-1] = shortestSeparator(encMax(left), encMin(n))
+			if err := t.storeLeaf(leftID, left); err != nil {
+				return err
+			}
+			if err := t.storeLeaf(id, n); err != nil {
+				return err
+			}
+			return t.storeInternal(pe.id, parent)
+		}
+	}
+	// Borrow from the right sibling.
+	if ci < len(parent.children)-1 {
+		rightID := parent.children[ci+1]
+		right, err := t.loadLeaf(rightID)
+		if err != nil {
+			return err
+		}
+		if len(right.keys) > t.minLeafEntries() {
+			n.keys = append(n.keys, right.keys[0])
+			n.values = append(n.values, right.values[0])
+			right.keys = right.keys[1:]
+			right.values = right.values[1:]
+			parent.seps[ci] = shortestSeparator(encMax(n), encMin(right))
+			if err := t.storeLeaf(rightID, right); err != nil {
+				return err
+			}
+			if err := t.storeLeaf(id, n); err != nil {
+				return err
+			}
+			return t.storeInternal(pe.id, parent)
+		}
+	}
+	// Merge with a sibling: always merge the right node of the pair
+	// into the left.
+	var leftID, rightID disk.PageID
+	var sepIdx int
+	if ci > 0 {
+		leftID, rightID, sepIdx = parent.children[ci-1], id, ci-1
+	} else {
+		leftID, rightID, sepIdx = id, parent.children[ci+1], ci
+	}
+	left, err := t.loadLeaf(leftID)
+	if err != nil {
+		return err
+	}
+	right, err := t.loadLeaf(rightID)
+	if err != nil {
+		return err
+	}
+	left.keys = append(left.keys, right.keys...)
+	left.values = append(left.values, right.values...)
+	left.next = right.next
+	if right.next != disk.InvalidPage {
+		after, err := t.loadLeaf(right.next)
+		if err != nil {
+			return err
+		}
+		after.prev = leftID
+		if err := t.storeLeaf(right.next, after); err != nil {
+			return err
+		}
+	}
+	if err := t.storeLeaf(leftID, left); err != nil {
+		return err
+	}
+	if err := t.pool.Drop(rightID); err != nil {
+		return err
+	}
+	t.leaves--
+	parent.removeAt(sepIdx)
+	if err := t.storeInternal(pe.id, parent); err != nil {
+		return err
+	}
+	return t.rebalanceInternal(pe.id, parent, path[:len(path)-1])
+}
+
+// rebalanceInternal restores the occupancy invariant of an internal
+// node after one of its separators was removed.
+func (t *Tree) rebalanceInternal(id disk.PageID, n *internalNode, path []pathEntry) error {
+	if id == t.root {
+		if len(n.children) == 1 {
+			// Collapse the root.
+			old := t.root
+			t.root = n.children[0]
+			t.height--
+			return t.pool.Drop(old)
+		}
+		return nil
+	}
+	if len(n.children) >= t.minChildren() {
+		return nil
+	}
+	pe := path[len(path)-1]
+	parent, err := t.loadInternal(pe.id)
+	if err != nil {
+		return err
+	}
+	ci := pe.child
+
+	// Borrow from the left sibling: rotate through the parent.
+	if ci > 0 {
+		leftID := parent.children[ci-1]
+		left, err := t.loadInternal(leftID)
+		if err != nil {
+			return err
+		}
+		if len(left.children) > t.minChildren() {
+			lastChild := left.children[len(left.children)-1]
+			lastSep := left.seps[len(left.seps)-1]
+			left.children = left.children[:len(left.children)-1]
+			left.seps = left.seps[:len(left.seps)-1]
+			n.children = append([]disk.PageID{lastChild}, n.children...)
+			n.seps = append([][]byte{parent.seps[ci-1]}, n.seps...)
+			parent.seps[ci-1] = lastSep
+			if err := t.storeInternal(leftID, left); err != nil {
+				return err
+			}
+			if err := t.storeInternal(id, n); err != nil {
+				return err
+			}
+			return t.storeInternal(pe.id, parent)
+		}
+	}
+	// Borrow from the right sibling.
+	if ci < len(parent.children)-1 {
+		rightID := parent.children[ci+1]
+		right, err := t.loadInternal(rightID)
+		if err != nil {
+			return err
+		}
+		if len(right.children) > t.minChildren() {
+			firstChild := right.children[0]
+			firstSep := right.seps[0]
+			right.children = right.children[1:]
+			right.seps = right.seps[1:]
+			n.children = append(n.children, firstChild)
+			n.seps = append(n.seps, parent.seps[ci])
+			parent.seps[ci] = firstSep
+			if err := t.storeInternal(rightID, right); err != nil {
+				return err
+			}
+			if err := t.storeInternal(id, n); err != nil {
+				return err
+			}
+			return t.storeInternal(pe.id, parent)
+		}
+	}
+	// Merge with a sibling, pulling the parent separator down.
+	var leftID, rightID disk.PageID
+	var sepIdx int
+	if ci > 0 {
+		leftID, rightID, sepIdx = parent.children[ci-1], id, ci-1
+	} else {
+		leftID, rightID, sepIdx = id, parent.children[ci+1], ci
+	}
+	left, err := t.loadInternal(leftID)
+	if err != nil {
+		return err
+	}
+	right, err := t.loadInternal(rightID)
+	if err != nil {
+		return err
+	}
+	left.seps = append(left.seps, parent.seps[sepIdx])
+	left.seps = append(left.seps, right.seps...)
+	left.children = append(left.children, right.children...)
+	if len(left.children) > t.fanout {
+		return fmt.Errorf("btree: merge overflowed internal node (%d children)", len(left.children))
+	}
+	if err := t.storeInternal(leftID, left); err != nil {
+		return err
+	}
+	if err := t.pool.Drop(rightID); err != nil {
+		return err
+	}
+	parent.removeAt(sepIdx)
+	if err := t.storeInternal(pe.id, parent); err != nil {
+		return err
+	}
+	return t.rebalanceInternal(pe.id, parent, path[:len(path)-1])
+}

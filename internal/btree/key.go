@@ -1,0 +1,97 @@
+// Package btree implements the paged prefix B+-tree used in the
+// paper's experiments (Section 5.3.2: "we implemented a prefix B+tree
+// to store points in z order"). Keys are 128-bit (a 64-bit z value
+// plus a 64-bit record id making every key unique); separators in
+// internal nodes are prefix-compressed to the shortest byte string
+// that separates the adjacent subtrees, as in a prefix B+-tree.
+//
+// The tree lives on disk.Pool pages, so every access flows through
+// the buffer pool and is counted — the experiment harness reproduces
+// the paper's page-access figures from those counters. Leaves are
+// doubly linked for the sequential access the merge algorithms need,
+// and the cursor supports the random access (SeekGE) used by the skip
+// optimization of Section 3.3.
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// sepCompare compares a (possibly truncated) separator against an
+// encoded key or another separator; bytes.Compare's lexicographic
+// order is exactly the order required (a proper prefix sorts before
+// its extensions).
+func sepCompare(a, b []byte) int { return bytes.Compare(a, b) }
+
+// Key is a tree key: Hi carries the z value, Lo a discriminator (the
+// record id) that makes keys unique even when z values collide (two
+// points on the same pixel). Keys order lexicographically on
+// (Hi, Lo).
+type Key struct {
+	Hi, Lo uint64
+}
+
+// Less reports whether k orders strictly before o.
+func (k Key) Less(o Key) bool {
+	if k.Hi != o.Hi {
+		return k.Hi < o.Hi
+	}
+	return k.Lo < o.Lo
+}
+
+// Compare returns -1, 0 or +1.
+func (k Key) Compare(o Key) int {
+	switch {
+	case k.Less(o):
+		return -1
+	case o.Less(k):
+		return 1
+	}
+	return 0
+}
+
+// String implements fmt.Stringer.
+func (k Key) String() string { return fmt.Sprintf("key(%016x,%016x)", k.Hi, k.Lo) }
+
+// encodedKeyLen is the length of an encoded key in bytes.
+const encodedKeyLen = 16
+
+// encode serializes the key big-endian so that lexicographic byte
+// order equals key order.
+func (k Key) encode(buf []byte) {
+	binary.BigEndian.PutUint64(buf[0:8], k.Hi)
+	binary.BigEndian.PutUint64(buf[8:16], k.Lo)
+}
+
+func decodeKey(buf []byte) Key {
+	return Key{
+		Hi: binary.BigEndian.Uint64(buf[0:8]),
+		Lo: binary.BigEndian.Uint64(buf[8:16]),
+	}
+}
+
+// Separators are byte strings compared with bytes.Compare, whose
+// lexicographic order (a proper prefix sorts before its extensions)
+// is exactly the prefix-B+-tree separator order. The invariant
+// between adjacent subtrees is sep > enc(left max) and
+// sep <= enc(right min).
+
+// shortestSeparator returns the shortest byte string s such that
+// a < s <= b in prefix-aware lexicographic order, for a < b. This is
+// the prefix compression of the prefix B+-tree: the separator stored
+// is only as long as needed to distinguish the two subtrees.
+func shortestSeparator(a, b []byte) []byte {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	// b[:i+1] is > a (differs at byte i with b[i] > a[i]) and <= b.
+	if i >= len(b) {
+		panic("btree: separator of non-increasing keys")
+	}
+	s := make([]byte, i+1)
+	copy(s, b[:i+1])
+	return s
+}

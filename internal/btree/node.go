@@ -1,0 +1,169 @@
+package btree
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"probe/internal/disk"
+)
+
+// Page layouts. All integers little-endian unless they are encoded
+// keys (which are big-endian so byte order matches key order).
+//
+// Leaf:     [type u8][count u16][next u32][prev u32]
+//           count x [key 16B][value valueSize B]
+// Internal: [type u8][count u16]            (count = number of seps)
+//           (count+1) x [child u32]
+//           count x [sepLen u16][sep bytes]
+
+type nodeType byte
+
+const (
+	leafType     nodeType = 1
+	internalType nodeType = 2
+)
+
+const (
+	leafHeaderLen     = 1 + 2 + 4 + 4
+	internalHeaderLen = 1 + 2
+)
+
+// leafNode is the decoded form of a leaf page.
+type leafNode struct {
+	next, prev disk.PageID
+	keys       []Key
+	values     [][]byte
+}
+
+// internalNode is the decoded form of an internal page:
+// len(children) == len(seps) + 1, and subtree children[i] holds the
+// keys k with seps[i-1] <= enc(k) < seps[i] (bounds omitted at the
+// ends).
+type internalNode struct {
+	children []disk.PageID
+	seps     [][]byte
+}
+
+func decodeNodeType(data []byte) nodeType { return nodeType(data[0]) }
+
+func decodeLeaf(data []byte, valueSize int) (*leafNode, error) {
+	if decodeNodeType(data) != leafType {
+		return nil, fmt.Errorf("btree: page is not a leaf (type %d)", data[0])
+	}
+	count := int(binary.LittleEndian.Uint16(data[1:3]))
+	n := &leafNode{
+		next:   disk.PageID(binary.LittleEndian.Uint32(data[3:7])),
+		prev:   disk.PageID(binary.LittleEndian.Uint32(data[7:11])),
+		keys:   make([]Key, count),
+		values: make([][]byte, count),
+	}
+	off := leafHeaderLen
+	stride := encodedKeyLen + valueSize
+	if off+count*stride > len(data) {
+		return nil, fmt.Errorf("btree: leaf overflows page (%d entries)", count)
+	}
+	for i := 0; i < count; i++ {
+		n.keys[i] = decodeKey(data[off : off+encodedKeyLen])
+		v := make([]byte, valueSize)
+		copy(v, data[off+encodedKeyLen:off+stride])
+		n.values[i] = v
+		off += stride
+	}
+	return n, nil
+}
+
+func (n *leafNode) encode(data []byte, valueSize int) {
+	for i := range data {
+		data[i] = 0
+	}
+	data[0] = byte(leafType)
+	binary.LittleEndian.PutUint16(data[1:3], uint16(len(n.keys)))
+	binary.LittleEndian.PutUint32(data[3:7], uint32(n.next))
+	binary.LittleEndian.PutUint32(data[7:11], uint32(n.prev))
+	off := leafHeaderLen
+	stride := encodedKeyLen + valueSize
+	for i, k := range n.keys {
+		k.encode(data[off : off+encodedKeyLen])
+		copy(data[off+encodedKeyLen:off+stride], n.values[i])
+		off += stride
+	}
+}
+
+func decodeInternal(data []byte) (*internalNode, error) {
+	if decodeNodeType(data) != internalType {
+		return nil, fmt.Errorf("btree: page is not internal (type %d)", data[0])
+	}
+	count := int(binary.LittleEndian.Uint16(data[1:3]))
+	n := &internalNode{
+		children: make([]disk.PageID, count+1),
+		seps:     make([][]byte, count),
+	}
+	off := internalHeaderLen
+	for i := 0; i <= count; i++ {
+		n.children[i] = disk.PageID(binary.LittleEndian.Uint32(data[off : off+4]))
+		off += 4
+	}
+	for i := 0; i < count; i++ {
+		l := int(binary.LittleEndian.Uint16(data[off : off+2]))
+		off += 2
+		if off+l > len(data) {
+			return nil, fmt.Errorf("btree: internal node overflows page")
+		}
+		s := make([]byte, l)
+		copy(s, data[off:off+l])
+		n.seps[i] = s
+		off += l
+	}
+	return n, nil
+}
+
+func (n *internalNode) encode(data []byte) {
+	for i := range data {
+		data[i] = 0
+	}
+	data[0] = byte(internalType)
+	binary.LittleEndian.PutUint16(data[1:3], uint16(len(n.seps)))
+	off := internalHeaderLen
+	for _, c := range n.children {
+		binary.LittleEndian.PutUint32(data[off:off+4], uint32(c))
+		off += 4
+	}
+	for _, s := range n.seps {
+		binary.LittleEndian.PutUint16(data[off:off+2], uint16(len(s)))
+		off += 2
+		copy(data[off:off+len(s)], s)
+		off += len(s)
+	}
+}
+
+// childIndex returns the index of the child subtree that may contain
+// the encoded key: the last child whose separator is <= enc.
+func (n *internalNode) childIndex(enc []byte) int {
+	lo, hi := 0, len(n.seps) // find count of seps <= enc
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sepCompare(n.seps[mid], enc) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// insertAt inserts a separator and its right child at position i.
+func (n *internalNode) insertAt(i int, sep []byte, rightChild disk.PageID) {
+	n.seps = append(n.seps, nil)
+	copy(n.seps[i+1:], n.seps[i:])
+	n.seps[i] = sep
+	n.children = append(n.children, 0)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = rightChild
+}
+
+// removeAt removes separator i and child i+1 (used when merging the
+// children on either side of separator i).
+func (n *internalNode) removeAt(i int) {
+	n.seps = append(n.seps[:i], n.seps[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}

@@ -1,0 +1,317 @@
+package btree
+
+import (
+	"fmt"
+	"sort"
+
+	"probe/internal/disk"
+)
+
+// Config tunes a tree.
+type Config struct {
+	// ValueSize is the fixed size of every value in bytes (>= 0).
+	ValueSize int
+	// LeafCapacity is the maximum number of entries per leaf. Zero
+	// derives the largest capacity that fits the page. The paper's
+	// experiments use 20.
+	LeafCapacity int
+}
+
+// Tree is a prefix B+-tree over disk pages. It is not safe for
+// concurrent use.
+type Tree struct {
+	pool      *disk.Pool
+	valueSize int
+	leafCap   int
+	fanout    int // max children of an internal node
+
+	root   disk.PageID
+	height int // 1 = root is a leaf
+	count  int // number of entries
+	leaves int // number of leaf pages
+}
+
+// New creates an empty tree on the pool.
+func New(pool *disk.Pool, cfg Config) (*Tree, error) {
+	ps := pool.Store().PageSize()
+	if cfg.ValueSize < 0 {
+		return nil, fmt.Errorf("btree: negative value size")
+	}
+	stride := encodedKeyLen + cfg.ValueSize
+	maxLeaf := (ps - leafHeaderLen) / stride
+	if maxLeaf < 2 {
+		return nil, fmt.Errorf("btree: page size %d cannot hold 2 entries of %d bytes", ps, stride)
+	}
+	leafCap := cfg.LeafCapacity
+	if leafCap == 0 {
+		leafCap = maxLeaf
+	}
+	if leafCap < 2 || leafCap > maxLeaf {
+		return nil, fmt.Errorf("btree: leaf capacity %d outside [2,%d]", cfg.LeafCapacity, maxLeaf)
+	}
+	// Pessimistic fanout: assume every separator is a full key, so
+	// any mix of truncated separators always fits the page.
+	// internalHeaderLen + fanout*4 + (fanout-1)*(2+encodedKeyLen) <= ps
+	fanout := (ps - internalHeaderLen + 2 + encodedKeyLen) / (4 + 2 + encodedKeyLen)
+	if fanout < 4 {
+		return nil, fmt.Errorf("btree: page size %d too small for internal nodes", ps)
+	}
+	t := &Tree{pool: pool, valueSize: cfg.ValueSize, leafCap: leafCap, fanout: fanout}
+	f, err := pool.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	root := &leafNode{}
+	root.encode(f.Data, t.valueSize)
+	t.root = f.ID
+	t.height = 1
+	t.leaves = 1
+	if err := pool.Unpin(f.ID, true); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Len returns the number of entries.
+func (t *Tree) Len() int { return t.count }
+
+// Height returns the tree height (1 when the root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// LeafPages returns the number of leaf pages, the N of the paper's
+// O(vN) page-access analysis.
+func (t *Tree) LeafPages() int { return t.leaves }
+
+// LeafCapacity returns the configured maximum entries per leaf.
+func (t *Tree) LeafCapacity() int { return t.leafCap }
+
+// Pool returns the buffer pool the tree lives on.
+func (t *Tree) Pool() *disk.Pool { return t.pool }
+
+// readLeaf fetches and decodes a leaf page, returning the frame still
+// pinned; the caller must unpin.
+func (t *Tree) readLeaf(id disk.PageID) (*disk.Frame, *leafNode, error) {
+	f, err := t.pool.Get(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	n, err := decodeLeaf(f.Data, t.valueSize)
+	if err != nil {
+		t.pool.Unpin(id, false)
+		return nil, nil, err
+	}
+	return f, n, nil
+}
+
+func (t *Tree) readInternal(id disk.PageID) (*disk.Frame, *internalNode, error) {
+	f, err := t.pool.Get(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	n, err := decodeInternal(f.Data)
+	if err != nil {
+		t.pool.Unpin(id, false)
+		return nil, nil, err
+	}
+	return f, n, nil
+}
+
+// writeNode encodes a node back into its pinned frame and unpins it
+// dirty.
+func (t *Tree) writeLeaf(f *disk.Frame, n *leafNode) error {
+	n.encode(f.Data, t.valueSize)
+	return t.pool.Unpin(f.ID, true)
+}
+
+func (t *Tree) writeInternal(f *disk.Frame, n *internalNode) error {
+	n.encode(f.Data)
+	return t.pool.Unpin(f.ID, true)
+}
+
+// findLeaf descends from the root to the leaf that should hold the
+// key, recording the path (page ids and child indexes) for structure
+// modifications.
+type pathEntry struct {
+	id    disk.PageID
+	child int // index of the child we descended into
+}
+
+func (t *Tree) findLeaf(enc []byte) (disk.PageID, []pathEntry, error) {
+	id := t.root
+	var path []pathEntry
+	for level := t.height; level > 1; level-- {
+		f, n, err := t.readInternal(id)
+		if err != nil {
+			return 0, nil, err
+		}
+		i := n.childIndex(enc)
+		child := n.children[i]
+		if err := t.pool.Unpin(f.ID, false); err != nil {
+			return 0, nil, err
+		}
+		path = append(path, pathEntry{id: id, child: i})
+		id = child
+	}
+	return id, path, nil
+}
+
+// searchLeaf returns the index of the first key >= k in the leaf.
+func searchLeaf(n *leafNode, k Key) int {
+	return sort.Search(len(n.keys), func(i int) bool { return !n.keys[i].Less(k) })
+}
+
+// Get returns the value stored under the key.
+func (t *Tree) Get(k Key) ([]byte, bool, error) {
+	var enc [encodedKeyLen]byte
+	k.encode(enc[:])
+	leafID, _, err := t.findLeaf(enc[:])
+	if err != nil {
+		return nil, false, err
+	}
+	f, n, err := t.readLeaf(leafID)
+	if err != nil {
+		return nil, false, err
+	}
+	defer t.pool.Unpin(f.ID, false)
+	i := searchLeaf(n, k)
+	if i < len(n.keys) && n.keys[i] == k {
+		return n.values[i], true, nil
+	}
+	return nil, false, nil
+}
+
+// ErrDuplicateKey is returned by Insert when the exact key exists.
+var ErrDuplicateKey = fmt.Errorf("btree: duplicate key")
+
+// Insert adds an entry. The value must be exactly ValueSize bytes.
+// Inserting an existing key returns ErrDuplicateKey.
+func (t *Tree) Insert(k Key, value []byte) error {
+	if len(value) != t.valueSize {
+		return fmt.Errorf("btree: value has %d bytes, want %d", len(value), t.valueSize)
+	}
+	var enc [encodedKeyLen]byte
+	k.encode(enc[:])
+	leafID, path, err := t.findLeaf(enc[:])
+	if err != nil {
+		return err
+	}
+	f, n, err := t.readLeaf(leafID)
+	if err != nil {
+		return err
+	}
+	i := searchLeaf(n, k)
+	if i < len(n.keys) && n.keys[i] == k {
+		t.pool.Unpin(f.ID, false)
+		return ErrDuplicateKey
+	}
+	v := make([]byte, t.valueSize)
+	copy(v, value)
+	n.keys = append(n.keys, Key{})
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = k
+	n.values = append(n.values, nil)
+	copy(n.values[i+1:], n.values[i:])
+	n.values[i] = v
+	t.count++
+
+	if len(n.keys) <= t.leafCap {
+		return t.writeLeaf(f, n)
+	}
+	return t.splitLeaf(f, n, path)
+}
+
+// splitLeaf splits an overfull leaf and propagates the separator up.
+func (t *Tree) splitLeaf(f *disk.Frame, n *leafNode, path []pathEntry) error {
+	mid := len(n.keys) / 2
+	rightFrame, err := t.pool.NewPage()
+	if err != nil {
+		t.pool.Unpin(f.ID, true)
+		return err
+	}
+	right := &leafNode{
+		next:   n.next,
+		prev:   f.ID,
+		keys:   append([]Key(nil), n.keys[mid:]...),
+		values: append([][]byte(nil), n.values[mid:]...),
+	}
+	oldNext := n.next
+	n.keys = n.keys[:mid]
+	n.values = n.values[:mid]
+	n.next = rightFrame.ID
+	t.leaves++
+
+	var leftMaxEnc, rightMinEnc [encodedKeyLen]byte
+	n.keys[len(n.keys)-1].encode(leftMaxEnc[:])
+	right.keys[0].encode(rightMinEnc[:])
+	sep := shortestSeparator(leftMaxEnc[:], rightMinEnc[:])
+
+	if err := t.writeLeaf(f, n); err != nil {
+		return err
+	}
+	rightID := rightFrame.ID
+	if err := t.writeLeaf(rightFrame, right); err != nil {
+		return err
+	}
+	// Fix the right neighbor's prev link.
+	if oldNext != disk.InvalidPage {
+		nf, nn, err := t.readLeaf(oldNext)
+		if err != nil {
+			return err
+		}
+		nn.prev = rightID
+		if err := t.writeLeaf(nf, nn); err != nil {
+			return err
+		}
+	}
+	return t.insertIntoParent(path, sep, rightID)
+}
+
+// insertIntoParent inserts (sep, rightChild) into the lowest node of
+// the path, splitting internal nodes upward as needed.
+func (t *Tree) insertIntoParent(path []pathEntry, sep []byte, rightChild disk.PageID) error {
+	for level := len(path) - 1; level >= 0; level-- {
+		pe := path[level]
+		f, n, err := t.readInternal(pe.id)
+		if err != nil {
+			return err
+		}
+		n.insertAt(pe.child, sep, rightChild)
+		if len(n.children) <= t.fanout {
+			return t.writeInternal(f, n)
+		}
+		// Split the internal node; the middle separator is promoted.
+		mid := len(n.seps) / 2
+		promoted := n.seps[mid]
+		rightFrame, err := t.pool.NewPage()
+		if err != nil {
+			t.pool.Unpin(f.ID, true)
+			return err
+		}
+		right := &internalNode{
+			children: append([]disk.PageID(nil), n.children[mid+1:]...),
+			seps:     append([][]byte(nil), n.seps[mid+1:]...),
+		}
+		n.children = n.children[:mid+1]
+		n.seps = n.seps[:mid]
+		if err := t.writeInternal(f, n); err != nil {
+			return err
+		}
+		rightID := rightFrame.ID
+		if err := t.writeInternal(rightFrame, right); err != nil {
+			return err
+		}
+		sep, rightChild = promoted, rightID
+	}
+	// The root itself split: grow a new root.
+	rootFrame, err := t.pool.NewPage()
+	if err != nil {
+		return err
+	}
+	newRoot := &internalNode{
+		children: []disk.PageID{t.root, rightChild},
+		seps:     [][]byte{sep},
+	}
+	t.root = rootFrame.ID
+	t.height++
+	return t.writeInternal(rootFrame, newRoot)
+}

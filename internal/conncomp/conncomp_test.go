@@ -1,0 +1,476 @@
+package conncomp
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"probe/internal/decompose"
+	"probe/internal/geom"
+	"probe/internal/overlay"
+	"probe/internal/zorder"
+)
+
+func rasterFromBitmap(t *testing.T, g zorder.Grid, bm []bool) []zorder.Element {
+	t.Helper()
+	side := int(g.Side())
+	r := geom.NewRaster(side, side, func(x, y int) bool { return bm[y*side+x] })
+	elems, err := decompose.Object(g, r, decompose.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return elems
+}
+
+func sortedAreas(res *Result) []uint64 {
+	areas := make([]uint64, 0, len(res.Components))
+	for _, c := range res.Components {
+		areas = append(areas, c.Area)
+	}
+	sort.Slice(areas, func(i, j int) bool { return areas[i] > areas[j] })
+	return areas
+}
+
+func TestLabelTwoSeparateBoxes(t *testing.T) {
+	g := zorder.MustGrid(2, 4)
+	a := decompose.Box(g, geom.Box2(0, 3, 0, 3))
+	b := decompose.Box(g, geom.Box2(8, 11, 8, 11))
+	region, err := overlay.Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Label(g, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 2 {
+		t.Fatalf("count = %d, want 2", res.Count())
+	}
+	areas := sortedAreas(res)
+	if areas[0] != 16 || areas[1] != 16 {
+		t.Errorf("areas = %v", areas)
+	}
+}
+
+func TestLabelTouchingBoxesMerge(t *testing.T) {
+	g := zorder.MustGrid(2, 4)
+	a := decompose.Box(g, geom.Box2(0, 3, 0, 3))
+	b := decompose.Box(g, geom.Box2(4, 7, 0, 3)) // shares the x=3/4 edge
+	region, err := overlay.Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Label(g, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 1 {
+		t.Fatalf("edge-adjacent boxes: count = %d, want 1", res.Count())
+	}
+	if res.Components[0].Area != 32 {
+		t.Errorf("area = %d, want 32", res.Components[0].Area)
+	}
+}
+
+func TestLabelDiagonalBoxesStaySeparate(t *testing.T) {
+	// 4-connectivity: corner contact does not connect.
+	g := zorder.MustGrid(2, 4)
+	a := decompose.Box(g, geom.Box2(0, 3, 0, 3))
+	b := decompose.Box(g, geom.Box2(4, 7, 4, 7))
+	region, err := overlay.Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Label(g, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 2 {
+		t.Fatalf("corner-touching boxes: count = %d, want 2", res.Count())
+	}
+}
+
+func TestLabelEmptyRegion(t *testing.T) {
+	g := zorder.MustGrid(2, 4)
+	res, err := Label(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 0 || len(res.Labels) != 0 {
+		t.Errorf("empty region labelled: %+v", res)
+	}
+}
+
+func TestLabelRejectsBadInput(t *testing.T) {
+	g := zorder.MustGrid(2, 4)
+	if _, err := Label(zorder.MustGrid(3, 4), nil); err == nil {
+		t.Errorf("3d grid accepted")
+	}
+	bad := []zorder.Element{
+		zorder.MustParseElement("01"),
+		zorder.MustParseElement("00"),
+	}
+	if _, err := Label(g, bad); err == nil {
+		t.Errorf("unsorted elements accepted")
+	}
+	overlapping := []zorder.Element{
+		zorder.MustParseElement("0"),
+		zorder.MustParseElement("00"),
+	}
+	if _, err := Label(g, overlapping); err == nil {
+		t.Errorf("overlapping elements accepted")
+	}
+}
+
+// TestLabelAgainstPixelBaseline: on random bitmaps the element-based
+// labelling and the pixel BFS agree on component count and areas.
+func TestLabelAgainstPixelBaseline(t *testing.T) {
+	g := zorder.MustGrid(2, 5)
+	side := int(g.Side())
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		bm := make([]bool, side*side)
+		density := []int{2, 3, 5}[trial%3]
+		for i := range bm {
+			bm[i] = rng.Intn(density) == 0
+		}
+		elems := rasterFromBitmap(t, g, bm)
+		res, err := Label(g, elems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantCount, wantAreas := PixelLabel(bm, side)
+		if res.Count() != wantCount {
+			t.Fatalf("trial %d: count %d, want %d", trial, res.Count(), wantCount)
+		}
+		gotAreas := sortedAreas(res)
+		for i := range wantAreas {
+			if gotAreas[i] != wantAreas[i] {
+				t.Fatalf("trial %d: areas %v, want %v", trial, gotAreas, wantAreas)
+			}
+		}
+	}
+}
+
+func TestLabelRingComponent(t *testing.T) {
+	// A ring (box minus inner box) must be one component surrounding
+	// a hole; the hole's contents, if present, are separate.
+	g := zorder.MustGrid(2, 5)
+	outer := decompose.Box(g, geom.Box2(2, 13, 2, 13))
+	inner := decompose.Box(g, geom.Box2(5, 10, 5, 10))
+	ring, err := overlay.Subtract(outer, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Label(g, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 1 {
+		t.Fatalf("ring: count = %d, want 1", res.Count())
+	}
+	core := decompose.Box(g, geom.Box2(7, 8, 7, 8))
+	both, err := overlay.Union(ring, core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = Label(g, both)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 2 {
+		t.Fatalf("ring+core: count = %d, want 2", res.Count())
+	}
+}
+
+func TestLabelsIndexComponents(t *testing.T) {
+	g := zorder.MustGrid(2, 4)
+	a := decompose.Box(g, geom.Box2(0, 1, 0, 1))
+	b := decompose.Box(g, geom.Box2(10, 11, 10, 11))
+	region, _ := overlay.Union(a, b)
+	res, err := Label(g, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) != len(region) {
+		t.Fatalf("labels/elements mismatch")
+	}
+	elemCount := 0
+	for _, c := range res.Components {
+		if c.Label >= res.Count() || c.Elements == 0 || c.Area == 0 {
+			t.Errorf("malformed component %+v", c)
+		}
+		elemCount += c.Elements
+	}
+	if elemCount != len(region) {
+		t.Errorf("component element counts sum to %d, want %d", elemCount, len(region))
+	}
+}
+
+func TestPixelLabelEdgeCases(t *testing.T) {
+	if n, areas := PixelLabel(nil, 0); n != 0 || areas != nil {
+		t.Errorf("empty bitmap labelled")
+	}
+	if n, _ := PixelLabel(make([]bool, 9), 3); n != 0 {
+		t.Errorf("all-white bitmap has components")
+	}
+	bm := make([]bool, 9)
+	for i := range bm {
+		bm[i] = true
+	}
+	n, areas := PixelLabel(bm, 3)
+	if n != 1 || areas[0] != 9 {
+		t.Errorf("all-black 3x3: %d %v", n, areas)
+	}
+}
+
+func TestLabelConn8DiagonalBoxesMerge(t *testing.T) {
+	g := zorder.MustGrid(2, 4)
+	a := decompose.Box(g, geom.Box2(0, 3, 0, 3))
+	b := decompose.Box(g, geom.Box2(4, 7, 4, 7))
+	region, _ := overlay.Union(a, b)
+	res, err := LabelConn(g, region, Conn8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 1 {
+		t.Fatalf("8-connectivity should merge corner-touching boxes: %d", res.Count())
+	}
+	// The anti-diagonal case (NW-SE contact).
+	c := decompose.Box(g, geom.Box2(4, 7, 8, 11))
+	d := decompose.Box(g, geom.Box2(8, 11, 4, 7))
+	region2, _ := overlay.Union(c, d)
+	res, err = LabelConn(g, region2, Conn8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 1 {
+		t.Fatalf("anti-diagonal corner contact missed: %d components", res.Count())
+	}
+	// 4-connectivity keeps them apart.
+	res, _ = LabelConn(g, region2, Conn4)
+	if res.Count() != 2 {
+		t.Fatalf("4-connectivity merged corner contact")
+	}
+}
+
+func TestLabelConnValidation(t *testing.T) {
+	g := zorder.MustGrid(2, 4)
+	if _, err := LabelConn(g, nil, Connectivity(7)); err == nil {
+		t.Errorf("bad connectivity accepted")
+	}
+	if Conn4.String() == "" || Conn8.String() == "" || Connectivity(7).String() == "" {
+		t.Errorf("connectivity strings wrong")
+	}
+}
+
+// TestLabelConn8AgainstPixelBaseline: 8-connected labelling matches
+// the pixel BFS on random bitmaps.
+func TestLabelConn8AgainstPixelBaseline(t *testing.T) {
+	g := zorder.MustGrid(2, 5)
+	side := int(g.Side())
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		bm := make([]bool, side*side)
+		for i := range bm {
+			bm[i] = rng.Intn(4) == 0
+		}
+		elems := rasterFromBitmap(t, g, bm)
+		res, err := LabelConn(g, elems, Conn8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantCount, wantAreas := PixelLabelConn(bm, side, Conn8)
+		if res.Count() != wantCount {
+			t.Fatalf("trial %d: count %d, want %d", trial, res.Count(), wantCount)
+		}
+		gotAreas := sortedAreas(res)
+		for i := range wantAreas {
+			if gotAreas[i] != wantAreas[i] {
+				t.Fatalf("trial %d: areas differ", trial)
+			}
+		}
+	}
+}
+
+func TestPixelLabelConnMatches4(t *testing.T) {
+	bm := []bool{true, false, false, true} // 2x2 diagonal
+	n4, _ := PixelLabelConn(bm, 2, Conn4)
+	n8, _ := PixelLabelConn(bm, 2, Conn8)
+	if n4 != 2 || n8 != 1 {
+		t.Errorf("diagonal bitmap: 4-conn %d (want 2), 8-conn %d (want 1)", n4, n8)
+	}
+	if n, _ := PixelLabelConn(nil, 0, Conn8); n != 0 {
+		t.Errorf("empty bitmap labelled")
+	}
+}
+
+func TestLabelNDMatches2D(t *testing.T) {
+	g := zorder.MustGrid(2, 5)
+	side := int(g.Side())
+	rng := rand.New(rand.NewSource(121))
+	for trial := 0; trial < 15; trial++ {
+		bm := make([]bool, side*side)
+		for i := range bm {
+			bm[i] = rng.Intn(3) == 0
+		}
+		elems := rasterFromBitmap(t, g, bm)
+		a, err := Label(g, elems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := LabelND(g, elems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Count() != b.Count() {
+			t.Fatalf("trial %d: 2d label %d components, ND %d", trial, a.Count(), b.Count())
+		}
+	}
+}
+
+func TestLabelND3D(t *testing.T) {
+	g := zorder.MustGrid(3, 3)
+	// Two cubes touching on a face, one isolated.
+	mkBox := func(lo, hi []uint32) []zorder.Element {
+		elems, err := decompose.Object(g, geom.MustBox(lo, hi), decompose.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return elems
+	}
+	a := mkBox([]uint32{0, 0, 0}, []uint32{1, 1, 1})
+	b := mkBox([]uint32{2, 0, 0}, []uint32{3, 1, 1}) // shares the x=1/2 face with a
+	c := mkBox([]uint32{6, 6, 6}, []uint32{7, 7, 7}) // isolated
+	region, err := overlay.Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region, err = overlay.Union(region, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := LabelND(g, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 2 {
+		t.Fatalf("3d label = %d components, want 2", res.Count())
+	}
+	areas := sortedAreas(res)
+	if areas[0] != 16 || areas[1] != 8 {
+		t.Errorf("areas = %v", areas)
+	}
+	// Edge-only contact (3d diagonal) does not connect under
+	// 2k-connectivity.
+	d := mkBox([]uint32{4, 2, 2}, []uint32{5, 3, 3}) // touches b only along an edge
+	region2, err := overlay.Union(b, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = LabelND(g, region2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 2 {
+		t.Errorf("edge-contact cubes merged: %d components", res.Count())
+	}
+}
+
+// TestLabelND3DAgainstBFS cross-checks against a 3-d flood fill on
+// random voxel sets.
+func TestLabelND3DAgainstBFS(t *testing.T) {
+	g := zorder.MustGrid(3, 3)
+	side := 8
+	rng := rand.New(rand.NewSource(122))
+	for trial := 0; trial < 10; trial++ {
+		voxels := make(map[[3]uint32]bool)
+		var elems []zorder.Element
+		for i := 0; i < 120; i++ {
+			v := [3]uint32{uint32(rng.Intn(side)), uint32(rng.Intn(side)), uint32(rng.Intn(side))}
+			if voxels[v] {
+				continue
+			}
+			voxels[v] = true
+			elems = append(elems, g.Shuffle(v[:]))
+		}
+		sortElements3(elems)
+		res, err := LabelND(g, elems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bfs3d(voxels)
+		if res.Count() != want {
+			t.Fatalf("trial %d: %d components, BFS says %d", trial, res.Count(), want)
+		}
+	}
+}
+
+func sortElements3(elems []zorder.Element) {
+	sort.Slice(elems, func(i, j int) bool { return elems[i].Compare(elems[j]) < 0 })
+}
+
+func bfs3d(voxels map[[3]uint32]bool) int {
+	seen := make(map[[3]uint32]bool)
+	count := 0
+	dirs := [][3]int{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}}
+	for start := range voxels {
+		if seen[start] {
+			continue
+		}
+		count++
+		queue := [][3]uint32{start}
+		seen[start] = true
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, d := range dirs {
+				n := [3]uint32{
+					uint32(int(v[0]) + d[0]),
+					uint32(int(v[1]) + d[1]),
+					uint32(int(v[2]) + d[2]),
+				}
+				if voxels[n] && !seen[n] {
+					seen[n] = true
+					queue = append(queue, n)
+				}
+			}
+		}
+	}
+	return count
+}
+
+func TestLabelND1D(t *testing.T) {
+	g := zorder.MustGrid(1, 5)
+	// Two runs: [2..5] and [9..12].
+	var elems []zorder.Element
+	for _, c := range []uint32{2, 3, 4, 5, 9, 10, 11, 12} {
+		elems = append(elems, g.Shuffle([]uint32{c}))
+	}
+	sortElements3(elems)
+	res, err := LabelND(g, elems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 2 {
+		t.Errorf("1d runs = %d components, want 2", res.Count())
+	}
+}
+
+func TestLabelNDRejectsBadInput(t *testing.T) {
+	g := zorder.MustGrid(3, 3)
+	bad := []zorder.Element{
+		zorder.MustParseElement("01"),
+		zorder.MustParseElement("00"),
+	}
+	if _, err := LabelND(g, bad); err == nil {
+		t.Errorf("unsorted input accepted")
+	}
+	overlapping := []zorder.Element{
+		zorder.MustParseElement("0"),
+		zorder.MustParseElement("00"),
+	}
+	if _, err := LabelND(g, overlapping); err == nil {
+		t.Errorf("overlapping input accepted")
+	}
+}

@@ -1,0 +1,117 @@
+package conncomp
+
+import (
+	"fmt"
+	"sort"
+
+	"probe/internal/zorder"
+)
+
+// LabelND labels the face-connected components (2k-connectivity: the
+// k-dimensional analog of 4-connectivity) of a region on a grid of
+// any dimensionality. The Section 6 algorithms apply to CAD solids as
+// well as pictures; this is the 3-d-and-beyond form of Label.
+func LabelND(g zorder.Grid, elems []zorder.Element) (*Result, error) {
+	for i := 1; i < len(elems); i++ {
+		if elems[i-1].Compare(elems[i]) >= 0 {
+			return nil, fmt.Errorf("conncomp: elements out of z order at %d", i)
+		}
+		if !elems[i-1].Disjoint(elems[i]) {
+			return nil, fmt.Errorf("conncomp: overlapping elements at %d", i)
+		}
+	}
+	k := g.Dims()
+	u := newUnionFind(len(elems))
+	lo := make([]uint32, k)
+	hi := make([]uint32, k)
+	nlo := make([]uint32, k)
+	nhi := make([]uint32, k)
+	coord := make([]uint32, k)
+	for i, e := range elems {
+		g.RegionInto(e, lo, hi)
+		// For each +dim face, visit the hyperplane of pixels just
+		// beyond the element and union with the covering elements.
+		for d := 0; d < k; d++ {
+			if uint64(hi[d])+1 >= g.SideOf(d) {
+				continue
+			}
+			coord[d] = hi[d] + 1
+			visitFace(g, elems, lo, hi, coord, d, 0, func(j int) (skipTo uint32, skip bool) {
+				u.union(i, j)
+				if k < 2 {
+					return 0, false
+				}
+				g.RegionInto(elems[j], nlo, nhi)
+				// Allow the innermost loop to jump past the
+				// neighbor's extent.
+				return nhi[innermost(k, d)], true
+			})
+		}
+	}
+	return buildResult(g, elems, u), nil
+}
+
+// innermost returns the dimension iterated fastest by visitFace for a
+// face normal to dim: the last dimension that is not dim.
+func innermost(k, dim int) int {
+	if dim == k-1 {
+		return k - 2
+	}
+	return k - 1
+}
+
+// visitFace iterates the pixels of the face (coord[dim] fixed, other
+// dims spanning [lo, hi]) and calls fn for each covering element it
+// finds. fn may return a coordinate to skip to in the innermost
+// dimension. Dimensions are iterated in order, skipping dim.
+func visitFace(g zorder.Grid, elems []zorder.Element, lo, hi, coord []uint32, dim, d int, fn func(j int) (uint32, bool)) {
+	if d == dim {
+		visitFace(g, elems, lo, hi, coord, dim, d+1, fn)
+		return
+	}
+	if d >= len(lo) {
+		if j, ok := findND(g, elems, coord); ok {
+			fn(j)
+		}
+		return
+	}
+	last := d == len(lo)-1 || (d == len(lo)-2 && dim == len(lo)-1)
+	for c := lo[d]; ; {
+		coord[d] = c
+		if last {
+			// Innermost loop: find-and-skip.
+			if j, ok := findND(g, elems, coord); ok {
+				skipTo, _ := fn(j)
+				if skipTo >= hi[d] {
+					break
+				}
+				c = skipTo + 1
+				continue
+			}
+			if c == hi[d] {
+				break
+			}
+			c++
+			continue
+		}
+		visitFace(g, elems, lo, hi, coord, dim, d+1, fn)
+		if c == hi[d] {
+			break
+		}
+		c++
+	}
+}
+
+// findND locates the element covering the pixel, by binary search.
+func findND(g zorder.Grid, elems []zorder.Element, coord []uint32) (int, bool) {
+	z := g.ShuffleKey(coord)
+	i := sort.Search(len(elems), func(i int) bool { return elems[i].MinZ() > z })
+	if i == 0 {
+		return 0, false
+	}
+	p := zorder.Element{Bits: z, Len: uint8(g.TotalBits())}
+	if elems[i-1].Contains(p) {
+		return i - 1, true
+	}
+	return 0, false
+}

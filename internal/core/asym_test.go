@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"probe/internal/decompose"
+	"probe/internal/geom"
+	"probe/internal/zorder"
+)
+
+// TestAsymGridEndToEnd: the whole stack — decomposition, index, all
+// three range-search strategies, spatial join — works unchanged on an
+// asymmetric grid (the [OREN85] generalization of the paper's
+// equal-resolution assumption).
+func TestAsymGridEndToEnd(t *testing.T) {
+	g := zorder.MustGridAsym(5, 9) // 32 x 512 space
+	ix := newTestIndex(t, g, 10)
+	rng := rand.New(rand.NewSource(111))
+	var pts []geom.Point
+	for i := 0; i < 800; i++ {
+		p := geom.Point{ID: uint64(i), Coords: []uint32{
+			uint32(rng.Intn(32)), uint32(rng.Intn(512)),
+		}}
+		pts = append(pts, p)
+	}
+	if err := ix.BulkLoad(pts); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 25; trial++ {
+		lo := []uint32{uint32(rng.Intn(32)), uint32(rng.Intn(512))}
+		hi := []uint32{uint32(rng.Intn(32)), uint32(rng.Intn(512))}
+		for d := range lo {
+			if lo[d] > hi[d] {
+				lo[d], hi[d] = hi[d], lo[d]
+			}
+		}
+		box := geom.Box{Lo: lo, Hi: hi}
+		want := bruteIDs(pts, box)
+		for _, s := range allStrategies() {
+			got, _, err := ix.RangeSearch(box, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalU64(resultIDs(got), want) {
+				t.Fatalf("%v: asym range search wrong for %v: %d vs %d",
+					s, box, len(got), len(want))
+			}
+		}
+	}
+	// Nearest neighbor on the asymmetric grid.
+	q := []uint32{16, 256}
+	got, _, err := ix.Nearest(q, 5, Euclidean, MergeLazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteNearest(pts, q, 5, Euclidean)
+	for i := range got {
+		if got[i].Dist != want[i].Dist {
+			t.Fatalf("asym nearest %d: %v vs %v", i, got[i].Dist, want[i].Dist)
+		}
+	}
+}
+
+// TestAsymDecomposeExactCover: decomposition invariants hold on
+// asymmetric grids.
+func TestAsymDecomposeExactCover(t *testing.T) {
+	g := zorder.MustGridAsym(4, 6)
+	rng := rand.New(rand.NewSource(112))
+	for trial := 0; trial < 20; trial++ {
+		lo := []uint32{uint32(rng.Intn(16)), uint32(rng.Intn(64))}
+		hi := []uint32{uint32(rng.Intn(16)), uint32(rng.Intn(64))}
+		for d := range lo {
+			if lo[d] > hi[d] {
+				lo[d], hi[d] = hi[d], lo[d]
+			}
+		}
+		box := geom.Box{Lo: lo, Hi: hi}
+		elems := decompose.Box(g, box)
+		for i := 1; i < len(elems); i++ {
+			if elems[i-1].Compare(elems[i]) >= 0 || !elems[i-1].Disjoint(elems[i]) {
+				t.Fatalf("trial %d: malformed decomposition", trial)
+			}
+		}
+		if decompose.PixelCount(g, elems) != box.Volume() {
+			t.Fatalf("trial %d: covered %d pixels, want %d",
+				trial, decompose.PixelCount(g, elems), box.Volume())
+		}
+		// Every pixel of the box is covered by exactly one element.
+		for probe := 0; probe < 100; probe++ {
+			x := lo[0] + uint32(rng.Intn(int(hi[0]-lo[0])+1))
+			y := lo[1] + uint32(rng.Intn(int(hi[1]-lo[1])+1))
+			p := g.Shuffle([]uint32{x, y})
+			covered := 0
+			for _, e := range elems {
+				if e.Contains(p) {
+					covered++
+				}
+			}
+			if covered != 1 {
+				t.Fatalf("pixel (%d,%d) covered %d times", x, y, covered)
+			}
+		}
+	}
+}
+
+// TestAsymSpatialJoin: the join works across an asymmetric grid.
+func TestAsymSpatialJoin(t *testing.T) {
+	g := zorder.MustGridAsym(4, 8)
+	left := []geom.Box{geom.Box2(0, 7, 0, 100), geom.Box2(8, 15, 200, 255)}
+	right := []geom.Box{geom.Box2(4, 11, 50, 220)}
+	got, _, err := SpatialJoinDistinct(decomposeBoxes(g, left), decomposeBoxes(g, right))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteOverlaps(left, right)
+	if !equalPairs(got, want) {
+		t.Fatalf("asym join = %v, want %v", got, want)
+	}
+}

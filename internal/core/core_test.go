@@ -1,0 +1,381 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"probe/internal/btree"
+	"probe/internal/decompose"
+	"probe/internal/disk"
+	"probe/internal/geom"
+	"probe/internal/workload"
+	"probe/internal/zorder"
+)
+
+func newTestIndex(t testing.TB, g zorder.Grid, leafCap int) *Index {
+	t.Helper()
+	store := disk.MustMemStore(1024)
+	pool := disk.MustPool(store, 512, disk.LRU)
+	ix, err := NewIndex(pool, g, IndexConfig{LeafCapacity: leafCap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func allStrategies() []Strategy {
+	return []Strategy{MergeDecomposed, MergeLazy, SkipBigMin}
+}
+
+func bruteIDs(pts []geom.Point, box geom.Box) []uint64 {
+	var ids []uint64
+	for _, p := range pts {
+		if box.ContainsPoint(p.Coords) {
+			ids = append(ids, p.ID)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func resultIDs(pts []geom.Point) []uint64 {
+	ids := make([]uint64, len(pts))
+	for i, p := range pts {
+		ids[i] = p.ID
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIndexInsertDelete(t *testing.T) {
+	g := zorder.MustGrid(2, 6)
+	ix := newTestIndex(t, g, 8)
+	p := geom.Pt2(7, 10, 20)
+	if err := ix.Insert(p); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	if err := ix.Insert(geom.Pt2(8, 10, 20)); err != nil {
+		t.Fatalf("second point on the same pixel rejected: %v", err)
+	}
+	ok, err := ix.Delete(p)
+	if err != nil || !ok {
+		t.Fatalf("Delete: %v %v", ok, err)
+	}
+	if ok, _ := ix.Delete(p); ok {
+		t.Errorf("double delete succeeded")
+	}
+	if err := ix.Insert(geom.Point{ID: 1, Coords: []uint32{999, 0}}); err == nil {
+		t.Errorf("out-of-grid point accepted")
+	}
+	if _, err := ix.Delete(geom.Point{ID: 1, Coords: []uint32{999, 0}}); err == nil {
+		t.Errorf("out-of-grid delete accepted")
+	}
+}
+
+func TestIndexGridAccess(t *testing.T) {
+	g := zorder.MustGrid(2, 6)
+	ix := newTestIndex(t, g, 8)
+	if ix.Grid() != g {
+		t.Errorf("Grid mismatch")
+	}
+	if ix.Tree() == nil {
+		t.Errorf("Tree is nil")
+	}
+}
+
+// TestRangeSearchAllStrategiesAgainstBruteForce is the central
+// correctness test: on every workload distribution of the paper, all
+// three strategies return exactly the brute-force answer.
+func TestRangeSearchAllStrategiesAgainstBruteForce(t *testing.T) {
+	g := zorder.MustGrid(2, 7)
+	datasets := map[string][]geom.Point{
+		"uniform":   workload.Uniform(g, 800, 1),
+		"clustered": workload.Clustered(g, 10, 80, 3, 2),
+		"diagonal":  workload.Diagonal(g, 800, 2, 3),
+	}
+	rng := rand.New(rand.NewSource(4))
+	for name, pts := range datasets {
+		ix := newTestIndex(t, g, 10)
+		if err := ix.BulkLoad(pts); err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 30; trial++ {
+			lo := make([]uint32, 2)
+			hi := make([]uint32, 2)
+			for d := range lo {
+				a := uint32(rng.Uint64() % g.Side())
+				b := uint32(rng.Uint64() % g.Side())
+				if a > b {
+					a, b = b, a
+				}
+				lo[d], hi[d] = a, b
+			}
+			box := geom.Box{Lo: lo, Hi: hi}
+			want := bruteIDs(pts, box)
+			for _, s := range allStrategies() {
+				got, stats, err := ix.RangeSearch(box, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !equalU64(resultIDs(got), want) {
+					t.Fatalf("%s/%v: box %v returned %d points, want %d",
+						name, s, box, len(got), len(want))
+				}
+				if stats.Results != len(got) {
+					t.Fatalf("%s/%v: stats.Results=%d, got %d", name, s, stats.Results, len(got))
+				}
+				if len(got) > 0 && stats.DataPages == 0 {
+					t.Fatalf("%s/%v: results without data pages", name, s)
+				}
+			}
+		}
+	}
+}
+
+func TestRangeSearch3D(t *testing.T) {
+	g := zorder.MustGrid(3, 4)
+	pts := workload.Uniform(g, 600, 5)
+	ix := newTestIndex(t, g, 10)
+	if err := ix.BulkLoad(pts); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		lo := make([]uint32, 3)
+		hi := make([]uint32, 3)
+		for d := range lo {
+			a := uint32(rng.Uint64() % g.Side())
+			b := uint32(rng.Uint64() % g.Side())
+			if a > b {
+				a, b = b, a
+			}
+			lo[d], hi[d] = a, b
+		}
+		box := geom.Box{Lo: lo, Hi: hi}
+		want := bruteIDs(pts, box)
+		for _, s := range allStrategies() {
+			got, _, err := ix.RangeSearch(box, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalU64(resultIDs(got), want) {
+				t.Fatalf("3d %v: wrong answer for %v", s, box)
+			}
+		}
+	}
+}
+
+func TestRangeSearchResultsInZOrder(t *testing.T) {
+	g := zorder.MustGrid(2, 6)
+	pts := workload.Uniform(g, 300, 7)
+	ix := newTestIndex(t, g, 10)
+	ix.BulkLoad(pts)
+	box := geom.Box2(5, 50, 10, 60)
+	for _, s := range allStrategies() {
+		got, _, err := ix.RangeSearch(box, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(got); i++ {
+			if g.ShuffleKey(got[i-1].Coords) > g.ShuffleKey(got[i].Coords) {
+				t.Fatalf("%v: results not in z order", s)
+			}
+		}
+	}
+}
+
+func TestRangeSearchEmptyBoxRegion(t *testing.T) {
+	g := zorder.MustGrid(2, 6)
+	ix := newTestIndex(t, g, 10)
+	ix.BulkLoad(workload.Uniform(g, 100, 8))
+	// A box in an empty corner.
+	empty := geom.Box2(0, 0, 0, 0)
+	for _, s := range allStrategies() {
+		got, stats, err := ix.RangeSearch(empty, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 0 && !empty.ContainsPoint(got[0].Coords) {
+			t.Fatalf("%v: wrong result", s)
+		}
+		_ = stats
+	}
+}
+
+func TestRangeSearchOnEmptyIndex(t *testing.T) {
+	g := zorder.MustGrid(2, 6)
+	ix := newTestIndex(t, g, 10)
+	for _, s := range allStrategies() {
+		got, stats, err := ix.RangeSearch(geom.FullBox(g), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 0 || stats.Results != 0 {
+			t.Fatalf("%v: results on empty index", s)
+		}
+	}
+}
+
+func TestRangeSearchDimsMismatch(t *testing.T) {
+	g := zorder.MustGrid(3, 4)
+	ix := newTestIndex(t, g, 10)
+	if _, _, err := ix.RangeSearch(geom.Box2(0, 1, 0, 1), MergeLazy); err == nil {
+		t.Errorf("2d box on 3d index accepted")
+	}
+	if _, _, err := ix.RangeSearch(geom.FullBox(g), Strategy(42)); err == nil {
+		t.Errorf("unknown strategy accepted")
+	}
+	if Strategy(42).String() == "" || MergeLazy.String() != "merge-lazy" {
+		t.Errorf("Strategy.String wrong")
+	}
+}
+
+func TestRangeSearchEarlyStop(t *testing.T) {
+	g := zorder.MustGrid(2, 6)
+	ix := newTestIndex(t, g, 10)
+	ix.BulkLoad(workload.Uniform(g, 500, 9))
+	for _, s := range allStrategies() {
+		n := 0
+		if _, err := ix.RangeSearchFunc(geom.FullBox(g), s, func(geom.Point) bool {
+			n++
+			return n < 5
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if n != 5 {
+			t.Fatalf("%v: early stop delivered %d", s, n)
+		}
+	}
+}
+
+func TestPartialMatch(t *testing.T) {
+	g := zorder.MustGrid(2, 6)
+	pts := workload.Uniform(g, 1000, 10)
+	ix := newTestIndex(t, g, 10)
+	ix.BulkLoad(pts)
+	value := []uint32{17, 0}
+	restricted := []bool{true, false}
+	want := bruteIDs(pts, geom.PartialMatchBox(g, restricted, value))
+	for _, s := range allStrategies() {
+		got, _, err := ix.PartialMatch(restricted, value, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalU64(resultIDs(got), want) {
+			t.Fatalf("%v: partial match wrong", s)
+		}
+	}
+	if _, _, err := ix.PartialMatch([]bool{true}, value, MergeLazy); err == nil {
+		t.Errorf("arity mismatch accepted")
+	}
+}
+
+// TestSkipOptimizationReducesWork: on a diagonal dataset, a query box
+// far off the diagonal forces long dead stretches of z space; the
+// skip must avoid scanning them. We compare pages touched by
+// SkipBigMin with a naive interval scan (every point between the
+// box's first and last z value).
+func TestSkipOptimizationReducesWork(t *testing.T) {
+	g := zorder.MustGrid(2, 10)
+	pts := workload.Diagonal(g, 4000, 3, 11)
+	ix := newTestIndex(t, g, 20)
+	ix.BulkLoad(pts)
+	box := geom.Box2(700, 1000, 0, 300) // off-diagonal box: few points
+	_, stats, err := ix.RangeSearch(box, SkipBigMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Naive scan: count leaf pages holding any z in [first, last].
+	first, _ := g.BigMin(0, box.Lo, box.Hi)
+	last, _ := g.LitMax(^uint64(0), box.Lo, box.Hi)
+	naive := 0
+	c := ix.Tree().Cursor()
+	var prev disk.PageID
+	for ok, _ := c.SeekGE(btree.Key{Hi: first}); ok; ok, _ = c.Next() {
+		if c.Key().Hi > last {
+			break
+		}
+		if c.LeafID() != prev {
+			naive++
+			prev = c.LeafID()
+		}
+	}
+	if naive > 3 && stats.DataPages*2 > naive {
+		t.Errorf("skip touched %d pages, naive interval scan %d — no skipping happened",
+			stats.DataPages, naive)
+	}
+}
+
+func TestEfficiencyMetric(t *testing.T) {
+	s := SearchStats{DataPages: 4, Results: 40}
+	if e := s.Efficiency(20); e != 0.5 {
+		t.Errorf("Efficiency = %v, want 0.5", e)
+	}
+	if (SearchStats{}).Efficiency(20) != 0 {
+		t.Errorf("empty stats efficiency should be 0")
+	}
+}
+
+// TestStrategiesTouchSamePages: the three strategies perform the same
+// logical merge, so the leaf pages they touch should be identical on
+// box queries.
+func TestStrategiesTouchSamePages(t *testing.T) {
+	g := zorder.MustGrid(2, 8)
+	pts := workload.Uniform(g, 2000, 12)
+	ix := newTestIndex(t, g, 20)
+	ix.BulkLoad(pts)
+	boxes, err := workload.Queries(g, workload.QuerySpec{Volume: 0.05, Aspect: 1}, 10, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, box := range boxes {
+		var counts [3]int
+		for i, s := range allStrategies() {
+			_, stats, err := ix.RangeSearch(box, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts[i] = stats.DataPages
+		}
+		if counts[0] != counts[1] || counts[1] != counts[2] {
+			t.Errorf("box %v: page counts differ across strategies: %v", box, counts)
+		}
+	}
+}
+
+func TestBulkLoadError(t *testing.T) {
+	g := zorder.MustGrid(2, 4)
+	ix := newTestIndex(t, g, 10)
+	err := ix.BulkLoad([]geom.Point{geom.Pt2(0, 1, 1), {ID: 1, Coords: []uint32{99, 0}}})
+	if err == nil {
+		t.Errorf("bulk load with invalid point succeeded")
+	}
+}
+
+func TestIndexDecompose(t *testing.T) {
+	g := zorder.MustGrid(2, 3)
+	ix := newTestIndex(t, g, 10)
+	elems, err := ix.Decompose(geom.Box2(2, 3, 0, 3), decompose.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elems) != 1 || elems[0] != zorder.MustParseElement("001") {
+		t.Errorf("Decompose = %v", elems)
+	}
+}

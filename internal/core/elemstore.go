@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+
+	"probe/internal/btree"
+	"probe/internal/disk"
+	"probe/internal/zorder"
+)
+
+// ElementStore keeps a decomposed object relation — tuples
+// (object id, element) — in a prefix B+-tree, in z order. This is the
+// stored form of Section 4's R(p@, zr, ...) relations: the element
+// domain living inside ordinary DBMS storage, so the spatial join can
+// run as a one-pass merge of two stored relations through the buffer
+// pool.
+//
+// The tree key packs an element and its object id so that key order
+// equals z order with containers first: Hi holds the left-justified
+// element bits (numeric order on left-justified bitstrings is
+// lexicographic order), and Lo breaks ties with the element length in
+// its top byte (shorter prefix — the container — first) followed by
+// the object id. Object ids are therefore limited to 56 bits.
+type ElementStore struct {
+	g    zorder.Grid
+	tree *btree.Tree
+}
+
+// maxStoreID is the largest storable object id (56 bits).
+const maxStoreID = 1<<56 - 1
+
+// NewElementStore creates an empty element relation on the pool.
+func NewElementStore(pool *disk.Pool, g zorder.Grid, leafCapacity int) (*ElementStore, error) {
+	tree, err := btree.New(pool, btree.Config{ValueSize: 0, LeafCapacity: leafCapacity})
+	if err != nil {
+		return nil, err
+	}
+	return &ElementStore{g: g, tree: tree}, nil
+}
+
+// Grid returns the store's grid.
+func (s *ElementStore) Grid() zorder.Grid { return s.g }
+
+// Tree exposes the underlying B+-tree for statistics.
+func (s *ElementStore) Tree() *btree.Tree { return s.tree }
+
+// Len returns the number of stored items.
+func (s *ElementStore) Len() int { return s.tree.Len() }
+
+func (s *ElementStore) key(it Item) (btree.Key, error) {
+	if it.ID > maxStoreID {
+		return btree.Key{}, fmt.Errorf("core: object id %d exceeds 56 bits", it.ID)
+	}
+	if int(it.Elem.Len) > s.g.TotalBits() {
+		return btree.Key{}, fmt.Errorf("core: element %v longer than grid resolution", it.Elem)
+	}
+	return btree.Key{
+		Hi: it.Elem.Bits,
+		Lo: uint64(it.Elem.Len)<<56 | it.ID,
+	}, nil
+}
+
+func decodeItem(k btree.Key) Item {
+	return Item{
+		Elem: zorder.Element{Bits: k.Hi, Len: uint8(k.Lo >> 56)},
+		ID:   k.Lo & maxStoreID,
+	}
+}
+
+// Insert stores one item. Duplicate (element, id) pairs are rejected.
+func (s *ElementStore) Insert(it Item) error {
+	k, err := s.key(it)
+	if err != nil {
+		return err
+	}
+	return s.tree.Insert(k, nil)
+}
+
+// InsertObject stores an object's whole decomposition.
+func (s *ElementStore) InsertObject(id uint64, elems []zorder.Element) error {
+	for _, e := range elems {
+		if err := s.Insert(Item{Elem: e, ID: id}); err != nil {
+			return fmt.Errorf("core: object %d element %v: %w", id, e, err)
+		}
+	}
+	return nil
+}
+
+// Delete removes one item, reporting whether it was present.
+func (s *ElementStore) Delete(it Item) (bool, error) {
+	k, err := s.key(it)
+	if err != nil {
+		return false, err
+	}
+	return s.tree.Delete(k)
+}
+
+// Scan streams all items in z order.
+func (s *ElementStore) Scan(fn func(Item) bool) error {
+	c := s.tree.Cursor()
+	ok, err := c.First()
+	for ok {
+		if !fn(decodeItem(c.Key())) {
+			return nil
+		}
+		ok, err = c.Next()
+	}
+	return err
+}
+
+// storeCursor adapts a tree cursor to the item merge.
+type storeCursor struct {
+	c     *btree.Cursor
+	cur   Item
+	valid bool
+	pages map[disk.PageID]bool
+}
+
+func newStoreCursor(s *ElementStore) (*storeCursor, error) {
+	sc := &storeCursor{c: s.tree.Cursor(), pages: make(map[disk.PageID]bool)}
+	ok, err := sc.c.First()
+	if err != nil {
+		return nil, err
+	}
+	sc.set(ok)
+	return sc, nil
+}
+
+func (sc *storeCursor) set(ok bool) {
+	sc.valid = ok
+	if ok {
+		sc.cur = decodeItem(sc.c.Key())
+		sc.pages[sc.c.LeafID()] = true
+	}
+}
+
+func (sc *storeCursor) next() error {
+	ok, err := sc.c.Next()
+	if err != nil {
+		return err
+	}
+	sc.set(ok)
+	return nil
+}
+
+// JoinPages reports the distinct data pages each side of a stored
+// join touched.
+type JoinPages struct {
+	Left, Right int
+}
+
+// SpatialJoinStores merges two stored element relations, streaming
+// overlap pairs to fn (return false to stop). It is the disk-resident
+// form of SpatialJoin: one sequential pass over each relation's
+// leaves — the access pattern for which "the LRU buffering strategy
+// will work well" (Section 4) — with page counts reported.
+func SpatialJoinStores(a, b *ElementStore, fn func(Pair) bool) (JoinPages, error) {
+	var pages JoinPages
+	ca, err := newStoreCursor(a)
+	if err != nil {
+		return pages, err
+	}
+	cb, err := newStoreCursor(b)
+	if err != nil {
+		return pages, err
+	}
+	const total = zorder.MaxBits
+	var stackA, stackB []Item
+	pop := func(stack []Item, minZ uint64) []Item {
+		for len(stack) > 0 && stack[len(stack)-1].Elem.MaxZ(total) < minZ {
+			stack = stack[:len(stack)-1]
+		}
+		return stack
+	}
+	stop := false
+	for !stop && (ca.valid || cb.valid) {
+		fromA := !cb.valid || (ca.valid && ca.cur.Elem.Compare(cb.cur.Elem) <= 0)
+		var it Item
+		if fromA {
+			it = ca.cur
+			if err := ca.next(); err != nil {
+				return pages, err
+			}
+		} else {
+			it = cb.cur
+			if err := cb.next(); err != nil {
+				return pages, err
+			}
+		}
+		minZ := it.Elem.MinZ()
+		stackA = pop(stackA, minZ)
+		stackB = pop(stackB, minZ)
+		if fromA {
+			for _, s := range stackB {
+				if !fn(Pair{A: it.ID, B: s.ID}) {
+					stop = true
+					break
+				}
+			}
+			stackA = append(stackA, it)
+		} else {
+			for _, s := range stackA {
+				if !fn(Pair{A: s.ID, B: it.ID}) {
+					stop = true
+					break
+				}
+			}
+			stackB = append(stackB, it)
+		}
+	}
+	pages.Left = len(ca.pages)
+	pages.Right = len(cb.pages)
+	return pages, nil
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"probe/internal/btree"
+	"probe/internal/decompose"
+	"probe/internal/disk"
+	"probe/internal/geom"
+	"probe/internal/zorder"
+)
+
+func newStore(t *testing.T, g zorder.Grid) *ElementStore {
+	t.Helper()
+	pool := disk.MustPool(disk.MustMemStore(1024), 128, disk.LRU)
+	s, err := NewElementStore(pool, g, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestElementStoreKeyOrderIsZOrder(t *testing.T) {
+	// Insert elements in shuffled order; scanning must return them in
+	// z order with containers first.
+	g := zorder.MustGrid(2, 6)
+	elems := []string{"1", "0110", "0", "01", "011", "10", "0111", "00"}
+	s := newStore(t, g)
+	for i, es := range elems {
+		if err := s.Insert(Item{Elem: zorder.MustParseElement(es), ID: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Item
+	if err := s.Scan(func(it Item) bool { got = append(got, it); return true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(elems) {
+		t.Fatalf("scan returned %d items", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Elem.Compare(got[i].Elem) > 0 {
+			t.Fatalf("scan out of z order at %d: %v then %v", i, got[i-1].Elem, got[i].Elem)
+		}
+	}
+	if got[0].Elem.String() != "0" || got[len(got)-1].Elem.String() != "10" {
+		t.Errorf("order endpoints wrong: %v ... %v", got[0].Elem, got[len(got)-1].Elem)
+	}
+}
+
+func TestElementStoreKeyOrderProperty(t *testing.T) {
+	// The packed key order must equal element z order (with id
+	// tiebreak) on random elements.
+	g := zorder.MustGrid(2, 8)
+	rng := rand.New(rand.NewSource(61))
+	s := &ElementStore{g: g}
+	for trial := 0; trial < 3000; trial++ {
+		n1 := rng.Intn(g.TotalBits() + 1)
+		n2 := rng.Intn(g.TotalBits() + 1)
+		a := Item{Elem: zorder.NewElement(rng.Uint64()&(1<<uint(n1)-1), n1), ID: uint64(rng.Intn(100))}
+		b := Item{Elem: zorder.NewElement(rng.Uint64()&(1<<uint(n2)-1), n2), ID: uint64(rng.Intn(100))}
+		ka, err := s.key(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kb, err := s.key(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmp := a.Elem.Compare(b.Elem)
+		if cmp == 0 {
+			continue // tie broken by id; both orders acceptable
+		}
+		if (cmp < 0) != ka.Less(kb) {
+			t.Fatalf("key order mismatch: %v vs %v", a.Elem, b.Elem)
+		}
+	}
+}
+
+func TestElementStoreValidation(t *testing.T) {
+	g := zorder.MustGrid(2, 4)
+	s := newStore(t, g)
+	if err := s.Insert(Item{Elem: zorder.MustParseElement("01"), ID: 1 << 60}); err == nil {
+		t.Errorf("oversized id accepted")
+	}
+	long := zorder.NewElement(0, 20) // longer than the 8-bit grid
+	if err := s.Insert(Item{Elem: long, ID: 1}); err == nil {
+		t.Errorf("over-long element accepted")
+	}
+	it := Item{Elem: zorder.MustParseElement("01"), ID: 1}
+	if err := s.Insert(it); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(it); err != btree.ErrDuplicateKey {
+		t.Errorf("duplicate item: %v", err)
+	}
+	ok, err := s.Delete(it)
+	if err != nil || !ok {
+		t.Errorf("delete failed: %v %v", ok, err)
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if _, err := s.Delete(Item{Elem: zorder.MustParseElement("01"), ID: 1 << 60}); err == nil {
+		t.Errorf("oversized id accepted by delete")
+	}
+	if s.Grid() != g || s.Tree() == nil {
+		t.Errorf("accessors wrong")
+	}
+}
+
+// TestSpatialJoinStoresMatchesInMemory: the disk-resident join equals
+// the in-memory join on random box relations.
+func TestSpatialJoinStoresMatchesInMemory(t *testing.T) {
+	g := zorder.MustGrid(2, 6)
+	for seed := int64(0); seed < 4; seed++ {
+		left := randomBoxes(g, 12, seed*2+71)
+		right := randomBoxes(g, 12, seed*2+72)
+		aItems := decomposeBoxes(g, left)
+		bItems := decomposeBoxes(g, right)
+
+		sa := newStore(t, g)
+		sb := newStore(t, g)
+		for _, it := range aItems {
+			if err := sa.Insert(it); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, it := range bItems {
+			if err := sb.Insert(it); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var got []Pair
+		pages, err := SpatialJoinStores(sa, sb, func(p Pair) bool {
+			got = append(got, p)
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := SpatialJoin(aItems, bItems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalPairs(DedupPairs(got), DedupPairs(want)) {
+			t.Fatalf("seed %d: stored join disagrees: %d vs %d raw pairs",
+				seed, len(got), len(want))
+		}
+		if pages.Left == 0 || pages.Right == 0 {
+			t.Fatalf("seed %d: no pages counted: %+v", seed, pages)
+		}
+	}
+}
+
+// TestJoinStoresOnePassLRU validates the Section 4 buffering claim:
+// with a small LRU pool, the stored join physically reads each leaf
+// page about once — "each page is accessed at most once, its contents
+// are processed, and then the page will not be needed again".
+func TestJoinStoresOnePassLRU(t *testing.T) {
+	g := zorder.MustGrid(2, 8)
+	store := disk.MustMemStore(1024)
+	pool := disk.MustPool(store, 8, disk.LRU) // tiny pool
+	sa, err := NewElementStore(pool, g, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := NewElementStore(pool, g, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(73))
+	for id := uint64(1); id <= 60; id++ {
+		x := uint32(rng.Intn(200))
+		y := uint32(rng.Intn(200))
+		b := geom.Box2(x, x+uint32(rng.Intn(50)), y, y+uint32(rng.Intn(50)))
+		target := sa
+		if id%2 == 0 {
+			target = sb
+		}
+		if err := target.InsertObject(id, decompose.Box(g, b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pool.Invalidate(); err != nil {
+		t.Fatal(err)
+	}
+	store.ResetStats()
+	pairs := 0
+	pages, err := SpatialJoinStores(sa, sb, func(Pair) bool { pairs++; return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pairs == 0 {
+		t.Fatal("join found nothing; workload broken")
+	}
+	reads := int(store.Stats().Reads)
+	// One pass: physical reads should be close to the distinct leaf
+	// pages (plus root-to-leaf descents), never a multiple of them.
+	budget := pages.Left + pages.Right + sa.Tree().Height() + sb.Tree().Height() + 4
+	if reads > budget {
+		t.Errorf("join performed %d physical reads for %d+%d leaf pages (budget %d): not one-pass",
+			reads, pages.Left, pages.Right, budget)
+	}
+}
+
+func TestSpatialJoinStoresEarlyStop(t *testing.T) {
+	g := zorder.MustGrid(2, 6)
+	sa := newStore(t, g)
+	sb := newStore(t, g)
+	whole := decompose.Box(g, geom.FullBox(g))
+	for id := uint64(1); id <= 5; id++ {
+		sa.InsertObject(id, whole)
+		sb.InsertObject(id+100, whole)
+	}
+	n := 0
+	if _, err := SpatialJoinStores(sa, sb, func(Pair) bool { n++; return n < 3 }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("early stop delivered %d pairs", n)
+	}
+}

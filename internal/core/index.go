@@ -1,0 +1,100 @@
+// Package core implements the paper's primary contribution: spatial
+// query processing on z-ordered element sequences. It provides the
+// point index (a zkd prefix B+-tree storing shuffled points, the
+// sequence P of Section 3.3), the range-search merge in its three
+// successively optimized forms, and the spatial join operator
+// R[zr <> zs]S of Section 4.
+package core
+
+import (
+	"fmt"
+
+	"probe/internal/btree"
+	"probe/internal/decompose"
+	"probe/internal/disk"
+	"probe/internal/geom"
+	"probe/internal/zorder"
+)
+
+// IndexConfig tunes a point index.
+type IndexConfig struct {
+	// LeafCapacity is the B+-tree leaf capacity in points. Zero
+	// derives it from the page size. The paper's experiments use 20.
+	LeafCapacity int
+}
+
+// Index stores points of a grid in z order inside a prefix B+-tree:
+// step 1 of the range-search algorithm ("Compute the z value of each
+// point... form a sequence of points ordered by z value").
+//
+// A point's tree key is (z value, point id); the id both
+// disambiguates points sharing a pixel and travels with the entry, so
+// no separate value payload is needed — coordinates are recovered by
+// unshuffling the z value.
+type Index struct {
+	g    zorder.Grid
+	tree *btree.Tree
+}
+
+// NewIndex creates an empty index over grid g on the pool.
+func NewIndex(pool *disk.Pool, g zorder.Grid, cfg IndexConfig) (*Index, error) {
+	tree, err := btree.New(pool, btree.Config{ValueSize: 0, LeafCapacity: cfg.LeafCapacity})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{g: g, tree: tree}, nil
+}
+
+// Grid returns the index's grid.
+func (ix *Index) Grid() zorder.Grid { return ix.g }
+
+// Tree exposes the underlying B+-tree (for statistics and the
+// experiment harness).
+func (ix *Index) Tree() *btree.Tree { return ix.tree }
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int { return ix.tree.Len() }
+
+// key builds the tree key of a point.
+func (ix *Index) key(p geom.Point) (btree.Key, error) {
+	if !ix.g.Valid(p.Coords) {
+		return btree.Key{}, fmt.Errorf("core: point %v outside %v", p, ix.g)
+	}
+	return btree.Key{Hi: ix.g.ShuffleKey(p.Coords), Lo: p.ID}, nil
+}
+
+// Insert adds a point. Point ids must be unique per pixel.
+func (ix *Index) Insert(p geom.Point) error {
+	k, err := ix.key(p)
+	if err != nil {
+		return err
+	}
+	return ix.tree.Insert(k, nil)
+}
+
+// Delete removes a point previously inserted. It reports whether the
+// point was present.
+func (ix *Index) Delete(p geom.Point) (bool, error) {
+	k, err := ix.key(p)
+	if err != nil {
+		return false, err
+	}
+	return ix.tree.Delete(k)
+}
+
+// BulkLoad inserts all points, failing on the first error.
+func (ix *Index) BulkLoad(pts []geom.Point) error {
+	for _, p := range pts {
+		if err := ix.Insert(p); err != nil {
+			return fmt.Errorf("core: bulk load point %d: %w", p.ID, err)
+		}
+	}
+	return nil
+}
+
+// Decompose runs the object decomposition on the index's grid: the
+// Decompose operator of Section 4, yielding the element relation for
+// one object.
+func (ix *Index) Decompose(obj geom.Object, opts decompose.Options) ([]zorder.Element, error) {
+	return decompose.Object(ix.g, obj, opts)
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"probe/internal/zorder"
+)
+
+// Item is one row of a decomposed object relation: an element tagged
+// with the identifier of the object that produced it — the (id@, z)
+// tuples that Decompose yields in Section 4.
+type Item struct {
+	Elem zorder.Element
+	ID   uint64
+}
+
+// Pair records that object A (from the left relation) overlaps object
+// B (from the right relation).
+type Pair struct {
+	A, B uint64
+}
+
+// SortItems sorts a decomposed relation into z order, the order the
+// spatial join requires.
+func SortItems(items []Item) {
+	sort.Slice(items, func(i, j int) bool {
+		if c := items[i].Elem.Compare(items[j].Elem); c != 0 {
+			return c < 0
+		}
+		return items[i].ID < items[j].ID
+	})
+}
+
+// SpatialJoin computes R[zr <> zs]S: every pair of items (r, s) such
+// that r's element contains s's or vice versa, i.e. their regions
+// overlap. Both inputs must be sorted in z order (SortItems); an
+// unsorted input is reported as an error.
+//
+// The algorithm is the stack-based sequence merge enabled by the key
+// structural property of Section 3.2: the only possible relationships
+// between elements are containment and precedence, so the set of
+// "open" elements at any z position forms a nesting stack per input.
+// Time is O(len(a) + len(b) + pairs).
+//
+// The same object pair is emitted once per overlapping element pair;
+// project with DedupPairs, as the paper projects out zr and zs to
+// eliminate the redundancy.
+func SpatialJoin(a, b []Item) ([]Pair, error) {
+	if err := checkSorted(a); err != nil {
+		return nil, fmt.Errorf("core: left input: %w", err)
+	}
+	if err := checkSorted(b); err != nil {
+		return nil, fmt.Errorf("core: right input: %w", err)
+	}
+	var pairs []Pair
+	err := spatialJoinFunc(a, b, func(p Pair) bool {
+		pairs = append(pairs, p)
+		return true
+	})
+	return pairs, err
+}
+
+func checkSorted(items []Item) error {
+	for i := 1; i < len(items); i++ {
+		if items[i].Elem.Compare(items[i-1].Elem) < 0 {
+			return fmt.Errorf("items not in z order at position %d", i)
+		}
+	}
+	return nil
+}
+
+// spatialJoinFunc is the streaming form of SpatialJoin.
+func spatialJoinFunc(a, b []Item, fn func(Pair) bool) error {
+	const total = zorder.MaxBits
+	var stackA, stackB []Item
+	i, j := 0, 0
+	pop := func(stack []Item, minZ uint64) []Item {
+		for len(stack) > 0 && stack[len(stack)-1].Elem.MaxZ(total) < minZ {
+			stack = stack[:len(stack)-1]
+		}
+		return stack
+	}
+	for i < len(a) || j < len(b) {
+		fromA := j >= len(b) || (i < len(a) && a[i].Elem.Compare(b[j].Elem) <= 0)
+		var it Item
+		if fromA {
+			it = a[i]
+			i++
+		} else {
+			it = b[j]
+			j++
+		}
+		minZ := it.Elem.MinZ()
+		stackA = pop(stackA, minZ)
+		stackB = pop(stackB, minZ)
+		if fromA {
+			for _, s := range stackB {
+				if !fn(Pair{A: it.ID, B: s.ID}) {
+					return nil
+				}
+			}
+			stackA = append(stackA, it)
+		} else {
+			for _, s := range stackA {
+				if !fn(Pair{A: s.ID, B: it.ID}) {
+					return nil
+				}
+			}
+			stackB = append(stackB, it)
+		}
+	}
+	return nil
+}
+
+// DedupPairs sorts the pairs and removes duplicates: the projection
+// that eliminates the multiply-reported overlaps.
+func DedupPairs(pairs []Pair) []Pair {
+	if len(pairs) == 0 {
+		return pairs
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	out := pairs[:1]
+	for _, p := range pairs[1:] {
+		if p != out[len(out)-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// JoinStats describes one spatial-join execution.
+type JoinStats struct {
+	LeftItems, RightItems int
+	RawPairs              int
+	DistinctPairs         int
+}
+
+// SpatialJoinDistinct runs the join and the deduplicating projection,
+// returning distinct overlapping object pairs plus statistics.
+func SpatialJoinDistinct(a, b []Item) ([]Pair, JoinStats, error) {
+	stats := JoinStats{LeftItems: len(a), RightItems: len(b)}
+	raw, err := SpatialJoin(a, b)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.RawPairs = len(raw)
+	out := DedupPairs(raw)
+	stats.DistinctPairs = len(out)
+	return out, stats, nil
+}

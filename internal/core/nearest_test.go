@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"probe/internal/disk"
+	"probe/internal/geom"
+	"probe/internal/workload"
+	"probe/internal/zorder"
+)
+
+func bruteNearest(pts []geom.Point, q []uint32, m int, metric Metric) []Neighbor {
+	ns := make([]Neighbor, len(pts))
+	for i, p := range pts {
+		ns[i] = Neighbor{Point: p, Dist: distance(q, p.Coords, metric)}
+	}
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Dist != ns[j].Dist {
+			return ns[i].Dist < ns[j].Dist
+		}
+		return ns[i].Point.ID < ns[j].Point.ID
+	})
+	if len(ns) > m {
+		ns = ns[:m]
+	}
+	return ns
+}
+
+func TestNearestAgainstBruteForce(t *testing.T) {
+	g := zorder.MustGrid(2, 8)
+	datasets := map[string][]geom.Point{
+		"uniform":   workload.Uniform(g, 700, 21),
+		"clustered": workload.Clustered(g, 8, 80, 4, 22),
+		"diagonal":  workload.Diagonal(g, 700, 2, 23),
+	}
+	rng := rand.New(rand.NewSource(24))
+	for name, pts := range datasets {
+		ix := newTestIndex(t, g, 10)
+		if err := ix.BulkLoad(pts); err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 25; trial++ {
+			q := []uint32{uint32(rng.Intn(256)), uint32(rng.Intn(256))}
+			m := 1 + rng.Intn(10)
+			for _, metric := range []Metric{Chebyshev, Euclidean} {
+				got, stats, err := ix.Nearest(q, m, metric, MergeLazy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := bruteNearest(pts, q, m, metric)
+				if len(got) != len(want) {
+					t.Fatalf("%s/%v: %d neighbors, want %d", name, metric, len(got), len(want))
+				}
+				for i := range got {
+					// Distances must match exactly; ids may differ only
+					// among equidistant points.
+					if got[i].Dist != want[i].Dist {
+						t.Fatalf("%s/%v q=%v m=%d: neighbor %d dist %v, want %v",
+							name, metric, q, m, i, got[i].Dist, want[i].Dist)
+					}
+				}
+				if stats.Results != len(got) || stats.DataPages == 0 {
+					t.Fatalf("%s/%v: stats wrong: %+v", name, metric, stats)
+				}
+			}
+		}
+	}
+}
+
+func TestNearestExactTiesAreStable(t *testing.T) {
+	g := zorder.MustGrid(2, 6)
+	ix := newTestIndex(t, g, 10)
+	// Four points all at Chebyshev distance 2 from (10, 10).
+	pts := []geom.Point{
+		geom.Pt2(4, 12, 10), geom.Pt2(3, 8, 10),
+		geom.Pt2(2, 10, 12), geom.Pt2(1, 10, 8),
+	}
+	if err := ix.BulkLoad(pts); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ix.Nearest([]uint32{10, 10}, 2, Chebyshev, SkipBigMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Point.ID != 1 || got[1].Point.ID != 2 {
+		t.Errorf("tie break by id failed: %v", got)
+	}
+}
+
+func TestNearestMoreThanAvailable(t *testing.T) {
+	g := zorder.MustGrid(2, 6)
+	ix := newTestIndex(t, g, 10)
+	ix.BulkLoad([]geom.Point{geom.Pt2(1, 5, 5), geom.Pt2(2, 50, 50)})
+	got, _, err := ix.Nearest([]uint32{0, 0}, 10, Euclidean, MergeLazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d neighbors, want all 2", len(got))
+	}
+	if got[0].Point.ID != 1 {
+		t.Errorf("nearest should be point 1")
+	}
+}
+
+func TestNearestEmptyIndex(t *testing.T) {
+	g := zorder.MustGrid(2, 6)
+	ix := newTestIndex(t, g, 10)
+	got, _, err := ix.Nearest([]uint32{1, 1}, 3, Euclidean, MergeLazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("neighbors on empty index: %v", got)
+	}
+}
+
+func TestNearestValidation(t *testing.T) {
+	g := zorder.MustGrid(2, 6)
+	ix := newTestIndex(t, g, 10)
+	ix.BulkLoad([]geom.Point{geom.Pt2(1, 5, 5)})
+	if _, _, err := ix.Nearest([]uint32{999, 0}, 1, Euclidean, MergeLazy); err == nil {
+		t.Errorf("out-of-grid query accepted")
+	}
+	if _, _, err := ix.Nearest([]uint32{1, 1}, 0, Euclidean, MergeLazy); err == nil {
+		t.Errorf("m=0 accepted")
+	}
+	if _, _, err := ix.Nearest([]uint32{1, 1}, 1, Metric(9), MergeLazy); err == nil {
+		t.Errorf("bad metric accepted")
+	}
+	if Metric(9).String() == "" || Euclidean.String() != "euclidean" || Chebyshev.String() != "chebyshev" {
+		t.Errorf("metric strings wrong")
+	}
+}
+
+func TestNearest3D(t *testing.T) {
+	g := zorder.MustGrid(3, 5)
+	pts := workload.Uniform(g, 400, 25)
+	ix := newTestIndex(t, g, 10)
+	if err := ix.BulkLoad(pts); err != nil {
+		t.Fatal(err)
+	}
+	q := []uint32{16, 16, 16}
+	got, _, err := ix.Nearest(q, 5, Euclidean, MergeLazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteNearest(pts, q, 5, Euclidean)
+	for i := range got {
+		if math.Abs(got[i].Dist-want[i].Dist) > 1e-12 {
+			t.Fatalf("3d neighbor %d dist %v, want %v", i, got[i].Dist, want[i].Dist)
+		}
+	}
+}
+
+func TestNewIndexBulkMatchesInsert(t *testing.T) {
+	g := zorder.MustGrid(2, 8)
+	pts := workload.Uniform(g, 2000, 26)
+	pool := disk.MustPool(disk.MustMemStore(1024), 256, disk.LRU)
+	bulk, err := NewIndexBulk(pool, g, IndexConfig{LeafCapacity: 20}, pts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := newTestIndex(t, g, 20)
+	if err := ins.BulkLoad(pts); err != nil {
+		t.Fatal(err)
+	}
+	if bulk.Len() != ins.Len() {
+		t.Fatalf("lengths differ: %d vs %d", bulk.Len(), ins.Len())
+	}
+	if bulk.Tree().LeafPages() >= ins.Tree().LeafPages() {
+		t.Errorf("bulk index should be packed tighter: %d vs %d leaves",
+			bulk.Tree().LeafPages(), ins.Tree().LeafPages())
+	}
+	if err := bulk.Tree().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	box := geom.Box2(30, 120, 40, 200)
+	a, _, err := bulk.RangeSearch(box, MergeLazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := ins.RangeSearch(box, MergeLazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Errorf("query results differ: %d vs %d", len(a), len(b))
+	}
+}
+
+func TestNewIndexBulkValidation(t *testing.T) {
+	g := zorder.MustGrid(2, 4)
+	pool := disk.MustPool(disk.MustMemStore(512), 64, disk.LRU)
+	if _, err := NewIndexBulk(pool, g, IndexConfig{}, []geom.Point{{ID: 1, Coords: []uint32{99, 0}}}, 0); err == nil {
+		t.Errorf("out-of-grid point accepted")
+	}
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"probe/internal/btree"
+	"probe/internal/decompose"
+	"probe/internal/disk"
+	"probe/internal/geom"
+)
+
+// Strategy selects the range-search variant. All three produce
+// identical results; they are the successive optimizations of
+// Section 3.3 and exist side by side for the ablation benchmarks.
+type Strategy int
+
+const (
+	// MergeDecomposed materializes the box's full element sequence B
+	// and merges it against the point sequence P, using random
+	// accesses on both sides to skip dead space (the base algorithm
+	// plus the first optimization of Section 3.3).
+	MergeDecomposed Strategy = iota
+	// MergeLazy is MergeDecomposed with the second optimization:
+	// elements of B are generated on demand by a decomposition
+	// cursor, never materialized.
+	MergeLazy
+	// SkipBigMin dispenses with elements altogether: on leaving the
+	// box it seeks directly to the next in-box z value (BigMin). It
+	// is the tightest form of the skip and works for box queries
+	// only.
+	SkipBigMin
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case MergeDecomposed:
+		return "merge-decomposed"
+	case MergeLazy:
+		return "merge-lazy"
+	case SkipBigMin:
+		return "skip-bigmin"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// SearchStats describes the work one range search performed.
+type SearchStats struct {
+	// DataPages is the number of distinct leaf pages touched: the
+	// paper's "(data) pages accessed" metric.
+	DataPages int
+	// Seeks counts random accesses into the point sequence.
+	Seeks int
+	// Elements counts box elements consumed (strategies A and B) or
+	// BigMin computations (strategy C).
+	Elements int
+	// Results is the number of points reported.
+	Results int
+}
+
+// Efficiency returns the paper's efficiency measure: how much
+// relevant data was on each retrieved page, as results divided by
+// retrieved capacity.
+func (s SearchStats) Efficiency(leafCapacity int) float64 {
+	if s.DataPages == 0 {
+		return 0
+	}
+	return float64(s.Results) / float64(s.DataPages*leafCapacity)
+}
+
+// RangeSearch returns all indexed points inside the box.
+func (ix *Index) RangeSearch(box geom.Box, strategy Strategy) ([]geom.Point, SearchStats, error) {
+	var out []geom.Point
+	stats, err := ix.RangeSearchFunc(box, strategy, func(p geom.Point) bool {
+		out = append(out, p)
+		return true
+	})
+	return out, stats, err
+}
+
+// RangeSearchFunc streams all indexed points inside the box to fn, in
+// z order. Returning false from fn stops the search early.
+func (ix *Index) RangeSearchFunc(box geom.Box, strategy Strategy, fn func(geom.Point) bool) (SearchStats, error) {
+	if box.Dims() != ix.g.Dims() {
+		return SearchStats{}, fmt.Errorf("core: box has %d dims, index %d", box.Dims(), ix.g.Dims())
+	}
+	switch strategy {
+	case MergeDecomposed:
+		return ix.searchDecomposed(box, fn)
+	case MergeLazy:
+		return ix.searchLazy(box, fn)
+	case SkipBigMin:
+		return ix.searchBigMin(box, fn)
+	}
+	return SearchStats{}, fmt.Errorf("core: unknown strategy %d", int(strategy))
+}
+
+// pageTracker counts distinct leaf pages touched by a cursor.
+type pageTracker struct {
+	seen map[disk.PageID]bool
+}
+
+func newPageTracker() *pageTracker { return &pageTracker{seen: make(map[disk.PageID]bool)} }
+
+func (pt *pageTracker) touch(c *btree.Cursor) {
+	if c.Valid() {
+		pt.seen[c.LeafID()] = true
+	}
+}
+
+func (pt *pageTracker) count() int { return len(pt.seen) }
+
+// emit converts the cursor entry to a point and passes it to fn.
+func (ix *Index) emit(c *btree.Cursor, fn func(geom.Point) bool, stats *SearchStats) bool {
+	k := c.Key()
+	stats.Results++
+	return fn(geom.Point{ID: k.Lo, Coords: ix.g.UnshuffleKey(k.Hi)})
+}
+
+// searchDecomposed is strategy A: materialize B, merge with skipping
+// on both sides.
+func (ix *Index) searchDecomposed(box geom.Box, fn func(geom.Point) bool) (SearchStats, error) {
+	var stats SearchStats
+	elems := decompose.Box(ix.g, box)
+	stats.Elements = len(elems)
+	if len(elems) == 0 {
+		return stats, nil
+	}
+	total := ix.g.TotalBits()
+	pc := ix.tree.Cursor()
+	pages := newPageTracker()
+	i := 0
+	ok, err := pc.SeekGE(btree.Key{Hi: elems[0].MinZ()})
+	stats.Seeks++
+	if err != nil {
+		return stats, err
+	}
+	pages.touch(pc)
+	for ok {
+		z := pc.Key().Hi
+		// Random access into B: first element whose range ends at or
+		// after z.
+		if elems[i].MaxZ(total) < z {
+			i += sort.Search(len(elems)-i, func(j int) bool { return elems[i+j].MaxZ(total) >= z })
+			if i >= len(elems) {
+				break
+			}
+		}
+		if z < elems[i].MinZ() {
+			// Random access into P: skip to the element's start.
+			ok, err = pc.SeekGE(btree.Key{Hi: elems[i].MinZ()})
+			stats.Seeks++
+			if err != nil {
+				return stats, err
+			}
+			pages.touch(pc)
+			continue
+		}
+		// elems[i].MinZ <= z <= elems[i].MaxZ: the point is inside
+		// the box, no coordinate test needed.
+		if !ix.emit(pc, fn, &stats) {
+			break
+		}
+		ok, err = pc.Next()
+		if err != nil {
+			return stats, err
+		}
+		pages.touch(pc)
+	}
+	stats.DataPages = pages.count()
+	return stats, nil
+}
+
+// searchLazy is strategy B: the same merge, with B generated on
+// demand.
+func (ix *Index) searchLazy(box geom.Box, fn func(geom.Point) bool) (SearchStats, error) {
+	var stats SearchStats
+	bc, err := decompose.NewCursor(ix.g, box, decompose.Options{})
+	if err != nil {
+		return stats, err
+	}
+	if !bc.Next() {
+		return stats, nil
+	}
+	stats.Elements++
+	pc := ix.tree.Cursor()
+	pages := newPageTracker()
+	ok, err := pc.SeekGE(btree.Key{Hi: bc.ZLo()})
+	stats.Seeks++
+	if err != nil {
+		return stats, err
+	}
+	pages.touch(pc)
+	for ok {
+		z := pc.Key().Hi
+		if bc.ZHi() < z {
+			if !bc.Seek(z) {
+				break
+			}
+			stats.Elements++
+			continue
+		}
+		if z < bc.ZLo() {
+			ok, err = pc.SeekGE(btree.Key{Hi: bc.ZLo()})
+			stats.Seeks++
+			if err != nil {
+				return stats, err
+			}
+			pages.touch(pc)
+			continue
+		}
+		if !ix.emit(pc, fn, &stats) {
+			break
+		}
+		ok, err = pc.Next()
+		if err != nil {
+			return stats, err
+		}
+		pages.touch(pc)
+	}
+	stats.DataPages = pages.count()
+	return stats, nil
+}
+
+// searchBigMin is strategy C: skip directly to the next in-box z
+// value whenever the scan leaves the box.
+func (ix *Index) searchBigMin(box geom.Box, fn func(geom.Point) bool) (SearchStats, error) {
+	var stats SearchStats
+	first, any := ix.g.BigMin(0, box.Lo, box.Hi)
+	if !any {
+		return stats, nil
+	}
+	stats.Elements++
+	last, _ := ix.g.LitMax(^uint64(0), box.Lo, box.Hi)
+	pc := ix.tree.Cursor()
+	pages := newPageTracker()
+	ok, err := pc.SeekGE(btree.Key{Hi: first})
+	stats.Seeks++
+	if err != nil {
+		return stats, err
+	}
+	pages.touch(pc)
+	for ok {
+		z := pc.Key().Hi
+		if z > last {
+			break
+		}
+		if ix.g.InBox(z, box.Lo, box.Hi) {
+			if !ix.emit(pc, fn, &stats) {
+				break
+			}
+			ok, err = pc.Next()
+			if err != nil {
+				return stats, err
+			}
+			pages.touch(pc)
+			continue
+		}
+		next, more := ix.g.BigMin(z, box.Lo, box.Hi)
+		stats.Elements++
+		if !more {
+			break
+		}
+		ok, err = pc.SeekGE(btree.Key{Hi: next})
+		stats.Seeks++
+		if err != nil {
+			return stats, err
+		}
+		pages.touch(pc)
+	}
+	stats.DataPages = pages.count()
+	return stats, nil
+}
+
+// PartialMatch runs a partial-match query (Section 5.3.1):
+// restricted[i] pins dimension i to value[i].
+func (ix *Index) PartialMatch(restricted []bool, value []uint32, strategy Strategy) ([]geom.Point, SearchStats, error) {
+	if len(restricted) != ix.g.Dims() || len(value) != ix.g.Dims() {
+		return nil, SearchStats{}, fmt.Errorf("core: partial match arity mismatch")
+	}
+	return ix.RangeSearch(geom.PartialMatchBox(ix.g, restricted, value), strategy)
+}

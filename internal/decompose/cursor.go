@@ -1,0 +1,163 @@
+package decompose
+
+import (
+	"probe/internal/geom"
+	"probe/internal/zorder"
+)
+
+// Cursor enumerates the elements of a decomposition lazily and in z
+// order, without materializing the whole sequence first. This is the
+// Section 3.3 optimization: "Elements of the box may be generated on
+// demand, i.e. when a sequential or random access on sequence B is
+// performed."
+//
+// A Cursor supports both access patterns of the merge: Next (the
+// sequential access) and Seek (the random access used to skip parts
+// of the space that cannot contribute to the result).
+type Cursor struct {
+	g      zorder.Grid
+	obj    geom.Object
+	maxLen int
+	dropB  bool
+	order  [zorder.MaxBits]uint8
+
+	cur   zorder.Element
+	valid bool
+	done  bool
+
+	lo, hi []uint32 // scratch region, rebuilt per descent
+}
+
+// NewCursor builds a cursor over the decomposition of obj. The cursor
+// starts before the first element; call Next or Seek to position it.
+func NewCursor(g zorder.Grid, obj geom.Object, opts Options) (*Cursor, error) {
+	ml, err := opts.maxLen(g)
+	if err != nil {
+		return nil, err
+	}
+	if obj.Dims() != g.Dims() {
+		return nil, errDims(g, obj)
+	}
+	return &Cursor{
+		g: g, obj: obj, maxLen: ml, dropB: opts.DropBoundary,
+		order: g.SplitOrder(),
+		lo:    make([]uint32, g.Dims()), hi: make([]uint32, g.Dims()),
+	}, nil
+}
+
+func errDims(g zorder.Grid, obj geom.Object) error {
+	_, err := newWalker(g, obj, Options{}, nil)
+	return err
+}
+
+// Valid reports whether the cursor is positioned on an element.
+func (c *Cursor) Valid() bool { return c.valid }
+
+// Element returns the current element; the cursor must be Valid.
+func (c *Cursor) Element() zorder.Element {
+	if !c.valid {
+		panic("decompose: Element on invalid cursor")
+	}
+	return c.cur
+}
+
+// ZLo and ZHi return the current element's z range: the [zlo, zhi]
+// record of the paper's sequence B.
+func (c *Cursor) ZLo() uint64 { return c.Element().MinZ() }
+
+// ZHi returns the largest full-resolution z value in the current
+// element.
+func (c *Cursor) ZHi() uint64 { return c.Element().MaxZ(c.g.TotalBits()) }
+
+// Next advances to the next element in z order. It returns false when
+// the decomposition is exhausted.
+func (c *Cursor) Next() bool {
+	if c.done {
+		return false
+	}
+	var from uint64
+	if c.valid {
+		hi := c.ZHi()
+		last := zorder.Element{}.MaxZ(c.g.TotalBits())
+		if hi == last {
+			c.valid, c.done = false, true
+			return false
+		}
+		from = hi + zStep(c.g)
+	}
+	return c.seekFrom(from)
+}
+
+// Seek positions the cursor on the first element whose z range ends
+// at or after z (i.e. the element containing z, or the next one). It
+// returns false when no such element exists.
+func (c *Cursor) Seek(z uint64) bool {
+	return c.seekFrom(z)
+}
+
+// zStep is the distance between consecutive full-resolution z keys
+// (left-justified in 64 bits).
+func zStep(g zorder.Grid) uint64 { return 1 << uint(64-g.TotalBits()) }
+
+func (c *Cursor) seekFrom(z uint64) bool {
+	for i := range c.lo {
+		c.lo[i] = 0
+		c.hi[i] = uint32(c.g.SideOf(i) - 1)
+	}
+	e, ok := c.search(zorder.Element{}, z)
+	if !ok {
+		c.valid, c.done = false, true
+		return false
+	}
+	c.cur, c.valid, c.done = e, true, false
+	return true
+}
+
+// search finds the z-least emitted element within e whose MaxZ >= z.
+func (c *Cursor) search(e zorder.Element, z uint64) (zorder.Element, bool) {
+	if e.MaxZ(c.g.TotalBits()) < z {
+		return zorder.Element{}, false
+	}
+	switch c.obj.Classify(c.lo, c.hi) {
+	case geom.Outside:
+		return zorder.Element{}, false
+	case geom.Inside:
+		return e, true
+	}
+	if int(e.Len) >= c.maxLen {
+		if c.dropB {
+			return zorder.Element{}, false
+		}
+		return e, true
+	}
+	for b := 0; b < 2; b++ {
+		dim, saved := c.descend(int(e.Len), b)
+		r, ok := c.search(e.Child(b), z)
+		c.restoreRegion(dim, b, saved)
+		if ok {
+			return r, true
+		}
+	}
+	return zorder.Element{}, false
+}
+
+func (c *Cursor) descend(depth, b int) (dim int, saved uint32) {
+	dim = int(c.order[depth])
+	half := (c.hi[dim]-c.lo[dim])/2 + 1
+	if b == 0 {
+		saved = c.hi[dim]
+		c.hi[dim] = c.lo[dim] + half - 1
+	} else {
+		saved = c.lo[dim]
+		c.lo[dim] += half
+	}
+	return dim, saved
+}
+
+func (c *Cursor) restoreRegion(dim, b int, saved uint32) {
+	if b == 0 {
+		c.hi[dim] = saved
+	} else {
+		c.lo[dim] = saved
+	}
+}

@@ -1,0 +1,238 @@
+package decompose
+
+import (
+	"math/rand"
+	"testing"
+
+	"probe/internal/geom"
+	"probe/internal/zorder"
+)
+
+func collectCursor(t *testing.T, c *Cursor) []zorder.Element {
+	t.Helper()
+	var out []zorder.Element
+	for c.Next() {
+		out = append(out, c.Element())
+	}
+	return out
+}
+
+// TestCursorMatchesEagerDecomposition: iterating the lazy cursor
+// yields exactly the eager decomposition, in order.
+func TestCursorMatchesEagerDecomposition(t *testing.T) {
+	g := zorder.MustGrid(2, 4)
+	objs := []geom.Object{
+		geom.Box2(1, 3, 0, 4),
+		geom.Box2(0, 15, 7, 7),
+		geom.FullBox(g),
+		func() geom.Object { d, _ := geom.NewDisk([]float64{8, 8}, 5); return d }(),
+	}
+	for _, obj := range objs {
+		want, err := Object(g, obj, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewCursor(g, obj, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := collectCursor(t, c)
+		if len(got) != len(want) {
+			t.Fatalf("obj %v: cursor yielded %d elements, want %d", obj, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("obj %v: element %d = %v, want %v", obj, i, got[i], want[i])
+			}
+		}
+		if c.Next() {
+			t.Errorf("exhausted cursor restarted")
+		}
+	}
+}
+
+func TestCursorSeek(t *testing.T) {
+	g := zorder.MustGrid(2, 4)
+	b := geom.Box2(3, 11, 2, 13)
+	all := Box(g, b)
+	c, err := NewCursor(g, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 500; trial++ {
+		z := rng.Uint64() >> uint(64-g.TotalBits()) << uint(64-g.TotalBits())
+		ok := c.Seek(z)
+		// Reference: first element with MaxZ >= z.
+		var want *zorder.Element
+		for i := range all {
+			if all[i].MaxZ(g.TotalBits()) >= z {
+				want = &all[i]
+				break
+			}
+		}
+		if (want != nil) != ok {
+			t.Fatalf("Seek(%x) ok=%v, want %v", z, ok, want != nil)
+		}
+		if ok && c.Element() != *want {
+			t.Fatalf("Seek(%x) = %v, want %v", z, c.Element(), *want)
+		}
+	}
+}
+
+func TestCursorSeekThenNext(t *testing.T) {
+	g := zorder.MustGrid(2, 4)
+	b := geom.Box2(3, 11, 2, 13)
+	all := Box(g, b)
+	c, _ := NewCursor(g, b, Options{})
+	mid := all[len(all)/2]
+	if !c.Seek(mid.MinZ()) || c.Element() != mid {
+		t.Fatalf("Seek to element start should land on it")
+	}
+	for i := len(all)/2 + 1; i < len(all); i++ {
+		if !c.Next() || c.Element() != all[i] {
+			t.Fatalf("Next after Seek out of sequence at %d", i)
+		}
+	}
+	if c.Next() {
+		t.Errorf("cursor should be exhausted")
+	}
+}
+
+func TestCursorZRange(t *testing.T) {
+	g := zorder.MustGrid(2, 3)
+	b := geom.Box2(2, 3, 0, 3)
+	c, _ := NewCursor(g, b, Options{})
+	if !c.Next() {
+		t.Fatal("no elements")
+	}
+	e := zorder.MustParseElement("001")
+	if c.Element() != e {
+		t.Fatalf("element = %v, want 001", c.Element())
+	}
+	if c.ZLo() != e.MinZ() || c.ZHi() != e.MaxZ(6) {
+		t.Errorf("z range [%x,%x] wrong", c.ZLo(), c.ZHi())
+	}
+}
+
+func TestCursorOnInvalid(t *testing.T) {
+	g := zorder.MustGrid(2, 3)
+	c, _ := NewCursor(g, geom.Box2(0, 1, 0, 1), Options{})
+	if c.Valid() {
+		t.Errorf("fresh cursor should be invalid")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Element on invalid cursor should panic")
+		}
+	}()
+	c.Element()
+}
+
+func TestCursorCoarse(t *testing.T) {
+	g := zorder.MustGrid(2, 4)
+	d, _ := geom.NewDisk([]float64{8, 8}, 5.3)
+	for _, opts := range []Options{{MaxLen: 4}, {MaxLen: 4, DropBoundary: true}, {MaxLen: 6}} {
+		want, err := Object(g, d, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewCursor(g, d, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := collectCursor(t, c)
+		if len(got) != len(want) {
+			t.Fatalf("opts %+v: %d elements, want %d", opts, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("opts %+v: element %d mismatch", opts, i)
+			}
+		}
+	}
+}
+
+func TestCursorWholeSpaceTermination(t *testing.T) {
+	// An object covering the whole space ends at the all-ones z value;
+	// Next must terminate rather than wrap.
+	g := zorder.MustGrid(2, 2)
+	c, _ := NewCursor(g, geom.FullBox(g), Options{})
+	n := 0
+	for c.Next() {
+		n++
+		if n > 2 {
+			t.Fatal("cursor did not terminate")
+		}
+	}
+	if n != 1 {
+		t.Errorf("whole space should yield one element, got %d", n)
+	}
+}
+
+func TestCursorBadOptions(t *testing.T) {
+	g := zorder.MustGrid(2, 3)
+	if _, err := NewCursor(g, geom.Box2(0, 1, 0, 1), Options{MaxLen: 99}); err == nil {
+		t.Errorf("bad MaxLen accepted")
+	}
+}
+
+func BenchmarkDecomposeBox(b *testing.B) {
+	g := zorder.MustGrid(2, 16)
+	box := geom.Box2(1000, 33333, 2000, 44444)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(Box(g, box)) == 0 {
+			b.Fatal("empty decomposition")
+		}
+	}
+}
+
+func BenchmarkCursorIterate(b *testing.B) {
+	g := zorder.MustGrid(2, 16)
+	box := geom.Box2(1000, 33333, 2000, 44444)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, _ := NewCursor(g, box, Options{})
+		n := 0
+		for c.Next() {
+			n++
+		}
+		if n == 0 {
+			b.Fatal("no elements")
+		}
+	}
+}
+
+// TestCursorSeekAfterExhaustion: a cursor that ran off the end must
+// come back to life on a successful Seek (regression: done was left
+// sticky, making Next after a revive-Seek return false).
+func TestCursorSeekAfterExhaustion(t *testing.T) {
+	g := zorder.MustGrid(2, 4)
+	b := geom.Box2(3, 11, 2, 13)
+	all := Box(g, b)
+	c, _ := NewCursor(g, b, Options{})
+	for c.Next() {
+	}
+	if c.Valid() {
+		t.Fatal("cursor should be exhausted")
+	}
+	// Revive by seeking back to the start.
+	if !c.Seek(0) {
+		t.Fatal("Seek(0) after exhaustion failed")
+	}
+	if c.Element() != all[0] {
+		t.Fatalf("revived cursor at %v, want %v", c.Element(), all[0])
+	}
+	for i := 1; i < len(all); i++ {
+		if !c.Next() {
+			t.Fatalf("Next after revival stopped at %d of %d", i, len(all))
+		}
+		if c.Element() != all[i] {
+			t.Fatalf("element %d = %v, want %v", i, c.Element(), all[i])
+		}
+	}
+	if c.Next() {
+		t.Errorf("cursor should re-exhaust")
+	}
+}

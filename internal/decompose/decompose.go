@@ -1,0 +1,257 @@
+// Package decompose implements the decomposition of spatial objects
+// into elements (Orenstein, SIGMOD 1986, Section 3.1): a region is
+// split recursively, alternating dimensions, until each piece is
+// entirely inside the object, entirely outside (discarded), or a
+// single pixel on the boundary. The result is the z-ordered sequence
+// of elements that approximates the object.
+//
+// The package also provides the lazy element cursor used by the
+// optimized range-search merge ("the sequence B does not have to be
+// formed before the merge starts", Section 3.3), the E(U,V) element
+// counting of Section 5.1, and the boundary-expansion optimization.
+package decompose
+
+import (
+	"fmt"
+
+	"probe/internal/geom"
+	"probe/internal/zorder"
+)
+
+// Options tunes a decomposition.
+type Options struct {
+	// MaxLen caps element z-value length, producing a coarser
+	// approximation: splitting stops at this depth even on boundary
+	// regions. Zero means full resolution (k*d).
+	MaxLen int
+	// DropBoundary, when true, omits regions still crossing the
+	// boundary at MaxLen, yielding an inner (subset) approximation.
+	// The default (false) includes them, yielding the paper's outer
+	// approximation: pixels inside or on the boundary.
+	DropBoundary bool
+}
+
+func (o Options) maxLen(g zorder.Grid) (int, error) {
+	if o.MaxLen == 0 {
+		return g.TotalBits(), nil
+	}
+	if o.MaxLen < 0 || o.MaxLen > g.TotalBits() {
+		return 0, fmt.Errorf("decompose: MaxLen %d outside [0,%d]", o.MaxLen, g.TotalBits())
+	}
+	return o.MaxLen, nil
+}
+
+// walker carries the shared state of a decomposition traversal,
+// maintaining the current region incrementally (O(1) per split).
+type walker struct {
+	g       zorder.Grid
+	obj     geom.Object
+	maxLen  int
+	dropB   bool
+	order   [zorder.MaxBits]uint8
+	lo, hi  []uint32
+	emit    func(zorder.Element) bool // returns false to stop early
+	stopped bool
+}
+
+func newWalker(g zorder.Grid, obj geom.Object, opts Options, emit func(zorder.Element) bool) (*walker, error) {
+	if obj.Dims() != g.Dims() {
+		return nil, fmt.Errorf("decompose: object has %d dims, grid %d", obj.Dims(), g.Dims())
+	}
+	ml, err := opts.maxLen(g)
+	if err != nil {
+		return nil, err
+	}
+	w := &walker{
+		g: g, obj: obj, maxLen: ml, dropB: opts.DropBoundary,
+		order: g.SplitOrder(),
+		lo:    make([]uint32, g.Dims()), hi: make([]uint32, g.Dims()),
+		emit: emit,
+	}
+	for i := range w.hi {
+		w.hi[i] = uint32(g.SideOf(i) - 1)
+	}
+	return w, nil
+}
+
+// descend narrows the region to child b of the split at depth,
+// returning the saved bound for restore.
+func (w *walker) descend(depth, b int) (dim int, saved uint32) {
+	dim = int(w.order[depth])
+	half := (w.hi[dim]-w.lo[dim])/2 + 1
+	if b == 0 {
+		saved = w.hi[dim]
+		w.hi[dim] = w.lo[dim] + half - 1
+	} else {
+		saved = w.lo[dim]
+		w.lo[dim] += half
+	}
+	return dim, saved
+}
+
+func (w *walker) restore(dim, b int, saved uint32) {
+	if b == 0 {
+		w.hi[dim] = saved
+	} else {
+		w.lo[dim] = saved
+	}
+}
+
+func (w *walker) walk(e zorder.Element) {
+	if w.stopped {
+		return
+	}
+	switch w.obj.Classify(w.lo, w.hi) {
+	case geom.Outside:
+		return
+	case geom.Inside:
+		if !w.emit(e) {
+			w.stopped = true
+		}
+		return
+	}
+	// Crosses.
+	if int(e.Len) >= w.maxLen {
+		if int(e.Len) == w.g.TotalBits() {
+			// Contract violation by the object; treat as a defect.
+			panic(fmt.Sprintf("decompose: object classified pixel %v as crossing", w.lo))
+		}
+		if !w.dropB {
+			if !w.emit(e) {
+				w.stopped = true
+			}
+		}
+		return
+	}
+	for b := 0; b < 2 && !w.stopped; b++ {
+		dim, saved := w.descend(int(e.Len), b)
+		w.walk(e.Child(b))
+		w.restore(dim, b, saved)
+	}
+}
+
+// Object decomposes a spatial object into its z-ordered sequence of
+// elements.
+func Object(g zorder.Grid, obj geom.Object, opts Options) ([]zorder.Element, error) {
+	var out []zorder.Element
+	w, err := newWalker(g, obj, opts, func(e zorder.Element) bool {
+		out = append(out, e)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	w.walk(zorder.Element{})
+	return out, nil
+}
+
+// Box decomposes a box at full resolution: the first RangeSearch
+// algorithm of [OREN84], producing the sequence B of Section 3.3.
+func Box(g zorder.Grid, b geom.Box) []zorder.Element {
+	out, err := Object(g, b, Options{})
+	if err != nil {
+		panic(err) // a box over its own grid cannot fail
+	}
+	return out
+}
+
+// Count returns the number of elements a decomposition would produce
+// without materializing them.
+func Count(g zorder.Grid, obj geom.Object, opts Options) (int, error) {
+	n := 0
+	w, err := newWalker(g, obj, opts, func(zorder.Element) bool {
+		n++
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	w.walk(zorder.Element{})
+	return n, nil
+}
+
+// CountBox is the paper's E(U,V) generalized to k dimensions: the
+// number of elements in the decomposition of the box of the given
+// sides whose lower corner is the origin (Section 5.1). The grid must
+// be large enough to hold the box.
+func CountBox(g zorder.Grid, sides []uint32) (int, error) {
+	if len(sides) != g.Dims() {
+		return 0, fmt.Errorf("decompose: %d sides for %d dims", len(sides), g.Dims())
+	}
+	lo := make([]uint32, g.Dims())
+	hi := make([]uint32, g.Dims())
+	for i, s := range sides {
+		if s == 0 {
+			return 0, nil
+		}
+		if uint64(s) > g.Side() {
+			return 0, fmt.Errorf("decompose: side %d exceeds grid side %d", s, g.Side())
+		}
+		hi[i] = s - 1
+	}
+	n, err := Count(g, geom.Box{Lo: lo, Hi: hi}, Options{})
+	return n, err
+}
+
+// E is CountBox for the 2-d case of Section 5.1: the number of
+// elements in the decomposition of a U x V rectangle anchored at the
+// origin of grid g.
+func E(g zorder.Grid, u, v uint32) int {
+	n, err := CountBox(g, []uint32{u, v})
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// ExpandBoundary rounds u up so that its last m bits are zero: the
+// Section 5.1 optimization that trades a slightly larger object (a
+// coarser effective grid) for far fewer elements. For example
+// ExpandBoundary(0b01101101, 4) == 0b01110000. The result is uint64
+// because rounding up near the top of the uint32 range can exceed it.
+func ExpandBoundary(u uint32, m int) uint64 {
+	if m <= 0 {
+		return uint64(u)
+	}
+	if m >= 32 {
+		panic(fmt.Sprintf("decompose: ExpandBoundary m=%d out of range", m))
+	}
+	mask := uint64(1)<<uint(m) - 1
+	return (uint64(u) + mask) &^ mask
+}
+
+// Condense canonicalizes a z-ordered element sequence: adjacent
+// sibling pairs that are both present merge into their parent,
+// recursively, and elements contained in earlier elements are
+// dropped. The result is the minimal element sequence covering the
+// same pixels. The input must be sorted in z order.
+func Condense(elems []zorder.Element) []zorder.Element {
+	var stack []zorder.Element
+	for _, e := range elems {
+		if len(stack) > 0 && stack[len(stack)-1].Contains(e) {
+			continue // redundant: already covered
+		}
+		stack = append(stack, e)
+		// Merge completed sibling pairs bottom-up.
+		for len(stack) >= 2 {
+			a, b := stack[len(stack)-2], stack[len(stack)-1]
+			if a.Len == b.Len && a.Len > 0 && a.Parent() == b.Parent() && a.Bit(int(a.Len)-1) == 0 && b.Bit(int(b.Len)-1) == 1 {
+				stack = stack[:len(stack)-2]
+				stack = append(stack, a.Parent())
+				continue
+			}
+			break
+		}
+	}
+	return stack
+}
+
+// PixelCount sums the pixels covered by a sequence of disjoint
+// elements on grid g.
+func PixelCount(g zorder.Grid, elems []zorder.Element) uint64 {
+	var n uint64
+	for _, e := range elems {
+		n += e.PixelCount(g)
+	}
+	return n
+}

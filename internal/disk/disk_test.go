@@ -1,0 +1,375 @@
+package disk
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestMemStoreBasics(t *testing.T) {
+	s := MustMemStore(128)
+	if s.PageSize() != 128 {
+		t.Fatalf("PageSize = %d", s.PageSize())
+	}
+	id, err := s.Allocate()
+	if err != nil || id == InvalidPage {
+		t.Fatalf("Allocate: %v, id=%d", err, id)
+	}
+	buf := make([]byte, 128)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	if err := s.Write(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 128)
+	if err := s.Read(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, buf) {
+		t.Errorf("read-back mismatch")
+	}
+	if s.NumPages() != 1 {
+		t.Errorf("NumPages = %d", s.NumPages())
+	}
+	st := s.Stats()
+	if st.Allocs != 1 || st.Reads != 1 || st.Writes != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	s.ResetStats()
+	if s.Stats() != (IOStats{}) {
+		t.Errorf("ResetStats failed")
+	}
+}
+
+func TestMemStoreErrors(t *testing.T) {
+	if _, err := NewMemStore(32); err == nil {
+		t.Errorf("tiny page size accepted")
+	}
+	s := MustMemStore(64)
+	buf := make([]byte, 64)
+	if err := s.Read(7, buf); err == nil {
+		t.Errorf("read of unallocated page succeeded")
+	}
+	if err := s.Write(7, buf); err == nil {
+		t.Errorf("write of unallocated page succeeded")
+	}
+	if err := s.Free(7); err == nil {
+		t.Errorf("free of unallocated page succeeded")
+	}
+	id, _ := s.Allocate()
+	if err := s.Read(id, make([]byte, 63)); err == nil {
+		t.Errorf("short read buffer accepted")
+	}
+	if err := s.Write(id, make([]byte, 65)); err == nil {
+		t.Errorf("long write buffer accepted")
+	}
+}
+
+func TestMemStoreFreeReuse(t *testing.T) {
+	s := MustMemStore(64)
+	a, _ := s.Allocate()
+	if err := s.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := s.Allocate()
+	if b != a {
+		t.Errorf("freed page not reused: %d then %d", a, b)
+	}
+	// A freed-then-reallocated page is zeroed.
+	buf := make([]byte, 64)
+	buf[0] = 0xff
+	s.Write(b, buf)
+	s.Free(b)
+	c, _ := s.Allocate()
+	got := make([]byte, 64)
+	s.Read(c, got)
+	if got[0] != 0 {
+		t.Errorf("reallocated page not zeroed")
+	}
+}
+
+func TestPoolHitMiss(t *testing.T) {
+	s := MustMemStore(64)
+	p := MustPool(s, 2, LRU)
+	id, _ := s.Allocate()
+
+	f, err := p.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(id, false)
+	if st := p.Stats(); st.Misses != 1 || st.Hits != 0 {
+		t.Errorf("first get: %+v", st)
+	}
+	f2, _ := p.Get(id)
+	if f2 != f {
+		t.Errorf("second get returned a different frame")
+	}
+	p.Unpin(id, false)
+	if st := p.Stats(); st.Hits != 1 || st.Gets != 2 {
+		t.Errorf("after second get: %+v", st)
+	}
+	if p.Stats().HitRate() != 0.5 {
+		t.Errorf("HitRate = %v", p.Stats().HitRate())
+	}
+}
+
+func TestPoolWriteBack(t *testing.T) {
+	s := MustMemStore(64)
+	p := MustPool(s, 1, LRU)
+	f, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := f.ID
+	f.Data[0] = 42
+	f.SetDirty()
+	p.Unpin(id, true)
+
+	// Force eviction by pulling in another page.
+	id2, _ := s.Allocate()
+	if _, err := p.Get(id2); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(id2, false)
+
+	buf := make([]byte, 64)
+	if err := s.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 42 {
+		t.Errorf("dirty page not written back on eviction")
+	}
+	if p.Stats().WriteBacks != 1 || p.Stats().Evictions != 1 {
+		t.Errorf("stats = %+v", p.Stats())
+	}
+}
+
+func TestPoolPinnedPagesNotEvicted(t *testing.T) {
+	s := MustMemStore(64)
+	p := MustPool(s, 1, LRU)
+	f, _ := p.NewPage()
+	_ = f
+	// The only frame is pinned; a second page cannot be admitted.
+	if _, err := p.NewPage(); err == nil {
+		t.Errorf("admission with all frames pinned should fail")
+	}
+	p.Unpin(f.ID, true)
+	if _, err := p.NewPage(); err != nil {
+		t.Errorf("admission after unpin failed: %v", err)
+	}
+}
+
+func TestPoolLRUOrder(t *testing.T) {
+	s := MustMemStore(64)
+	ids := make([]PageID, 3)
+	for i := range ids {
+		ids[i], _ = s.Allocate()
+	}
+	p := MustPool(s, 2, LRU)
+	get := func(id PageID) {
+		if _, err := p.Get(id); err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(id, false)
+	}
+	get(ids[0])
+	get(ids[1])
+	get(ids[0]) // touch 0 so 1 is LRU
+	get(ids[2]) // evicts 1
+	s.ResetStats()
+	get(ids[0])
+	if s.Stats().Reads != 0 {
+		t.Errorf("page 0 should still be resident under LRU")
+	}
+	get(ids[1])
+	if s.Stats().Reads != 1 {
+		t.Errorf("page 1 should have been evicted under LRU")
+	}
+}
+
+func TestPoolFIFOOrder(t *testing.T) {
+	s := MustMemStore(64)
+	ids := make([]PageID, 3)
+	for i := range ids {
+		ids[i], _ = s.Allocate()
+	}
+	p := MustPool(s, 2, FIFO)
+	get := func(id PageID) {
+		if _, err := p.Get(id); err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(id, false)
+	}
+	get(ids[0])
+	get(ids[1])
+	get(ids[0]) // FIFO ignores the touch
+	get(ids[2]) // evicts 0 (oldest)
+	s.ResetStats()
+	get(ids[1])
+	if s.Stats().Reads != 0 {
+		t.Errorf("page 1 should be resident under FIFO")
+	}
+	get(ids[0])
+	if s.Stats().Reads != 1 {
+		t.Errorf("page 0 should have been evicted under FIFO")
+	}
+}
+
+func TestPoolRandomEviction(t *testing.T) {
+	s := MustMemStore(64)
+	p := MustPool(s, 4, Random)
+	var ids []PageID
+	for i := 0; i < 32; i++ {
+		f, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, f.ID)
+		p.Unpin(f.ID, true)
+	}
+	// All pages must remain readable regardless of eviction choices.
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		id := ids[rng.Intn(len(ids))]
+		f, err := p.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.ID != id {
+			t.Fatalf("got frame %d for page %d", f.ID, id)
+		}
+		p.Unpin(id, false)
+	}
+	if p.Resident() > 4 {
+		t.Errorf("resident %d exceeds capacity", p.Resident())
+	}
+}
+
+func TestPoolFlushAndInvalidate(t *testing.T) {
+	s := MustMemStore(64)
+	p := MustPool(s, 4, LRU)
+	f, _ := p.NewPage()
+	f.Data[0] = 7
+	p.Unpin(f.ID, true)
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	s.Read(f.ID, buf)
+	if buf[0] != 7 {
+		t.Errorf("Flush did not persist dirty page")
+	}
+	if err := p.Invalidate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Resident() != 0 {
+		t.Errorf("Invalidate left %d resident frames", p.Resident())
+	}
+	s.ResetStats()
+	if _, err := p.Get(f.ID); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Reads != 1 {
+		t.Errorf("post-invalidate access should be cold")
+	}
+	p.Unpin(f.ID, false)
+}
+
+func TestPoolInvalidateWithPinnedPage(t *testing.T) {
+	s := MustMemStore(64)
+	p := MustPool(s, 2, LRU)
+	f, _ := p.NewPage()
+	if err := p.Invalidate(); err == nil {
+		t.Errorf("Invalidate with pinned page should fail")
+	}
+	p.Unpin(f.ID, false)
+}
+
+func TestPoolDrop(t *testing.T) {
+	s := MustMemStore(64)
+	p := MustPool(s, 2, LRU)
+	f, _ := p.NewPage()
+	id := f.ID
+	if err := p.Drop(id); err == nil {
+		t.Errorf("Drop of pinned page should fail")
+	}
+	p.Unpin(id, false)
+	if err := p.Drop(id); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPages() != 0 {
+		t.Errorf("Drop did not free the page")
+	}
+	if _, err := p.Get(id); err == nil {
+		t.Errorf("Get of dropped page should fail")
+	}
+}
+
+func TestPoolUnpinErrors(t *testing.T) {
+	s := MustMemStore(64)
+	p := MustPool(s, 2, LRU)
+	if err := p.Unpin(99, false); err == nil {
+		t.Errorf("unpin of non-resident page should fail")
+	}
+	f, _ := p.NewPage()
+	p.Unpin(f.ID, false)
+	if err := p.Unpin(f.ID, false); err == nil {
+		t.Errorf("double unpin should fail")
+	}
+}
+
+func TestPoolValidation(t *testing.T) {
+	s := MustMemStore(64)
+	if _, err := NewPool(s, 0, LRU); err == nil {
+		t.Errorf("zero-capacity pool accepted")
+	}
+	if LRU.String() != "lru" || FIFO.String() != "fifo" || Random.String() != "random" {
+		t.Errorf("policy strings wrong")
+	}
+	if Policy(9).String() == "" {
+		t.Errorf("unknown policy should render")
+	}
+}
+
+// TestPoolScanWorkload reproduces the Section 4 argument: a merge
+// touches each page once, so even a tiny LRU pool serves a scan with
+// exactly one read per page and no re-reads.
+func TestPoolScanWorkload(t *testing.T) {
+	s := MustMemStore(64)
+	var ids []PageID
+	for i := 0; i < 100; i++ {
+		id, _ := s.Allocate()
+		ids = append(ids, id)
+	}
+	p := MustPool(s, 3, LRU)
+	s.ResetStats()
+	for _, id := range ids {
+		// Each page accessed twice in a row (as a merge re-examines
+		// the current page) and then never again.
+		for j := 0; j < 2; j++ {
+			if _, err := p.Get(id); err != nil {
+				t.Fatal(err)
+			}
+			p.Unpin(id, false)
+		}
+	}
+	if got := s.Stats().Reads; got != 100 {
+		t.Errorf("scan read %d pages physically, want 100", got)
+	}
+	if p.Stats().Hits != 100 {
+		t.Errorf("hits = %d, want 100", p.Stats().Hits)
+	}
+}
+
+func TestSimulatedTime(t *testing.T) {
+	s := IOStats{Reads: 10, Writes: 5, Allocs: 100}
+	if got := s.SimulatedTime(EraDiskAccess); got != 450*time.Millisecond {
+		t.Errorf("SimulatedTime = %v, want 450ms", got)
+	}
+	if (IOStats{}).SimulatedTime(EraDiskAccess) != 0 {
+		t.Errorf("empty stats should cost nothing")
+	}
+}

@@ -1,0 +1,274 @@
+package disk
+
+import (
+	"container/list"
+	"fmt"
+	"math/rand"
+)
+
+// Policy selects the buffer pool's eviction strategy. LRU is the
+// paper's choice (Section 4); FIFO and Random exist for the ablation
+// benchmark that validates that choice.
+type Policy int
+
+const (
+	// LRU evicts the least recently used unpinned page.
+	LRU Policy = iota
+	// FIFO evicts the oldest resident unpinned page.
+	FIFO
+	// Random evicts a uniformly random unpinned page.
+	Random
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	case Random:
+		return "random"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// PoolStats counts logical accesses through a buffer pool.
+type PoolStats struct {
+	Gets       uint64 // logical page requests
+	Hits       uint64 // requests served from the pool
+	Misses     uint64 // requests requiring a physical read
+	Evictions  uint64
+	WriteBacks uint64 // dirty pages written on eviction or flush
+}
+
+// HitRate returns Hits/Gets, or 0 for an unused pool.
+func (s PoolStats) HitRate() float64 {
+	if s.Gets == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Gets)
+}
+
+// Frame is a pinned page resident in a buffer pool. Data is the
+// page's contents; mutate it in place and call SetDirty, then Unpin.
+type Frame struct {
+	ID    PageID
+	Data  []byte
+	pins  int
+	dirty bool
+	elem  *list.Element
+}
+
+// SetDirty marks the frame's contents as modified so eviction and
+// Flush write them back.
+func (f *Frame) SetDirty() { f.dirty = true }
+
+// Pool is a fixed-capacity page cache over a Store. It is not safe
+// for concurrent use; the database layers above it are single-threaded
+// per operation, like the systems the paper targets.
+type Pool struct {
+	store    Store
+	capacity int
+	policy   Policy
+	frames   map[PageID]*Frame
+	order    *list.List // LRU/FIFO order: front = next eviction victim
+	rng      *rand.Rand
+	stats    PoolStats
+}
+
+// NewPool creates a buffer pool holding up to capacity pages.
+func NewPool(store Store, capacity int, policy Policy) (*Pool, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("disk: pool capacity %d < 1", capacity)
+	}
+	return &Pool{
+		store:    store,
+		capacity: capacity,
+		policy:   policy,
+		frames:   make(map[PageID]*Frame, capacity),
+		order:    list.New(),
+		rng:      rand.New(rand.NewSource(0x5eed)),
+	}, nil
+}
+
+// MustPool is NewPool panicking on error.
+func MustPool(store Store, capacity int, policy Policy) *Pool {
+	p, err := NewPool(store, capacity, policy)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Store returns the underlying store.
+func (p *Pool) Store() Store { return p.store }
+
+// Capacity returns the pool's frame capacity.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Stats returns the pool's access counters.
+func (p *Pool) Stats() PoolStats { return p.stats }
+
+// ResetStats zeroes the pool's access counters.
+func (p *Pool) ResetStats() { p.stats = PoolStats{} }
+
+// Get pins the page in the pool, reading it from the store on a miss,
+// and returns its frame. Callers must Unpin the frame when done.
+func (p *Pool) Get(id PageID) (*Frame, error) {
+	p.stats.Gets++
+	if f, ok := p.frames[id]; ok {
+		p.stats.Hits++
+		f.pins++
+		if p.policy == LRU {
+			p.order.MoveToBack(f.elem)
+		}
+		return f, nil
+	}
+	p.stats.Misses++
+	f, err := p.admit(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.store.Read(id, f.Data); err != nil {
+		p.discard(f)
+		return nil, err
+	}
+	return f, nil
+}
+
+// NewPage allocates a fresh page in the store and pins an empty frame
+// for it. Callers must Unpin the frame when done; the frame starts
+// dirty so its (initially zero) contents reach the store.
+func (p *Pool) NewPage() (*Frame, error) {
+	id, err := p.store.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	f, err := p.admit(id)
+	if err != nil {
+		return nil, err
+	}
+	f.dirty = true
+	return f, nil
+}
+
+// admit makes room if needed and installs a pinned frame for id.
+func (p *Pool) admit(id PageID) (*Frame, error) {
+	for len(p.frames) >= p.capacity {
+		if err := p.evictOne(); err != nil {
+			return nil, err
+		}
+	}
+	f := &Frame{ID: id, Data: make([]byte, p.store.PageSize()), pins: 1}
+	f.elem = p.order.PushBack(f)
+	p.frames[id] = f
+	return f, nil
+}
+
+func (p *Pool) discard(f *Frame) {
+	p.order.Remove(f.elem)
+	delete(p.frames, f.ID)
+}
+
+// evictOne removes one unpinned frame according to the policy.
+func (p *Pool) evictOne() error {
+	var victim *Frame
+	switch p.policy {
+	case LRU, FIFO:
+		for e := p.order.Front(); e != nil; e = e.Next() {
+			f := e.Value.(*Frame)
+			if f.pins == 0 {
+				victim = f
+				break
+			}
+		}
+	case Random:
+		var candidates []*Frame
+		for e := p.order.Front(); e != nil; e = e.Next() {
+			if f := e.Value.(*Frame); f.pins == 0 {
+				candidates = append(candidates, f)
+			}
+		}
+		if len(candidates) > 0 {
+			victim = candidates[p.rng.Intn(len(candidates))]
+		}
+	}
+	if victim == nil {
+		return fmt.Errorf("disk: all %d frames pinned; cannot evict", len(p.frames))
+	}
+	if victim.dirty {
+		if err := p.store.Write(victim.ID, victim.Data); err != nil {
+			return err
+		}
+		p.stats.WriteBacks++
+	}
+	p.discard(victim)
+	p.stats.Evictions++
+	return nil
+}
+
+// Unpin releases one pin on the page. dirty marks the contents
+// modified.
+func (p *Pool) Unpin(id PageID, dirty bool) error {
+	f, ok := p.frames[id]
+	if !ok {
+		return fmt.Errorf("disk: unpin of non-resident page %d", id)
+	}
+	if f.pins <= 0 {
+		return fmt.Errorf("disk: unpin of unpinned page %d", id)
+	}
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
+	return nil
+}
+
+// Flush writes all dirty frames back to the store without evicting
+// them.
+func (p *Pool) Flush() error {
+	for e := p.order.Front(); e != nil; e = e.Next() {
+		f := e.Value.(*Frame)
+		if f.dirty {
+			if err := p.store.Write(f.ID, f.Data); err != nil {
+				return err
+			}
+			f.dirty = false
+			p.stats.WriteBacks++
+		}
+	}
+	return nil
+}
+
+// Drop removes the page from the pool (writing it back if dirty) and
+// frees it in the store. The page must be unpinned.
+func (p *Pool) Drop(id PageID) error {
+	if f, ok := p.frames[id]; ok {
+		if f.pins > 0 {
+			return fmt.Errorf("disk: drop of pinned page %d", id)
+		}
+		p.discard(f)
+	}
+	return p.store.Free(id)
+}
+
+// Resident returns the number of frames currently in the pool.
+func (p *Pool) Resident() int { return len(p.frames) }
+
+// Invalidate empties the pool after flushing dirty pages, so the next
+// accesses are cold. The experiment harness uses this between queries
+// to make page-access counts reproducible.
+func (p *Pool) Invalidate() error {
+	if err := p.Flush(); err != nil {
+		return err
+	}
+	for _, f := range p.frames {
+		if f.pins > 0 {
+			return fmt.Errorf("disk: invalidate with pinned page %d", f.ID)
+		}
+	}
+	p.frames = make(map[PageID]*Frame, p.capacity)
+	p.order.Init()
+	return nil
+}

@@ -1,0 +1,339 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"probe/internal/analysis"
+	"probe/internal/workload"
+)
+
+// smallConfig shrinks the paper configuration so the full test suite
+// stays fast; the full-size run lives in the benchmarks.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.N = 1500
+	cfg.GridBits = 8
+	cfg.Locations = 3
+	return cfg
+}
+
+func smallSpecs() []workload.QuerySpec {
+	return []workload.QuerySpec{
+		{Volume: 0.01, Aspect: 16},
+		{Volume: 0.01, Aspect: 1},
+		{Volume: 0.09, Aspect: 16},
+		{Volume: 0.09, Aspect: 1},
+		{Volume: 0.09, Aspect: 0.5},
+	}
+}
+
+func TestBuildInstances(t *testing.T) {
+	cfg := smallConfig()
+	for _, ds := range []Dataset{U, C, D} {
+		in, err := Build(cfg, ds)
+		if err != nil {
+			t.Fatalf("%v: %v", ds, err)
+		}
+		if in.Index.Len() != cfg.N {
+			t.Errorf("%v: indexed %d points, want %d", ds, in.Index.Len(), cfg.N)
+		}
+		if in.Index.Tree().LeafPages() < cfg.N/cfg.LeafCapacity {
+			t.Errorf("%v: too few leaf pages", ds)
+		}
+		if ds.String() == "" {
+			t.Errorf("dataset string empty")
+		}
+	}
+	if Dataset(9).String() == "" {
+		t.Errorf("unknown dataset string empty")
+	}
+}
+
+func TestRunSweepProducesSaneRows(t *testing.T) {
+	in, err := Build(smallConfig(), U)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := in.RunSweep(smallSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(smallSpecs()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.AvgPages <= 0 || r.MaxPages <= 0 {
+			t.Errorf("row %v has no page accesses", r.Spec)
+		}
+		if float64(r.MaxPages) < r.AvgPages {
+			t.Errorf("max < avg in %v", r.Spec)
+		}
+		if r.PredictedPages <= 0 {
+			t.Errorf("no prediction for %v", r.Spec)
+		}
+		if r.AvgEfficiency < 0 || r.AvgEfficiency > 1 {
+			t.Errorf("efficiency %v out of range", r.AvgEfficiency)
+		}
+	}
+	out := FormatRows("test", rows)
+	if !strings.Contains(out, "efficiency") || len(strings.Split(out, "\n")) < len(rows)+2 {
+		t.Errorf("FormatRows output malformed:\n%s", out)
+	}
+}
+
+// TestPaperFindingsOnUniform verifies the paper's four observations
+// hold on experiment U (the one the paper says matches the analysis
+// most closely).
+func TestPaperFindingsOnUniform(t *testing.T) {
+	cfg := smallConfig()
+	cfg.N = 3000
+	in, err := Build(cfg, U)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := in.RunSweep(workload.PaperSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Summarize(rows)
+	if !f.ShapeTrend {
+		t.Errorf("shape trend (narrow costs more) not observed")
+	}
+	if f.UpperBoundFrac < 0.75 {
+		t.Errorf("prediction is an upper bound for only %.0f%% of rows", f.UpperBoundFrac*100)
+	}
+	if !f.EfficiencyGrowsWithVolume {
+		t.Errorf("efficiency did not grow with volume")
+	}
+	if f.BestAspect < 0.25 || f.BestAspect > 2 {
+		t.Errorf("best aspect %g far from the predicted square/2:1-tall band", f.BestAspect)
+	}
+}
+
+func TestLeafBoundariesAndPartition(t *testing.T) {
+	in, err := Build(smallConfig(), D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := in.LeafBoundaries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != in.Index.Tree().LeafPages() {
+		t.Fatalf("boundaries %d, leaves %d", len(bounds), in.Index.Tree().LeafPages())
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i-1] >= bounds[i] {
+			t.Fatalf("boundaries not increasing at %d", i)
+		}
+	}
+	art, err := in.RenderPartition(32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(art), "\n")
+	if len(lines) != 17 { // header + 16 rows
+		t.Fatalf("partition render has %d lines", len(lines))
+	}
+	for _, l := range lines[1:] {
+		if len(l) != 32 {
+			t.Fatalf("row width %d", len(l))
+		}
+	}
+	// On the diagonal data set the corners off the diagonal share
+	// huge pages, so the top-left corner and bottom-right corner of
+	// the render should be sparse (few distinct characters).
+	distinct := map[byte]bool{}
+	for _, l := range lines[1:] {
+		distinct[l[0]] = true
+	}
+	if len(distinct) > len(bounds) {
+		t.Errorf("renderer invented pages")
+	}
+}
+
+func TestPageOf(t *testing.T) {
+	bounds := []uint64{0, 100, 200}
+	cases := []struct {
+		z    uint64
+		want int
+	}{{0, 0}, {50, 0}, {100, 1}, {199, 1}, {200, 2}, {5000, 2}}
+	for _, c := range cases {
+		if got := pageOf(bounds, c.z); got != c.want {
+			t.Errorf("pageOf(%d) = %d, want %d", c.z, got, c.want)
+		}
+	}
+	// A z below the first boundary (possible when the first leaf's
+	// first key is nonzero) maps to page 0.
+	if pageOf([]uint64{100, 200}, 5) != 0 {
+		t.Errorf("below-first-boundary z should map to page 0")
+	}
+}
+
+func TestSpaceTable(t *testing.T) {
+	rows := SpaceTable(7, PaperSpacePairs())
+	if len(rows) != len(PaperSpacePairs()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.E != r.EDoubled {
+			t.Errorf("cyclicity violated for (%d,%d): %d vs %d", r.U, r.V, r.E, r.EDoubled)
+		}
+		if r.EExp > r.E {
+			t.Errorf("boundary expansion grew elements for (%d,%d)", r.U, r.V)
+		}
+		if r.AreaGrow < 0 {
+			t.Errorf("area shrank for (%d,%d)", r.U, r.V)
+		}
+	}
+	out := FormatSpaceTable(rows)
+	if !strings.Contains(out, "E(U,V)") {
+		t.Errorf("space table malformed")
+	}
+}
+
+func TestBitSpan(t *testing.T) {
+	cases := []struct {
+		x    uint32
+		want int
+	}{{0, 0}, {1, 1}, {2, 1}, {3, 2}, {0b100100, 4}, {0b01101101, 7}, {1 << 31, 1}}
+	for _, c := range cases {
+		if got := bitSpan(c.x); got != c.want {
+			t.Errorf("bitSpan(%b) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestRunPartialMatch(t *testing.T) {
+	in, err := Build(smallConfig(), U)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := in.RunPartialMatch([][]bool{
+		{true, false},
+		{false, true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.T != 1 || r.K != 2 {
+			t.Errorf("row dims wrong: %+v", r)
+		}
+		if r.AvgPages <= 0 || r.Predicted <= 0 {
+			t.Errorf("empty measurements: %+v", r)
+		}
+		// The partial-match prediction should be an upper bound
+		// within a small tolerance.
+		if r.AvgPages > r.Predicted*2 {
+			t.Errorf("partial match used %.1f pages, prediction %.1f", r.AvgPages, r.Predicted)
+		}
+	}
+	if !strings.Contains(FormatPartialTable(rows), "predicted") {
+		t.Errorf("partial table malformed")
+	}
+}
+
+func TestRunKdComparison(t *testing.T) {
+	in, err := Build(smallConfig(), U)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := in.RunKdComparison(smallSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.ZkdPages <= 0 || r.KdLeaves <= 0 {
+			t.Errorf("empty comparison row %+v", r)
+		}
+		// "Comparable to the kd tree": within a factor of 4 either way.
+		ratio := r.ZkdPages / r.KdLeaves
+		if ratio > 4 || ratio < 0.25 {
+			t.Errorf("structures not comparable on %v: ratio %.2f", r.Spec, ratio)
+		}
+	}
+	if !strings.Contains(FormatKdTable(rows), "zkd-pages") {
+		t.Errorf("kd table malformed")
+	}
+}
+
+func TestFullSpacePrediction(t *testing.T) {
+	in, err := Build(smallConfig(), U)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := in.fullSpacePrediction(); p != float64(in.Index.Tree().LeafPages()) {
+		t.Errorf("full-space prediction %v, want N=%d", p, in.Index.Tree().LeafPages())
+	}
+}
+
+func TestProximityTableFormatting(t *testing.T) {
+	g := smallConfig().Grid()
+	samples := analysis.MeasureProximity(g, []uint32{1, 8, 32}, 16)
+	out := FormatProximityTable(samples)
+	if !strings.Contains(out, "frac-close") || len(strings.Split(strings.TrimSpace(out), "\n")) != len(samples)+2 {
+		t.Errorf("proximity table malformed:\n%s", out)
+	}
+}
+
+// TestPagesPerBlockBound measures the Section 5.2 constant: under the
+// block model, pages per block is bounded by ~6 in 2d; the measured
+// mean should sit near that bound (boundary effects allow some slack,
+// the paper's bound is for the idealized fixed-size-page partition).
+func TestPagesPerBlockBound(t *testing.T) {
+	in, err := Build(smallConfig(), U)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := in.MeasurePagesPerBlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Blocks < 4 {
+		t.Fatalf("too few blocks: %+v", row)
+	}
+	if row.MeanPages < 1 || row.MeanPages > 2*analysis.PagesPerBlock(2)+2 {
+		t.Errorf("mean pages per block %.1f far from the 2d bound %.1f",
+			row.MeanPages, analysis.PagesPerBlock(2))
+	}
+	if float64(row.MaxPages) < row.MeanPages {
+		t.Errorf("max below mean: %+v", row)
+	}
+}
+
+// TestLowEfficiencyLowPages checks the paper's parenthetical finding:
+// rows with the worst efficiency are also cheap in pages.
+func TestLowEfficiencyLowPages(t *testing.T) {
+	cfg := smallConfig()
+	cfg.N = 3000
+	in, err := Build(cfg, U)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := in.RunSweep(workload.PaperSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Summarize(rows)
+	if f.LowEffLowPagesFrac < 0.6 {
+		t.Errorf("only %.0f%% of low-efficiency rows were cheap in pages",
+			f.LowEffLowPagesFrac*100)
+	}
+}
+
+func TestRenderPartitionRequiresSymmetric2D(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Dims = 3
+	in, err := Build(cfg, U)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.RenderPartition(8, 8); err == nil {
+		t.Errorf("3d partition render accepted")
+	}
+}

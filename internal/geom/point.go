@@ -1,0 +1,18 @@
+package geom
+
+import "fmt"
+
+// Point is an identified grid point: a tuple of the range-query
+// problem viewed as a pixel in the k-dimensional grid (Section 2).
+type Point struct {
+	ID     uint64
+	Coords []uint32
+}
+
+// Pt2 builds a 2-d point.
+func Pt2(id uint64, x, y uint32) Point {
+	return Point{ID: id, Coords: []uint32{x, y}}
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("p%d%v", p.ID, p.Coords) }

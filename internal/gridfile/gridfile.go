@@ -1,0 +1,395 @@
+// Package gridfile implements the grid file of Nievergelt,
+// Hinterberger and Sevcik [NIEV84], one of the grid-partitioning
+// multidimensional structures the paper surveys in Section 2
+// ("Grid methods construct a grid out of (k-1)-dimensional
+// partitions"). It serves as a second baseline next to the kd tree:
+// its bucket accesses are directly comparable to the zkd B+-tree's
+// data-page accesses.
+//
+// The implementation follows the classic design: per-dimension linear
+// scales partition the space into a grid of cells; a directory maps
+// every cell to a bucket; several cells may share a bucket, but each
+// bucket's cell region is always a box (the convexity invariant).
+// Splitting a full bucket either divides its cell region (when it
+// spans more than one cell) or refines a linear scale (doubling the
+// directory along that dimension).
+package gridfile
+
+import (
+	"fmt"
+	"sort"
+
+	"probe/internal/geom"
+	"probe/internal/zorder"
+)
+
+// File is a grid file over a grid's coordinate space.
+type File struct {
+	g        zorder.Grid
+	capacity int
+	// scales[d] holds the split points of dimension d, ascending:
+	// cell i of dimension d covers [scales[d][i-1], scales[d][i]),
+	// with implicit bounds 0 and 2^bits.
+	scales [][]uint32
+	// dir maps cell coordinates (row-major, dimension 0 fastest) to
+	// bucket indexes.
+	dir     []int
+	buckets []*bucket
+	size    int
+	// stats
+	bucketAccesses uint64
+}
+
+type bucket struct {
+	points []geom.Point
+	// region: inclusive cell-index bounds per dimension.
+	cellLo, cellHi []int
+}
+
+// New creates an empty grid file with the given bucket capacity.
+func New(g zorder.Grid, capacity int) (*File, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("gridfile: capacity %d < 1", capacity)
+	}
+	f := &File{
+		g:        g,
+		capacity: capacity,
+		scales:   make([][]uint32, g.Dims()),
+	}
+	b := &bucket{
+		cellLo: make([]int, g.Dims()),
+		cellHi: make([]int, g.Dims()),
+	}
+	f.buckets = []*bucket{b}
+	f.dir = []int{0}
+	return f, nil
+}
+
+// Len returns the number of stored points.
+func (f *File) Len() int { return f.size }
+
+// Buckets returns the number of buckets (data pages).
+func (f *File) Buckets() int { return len(f.buckets) }
+
+// DirectorySize returns the number of directory cells.
+func (f *File) DirectorySize() int { return len(f.dir) }
+
+// ResetStats zeroes the bucket-access counter.
+func (f *File) ResetStats() { f.bucketAccesses = 0 }
+
+// BucketAccesses returns the buckets touched since the last reset.
+func (f *File) BucketAccesses() uint64 { return f.bucketAccesses }
+
+// cells returns the directory extent of dimension d.
+func (f *File) cells(d int) int { return len(f.scales[d]) + 1 }
+
+// cellOf returns the cell index of coordinate c in dimension d.
+func (f *File) cellOf(d int, c uint32) int {
+	return sort.Search(len(f.scales[d]), func(i int) bool { return f.scales[d][i] > c })
+}
+
+// dirIndex flattens cell coordinates.
+func (f *File) dirIndex(cell []int) int {
+	idx := 0
+	stride := 1
+	for d := 0; d < f.g.Dims(); d++ {
+		idx += cell[d] * stride
+		stride *= f.cells(d)
+	}
+	return idx
+}
+
+// Insert adds a point, splitting buckets and refining scales as
+// needed.
+func (f *File) Insert(p geom.Point) error {
+	if !f.g.Valid(p.Coords) {
+		return fmt.Errorf("gridfile: point %v outside %v", p, f.g)
+	}
+	for {
+		cell := make([]int, f.g.Dims())
+		for d := range cell {
+			cell[d] = f.cellOf(d, p.Coords[d])
+		}
+		bi := f.dir[f.dirIndex(cell)]
+		b := f.buckets[bi]
+		if len(b.points) < f.capacity {
+			b.points = append(b.points, p)
+			f.size++
+			return nil
+		}
+		if err := f.split(bi); err != nil {
+			return err
+		}
+	}
+}
+
+// split divides bucket bi. If its region spans more than one cell in
+// some dimension, the region is halved and a new bucket takes one
+// half. Otherwise a linear scale is refined first.
+func (f *File) split(bi int) error {
+	b := f.buckets[bi]
+	// Find a dimension where the region spans >= 2 cells, preferring
+	// the widest span so regions stay squarish.
+	dim := -1
+	span := 1
+	for d := 0; d < f.g.Dims(); d++ {
+		s := b.cellHi[d] - b.cellLo[d] + 1
+		if s > span {
+			dim, span = d, s
+		}
+	}
+	if dim < 0 {
+		// Single cell: refine a scale through this bucket's cell,
+		// choosing the dimension with the widest coordinate interval.
+		d, mid, ok := f.chooseRefinement(b)
+		if !ok {
+			return fmt.Errorf("gridfile: bucket overflow beyond resolution (%d identical points?)", len(b.points))
+		}
+		f.refineScale(d, mid)
+		// After refinement the bucket spans 2 cells in d; fall through.
+		dim = d
+	}
+	// Halve the region along dim.
+	lo, hi := b.cellLo[dim], b.cellHi[dim]
+	mid := (lo + hi) / 2 // left keeps [lo, mid], right takes [mid+1, hi]
+	right := &bucket{
+		cellLo: append([]int(nil), b.cellLo...),
+		cellHi: append([]int(nil), b.cellHi...),
+	}
+	right.cellLo[dim] = mid + 1
+	b.cellHi[dim] = mid
+	ri := len(f.buckets)
+	f.buckets = append(f.buckets, right)
+	// Repoint directory cells in the right half.
+	f.forEachCell(right.cellLo, right.cellHi, func(idx int) {
+		f.dir[idx] = ri
+	})
+	// Redistribute points.
+	var keep []geom.Point
+	boundary := f.cellUpper(dim, mid) // first coordinate of cell mid+1
+	for _, p := range b.points {
+		if p.Coords[dim] >= boundary {
+			right.points = append(right.points, p)
+		} else {
+			keep = append(keep, p)
+		}
+	}
+	b.points = keep
+	return nil
+}
+
+// cellUpper returns the exclusive upper coordinate bound of cell i in
+// dimension d (i.e. the first coordinate of cell i+1).
+func (f *File) cellUpper(d, i int) uint32 {
+	if i >= len(f.scales[d]) {
+		return uint32(f.g.Side() - 1) // unreachable as a lower bound
+	}
+	return f.scales[d][i]
+}
+
+// chooseRefinement picks the dimension and midpoint to refine for a
+// single-cell bucket. It returns ok == false when every dimension's
+// interval has shrunk to one coordinate.
+func (f *File) chooseRefinement(b *bucket) (int, uint32, bool) {
+	bestDim, bestWidth := -1, uint64(1)
+	var bestMid uint32
+	for d := 0; d < f.g.Dims(); d++ {
+		cell := b.cellLo[d]
+		var lo, hi uint64 // [lo, hi) coordinate interval of the cell
+		if cell > 0 {
+			lo = uint64(f.scales[d][cell-1])
+		}
+		hi = f.g.Side()
+		if cell < len(f.scales[d]) {
+			hi = uint64(f.scales[d][cell])
+		}
+		width := hi - lo
+		if width > bestWidth {
+			bestDim, bestWidth = d, width
+			bestMid = uint32(lo + width/2)
+		}
+	}
+	if bestDim < 0 {
+		return 0, 0, false
+	}
+	return bestDim, bestMid, true
+}
+
+// refineScale inserts a split point into dimension d's scale and
+// rebuilds the directory with the dimension's cell count increased by
+// one. Buckets' cell regions are remapped.
+func (f *File) refineScale(d int, split uint32) {
+	pos := sort.Search(len(f.scales[d]), func(i int) bool { return f.scales[d][i] >= split })
+	oldCells := make([]int, f.g.Dims())
+	for dd := range oldCells {
+		oldCells[dd] = f.cells(dd)
+	}
+	f.scales[d] = append(f.scales[d], 0)
+	copy(f.scales[d][pos+1:], f.scales[d][pos:])
+	f.scales[d][pos] = split
+
+	// Remap bucket regions: cells at index >= pos in dimension d
+	// shift up by one; the cell that was split now spans [pos, pos+1].
+	for _, b := range f.buckets {
+		if b.cellLo[d] > pos {
+			b.cellLo[d]++
+		}
+		if b.cellHi[d] >= pos {
+			b.cellHi[d]++
+		}
+	}
+	// Rebuild the directory at the new shape.
+	newDir := make([]int, len(f.dir)/oldCells[d]*(oldCells[d]+1))
+	cell := make([]int, f.g.Dims())
+	var fill func(dd int)
+	fill = func(dd int) {
+		if dd == f.g.Dims() {
+			// Locate the bucket covering this cell via the old
+			// coordinates: dimension d index pos+1 maps back to pos.
+			for _, bi := range f.dirOrder() {
+				b := f.buckets[bi]
+				inside := true
+				for e := 0; e < f.g.Dims(); e++ {
+					if cell[e] < b.cellLo[e] || cell[e] > b.cellHi[e] {
+						inside = false
+						break
+					}
+				}
+				if inside {
+					newDir[f.dirIndexWith(cell)] = bi
+					return
+				}
+			}
+			panic("gridfile: directory cell has no bucket")
+		}
+		for c := 0; c < f.cells(dd); c++ {
+			cell[dd] = c
+			fill(dd + 1)
+		}
+	}
+	fill(0)
+	f.dir = newDir
+}
+
+// dirOrder returns bucket indexes (identity order).
+func (f *File) dirOrder() []int {
+	order := make([]int, len(f.buckets))
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// dirIndexWith flattens cell coordinates with the current shape.
+func (f *File) dirIndexWith(cell []int) int { return f.dirIndex(cell) }
+
+// forEachCell visits the directory indexes of a cell box.
+func (f *File) forEachCell(lo, hi []int, fn func(idx int)) {
+	cell := append([]int(nil), lo...)
+	var walk func(d int)
+	walk = func(d int) {
+		if d == f.g.Dims() {
+			fn(f.dirIndex(cell))
+			return
+		}
+		for c := lo[d]; c <= hi[d]; c++ {
+			cell[d] = c
+			walk(d + 1)
+		}
+	}
+	walk(0)
+}
+
+// RangeSearch returns all points inside the box and the number of
+// distinct buckets accessed.
+func (f *File) RangeSearch(box geom.Box) ([]geom.Point, int) {
+	lo := make([]int, f.g.Dims())
+	hi := make([]int, f.g.Dims())
+	for d := 0; d < f.g.Dims(); d++ {
+		lo[d] = f.cellOf(d, box.Lo[d])
+		hi[d] = f.cellOf(d, box.Hi[d])
+	}
+	seen := make(map[int]bool)
+	var out []geom.Point
+	f.forEachCell(lo, hi, func(idx int) {
+		bi := f.dir[idx]
+		if seen[bi] {
+			return
+		}
+		seen[bi] = true
+		f.bucketAccesses++
+		for _, p := range f.buckets[bi].points {
+			if box.ContainsPoint(p.Coords) {
+				out = append(out, p)
+			}
+		}
+	})
+	return out, len(seen)
+}
+
+// CheckInvariants verifies the grid file's structure: every directory
+// cell points to a bucket whose region covers it, bucket regions are
+// boxes partitioning the directory, every point lies inside its
+// bucket's coordinate region, and no bucket exceeds capacity.
+func (f *File) CheckInvariants() error {
+	counted := 0
+	cellCount := make([]int, len(f.buckets))
+	cell := make([]int, f.g.Dims())
+	var walk func(d int) error
+	walk = func(d int) error {
+		if d == f.g.Dims() {
+			bi := f.dir[f.dirIndex(cell)]
+			if bi < 0 || bi >= len(f.buckets) {
+				return fmt.Errorf("cell %v points to bad bucket %d", cell, bi)
+			}
+			b := f.buckets[bi]
+			for e := 0; e < f.g.Dims(); e++ {
+				if cell[e] < b.cellLo[e] || cell[e] > b.cellHi[e] {
+					return fmt.Errorf("cell %v outside its bucket's region", cell)
+				}
+			}
+			cellCount[bi]++
+			return nil
+		}
+		for c := 0; c < f.cells(d); c++ {
+			cell[d] = c
+			if err := walk(d + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(0); err != nil {
+		return err
+	}
+	for bi, b := range f.buckets {
+		if len(b.points) > f.capacity {
+			return fmt.Errorf("bucket %d overfull: %d > %d", bi, len(b.points), f.capacity)
+		}
+		// Region cell count must match the directory cells mapped to it.
+		region := 1
+		for d := 0; d < f.g.Dims(); d++ {
+			if b.cellLo[d] > b.cellHi[d] || b.cellHi[d] >= f.cells(d) {
+				return fmt.Errorf("bucket %d has bad region", bi)
+			}
+			region *= b.cellHi[d] - b.cellLo[d] + 1
+		}
+		if region != cellCount[bi] {
+			return fmt.Errorf("bucket %d region covers %d cells but directory maps %d", bi, region, cellCount[bi])
+		}
+		// Points must lie within the bucket's coordinate region.
+		for _, p := range b.points {
+			for d := 0; d < f.g.Dims(); d++ {
+				c := f.cellOf(d, p.Coords[d])
+				if c < b.cellLo[d] || c > b.cellHi[d] {
+					return fmt.Errorf("bucket %d holds point %v outside its region", bi, p)
+				}
+			}
+		}
+		counted += len(b.points)
+	}
+	if counted != f.size {
+		return fmt.Errorf("stored %d points, counter says %d", counted, f.size)
+	}
+	return nil
+}

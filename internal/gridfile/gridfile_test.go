@@ -1,0 +1,202 @@
+package gridfile
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"probe/internal/geom"
+	"probe/internal/workload"
+	"probe/internal/zorder"
+)
+
+func ids(pts []geom.Point) []uint64 {
+	out := make([]uint64, len(pts))
+	for i, p := range pts {
+		out[i] = p.ID
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equal(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNewValidation(t *testing.T) {
+	g := zorder.MustGrid(2, 6)
+	if _, err := New(g, 0); err == nil {
+		t.Errorf("zero capacity accepted")
+	}
+	f, err := New(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 0 || f.Buckets() != 1 || f.DirectorySize() != 1 {
+		t.Errorf("fresh file state wrong")
+	}
+	if err := f.Insert(geom.Point{ID: 1, Coords: []uint32{99, 0}}); err == nil {
+		t.Errorf("out-of-grid point accepted")
+	}
+}
+
+func TestInsertAndSearchSmall(t *testing.T) {
+	g := zorder.MustGrid(2, 6)
+	f, _ := New(g, 3)
+	pts := []geom.Point{
+		geom.Pt2(1, 5, 5), geom.Pt2(2, 50, 50), geom.Pt2(3, 10, 60),
+		geom.Pt2(4, 60, 10), geom.Pt2(5, 30, 30), geom.Pt2(6, 31, 29),
+	}
+	for _, p := range pts {
+		if err := f.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.CheckInvariants(); err != nil {
+			t.Fatalf("after insert %d: %v", p.ID, err)
+		}
+	}
+	got, buckets := f.RangeSearch(geom.Box2(0, 35, 0, 35))
+	if !equal(ids(got), []uint64{1, 5, 6}) {
+		t.Fatalf("search = %v", ids(got))
+	}
+	if buckets < 1 || buckets > f.Buckets() {
+		t.Fatalf("bucket count %d out of range", buckets)
+	}
+}
+
+// TestRandomizedAgainstBruteForce inserts the paper's workloads and
+// cross-checks range queries with a scan.
+func TestRandomizedAgainstBruteForce(t *testing.T) {
+	g := zorder.MustGrid(2, 8)
+	datasets := map[string][]geom.Point{
+		"uniform":   workload.Uniform(g, 1200, 41),
+		"clustered": workload.Clustered(g, 12, 100, 4, 42),
+		"diagonal":  workload.Diagonal(g, 1200, 2, 43),
+	}
+	rng := rand.New(rand.NewSource(44))
+	for name, pts := range datasets {
+		f, _ := New(g, 20)
+		for _, p := range pts {
+			if err := f.Insert(p); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		if f.Len() != len(pts) {
+			t.Fatalf("%s: Len = %d", name, f.Len())
+		}
+		if err := f.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for trial := 0; trial < 40; trial++ {
+			x1, x2 := uint32(rng.Intn(256)), uint32(rng.Intn(256))
+			y1, y2 := uint32(rng.Intn(256)), uint32(rng.Intn(256))
+			if x1 > x2 {
+				x1, x2 = x2, x1
+			}
+			if y1 > y2 {
+				y1, y2 = y2, y1
+			}
+			box := geom.Box2(x1, x2, y1, y2)
+			got, _ := f.RangeSearch(box)
+			var want []uint64
+			for _, p := range pts {
+				if box.ContainsPoint(p.Coords) {
+					want = append(want, p.ID)
+				}
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			if !equal(ids(got), want) {
+				t.Fatalf("%s: box %v: got %d, want %d", name, box, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestDuplicateCoordinates(t *testing.T) {
+	g := zorder.MustGrid(2, 6)
+	f, _ := New(g, 4)
+	// Up to capacity duplicates are fine.
+	for i := uint64(0); i < 4; i++ {
+		if err := f.Insert(geom.Pt2(i, 7, 7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// More identical points than a bucket holds cannot be split apart.
+	if err := f.Insert(geom.Pt2(99, 7, 7)); err == nil {
+		t.Errorf("overflow of identical points should fail")
+	}
+}
+
+func TestThreeDimensional(t *testing.T) {
+	g := zorder.MustGrid(3, 5)
+	f, _ := New(g, 8)
+	pts := workload.Uniform(g, 500, 45)
+	for _, p := range pts {
+		if err := f.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	box := geom.MustBox([]uint32{4, 4, 4}, []uint32{20, 20, 20})
+	got, _ := f.RangeSearch(box)
+	var want []uint64
+	for _, p := range pts {
+		if box.ContainsPoint(p.Coords) {
+			want = append(want, p.ID)
+		}
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if !equal(ids(got), want) {
+		t.Fatalf("3d search wrong: %d vs %d", len(got), len(want))
+	}
+}
+
+func TestBucketAccessStats(t *testing.T) {
+	g := zorder.MustGrid(2, 8)
+	f, _ := New(g, 20)
+	for _, p := range workload.Uniform(g, 1000, 46) {
+		f.Insert(p)
+	}
+	f.ResetStats()
+	_, n := f.RangeSearch(geom.Box2(0, 50, 0, 50))
+	if uint64(n) != f.BucketAccesses() {
+		t.Errorf("stats %d != distinct buckets %d", f.BucketAccesses(), n)
+	}
+	small := f.BucketAccesses()
+	f.ResetStats()
+	f.RangeSearch(geom.Box2(0, 255, 0, 255))
+	if f.BucketAccesses() <= small {
+		t.Errorf("larger query should touch more buckets")
+	}
+}
+
+// TestBucketOccupancy: grid-file splitting keeps buckets reasonably
+// full on uniform data (the structure's design goal of ~69% average
+// occupancy; we assert a loose lower bound).
+func TestBucketOccupancy(t *testing.T) {
+	g := zorder.MustGrid(2, 10)
+	f, _ := New(g, 20)
+	pts := workload.Uniform(g, 5000, 47)
+	for _, p := range pts {
+		if err := f.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	occ := float64(f.Len()) / float64(f.Buckets()*20)
+	if occ < 0.3 {
+		t.Errorf("average occupancy %.2f too low (%d buckets)", occ, f.Buckets())
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,198 @@
+// Package interfere implements interference detection for mechanical
+// CAD (Section 6): the broad phase re-expresses the localized set
+// operations of [MANT83] as a spatial join of decomposed parts, and a
+// narrow phase refines the surviving candidate pairs with exact
+// polygon intersection tests. The spatial join prunes the quadratic
+// all-pairs work down to pairs whose approximations actually overlap.
+package interfere
+
+import (
+	"fmt"
+
+	"probe/internal/core"
+	"probe/internal/decompose"
+	"probe/internal/geom"
+	"probe/internal/zorder"
+)
+
+// Part is a machine part: an identified polygon in the plane.
+type Part struct {
+	ID      uint64
+	Outline geom.Polygon
+}
+
+// Pair is an unordered pair of interfering part ids, with A < B.
+type Pair struct {
+	A, B uint64
+}
+
+// Stats describes one interference-detection run.
+type Stats struct {
+	Parts      int
+	AllPairs   int // the quadratic baseline's pair count
+	Candidates int // pairs surviving the spatial-join broad phase
+	Confirmed  int // pairs surviving exact refinement
+	Elements   int // total decomposed elements
+}
+
+// Detect finds all pairs of parts whose outlines intersect. The
+// decomposition resolution is capped at maxLen bits (0 = full
+// resolution); a coarser cap yields a faster broad phase with more
+// false candidates for the narrow phase to reject — never false
+// negatives, because the capped decomposition is an outer
+// approximation.
+func Detect(g zorder.Grid, parts []Part, maxLen int) ([]Pair, Stats, error) {
+	stats := Stats{Parts: len(parts), AllPairs: len(parts) * (len(parts) - 1) / 2}
+	ids := make(map[uint64]bool, len(parts))
+	var items []core.Item
+	for _, p := range parts {
+		if ids[p.ID] {
+			return nil, stats, fmt.Errorf("interfere: duplicate part id %d", p.ID)
+		}
+		ids[p.ID] = true
+		// Coverage semantics make the decomposition a superset of the
+		// exact outline, so the broad phase never loses a pair.
+		elems, err := decompose.Object(g, geom.PolygonCoverage{P: p.Outline}, decompose.Options{MaxLen: maxLen})
+		if err != nil {
+			return nil, stats, fmt.Errorf("interfere: part %d: %w", p.ID, err)
+		}
+		for _, e := range elems {
+			items = append(items, core.Item{Elem: e, ID: p.ID})
+		}
+	}
+	stats.Elements = len(items)
+	core.SortItems(items)
+
+	// Self spatial join; keep each unordered pair once.
+	raw, err := core.SpatialJoin(items, items)
+	if err != nil {
+		return nil, stats, err
+	}
+	seen := make(map[Pair]bool)
+	var candidates []Pair
+	for _, p := range raw {
+		if p.A == p.B {
+			continue
+		}
+		pr := Pair{A: p.A, B: p.B}
+		if pr.A > pr.B {
+			pr.A, pr.B = pr.B, pr.A
+		}
+		if !seen[pr] {
+			seen[pr] = true
+			candidates = append(candidates, pr)
+		}
+	}
+	stats.Candidates = len(candidates)
+
+	// Narrow phase: exact polygon intersection.
+	byID := make(map[uint64]geom.Polygon, len(parts))
+	for _, p := range parts {
+		byID[p.ID] = p.Outline
+	}
+	var confirmed []Pair
+	for _, pr := range candidates {
+		if PolygonsIntersect(byID[pr.A], byID[pr.B]) {
+			confirmed = append(confirmed, pr)
+		}
+	}
+	stats.Confirmed = len(confirmed)
+	sortPairs(confirmed)
+	return confirmed, stats, nil
+}
+
+func sortPairs(pairs []Pair) {
+	for i := 1; i < len(pairs); i++ {
+		for j := i; j > 0 && less(pairs[j], pairs[j-1]); j-- {
+			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+		}
+	}
+}
+
+func less(a, b Pair) bool {
+	if a.A != b.A {
+		return a.A < b.A
+	}
+	return a.B < b.B
+}
+
+// PolygonsIntersect reports whether two simple polygons share any
+// point (boundaries touching counts).
+func PolygonsIntersect(p, q geom.Polygon) bool {
+	for i := range p.V {
+		a1 := p.V[i]
+		a2 := p.V[(i+1)%len(p.V)]
+		for j := range q.V {
+			if segmentsIntersect(a1, a2, q.V[j], q.V[(j+1)%len(q.V)]) {
+				return true
+			}
+		}
+	}
+	// No edge crossings: one polygon may still contain the other.
+	if p.ContainsPoint(q.V[0].X, q.V[0].Y) {
+		return true
+	}
+	if q.ContainsPoint(p.V[0].X, p.V[0].Y) {
+		return true
+	}
+	return false
+}
+
+// segmentsIntersect reports whether closed segments ab and cd share a
+// point.
+func segmentsIntersect(a, b, c, d geom.Vertex) bool {
+	d1 := cross(c, d, a)
+	d2 := cross(c, d, b)
+	d3 := cross(a, b, c)
+	d4 := cross(a, b, d)
+	if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+		return true
+	}
+	return (d1 == 0 && onSeg(c, d, a)) ||
+		(d2 == 0 && onSeg(c, d, b)) ||
+		(d3 == 0 && onSeg(a, b, c)) ||
+		(d4 == 0 && onSeg(a, b, d))
+}
+
+func cross(a, b, p geom.Vertex) float64 {
+	return (b.X-a.X)*(p.Y-a.Y) - (b.Y-a.Y)*(p.X-a.X)
+}
+
+func onSeg(a, b, p geom.Vertex) bool {
+	return min(a.X, b.X) <= p.X && p.X <= max(a.X, b.X) &&
+		min(a.Y, b.Y) <= p.Y && p.Y <= max(a.Y, b.Y)
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// DetectAllPairs is the quadratic baseline: exact intersection tests
+// on every pair, no spatial pruning.
+func DetectAllPairs(parts []Part) []Pair {
+	var out []Pair
+	for i := 0; i < len(parts); i++ {
+		for j := i + 1; j < len(parts); j++ {
+			if PolygonsIntersect(parts[i].Outline, parts[j].Outline) {
+				pr := Pair{A: parts[i].ID, B: parts[j].ID}
+				if pr.A > pr.B {
+					pr.A, pr.B = pr.B, pr.A
+				}
+				out = append(out, pr)
+			}
+		}
+	}
+	sortPairs(out)
+	return out
+}

@@ -1,0 +1,204 @@
+package interfere
+
+import (
+	"math/rand"
+	"testing"
+
+	"probe/internal/geom"
+	"probe/internal/zorder"
+)
+
+func square(cx, cy, half float64) geom.Polygon {
+	return geom.MustPolygon(
+		geom.Vertex{X: cx - half, Y: cy - half},
+		geom.Vertex{X: cx + half, Y: cy - half},
+		geom.Vertex{X: cx + half, Y: cy + half},
+		geom.Vertex{X: cx - half, Y: cy + half},
+	)
+}
+
+func triangle(cx, cy, r float64) geom.Polygon {
+	return geom.MustPolygon(
+		geom.Vertex{X: cx, Y: cy + r},
+		geom.Vertex{X: cx - r, Y: cy - r},
+		geom.Vertex{X: cx + r, Y: cy - r},
+	)
+}
+
+func TestSegmentsIntersect(t *testing.T) {
+	v := func(x, y float64) geom.Vertex { return geom.Vertex{X: x, Y: y} }
+	cases := []struct {
+		a, b, c, d geom.Vertex
+		want       bool
+	}{
+		{v(0, 0), v(4, 4), v(0, 4), v(4, 0), true},  // crossing
+		{v(0, 0), v(1, 1), v(2, 2), v(3, 3), false}, // collinear apart
+		{v(0, 0), v(2, 2), v(1, 1), v(3, 3), true},  // collinear overlap
+		{v(0, 0), v(2, 0), v(2, 0), v(4, 0), true},  // touching endpoints
+		{v(0, 0), v(2, 0), v(1, 1), v(1, 2), false}, // above
+		{v(0, 0), v(2, 0), v(1, 0), v(1, 2), true},  // T contact
+	}
+	for i, c := range cases {
+		if got := segmentsIntersect(c.a, c.b, c.c, c.d); got != c.want {
+			t.Errorf("case %d: got %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestPolygonsIntersect(t *testing.T) {
+	a := square(10, 10, 4)
+	cases := []struct {
+		q    geom.Polygon
+		want bool
+	}{
+		{square(12, 12, 4), true},  // overlapping
+		{square(30, 30, 4), false}, // far away
+		{square(10, 10, 1), true},  // contained
+		{square(18, 10, 4), true},  // edge contact at x=14
+		{square(40, 10, 2), false},
+		{triangle(10, 10, 20), true}, // contains a
+	}
+	for i, c := range cases {
+		if got := PolygonsIntersect(a, c.q); got != c.want {
+			t.Errorf("case %d: got %v, want %v", i, got, c.want)
+		}
+		if got := PolygonsIntersect(c.q, a); got != c.want {
+			t.Errorf("case %d reversed: got %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestDetectSimpleScene(t *testing.T) {
+	g := zorder.MustGrid(2, 7)
+	parts := []Part{
+		{ID: 1, Outline: square(20, 20, 8)},
+		{ID: 2, Outline: square(30, 20, 8)},   // overlaps 1
+		{ID: 3, Outline: square(90, 90, 8)},   // isolated
+		{ID: 4, Outline: triangle(25, 25, 5)}, // overlaps 1 and 2
+	}
+	pairs, stats, err := Detect(g, parts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Pair{{1, 2}, {1, 4}, {2, 4}}
+	if len(pairs) != len(want) {
+		t.Fatalf("pairs = %v, want %v (stats %+v)", pairs, want, stats)
+	}
+	for i := range want {
+		if pairs[i] != want[i] {
+			t.Fatalf("pairs = %v, want %v", pairs, want)
+		}
+	}
+	if stats.Candidates < stats.Confirmed {
+		t.Errorf("stats inconsistent: %+v", stats)
+	}
+	if stats.AllPairs != 6 {
+		t.Errorf("all-pairs = %d, want 6", stats.AllPairs)
+	}
+}
+
+// TestDetectMatchesAllPairsBaseline on random scenes, at full and at
+// coarse resolution.
+func TestDetectMatchesAllPairsBaseline(t *testing.T) {
+	g := zorder.MustGrid(2, 8)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		var parts []Part
+		for i := 0; i < 25; i++ {
+			cx := 20 + rng.Float64()*216
+			cy := 20 + rng.Float64()*216
+			r := 3 + rng.Float64()*12
+			var poly geom.Polygon
+			if i%2 == 0 {
+				poly = square(cx, cy, r)
+			} else {
+				poly = triangle(cx, cy, r)
+			}
+			parts = append(parts, Part{ID: uint64(i + 1), Outline: poly})
+		}
+		want := DetectAllPairs(parts)
+		for _, maxLen := range []int{0, 10} {
+			got, stats, err := Detect(g, parts, maxLen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d maxLen %d: %d pairs, want %d (stats %+v)",
+					trial, maxLen, len(got), len(want), stats)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d: pair %d = %v, want %v", trial, i, got[i], want[i])
+				}
+			}
+			if stats.Candidates > stats.AllPairs {
+				t.Errorf("broad phase produced more candidates than all-pairs: %+v", stats)
+			}
+		}
+	}
+}
+
+// TestBroadPhasePrunes: on a sparse scene the spatial join should
+// consider far fewer pairs than the quadratic baseline.
+func TestBroadPhasePrunes(t *testing.T) {
+	g := zorder.MustGrid(2, 8)
+	var parts []Part
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			parts = append(parts, Part{
+				ID:      uint64(i*8 + j + 1),
+				Outline: square(float64(i)*32+12, float64(j)*32+12, 5),
+			})
+		}
+	}
+	pairs, stats, err := Detect(g, parts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 0 {
+		t.Fatalf("grid-arranged parts should not interfere: %v", pairs)
+	}
+	if stats.Candidates*4 > stats.AllPairs {
+		t.Errorf("broad phase pruned poorly: %d candidates of %d pairs",
+			stats.Candidates, stats.AllPairs)
+	}
+}
+
+func TestCoarseDetectionNoFalseNegatives(t *testing.T) {
+	g := zorder.MustGrid(2, 8)
+	parts := []Part{
+		{ID: 1, Outline: square(100, 100, 10)},
+		{ID: 2, Outline: square(115, 100, 10)}, // overlaps by 5 units
+	}
+	for maxLen := 2; maxLen <= 16; maxLen += 2 {
+		pairs, _, err := Detect(g, parts, maxLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pairs) != 1 {
+			t.Errorf("maxLen %d: coarse detection missed the overlap", maxLen)
+		}
+	}
+}
+
+func TestDetectDuplicateID(t *testing.T) {
+	g := zorder.MustGrid(2, 6)
+	parts := []Part{
+		{ID: 1, Outline: square(10, 10, 3)},
+		{ID: 1, Outline: square(30, 30, 3)},
+	}
+	if _, _, err := Detect(g, parts, 0); err == nil {
+		t.Errorf("duplicate part id accepted")
+	}
+}
+
+func TestDetectEmptyScene(t *testing.T) {
+	g := zorder.MustGrid(2, 6)
+	pairs, stats, err := Detect(g, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 0 || stats.Parts != 0 {
+		t.Errorf("empty scene: %v %+v", pairs, stats)
+	}
+}

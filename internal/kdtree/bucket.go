@@ -1,0 +1,141 @@
+package kdtree
+
+import (
+	"fmt"
+	"sort"
+
+	"probe/internal/geom"
+)
+
+// BucketTree is a paged kd tree: internal nodes split on alternating
+// dimensions at the median, leaves ("buckets") hold up to Capacity
+// points and model disk pages. Range queries count the leaves they
+// touch; that count plays the role of the data-page accesses measured
+// for the zkd B+-tree.
+type BucketTree struct {
+	root     *bnode
+	k        int
+	capacity int
+	size     int
+	leaves   int
+}
+
+type bnode struct {
+	// Internal node fields.
+	dim         int
+	split       uint32 // left: coord <= split; right: coord > split
+	left, right *bnode
+	// Leaf field.
+	points []geom.Point
+	leaf   bool
+}
+
+// BuildBucket constructs a bucket kd tree with the given leaf
+// capacity (use the same value as the B+-tree's leaf capacity for a
+// fair page-count comparison).
+func BuildBucket(points []geom.Point, capacity int) (*BucketTree, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("kdtree: no points")
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("kdtree: bucket capacity %d < 1", capacity)
+	}
+	k := len(points[0].Coords)
+	for _, p := range points {
+		if len(p.Coords) != k {
+			return nil, fmt.Errorf("kdtree: point %d has %d dims, want %d", p.ID, len(p.Coords), k)
+		}
+	}
+	t := &BucketTree{k: k, capacity: capacity, size: len(points)}
+	pts := append([]geom.Point(nil), points...)
+	t.root = t.build(pts, 0)
+	return t, nil
+}
+
+func (t *BucketTree) build(pts []geom.Point, depth int) *bnode {
+	if len(pts) <= t.capacity {
+		t.leaves++
+		return &bnode{leaf: true, points: pts}
+	}
+	dim := depth % t.k
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].Coords[dim] != pts[j].Coords[dim] {
+			return pts[i].Coords[dim] < pts[j].Coords[dim]
+		}
+		return pts[i].ID < pts[j].ID
+	})
+	mid := len(pts) / 2
+	split := pts[mid-1].Coords[dim]
+	// Keep equal coordinates together on the left; if every point
+	// shares the split coordinate in this dimension, try the next
+	// dimensions before giving up and making an oversized leaf.
+	lt := sort.Search(len(pts), func(i int) bool { return pts[i].Coords[dim] > split })
+	if lt == len(pts) {
+		// The median value is the maximum; split below it instead.
+		maxV := pts[len(pts)-1].Coords[dim]
+		firstMax := sort.Search(len(pts), func(i int) bool { return pts[i].Coords[dim] >= maxV })
+		if firstMax == 0 {
+			// This dimension is constant; try the remaining ones.
+			for delta := 1; delta < t.k; delta++ {
+				if varies(pts, (depth+delta)%t.k) {
+					return t.build(pts, depth+delta)
+				}
+			}
+			// All points coincide; an oversized leaf is unavoidable.
+			t.leaves++
+			return &bnode{leaf: true, points: pts}
+		}
+		split = pts[firstMax-1].Coords[dim]
+		lt = firstMax
+	}
+	n := &bnode{dim: dim, split: split}
+	n.left = t.build(pts[:lt], depth+1)
+	n.right = t.build(pts[lt:], depth+1)
+	return n
+}
+
+// varies reports whether the points take more than one value in the
+// given dimension.
+func varies(pts []geom.Point, dim int) bool {
+	for _, p := range pts[1:] {
+		if p.Coords[dim] != pts[0].Coords[dim] {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of points.
+func (t *BucketTree) Len() int { return t.size }
+
+// Leaves returns the number of leaf buckets (the N of the page-access
+// analysis).
+func (t *BucketTree) Leaves() int { return t.leaves }
+
+// Capacity returns the leaf capacity.
+func (t *BucketTree) Capacity() int { return t.capacity }
+
+// RangeSearch returns all points inside the box and the number of
+// leaf buckets (data pages) accessed.
+func (t *BucketTree) RangeSearch(box geom.Box) (results []geom.Point, leafAccesses int) {
+	var walk func(n *bnode)
+	walk = func(n *bnode) {
+		if n.leaf {
+			leafAccesses++
+			for _, p := range n.points {
+				if box.ContainsPoint(p.Coords) {
+					results = append(results, p)
+				}
+			}
+			return
+		}
+		if box.Lo[n.dim] <= n.split {
+			walk(n.left)
+		}
+		if box.Hi[n.dim] > n.split {
+			walk(n.right)
+		}
+	}
+	walk(t.root)
+	return results, leafAccesses
+}

@@ -1,0 +1,94 @@
+// Package kdtree implements the kd tree of [BENT75], the practical
+// solution the paper compares against ("performance is comparable to
+// that of other practical solutions (e.g. the kd tree)", Section 2).
+//
+// Two variants are provided. Tree is the classic in-memory kd tree.
+// BucketTree is a paged variant whose leaves hold a fixed number of
+// points — its leaf accesses are directly comparable to the zkd
+// B+-tree's data-page accesses, giving the apples-to-apples numbers
+// for the Table S8 comparison.
+package kdtree
+
+import (
+	"fmt"
+	"sort"
+
+	"probe/internal/geom"
+)
+
+// Tree is an in-memory kd tree built by median splits, so it is
+// balanced.
+type Tree struct {
+	root *node
+	k    int
+	size int
+}
+
+type node struct {
+	point       geom.Point
+	dim         int
+	left, right *node
+}
+
+// Build constructs a balanced kd tree over the points. The points
+// slice is copied; all points must share the same dimensionality.
+func Build(points []geom.Point) (*Tree, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("kdtree: no points")
+	}
+	k := len(points[0].Coords)
+	for _, p := range points {
+		if len(p.Coords) != k {
+			return nil, fmt.Errorf("kdtree: point %d has %d dims, want %d", p.ID, len(p.Coords), k)
+		}
+	}
+	pts := append([]geom.Point(nil), points...)
+	t := &Tree{k: k, size: len(pts)}
+	t.root = t.build(pts, 0)
+	return t, nil
+}
+
+func (t *Tree) build(pts []geom.Point, depth int) *node {
+	if len(pts) == 0 {
+		return nil
+	}
+	dim := depth % t.k
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].Coords[dim] != pts[j].Coords[dim] {
+			return pts[i].Coords[dim] < pts[j].Coords[dim]
+		}
+		return pts[i].ID < pts[j].ID
+	})
+	mid := len(pts) / 2
+	n := &node{point: pts[mid], dim: dim}
+	n.left = t.build(pts[:mid], depth+1)
+	n.right = t.build(pts[mid+1:], depth+1)
+	return n
+}
+
+// Len returns the number of points.
+func (t *Tree) Len() int { return t.size }
+
+// RangeSearch returns all points inside the box, along with the
+// number of tree nodes visited.
+func (t *Tree) RangeSearch(box geom.Box) (results []geom.Point, visited int) {
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		visited++
+		c := n.point.Coords[n.dim]
+		if box.ContainsPoint(n.point.Coords) {
+			results = append(results, n.point)
+		}
+		if box.Lo[n.dim] <= c {
+			walk(n.left)
+		}
+		if box.Hi[n.dim] >= c {
+			walk(n.right)
+		}
+	}
+	walk(t.root)
+	return results, visited
+}

@@ -1,0 +1,242 @@
+package kdtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"probe/internal/geom"
+	"probe/internal/workload"
+	"probe/internal/zorder"
+)
+
+func bruteRange(pts []geom.Point, box geom.Box) []uint64 {
+	var ids []uint64
+	for _, p := range pts {
+		if box.ContainsPoint(p.Coords) {
+			ids = append(ids, p.ID)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func sortedIDs(pts []geom.Point) []uint64 {
+	ids := make([]uint64, len(pts))
+	for i, p := range pts {
+		ids[i] = p.ID
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func equalIDs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func randBoxes(g zorder.Grid, n int, seed int64) []geom.Box {
+	rng := rand.New(rand.NewSource(seed))
+	boxes := make([]geom.Box, n)
+	for i := range boxes {
+		lo := make([]uint32, g.Dims())
+		hi := make([]uint32, g.Dims())
+		for d := range lo {
+			a := uint32(rng.Uint64() % g.Side())
+			b := uint32(rng.Uint64() % g.Side())
+			if a > b {
+				a, b = b, a
+			}
+			lo[d], hi[d] = a, b
+		}
+		boxes[i] = geom.Box{Lo: lo, Hi: hi}
+	}
+	return boxes
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Errorf("empty point set accepted")
+	}
+	bad := []geom.Point{geom.Pt2(0, 1, 2), {ID: 1, Coords: []uint32{1}}}
+	if _, err := Build(bad); err == nil {
+		t.Errorf("mixed dimensionality accepted")
+	}
+	if _, err := BuildBucket(nil, 4); err == nil {
+		t.Errorf("empty bucket tree accepted")
+	}
+	if _, err := BuildBucket(bad, 4); err == nil {
+		t.Errorf("mixed-dim bucket tree accepted")
+	}
+	pts := []geom.Point{geom.Pt2(0, 1, 2)}
+	if _, err := BuildBucket(pts, 0); err == nil {
+		t.Errorf("zero capacity accepted")
+	}
+}
+
+func TestTreeRangeSearch(t *testing.T) {
+	g := zorder.MustGrid(2, 8)
+	pts := workload.Uniform(g, 1000, 1)
+	tree, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 1000 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	for _, box := range randBoxes(g, 50, 2) {
+		got, visited := tree.RangeSearch(box)
+		want := bruteRange(pts, box)
+		if !equalIDs(sortedIDs(got), want) {
+			t.Fatalf("box %v: got %d results, want %d", box, len(got), len(want))
+		}
+		if visited <= 0 || visited > tree.Len() {
+			t.Fatalf("visited = %d out of range", visited)
+		}
+	}
+}
+
+func TestTreeRangeSearch3D(t *testing.T) {
+	g := zorder.MustGrid(3, 5)
+	pts := workload.Uniform(g, 500, 3)
+	tree, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, box := range randBoxes(g, 30, 4) {
+		got, _ := tree.RangeSearch(box)
+		if !equalIDs(sortedIDs(got), bruteRange(pts, box)) {
+			t.Fatalf("3d range search wrong for %v", box)
+		}
+	}
+}
+
+func TestTreeDuplicateCoordinates(t *testing.T) {
+	pts := []geom.Point{
+		geom.Pt2(0, 5, 5), geom.Pt2(1, 5, 5), geom.Pt2(2, 5, 5),
+		geom.Pt2(3, 2, 2), geom.Pt2(4, 7, 7),
+	}
+	tree, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := tree.RangeSearch(geom.Box2(5, 5, 5, 5))
+	if !equalIDs(sortedIDs(got), []uint64{0, 1, 2}) {
+		t.Fatalf("duplicate-coordinate search = %v", sortedIDs(got))
+	}
+}
+
+func TestBucketTreeRangeSearch(t *testing.T) {
+	g := zorder.MustGrid(2, 8)
+	for _, gen := range []struct {
+		name string
+		pts  []geom.Point
+	}{
+		{"uniform", workload.Uniform(g, 1000, 5)},
+		{"clustered", workload.Clustered(g, 20, 50, 4, 6)},
+		{"diagonal", workload.Diagonal(g, 1000, 2, 7)},
+	} {
+		tree, err := BuildBucket(gen.pts, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tree.Len() != len(gen.pts) {
+			t.Fatalf("%s: Len = %d", gen.name, tree.Len())
+		}
+		if tree.Capacity() != 20 {
+			t.Fatalf("Capacity = %d", tree.Capacity())
+		}
+		for _, box := range randBoxes(g, 40, 8) {
+			got, leaves := tree.RangeSearch(box)
+			if !equalIDs(sortedIDs(got), bruteRange(gen.pts, box)) {
+				t.Fatalf("%s: wrong result for %v", gen.name, box)
+			}
+			if leaves < 1 || leaves > tree.Leaves() {
+				t.Fatalf("%s: leaf accesses %d out of range", gen.name, leaves)
+			}
+		}
+	}
+}
+
+func TestBucketTreeLeafCount(t *testing.T) {
+	g := zorder.MustGrid(2, 10)
+	pts := workload.Uniform(g, 5000, 9)
+	tree, err := BuildBucket(pts, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Median splits keep buckets at least half full except in
+	// degenerate duplicate cases, so 5000/20=250 <= leaves <= 500.
+	if tree.Leaves() < 250 || tree.Leaves() > 520 {
+		t.Errorf("leaves = %d, outside [250,520]", tree.Leaves())
+	}
+}
+
+func TestBucketTreeAllIdenticalPoints(t *testing.T) {
+	pts := make([]geom.Point, 50)
+	for i := range pts {
+		pts[i] = geom.Pt2(uint64(i), 3, 3)
+	}
+	tree, err := BuildBucket(pts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := tree.RangeSearch(geom.Box2(3, 3, 3, 3))
+	if len(got) != 50 {
+		t.Errorf("identical points: found %d of 50", len(got))
+	}
+	if got2, _ := tree.RangeSearch(geom.Box2(0, 2, 0, 2)); len(got2) != 0 {
+		t.Errorf("identical points: spurious results %v", got2)
+	}
+}
+
+func TestBucketTreeDegenerateDimension(t *testing.T) {
+	// All x equal: splitting must fall through to y.
+	pts := make([]geom.Point, 100)
+	for i := range pts {
+		pts[i] = geom.Pt2(uint64(i), 7, uint32(i))
+	}
+	tree, err := BuildBucket(pts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := tree.RangeSearch(geom.Box2(0, 15, 10, 19))
+	if !equalIDs(sortedIDs(got), []uint64{10, 11, 12, 13, 14, 15, 16, 17, 18, 19}) {
+		t.Errorf("degenerate-dimension search wrong: %v", sortedIDs(got))
+	}
+	if tree.Leaves() < 100/8 {
+		t.Errorf("tree did not split on y: %d leaves", tree.Leaves())
+	}
+}
+
+// TestBucketLeafAccessScaling: the kd tree's page accesses grow with
+// query volume, the property the paper's analysis predicts for both
+// structures.
+func TestBucketLeafAccessScaling(t *testing.T) {
+	g := zorder.MustGrid(2, 10)
+	pts := workload.Uniform(g, 5000, 10)
+	tree, _ := BuildBucket(pts, 20)
+	avg := func(vol float64) float64 {
+		boxes, err := workload.Queries(g, workload.QuerySpec{Volume: vol, Aspect: 1}, 20, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, b := range boxes {
+			_, n := tree.RangeSearch(b)
+			total += n
+		}
+		return float64(total) / float64(len(boxes))
+	}
+	small, large := avg(0.01), avg(0.16)
+	if large <= small {
+		t.Errorf("leaf accesses should grow with volume: %.1f vs %.1f", small, large)
+	}
+}

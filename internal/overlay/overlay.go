@@ -1,0 +1,276 @@
+// Package overlay implements polygon overlay on element sequences
+// (Section 6): union, intersection and difference of decomposed
+// spatial objects computed directly by merging their z-ordered
+// element sequences, never touching individual pixels. Costs are
+// proportional to the number of elements — i.e. to object boundary
+// length — while the pixel-at-a-time grid algorithm the paper
+// contrasts with pays for object area. GridRasterize provides that
+// baseline for the Table S9 benchmark.
+package overlay
+
+import (
+	"fmt"
+
+	"probe/internal/decompose"
+	"probe/internal/zorder"
+)
+
+// checkRegion validates that a sequence is sorted and pairwise
+// disjoint: the canonical form produced by decomposition.
+func checkRegion(elems []zorder.Element) error {
+	for i := 1; i < len(elems); i++ {
+		if elems[i-1].Compare(elems[i]) >= 0 {
+			return fmt.Errorf("overlay: elements out of z order at %d", i)
+		}
+		if !elems[i-1].Disjoint(elems[i]) {
+			return fmt.Errorf("overlay: overlapping elements at %d", i)
+		}
+	}
+	return nil
+}
+
+// Intersect returns the region covered by both input regions, as a
+// sorted disjoint element sequence. Each input must be sorted and
+// disjoint (as produced by decompose). Time O(len(a)+len(b)).
+func Intersect(a, b []zorder.Element) ([]zorder.Element, error) {
+	if err := checkRegion(a); err != nil {
+		return nil, err
+	}
+	if err := checkRegion(b); err != nil {
+		return nil, err
+	}
+	var out []zorder.Element
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Contains(b[j]):
+			out = append(out, b[j])
+			j++
+		case b[j].Contains(a[i]):
+			out = append(out, a[i])
+			i++
+		case a[i].Precedes(b[j]):
+			i++
+		default:
+			j++
+		}
+	}
+	return out, nil
+}
+
+// Union returns the region covered by either input region, condensed
+// to its minimal element sequence.
+func Union(a, b []zorder.Element) ([]zorder.Element, error) {
+	if err := checkRegion(a); err != nil {
+		return nil, err
+	}
+	if err := checkRegion(b); err != nil {
+		return nil, err
+	}
+	// Merge in z order (containers sort before their contents), then
+	// drop elements covered by an earlier one; Condense merges
+	// completed sibling pairs.
+	merged := make([]zorder.Element, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		if j >= len(b) || (i < len(a) && a[i].Compare(b[j]) <= 0) {
+			merged = append(merged, a[i])
+			i++
+		} else {
+			merged = append(merged, b[j])
+			j++
+		}
+	}
+	var out []zorder.Element
+	for _, e := range merged {
+		if len(out) > 0 && out[len(out)-1].Contains(e) {
+			continue
+		}
+		out = append(out, e)
+	}
+	return decompose.Condense(out), nil
+}
+
+// Subtract returns the region covered by a but not b.
+func Subtract(a, b []zorder.Element) ([]zorder.Element, error) {
+	if err := checkRegion(a); err != nil {
+		return nil, err
+	}
+	if err := checkRegion(b); err != nil {
+		return nil, err
+	}
+	var out []zorder.Element
+	j := 0
+	for _, e := range a {
+		// Skip b elements entirely before e.
+		for j < len(b) && b[j].MaxZ(zorder.MaxBits) < e.MinZ() {
+			j++
+		}
+		// Is e inside some b element?
+		if j < len(b) && b[j].Contains(e) {
+			continue
+		}
+		// Collect the b elements contained in e (they are consecutive).
+		k := j
+		var holes []zorder.Element
+		for k < len(b) && e.Contains(b[k]) {
+			holes = append(holes, b[k])
+			k++
+		}
+		if len(holes) == 0 {
+			out = append(out, e)
+			continue
+		}
+		out = appendSubtract(out, e, holes)
+	}
+	return out, nil
+}
+
+// appendSubtract emits e minus the given holes (all strictly
+// contained in e, sorted) by splitting e recursively.
+func appendSubtract(out []zorder.Element, e zorder.Element, holes []zorder.Element) []zorder.Element {
+	if len(holes) == 0 {
+		out = append(out, e)
+		return out
+	}
+	if holes[0] == e {
+		return out // fully covered
+	}
+	c0, c1 := e.Child(0), e.Child(1)
+	split := 0
+	for split < len(holes) && c0.Contains(holes[split]) {
+		split++
+	}
+	out = appendSubtract(out, c0, holes[:split])
+	return appendSubtract(out, c1, holes[split:])
+}
+
+// XOR returns the symmetric difference of the two regions.
+func XOR(a, b []zorder.Element) ([]zorder.Element, error) {
+	ab, err := Subtract(a, b)
+	if err != nil {
+		return nil, err
+	}
+	ba, err := Subtract(b, a)
+	if err != nil {
+		return nil, err
+	}
+	return Union(ab, ba)
+}
+
+// Area returns the number of pixels of grid g covered by the region.
+func Area(g zorder.Grid, elems []zorder.Element) uint64 {
+	return decompose.PixelCount(g, elems)
+}
+
+// Covers reports whether the region covers the pixel with the given
+// full-resolution z key, by binary search. The region must be sorted
+// and disjoint.
+func Covers(g zorder.Grid, elems []zorder.Element, z uint64) bool {
+	p := zorder.Element{Bits: z, Len: uint8(g.TotalBits())}
+	lo, hi := 0, len(elems)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if elems[mid].MinZ() <= z {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo > 0 && elems[lo-1].Contains(p)
+}
+
+// GridRasterize expands a region into an explicit bitmap, the
+// representation whose per-pixel costs the AG algorithms avoid. It is
+// the baseline for the overlay benchmark; it requires a 2-d grid
+// small enough to materialize.
+func GridRasterize(g zorder.Grid, elems []zorder.Element) ([]bool, error) {
+	if g.Dims() != 2 {
+		return nil, fmt.Errorf("overlay: rasterize requires a 2-d grid")
+	}
+	if g.TotalBits() > 28 {
+		return nil, fmt.Errorf("overlay: grid too large to rasterize (%d bits)", g.TotalBits())
+	}
+	side := int(g.Side())
+	bm := make([]bool, side*side)
+	for _, e := range elems {
+		lo, hi := g.Region(e)
+		for y := int(lo[1]); y <= int(hi[1]); y++ {
+			row := bm[y*side : (y+1)*side]
+			for x := int(lo[0]); x <= int(hi[0]); x++ {
+				row[x] = true
+			}
+		}
+	}
+	return bm, nil
+}
+
+// GridIntersect is the pixel-at-a-time overlay baseline: rasterize
+// both regions and AND them, returning the number of pixels in the
+// intersection. Its cost is proportional to the area of the space.
+func GridIntersect(g zorder.Grid, a, b []zorder.Element) (uint64, error) {
+	ba, err := GridRasterize(g, a)
+	if err != nil {
+		return 0, err
+	}
+	bb, err := GridRasterize(g, b)
+	if err != nil {
+		return 0, err
+	}
+	var n uint64
+	for i := range ba {
+		if ba[i] && bb[i] {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// ContainsRegion reports whether region a covers every pixel of
+// region b ("Containment implies overlap but not vice versa",
+// Section 6). Both inputs must be sorted and disjoint. Time
+// O(len(a)+len(b)).
+func ContainsRegion(a, b []zorder.Element) (bool, error) {
+	if err := checkRegion(a); err != nil {
+		return false, err
+	}
+	if err := checkRegion(b); err != nil {
+		return false, err
+	}
+	i := 0
+	for _, e := range b {
+		// Elements of a wholly before e cannot cover it.
+		for i < len(a) && a[i].MaxZ(zorder.MaxBits) < e.MinZ() {
+			i++
+		}
+		if i >= len(a) || !a[i].Contains(e) {
+			// e might still be covered by several smaller a-elements
+			// only if those tile e exactly; recurse on e's halves.
+			if !coveredBy(a[i:], e) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// coveredBy reports whether element e is fully covered by the sorted
+// disjoint elements of a (which may subdivide e).
+func coveredBy(a []zorder.Element, e zorder.Element) bool {
+	if len(a) == 0 {
+		return false
+	}
+	if a[0].Contains(e) {
+		return true
+	}
+	if int(e.Len) >= zorder.MaxBits {
+		return false
+	}
+	c0, c1 := e.Child(0), e.Child(1)
+	// Partition a's elements under e between the two halves.
+	split := 0
+	for split < len(a) && c0.MaxZ(zorder.MaxBits) >= a[split].MinZ() {
+		split++
+	}
+	return coveredBy(a[:split], c0) && coveredBy(a[split:], c1)
+}

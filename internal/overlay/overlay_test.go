@@ -1,0 +1,388 @@
+package overlay
+
+import (
+	"math/rand"
+	"testing"
+
+	"probe/internal/decompose"
+	"probe/internal/geom"
+	"probe/internal/zorder"
+)
+
+// refRegion is a brute-force pixel-set model of a region.
+func refRegion(g zorder.Grid, elems []zorder.Element) map[uint64]bool {
+	set := make(map[uint64]bool)
+	for _, e := range elems {
+		lo, hi := g.Region(e)
+		for x := lo[0]; ; x++ {
+			for y := lo[1]; ; y++ {
+				set[g.ShuffleKey([]uint32{x, y})] = true
+				if y == hi[1] {
+					break
+				}
+			}
+			if x == hi[0] {
+				break
+			}
+		}
+	}
+	return set
+}
+
+func checkMatchesRef(t *testing.T, g zorder.Grid, got []zorder.Element, want map[uint64]bool) {
+	t.Helper()
+	if err := checkRegion(got); err != nil {
+		t.Fatalf("result malformed: %v", err)
+	}
+	gotSet := refRegion(g, got)
+	if len(gotSet) != len(want) {
+		t.Fatalf("result covers %d pixels, want %d", len(gotSet), len(want))
+	}
+	for z := range want {
+		if !gotSet[z] {
+			t.Fatalf("missing pixel %x", z)
+		}
+	}
+}
+
+func randRegion(t *testing.T, g zorder.Grid, rng *rand.Rand) []zorder.Element {
+	t.Helper()
+	// Union of a few random boxes gives irregular regions.
+	var acc []zorder.Element
+	for n := 0; n < 3; n++ {
+		a := uint32(rng.Uint64() % g.Side())
+		b := uint32(rng.Uint64() % g.Side())
+		c := uint32(rng.Uint64() % g.Side())
+		d := uint32(rng.Uint64() % g.Side())
+		if a > b {
+			a, b = b, a
+		}
+		if c > d {
+			c, d = d, c
+		}
+		box := decompose.Box(g, geom.Box2(a, b, c, d))
+		var err error
+		acc, err = Union(acc, box)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return acc
+}
+
+func setOp(a, b map[uint64]bool, op string) map[uint64]bool {
+	out := make(map[uint64]bool)
+	switch op {
+	case "and":
+		for z := range a {
+			if b[z] {
+				out[z] = true
+			}
+		}
+	case "or":
+		for z := range a {
+			out[z] = true
+		}
+		for z := range b {
+			out[z] = true
+		}
+	case "sub":
+		for z := range a {
+			if !b[z] {
+				out[z] = true
+			}
+		}
+	case "xor":
+		for z := range a {
+			if !b[z] {
+				out[z] = true
+			}
+		}
+		for z := range b {
+			if !a[z] {
+				out[z] = true
+			}
+		}
+	}
+	return out
+}
+
+// TestSetOperationsAgainstPixelModel: every overlay operation matches
+// the brute-force pixel-set computation on random regions.
+func TestSetOperationsAgainstPixelModel(t *testing.T) {
+	g := zorder.MustGrid(2, 5)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		ra := randRegion(t, g, rng)
+		rb := randRegion(t, g, rng)
+		pa, pb := refRegion(g, ra), refRegion(g, rb)
+
+		got, err := Intersect(ra, rb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkMatchesRef(t, g, got, setOp(pa, pb, "and"))
+
+		got, err = Union(ra, rb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkMatchesRef(t, g, got, setOp(pa, pb, "or"))
+
+		got, err = Subtract(ra, rb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkMatchesRef(t, g, got, setOp(pa, pb, "sub"))
+
+		got, err = XOR(ra, rb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkMatchesRef(t, g, got, setOp(pa, pb, "xor"))
+	}
+}
+
+func TestIntersectDisjointRegions(t *testing.T) {
+	g := zorder.MustGrid(2, 4)
+	a := decompose.Box(g, geom.Box2(0, 3, 0, 3))
+	b := decompose.Box(g, geom.Box2(8, 11, 8, 11))
+	got, err := Intersect(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("disjoint intersection = %v", got)
+	}
+}
+
+func TestSubtractSelf(t *testing.T) {
+	g := zorder.MustGrid(2, 4)
+	a := decompose.Box(g, geom.Box2(3, 9, 2, 13))
+	got, err := Subtract(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("a - a = %v", got)
+	}
+}
+
+func TestUnionSelfIsIdentity(t *testing.T) {
+	g := zorder.MustGrid(2, 4)
+	a := decompose.Box(g, geom.Box2(3, 9, 2, 13))
+	got, err := Union(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Area(g, got) != Area(g, a) {
+		t.Errorf("a OR a has area %d, want %d", Area(g, got), Area(g, a))
+	}
+}
+
+func TestEmptyOperands(t *testing.T) {
+	g := zorder.MustGrid(2, 4)
+	a := decompose.Box(g, geom.Box2(0, 5, 0, 5))
+	if got, _ := Intersect(a, nil); len(got) != 0 {
+		t.Errorf("a AND empty = %v", got)
+	}
+	if got, _ := Union(a, nil); Area(g, got) != Area(g, a) {
+		t.Errorf("a OR empty wrong")
+	}
+	if got, _ := Subtract(nil, a); len(got) != 0 {
+		t.Errorf("empty - a = %v", got)
+	}
+	if got, _ := Subtract(a, nil); Area(g, got) != Area(g, a) {
+		t.Errorf("a - empty wrong")
+	}
+}
+
+func TestRejectsMalformedInput(t *testing.T) {
+	bad := []zorder.Element{
+		zorder.MustParseElement("01"),
+		zorder.MustParseElement("00"),
+	}
+	if _, err := Intersect(bad, nil); err == nil {
+		t.Errorf("unsorted input accepted by Intersect")
+	}
+	if _, err := Union(nil, bad); err == nil {
+		t.Errorf("unsorted input accepted by Union")
+	}
+	if _, err := Subtract(bad, nil); err == nil {
+		t.Errorf("unsorted input accepted by Subtract")
+	}
+	overlapping := []zorder.Element{
+		zorder.MustParseElement("0"),
+		zorder.MustParseElement("01"),
+	}
+	if _, err := Intersect(overlapping, nil); err == nil {
+		t.Errorf("overlapping input accepted")
+	}
+}
+
+func TestCovers(t *testing.T) {
+	g := zorder.MustGrid(2, 4)
+	box := geom.Box2(3, 9, 2, 13)
+	region := decompose.Box(g, box)
+	for x := uint32(0); x < 16; x++ {
+		for y := uint32(0); y < 16; y++ {
+			want := box.ContainsPoint([]uint32{x, y})
+			if got := Covers(g, region, g.ShuffleKey([]uint32{x, y})); got != want {
+				t.Fatalf("Covers(%d,%d) = %v, want %v", x, y, got, want)
+			}
+		}
+	}
+	if Covers(g, nil, 0) {
+		t.Errorf("empty region covers nothing")
+	}
+}
+
+func TestGridRasterizeAndIntersect(t *testing.T) {
+	g := zorder.MustGrid(2, 4)
+	a := decompose.Box(g, geom.Box2(0, 7, 0, 7))
+	b := decompose.Box(g, geom.Box2(4, 11, 4, 11))
+	n, err := GridIntersect(g, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 16 { // 4x4 overlap
+		t.Errorf("grid intersect = %d, want 16", n)
+	}
+	ag, err := Intersect(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Area(g, ag) != n {
+		t.Errorf("AG and grid algorithms disagree: %d vs %d", Area(g, ag), n)
+	}
+}
+
+func TestGridRasterizeErrors(t *testing.T) {
+	if _, err := GridRasterize(zorder.MustGrid(3, 4), nil); err == nil {
+		t.Errorf("3d rasterize accepted")
+	}
+	if _, err := GridRasterize(zorder.MustGrid(2, 16), nil); err == nil {
+		t.Errorf("huge rasterize accepted")
+	}
+}
+
+// TestElementCountTracksBoundary: the motivating property of AG
+// overlay — element counts scale with boundary, not area. Doubling
+// the resolution of the same geometric object roughly doubles its
+// element count (perimeter) rather than quadrupling it (area).
+func TestElementCountTracksBoundary(t *testing.T) {
+	counts := make(map[int]int)
+	for _, d := range []int{5, 6, 7, 8} {
+		g := zorder.MustGrid(2, d)
+		disk, _ := geom.NewDisk([]float64{float64(g.Side()) / 2, float64(g.Side()) / 2}, float64(g.Side())/3)
+		elems, err := decompose.Object(g, disk, decompose.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[d] = len(elems)
+	}
+	for d := 6; d <= 8; d++ {
+		growth := float64(counts[d]) / float64(counts[d-1])
+		if growth > 3 {
+			t.Errorf("element count grew %.1fx from d=%d to d=%d (area-like, not boundary-like)",
+				growth, d-1, d)
+		}
+	}
+}
+
+func TestContainsRegion(t *testing.T) {
+	g := zorder.MustGrid(2, 5)
+	big := decompose.Box(g, geom.Box2(2, 20, 2, 20))
+	small := decompose.Box(g, geom.Box2(5, 10, 5, 10))
+	if ok, err := ContainsRegion(big, small); err != nil || !ok {
+		t.Errorf("big should contain small: %v %v", ok, err)
+	}
+	if ok, _ := ContainsRegion(small, big); ok {
+		t.Errorf("small cannot contain big")
+	}
+	partial := decompose.Box(g, geom.Box2(15, 25, 15, 25))
+	if ok, _ := ContainsRegion(big, partial); ok {
+		t.Errorf("partial overlap is not containment")
+	}
+	// A region always contains itself and the empty region.
+	if ok, _ := ContainsRegion(big, big); !ok {
+		t.Errorf("region should contain itself")
+	}
+	if ok, _ := ContainsRegion(big, nil); !ok {
+		t.Errorf("region should contain empty region")
+	}
+	if ok, _ := ContainsRegion(nil, small); ok {
+		t.Errorf("empty region contains nothing")
+	}
+	if _, err := ContainsRegion([]zorder.Element{
+		zorder.MustParseElement("01"), zorder.MustParseElement("00"),
+	}, nil); err == nil {
+		t.Errorf("unsorted input accepted")
+	}
+}
+
+// TestContainsRegionTiledCover: containment must hold when the
+// container's elements subdivide the contained element.
+func TestContainsRegionTiledCover(t *testing.T) {
+	g := zorder.MustGrid(2, 4)
+	// a = two L-shaped unions whose union covers the quadrant 0..7 x 0..7
+	left := decompose.Box(g, geom.Box2(0, 3, 0, 7))
+	right := decompose.Box(g, geom.Box2(4, 7, 0, 7))
+	a, err := Union(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shatter a into pixels so containment requires tiling.
+	var pixels []zorder.Element
+	for _, e := range a {
+		lo, hi := g.Region(e)
+		for x := lo[0]; x <= hi[0]; x++ {
+			for y := lo[1]; y <= hi[1]; y++ {
+				pixels = append(pixels, g.Shuffle([]uint32{x, y}))
+			}
+		}
+	}
+	sortElements(pixels)
+	quadrant := decompose.Box(g, geom.Box2(0, 7, 0, 7))
+	if ok, err := ContainsRegion(pixels, quadrant); err != nil || !ok {
+		t.Errorf("pixel tiling should contain the quadrant: %v %v", ok, err)
+	}
+	// Remove one pixel: no longer contained.
+	missing := pixels[:len(pixels)-1]
+	if ok, _ := ContainsRegion(missing, quadrant); ok {
+		t.Errorf("incomplete tiling reported as containing")
+	}
+}
+
+func sortElements(elems []zorder.Element) {
+	for i := 1; i < len(elems); i++ {
+		for j := i; j > 0 && elems[j].Compare(elems[j-1]) < 0; j-- {
+			elems[j], elems[j-1] = elems[j-1], elems[j]
+		}
+	}
+}
+
+// TestContainsRegionRandom cross-checks against the pixel model.
+func TestContainsRegionRandom(t *testing.T) {
+	g := zorder.MustGrid(2, 4)
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 40; trial++ {
+		ra := randRegion(t, g, rng)
+		rb := randRegion(t, g, rng)
+		got, err := ContainsRegion(ra, rb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pa, pb := refRegion(g, ra), refRegion(g, rb)
+		want := true
+		for z := range pb {
+			if !pa[z] {
+				want = false
+				break
+			}
+		}
+		if got != want {
+			t.Fatalf("trial %d: ContainsRegion = %v, want %v", trial, got, want)
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package planner
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"probe/internal/core"
+	"probe/internal/disk"
+	"probe/internal/geom"
+	"probe/internal/workload"
+	"probe/internal/zorder"
+)
+
+func newTable(t *testing.T, g zorder.Grid, n int, seed int64) *Table {
+	t.Helper()
+	pts := workload.Uniform(g, n, seed)
+	pool := disk.MustPool(disk.MustMemStore(1024), 256, disk.LRU)
+	ix, err := core.NewIndexBulk(pool, g, core.IndexConfig{LeafCapacity: 20}, pts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Table{Name: "points", Index: ix, Heap: pts}
+}
+
+func TestPlanRangeChoosesIndexForSmallBoxes(t *testing.T) {
+	g := zorder.MustGrid(2, 10)
+	tab := newTable(t, g, 5000, 1)
+	plan, err := PlanRange(tab, geom.Box2(100, 160, 100, 160), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.Description, "index scan") {
+		t.Errorf("small box should use the index: %s", plan.Description)
+	}
+	if plan.EstimatedPages <= 0 || plan.EstimatedPages >= tab.heapPages() {
+		t.Errorf("index estimate %v should beat scan %v", plan.EstimatedPages, tab.heapPages())
+	}
+}
+
+func TestPlanRangeChoosesScanForHugeBoxes(t *testing.T) {
+	g := zorder.MustGrid(2, 10)
+	tab := newTable(t, g, 5000, 2)
+	plan, err := PlanRange(tab, geom.FullBox(g), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.Description, "seq scan") {
+		t.Errorf("whole-space query should use a scan: %s", plan.Description)
+	}
+}
+
+func TestPlansReturnIdenticalResults(t *testing.T) {
+	g := zorder.MustGrid(2, 9)
+	tab := newTable(t, g, 3000, 3)
+	boxes := []geom.Box{
+		geom.Box2(10, 60, 10, 60),
+		geom.Box2(0, 511, 0, 511),
+		geom.Box2(100, 400, 0, 511),
+	}
+	for _, box := range boxes {
+		// Force both plans and compare.
+		idxPlan, err := PlanRange(tab, box, Config{RandomAccessPenalty: 0.0001})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scanPlan := heapScanPlan(tab, box)
+		a, _, err := idxPlan.Execute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := scanPlan.Execute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("box %v: plans disagree: %d vs %d", box, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID {
+				t.Fatalf("box %v: order differs at %d", box, i)
+			}
+		}
+	}
+}
+
+func TestPlanRangeWithoutIndex(t *testing.T) {
+	g := zorder.MustGrid(2, 8)
+	tab := &Table{Name: "heap", Heap: workload.Uniform(g, 500, 4)}
+	plan, err := PlanRange(tab, geom.Box2(0, 50, 0, 50), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.Description, "seq scan") {
+		t.Errorf("index-less table must scan")
+	}
+	got, stats, err := plan.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, p := range tab.Heap {
+		if p.Coords[0] <= 50 && p.Coords[1] <= 50 {
+			want++
+		}
+	}
+	if len(got) != want || stats.Results != want {
+		t.Errorf("scan found %d, want %d", len(got), want)
+	}
+}
+
+func TestPlanRangeEmptyTable(t *testing.T) {
+	if _, err := PlanRange(&Table{Name: "empty"}, geom.Box2(0, 1, 0, 1), Config{}); err == nil {
+		t.Errorf("empty table accepted")
+	}
+}
+
+func TestPlanRegionJoinChoices(t *testing.T) {
+	g := zorder.MustGrid(2, 10)
+	tab := newTable(t, g, 5000, 5)
+
+	// Few small regions: nested loop should win.
+	small := []Region{
+		{ID: 1, Box: geom.Box2(0, 30, 0, 30)},
+		{ID: 2, Box: geom.Box2(500, 540, 500, 540)},
+	}
+	plan, err := PlanRegionJoin(tab, small, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.Description, "nested loop") {
+		t.Errorf("few small regions should use nested loop: %s", plan.Description)
+	}
+
+	// Many large regions: merge join should win.
+	var large []Region
+	for i := 0; i < 40; i++ {
+		lo := uint32(i * 20)
+		large = append(large, Region{ID: uint64(i + 1), Box: geom.Box2(lo, lo+500, 0, 800)})
+	}
+	plan, err = PlanRegionJoin(tab, large, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.Description, "merge spatial join") {
+		t.Errorf("many large regions should merge: %s", plan.Description)
+	}
+}
+
+func TestRegionJoinPlansAgree(t *testing.T) {
+	g := zorder.MustGrid(2, 8)
+	tab := newTable(t, g, 1500, 6)
+	regions := []Region{
+		{ID: 10, Box: geom.Box2(0, 100, 0, 100)},
+		{ID: 20, Box: geom.Box2(50, 200, 50, 200)},
+		{ID: 30, Box: geom.Box2(240, 255, 240, 255)},
+	}
+	nl, err := nestedLoopJoin(tab, regions, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := mergeJoin(tab, regions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl) != len(mg) {
+		t.Fatalf("join strategies disagree: %d vs %d results", len(nl), len(mg))
+	}
+	for i := range nl {
+		if nl[i].RegionID != mg[i].RegionID || nl[i].Point.ID != mg[i].Point.ID {
+			t.Fatalf("join results differ at %d: %+v vs %+v", i, nl[i], mg[i])
+		}
+	}
+	// Cross-check against brute force.
+	var brute []RegionJoinResult
+	for _, r := range regions {
+		for _, p := range tab.Heap {
+			if r.Box.ContainsPoint(p.Coords) {
+				brute = append(brute, RegionJoinResult{RegionID: r.ID, Point: p})
+			}
+		}
+	}
+	sort.Slice(brute, func(i, j int) bool {
+		if brute[i].RegionID != brute[j].RegionID {
+			return brute[i].RegionID < brute[j].RegionID
+		}
+		return brute[i].Point.ID < brute[j].Point.ID
+	})
+	if len(brute) != len(nl) {
+		t.Fatalf("brute force disagrees: %d vs %d", len(brute), len(nl))
+	}
+	for i := range brute {
+		if brute[i].RegionID != nl[i].RegionID || brute[i].Point.ID != nl[i].Point.ID {
+			t.Fatalf("brute force differs at %d", i)
+		}
+	}
+}
+
+func TestRegionJoinValidation(t *testing.T) {
+	g := zorder.MustGrid(2, 8)
+	tab := &Table{Name: "noindex", Heap: workload.Uniform(g, 10, 7)}
+	if _, err := PlanRegionJoin(tab, nil, Config{}); err == nil {
+		t.Errorf("join without index accepted")
+	}
+	indexed := newTable(t, g, 100, 8)
+	dup := []Region{{ID: 1, Box: geom.Box2(0, 1, 0, 1)}, {ID: 1, Box: geom.Box2(2, 3, 2, 3)}}
+	if _, err := mergeJoin(indexed, dup); err == nil {
+		t.Errorf("duplicate region ids accepted by merge join")
+	}
+}
+
+func TestJoinPlanExecute(t *testing.T) {
+	g := zorder.MustGrid(2, 8)
+	tab := newTable(t, g, 800, 9)
+	plan, err := PlanRegionJoin(tab, []Region{{ID: 1, Box: geom.Box2(0, 40, 0, 40)}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, p := range tab.Heap {
+		if p.Coords[0] <= 40 && p.Coords[1] <= 40 {
+			want++
+		}
+	}
+	if len(res) != want {
+		t.Errorf("join returned %d, want %d", len(res), want)
+	}
+	if plan.EstimatedPages <= 0 {
+		t.Errorf("no estimate")
+	}
+}
+
+// TestAnalyzeAdaptsToSkew: on diagonal data the uniform block model
+// badly overestimates off-diagonal queries; leaf-boundary statistics
+// fix that and keep index scans chosen.
+func TestAnalyzeAdaptsToSkew(t *testing.T) {
+	g := zorder.MustGrid(2, 10)
+	pts := workload.Diagonal(g, 5000, 3, 50)
+	pool := disk.MustPool(disk.MustMemStore(1024), 256, disk.LRU)
+	ix, err := core.NewIndexBulk(pool, g, core.IndexConfig{LeafCapacity: 20}, pts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := &Table{Name: "diag", Index: ix, Heap: pts}
+
+	// An off-diagonal box: almost no data there.
+	box := geom.Box2(700, 1000, 0, 300)
+	before, err := PlanRange(tab, box, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Analyze(tab); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Stats == nil || len(tab.Stats.Boundaries) != ix.Tree().LeafPages() {
+		t.Fatalf("analyze collected %d boundaries, want %d",
+			len(tab.Stats.Boundaries), ix.Tree().LeafPages())
+	}
+	after, err := PlanRange(tab, box, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(after.Description, "statistics") {
+		t.Fatalf("statistics not used: %s", after.Description)
+	}
+	if after.EstimatedPages >= before.EstimatedPages {
+		t.Errorf("stats estimate %.1f should beat block model %.1f on skew",
+			after.EstimatedPages, before.EstimatedPages)
+	}
+	// The statistics estimate should be close to the truth.
+	_, stats, err := ix.RangeSearch(box, core.MergeLazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.EstimatedPages < float64(stats.DataPages) {
+		t.Errorf("stats estimate %.1f below actual %d pages", after.EstimatedPages, stats.DataPages)
+	}
+	if after.EstimatedPages > 10*float64(stats.DataPages)+10 {
+		t.Errorf("stats estimate %.1f far above actual %d pages", after.EstimatedPages, stats.DataPages)
+	}
+}
+
+func TestAnalyzeRequiresIndex(t *testing.T) {
+	if err := Analyze(&Table{Name: "noidx"}); err == nil {
+		t.Errorf("analyze without index accepted")
+	}
+}
+
+// TestStatsEstimateTracksActual: across random boxes on every
+// distribution the statistics estimate (before the penalty factor)
+// tracks the true page count closely — it may fall short by a few
+// pages because a seek can land on a neighboring leaf that holds no
+// in-range keys.
+func TestStatsEstimateTracksActual(t *testing.T) {
+	g := zorder.MustGrid(2, 9)
+	for name, pts := range map[string][]geom.Point{
+		"uniform":  workload.Uniform(g, 2000, 51),
+		"diagonal": workload.Diagonal(g, 2000, 3, 52),
+	} {
+		pool := disk.MustPool(disk.MustMemStore(1024), 256, disk.LRU)
+		ix, err := core.NewIndexBulk(pool, g, core.IndexConfig{LeafCapacity: 20}, pts, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab := &Table{Name: name, Index: ix, Heap: pts}
+		if err := Analyze(tab); err != nil {
+			t.Fatal(err)
+		}
+		boxes, err := workload.Queries(g, workload.QuerySpec{Volume: 0.05, Aspect: 2}, 10, 53)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, box := range boxes {
+			est, err := estimatePagesFromStats(tab, box, tab.Stats)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, stats, err := ix.RangeSearch(box, core.MergeLazy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if est+4 < float64(stats.DataPages) {
+				t.Errorf("%s: estimate %.1f far below actual %d for %v", name, est, stats.DataPages, box)
+			}
+			if est > 3*float64(stats.DataPages)+5 {
+				t.Errorf("%s: estimate %.1f far above actual %d for %v", name, est, stats.DataPages, box)
+			}
+		}
+	}
+}

@@ -1,0 +1,262 @@
+// Package quadtree implements the pointer-based region quadtree of
+// the image-processing-and-vision literature ([SAME85a]), the
+// structure whose grid-optimizing role the paper's approximate
+// geometry subsumes (Section 2). A quadtree node covers a square
+// power-of-two region; leaves are uniformly black or white, interior
+// nodes have four children (NW/NE/SW/SE in the usual presentation;
+// here indexed by the two splitting bits).
+//
+// The package provides conversions in both directions between
+// quadtrees and z-ordered element sequences — the "linear quadtree"
+// correspondence of [GARG82]: an element sequence is exactly the
+// sorted list of a quadtree's black leaves, keyed by interleaved
+// locational codes. Set operations are implemented directly on the
+// pointer structure as the IPV baseline for the overlay comparison.
+package quadtree
+
+import (
+	"fmt"
+
+	"probe/internal/zorder"
+)
+
+// Tree is a region quadtree over a 2-d grid of side 2^d.
+type Tree struct {
+	d    int
+	root *node
+}
+
+// node is a quadtree node. A nil child pointer array marks a leaf;
+// black is meaningful only for leaves.
+type node struct {
+	black    bool
+	children *[4]*node
+}
+
+func (n *node) leaf() bool { return n.children == nil }
+
+// New creates an all-white quadtree of side 2^d (1 <= d <= 14).
+func New(d int) (*Tree, error) {
+	if d < 1 || d > 14 {
+		return nil, fmt.Errorf("quadtree: depth %d outside [1,14]", d)
+	}
+	return &Tree{d: d, root: &node{}}, nil
+}
+
+// Depth returns d (the tree covers a 2^d x 2^d grid).
+func (t *Tree) Depth() int { return t.d }
+
+// FromElements builds a quadtree from a z-ordered element sequence on
+// grid g (which must be 2-d with the same depth). This is the linear
+// quadtree decoding of [GARG82].
+func FromElements(g zorder.Grid, elems []zorder.Element) (*Tree, error) {
+	if g.Dims() != 2 {
+		return nil, fmt.Errorf("quadtree: requires a 2-d grid")
+	}
+	t, err := New(g.BitsPerDim())
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range elems {
+		if int(e.Len) > g.TotalBits() {
+			return nil, fmt.Errorf("quadtree: element %v longer than grid resolution", e)
+		}
+		if e.Len%2 != 0 {
+			// An odd-length element is half a quadrant: paint both
+			// halves' quadrant codes by extending with 0 and 1.
+			t.paint(e.Child(0))
+			t.paint(e.Child(1))
+			continue
+		}
+		t.paint(e)
+	}
+	t.root = condense(t.root)
+	return t, nil
+}
+
+// paint blackens the region named by an even-length element.
+func (t *Tree) paint(e zorder.Element) {
+	n := t.root
+	for level := 0; level < int(e.Len); level += 2 {
+		if n.leaf() && n.black {
+			return // already covered
+		}
+		if n.leaf() {
+			n.children = &[4]*node{{}, {}, {}, {}}
+		}
+		q := e.Bit(level)<<1 | e.Bit(level+1)
+		n = n.children[q]
+	}
+	n.black = true
+	n.children = nil
+}
+
+// condense merges uniform subtrees bottom-up.
+func condense(n *node) *node {
+	if n.leaf() {
+		return n
+	}
+	allBlack, allWhite := true, true
+	for i, c := range n.children {
+		c = condense(c)
+		n.children[i] = c
+		if !c.leaf() {
+			allBlack, allWhite = false, false
+		} else if c.black {
+			allWhite = false
+		} else {
+			allBlack = false
+		}
+	}
+	if allBlack {
+		return &node{black: true}
+	}
+	if allWhite {
+		return &node{}
+	}
+	return n
+}
+
+// Elements returns the tree's black region as a z-ordered element
+// sequence on grid g: the linear quadtree encoding. Quadrant codes
+// visit children in z order, so no sort is needed.
+func (t *Tree) Elements(g zorder.Grid) ([]zorder.Element, error) {
+	if g.Dims() != 2 || g.BitsPerDim() != t.d {
+		return nil, fmt.Errorf("quadtree: grid %v does not match depth %d", g, t.d)
+	}
+	var out []zorder.Element
+	var walk func(n *node, e zorder.Element)
+	walk = func(n *node, e zorder.Element) {
+		if n.leaf() {
+			if n.black {
+				out = append(out, e)
+			}
+			return
+		}
+		for q := 0; q < 4; q++ {
+			walk(n.children[q], e.Child(q>>1).Child(q&1))
+		}
+	}
+	walk(t.root, zorder.Element{})
+	return out, nil
+}
+
+// Black reports whether pixel (x, y) is black.
+func (t *Tree) Black(x, y uint32) bool {
+	if x>>uint(t.d) != 0 || y>>uint(t.d) != 0 {
+		return false
+	}
+	n := t.root
+	for bit := t.d - 1; bit >= 0; bit-- {
+		if n.leaf() {
+			return n.black
+		}
+		q := int(x>>uint(bit)&1)<<1 | int(y>>uint(bit)&1)
+		n = n.children[q]
+	}
+	return n.leaf() && n.black
+}
+
+// Nodes returns the total node count (the IPV structure's size
+// metric).
+func (t *Tree) Nodes() int {
+	var count func(n *node) int
+	count = func(n *node) int {
+		if n.leaf() {
+			return 1
+		}
+		total := 1
+		for _, c := range n.children {
+			total += count(c)
+		}
+		return total
+	}
+	return count(t.root)
+}
+
+// Area returns the number of black pixels.
+func (t *Tree) Area() uint64 {
+	var walk func(n *node, side uint64) uint64
+	walk = func(n *node, side uint64) uint64 {
+		if n.leaf() {
+			if n.black {
+				return side * side
+			}
+			return 0
+		}
+		var total uint64
+		for _, c := range n.children {
+			total += walk(c, side/2)
+		}
+		return total
+	}
+	return walk(t.root, 1<<uint(t.d))
+}
+
+// Intersect returns a AND b as a new tree (both must share depth):
+// the classic recursive quadtree set operation.
+func Intersect(a, b *Tree) (*Tree, error) {
+	if a.d != b.d {
+		return nil, fmt.Errorf("quadtree: depth mismatch %d vs %d", a.d, b.d)
+	}
+	return &Tree{d: a.d, root: condense(intersectNodes(a.root, b.root))}, nil
+}
+
+func intersectNodes(a, b *node) *node {
+	if a.leaf() {
+		if !a.black {
+			return &node{}
+		}
+		return cloneNode(b)
+	}
+	if b.leaf() {
+		if !b.black {
+			return &node{}
+		}
+		return cloneNode(a)
+	}
+	out := &node{children: &[4]*node{}}
+	for q := 0; q < 4; q++ {
+		out.children[q] = intersectNodes(a.children[q], b.children[q])
+	}
+	return out
+}
+
+// Union returns a OR b as a new tree.
+func Union(a, b *Tree) (*Tree, error) {
+	if a.d != b.d {
+		return nil, fmt.Errorf("quadtree: depth mismatch %d vs %d", a.d, b.d)
+	}
+	return &Tree{d: a.d, root: condense(unionNodes(a.root, b.root))}, nil
+}
+
+func unionNodes(a, b *node) *node {
+	if a.leaf() {
+		if a.black {
+			return &node{black: true}
+		}
+		return cloneNode(b)
+	}
+	if b.leaf() {
+		if b.black {
+			return &node{black: true}
+		}
+		return cloneNode(a)
+	}
+	out := &node{children: &[4]*node{}}
+	for q := 0; q < 4; q++ {
+		out.children[q] = unionNodes(a.children[q], b.children[q])
+	}
+	return out
+}
+
+func cloneNode(n *node) *node {
+	if n.leaf() {
+		return &node{black: n.black}
+	}
+	out := &node{children: &[4]*node{}}
+	for q := 0; q < 4; q++ {
+		out.children[q] = cloneNode(n.children[q])
+	}
+	return out
+}

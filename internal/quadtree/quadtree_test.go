@@ -1,0 +1,228 @@
+package quadtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"probe/internal/decompose"
+	"probe/internal/geom"
+	"probe/internal/overlay"
+	"probe/internal/zorder"
+)
+
+func randRegion(t *testing.T, g zorder.Grid, rng *rand.Rand) []zorder.Element {
+	t.Helper()
+	var acc []zorder.Element
+	for n := 0; n < 3; n++ {
+		a := uint32(rng.Uint64() % g.Side())
+		b := uint32(rng.Uint64() % g.Side())
+		c := uint32(rng.Uint64() % g.Side())
+		d := uint32(rng.Uint64() % g.Side())
+		if a > b {
+			a, b = b, a
+		}
+		if c > d {
+			c, d = d, c
+		}
+		box := decompose.Box(g, geom.Box2(a, b, c, d))
+		var err error
+		acc, err = overlay.Union(acc, box)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return acc
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Errorf("depth 0 accepted")
+	}
+	if _, err := New(15); err == nil {
+		t.Errorf("depth 15 accepted")
+	}
+	tr, err := New(4)
+	if err != nil || tr.Depth() != 4 {
+		t.Fatalf("New(4): %v", err)
+	}
+	if tr.Area() != 0 || tr.Nodes() != 1 {
+		t.Errorf("fresh tree not all-white")
+	}
+}
+
+// TestLinearQuadtreeRoundTrip: elements -> quadtree -> elements is
+// the identity on canonical (condensed) sequences — the [GARG82]
+// correspondence.
+func TestLinearQuadtreeRoundTrip(t *testing.T) {
+	g := zorder.MustGrid(2, 5)
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 30; trial++ {
+		region := randRegion(t, g, rng)
+		tr, err := FromElements(g, region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := tr.Elements(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The round trip canonicalizes to even-length (quadrant)
+		// elements; compare pixel sets and z order.
+		for i := 1; i < len(back); i++ {
+			if back[i-1].Compare(back[i]) >= 0 {
+				t.Fatalf("trial %d: round trip out of z order", trial)
+			}
+		}
+		if overlay.Area(g, back) != overlay.Area(g, region) {
+			t.Fatalf("trial %d: area changed %d -> %d", trial,
+				overlay.Area(g, region), overlay.Area(g, back))
+		}
+		for x := uint32(0); x < uint32(g.Side()); x++ {
+			for y := uint32(0); y < uint32(g.Side()); y++ {
+				z := g.ShuffleKey([]uint32{x, y})
+				if overlay.Covers(g, region, z) != tr.Black(x, y) {
+					t.Fatalf("trial %d: pixel (%d,%d) disagrees", trial, x, y)
+				}
+			}
+		}
+	}
+}
+
+func TestFromElementsOddLength(t *testing.T) {
+	// A 2x1 element (odd length) splits into two quadtree quadrants.
+	g := zorder.MustGrid(2, 3)
+	e := zorder.MustParseElement("001") // x 2..3, y 0..3
+	tr, err := FromElements(g, []zorder.Element{e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Area() != 8 {
+		t.Fatalf("area = %d, want 8", tr.Area())
+	}
+	for x := uint32(2); x <= 3; x++ {
+		for y := uint32(0); y <= 3; y++ {
+			if !tr.Black(x, y) {
+				t.Fatalf("(%d,%d) should be black", x, y)
+			}
+		}
+	}
+	if tr.Black(1, 0) || tr.Black(4, 0) {
+		t.Errorf("spurious black pixels")
+	}
+}
+
+func TestFromElementsValidation(t *testing.T) {
+	if _, err := FromElements(zorder.MustGrid(3, 4), nil); err == nil {
+		t.Errorf("3d grid accepted")
+	}
+	g := zorder.MustGrid(2, 3)
+	long := zorder.NewElement(0, 20)
+	if _, err := FromElements(g, []zorder.Element{long}); err == nil {
+		t.Errorf("over-long element accepted")
+	}
+	if _, err := (&Tree{d: 4, root: &node{}}).Elements(g); err == nil {
+		t.Errorf("depth mismatch accepted by Elements")
+	}
+}
+
+// TestSetOpsMatchOverlay: quadtree AND/OR equals the element-merge
+// overlay on random regions.
+func TestSetOpsMatchOverlay(t *testing.T) {
+	g := zorder.MustGrid(2, 5)
+	rng := rand.New(rand.NewSource(92))
+	for trial := 0; trial < 20; trial++ {
+		ra := randRegion(t, g, rng)
+		rb := randRegion(t, g, rng)
+		ta, err := FromElements(g, ra)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := FromElements(g, rb)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		qi, err := Intersect(ta, tb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oi, err := overlay.Intersect(ra, rb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qi.Area() != overlay.Area(g, oi) {
+			t.Fatalf("trial %d: AND area %d vs %d", trial, qi.Area(), overlay.Area(g, oi))
+		}
+
+		qu, err := Union(ta, tb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ou, err := overlay.Union(ra, rb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qu.Area() != overlay.Area(g, ou) {
+			t.Fatalf("trial %d: OR area %d vs %d", trial, qu.Area(), overlay.Area(g, ou))
+		}
+		// Spot-check pixels.
+		for probe := 0; probe < 50; probe++ {
+			x := uint32(rng.Uint64() % g.Side())
+			y := uint32(rng.Uint64() % g.Side())
+			z := g.ShuffleKey([]uint32{x, y})
+			if qi.Black(x, y) != overlay.Covers(g, oi, z) {
+				t.Fatalf("trial %d: AND pixel (%d,%d) differs", trial, x, y)
+			}
+			if qu.Black(x, y) != overlay.Covers(g, ou, z) {
+				t.Fatalf("trial %d: OR pixel (%d,%d) differs", trial, x, y)
+			}
+		}
+	}
+}
+
+func TestSetOpsDepthMismatch(t *testing.T) {
+	a, _ := New(3)
+	b, _ := New(4)
+	if _, err := Intersect(a, b); err == nil {
+		t.Errorf("depth mismatch accepted by Intersect")
+	}
+	if _, err := Union(a, b); err == nil {
+		t.Errorf("depth mismatch accepted by Union")
+	}
+}
+
+func TestBlackOutOfBounds(t *testing.T) {
+	g := zorder.MustGrid(2, 3)
+	tr, _ := FromElements(g, decompose.Box(g, geom.FullBox(g)))
+	if tr.Area() != 64 {
+		t.Fatalf("full region area %d", tr.Area())
+	}
+	if tr.Nodes() != 1 {
+		t.Errorf("full region should condense to one node, got %d", tr.Nodes())
+	}
+	if tr.Black(8, 0) || tr.Black(0, 99) {
+		t.Errorf("out-of-bounds pixels black")
+	}
+}
+
+// TestNodesTrackBoundary: like element counts, quadtree size tracks
+// object boundary, not area.
+func TestNodesTrackBoundary(t *testing.T) {
+	prev := 0
+	for d := 4; d <= 7; d++ {
+		g := zorder.MustGrid(2, d)
+		disk, _ := geom.NewDisk([]float64{float64(g.Side()) / 2, float64(g.Side()) / 2}, float64(g.Side())/3)
+		elems, err := decompose.Object(g, disk, decompose.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := FromElements(g, elems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev > 0 && tr.Nodes() > prev*3 {
+			t.Errorf("d=%d: node count grew area-like: %d from %d", d, tr.Nodes(), prev)
+		}
+		prev = tr.Nodes()
+	}
+}

@@ -1,0 +1,383 @@
+// Package rtree implements Guttman's R-tree (SIGMOD 1984) with
+// quadratic splitting — the era's other dynamic spatial index and the
+// structure that later systems standardized on. The paper's approach
+// deliberately avoids purpose-built spatial structures ("existing
+// DBMS facilities provide what is needed"); this package exists as a
+// baseline so Table S8 can put the zkd B+-tree next to both the kd
+// tree and an R-tree on identical workloads.
+//
+// The tree stores k-dimensional points; leaves hold up to M entries
+// and model disk pages, so leaf accesses compare directly with zkd
+// B+-tree data-page accesses.
+package rtree
+
+import (
+	"fmt"
+
+	"probe/internal/geom"
+)
+
+// Tree is an R-tree over points.
+type Tree struct {
+	k      int
+	maxE   int // M: max entries per node
+	minE   int // m: min entries per non-root node
+	root   *node
+	size   int
+	leaves int
+}
+
+// rect is an axis-parallel rectangle with inclusive integer bounds.
+type rect struct {
+	lo, hi []uint32
+}
+
+func pointRect(p []uint32) rect {
+	return rect{lo: append([]uint32(nil), p...), hi: append([]uint32(nil), p...)}
+}
+
+func (r rect) clone() rect {
+	return rect{lo: append([]uint32(nil), r.lo...), hi: append([]uint32(nil), r.hi...)}
+}
+
+func (r *rect) expand(o rect) {
+	for i := range r.lo {
+		if o.lo[i] < r.lo[i] {
+			r.lo[i] = o.lo[i]
+		}
+		if o.hi[i] > r.hi[i] {
+			r.hi[i] = o.hi[i]
+		}
+	}
+}
+
+// area returns the rectangle's volume in pixels (float to avoid
+// overflow in enlargement arithmetic).
+func (r rect) area() float64 {
+	a := 1.0
+	for i := range r.lo {
+		a *= float64(r.hi[i]) - float64(r.lo[i]) + 1
+	}
+	return a
+}
+
+// enlargedArea returns the area of r grown to include o.
+func (r rect) enlargedArea(o rect) float64 {
+	a := 1.0
+	for i := range r.lo {
+		lo, hi := r.lo[i], r.hi[i]
+		if o.lo[i] < lo {
+			lo = o.lo[i]
+		}
+		if o.hi[i] > hi {
+			hi = o.hi[i]
+		}
+		a *= float64(hi) - float64(lo) + 1
+	}
+	return a
+}
+
+func (r rect) intersectsBox(b geom.Box) bool {
+	for i := range r.lo {
+		if r.hi[i] < b.Lo[i] || r.lo[i] > b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (r rect) containsRect(o rect) bool {
+	for i := range r.lo {
+		if o.lo[i] < r.lo[i] || o.hi[i] > r.hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// entry is a node slot: a bounding rectangle plus either a child node
+// (internal) or a point (leaf).
+type entry struct {
+	mbr   rect
+	child *node
+	point geom.Point
+}
+
+type node struct {
+	leaf    bool
+	entries []entry
+	parent  *node
+}
+
+// New creates an empty R-tree for k-dimensional points with the given
+// node capacity M (>= 4; minimum occupancy is M/2).
+func New(k, maxEntries int) (*Tree, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("rtree: dimensionality %d < 1", k)
+	}
+	if maxEntries < 4 {
+		return nil, fmt.Errorf("rtree: node capacity %d < 4", maxEntries)
+	}
+	return &Tree{
+		k:      k,
+		maxE:   maxEntries,
+		minE:   maxEntries / 2,
+		root:   &node{leaf: true},
+		leaves: 1,
+	}, nil
+}
+
+// Len returns the number of stored points.
+func (t *Tree) Len() int { return t.size }
+
+// Leaves returns the number of leaf nodes (data pages).
+func (t *Tree) Leaves() int { return t.leaves }
+
+// Insert adds a point.
+func (t *Tree) Insert(p geom.Point) error {
+	if len(p.Coords) != t.k {
+		return fmt.Errorf("rtree: point %v has %d dims, want %d", p, len(p.Coords), t.k)
+	}
+	r := pointRect(p.Coords)
+	leaf := t.chooseLeaf(t.root, r)
+	leaf.entries = append(leaf.entries, entry{mbr: r, point: p})
+	t.size++
+	if len(leaf.entries) > t.maxE {
+		t.splitNode(leaf)
+	} else {
+		t.adjustMBRs(leaf)
+	}
+	return nil
+}
+
+// chooseLeaf descends to the leaf whose MBR needs the least
+// enlargement (ties: smallest area).
+func (t *Tree) chooseLeaf(n *node, r rect) *node {
+	for !n.leaf {
+		best := -1
+		bestEnl, bestArea := 0.0, 0.0
+		for i := range n.entries {
+			e := &n.entries[i]
+			area := e.mbr.area()
+			enl := e.mbr.enlargedArea(r) - area
+			if best < 0 || enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				best, bestEnl, bestArea = i, enl, area
+			}
+		}
+		n = n.entries[best].child
+	}
+	return n
+}
+
+// adjustMBRs recomputes bounding rectangles from n up to the root.
+func (t *Tree) adjustMBRs(n *node) {
+	for p := n.parent; p != nil; p = p.parent {
+		for i := range p.entries {
+			if p.entries[i].child == n {
+				p.entries[i].mbr = nodeMBR(n)
+				break
+			}
+		}
+		n = p
+	}
+}
+
+func nodeMBR(n *node) rect {
+	r := n.entries[0].mbr.clone()
+	for _, e := range n.entries[1:] {
+		r.expand(e.mbr)
+	}
+	return r
+}
+
+// splitNode splits an overfull node with Guttman's quadratic method
+// and propagates upward.
+func (t *Tree) splitNode(n *node) {
+	entries := n.entries
+	// PickSeeds: the pair wasting the most area together.
+	s1, s2 := 0, 1
+	worst := -1.0
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			d := entries[i].mbr.enlargedArea(entries[j].mbr) -
+				entries[i].mbr.area() - entries[j].mbr.area()
+			if d > worst {
+				worst, s1, s2 = d, i, j
+			}
+		}
+	}
+	groupA := []entry{entries[s1]}
+	groupB := []entry{entries[s2]}
+	mbrA := entries[s1].mbr.clone()
+	mbrB := entries[s2].mbr.clone()
+	rest := make([]entry, 0, len(entries)-2)
+	for i := range entries {
+		if i != s1 && i != s2 {
+			rest = append(rest, entries[i])
+		}
+	}
+	// PickNext: assign the entry with the greatest preference.
+	for len(rest) > 0 {
+		// Force-assign when a group must take everything to reach m.
+		if len(groupA)+len(rest) == t.minE {
+			for _, e := range rest {
+				groupA = append(groupA, e)
+				mbrA.expand(e.mbr)
+			}
+			break
+		}
+		if len(groupB)+len(rest) == t.minE {
+			for _, e := range rest {
+				groupB = append(groupB, e)
+				mbrB.expand(e.mbr)
+			}
+			break
+		}
+		bestIdx, bestDiff := -1, -1.0
+		var bestToA bool
+		for i, e := range rest {
+			dA := mbrA.enlargedArea(e.mbr) - mbrA.area()
+			dB := mbrB.enlargedArea(e.mbr) - mbrB.area()
+			diff := dA - dB
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestDiff = diff
+				bestIdx = i
+				bestToA = dA < dB || (dA == dB && mbrA.area() < mbrB.area())
+			}
+		}
+		e := rest[bestIdx]
+		rest = append(rest[:bestIdx], rest[bestIdx+1:]...)
+		if bestToA {
+			groupA = append(groupA, e)
+			mbrA.expand(e.mbr)
+		} else {
+			groupB = append(groupB, e)
+			mbrB.expand(e.mbr)
+		}
+	}
+
+	sibling := &node{leaf: n.leaf, entries: groupB, parent: n.parent}
+	n.entries = groupA
+	if n.leaf {
+		t.leaves++
+	}
+	for i := range sibling.entries {
+		if sibling.entries[i].child != nil {
+			sibling.entries[i].child.parent = sibling
+		}
+	}
+
+	if n.parent == nil {
+		// Grow a new root.
+		newRoot := &node{leaf: false}
+		newRoot.entries = []entry{
+			{mbr: nodeMBR(n), child: n},
+			{mbr: nodeMBR(sibling), child: sibling},
+		}
+		n.parent = newRoot
+		sibling.parent = newRoot
+		t.root = newRoot
+		return
+	}
+	parent := n.parent
+	for i := range parent.entries {
+		if parent.entries[i].child == n {
+			parent.entries[i].mbr = nodeMBR(n)
+			break
+		}
+	}
+	parent.entries = append(parent.entries, entry{mbr: nodeMBR(sibling), child: sibling})
+	if len(parent.entries) > t.maxE {
+		t.splitNode(parent)
+	} else {
+		t.adjustMBRs(parent)
+	}
+}
+
+// RangeSearch returns all points inside the box, plus the node and
+// leaf access counts.
+func (t *Tree) RangeSearch(box geom.Box) (results []geom.Point, nodes, leafAccesses int) {
+	var walk func(n *node)
+	walk = func(n *node) {
+		nodes++
+		if n.leaf {
+			leafAccesses++
+			for _, e := range n.entries {
+				if box.ContainsPoint(e.point.Coords) {
+					results = append(results, e.point)
+				}
+			}
+			return
+		}
+		for _, e := range n.entries {
+			if e.mbr.intersectsBox(box) {
+				walk(e.child)
+			}
+		}
+	}
+	walk(t.root)
+	return results, nodes, leafAccesses
+}
+
+// CheckInvariants verifies the R-tree structure: entry counts within
+// [m, M] (root exempt), every child MBR tight and contained in its
+// parent slot, parent pointers consistent, and the size/leaf counters
+// correct.
+func (t *Tree) CheckInvariants() error {
+	points, leaves := 0, 0
+	var walk func(n *node, depth int) (int, error)
+	walk = func(n *node, depth int) (int, error) {
+		if n != t.root && (len(n.entries) < t.minE || len(n.entries) > t.maxE) {
+			return 0, fmt.Errorf("node occupancy %d outside [%d,%d]", len(n.entries), t.minE, t.maxE)
+		}
+		if n.leaf {
+			leaves++
+			points += len(n.entries)
+			for _, e := range n.entries {
+				if !e.mbr.containsRect(pointRect(e.point.Coords)) {
+					return 0, fmt.Errorf("leaf entry MBR does not cover its point")
+				}
+			}
+			return depth, nil
+		}
+		if len(n.entries) == 0 {
+			return 0, fmt.Errorf("empty internal node")
+		}
+		leafDepth := -1
+		for _, e := range n.entries {
+			if e.child == nil {
+				return 0, fmt.Errorf("internal entry without child")
+			}
+			if e.child.parent != n {
+				return 0, fmt.Errorf("parent pointer broken")
+			}
+			want := nodeMBR(e.child)
+			if !e.mbr.containsRect(want) || !want.containsRect(e.mbr) {
+				return 0, fmt.Errorf("slot MBR not tight")
+			}
+			d, err := walk(e.child, depth+1)
+			if err != nil {
+				return 0, err
+			}
+			if leafDepth < 0 {
+				leafDepth = d
+			} else if leafDepth != d {
+				return 0, fmt.Errorf("leaves at different depths")
+			}
+		}
+		return leafDepth, nil
+	}
+	if _, err := walk(t.root, 1); err != nil {
+		return err
+	}
+	if points != t.size {
+		return fmt.Errorf("tree holds %d points, counter says %d", points, t.size)
+	}
+	if leaves != t.leaves {
+		return fmt.Errorf("tree has %d leaves, counter says %d", leaves, t.leaves)
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"probe/internal/geom"
+	"probe/internal/workload"
+	"probe/internal/zorder"
+)
+
+func ids(pts []geom.Point) []uint64 {
+	out := make([]uint64, len(pts))
+	for i, p := range pts {
+		out[i] = p.ID
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equal(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 8); err == nil {
+		t.Errorf("zero dims accepted")
+	}
+	if _, err := New(2, 3); err == nil {
+		t.Errorf("capacity 3 accepted")
+	}
+	tr, err := New(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 || tr.Leaves() != 1 {
+		t.Errorf("fresh tree state wrong")
+	}
+	if err := tr.Insert(geom.Point{ID: 1, Coords: []uint32{1}}); err == nil {
+		t.Errorf("wrong-arity point accepted")
+	}
+}
+
+func TestInsertAndSearchSmall(t *testing.T) {
+	tr, _ := New(2, 4)
+	pts := []geom.Point{
+		geom.Pt2(1, 5, 5), geom.Pt2(2, 50, 50), geom.Pt2(3, 10, 60),
+		geom.Pt2(4, 60, 10), geom.Pt2(5, 30, 30), geom.Pt2(6, 31, 29),
+		geom.Pt2(7, 30, 30), // duplicate coordinates allowed
+	}
+	for _, p := range pts {
+		if err := tr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("after insert %d: %v", p.ID, err)
+		}
+	}
+	got, nodes, leaves := tr.RangeSearch(geom.Box2(0, 35, 0, 35))
+	if !equal(ids(got), []uint64{1, 5, 6, 7}) {
+		t.Fatalf("search = %v", ids(got))
+	}
+	if nodes < 1 || leaves < 1 || leaves > tr.Leaves() {
+		t.Errorf("access counts wrong: %d nodes, %d leaves", nodes, leaves)
+	}
+}
+
+func TestRandomizedAgainstBruteForce(t *testing.T) {
+	g := zorder.MustGrid(2, 8)
+	datasets := map[string][]geom.Point{
+		"uniform":   workload.Uniform(g, 1500, 131),
+		"clustered": workload.Clustered(g, 12, 120, 4, 132),
+		"diagonal":  workload.Diagonal(g, 1500, 2, 133),
+	}
+	rng := rand.New(rand.NewSource(134))
+	for name, pts := range datasets {
+		tr, _ := New(2, 20)
+		for _, p := range pts {
+			if err := tr.Insert(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if tr.Len() != len(pts) {
+			t.Fatalf("%s: Len = %d", name, tr.Len())
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for trial := 0; trial < 40; trial++ {
+			x1, x2 := uint32(rng.Intn(256)), uint32(rng.Intn(256))
+			y1, y2 := uint32(rng.Intn(256)), uint32(rng.Intn(256))
+			if x1 > x2 {
+				x1, x2 = x2, x1
+			}
+			if y1 > y2 {
+				y1, y2 = y2, y1
+			}
+			box := geom.Box2(x1, x2, y1, y2)
+			got, _, _ := tr.RangeSearch(box)
+			var want []uint64
+			for _, p := range pts {
+				if box.ContainsPoint(p.Coords) {
+					want = append(want, p.ID)
+				}
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			if !equal(ids(got), want) {
+				t.Fatalf("%s: box %v: %d results, want %d", name, box, len(got), len(want))
+			}
+		}
+	}
+}
+
+func Test3D(t *testing.T) {
+	g := zorder.MustGrid(3, 5)
+	pts := workload.Uniform(g, 600, 135)
+	tr, _ := New(3, 10)
+	for _, p := range pts {
+		if err := tr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	box := geom.MustBox([]uint32{4, 4, 4}, []uint32{20, 20, 20})
+	got, _, _ := tr.RangeSearch(box)
+	var want []uint64
+	for _, p := range pts {
+		if box.ContainsPoint(p.Coords) {
+			want = append(want, p.ID)
+		}
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if !equal(ids(got), want) {
+		t.Fatalf("3d search wrong")
+	}
+}
+
+func TestOccupancyBounds(t *testing.T) {
+	g := zorder.MustGrid(2, 10)
+	tr, _ := New(2, 20)
+	pts := workload.Uniform(g, 5000, 136)
+	for _, p := range pts {
+		if err := tr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Quadratic-split R-trees keep leaves between m and M: 250-500
+	// leaves for 5000 points at M=20.
+	if tr.Leaves() < 250 || tr.Leaves() > 510 {
+		t.Errorf("leaves = %d, outside [250,510]", tr.Leaves())
+	}
+}
+
+func TestLeafAccessesScaleWithVolume(t *testing.T) {
+	g := zorder.MustGrid(2, 10)
+	tr, _ := New(2, 20)
+	for _, p := range workload.Uniform(g, 5000, 137) {
+		tr.Insert(p)
+	}
+	avg := func(vol float64) float64 {
+		boxes, err := workload.Queries(g, workload.QuerySpec{Volume: vol, Aspect: 1}, 20, 138)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, b := range boxes {
+			_, _, leaves := tr.RangeSearch(b)
+			total += leaves
+		}
+		return float64(total) / float64(len(boxes))
+	}
+	if small, large := avg(0.01), avg(0.16); large <= small {
+		t.Errorf("leaf accesses should grow with volume: %.1f vs %.1f", small, large)
+	}
+}

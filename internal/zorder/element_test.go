@@ -1,0 +1,266 @@
+package zorder
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGridValidation(t *testing.T) {
+	cases := []struct {
+		k, d int
+		ok   bool
+	}{
+		{2, 3, true},
+		{2, 32, true},
+		{3, 21, true},
+		{3, 22, false},
+		{1, 32, true},
+		{1, 33, false},
+		{0, 4, false},
+		{2, 0, false},
+		{-1, 4, false},
+		{4, 16, true},
+		{5, 13, false},
+	}
+	for _, c := range cases {
+		_, err := NewGrid(c.k, c.d)
+		if (err == nil) != c.ok {
+			t.Errorf("NewGrid(%d,%d): err=%v, want ok=%v", c.k, c.d, err, c.ok)
+		}
+	}
+}
+
+func TestGridAccessors(t *testing.T) {
+	g := MustGrid(2, 3)
+	if g.Dims() != 2 || g.BitsPerDim() != 3 || g.TotalBits() != 6 {
+		t.Fatalf("accessors wrong: %v", g)
+	}
+	if g.Side() != 8 {
+		t.Errorf("Side = %d, want 8", g.Side())
+	}
+	if g.Cells() != 64 {
+		t.Errorf("Cells = %d, want 64", g.Cells())
+	}
+	if MustGrid(2, 32).Cells() != 0 {
+		t.Errorf("64-bit grid Cells should report 0 (overflow sentinel)")
+	}
+	if !g.Valid([]uint32{7, 7}) || g.Valid([]uint32{8, 0}) || g.Valid([]uint32{1}) {
+		t.Errorf("Valid misbehaves")
+	}
+}
+
+func TestSplitDimCycles(t *testing.T) {
+	g := MustGrid(3, 4)
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for i, w := range want {
+		if g.SplitDim(i) != w {
+			t.Errorf("SplitDim(%d) = %d, want %d", i, g.SplitDim(i), w)
+		}
+	}
+}
+
+func TestParseAndString(t *testing.T) {
+	for _, s := range []string{"0", "1", "001", "01101101", "0000000000000001"} {
+		e, err := ParseElement(s)
+		if err != nil {
+			t.Fatalf("ParseElement(%q): %v", s, err)
+		}
+		if e.String() != s {
+			t.Errorf("round trip %q -> %q", s, e.String())
+		}
+	}
+	if (Element{}).String() != "ε" {
+		t.Errorf("empty element should render as ε")
+	}
+	if _, err := ParseElement("01x"); err == nil {
+		t.Errorf("ParseElement should reject non-binary input")
+	}
+	if _, err := ParseElement(string(make([]byte, 65))); err == nil {
+		t.Errorf("ParseElement should reject >64 bits")
+	}
+}
+
+func TestNewElementMatchesParse(t *testing.T) {
+	if NewElement(0b001, 3) != MustParseElement("001") {
+		t.Errorf("NewElement(0b001,3) != parse(001)")
+	}
+	if NewElement(0, 0) != (Element{}) {
+		t.Errorf("zero-length element should be empty")
+	}
+}
+
+func TestCompareLexicographic(t *testing.T) {
+	// From the paper: a prefix precedes its extensions, and order is
+	// lexicographic on left-justified bitstrings.
+	ordered := []string{"", "0", "00", "001", "0011", "01", "0110", "1", "10", "11"}
+	for i := range ordered {
+		for j := range ordered {
+			a, b := MustParseElement(ordered[i]), MustParseElement(ordered[j])
+			got := a.Compare(b)
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%q,%q) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+			if a.Precedes(b) != (want < 0) {
+				t.Errorf("Precedes(%q,%q) inconsistent with Compare", ordered[i], ordered[j])
+			}
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"", "0110", true},
+		{"", "", true},
+		{"0", "0110", true},
+		{"01", "0110", true},
+		{"0110", "0110", true},
+		{"0110", "011", false},
+		{"1", "0110", false},
+		{"010", "0110", false},
+	}
+	for _, c := range cases {
+		a, b := MustParseElement(c.a), MustParseElement(c.b)
+		if got := a.Contains(b); got != c.want {
+			t.Errorf("Contains(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestNoPartialOverlap verifies the paper's key structural claim
+// (Section 3.2): the only possible relationships between elements are
+// containment and precedence; overlap other than containment cannot
+// occur. We check that Disjoint is exactly "neither contains" and that
+// disjoint elements have disjoint [MinZ, MaxZ] ranges.
+func TestNoPartialOverlap(t *testing.T) {
+	g := MustGrid(2, 3)
+	rng := rand.New(rand.NewSource(1))
+	randElem := func() Element {
+		n := rng.Intn(g.TotalBits() + 1)
+		return NewElement(rng.Uint64()&(1<<uint(n)-1), n)
+	}
+	for i := 0; i < 5000; i++ {
+		a, b := randElem(), randElem()
+		alo, ahi := a.MinZ(), a.MaxZ(g.TotalBits())
+		blo, bhi := b.MinZ(), b.MaxZ(g.TotalBits())
+		rangesOverlap := alo <= bhi && blo <= ahi
+		if rangesOverlap == a.Disjoint(b) {
+			t.Fatalf("elements %v,%v: range overlap %v but Disjoint %v",
+				a, b, rangesOverlap, a.Disjoint(b))
+		}
+		if rangesOverlap && !(a.Contains(b) || b.Contains(a)) {
+			t.Fatalf("partial overlap detected between %v and %v", a, b)
+		}
+	}
+}
+
+func TestMinMaxZ(t *testing.T) {
+	g := MustGrid(2, 3)
+	e := MustParseElement("001") // the large element of Figure 2/3
+	if e.MinZ() != MustParseElement("001000").Bits {
+		t.Errorf("MinZ wrong")
+	}
+	if e.MaxZ(g.TotalBits()) != MustParseElement("001111").Bits {
+		t.Errorf("MaxZ wrong")
+	}
+	// The whole space spans everything.
+	whole := Element{}
+	if whole.MinZ() != 0 || whole.MaxZ(6) != MustParseElement("111111").Bits {
+		t.Errorf("whole-space z range wrong")
+	}
+}
+
+// TestConsecutiveZValues reproduces Figure 3: all full-resolution z
+// values inside an element are consecutive and share the element's
+// prefix.
+func TestConsecutiveZValues(t *testing.T) {
+	g := MustGrid(2, 3)
+	e := MustParseElement("001")
+	var inside []uint64
+	for x := uint32(0); x < 8; x++ {
+		for y := uint32(0); y < 8; y++ {
+			p := g.Shuffle([]uint32{x, y})
+			if e.Contains(p) {
+				inside = append(inside, p.Bits)
+			}
+		}
+	}
+	if len(inside) != int(e.PixelCount(g)) {
+		t.Fatalf("element covers %d pixels, want %d", len(inside), e.PixelCount(g))
+	}
+	sort.Slice(inside, func(i, j int) bool { return inside[i] < inside[j] })
+	if inside[0] != e.MinZ() || inside[len(inside)-1] != e.MaxZ(g.TotalBits()) {
+		t.Errorf("extremes %x..%x don't match MinZ/MaxZ", inside[0], inside[len(inside)-1])
+	}
+	step := uint64(1) << uint(64-g.TotalBits())
+	for i := 1; i < len(inside); i++ {
+		if inside[i]-inside[i-1] != step {
+			t.Errorf("z values not consecutive at %d", i)
+		}
+	}
+}
+
+func TestChildParentBit(t *testing.T) {
+	e := MustParseElement("01")
+	if e.Child(0) != MustParseElement("010") || e.Child(1) != MustParseElement("011") {
+		t.Errorf("Child wrong")
+	}
+	if e.Child(1).Parent() != e {
+		t.Errorf("Parent wrong")
+	}
+	if (Element{}).Parent() != (Element{}) {
+		t.Errorf("whole space must be its own parent")
+	}
+	f := MustParseElement("0110")
+	bits := []int{0, 1, 1, 0}
+	for i, w := range bits {
+		if f.Bit(i) != w {
+			t.Errorf("Bit(%d) = %d, want %d", i, f.Bit(i), w)
+		}
+	}
+}
+
+func TestPixelCount(t *testing.T) {
+	g := MustGrid(2, 3)
+	if got := MustParseElement("001").PixelCount(g); got != 8 {
+		t.Errorf("PixelCount(001) = %d, want 8", got)
+	}
+	if got := MustParseElement("001101").PixelCount(g); got != 1 {
+		t.Errorf("pixel PixelCount = %d, want 1", got)
+	}
+	if got := (Element{}).PixelCount(g); got != 64 {
+		t.Errorf("whole space PixelCount = %d, want 64", got)
+	}
+	if !MustParseElement("001101").IsPixel(g) || MustParseElement("001").IsPixel(g) {
+		t.Errorf("IsPixel wrong")
+	}
+}
+
+// Property: Compare is a total order consistent with containment:
+// a container compares <= everything it contains.
+func TestCompareContainsConsistency(t *testing.T) {
+	f := func(av, bv uint64, an, bn uint8) bool {
+		a := NewElement(av&(1<<uint(an%17)-1), int(an%17))
+		b := NewElement(bv&(1<<uint(bn%17)-1), int(bn%17))
+		if a.Contains(b) && a.Compare(b) > 0 {
+			return false
+		}
+		if a.Compare(b) == 0 && b.Compare(a) != 0 {
+			return false
+		}
+		return a.Compare(b) == -b.Compare(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

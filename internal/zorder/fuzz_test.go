@@ -1,0 +1,82 @@
+package zorder
+
+import "testing"
+
+// Native fuzz targets. `go test` runs the seed corpus as regular
+// tests; `go test -fuzz=FuzzShuffleRoundTrip ./internal/zorder` digs
+// deeper.
+
+func FuzzShuffleRoundTrip(f *testing.F) {
+	f.Add(uint32(3), uint32(5), uint8(3))
+	f.Add(uint32(0), uint32(0), uint8(1))
+	f.Add(uint32(1<<31), uint32(7), uint8(32))
+	f.Fuzz(func(t *testing.T, x, y uint32, dRaw uint8) {
+		d := int(dRaw%32) + 1
+		g, err := NewGrid(2, d)
+		if err != nil {
+			t.Skip()
+		}
+		x = uint32(uint64(x) % g.Side())
+		y = uint32(uint64(y) % g.Side())
+		e := g.Shuffle([]uint32{x, y})
+		back := g.Unshuffle(e)
+		if back[0] != x || back[1] != y {
+			t.Fatalf("round trip (%d,%d) -> %v on d=%d", x, y, back, d)
+		}
+		if e != g.Shuffle2(x, y) {
+			t.Fatalf("Shuffle2 disagrees at (%d,%d) d=%d", x, y, d)
+		}
+	})
+}
+
+func FuzzBigMinInvariants(f *testing.F) {
+	f.Add(uint32(1), uint32(3), uint32(0), uint32(4), uint64(0))
+	f.Add(uint32(0), uint32(7), uint32(0), uint32(7), uint64(1)<<60)
+	f.Fuzz(func(t *testing.T, x1, x2, y1, y2 uint32, z uint64) {
+		g := MustGrid(2, 4)
+		side := uint32(g.Side())
+		x1, x2, y1, y2 = x1%side, x2%side, y1%side, y2%side
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		if y1 > y2 {
+			y1, y2 = y2, y1
+		}
+		lo := []uint32{x1, y1}
+		hi := []uint32{x2, y2}
+		z = z >> uint(64-g.TotalBits()) << uint(64-g.TotalBits())
+		got, ok := g.BigMin(z, lo, hi)
+		want, wok := bruteBigMin(g, z, lo, hi)
+		if ok != wok || (ok && got != want) {
+			t.Fatalf("BigMin(%x, %v, %v) = (%x,%v), want (%x,%v)", z, lo, hi, got, ok, want, wok)
+		}
+		if ok {
+			if got < z {
+				t.Fatalf("BigMin went backwards")
+			}
+			if !g.InBox(got, lo, hi) {
+				t.Fatalf("BigMin result outside box")
+			}
+		}
+	})
+}
+
+func FuzzElementContainsCompare(f *testing.F) {
+	f.Add(uint64(0b001), uint8(3), uint64(0b0011), uint8(4))
+	f.Fuzz(func(t *testing.T, av uint64, an uint8, bv uint64, bn uint8) {
+		a := NewElement(av&(1<<uint(an%17)-1), int(an%17))
+		b := NewElement(bv&(1<<uint(bn%17)-1), int(bn%17))
+		// Containment implies non-positive comparison.
+		if a.Contains(b) && a.Compare(b) > 0 {
+			t.Fatalf("container %v sorts after contained %v", a, b)
+		}
+		// Antisymmetry.
+		if a.Compare(b) != -b.Compare(a) {
+			t.Fatalf("Compare not antisymmetric")
+		}
+		// Disjoint == neither contains.
+		if a.Disjoint(b) == (a.Contains(b) || b.Contains(a)) {
+			t.Fatalf("Disjoint inconsistent for %v, %v", a, b)
+		}
+	})
+}

@@ -1,0 +1,250 @@
+// Package zorder implements z values: the variable-length bitstrings,
+// produced by bit interleaving, that identify the regions obtained by
+// recursively splitting a k-dimensional grid (Orenstein, SIGMOD 1986,
+// Section 3).
+//
+// A grid has resolution 2^d1 x ... x 2^dk over k dimensions (the
+// paper's assumption of equal resolutions is the common case, and
+// asymmetric resolutions are supported as the natural generalization
+// discussed in [OREN85]). Splitting always halves a region, and the
+// split direction cycles through the dimensions starting with
+// dimension 0, skipping dimensions whose bits are exhausted. Each
+// split contributes one bit to the region's z value; interleaving all
+// bits of all coordinates yields the z value of a single pixel.
+//
+// Z values are kept left-justified in a uint64 (bit 63 is the first
+// bit of the string), so lexicographic order on bitstrings of equal
+// length is numeric order on the uint64. The total bit count must not
+// exceed 64.
+package zorder
+
+import "fmt"
+
+// MaxBits is the maximum total number of interleaved bits.
+const MaxBits = 64
+
+// MaxAsymDims is the maximum dimensionality of an asymmetric grid.
+const MaxAsymDims = 16
+
+// Grid describes a k-dimensional grid. In the symmetric case every
+// dimension has d bits of resolution (coordinates in [0, 2^d));
+// asymmetric grids give each dimension its own resolution.
+// Coordinates are uint32, so resolutions are at most 32 bits. Grid is
+// a comparable value type.
+type Grid struct {
+	k int // number of dimensions
+	d int // bits per dimension (symmetric); 0 for asymmetric grids
+	// bits holds per-dimension resolutions for asymmetric grids
+	// (zeroed for symmetric grids, keeping == comparisons meaningful).
+	bits  [MaxAsymDims]uint8
+	total int // total z-value length
+}
+
+// NewGrid returns a symmetric grid with k dimensions and d bits per
+// dimension. It returns an error if k or d is non-positive or k*d
+// exceeds MaxBits.
+func NewGrid(k, d int) (Grid, error) {
+	if k <= 0 {
+		return Grid{}, fmt.Errorf("zorder: dimensionality %d is not positive", k)
+	}
+	if d <= 0 || d > 32 {
+		return Grid{}, fmt.Errorf("zorder: resolution %d bits outside [1,32]", d)
+	}
+	if k*d > MaxBits {
+		return Grid{}, fmt.Errorf("zorder: k*d = %d exceeds %d bits", k*d, MaxBits)
+	}
+	return Grid{k: k, d: d, total: k * d}, nil
+}
+
+// MustGrid is like NewGrid but panics on error. It is intended for
+// constant configurations in tests and examples.
+func MustGrid(k, d int) Grid {
+	g, err := NewGrid(k, d)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// NewGridAsym returns a grid whose dimension i has bits[i] bits of
+// resolution (coordinates in [0, 2^bits[i])). At most MaxAsymDims
+// dimensions; the total bit count must not exceed MaxBits. Equal
+// resolutions yield a grid identical to NewGrid's.
+func NewGridAsym(bits []int) (Grid, error) {
+	if len(bits) == 0 {
+		return Grid{}, fmt.Errorf("zorder: no dimensions")
+	}
+	if len(bits) > MaxAsymDims {
+		return Grid{}, fmt.Errorf("zorder: %d dimensions exceeds %d for asymmetric grids", len(bits), MaxAsymDims)
+	}
+	total := 0
+	symmetric := true
+	for i, b := range bits {
+		if b <= 0 || b > 32 {
+			return Grid{}, fmt.Errorf("zorder: dimension %d resolution %d outside [1,32]", i, b)
+		}
+		if b != bits[0] {
+			symmetric = false
+		}
+		total += b
+	}
+	if total > MaxBits {
+		return Grid{}, fmt.Errorf("zorder: total %d bits exceeds %d", total, MaxBits)
+	}
+	if symmetric {
+		return NewGrid(len(bits), bits[0])
+	}
+	g := Grid{k: len(bits), total: total}
+	for i, b := range bits {
+		g.bits[i] = uint8(b)
+	}
+	return g, nil
+}
+
+// MustGridAsym is NewGridAsym panicking on error.
+func MustGridAsym(bits ...int) Grid {
+	g, err := NewGridAsym(bits)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Dims returns the number of dimensions k.
+func (g Grid) Dims() int { return g.k }
+
+// Symmetric reports whether every dimension has the same resolution.
+func (g Grid) Symmetric() bool { return g.d != 0 }
+
+// BitsPerDim returns the per-dimension resolution of a symmetric
+// grid. It panics on asymmetric grids; use BitsOf instead.
+func (g Grid) BitsPerDim() int {
+	if g.d == 0 {
+		panic("zorder: BitsPerDim on asymmetric grid; use BitsOf")
+	}
+	return g.d
+}
+
+// BitsOf returns the resolution of dimension i in bits.
+func (g Grid) BitsOf(i int) int {
+	if g.d != 0 {
+		return g.d
+	}
+	return int(g.bits[i])
+}
+
+// TotalBits returns the length of a full-resolution z value.
+func (g Grid) TotalBits() int { return g.total }
+
+// Side returns the number of grid cells along one dimension of a
+// symmetric grid, 2^d. It panics on asymmetric grids; use SideOf.
+func (g Grid) Side() uint64 {
+	if g.d == 0 {
+		panic("zorder: Side on asymmetric grid; use SideOf")
+	}
+	return 1 << uint(g.d)
+}
+
+// SideOf returns the number of grid cells along dimension i.
+func (g Grid) SideOf(i int) uint64 { return 1 << uint(g.BitsOf(i)) }
+
+// Cells returns the total number of pixels in the grid. For a total
+// of 64 bits the result overflows to 0; callers that need the exact
+// count should special-case TotalBits() == 64.
+func (g Grid) Cells() uint64 {
+	if g.total == 64 {
+		return 0
+	}
+	return 1 << uint(g.total)
+}
+
+// Valid reports whether the coordinates lie inside the grid.
+func (g Grid) Valid(coords []uint32) bool {
+	if len(coords) != g.k {
+		return false
+	}
+	for i, c := range coords {
+		if uint64(c) >= g.SideOf(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// SplitDim returns the dimension discriminated by the split at the
+// given depth (0-based): splits cycle x, y, z, x, y, z, ..., skipping
+// dimensions whose resolution is exhausted.
+func (g Grid) SplitDim(depth int) int {
+	if g.d != 0 {
+		return depth % g.k
+	}
+	var seq splitSequence
+	seq.init(g)
+	dim := 0
+	for j := 0; ; j++ {
+		dim = seq.next()
+		if j == depth {
+			return dim
+		}
+	}
+}
+
+// splitSequence iterates the split dimensions of a grid in order,
+// skipping exhausted dimensions. It replaces repeated SplitDim calls
+// on hot paths (O(1) amortized per split instead of O(depth)).
+type splitSequence struct {
+	g         Grid
+	remaining [MaxAsymDims]uint8
+	cursor    int
+	sym       bool
+}
+
+func (s *splitSequence) init(g Grid) {
+	s.g = g
+	s.cursor = 0
+	s.sym = g.d != 0
+	if !s.sym {
+		for i := 0; i < g.k; i++ {
+			s.remaining[i] = g.bits[i]
+		}
+	}
+}
+
+// next returns the dimension of the next split. Calling it more than
+// TotalBits times is undefined.
+func (s *splitSequence) next() int {
+	if s.sym {
+		d := s.cursor % s.g.k
+		s.cursor++
+		return d
+	}
+	for {
+		d := s.cursor % s.g.k
+		s.cursor++
+		if s.remaining[d] > 0 {
+			s.remaining[d]--
+			return d
+		}
+	}
+}
+
+// String implements fmt.Stringer.
+func (g Grid) String() string {
+	if g.d != 0 {
+		return fmt.Sprintf("grid(k=%d,d=%d)", g.k, g.d)
+	}
+	return fmt.Sprintf("grid(bits=%v)", g.bits[:g.k])
+}
+
+// SplitOrder fills order[:TotalBits()] with the dimension split at
+// each depth: the precomputed form of SplitDim for hot recursive
+// descents.
+func (g Grid) SplitOrder() [MaxBits]uint8 {
+	var order [MaxBits]uint8
+	var seq splitSequence
+	seq.init(g)
+	for j := 0; j < g.total; j++ {
+		order[j] = uint8(seq.next())
+	}
+	return order
+}

@@ -1,0 +1,391 @@
+// Package probe is a spatial query processing library reproducing
+// Orenstein's SIGMOD 1986 paper "Spatial Query Processing in an
+// Object-Oriented Database System" (the PROBE project's approximate
+// geometry).
+//
+// Spatial objects are approximated on a 2^d x ... x 2^d grid and
+// decomposed into "elements" — the variable-length bitstrings
+// produced by recursive splitting with bit interleaving (z order).
+// Because elements relate only by containment or precedence, spatial
+// queries reduce to merges of z-ordered sequences, which stock
+// database machinery (a B+-tree plus an LRU buffer pool) executes
+// efficiently.
+//
+// The package exposes the element object class of the paper's
+// Section 4 (shuffle, unshuffle, decompose, precedes, contains), a
+// paged point index with the range-search merge in its three
+// optimization levels, the spatial join R[zr <> zs]S, and the
+// Section 6 algorithms (polygon overlay, connected component
+// labelling, CAD interference detection).
+//
+// Quick start:
+//
+//	g := probe.MustGrid(2, 10)                 // 1024 x 1024 space
+//	db, _ := probe.Open(g, probe.Options{})
+//	db.Insert(probe.Pt2(1, 30, 40))
+//	pts, stats, _ := db.RangeSearch(probe.Box2(0, 100, 0, 100))
+package probe
+
+import (
+	"fmt"
+	"sync"
+
+	"probe/internal/conncomp"
+	"probe/internal/core"
+	"probe/internal/decompose"
+	"probe/internal/disk"
+	"probe/internal/geom"
+	"probe/internal/interfere"
+	"probe/internal/overlay"
+	"probe/internal/planner"
+	"probe/internal/zorder"
+)
+
+// Re-exported fundamental types. See the internal packages'
+// documentation for full method sets.
+type (
+	// Grid is a k-dimensional grid with d bits per dimension.
+	Grid = zorder.Grid
+	// Element is a z-value bitstring naming a splitting region.
+	Element = zorder.Element
+	// Box is an axis-parallel query box with inclusive bounds.
+	Box = geom.Box
+	// Point is an identified grid point.
+	Point = geom.Point
+	// Object is a spatial object exposing the Inside/Outside/Crosses
+	// classification oracle that drives decomposition.
+	Object = geom.Object
+	// Polygon is a simple 2-d polygon object.
+	Polygon = geom.Polygon
+	// Vertex is a polygon vertex.
+	Vertex = geom.Vertex
+	// Disk is a k-dimensional ball object.
+	Disk = geom.Disk
+	// Raster is a bitmap-backed object (for precise grid data).
+	Raster = geom.Raster
+	// DecomposeOptions tunes decomposition resolution.
+	DecomposeOptions = decompose.Options
+	// Strategy selects a range-search variant.
+	Strategy = core.Strategy
+	// SearchStats reports the work a range search performed.
+	SearchStats = core.SearchStats
+	// Item is one element of a decomposed object relation.
+	Item = core.Item
+	// Pair is a pair of overlapping object ids from a spatial join.
+	Pair = core.Pair
+	// JoinStats reports spatial-join statistics.
+	JoinStats = core.JoinStats
+	// Component is one labelled connected component.
+	Component = conncomp.Component
+	// Part is a CAD part for interference detection.
+	Part = interfere.Part
+)
+
+// Range-search strategies (Section 3.3's successive optimizations).
+const (
+	// MergeDecomposed materializes the query's element sequence and
+	// merges it against the point sequence.
+	MergeDecomposed = core.MergeDecomposed
+	// MergeLazy generates query elements on demand during the merge.
+	MergeLazy = core.MergeLazy
+	// SkipBigMin skips directly to the next in-box z value.
+	SkipBigMin = core.SkipBigMin
+)
+
+// NewGrid returns a grid with k dimensions and d bits per dimension
+// (d <= 32, k*d <= 64).
+func NewGrid(k, d int) (Grid, error) { return zorder.NewGrid(k, d) }
+
+// MustGrid is NewGrid panicking on error.
+func MustGrid(k, d int) Grid { return zorder.MustGrid(k, d) }
+
+// NewGridAsym returns a grid with per-dimension resolutions (the
+// generalization of the paper's equal-resolution assumption): e.g.
+// NewGridAsym([]int{10, 10, 9}) is a 1024 x 1024 x 512 space.
+func NewGridAsym(bits []int) (Grid, error) { return zorder.NewGridAsym(bits) }
+
+// MustGridAsym is NewGridAsym panicking on error.
+func MustGridAsym(bits ...int) Grid { return zorder.MustGridAsym(bits...) }
+
+// NewBox builds a box from inclusive per-dimension bounds.
+func NewBox(lo, hi []uint32) (Box, error) { return geom.NewBox(lo, hi) }
+
+// Box2 builds a 2-d box.
+func Box2(xlo, xhi, ylo, yhi uint32) Box { return geom.Box2(xlo, xhi, ylo, yhi) }
+
+// Pt2 builds a 2-d point.
+func Pt2(id uint64, x, y uint32) Point { return geom.Pt2(id, x, y) }
+
+// Decompose approximates a spatial object as its z-ordered element
+// sequence (the decompose operator of Section 4).
+func Decompose(g Grid, obj Object, opts DecomposeOptions) ([]Element, error) {
+	return decompose.Object(g, obj, opts)
+}
+
+// DecomposeBox decomposes a box at full resolution.
+func DecomposeBox(g Grid, b Box) []Element { return decompose.Box(g, b) }
+
+// Condense canonicalizes a z-ordered element sequence, merging
+// complete sibling pairs.
+func Condense(elems []Element) []Element { return decompose.Condense(elems) }
+
+// SortItems sorts a decomposed relation into the z order the spatial
+// join requires.
+func SortItems(items []Item) { core.SortItems(items) }
+
+// SpatialJoin computes R[zr <> zs]S over two z-sorted element
+// relations, returning distinct overlapping object pairs.
+func SpatialJoin(a, b []Item) ([]Pair, JoinStats, error) {
+	return core.SpatialJoinDistinct(a, b)
+}
+
+// Union, Intersect, Subtract and XOR are the polygon-overlay set
+// operations on decomposed regions (Section 6).
+func Union(a, b []Element) ([]Element, error)     { return overlay.Union(a, b) }
+func Intersect(a, b []Element) ([]Element, error) { return overlay.Intersect(a, b) }
+func Subtract(a, b []Element) ([]Element, error)  { return overlay.Subtract(a, b) }
+func XOR(a, b []Element) ([]Element, error)       { return overlay.XOR(a, b) }
+
+// Area returns the number of pixels a region covers.
+func Area(g Grid, elems []Element) uint64 { return overlay.Area(g, elems) }
+
+// LabelComponents labels the 4-connected components of a 2-d region
+// and returns the components with their areas (Section 6).
+func LabelComponents(g Grid, elems []Element) ([]Component, error) {
+	res, err := conncomp.Label(g, elems)
+	if err != nil {
+		return nil, err
+	}
+	return res.Components, nil
+}
+
+// DetectInterference finds intersecting part pairs using a
+// spatial-join broad phase and exact polygon refinement (Section 6).
+// maxLen caps the decomposition resolution (0 = full).
+func DetectInterference(g Grid, parts []Part, maxLen int) ([]interfere.Pair, interfere.Stats, error) {
+	return interfere.Detect(g, parts, maxLen)
+}
+
+// Options tunes a DB. Zero values select the defaults in brackets.
+type Options struct {
+	// PageSize is the simulated disk page size in bytes [4096].
+	PageSize int
+	// PoolPages is the buffer pool capacity in pages [256].
+	PoolPages int
+	// LeafCapacity caps points per index leaf page [derived from
+	// PageSize].
+	LeafCapacity int
+}
+
+// DB is a spatial database over one grid: a z-ordered point index on
+// simulated paged storage. DB is safe for concurrent use; operations
+// serialize on an internal mutex (the underlying pool and tree are
+// single-threaded, like the systems the paper targets).
+type DB struct {
+	mu    sync.Mutex
+	grid  Grid
+	store *disk.MemStore
+	pool  *disk.Pool
+	index *core.Index
+}
+
+// Open creates an empty spatial database over grid g.
+func Open(g Grid, opts Options) (*DB, error) {
+	if opts.PageSize == 0 {
+		opts.PageSize = disk.DefaultPageSize
+	}
+	if opts.PoolPages == 0 {
+		opts.PoolPages = 256
+	}
+	store, err := disk.NewMemStore(opts.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := disk.NewPool(store, opts.PoolPages, disk.LRU)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := core.NewIndex(pool, g, core.IndexConfig{LeafCapacity: opts.LeafCapacity})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{grid: g, store: store, pool: pool, index: ix}, nil
+}
+
+// Grid returns the database's grid.
+func (db *DB) Grid() Grid { return db.grid }
+
+// Len returns the number of indexed points.
+func (db *DB) Len() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.index.Len()
+}
+
+// Insert adds a point; (pixel, id) pairs must be unique.
+func (db *DB) Insert(p Point) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.index.Insert(p)
+}
+
+// InsertAll adds many points.
+func (db *DB) InsertAll(pts []Point) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.index.BulkLoad(pts)
+}
+
+// Delete removes a point, reporting whether it was present.
+func (db *DB) Delete(p Point) (bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.index.Delete(p)
+}
+
+// DeleteBox removes every point inside the box, returning how many
+// were deleted.
+func (db *DB) DeleteBox(box Box) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	victims, _, err := db.index.RangeSearch(box, MergeLazy)
+	if err != nil {
+		return 0, err
+	}
+	for i, p := range victims {
+		ok, err := db.index.Delete(p)
+		if err != nil {
+			return i, err
+		}
+		if !ok {
+			return i, fmt.Errorf("probe: point %v vanished during DeleteBox", p)
+		}
+	}
+	return len(victims), nil
+}
+
+// RangeSearch returns all points inside the box using the default
+// strategy (MergeLazy).
+func (db *DB) RangeSearch(box Box) ([]Point, SearchStats, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.index.RangeSearch(box, MergeLazy)
+}
+
+// RangeSearchWith runs a range search with an explicit strategy.
+func (db *DB) RangeSearchWith(box Box, s Strategy) ([]Point, SearchStats, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.index.RangeSearch(box, s)
+}
+
+// PartialMatch pins the restricted dimensions to the given values and
+// leaves the rest unconstrained.
+func (db *DB) PartialMatch(restricted []bool, value []uint32) ([]Point, SearchStats, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.index.PartialMatch(restricted, value, MergeLazy)
+}
+
+// LeafPages returns the number of data pages in the index.
+func (db *DB) LeafPages() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.index.Tree().LeafPages()
+}
+
+// Scan streams every indexed point in z order to fn; returning false
+// stops the scan. This is the sequential access over the point
+// sequence P that all the merge algorithms build on.
+func (db *DB) Scan(fn func(Point) bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	box := geom.FullBox(db.grid)
+	_, err := db.index.RangeSearchFunc(box, MergeLazy, fn)
+	return err
+}
+
+// DropCaches empties the buffer pool so subsequent page-access counts
+// are cold.
+func (db *DB) DropCaches() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.pool.Invalidate()
+}
+
+// IOStats returns the physical read/write counters of the simulated
+// disk.
+func (db *DB) IOStats() disk.IOStats { return db.store.Stats() }
+
+// ResetIOStats zeroes the physical I/O counters.
+func (db *DB) ResetIOStats() { db.store.ResetStats() }
+
+// Index exposes the underlying index for advanced use (experiment
+// harnesses, custom merges).
+func (db *DB) Index() *core.Index { return db.index }
+
+// Explain describes the access path the cost-based planner would pick
+// for a range query, without running it (the DBMS-side optimization
+// the paper's Section 2 calls for).
+func (db *DB) Explain(box Box) (string, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	tab := &planner.Table{Name: "db", Index: db.index}
+	plan, err := planner.PlanRange(tab, box, planner.Config{})
+	if err != nil {
+		return "", err
+	}
+	return plan.Description, nil
+}
+
+// Metric selects the distance for nearest-neighbor queries.
+type Metric = core.Metric
+
+// Neighbor is one nearest-neighbor result.
+type Neighbor = core.Neighbor
+
+// Nearest-neighbor metrics.
+const (
+	// Chebyshev is the L-infinity metric.
+	Chebyshev = core.Chebyshev
+	// Euclidean is the L2 metric.
+	Euclidean = core.Euclidean
+)
+
+// Nearest returns the m indexed points nearest to q under the metric,
+// implemented as expanding range queries (the Section 6 translation
+// of proximity queries into overlap queries).
+func (db *DB) Nearest(q []uint32, m int, metric Metric) ([]Neighbor, SearchStats, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.index.Nearest(q, m, metric, MergeLazy)
+}
+
+// ContainsRegion reports whether region a covers every pixel of
+// region b.
+func ContainsRegion(a, b []Element) (bool, error) { return overlay.ContainsRegion(a, b) }
+
+// OpenPacked creates a database bulk-loaded with the given points:
+// the index is built bottom-up with fully packed pages (about 30%
+// fewer data pages than one-at-a-time insertion).
+func OpenPacked(g Grid, opts Options, pts []Point) (*DB, error) {
+	if opts.PageSize == 0 {
+		opts.PageSize = disk.DefaultPageSize
+	}
+	if opts.PoolPages == 0 {
+		opts.PoolPages = 256
+	}
+	store, err := disk.NewMemStore(opts.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := disk.NewPool(store, opts.PoolPages, disk.LRU)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := core.NewIndexBulk(pool, g, core.IndexConfig{LeafCapacity: opts.LeafCapacity}, pts, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{grid: g, store: store, pool: pool, index: ix}, nil
+}
