@@ -7,6 +7,7 @@
 package probe_test
 
 import (
+	"fmt"
 	"testing"
 
 	"probe/internal/analysis"
@@ -464,6 +465,73 @@ func BenchmarkNearestNeighbor(b *testing.B) {
 		pages = float64(stats.DataPages)
 	}
 	b.ReportMetric(pages, "pages/query")
+}
+
+// joinBenchInputs builds the large in-memory join workload shared by
+// the sequential and parallel join benchmarks: two element relations
+// decomposed from many random boxes on a 1024x1024 grid.
+func joinBenchInputs(b *testing.B) (left, right []core.Item) {
+	b.Helper()
+	g := zorder.MustGrid(2, 10)
+	build := func(seed int64) []core.Item {
+		boxes, err := workload.Queries(g, workload.QuerySpec{Volume: 0.001, Aspect: 2}, 600, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var items []core.Item
+		for id, box := range boxes {
+			for _, e := range decompose.Box(g, box) {
+				items = append(items, core.Item{Elem: e, ID: uint64(id)})
+			}
+		}
+		core.SortItems(items)
+		return items
+	}
+	return build(301), build(302)
+}
+
+// BenchmarkSpatialJoinSequential is the single-threaded baseline for
+// the parallel join benchmark below.
+func BenchmarkSpatialJoinSequential(b *testing.B) {
+	left, right := joinBenchInputs(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	var pairs int
+	for i := 0; i < b.N; i++ {
+		out, _, err := core.SpatialJoinDistinct(left, right)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pairs = len(out)
+	}
+	b.ReportMetric(float64(pairs), "distinct-pairs")
+}
+
+// BenchmarkSpatialJoinParallel measures the z-partitioned parallel
+// join at increasing degrees of parallelism. Speedup over the
+// sequential baseline tracks available cores (workers beyond
+// GOMAXPROCS only add scheduling overhead).
+func BenchmarkSpatialJoinParallel(b *testing.B) {
+	left, right := joinBenchInputs(b)
+	seq, _, err := core.SpatialJoinDistinct(left, right)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out, _, err := core.SpatialJoinParallelDistinct(
+					left, right, core.ParallelJoinConfig{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(out) != len(seq) {
+					b.Fatalf("parallel join found %d pairs, sequential %d", len(out), len(seq))
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkAblationJoinOnDisk measures the stored spatial join's

@@ -20,6 +20,8 @@ import (
 //  6. the entry count and leaf count match the tree's counters;
 //  7. all leaves are at the same depth (t.height).
 func (t *Tree) CheckInvariants() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	type visit struct {
 		id    disk.PageID
 		depth int

@@ -12,6 +12,11 @@ import (
 // A cursor holds decoded copies of one leaf at a time and no pins, so
 // any number of cursors may be open. Mutating the tree invalidates
 // open cursors.
+//
+// Each cursor step takes the tree's read latch, so cursors from many
+// goroutines may traverse one tree concurrently (see the Tree
+// thread-safety contract). A cursor itself must not be shared between
+// goroutines.
 type Cursor struct {
 	t     *Tree
 	leaf  *leafNode
@@ -52,6 +57,8 @@ func (c *Cursor) First() (bool, error) {
 
 // SeekGE positions the cursor on the first entry with key >= k.
 func (c *Cursor) SeekGE(k Key) (bool, error) {
+	c.t.mu.RLock()
+	defer c.t.mu.RUnlock()
 	var enc [encodedKeyLen]byte
 	k.encode(enc[:])
 	id, _, err := c.t.findLeaf(enc[:])
@@ -90,6 +97,8 @@ func (c *Cursor) Next() (bool, error) {
 	if !c.valid {
 		return false, nil
 	}
+	c.t.mu.RLock()
+	defer c.t.mu.RUnlock()
 	c.pos++
 	for c.pos >= len(c.leaf.keys) {
 		if c.leaf.next == disk.InvalidPage {
@@ -112,6 +121,8 @@ func (c *Cursor) Prev() (bool, error) {
 	if !c.valid {
 		return false, nil
 	}
+	c.t.mu.RLock()
+	defer c.t.mu.RUnlock()
 	c.pos--
 	for c.pos < 0 {
 		if c.leaf.prev == disk.InvalidPage {

@@ -52,6 +52,8 @@ func (t *Tree) minChildren() int    { return t.fanout / 2 }
 // siblings, so the tree adapts gracefully as the point set shrinks
 // (the third requirement of Section 2).
 func (t *Tree) Delete(k Key) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var enc [encodedKeyLen]byte
 	k.encode(enc[:])
 	leafID, path, err := t.findLeaf(enc[:])

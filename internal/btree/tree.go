@@ -3,6 +3,7 @@ package btree
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"probe/internal/disk"
 )
@@ -17,14 +18,22 @@ type Config struct {
 	LeafCapacity int
 }
 
-// Tree is a prefix B+-tree over disk pages. It is not safe for
-// concurrent use.
+// Tree is a prefix B+-tree over disk pages.
+//
+// Thread safety: reads (Get, the accessors, and cursor steps) may run
+// concurrently with each other; structural writes (Insert, Delete)
+// take the tree latch exclusively, so a write never races a read.
+// Note the guarantee is freedom from data races, not snapshot
+// isolation: a cursor interleaved with writes observes the tree
+// page-at-a-time and may see a mix of old and new state, so
+// consistent iteration still requires no concurrent writers.
 type Tree struct {
 	pool      *disk.Pool
 	valueSize int
 	leafCap   int
 	fanout    int // max children of an internal node
 
+	mu     sync.RWMutex
 	root   disk.PageID
 	height int // 1 = root is a leaf
 	count  int // number of entries
@@ -73,14 +82,26 @@ func New(pool *disk.Pool, cfg Config) (*Tree, error) {
 }
 
 // Len returns the number of entries.
-func (t *Tree) Len() int { return t.count }
+func (t *Tree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.count
+}
 
 // Height returns the tree height (1 when the root is a leaf).
-func (t *Tree) Height() int { return t.height }
+func (t *Tree) Height() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.height
+}
 
 // LeafPages returns the number of leaf pages, the N of the paper's
 // O(vN) page-access analysis.
-func (t *Tree) LeafPages() int { return t.leaves }
+func (t *Tree) LeafPages() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.leaves
+}
 
 // LeafCapacity returns the configured maximum entries per leaf.
 func (t *Tree) LeafCapacity() int { return t.leafCap }
@@ -162,6 +183,8 @@ func searchLeaf(n *leafNode, k Key) int {
 
 // Get returns the value stored under the key.
 func (t *Tree) Get(k Key) ([]byte, bool, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var enc [encodedKeyLen]byte
 	k.encode(enc[:])
 	leafID, _, err := t.findLeaf(enc[:])
@@ -186,6 +209,8 @@ var ErrDuplicateKey = fmt.Errorf("btree: duplicate key")
 // Insert adds an entry. The value must be exactly ValueSize bytes.
 // Inserting an existing key returns ErrDuplicateKey.
 func (t *Tree) Insert(k Key, value []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if len(value) != t.valueSize {
 		return fmt.Errorf("btree: value has %d bytes, want %d", len(value), t.valueSize)
 	}

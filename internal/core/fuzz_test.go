@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"probe/internal/zorder"
+)
+
+// Native fuzz targets for the join layer: the input-sorting validator
+// that guards SpatialJoin, and the z-prefix partitioner under the
+// parallel join. `go test` runs the seed corpus; e.g.
+// `go test -fuzz=FuzzPartitionZ ./internal/core` digs deeper.
+
+// fuzzItems decodes a byte string into an element relation, two bytes
+// per item: (bits, len mod 17). Sorted with SortItems it is a valid
+// join input; raw, it exercises the validators.
+func fuzzItems(data []byte) []Item {
+	var items []Item
+	for i := 0; i+1 < len(data); i += 2 {
+		n := int(data[i+1] % 17)
+		items = append(items, Item{
+			Elem: zorder.NewElement(uint64(data[i])&(1<<uint(n)-1), n),
+			ID:   uint64(i / 2),
+		})
+	}
+	return items
+}
+
+// FuzzSpatialJoinSortingValidation: SpatialJoin and the partitioned
+// parallel join must agree on whether an input is acceptable —
+// exactly the inputs checkSorted admits — and must never emit pairs
+// from a rejected input.
+func FuzzSpatialJoinSortingValidation(f *testing.F) {
+	f.Add([]byte{0b01, 2, 0b011, 3}, uint8(2))
+	f.Add([]byte{0xff, 16, 0x00, 1, 0x80, 9}, uint8(0))
+	f.Add([]byte{1, 4, 1, 4, 1, 4}, uint8(5))
+	f.Fuzz(func(t *testing.T, data []byte, pbRaw uint8) {
+		items := fuzzItems(data)
+		sorted := append([]Item(nil), items...)
+		SortItems(sorted)
+		wantErr := checkSorted(items) != nil
+
+		_, seqErr := SpatialJoin(items, sorted)
+		if (seqErr != nil) != wantErr {
+			t.Fatalf("sequential join error = %v, checkSorted rejects = %v", seqErr, wantErr)
+		}
+		cfg := ParallelJoinConfig{Workers: 1 + int(pbRaw%4), PrefixBits: int(pbRaw % 9)}
+		pairs, parErr := SpatialJoinParallel(items, sorted, cfg)
+		if (parErr != nil) != wantErr {
+			t.Fatalf("parallel join error = %v, checkSorted rejects = %v", parErr, wantErr)
+		}
+		if parErr != nil && len(pairs) != 0 {
+			t.Fatalf("rejected input still produced %d pairs", len(pairs))
+		}
+		// On valid inputs the two joins must agree after projection.
+		if !wantErr {
+			seq, _ := SpatialJoin(items, sorted)
+			if !equalPairs(DedupPairs(pairs), DedupPairs(seq)) {
+				t.Fatalf("parallel and sequential joins disagree")
+			}
+		}
+	})
+}
+
+// FuzzPartitionZ: on any sorted input pair and any legal prefix, the
+// partitioner must produce sorted shards, place every element in its
+// covered shard range, and lose no join pairs.
+func FuzzPartitionZ(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 3, 0x55, 8}, []byte{0x80, 1, 0x42, 7}, uint8(3))
+	f.Add([]byte{9, 16, 9, 15}, []byte{9, 14}, uint8(6))
+	f.Add([]byte{}, []byte{1, 1}, uint8(1))
+	f.Fuzz(func(t *testing.T, da, db []byte, pbRaw uint8) {
+		pb := int(pbRaw % (maxPartitionBits + 1))
+		a := fuzzItems(da)
+		b := fuzzItems(db)
+		SortItems(a)
+		SortItems(b)
+		parts, err := PartitionZ(a, b, pb)
+		if err != nil {
+			t.Fatalf("sorted input rejected: %v", err)
+		}
+		shift := uint(64 - pb)
+		for _, part := range parts {
+			for _, side := range [][]Item{part.A, part.B} {
+				if err := checkSorted(side); err != nil {
+					t.Fatalf("prefix %d: shard unsorted: %v", pb, err)
+				}
+			}
+		}
+		if pb > 0 {
+			// Every shard member must actually cover or live in a shard:
+			// its z range must intersect some prefix bucket it was put
+			// in. Reconstruct buckets by re-scattering and compare.
+			shards := make([][]Item, 1<<pb)
+			if err := scatter(a, pb, shards); err != nil {
+				t.Fatal(err)
+			}
+			for s, items := range shards {
+				for _, it := range items {
+					lo := it.Elem.MinZ() >> shift
+					hi := it.Elem.MaxZ(zorder.MaxBits) >> shift
+					if uint64(s) < lo || uint64(s) > hi {
+						t.Fatalf("prefix %d: item %v scattered to shard %d outside [%d,%d]",
+							pb, it, s, lo, hi)
+					}
+				}
+			}
+		}
+		// No pairs lost or invented: shard-wise join == sequential join
+		// after projection.
+		var shardPairs []Pair
+		for _, part := range parts {
+			err := spatialJoinFunc(part.A, part.B, func(p Pair) bool {
+				shardPairs = append(shardPairs, p)
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		seq, err := SpatialJoin(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalPairs(DedupPairs(shardPairs), DedupPairs(seq)) {
+			t.Fatalf("prefix %d: partitioned join changed the distinct pair set", pb)
+		}
+	})
+}

@@ -31,6 +31,15 @@ type IndexConfig struct {
 // disambiguates points sharing a pixel and travels with the entry, so
 // no separate value payload is needed — coordinates are recovered by
 // unshuffling the z value.
+//
+// Thread safety: an Index is safe for concurrent *readers* —
+// RangeSearch, PartialMatch, Nearest, and Decompose may run from many
+// goroutines against one index sharing one buffer pool (the
+// underlying tree and pool latch internally). Writers (Insert,
+// Delete, BulkLoad) exclude readers at the tree latch but callers
+// must not expect snapshot isolation: interleave writes and scans
+// only if phantom/missed rows are acceptable. See docs/parallelism.md
+// for the full layer-by-layer contract.
 type Index struct {
 	g    zorder.Grid
 	tree *btree.Tree

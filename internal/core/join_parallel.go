@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ParallelJoinConfig tunes SpatialJoinParallel.
+type ParallelJoinConfig struct {
+	// Workers is the degree of parallelism: the number of goroutines
+	// joining shards. Zero or negative selects runtime.GOMAXPROCS(0).
+	Workers int
+	// PrefixBits is the z-prefix length at which the inputs are cut
+	// into shards (up to 2^PrefixBits of them). Zero or negative
+	// derives a value from Workers (≥ 4 shards per worker, so uneven
+	// shards even out). One shard per worker would also be correct;
+	// more just balances better.
+	PrefixBits int
+}
+
+func (cfg ParallelJoinConfig) workers() int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func maxElemLen(a, b []Item) int {
+	m := 0
+	for _, it := range a {
+		if int(it.Elem.Len) > m {
+			m = int(it.Elem.Len)
+		}
+	}
+	for _, it := range b {
+		if int(it.Elem.Len) > m {
+			m = int(it.Elem.Len)
+		}
+	}
+	return m
+}
+
+func (cfg ParallelJoinConfig) prefixBits(workers int) int {
+	if cfg.PrefixBits > 0 {
+		if cfg.PrefixBits > maxPartitionBits {
+			return maxPartitionBits
+		}
+		return cfg.PrefixBits
+	}
+	return partitionBitsFor(workers)
+}
+
+// SpatialJoinParallel computes the same join as SpatialJoin by
+// cutting both inputs at common z-prefix boundaries (PartitionZ) and
+// fanning the shards out across a bounded worker pool. Shard outputs
+// are concatenated in shard order, so the result is deterministic —
+// independent of scheduling — and, after the DedupPairs projection,
+// identical to the sequential join's (replicated ancestors make some
+// raw pairs appear in several shards; the projection the paper
+// already prescribes removes them).
+//
+// Both inputs must be sorted in z order (SortItems). The concurrency
+// is pure fan-out over immutable slices: workers share nothing but
+// the input arrays and write disjoint result slots.
+func SpatialJoinParallel(a, b []Item, cfg ParallelJoinConfig) ([]Pair, error) {
+	workers := cfg.workers()
+	pb := cfg.prefixBits(workers)
+	// Cutting deeper than the finest element present only replicates:
+	// an element shorter than the cut goes to every shard it covers.
+	if m := maxElemLen(a, b); pb > m {
+		pb = m
+	}
+	parts, err := PartitionZ(a, b, pb)
+	if err != nil {
+		return nil, err
+	}
+	results := make([][]Pair, len(parts))
+	if len(parts) == 0 {
+		return nil, nil
+	}
+	if workers > len(parts) {
+		workers = len(parts)
+	}
+	var (
+		wg      sync.WaitGroup
+		next    = make(chan int)
+		errOnce sync.Once
+		joinErr error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for s := range next {
+				var pairs []Pair
+				err := spatialJoinFunc(parts[s].A, parts[s].B, func(p Pair) bool {
+					pairs = append(pairs, p)
+					return true
+				})
+				if err != nil {
+					// Unreachable today (inputs were validated by
+					// PartitionZ), but kept so a future streaming join
+					// can fail without deadlocking the pool.
+					errOnce.Do(func() { joinErr = err })
+					continue
+				}
+				results[s] = pairs
+			}
+		}()
+	}
+	for s := range parts {
+		next <- s
+	}
+	close(next)
+	wg.Wait()
+	if joinErr != nil {
+		return nil, joinErr
+	}
+	total := 0
+	for _, r := range results {
+		total += len(r)
+	}
+	out := make([]Pair, 0, total)
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out, nil
+}
+
+// SpatialJoinParallelDistinct is SpatialJoinParallel followed by the
+// deduplicating projection: the parallel counterpart of
+// SpatialJoinDistinct, with identical output.
+func SpatialJoinParallelDistinct(a, b []Item, cfg ParallelJoinConfig) ([]Pair, JoinStats, error) {
+	stats := JoinStats{LeftItems: len(a), RightItems: len(b)}
+	raw, err := SpatialJoinParallel(a, b, cfg)
+	if err != nil {
+		return nil, stats, fmt.Errorf("core: parallel join: %w", err)
+	}
+	stats.RawPairs = len(raw)
+	out := DedupPairs(raw)
+	stats.DistinctPairs = len(out)
+	return out, stats, nil
+}

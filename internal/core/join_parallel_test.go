@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"probe/internal/zorder"
+)
+
+// The parallel join's correctness argument is differential: on any
+// workload, parallel ≡ sequential ≡ brute-force O(n·m) oracle after
+// the DedupPairs projection. The harness below runs it across grids
+// of different dimensionality and depth, partition widths, and worker
+// counts — at least 200 randomized workload/configuration runs.
+
+func parallelConfigs() []ParallelJoinConfig {
+	return []ParallelJoinConfig{
+		{Workers: 1},                // degenerate pool, derived partitions
+		{Workers: 2},                // derived partitions
+		{Workers: 4, PrefixBits: 1}, // more workers than shards
+		{Workers: 3, PrefixBits: 4}, // odd worker count, 16 shards
+		{Workers: 8, PrefixBits: 7}, // many shards, deep cut
+	}
+}
+
+func TestParallelJoinDifferential(t *testing.T) {
+	grids := []zorder.Grid{
+		zorder.MustGrid(1, 6),
+		zorder.MustGrid(2, 4),
+		zorder.MustGrid(2, 8),
+		zorder.MustGrid(3, 4),
+	}
+	runs := 0
+	for gi, g := range grids {
+		rng := rand.New(rand.NewSource(int64(100 + gi)))
+		for seed := int64(0); seed < 10; seed++ {
+			na, nb := 3+rng.Intn(25), 3+rng.Intn(25)
+			left := randomBoxes(g, na, 1000*int64(gi)+seed*2+1)
+			right := randomBoxes(g, nb, 1000*int64(gi)+seed*2+2)
+			a := decomposeBoxes(g, left)
+			b := decomposeBoxes(g, right)
+			want, _, err := SpatialJoinDistinct(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle := bruteOverlaps(left, right)
+			if !equalPairs(want, oracle) {
+				t.Fatalf("grid %v seed %d: sequential join disagrees with oracle", g, seed)
+			}
+			for _, cfg := range parallelConfigs() {
+				got, stats, err := SpatialJoinParallelDistinct(a, b, cfg)
+				if err != nil {
+					t.Fatalf("grid %v seed %d cfg %+v: %v", g, seed, cfg, err)
+				}
+				if !equalPairs(got, want) {
+					t.Fatalf("grid %v seed %d cfg %+v: parallel %d pairs, sequential %d",
+						g, seed, cfg, len(got), len(want))
+				}
+				if stats.DistinctPairs != len(got) || stats.RawPairs < stats.DistinctPairs {
+					t.Fatalf("grid %v seed %d cfg %+v: stats inconsistent: %+v", g, seed, cfg, stats)
+				}
+				runs++
+			}
+		}
+	}
+	if runs < 200 {
+		t.Fatalf("differential harness ran %d workloads, want >= 200", runs)
+	}
+}
+
+// TestParallelJoinDeterministic: the raw (pre-projection) pair stream
+// must not depend on goroutine scheduling — shard outputs are
+// concatenated in shard order.
+func TestParallelJoinDeterministic(t *testing.T) {
+	g := zorder.MustGrid(2, 7)
+	a := decomposeBoxes(g, randomBoxes(g, 40, 71))
+	b := decomposeBoxes(g, randomBoxes(g, 40, 72))
+	cfg := ParallelJoinConfig{Workers: 4, PrefixBits: 3}
+	first, err := SpatialJoinParallel(a, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 {
+		t.Fatal("workload produced no pairs; determinism test is vacuous")
+	}
+	for trial := 0; trial < 10; trial++ {
+		again, err := SpatialJoinParallel(a, b, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("trial %d: raw pair stream differs between runs", trial)
+		}
+	}
+}
+
+func TestParallelJoinRejectsUnsorted(t *testing.T) {
+	g := zorder.MustGrid(2, 5)
+	items := decomposeBoxes(g, randomBoxes(g, 10, 91))
+	if len(items) < 2 {
+		t.Fatal("workload too small")
+	}
+	bad := append([]Item(nil), items...)
+	bad[0], bad[len(bad)-1] = bad[len(bad)-1], bad[0]
+	for _, pb := range []int{0, 3} {
+		cfg := ParallelJoinConfig{Workers: 2, PrefixBits: pb}
+		if _, err := SpatialJoinParallel(bad, items, cfg); err == nil {
+			t.Errorf("prefix %d: unsorted left input accepted", pb)
+		}
+		if _, err := SpatialJoinParallel(items, bad, cfg); err == nil {
+			t.Errorf("prefix %d: unsorted right input accepted", pb)
+		}
+	}
+}
+
+func TestParallelJoinEmptyInputs(t *testing.T) {
+	g := zorder.MustGrid(2, 4)
+	items := decomposeBoxes(g, randomBoxes(g, 5, 93))
+	for _, cfg := range parallelConfigs() {
+		if pairs, err := SpatialJoinParallel(nil, items, cfg); err != nil || len(pairs) != 0 {
+			t.Errorf("cfg %+v: join with empty left = (%d, %v)", cfg, len(pairs), err)
+		}
+		if pairs, err := SpatialJoinParallel(items, nil, cfg); err != nil || len(pairs) != 0 {
+			t.Errorf("cfg %+v: join with empty right = (%d, %v)", cfg, len(pairs), err)
+		}
+		if pairs, err := SpatialJoinParallel(nil, nil, cfg); err != nil || len(pairs) != 0 {
+			t.Errorf("cfg %+v: join of empties = (%d, %v)", cfg, len(pairs), err)
+		}
+	}
+}
+
+// TestPartitionZInvariants checks the partitioner's structural
+// guarantees directly: every shard is sorted and nested like a valid
+// join input, elements at least prefixBits long appear exactly once,
+// and shorter "open ancestors" are replicated into every shard whose
+// items they may contain.
+func TestPartitionZInvariants(t *testing.T) {
+	g := zorder.MustGrid(2, 6)
+	for seed := int64(0); seed < 8; seed++ {
+		a := decomposeBoxes(g, randomBoxes(g, 20, 200+seed))
+		b := decomposeBoxes(g, randomBoxes(g, 20, 300+seed))
+		for _, bits := range []int{1, 2, 4, 6} {
+			parts, err := PartitionZ(a, b, bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			countA := make(map[Item]int)
+			for _, part := range parts {
+				if len(part.A) == 0 || len(part.B) == 0 {
+					t.Fatalf("bits %d: empty shard side survived", bits)
+				}
+				if err := checkSorted(part.A); err != nil {
+					t.Fatalf("bits %d: left shard unsorted: %v", bits, err)
+				}
+				if err := checkSorted(part.B); err != nil {
+					t.Fatalf("bits %d: right shard unsorted: %v", bits, err)
+				}
+				for _, it := range part.A {
+					countA[it]++
+				}
+			}
+			// Long elements appear at most once (their single shard may
+			// have been dropped for an empty other side); short ones at
+			// most their cover count.
+			for it, n := range countA {
+				cover := 1
+				if int(it.Elem.Len) < bits {
+					cover = 1 << (bits - int(it.Elem.Len))
+				}
+				if n > cover {
+					t.Fatalf("bits %d: item %v appears %d times, cover only %d",
+						bits, it, n, cover)
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionZValidation(t *testing.T) {
+	g := zorder.MustGrid(2, 4)
+	items := decomposeBoxes(g, randomBoxes(g, 5, 400))
+	if _, err := PartitionZ(items, items, -1); err == nil {
+		t.Error("negative prefix accepted")
+	}
+	if _, err := PartitionZ(items, items, maxPartitionBits+1); err == nil {
+		t.Error("oversized prefix accepted")
+	}
+	bad := append([]Item(nil), items...)
+	if len(bad) >= 2 {
+		bad[0], bad[len(bad)-1] = bad[len(bad)-1], bad[0]
+		if _, err := PartitionZ(bad, items, 3); err == nil {
+			t.Error("unsorted left input accepted")
+		}
+		if _, err := PartitionZ(items, bad, 3); err == nil {
+			t.Error("unsorted right input accepted")
+		}
+	}
+}
+
+func TestPartitionBitsForScalesWithWorkers(t *testing.T) {
+	if got := partitionBitsFor(1); got != 0 {
+		t.Errorf("1 worker should not partition, got %d bits", got)
+	}
+	for _, w := range []int{2, 4, 8, 16} {
+		bits := partitionBitsFor(w)
+		if 1<<bits < 4*w && bits < maxPartitionBits {
+			t.Errorf("%d workers got %d bits (< 4x shards)", w, bits)
+		}
+		if bits > maxPartitionBits {
+			t.Errorf("%d workers exceeded cap: %d bits", w, bits)
+		}
+	}
+	if partitionBitsFor(1<<20) != maxPartitionBits {
+		t.Error("huge worker count must clamp to the cap")
+	}
+}

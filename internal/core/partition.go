@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+
+	"probe/internal/zorder"
+)
+
+// This file implements the data-parallel decomposition of the spatial
+// join: z-order is a space-filling curve, so cutting both sorted
+// inputs at common z-prefix boundaries yields shards whose element
+// sets live in disjoint regions of space — shards can be joined
+// independently and their pair streams concatenated.
+//
+// The one complication is elements *shorter* than the cut prefix: a
+// short element spans several shards, so pairs between it and items
+// in any of those shards would be lost by a plain split. Following
+// the §3.2 nesting invariant (elements relate only by containment or
+// precedence), such an "open ancestor" is replicated into every shard
+// it covers; because an ancestor precedes all of its descendants in z
+// order, replication preserves each shard's sortedness and nesting
+// structure, so the per-shard join is exactly the sequential join
+// restricted to that region. Replication multiplies only
+// ancestor-ancestor pairs, which the DedupPairs projection removes —
+// the paper already requires that projection for the sequential join,
+// whose merge also multiply-reports overlaps.
+
+// JoinPartition is one shard of a partitioned join input pair: the
+// left and right items whose elements fall in (or cover) one z-prefix
+// range, each still in z order.
+type JoinPartition struct {
+	A, B []Item
+}
+
+// maxPartitionBits caps the partition fan-out at 2^10 shards; beyond
+// that the per-shard bookkeeping outweighs any conceivable win.
+const maxPartitionBits = 10
+
+// partitionBitsFor picks a prefix length for the requested worker
+// count: enough shards (≥ 4× workers) that stragglers even out, few
+// enough that replication and bookkeeping stay negligible.
+func partitionBitsFor(workers int) int {
+	if workers <= 1 {
+		return 0
+	}
+	bits := 0
+	for (1 << bits) < 4*workers {
+		bits++
+	}
+	if bits > maxPartitionBits {
+		bits = maxPartitionBits
+	}
+	return bits
+}
+
+// PartitionZ splits the two z-sorted inputs of a spatial join at
+// common z-prefix boundaries of prefixBits bits, producing up to
+// 2^prefixBits shards. Elements at least prefixBits long land in the
+// single shard named by their first prefixBits bits; shorter elements
+// are replicated into every shard they cover. Empty shards (either
+// side empty — such a shard can produce no pairs) are dropped.
+//
+// Both inputs must already be in z order (SortItems); each shard's
+// slices are again in z order, and the union of the shards' joins
+// equals the sequential join up to the DedupPairs projection.
+func PartitionZ(a, b []Item, prefixBits int) ([]JoinPartition, error) {
+	if prefixBits < 0 || prefixBits > maxPartitionBits {
+		return nil, fmt.Errorf("core: partition prefix %d bits outside [0,%d]", prefixBits, maxPartitionBits)
+	}
+	if prefixBits == 0 {
+		if err := checkSorted(a); err != nil {
+			return nil, fmt.Errorf("core: left input: %w", err)
+		}
+		if err := checkSorted(b); err != nil {
+			return nil, fmt.Errorf("core: right input: %w", err)
+		}
+		return []JoinPartition{{A: a, B: b}}, nil
+	}
+	shards := 1 << prefixBits
+	as := make([][]Item, shards)
+	bs := make([][]Item, shards)
+	if err := scatter(a, prefixBits, as); err != nil {
+		return nil, fmt.Errorf("core: left input: %w", err)
+	}
+	if err := scatter(b, prefixBits, bs); err != nil {
+		return nil, fmt.Errorf("core: right input: %w", err)
+	}
+	parts := make([]JoinPartition, 0, shards)
+	for s := 0; s < shards; s++ {
+		if len(as[s]) == 0 || len(bs[s]) == 0 {
+			continue
+		}
+		parts = append(parts, JoinPartition{A: as[s], B: bs[s]})
+	}
+	return parts, nil
+}
+
+// scatter distributes one sorted input across the shards, replicating
+// elements shorter than the prefix into every shard they cover.
+// Iterating in sorted order and appending keeps every shard sorted:
+// an ancestor is appended to each covered shard before any of its
+// descendants arrive there, and all of a shard's items are
+// descendants of (or equal to) any short element covering it.
+func scatter(items []Item, prefixBits int, shards [][]Item) error {
+	shift := uint(64 - prefixBits)
+	var prev zorder.Element
+	for i, it := range items {
+		if i > 0 && it.Elem.Compare(prev) < 0 {
+			return fmt.Errorf("items not in z order at position %d", i)
+		}
+		prev = it.Elem
+		lo := it.Elem.MinZ() >> shift
+		hi := it.Elem.MaxZ(zorder.MaxBits) >> shift
+		if int(it.Elem.Len) >= prefixBits {
+			// One shard: the element's own prefix (lo == hi here).
+			shards[lo] = append(shards[lo], it)
+			continue
+		}
+		for s := lo; s <= hi; s++ {
+			shards[s] = append(shards[s], it)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"probe/internal/geom"
+	"probe/internal/zorder"
+)
+
+// Differential property tests for RangeSearch and Nearest, sharing
+// the randomized-workload generator infrastructure of the join
+// harness (randomBoxes + brute-force oracles): random points and
+// random queries over grids of varying dimensionality and depth, each
+// answer checked against an O(n) scan.
+
+// randomPoints is the generator counterpart of randomBoxes: n points
+// with unique ids, possibly sharing pixels.
+func randomPoints(g zorder.Grid, n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		coords := make([]uint32, g.Dims())
+		for d := range coords {
+			coords[d] = uint32(rng.Uint64() % g.SideOf(d))
+		}
+		pts[i] = geom.Point{ID: uint64(i), Coords: coords}
+	}
+	return pts
+}
+
+func TestRangeSearchDifferentialProperty(t *testing.T) {
+	grids := []zorder.Grid{
+		zorder.MustGrid(1, 8),
+		zorder.MustGrid(2, 5),
+		zorder.MustGrid(2, 9),
+		zorder.MustGrid(3, 4),
+	}
+	runs := 0
+	for gi, g := range grids {
+		pts := randomPoints(g, 600, int64(500+gi))
+		ix := newTestIndex(t, g, 10)
+		if err := ix.BulkLoad(pts); err != nil {
+			t.Fatal(err)
+		}
+		for _, box := range randomBoxes(g, 20, int64(600+gi)) {
+			want := bruteIDs(pts, box)
+			for _, s := range allStrategies() {
+				got, stats, err := ix.RangeSearch(box, s)
+				if err != nil {
+					t.Fatalf("grid %v box %v strategy %v: %v", g, box, s, err)
+				}
+				if !equalU64(resultIDs(got), want) {
+					t.Fatalf("grid %v box %v strategy %v: %d results, brute force %d",
+						g, box, s, len(got), len(want))
+				}
+				if stats.Results != len(got) {
+					t.Fatalf("grid %v strategy %v: stats.Results %d != %d", g, s, stats.Results, len(got))
+				}
+				runs++
+			}
+		}
+	}
+	if runs < 200 {
+		t.Fatalf("range-search property harness ran %d checks, want >= 200", runs)
+	}
+}
+
+func TestNearestDifferentialProperty(t *testing.T) {
+	grids := []zorder.Grid{
+		zorder.MustGrid(2, 6),
+		zorder.MustGrid(2, 8),
+		zorder.MustGrid(3, 4),
+	}
+	runs := 0
+	for gi, g := range grids {
+		pts := randomPoints(g, 400, int64(700+gi))
+		ix := newTestIndex(t, g, 10)
+		if err := ix.BulkLoad(pts); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(800 + gi)))
+		for trial := 0; trial < 25; trial++ {
+			q := make([]uint32, g.Dims())
+			for d := range q {
+				q[d] = uint32(rng.Uint64() % g.SideOf(d))
+			}
+			m := 1 + rng.Intn(12)
+			for _, metric := range []Metric{Chebyshev, Euclidean} {
+				got, _, err := ix.Nearest(q, m, metric, MergeLazy)
+				if err != nil {
+					t.Fatalf("grid %v q=%v m=%d: %v", g, q, m, err)
+				}
+				want := bruteNearest(pts, q, m, metric)
+				if len(got) != len(want) {
+					t.Fatalf("grid %v q=%v m=%d %v: %d neighbors, want %d",
+						g, q, m, metric, len(got), len(want))
+				}
+				for i := range got {
+					// Distances must match; ids may differ only among
+					// equidistant points.
+					if got[i].Dist != want[i].Dist {
+						t.Fatalf("grid %v q=%v m=%d %v: neighbor %d dist %v, want %v",
+							g, q, m, metric, i, got[i].Dist, want[i].Dist)
+					}
+				}
+				runs++
+			}
+		}
+	}
+	if runs < 150 {
+		t.Fatalf("nearest property harness ran %d checks, want >= 150", runs)
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"probe/internal/disk"
+	"probe/internal/geom"
+	"probe/internal/workload"
+	"probe/internal/zorder"
+)
+
+// Concurrency stress: many goroutines querying one index through one
+// shared buffer pool. Run under `go test -race` this proves the
+// thread-safety contract of the stack — pool latch, tree read latch,
+// per-goroutine cursors. The pool is deliberately smaller than the
+// working set so eviction churns under contention.
+
+func TestConcurrentReadersOneIndexOnePool(t *testing.T) {
+	g := zorder.MustGrid(2, 9)
+	store := disk.MustMemStore(1024)
+	pool := disk.MustPool(store, 24, disk.LRU)
+	ix, err := NewIndex(pool, g, IndexConfig{LeafCapacity: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := workload.Uniform(g, 4000, 41)
+	if err := ix.BulkLoad(pts); err != nil {
+		t.Fatal(err)
+	}
+	boxes := randomBoxes(g, 16, 42)
+	want := make([][]uint64, len(boxes))
+	for i, box := range boxes {
+		want[i] = bruteIDs(pts, box)
+	}
+
+	const goroutines = 16
+	const queriesPer = 30
+	errc := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for w := 0; w < goroutines; w++ {
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for q := 0; q < queriesPer; q++ {
+				bi := rng.Intn(len(boxes))
+				s := allStrategies()[rng.Intn(3)]
+				got, stats, err := ix.RangeSearch(boxes[bi], s)
+				if err != nil {
+					errc <- fmt.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if !equalU64(resultIDs(got), want[bi]) {
+					errc <- fmt.Errorf("worker %d box %d strategy %v: wrong result set", w, bi, s)
+					return
+				}
+				if stats.Results != len(got) {
+					errc <- fmt.Errorf("worker %d: stats.Results %d != %d", w, stats.Results, len(got))
+					return
+				}
+				// Interleave the other read paths.
+				if q%7 == 0 {
+					if _, _, err := ix.Nearest(
+						[]uint32{uint32(rng.Intn(512)), uint32(rng.Intn(512))},
+						1+rng.Intn(5), Euclidean, MergeLazy); err != nil {
+						errc <- fmt.Errorf("worker %d nearest: %v", w, err)
+						return
+					}
+				}
+				if q%5 == 0 {
+					pool.Stats() // concurrent stats reads must be safe
+					store.Stats()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if st := pool.Stats(); st.Evictions == 0 {
+		t.Errorf("pool never evicted (capacity %d); stress test is not stressing", pool.Capacity())
+	}
+}
+
+// TestConcurrentReadersWithWriter: readers scanning while a single
+// writer inserts. The contract promises freedom from data races (the
+// tree write latch excludes readers per step), not snapshot
+// isolation, so only error-freedom and the final state are asserted.
+func TestConcurrentReadersWithWriter(t *testing.T) {
+	g := zorder.MustGrid(2, 8)
+	pool := disk.MustPool(disk.MustMemStore(1024), 32, disk.LRU)
+	ix, err := NewIndex(pool, g, IndexConfig{LeafCapacity: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := workload.Uniform(g, 1000, 43)
+	if err := ix.BulkLoad(base); err != nil {
+		t.Fatal(err)
+	}
+	extra := workload.Uniform(g, 500, 44)
+	for i := range extra {
+		extra[i].ID += 1_000_000 // keep (pixel, id) unique vs base
+	}
+
+	errc := make(chan error, 9)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, p := range extra {
+			if err := ix.Insert(p); err != nil {
+				errc <- fmt.Errorf("writer: %v", err)
+				return
+			}
+		}
+	}()
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(200 + w)))
+			for q := 0; q < 40; q++ {
+				lo := uint32(rng.Intn(200))
+				box := geom.Box2(lo, lo+55, lo, lo+55)
+				if _, _, err := ix.RangeSearch(box, allStrategies()[q%3]); err != nil {
+					errc <- fmt.Errorf("reader %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if got, want := ix.Len(), len(base)+len(extra); got != want {
+		t.Errorf("index has %d points after writer finished, want %d", got, want)
+	}
+	// The index must still be fully consistent once writers are done.
+	if err := ix.Tree().CheckInvariants(); err != nil {
+		t.Errorf("tree invariants violated after concurrent workload: %v", err)
+	}
+}
+
+// TestConcurrentParallelJoins: several parallel joins running at
+// once, sharing nothing but the immutable inputs — the pattern a
+// query executor under concurrent traffic produces.
+func TestConcurrentParallelJoins(t *testing.T) {
+	g := zorder.MustGrid(2, 7)
+	a := decomposeBoxes(g, randomBoxes(g, 30, 45))
+	b := decomposeBoxes(g, randomBoxes(g, 30, 46))
+	want, _, err := SpatialJoinDistinct(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cfg := ParallelJoinConfig{Workers: 1 + w%4, PrefixBits: 1 + w%5}
+			got, _, err := SpatialJoinParallelDistinct(a, b, cfg)
+			if err != nil {
+				errc <- err
+				return
+			}
+			if !equalPairs(got, want) {
+				errc <- fmt.Errorf("worker %d: wrong pair set", w)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,76 @@
+package decompose
+
+import (
+	"testing"
+
+	"probe/internal/geom"
+	"probe/internal/zorder"
+)
+
+// Fuzz target for the lazy cursor: on any box it must yield exactly
+// the eager decomposition, in z order, and Seek must land on the
+// first element whose z range ends at or after the target — the two
+// access patterns the range-search merge relies on (Section 3.3).
+
+func FuzzCursorMatchesEagerDecomposition(f *testing.F) {
+	f.Add(uint32(1), uint32(3), uint32(0), uint32(4), uint8(3), uint64(0))
+	f.Add(uint32(0), uint32(7), uint32(0), uint32(7), uint8(3), uint64(1)<<60)
+	f.Add(uint32(5), uint32(5), uint32(2), uint32(2), uint8(5), uint64(123)<<48)
+	f.Fuzz(func(t *testing.T, x1, x2, y1, y2 uint32, dRaw uint8, seekZ uint64) {
+		d := int(dRaw%6) + 2
+		g := zorder.MustGrid(2, d)
+		side := uint32(g.Side())
+		x1, x2, y1, y2 = x1%side, x2%side, y1%side, y2%side
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		if y1 > y2 {
+			y1, y2 = y2, y1
+		}
+		box := geom.Box2(x1, x2, y1, y2)
+		eager := Box(g, box)
+
+		c, err := NewCursor(g, box, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lazy []zorder.Element
+		for c.Next() {
+			lazy = append(lazy, c.Element())
+		}
+		if len(lazy) != len(eager) {
+			t.Fatalf("box %v d=%d: cursor yielded %d elements, eager %d", box, d, len(lazy), len(eager))
+		}
+		for i := range lazy {
+			if lazy[i] != eager[i] {
+				t.Fatalf("box %v d=%d: element %d is %v, eager has %v", box, d, i, lazy[i], eager[i])
+			}
+		}
+		for i := 1; i < len(lazy); i++ {
+			if lazy[i].Compare(lazy[i-1]) <= 0 {
+				t.Fatalf("box %v d=%d: cursor output not strictly z-ordered at %d", box, d, i)
+			}
+		}
+
+		// Seek: first element with MaxZ >= z, against the eager list.
+		z := seekZ >> uint(64-g.TotalBits()) << uint(64-g.TotalBits())
+		sc, err := NewCursor(g, box, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := sc.Seek(z)
+		var want *zorder.Element
+		for i := range eager {
+			if eager[i].MaxZ(g.TotalBits()) >= z {
+				want = &eager[i]
+				break
+			}
+		}
+		if ok != (want != nil) {
+			t.Fatalf("box %v d=%d: Seek(%x) = %v, eager says %v", box, d, z, ok, want != nil)
+		}
+		if ok && sc.Element() != *want {
+			t.Fatalf("box %v d=%d: Seek(%x) landed on %v, want %v", box, d, z, sc.Element(), *want)
+		}
+	})
+}

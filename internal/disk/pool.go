@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 )
 
 // Policy selects the buffer pool's eviction strategy. LRU is the
@@ -50,6 +52,34 @@ func (s PoolStats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Gets)
 }
 
+// counters is the pool's internal, atomically updated form of
+// PoolStats, so Stats can be read without taking the pool latch.
+type counters struct {
+	gets       atomic.Uint64
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	evictions  atomic.Uint64
+	writeBacks atomic.Uint64
+}
+
+func (c *counters) snapshot() PoolStats {
+	return PoolStats{
+		Gets:       c.gets.Load(),
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Evictions:  c.evictions.Load(),
+		WriteBacks: c.writeBacks.Load(),
+	}
+}
+
+func (c *counters) reset() {
+	c.gets.Store(0)
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
+	c.writeBacks.Store(0)
+}
+
 // Frame is a pinned page resident in a buffer pool. Data is the
 // page's contents; mutate it in place and call SetDirty, then Unpin.
 type Frame struct {
@@ -61,26 +91,50 @@ type Frame struct {
 }
 
 // SetDirty marks the frame's contents as modified so eviction and
-// Flush write them back.
+// Flush write them back. Like mutating Data, it is a write operation:
+// the caller must hold the page pinned and be the pool's only writer.
 func (f *Frame) SetDirty() { f.dirty = true }
 
-// Pool is a fixed-capacity page cache over a Store. It is not safe
-// for concurrent use; the database layers above it are single-threaded
-// per operation, like the systems the paper targets.
+// Pool is a fixed-capacity page cache over a Store.
+//
+// Thread safety: all operations serialize on an internal latch, so a
+// Pool is safe for any number of concurrent *readers* (Get/Unpin of
+// pages whose Data they only read). Writers — anything that mutates a
+// Frame's Data or calls SetDirty — must additionally be externally
+// serialized against each other and against readers of the same page,
+// because frame contents are handed out unlocked; see
+// docs/parallelism.md for the layer-by-layer contract.
 type Pool struct {
 	store    Store
 	capacity int
 	policy   Policy
-	frames   map[PageID]*Frame
-	order    *list.List // LRU/FIFO order: front = next eviction victim
-	rng      *rand.Rand
-	stats    PoolStats
+
+	mu     sync.Mutex
+	frames map[PageID]*Frame
+	order  *list.List // LRU/FIFO order: front = next eviction victim
+	rng    *rand.Rand
+
+	stats counters
 }
 
-// NewPool creates a buffer pool holding up to capacity pages.
+// NewPool creates a buffer pool holding up to capacity pages. The
+// Random policy draws from a fixed-seed source; use NewPoolRand to
+// inject one.
 func NewPool(store Store, capacity int, policy Policy) (*Pool, error) {
+	return NewPoolRand(store, capacity, policy, rand.New(rand.NewSource(0x5eed)))
+}
+
+// NewPoolRand is NewPool with an injected random source for the
+// Random eviction policy, so pool behavior is reproducible in tests
+// and ablation benchmarks. The pool takes ownership of rng: it must
+// not be shared with other users (pool operations serialize access to
+// it internally). A nil rng falls back to the default fixed seed.
+func NewPoolRand(store Store, capacity int, policy Policy, rng *rand.Rand) (*Pool, error) {
 	if capacity < 1 {
 		return nil, fmt.Errorf("disk: pool capacity %d < 1", capacity)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(0x5eed))
 	}
 	return &Pool{
 		store:    store,
@@ -88,7 +142,7 @@ func NewPool(store Store, capacity int, policy Policy) (*Pool, error) {
 		policy:   policy,
 		frames:   make(map[PageID]*Frame, capacity),
 		order:    list.New(),
-		rng:      rand.New(rand.NewSource(0x5eed)),
+		rng:      rng,
 	}, nil
 }
 
@@ -107,25 +161,28 @@ func (p *Pool) Store() Store { return p.store }
 // Capacity returns the pool's frame capacity.
 func (p *Pool) Capacity() int { return p.capacity }
 
-// Stats returns the pool's access counters.
-func (p *Pool) Stats() PoolStats { return p.stats }
+// Stats returns the pool's access counters. It may be called
+// concurrently with any pool operation.
+func (p *Pool) Stats() PoolStats { return p.stats.snapshot() }
 
 // ResetStats zeroes the pool's access counters.
-func (p *Pool) ResetStats() { p.stats = PoolStats{} }
+func (p *Pool) ResetStats() { p.stats.reset() }
 
 // Get pins the page in the pool, reading it from the store on a miss,
 // and returns its frame. Callers must Unpin the frame when done.
 func (p *Pool) Get(id PageID) (*Frame, error) {
-	p.stats.Gets++
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.gets.Add(1)
 	if f, ok := p.frames[id]; ok {
-		p.stats.Hits++
+		p.stats.hits.Add(1)
 		f.pins++
 		if p.policy == LRU {
 			p.order.MoveToBack(f.elem)
 		}
 		return f, nil
 	}
-	p.stats.Misses++
+	p.stats.misses.Add(1)
 	f, err := p.admit(id)
 	if err != nil {
 		return nil, err
@@ -141,6 +198,8 @@ func (p *Pool) Get(id PageID) (*Frame, error) {
 // for it. Callers must Unpin the frame when done; the frame starts
 // dirty so its (initially zero) contents reach the store.
 func (p *Pool) NewPage() (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	id, err := p.store.Allocate()
 	if err != nil {
 		return nil, err
@@ -153,7 +212,8 @@ func (p *Pool) NewPage() (*Frame, error) {
 	return f, nil
 }
 
-// admit makes room if needed and installs a pinned frame for id.
+// admit makes room if needed and installs a pinned frame for id. The
+// caller holds p.mu.
 func (p *Pool) admit(id PageID) (*Frame, error) {
 	for len(p.frames) >= p.capacity {
 		if err := p.evictOne(); err != nil {
@@ -171,7 +231,8 @@ func (p *Pool) discard(f *Frame) {
 	delete(p.frames, f.ID)
 }
 
-// evictOne removes one unpinned frame according to the policy.
+// evictOne removes one unpinned frame according to the policy. The
+// caller holds p.mu.
 func (p *Pool) evictOne() error {
 	var victim *Frame
 	switch p.policy {
@@ -201,16 +262,18 @@ func (p *Pool) evictOne() error {
 		if err := p.store.Write(victim.ID, victim.Data); err != nil {
 			return err
 		}
-		p.stats.WriteBacks++
+		p.stats.writeBacks.Add(1)
 	}
 	p.discard(victim)
-	p.stats.Evictions++
+	p.stats.evictions.Add(1)
 	return nil
 }
 
 // Unpin releases one pin on the page. dirty marks the contents
 // modified.
 func (p *Pool) Unpin(id PageID, dirty bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	f, ok := p.frames[id]
 	if !ok {
 		return fmt.Errorf("disk: unpin of non-resident page %d", id)
@@ -228,6 +291,12 @@ func (p *Pool) Unpin(id PageID, dirty bool) error {
 // Flush writes all dirty frames back to the store without evicting
 // them.
 func (p *Pool) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.flushLocked()
+}
+
+func (p *Pool) flushLocked() error {
 	for e := p.order.Front(); e != nil; e = e.Next() {
 		f := e.Value.(*Frame)
 		if f.dirty {
@@ -235,7 +304,7 @@ func (p *Pool) Flush() error {
 				return err
 			}
 			f.dirty = false
-			p.stats.WriteBacks++
+			p.stats.writeBacks.Add(1)
 		}
 	}
 	return nil
@@ -244,6 +313,8 @@ func (p *Pool) Flush() error {
 // Drop removes the page from the pool (writing it back if dirty) and
 // frees it in the store. The page must be unpinned.
 func (p *Pool) Drop(id PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if f, ok := p.frames[id]; ok {
 		if f.pins > 0 {
 			return fmt.Errorf("disk: drop of pinned page %d", id)
@@ -254,13 +325,19 @@ func (p *Pool) Drop(id PageID) error {
 }
 
 // Resident returns the number of frames currently in the pool.
-func (p *Pool) Resident() int { return len(p.frames) }
+func (p *Pool) Resident() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.frames)
+}
 
 // Invalidate empties the pool after flushing dirty pages, so the next
 // accesses are cold. The experiment harness uses this between queries
 // to make page-access counts reproducible.
 func (p *Pool) Invalidate() error {
-	if err := p.Flush(); err != nil {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.flushLocked(); err != nil {
 		return err
 	}
 	for _, f := range p.frames {

@@ -1,0 +1,153 @@
+package disk
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// replayRandomPool runs a fixed access pattern against a Random-policy
+// pool built on the given source and returns the ids resident at the
+// end plus the final stats — a full fingerprint of eviction behavior.
+func replayRandomPool(t *testing.T, rng *rand.Rand) ([]PageID, PoolStats) {
+	t.Helper()
+	store := MustMemStore(128)
+	pool, err := NewPoolRand(store, 8, Random, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []PageID
+	for i := 0; i < 32; i++ {
+		f, err := pool.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, f.ID)
+		if err := pool.Unpin(f.ID, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A deterministic but shuffled re-access pattern, so eviction has
+	// real choices to make.
+	for i := 0; i < 200; i++ {
+		id := ids[(i*13)%len(ids)]
+		f, err := pool.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pool.Unpin(f.ID, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var resident []PageID
+	for _, id := range ids {
+		pool.mu.Lock()
+		_, ok := pool.frames[id]
+		pool.mu.Unlock()
+		if ok {
+			resident = append(resident, id)
+		}
+	}
+	sort.Slice(resident, func(i, j int) bool { return resident[i] < resident[j] })
+	return resident, pool.Stats()
+}
+
+// TestRandomEvictionReproducible: with an injected seeded source, the
+// Random policy is a pure function of the access pattern — the
+// property the buffer-policy ablation benchmark depends on.
+func TestRandomEvictionReproducible(t *testing.T) {
+	res1, stats1 := replayRandomPool(t, rand.New(rand.NewSource(7)))
+	res2, stats2 := replayRandomPool(t, rand.New(rand.NewSource(7)))
+	if fmt.Sprint(res1) != fmt.Sprint(res2) {
+		t.Errorf("same seed, different resident sets:\n%v\n%v", res1, res2)
+	}
+	if stats1 != stats2 {
+		t.Errorf("same seed, different stats: %+v vs %+v", stats1, stats2)
+	}
+	// A different seed must be able to change the eviction choices
+	// (fixed workload, so this is deterministic, not flaky).
+	res3, _ := replayRandomPool(t, rand.New(rand.NewSource(8)))
+	if fmt.Sprint(res1) == fmt.Sprint(res3) {
+		t.Errorf("different seeds produced identical resident sets; injection has no effect")
+	}
+	// nil rng falls back to the default fixed seed — same as NewPool.
+	res4, _ := replayRandomPool(t, nil)
+	res5, _ := replayRandomPool(t, rand.New(rand.NewSource(0x5eed)))
+	if fmt.Sprint(res4) != fmt.Sprint(res5) {
+		t.Errorf("nil rng does not match the default seed")
+	}
+}
+
+// TestPoolConcurrentReaders hammers one pool from many goroutines:
+// Get/Unpin of a page set larger than capacity (so eviction churns),
+// with concurrent Stats reads and periodic Flushes. Run under -race
+// this proves the pool latch covers every path.
+func TestPoolConcurrentReaders(t *testing.T) {
+	store := MustMemStore(128)
+	pool := MustPool(store, 16, LRU)
+	var ids []PageID
+	for i := 0; i < 64; i++ {
+		f, err := pool.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Data[0] = byte(i)
+		f.SetDirty()
+		ids = append(ids, f.ID)
+		if err := pool.Unpin(f.ID, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 12
+	errc := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for w := 0; w < goroutines; w++ {
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 300; i++ {
+				idx := rng.Intn(len(ids))
+				f, err := pool.Get(ids[idx])
+				if err != nil {
+					errc <- fmt.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if got := f.Data[0]; got != byte(idx) {
+					errc <- fmt.Errorf("worker %d: page %d holds %d, want %d", w, ids[idx], got, idx)
+					pool.Unpin(f.ID, false)
+					return
+				}
+				if err := pool.Unpin(f.ID, false); err != nil {
+					errc <- fmt.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if i%31 == 0 {
+					pool.Stats()
+					pool.Resident()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	st := pool.Stats()
+	if st.Evictions == 0 {
+		t.Error("no evictions; the stress test did not exceed capacity")
+	}
+	if got := st.Gets; got != goroutines*300 {
+		t.Errorf("stats lost updates: %d gets, want %d", got, goroutines*300)
+	}
+	if st.Hits+st.Misses != st.Gets {
+		t.Errorf("hits %d + misses %d != gets %d", st.Hits, st.Misses, st.Gets)
+	}
+}

@@ -63,6 +63,11 @@ type Config struct {
 	RandomAccessPenalty float64
 	// Strategy used by index scans. Default MergeLazy.
 	Strategy core.Strategy
+	// Parallelism is the degree of parallelism for merge spatial
+	// joins: > 1 executes the element-relation merge with that many
+	// workers over z-prefix partitions (see docs/parallelism.md).
+	// 0 or 1 keeps the join sequential.
+	Parallelism int
 }
 
 func (c Config) penalty() float64 {
@@ -217,12 +222,16 @@ func PlanRegionJoin(t *Table, regions []Region, cfg Config) (*JoinPlan, error) {
 			run:            func() ([]RegionJoinResult, error) { return nestedLoopJoin(t, regions, cfg) },
 		}, nil
 	}
+	how := "sequential"
+	if cfg.Parallelism > 1 {
+		how = fmt.Sprintf("parallel x%d", cfg.Parallelism)
+	}
 	return &JoinPlan{
 		Description: fmt.Sprintf(
-			"merge spatial join: decompose %d regions, one pass over %s (est. %.1f pages)",
-			len(regions), t.Name, mergeCost),
+			"merge spatial join (%s): decompose %d regions, one pass over %s (est. %.1f pages)",
+			how, len(regions), t.Name, mergeCost),
 		EstimatedPages: mergeCost,
-		run:            func() ([]RegionJoinResult, error) { return mergeJoin(t, regions) },
+		run:            func() ([]RegionJoinResult, error) { return mergeJoin(t, regions, cfg) },
 	}, nil
 }
 
@@ -241,7 +250,7 @@ func nestedLoopJoin(t *Table, regions []Region, cfg Config) ([]RegionJoinResult,
 	return out, nil
 }
 
-func mergeJoin(t *Table, regions []Region) ([]RegionJoinResult, error) {
+func mergeJoin(t *Table, regions []Region, cfg Config) ([]RegionJoinResult, error) {
 	g := t.Index.Grid()
 	// Build the region element relation.
 	var items []core.Item
@@ -271,10 +280,20 @@ func mergeJoin(t *Table, regions []Region) ([]RegionJoinResult, error) {
 		})
 		pointByID[k.Lo] = geom.Point{ID: k.Lo, Coords: g.UnshuffleKey(k.Hi)}
 	}
-	pairs, err := core.SpatialJoin(pItems, items)
+	var pairs []core.Pair
+	var err error
+	if cfg.Parallelism > 1 {
+		pairs, err = core.SpatialJoinParallel(pItems, items, core.ParallelJoinConfig{Workers: cfg.Parallelism})
+	} else {
+		pairs, err = core.SpatialJoin(pItems, items)
+	}
 	if err != nil {
 		return nil, err
 	}
+	// The merge multiply-reports an overlap per element pair (and the
+	// parallel form also per shard); project to distinct pairs before
+	// materializing results.
+	pairs = core.DedupPairs(pairs)
 	var out []RegionJoinResult
 	for _, pr := range pairs {
 		out = append(out, RegionJoinResult{RegionID: pr.B, Point: pointByID[pr.A]})

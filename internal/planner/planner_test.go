@@ -159,7 +159,7 @@ func TestRegionJoinPlansAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mg, err := mergeJoin(tab, regions)
+	mg, err := mergeJoin(tab, regions, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +204,7 @@ func TestRegionJoinValidation(t *testing.T) {
 	}
 	indexed := newTable(t, g, 100, 8)
 	dup := []Region{{ID: 1, Box: geom.Box2(0, 1, 0, 1)}, {ID: 1, Box: geom.Box2(2, 3, 2, 3)}}
-	if _, err := mergeJoin(indexed, dup); err == nil {
+	if _, err := mergeJoin(indexed, dup, Config{}); err == nil {
 		t.Errorf("duplicate region ids accepted by merge join")
 	}
 }
@@ -330,5 +330,44 @@ func TestStatsEstimateTracksActual(t *testing.T) {
 				t.Errorf("%s: estimate %.1f far above actual %d for %v", name, est, stats.DataPages, box)
 			}
 		}
+	}
+}
+
+// TestRegionJoinParallelismKnob: the merge join must produce the same
+// results at any degree of parallelism, and the plan must say which
+// it used.
+func TestRegionJoinParallelismKnob(t *testing.T) {
+	g := zorder.MustGrid(2, 8)
+	tab := newTable(t, g, 1500, 11)
+	var regions []Region
+	for i := 0; i < 30; i++ {
+		lo := uint32(i * 8)
+		regions = append(regions, Region{ID: uint64(i + 1), Box: geom.Box2(lo, lo+120, 0, 200)})
+	}
+	seq, err := mergeJoin(tab, regions, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 4, 8} {
+		got, err := mergeJoin(tab, regions, Config{Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(seq) {
+			t.Fatalf("parallelism %d: %d results, sequential %d", par, len(got), len(seq))
+		}
+		for i := range got {
+			if got[i].RegionID != seq[i].RegionID || got[i].Point.ID != seq[i].Point.ID {
+				t.Fatalf("parallelism %d: result %d differs", par, i)
+			}
+		}
+	}
+	plan, err := PlanRegionJoin(tab, regions, Config{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan.Description, "merge spatial join") &&
+		!strings.Contains(plan.Description, "parallel x4") {
+		t.Errorf("merge plan does not mention parallel degree: %s", plan.Description)
 	}
 }

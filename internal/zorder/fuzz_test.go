@@ -61,6 +61,38 @@ func FuzzBigMinInvariants(f *testing.F) {
 	})
 }
 
+// FuzzZOrderJoinInvariants checks the properties the spatial join's
+// sequence merge and z-prefix partitioner build on: Compare agrees
+// with the [MinZ, MaxZ] interval view of elements, and containment is
+// exactly interval nesting.
+func FuzzZOrderJoinInvariants(f *testing.F) {
+	f.Add(uint64(0b001), uint8(3), uint64(0b0011), uint8(4))
+	f.Add(uint64(0), uint8(0), uint64(0xffff), uint8(16))
+	f.Fuzz(func(t *testing.T, av uint64, an uint8, bv uint64, bn uint8) {
+		a := NewElement(av&(1<<uint(an%17)-1), int(an%17))
+		b := NewElement(bv&(1<<uint(bn%17)-1), int(bn%17))
+		if a.MinZ() > a.MaxZ(MaxBits) {
+			t.Fatalf("%v: MinZ > MaxZ", a)
+		}
+		// Sorting by Compare never decreases MinZ: the merge consumes
+		// items in nondecreasing MinZ order.
+		if a.Compare(b) <= 0 && a.MinZ() > b.MinZ() {
+			t.Fatalf("%v <= %v but MinZ %x > %x", a, b, a.MinZ(), b.MinZ())
+		}
+		// Containment == interval nesting; disjoint == interval
+		// disjointness (partial interval overlap cannot occur, §3.2).
+		nested := a.MinZ() <= b.MinZ() && b.MaxZ(MaxBits) <= a.MaxZ(MaxBits)
+		if a.Contains(b) != nested {
+			t.Fatalf("Contains(%v, %v) = %v but interval nesting = %v", a, b, a.Contains(b), nested)
+		}
+		intervalsDisjoint := a.MaxZ(MaxBits) < b.MinZ() || b.MaxZ(MaxBits) < a.MinZ()
+		if a.Disjoint(b) != intervalsDisjoint {
+			t.Fatalf("Disjoint(%v, %v) = %v but intervals disjoint = %v",
+				a, b, a.Disjoint(b), intervalsDisjoint)
+		}
+	})
+}
+
 func FuzzElementContainsCompare(f *testing.F) {
 	f.Add(uint64(0b001), uint8(3), uint64(0b0011), uint8(4))
 	f.Fuzz(func(t *testing.T, av uint64, an uint8, bv uint64, bn uint8) {

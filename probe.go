@@ -139,6 +139,19 @@ func SpatialJoin(a, b []Item) ([]Pair, JoinStats, error) {
 	return core.SpatialJoinDistinct(a, b)
 }
 
+// ParallelJoinConfig tunes SpatialJoinParallel: the worker count
+// (degree of parallelism) and the z-prefix length at which the inputs
+// are partitioned.
+type ParallelJoinConfig = core.ParallelJoinConfig
+
+// SpatialJoinParallel is SpatialJoin executed by a pool of workers
+// over z-prefix partitions of the inputs (see docs/parallelism.md).
+// workers <= 0 selects runtime.GOMAXPROCS. The distinct pair set is
+// identical to SpatialJoin's.
+func SpatialJoinParallel(a, b []Item, workers int) ([]Pair, JoinStats, error) {
+	return core.SpatialJoinParallelDistinct(a, b, core.ParallelJoinConfig{Workers: workers})
+}
+
 // Union, Intersect, Subtract and XOR are the polygon-overlay set
 // operations on decomposed regions (Section 6).
 func Union(a, b []Element) ([]Element, error)     { return overlay.Union(a, b) }
@@ -179,8 +192,10 @@ type Options struct {
 
 // DB is a spatial database over one grid: a z-ordered point index on
 // simulated paged storage. DB is safe for concurrent use; operations
-// serialize on an internal mutex (the underlying pool and tree are
-// single-threaded, like the systems the paper targets).
+// serialize on an internal mutex. (The underlying pool and tree also
+// support concurrent readers on their own — see docs/parallelism.md —
+// but DB keeps full serialization so its page-access counts stay
+// exactly reproducible, the paper's reported metric.)
 type DB struct {
 	mu    sync.Mutex
 	grid  Grid
