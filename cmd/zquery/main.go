@@ -65,7 +65,7 @@ func main() {
 		fatal(err)
 	}
 	var results []probe.Point
-	var stats probe.SearchStats
+	var stats probe.QueryStats
 	switch {
 	case *partial != "":
 		results, stats, err = runPartial(db, *partial)
@@ -86,40 +86,40 @@ func main() {
 	fmt.Printf("random accesses (seeks): %d, elements/skips: %d\n", stats.Seeks, stats.Elements)
 }
 
-func runRange(db *probe.DB, g probe.Grid, strat probe.Strategy, args []string) ([]probe.Point, probe.SearchStats, error) {
+func runRange(db *probe.DB, g probe.Grid, strat probe.Strategy, args []string) ([]probe.Point, probe.QueryStats, error) {
 	if len(args) != 4 {
-		return nil, probe.SearchStats{}, fmt.Errorf("expected XLO XHI YLO YHI, got %d args", len(args))
+		return nil, probe.QueryStats{}, fmt.Errorf("expected XLO XHI YLO YHI, got %d args", len(args))
 	}
 	vals := make([]uint32, 4)
 	for i, a := range args {
 		v, err := strconv.ParseUint(a, 10, 32)
 		if err != nil {
-			return nil, probe.SearchStats{}, fmt.Errorf("bad bound %q: %v", a, err)
+			return nil, probe.QueryStats{}, fmt.Errorf("bad bound %q: %v", a, err)
 		}
 		if v >= g.Side() {
-			return nil, probe.SearchStats{}, fmt.Errorf("bound %d outside grid side %d", v, g.Side())
+			return nil, probe.QueryStats{}, fmt.Errorf("bound %d outside grid side %d", v, g.Side())
 		}
 		vals[i] = uint32(v)
 	}
 	box, err := probe.NewBox([]uint32{vals[0], vals[2]}, []uint32{vals[1], vals[3]})
 	if err != nil {
-		return nil, probe.SearchStats{}, err
+		return nil, probe.QueryStats{}, err
 	}
 	if err := db.DropCaches(); err != nil {
-		return nil, probe.SearchStats{}, err
+		return nil, probe.QueryStats{}, err
 	}
 	fmt.Printf("range query %v (%s)\n", box, strat)
-	return db.RangeSearchWith(box, strat)
+	return db.RangeSearch(box, probe.WithStrategy(strat))
 }
 
-func runPartial(db *probe.DB, spec string) ([]probe.Point, probe.SearchStats, error) {
+func runPartial(db *probe.DB, spec string) ([]probe.Point, probe.QueryStats, error) {
 	parts := strings.SplitN(spec, "=", 2)
 	if len(parts) != 2 {
-		return nil, probe.SearchStats{}, fmt.Errorf("bad -partial %q, want x=V or y=V", spec)
+		return nil, probe.QueryStats{}, fmt.Errorf("bad -partial %q, want x=V or y=V", spec)
 	}
 	v, err := strconv.ParseUint(parts[1], 10, 32)
 	if err != nil {
-		return nil, probe.SearchStats{}, fmt.Errorf("bad value %q: %v", parts[1], err)
+		return nil, probe.QueryStats{}, fmt.Errorf("bad value %q: %v", parts[1], err)
 	}
 	restricted := []bool{false, false}
 	value := []uint32{0, 0}
@@ -129,10 +129,10 @@ func runPartial(db *probe.DB, spec string) ([]probe.Point, probe.SearchStats, er
 	case "y":
 		restricted[1], value[1] = true, uint32(v)
 	default:
-		return nil, probe.SearchStats{}, fmt.Errorf("bad dimension %q", parts[0])
+		return nil, probe.QueryStats{}, fmt.Errorf("bad dimension %q", parts[0])
 	}
 	if err := db.DropCaches(); err != nil {
-		return nil, probe.SearchStats{}, err
+		return nil, probe.QueryStats{}, err
 	}
 	fmt.Printf("partial match %s\n", spec)
 	return db.PartialMatch(restricted, value)

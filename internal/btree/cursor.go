@@ -2,6 +2,7 @@ package btree
 
 import (
 	"probe/internal/disk"
+	"probe/internal/obs"
 )
 
 // Cursor iterates leaf entries in key order. It supports the two
@@ -23,10 +24,18 @@ type Cursor struct {
 	id    disk.PageID
 	pos   int
 	valid bool
+	span  *obs.Span // traversal-work attribution; nil = untraced
 }
 
 // Cursor returns a new cursor positioned before the first entry.
 func (t *Tree) Cursor() *Cursor { return &Cursor{t: t} }
+
+// SetSpan attributes the cursor's traversal work to sp: one
+// obs.Seeks per SeekGE, obs.NodeVisits per internal node crossed on a
+// descent, and obs.LeafScans per leaf page loaded (rescans included —
+// distinct-page counting is the caller's concern). A nil span
+// disables attribution at zero cost.
+func (c *Cursor) SetSpan(sp *obs.Span) { c.span = sp }
 
 // Valid reports whether the cursor is positioned on an entry.
 func (c *Cursor) Valid() bool { return c.valid }
@@ -59,6 +68,8 @@ func (c *Cursor) First() (bool, error) {
 func (c *Cursor) SeekGE(k Key) (bool, error) {
 	c.t.mu.RLock()
 	defer c.t.mu.RUnlock()
+	c.span.Inc(obs.Seeks)
+	c.span.Add(obs.NodeVisits, int64(c.t.height-1))
 	var enc [encodedKeyLen]byte
 	k.encode(enc[:])
 	id, _, err := c.t.findLeaf(enc[:])
@@ -67,6 +78,7 @@ func (c *Cursor) SeekGE(k Key) (bool, error) {
 		return false, err
 	}
 	n, err := c.t.loadLeaf(id)
+	c.span.Inc(obs.LeafScans)
 	if err != nil {
 		c.valid = false
 		return false, err
@@ -82,6 +94,7 @@ func (c *Cursor) SeekGE(k Key) (bool, error) {
 		}
 		id = c.leaf.next
 		n, err = c.t.loadLeaf(id)
+		c.span.Inc(obs.LeafScans)
 		if err != nil {
 			c.valid = false
 			return false, err
@@ -107,6 +120,7 @@ func (c *Cursor) Next() (bool, error) {
 		}
 		id := c.leaf.next
 		n, err := c.t.loadLeaf(id)
+		c.span.Inc(obs.LeafScans)
 		if err != nil {
 			c.valid = false
 			return false, err
@@ -131,6 +145,7 @@ func (c *Cursor) Prev() (bool, error) {
 		}
 		id := c.leaf.prev
 		n, err := c.t.loadLeaf(id)
+		c.span.Inc(obs.LeafScans)
 		if err != nil {
 			c.valid = false
 			return false, err

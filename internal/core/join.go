@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"probe/internal/obs"
 	"probe/internal/zorder"
 )
 
@@ -47,6 +48,13 @@ func SortItems(items []Item) {
 // project with DedupPairs, as the paper projects out zr and zs to
 // eliminate the redundancy.
 func SpatialJoin(a, b []Item) ([]Pair, error) {
+	return SpatialJoinTraced(a, b, nil)
+}
+
+// SpatialJoinTraced is SpatialJoin with merge-work attribution on sp
+// (obs.MergeSteps, obs.RawPairs). A nil span behaves exactly like
+// SpatialJoin at no cost.
+func SpatialJoinTraced(a, b []Item, sp *obs.Span) ([]Pair, error) {
 	if err := checkSorted(a); err != nil {
 		return nil, fmt.Errorf("core: left input: %w", err)
 	}
@@ -54,7 +62,7 @@ func SpatialJoin(a, b []Item) ([]Pair, error) {
 		return nil, fmt.Errorf("core: right input: %w", err)
 	}
 	var pairs []Pair
-	err := spatialJoinFunc(a, b, func(p Pair) bool {
+	err := spatialJoinFunc(a, b, sp, func(p Pair) bool {
 		pairs = append(pairs, p)
 		return true
 	})
@@ -70,11 +78,19 @@ func checkSorted(items []Item) error {
 	return nil
 }
 
-// spatialJoinFunc is the streaming form of SpatialJoin.
-func spatialJoinFunc(a, b []Item, fn func(Pair) bool) error {
+// spatialJoinFunc is the streaming form of SpatialJoin. The span, if
+// non-nil, receives one obs.MergeSteps per item the merge consumes
+// and one obs.RawPairs per emitted pair (added in bulk at return, so
+// the hot loop stays free of atomics).
+func spatialJoinFunc(a, b []Item, sp *obs.Span, fn func(Pair) bool) error {
 	const total = zorder.MaxBits
 	var stackA, stackB []Item
 	i, j := 0, 0
+	steps, emitted := 0, 0
+	defer func() {
+		sp.Add(obs.MergeSteps, int64(steps))
+		sp.Add(obs.RawPairs, int64(emitted))
+	}()
 	pop := func(stack []Item, minZ uint64) []Item {
 		for len(stack) > 0 && stack[len(stack)-1].Elem.MaxZ(total) < minZ {
 			stack = stack[:len(stack)-1]
@@ -82,6 +98,7 @@ func spatialJoinFunc(a, b []Item, fn func(Pair) bool) error {
 		return stack
 	}
 	for i < len(a) || j < len(b) {
+		steps++
 		fromA := j >= len(b) || (i < len(a) && a[i].Elem.Compare(b[j].Elem) <= 0)
 		var it Item
 		if fromA {
@@ -96,6 +113,7 @@ func spatialJoinFunc(a, b []Item, fn func(Pair) bool) error {
 		stackB = pop(stackB, minZ)
 		if fromA {
 			for _, s := range stackB {
+				emitted++
 				if !fn(Pair{A: it.ID, B: s.ID}) {
 					return nil
 				}
@@ -103,6 +121,7 @@ func spatialJoinFunc(a, b []Item, fn func(Pair) bool) error {
 			stackA = append(stackA, it)
 		} else {
 			for _, s := range stackA {
+				emitted++
 				if !fn(Pair{A: s.ID, B: it.ID}) {
 					return nil
 				}
@@ -144,13 +163,33 @@ type JoinStats struct {
 // SpatialJoinDistinct runs the join and the deduplicating projection,
 // returning distinct overlapping object pairs plus statistics.
 func SpatialJoinDistinct(a, b []Item) ([]Pair, JoinStats, error) {
+	return SpatialJoinDistinctTraced(a, b, nil)
+}
+
+// SpatialJoinDistinctTraced is SpatialJoinDistinct with per-operator
+// attribution on sp: input sizes, merge steps, raw and distinct pair
+// counts. A nil span behaves exactly like SpatialJoinDistinct at no
+// cost.
+func SpatialJoinDistinctTraced(a, b []Item, sp *obs.Span) ([]Pair, JoinStats, error) {
 	stats := JoinStats{LeftItems: len(a), RightItems: len(b)}
-	raw, err := SpatialJoin(a, b)
-	if err != nil {
+	sp.Add(obs.ItemsLeft, int64(len(a)))
+	sp.Add(obs.ItemsRight, int64(len(b)))
+	if err := checkSorted(a); err != nil {
+		return nil, stats, fmt.Errorf("core: left input: %w", err)
+	}
+	if err := checkSorted(b); err != nil {
+		return nil, stats, fmt.Errorf("core: right input: %w", err)
+	}
+	var raw []Pair
+	if err := spatialJoinFunc(a, b, sp, func(p Pair) bool {
+		raw = append(raw, p)
+		return true
+	}); err != nil {
 		return nil, stats, err
 	}
 	stats.RawPairs = len(raw)
 	out := DedupPairs(raw)
 	stats.DistinctPairs = len(out)
+	sp.Add(obs.DistinctPairs, int64(len(out)))
 	return out, stats, nil
 }

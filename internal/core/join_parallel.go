@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"probe/internal/obs"
 )
 
 // ParallelJoinConfig tunes SpatialJoinParallel.
@@ -64,6 +66,24 @@ func (cfg ParallelJoinConfig) prefixBits(workers int) int {
 // is pure fan-out over immutable slices: workers share nothing but
 // the input arrays and write disjoint result slots.
 func SpatialJoinParallel(a, b []Item, cfg ParallelJoinConfig) ([]Pair, error) {
+	return SpatialJoinParallelTraced(a, b, cfg, nil)
+}
+
+// SpatialJoinParallelTraced is SpatialJoinParallel with per-shard
+// attribution on sp: one child span per shard (created serially in
+// shard order, so the trace tree is deterministic) carrying the
+// shard's input sizes, merge steps, raw pairs, and wall time, plus
+// obs.Shards and obs.ReplicatedItems totals on sp itself. Each
+// counter is recorded at exactly one level — per-shard work on the
+// shard spans, shard-level facts on sp — so sp.Total aggregates
+// without double counting: Total(obs.RawPairs) equals the join's raw
+// pair count, and Total(obs.ItemsLeft)+Total(obs.ItemsRight) equals
+// the items the workers actually processed (the inputs, plus
+// ancestor replication, minus items routed only to pruned one-sided
+// shards). obs.ReplicatedItems is that processed total's excess over
+// the inputs, clamped at zero — the net overhead of partitioning. A
+// nil span behaves exactly like SpatialJoinParallel at no cost.
+func SpatialJoinParallelTraced(a, b []Item, cfg ParallelJoinConfig, sp *obs.Span) ([]Pair, error) {
 	workers := cfg.workers()
 	pb := cfg.prefixBits(workers)
 	// Cutting deeper than the finest element present only replicates:
@@ -82,6 +102,27 @@ func SpatialJoinParallel(a, b []Item, cfg ParallelJoinConfig) ([]Pair, error) {
 	if workers > len(parts) {
 		workers = len(parts)
 	}
+	sp.Add(obs.Shards, int64(len(parts)))
+	// Shard spans are created up front, serially and in shard order, so
+	// the child list is deterministic regardless of worker scheduling.
+	var shardSpans []*obs.Span
+	if sp != nil {
+		shardSpans = make([]*obs.Span, len(parts))
+		replicated := int64(-(len(a) + len(b)))
+		for s := range parts {
+			shardSpans[s] = sp.Child(fmt.Sprintf("shard-%03d", s))
+			replicated += int64(len(parts[s].A) + len(parts[s].B))
+		}
+		if replicated > 0 {
+			sp.Add(obs.ReplicatedItems, replicated)
+		}
+	}
+	shardSpan := func(s int) *obs.Span {
+		if shardSpans == nil {
+			return nil
+		}
+		return shardSpans[s]
+	}
 	var (
 		wg      sync.WaitGroup
 		next    = make(chan int)
@@ -93,11 +134,15 @@ func SpatialJoinParallel(a, b []Item, cfg ParallelJoinConfig) ([]Pair, error) {
 		go func() {
 			defer wg.Done()
 			for s := range next {
+				ss := shardSpan(s)
+				ss.Add(obs.ItemsLeft, int64(len(parts[s].A)))
+				ss.Add(obs.ItemsRight, int64(len(parts[s].B)))
 				var pairs []Pair
-				err := spatialJoinFunc(parts[s].A, parts[s].B, func(p Pair) bool {
+				err := spatialJoinFunc(parts[s].A, parts[s].B, ss, func(p Pair) bool {
 					pairs = append(pairs, p)
 					return true
 				})
+				ss.End()
 				if err != nil {
 					// Unreachable today (inputs were validated by
 					// PartitionZ), but kept so a future streaming join
@@ -132,13 +177,21 @@ func SpatialJoinParallel(a, b []Item, cfg ParallelJoinConfig) ([]Pair, error) {
 // deduplicating projection: the parallel counterpart of
 // SpatialJoinDistinct, with identical output.
 func SpatialJoinParallelDistinct(a, b []Item, cfg ParallelJoinConfig) ([]Pair, JoinStats, error) {
+	return SpatialJoinParallelDistinctTraced(a, b, cfg, nil)
+}
+
+// SpatialJoinParallelDistinctTraced is SpatialJoinParallelDistinct
+// with per-shard attribution on sp (see SpatialJoinParallelTraced). A
+// nil span disables tracing at no cost.
+func SpatialJoinParallelDistinctTraced(a, b []Item, cfg ParallelJoinConfig, sp *obs.Span) ([]Pair, JoinStats, error) {
 	stats := JoinStats{LeftItems: len(a), RightItems: len(b)}
-	raw, err := SpatialJoinParallel(a, b, cfg)
+	raw, err := SpatialJoinParallelTraced(a, b, cfg, sp)
 	if err != nil {
 		return nil, stats, fmt.Errorf("core: parallel join: %w", err)
 	}
 	stats.RawPairs = len(raw)
 	out := DedupPairs(raw)
 	stats.DistinctPairs = len(out)
+	sp.Add(obs.DistinctPairs, int64(len(out)))
 	return out, stats, nil
 }

@@ -8,6 +8,7 @@ import (
 	"probe/internal/decompose"
 	"probe/internal/disk"
 	"probe/internal/geom"
+	"probe/internal/obs"
 )
 
 // Strategy selects the range-search variant. All three produce
@@ -71,8 +72,17 @@ func (s SearchStats) Efficiency(leafCapacity int) float64 {
 
 // RangeSearch returns all indexed points inside the box.
 func (ix *Index) RangeSearch(box geom.Box, strategy Strategy) ([]geom.Point, SearchStats, error) {
+	return ix.RangeSearchTraced(box, strategy, nil)
+}
+
+// RangeSearchTraced is RangeSearch with per-operator attribution on
+// sp: the strategy's work counters (obs.Elements or obs.BigMinSkips),
+// the B+-tree cursor's traversal counters, and the final DataPages
+// and Results. A nil span behaves exactly like RangeSearch at no
+// cost.
+func (ix *Index) RangeSearchTraced(box geom.Box, strategy Strategy, sp *obs.Span) ([]geom.Point, SearchStats, error) {
 	var out []geom.Point
-	stats, err := ix.RangeSearchFunc(box, strategy, func(p geom.Point) bool {
+	stats, err := ix.RangeSearchFuncTraced(box, strategy, sp, func(p geom.Point) bool {
 		out = append(out, p)
 		return true
 	})
@@ -82,18 +92,30 @@ func (ix *Index) RangeSearch(box geom.Box, strategy Strategy) ([]geom.Point, Sea
 // RangeSearchFunc streams all indexed points inside the box to fn, in
 // z order. Returning false from fn stops the search early.
 func (ix *Index) RangeSearchFunc(box geom.Box, strategy Strategy, fn func(geom.Point) bool) (SearchStats, error) {
+	return ix.RangeSearchFuncTraced(box, strategy, nil, fn)
+}
+
+// RangeSearchFuncTraced is RangeSearchFunc with per-operator
+// attribution on sp (nil disables tracing at no cost).
+func (ix *Index) RangeSearchFuncTraced(box geom.Box, strategy Strategy, sp *obs.Span, fn func(geom.Point) bool) (SearchStats, error) {
 	if box.Dims() != ix.g.Dims() {
 		return SearchStats{}, fmt.Errorf("core: box has %d dims, index %d", box.Dims(), ix.g.Dims())
 	}
+	var stats SearchStats
+	var err error
 	switch strategy {
 	case MergeDecomposed:
-		return ix.searchDecomposed(box, fn)
+		stats, err = ix.searchDecomposed(box, sp, fn)
 	case MergeLazy:
-		return ix.searchLazy(box, fn)
+		stats, err = ix.searchLazy(box, sp, fn)
 	case SkipBigMin:
-		return ix.searchBigMin(box, fn)
+		stats, err = ix.searchBigMin(box, sp, fn)
+	default:
+		return SearchStats{}, fmt.Errorf("core: unknown strategy %d", int(strategy))
 	}
-	return SearchStats{}, fmt.Errorf("core: unknown strategy %d", int(strategy))
+	sp.Add(obs.DataPages, int64(stats.DataPages))
+	sp.Add(obs.Results, int64(stats.Results))
+	return stats, err
 }
 
 // pageTracker counts distinct leaf pages touched by a cursor.
@@ -120,15 +142,17 @@ func (ix *Index) emit(c *btree.Cursor, fn func(geom.Point) bool, stats *SearchSt
 
 // searchDecomposed is strategy A: materialize B, merge with skipping
 // on both sides.
-func (ix *Index) searchDecomposed(box geom.Box, fn func(geom.Point) bool) (SearchStats, error) {
+func (ix *Index) searchDecomposed(box geom.Box, sp *obs.Span, fn func(geom.Point) bool) (SearchStats, error) {
 	var stats SearchStats
 	elems := decompose.Box(ix.g, box)
 	stats.Elements = len(elems)
+	sp.Add(obs.Elements, int64(len(elems)))
 	if len(elems) == 0 {
 		return stats, nil
 	}
 	total := ix.g.TotalBits()
 	pc := ix.tree.Cursor()
+	pc.SetSpan(sp)
 	pages := newPageTracker()
 	i := 0
 	ok, err := pc.SeekGE(btree.Key{Hi: elems[0].MinZ()})
@@ -174,17 +198,19 @@ func (ix *Index) searchDecomposed(box geom.Box, fn func(geom.Point) bool) (Searc
 
 // searchLazy is strategy B: the same merge, with B generated on
 // demand.
-func (ix *Index) searchLazy(box geom.Box, fn func(geom.Point) bool) (SearchStats, error) {
+func (ix *Index) searchLazy(box geom.Box, sp *obs.Span, fn func(geom.Point) bool) (SearchStats, error) {
 	var stats SearchStats
 	bc, err := decompose.NewCursor(ix.g, box, decompose.Options{})
 	if err != nil {
 		return stats, err
 	}
+	bc.SetSpan(sp)
 	if !bc.Next() {
 		return stats, nil
 	}
 	stats.Elements++
 	pc := ix.tree.Cursor()
+	pc.SetSpan(sp)
 	pages := newPageTracker()
 	ok, err := pc.SeekGE(btree.Key{Hi: bc.ZLo()})
 	stats.Seeks++
@@ -225,15 +251,17 @@ func (ix *Index) searchLazy(box geom.Box, fn func(geom.Point) bool) (SearchStats
 
 // searchBigMin is strategy C: skip directly to the next in-box z
 // value whenever the scan leaves the box.
-func (ix *Index) searchBigMin(box geom.Box, fn func(geom.Point) bool) (SearchStats, error) {
+func (ix *Index) searchBigMin(box geom.Box, sp *obs.Span, fn func(geom.Point) bool) (SearchStats, error) {
 	var stats SearchStats
 	first, any := ix.g.BigMin(0, box.Lo, box.Hi)
 	if !any {
 		return stats, nil
 	}
 	stats.Elements++
+	sp.Inc(obs.BigMinSkips)
 	last, _ := ix.g.LitMax(^uint64(0), box.Lo, box.Hi)
 	pc := ix.tree.Cursor()
+	pc.SetSpan(sp)
 	pages := newPageTracker()
 	ok, err := pc.SeekGE(btree.Key{Hi: first})
 	stats.Seeks++
@@ -259,6 +287,7 @@ func (ix *Index) searchBigMin(box geom.Box, fn func(geom.Point) bool) (SearchSta
 		}
 		next, more := ix.g.BigMin(z, box.Lo, box.Hi)
 		stats.Elements++
+		sp.Inc(obs.BigMinSkips)
 		if !more {
 			break
 		}
@@ -276,8 +305,14 @@ func (ix *Index) searchBigMin(box geom.Box, fn func(geom.Point) bool) (SearchSta
 // PartialMatch runs a partial-match query (Section 5.3.1):
 // restricted[i] pins dimension i to value[i].
 func (ix *Index) PartialMatch(restricted []bool, value []uint32, strategy Strategy) ([]geom.Point, SearchStats, error) {
+	return ix.PartialMatchTraced(restricted, value, strategy, nil)
+}
+
+// PartialMatchTraced is PartialMatch with per-operator attribution on
+// sp (nil disables tracing at no cost).
+func (ix *Index) PartialMatchTraced(restricted []bool, value []uint32, strategy Strategy, sp *obs.Span) ([]geom.Point, SearchStats, error) {
 	if len(restricted) != ix.g.Dims() || len(value) != ix.g.Dims() {
 		return nil, SearchStats{}, fmt.Errorf("core: partial match arity mismatch")
 	}
-	return ix.RangeSearch(geom.PartialMatchBox(ix.g, restricted, value), strategy)
+	return ix.RangeSearchTraced(geom.PartialMatchBox(ix.g, restricted, value), strategy, sp)
 }

@@ -2,6 +2,7 @@ package decompose
 
 import (
 	"probe/internal/geom"
+	"probe/internal/obs"
 	"probe/internal/zorder"
 )
 
@@ -26,6 +27,8 @@ type Cursor struct {
 	done  bool
 
 	lo, hi []uint32 // scratch region, rebuilt per descent
+
+	span *obs.Span // element-generation attribution; nil = untraced
 }
 
 // NewCursor builds a cursor over the decomposition of obj. The cursor
@@ -49,6 +52,11 @@ func errDims(g zorder.Grid, obj geom.Object) error {
 	_, err := newWalker(g, obj, Options{}, nil)
 	return err
 }
+
+// SetSpan attributes the cursor's work to sp: one obs.Elements per
+// element generated (each successful Next or Seek positioning). A nil
+// span disables attribution at zero cost.
+func (c *Cursor) SetSpan(sp *obs.Span) { c.span = sp }
 
 // Valid reports whether the cursor is positioned on an element.
 func (c *Cursor) Valid() bool { return c.valid }
@@ -110,6 +118,7 @@ func (c *Cursor) seekFrom(z uint64) bool {
 		return false
 	}
 	c.cur, c.valid, c.done = e, true, false
+	c.span.Inc(obs.Elements)
 	return true
 }
 

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+
+	"probe/internal/obs"
 )
 
 // Policy selects the buffer pool's eviction strategy. LRU is the
@@ -115,6 +117,11 @@ type Pool struct {
 	rng    *rand.Rand
 
 	stats counters
+
+	// span, when non-nil, receives a per-span attributed copy of the
+	// access counters, so one query's buffer traffic is separable
+	// from the pool's lifetime totals. See AttachSpan.
+	span atomic.Pointer[obs.Span]
 }
 
 // NewPool creates a buffer pool holding up to capacity pages. The
@@ -168,14 +175,31 @@ func (p *Pool) Stats() PoolStats { return p.stats.snapshot() }
 // ResetStats zeroes the pool's access counters.
 func (p *Pool) ResetStats() { p.stats.reset() }
 
+// AttachSpan directs per-access attribution at s until the next
+// AttachSpan call, returning the previously attached span (nil
+// detaches). Attribution is additional: the pool's own lifetime
+// counters keep accumulating regardless.
+//
+// Like Stats, AttachSpan may be called concurrently with pool
+// operations (the pointer is atomic and span counters are atomics),
+// but attribution is only meaningful if the caller serializes
+// operations it wants attributed — concurrent workloads should give
+// each worker its own child span and attach the parent.
+func (p *Pool) AttachSpan(s *obs.Span) *obs.Span {
+	return p.span.Swap(s)
+}
+
 // Get pins the page in the pool, reading it from the store on a miss,
 // and returns its frame. Callers must Unpin the frame when done.
 func (p *Pool) Get(id PageID) (*Frame, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	sp := p.span.Load()
 	p.stats.gets.Add(1)
+	sp.Inc(obs.PoolGets)
 	if f, ok := p.frames[id]; ok {
 		p.stats.hits.Add(1)
+		sp.Inc(obs.PoolHits)
 		f.pins++
 		if p.policy == LRU {
 			p.order.MoveToBack(f.elem)
@@ -183,6 +207,7 @@ func (p *Pool) Get(id PageID) (*Frame, error) {
 		return f, nil
 	}
 	p.stats.misses.Add(1)
+	sp.Inc(obs.PoolMisses)
 	f, err := p.admit(id)
 	if err != nil {
 		return nil, err
@@ -263,9 +288,11 @@ func (p *Pool) evictOne() error {
 			return err
 		}
 		p.stats.writeBacks.Add(1)
+		p.span.Load().Inc(obs.PoolWriteBacks)
 	}
 	p.discard(victim)
 	p.stats.evictions.Add(1)
+	p.span.Load().Inc(obs.PoolEvictions)
 	return nil
 }
 
@@ -305,6 +332,7 @@ func (p *Pool) flushLocked() error {
 			}
 			f.dirty = false
 			p.stats.writeBacks.Add(1)
+			p.span.Load().Inc(obs.PoolWriteBacks)
 		}
 	}
 	return nil

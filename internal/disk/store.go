@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"probe/internal/obs"
 )
 
 // PageID identifies a page in a store. Zero is never a valid page.
@@ -60,6 +62,7 @@ type MemStore struct {
 	freeList []PageID
 	next     PageID
 	stats    IOStats
+	span     *obs.Span // per-span attribution target; see AttachSpan
 }
 
 // NewMemStore creates an in-memory store with the given page size.
@@ -119,6 +122,7 @@ func (s *MemStore) Read(id PageID, buf []byte) error {
 	}
 	copy(buf, p)
 	s.stats.Reads++
+	s.span.Inc(obs.PhysReads)
 	return nil
 }
 
@@ -135,6 +139,7 @@ func (s *MemStore) Write(id PageID, buf []byte) error {
 	}
 	copy(p, buf)
 	s.stats.Writes++
+	s.span.Inc(obs.PhysWrites)
 	return nil
 }
 
@@ -170,6 +175,18 @@ func (s *MemStore) ResetStats() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats = IOStats{}
+}
+
+// AttachSpan directs per-span attribution of physical reads and
+// writes at sp until the next AttachSpan call, returning the
+// previously attached span (nil detaches). Attribution is additional
+// to the store's lifetime counters, mirroring Pool.AttachSpan.
+func (s *MemStore) AttachSpan(sp *obs.Span) *obs.Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev := s.span
+	s.span = sp
+	return prev
 }
 
 // SimulatedTime converts I/O counts into simulated elapsed time under

@@ -1,0 +1,319 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"probe/internal/core"
+	"probe/internal/decompose"
+	"probe/internal/disk"
+	"probe/internal/obs"
+	"probe/internal/workload"
+)
+
+// BenchSchema identifies the BENCH_spatial.json document format.
+// Consumers (CI trend plots, regression checks) key on it; bump the
+// suffix when a field changes meaning or disappears — adding fields
+// is compatible.
+const BenchSchema = "probe-bench/v1"
+
+// BenchReport is the bench-trajectory document: one self-contained
+// JSON snapshot of the library's performance on the paper's
+// workloads, emitted by `experiments -bench` and archived per commit
+// by CI so throughput can be tracked over the repository's history.
+type BenchReport struct {
+	Schema  string        `json:"schema"`
+	Quick   bool          `json:"quick"`
+	Config  BenchSettings `json:"config"`
+	Ranges  []RangeBench  `json:"range_queries"`
+	Joins   []JoinBench   `json:"joins"`
+	Inserts []InsertBench `json:"inserts"`
+}
+
+// BenchSettings records the experiment parameters the numbers were
+// measured under.
+type BenchSettings struct {
+	GridBits     int   `json:"grid_bits"`
+	N            int   `json:"n"`
+	LeafCapacity int   `json:"leaf_capacity"`
+	PageSize     int   `json:"page_size"`
+	PoolPages    int   `json:"pool_pages"`
+	Seed         int64 `json:"seed"`
+	Locations    int   `json:"locations"`
+}
+
+// RangeBench is one (dataset, volume, strategy) range-query cell:
+// cold page counts from pool-invalidated runs, throughput from a
+// warm timing loop.
+type RangeBench struct {
+	Dataset       string  `json:"dataset"`
+	VolumePct     float64 `json:"volume_pct"`
+	Strategy      string  `json:"strategy"`
+	Queries       int     `json:"queries"`
+	AvgColdPages  float64 `json:"avg_cold_pages"`
+	AvgResults    float64 `json:"avg_results"`
+	AvgEfficiency float64 `json:"avg_efficiency"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+}
+
+// JoinBench is one spatial-join execution, sequential or parallel.
+// The work counters come from the join's execution span, so the
+// document exercises the same observability path users see.
+type JoinBench struct {
+	Mode            string  `json:"mode"`
+	Workers         int     `json:"workers"`
+	LeftItems       int     `json:"left_items"`
+	RightItems      int     `json:"right_items"`
+	RawPairs        int     `json:"raw_pairs"`
+	DistinctPairs   int     `json:"distinct_pairs"`
+	Shards          int     `json:"shards"`
+	ReplicatedItems int     `json:"replicated_items"`
+	MergeSteps      int64   `json:"merge_steps"`
+	WallMS          float64 `json:"wall_ms"`
+	PairsPerSec     float64 `json:"pairs_per_sec"`
+}
+
+// InsertBench is one index-build measurement.
+type InsertBench struct {
+	Dataset       string  `json:"dataset"`
+	N             int     `json:"n"`
+	Mode          string  `json:"mode"` // "insert" or "bulk-load"
+	InsertsPerSec float64 `json:"inserts_per_sec"`
+	LeafPages     int     `json:"leaf_pages"`
+}
+
+// benchVolumes are the query volumes measured, as fractions of the
+// space.
+var benchVolumes = []float64{0.0025, 0.01, 0.04}
+
+// RunBench measures the bench trajectory under cfg. quick shrinks
+// the matrix (one dataset, one volume, fewer repetitions) so CI's
+// smoke job finishes in seconds; the schema is identical either way.
+func RunBench(cfg Config, quick bool) (*BenchReport, error) {
+	rep := &BenchReport{
+		Schema: BenchSchema,
+		Quick:  quick,
+		Config: BenchSettings{
+			GridBits:     cfg.GridBits,
+			N:            cfg.N,
+			LeafCapacity: cfg.LeafCapacity,
+			PageSize:     cfg.PageSize,
+			PoolPages:    cfg.PoolPages,
+			Seed:         cfg.Seed,
+			Locations:    cfg.Locations,
+		},
+	}
+	datasets := []Dataset{U, C, D}
+	volumes := benchVolumes
+	reps := 20
+	if quick {
+		datasets = []Dataset{U}
+		volumes = []float64{0.01}
+		reps = 3
+	}
+	strategies := []core.Strategy{core.MergeDecomposed, core.MergeLazy, core.SkipBigMin}
+	for _, ds := range datasets {
+		in, err := Build(cfg, ds)
+		if err != nil {
+			return nil, err
+		}
+		for _, vol := range volumes {
+			spec := workload.QuerySpec{Volume: vol, Aspect: 1}
+			boxes, err := workload.Queries(in.Index.Grid(), spec, cfg.Locations, cfg.Seed+int64(vol*1e6))
+			if err != nil {
+				return nil, err
+			}
+			for _, strat := range strategies {
+				cell := RangeBench{
+					Dataset:   ds.String(),
+					VolumePct: vol * 100,
+					Strategy:  strat.String(),
+					Queries:   len(boxes),
+				}
+				// Cold pass: invalidate before each query, as the
+				// paper measures.
+				for _, box := range boxes {
+					if err := in.Pool.Invalidate(); err != nil {
+						return nil, err
+					}
+					_, stats, err := in.Index.RangeSearch(box, strat)
+					if err != nil {
+						return nil, err
+					}
+					cell.AvgColdPages += float64(stats.DataPages)
+					cell.AvgResults += float64(stats.Results)
+					cell.AvgEfficiency += stats.Efficiency(cfg.LeafCapacity)
+				}
+				n := float64(len(boxes))
+				cell.AvgColdPages /= n
+				cell.AvgResults /= n
+				cell.AvgEfficiency /= n
+				// Warm pass: time repeated queries against a hot pool.
+				start := time.Now()
+				ops := 0
+				for r := 0; r < reps; r++ {
+					for _, box := range boxes {
+						if _, _, err := in.Index.RangeSearch(box, strat); err != nil {
+							return nil, err
+						}
+						ops++
+					}
+				}
+				if el := time.Since(start).Seconds(); el > 0 {
+					cell.OpsPerSec = float64(ops) / el
+				}
+				rep.Ranges = append(rep.Ranges, cell)
+			}
+		}
+	}
+	joins, err := benchJoins(cfg, quick)
+	if err != nil {
+		return nil, err
+	}
+	rep.Joins = joins
+	inserts, err := benchInserts(cfg, quick)
+	if err != nil {
+		return nil, err
+	}
+	rep.Inserts = inserts
+	return rep, nil
+}
+
+// benchJoins joins two decomposed region relations derived from the
+// query workload, sequentially and in parallel.
+func benchJoins(cfg Config, quick bool) ([]JoinBench, error) {
+	nRegions := 200
+	if quick {
+		nRegions = 40
+	}
+	left, err := benchRegionItems(cfg, workload.QuerySpec{Volume: 0.002, Aspect: 1}, nRegions, cfg.Seed+101)
+	if err != nil {
+		return nil, err
+	}
+	right, err := benchRegionItems(cfg, workload.QuerySpec{Volume: 0.002, Aspect: 4}, nRegions, cfg.Seed+202)
+	if err != nil {
+		return nil, err
+	}
+	modes := []struct {
+		mode    string
+		workers int
+	}{
+		{"sequential", 0},
+		{"parallel", 4},
+	}
+	var out []JoinBench
+	for _, m := range modes {
+		sp := obs.New("bench-join")
+		start := time.Now()
+		var stats core.JoinStats
+		if m.mode == "parallel" {
+			_, stats, err = core.SpatialJoinParallelDistinctTraced(left, right, core.ParallelJoinConfig{Workers: m.workers}, sp)
+		} else {
+			_, stats, err = core.SpatialJoinDistinctTraced(left, right, sp)
+		}
+		if err != nil {
+			return nil, err
+		}
+		wall := time.Since(start)
+		sp.End()
+		jb := JoinBench{
+			Mode:            m.mode,
+			Workers:         m.workers,
+			LeftItems:       stats.LeftItems,
+			RightItems:      stats.RightItems,
+			RawPairs:        stats.RawPairs,
+			DistinctPairs:   stats.DistinctPairs,
+			Shards:          int(sp.Get(obs.Shards)),
+			ReplicatedItems: int(sp.Get(obs.ReplicatedItems)),
+			MergeSteps:      sp.Total(obs.MergeSteps),
+			WallMS:          float64(wall.Microseconds()) / 1e3,
+		}
+		if s := wall.Seconds(); s > 0 && stats.RawPairs > 0 {
+			jb.PairsPerSec = float64(stats.RawPairs) / s
+		}
+		out = append(out, jb)
+	}
+	return out, nil
+}
+
+// benchRegionItems decomposes a family of random boxes into a
+// z-sorted element relation.
+func benchRegionItems(cfg Config, spec workload.QuerySpec, n int, seed int64) ([]core.Item, error) {
+	g := cfg.Grid()
+	boxes, err := workload.Queries(g, spec, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	var items []core.Item
+	for i, b := range boxes {
+		for _, e := range decompose.Box(g, b) {
+			items = append(items, core.Item{Elem: e, ID: uint64(i + 1)})
+		}
+	}
+	core.SortItems(items)
+	return items, nil
+}
+
+// benchInserts measures index construction: one-at-a-time insertion
+// and bottom-up bulk loading over the uniform data set.
+func benchInserts(cfg Config, quick bool) ([]InsertBench, error) {
+	n := cfg.N
+	if quick {
+		n = cfg.N / 5
+	}
+	pts := cfg.Points(U)
+	if len(pts) > n {
+		pts = pts[:n]
+	}
+	var out []InsertBench
+	for _, mode := range []string{"insert", "bulk-load"} {
+		store, err := disk.NewMemStore(cfg.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		pool, err := disk.NewPool(store, cfg.PoolPages, disk.LRU)
+		if err != nil {
+			return nil, err
+		}
+		ix, err := core.NewIndex(pool, cfg.Grid(), core.IndexConfig{LeafCapacity: cfg.LeafCapacity})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if mode == "bulk-load" {
+			if err := ix.BulkLoad(pts); err != nil {
+				return nil, err
+			}
+		} else {
+			for _, p := range pts {
+				if err := ix.Insert(p); err != nil {
+					return nil, err
+				}
+			}
+		}
+		el := time.Since(start).Seconds()
+		ib := InsertBench{
+			Dataset:   U.String(),
+			N:         len(pts),
+			Mode:      mode,
+			LeafPages: ix.Tree().LeafPages(),
+		}
+		if el > 0 {
+			ib.InsertsPerSec = float64(len(pts)) / el
+		}
+		out = append(out, ib)
+	}
+	return out, nil
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("experiment: encoding bench report: %w", err)
+	}
+	return nil
+}

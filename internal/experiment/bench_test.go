@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// benchTestConfig is a tiny configuration so the bench run stays
+// test-fast.
+func benchTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.N = 300
+	cfg.GridBits = 6
+	cfg.Locations = 2
+	return cfg
+}
+
+// TestBenchReportSchema locks the BENCH_spatial.json document shape:
+// schema identifier, section presence, and the field names CI trend
+// tooling keys on.
+func TestBenchReportSchema(t *testing.T) {
+	rep, err := RunBench(benchTestConfig(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != BenchSchema {
+		t.Fatalf("schema %q, want %q", rep.Schema, BenchSchema)
+	}
+	if len(rep.Ranges) == 0 || len(rep.Joins) == 0 || len(rep.Inserts) == 0 {
+		t.Fatalf("empty section: ranges=%d joins=%d inserts=%d",
+			len(rep.Ranges), len(rep.Joins), len(rep.Inserts))
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("emitted document is not valid JSON: %v", err)
+	}
+	for _, key := range []string{"schema", "quick", "config", "range_queries", "joins", "inserts"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("document missing top-level key %q", key)
+		}
+	}
+	ranges := doc["range_queries"].([]any)
+	cell := ranges[0].(map[string]any)
+	for _, key := range []string{"dataset", "volume_pct", "strategy", "queries",
+		"avg_cold_pages", "avg_results", "avg_efficiency", "ops_per_sec"} {
+		if _, ok := cell[key]; !ok {
+			t.Errorf("range cell missing key %q", key)
+		}
+	}
+	joins := doc["joins"].([]any)
+	jcell := joins[0].(map[string]any)
+	for _, key := range []string{"mode", "workers", "left_items", "right_items",
+		"raw_pairs", "distinct_pairs", "shards", "replicated_items",
+		"merge_steps", "wall_ms", "pairs_per_sec"} {
+		if _, ok := jcell[key]; !ok {
+			t.Errorf("join cell missing key %q", key)
+		}
+	}
+}
+
+// TestBenchJoinModesAgree asserts the sequential and parallel bench
+// joins report identical distinct-pair counts — the bench document
+// doubles as a correctness check.
+func TestBenchJoinModesAgree(t *testing.T) {
+	joins, err := benchJoins(benchTestConfig(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(joins) != 2 {
+		t.Fatalf("got %d join cells, want 2", len(joins))
+	}
+	if joins[0].DistinctPairs != joins[1].DistinctPairs {
+		t.Errorf("sequential distinct %d != parallel distinct %d",
+			joins[0].DistinctPairs, joins[1].DistinctPairs)
+	}
+	if joins[0].MergeSteps == 0 {
+		t.Errorf("sequential join reported no merge steps")
+	}
+}

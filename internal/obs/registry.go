@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Var is the expvar.Var interface restated (a metric that renders
+// itself as a valid JSON value). The registry and its metrics satisfy
+// it, so a long-running process can hand them to expvar.Publish and
+// serve them from /debug/vars without this package importing expvar
+// (and without its side effect of registering HTTP handlers).
+type Var interface {
+	String() string
+}
+
+// Int is a cumulative int64 metric, safe for concurrent use. The
+// zero value is ready to use.
+type Int struct {
+	v atomic.Int64
+}
+
+// Add increments the metric.
+func (i *Int) Add(delta int64) { i.v.Add(delta) }
+
+// Set replaces the metric's value.
+func (i *Int) Set(v int64) { i.v.Store(v) }
+
+// Value returns the current value.
+func (i *Int) Value() int64 { return i.v.Load() }
+
+// String implements Var (and expvar.Var) as a JSON number.
+func (i *Int) String() string { return strconv.FormatInt(i.v.Load(), 10) }
+
+// Registry is a named set of cumulative metrics for long-running use:
+// the DB merges every query's span counters into its registry, so a
+// server exposes lifetime totals (pages read, buffer hit counts,
+// queries executed) alongside the per-query QueryStats. All methods
+// are safe for concurrent use.
+type Registry struct {
+	mu   sync.RWMutex
+	ints map[string]*Int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{ints: make(map[string]*Int)}
+}
+
+// Int returns the named metric, creating it at zero on first use.
+func (r *Registry) Int(name string) *Int {
+	r.mu.RLock()
+	i, ok := r.ints[name]
+	r.mu.RUnlock()
+	if ok {
+		return i
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok = r.ints[name]; ok {
+		return i
+	}
+	i = &Int{}
+	r.ints[name] = i
+	return i
+}
+
+// Do calls fn for every metric in sorted name order.
+func (r *Registry) Do(fn func(name string, v Var)) {
+	r.mu.RLock()
+	snapshot := make(map[string]*Int, len(r.ints))
+	for k, v := range r.ints {
+		snapshot[k] = v
+	}
+	r.mu.RUnlock()
+	for _, k := range sortedKeys(snapshot) {
+		fn(k, snapshot[k])
+	}
+}
+
+// String implements Var (and expvar.Var) as a JSON object with
+// sorted keys, so publishing the whole registry as one expvar works.
+func (r *Registry) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	r.Do(func(name string, v Var) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		b.WriteString(strconv.Quote(name))
+		b.WriteString(": ")
+		b.WriteString(v.String())
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+// AddSpan merges a span subtree's counter totals into the registry
+// under "prefix.counter" names, and bumps "prefix.count" by one. Nil
+// spans merge nothing (the count still bumps: the operation ran, just
+// untraced).
+func (r *Registry) AddSpan(prefix string, s *Span) {
+	r.Int(prefix + ".count").Add(1)
+	if s == nil {
+		return
+	}
+	for c := Counter(0); c < NumCounters; c++ {
+		if v := s.Total(c); v != 0 {
+			r.Int(prefix + "." + c.String()).Add(v)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"probe/internal/core"
 	"probe/internal/decompose"
 	"probe/internal/geom"
+	"probe/internal/obs"
 	"probe/internal/zorder"
 )
 
@@ -82,13 +83,22 @@ type Plan struct {
 	// Description is the EXPLAIN line, e.g.
 	// "index scan on points (est. 12.3 pages)".
 	Description string
+	// Access names the chosen access path: "index-scan" or
+	// "seq-scan". EXPLAIN ANALYZE uses it as the operator name.
+	Access string
 	// EstimatedPages is the block-model cost estimate.
 	EstimatedPages float64
-	run            func() ([]geom.Point, core.SearchStats, error)
+	run            func(sp *obs.Span) ([]geom.Point, core.SearchStats, error)
 }
 
 // Execute runs the plan.
-func (p *Plan) Execute() ([]geom.Point, core.SearchStats, error) { return p.run() }
+func (p *Plan) Execute() ([]geom.Point, core.SearchStats, error) { return p.run(nil) }
+
+// ExecuteTraced runs the plan with per-operator attribution on sp
+// (nil behaves exactly like Execute).
+func (p *Plan) ExecuteTraced(sp *obs.Span) ([]geom.Point, core.SearchStats, error) {
+	return p.run(sp)
+}
 
 // PlanRange chooses an access path for a range query on the table.
 func PlanRange(t *Table, box geom.Box, cfg Config) (*Plan, error) {
@@ -117,9 +127,10 @@ func PlanRange(t *Table, box geom.Box, cfg Config) (*Plan, error) {
 	}
 	idx := &Plan{
 		Description:    fmt.Sprintf("index scan on %s %v (est. %.1f pages via %s)", t.Name, box, est, how),
+		Access:         "index-scan",
 		EstimatedPages: est,
-		run: func() ([]geom.Point, core.SearchStats, error) {
-			return t.Index.RangeSearch(box, cfg.Strategy)
+		run: func(sp *obs.Span) ([]geom.Point, core.SearchStats, error) {
+			return t.Index.RangeSearchTraced(box, cfg.Strategy, sp)
 		},
 	}
 	if idx.EstimatedPages <= scan.EstimatedPages {
@@ -132,8 +143,9 @@ func heapScanPlan(t *Table, box geom.Box) *Plan {
 	pages := t.heapPages()
 	return &Plan{
 		Description:    fmt.Sprintf("seq scan on %s filter %v (est. %.1f pages)", t.Name, box, pages),
+		Access:         "seq-scan",
 		EstimatedPages: pages,
-		run: func() ([]geom.Point, core.SearchStats, error) {
+		run: func(sp *obs.Span) ([]geom.Point, core.SearchStats, error) {
 			var out []geom.Point
 			for _, p := range t.Heap {
 				if box.ContainsPoint(p.Coords) {
@@ -141,10 +153,13 @@ func heapScanPlan(t *Table, box geom.Box) *Plan {
 				}
 			}
 			sortByZ(t, out)
-			return out, core.SearchStats{
+			stats := core.SearchStats{
 				DataPages: int(t.heapPages()),
 				Results:   len(out),
-			}, nil
+			}
+			sp.Add(obs.DataPages, int64(stats.DataPages))
+			sp.Add(obs.Results, int64(stats.Results))
+			return out, stats, nil
 		},
 	}
 }
@@ -189,13 +204,22 @@ type Region struct {
 //     the sum of per-region block-model estimates, with the random
 //     access penalty).
 type JoinPlan struct {
-	Description    string
+	Description string
+	// Access names the chosen join method: "index-nested-loop-join"
+	// or "merge-join". EXPLAIN ANALYZE uses it as the operator name.
+	Access         string
 	EstimatedPages float64
-	run            func() ([]RegionJoinResult, error)
+	run            func(sp *obs.Span) ([]RegionJoinResult, error)
 }
 
 // Execute runs the join plan.
-func (p *JoinPlan) Execute() ([]RegionJoinResult, error) { return p.run() }
+func (p *JoinPlan) Execute() ([]RegionJoinResult, error) { return p.run(nil) }
+
+// ExecuteTraced runs the join plan with per-operator attribution on
+// sp (nil behaves exactly like Execute).
+func (p *JoinPlan) ExecuteTraced(sp *obs.Span) ([]RegionJoinResult, error) {
+	return p.run(sp)
+}
 
 // PlanRegionJoin builds the chosen plan.
 func PlanRegionJoin(t *Table, regions []Region, cfg Config) (*JoinPlan, error) {
@@ -218,8 +242,9 @@ func PlanRegionJoin(t *Table, regions []Region, cfg Config) (*JoinPlan, error) {
 			Description: fmt.Sprintf(
 				"index nested loop join: %d regions x index scan on %s (est. %.1f pages)",
 				len(regions), t.Name, nlCost),
+			Access:         "index-nested-loop-join",
 			EstimatedPages: nlCost,
-			run:            func() ([]RegionJoinResult, error) { return nestedLoopJoin(t, regions, cfg) },
+			run:            func(sp *obs.Span) ([]RegionJoinResult, error) { return nestedLoopJoin(t, regions, cfg, sp) },
 		}, nil
 	}
 	how := "sequential"
@@ -230,15 +255,16 @@ func PlanRegionJoin(t *Table, regions []Region, cfg Config) (*JoinPlan, error) {
 		Description: fmt.Sprintf(
 			"merge spatial join (%s): decompose %d regions, one pass over %s (est. %.1f pages)",
 			how, len(regions), t.Name, mergeCost),
+		Access:         "merge-join",
 		EstimatedPages: mergeCost,
-		run:            func() ([]RegionJoinResult, error) { return mergeJoin(t, regions, cfg) },
+		run:            func(sp *obs.Span) ([]RegionJoinResult, error) { return mergeJoin(t, regions, cfg, sp) },
 	}, nil
 }
 
-func nestedLoopJoin(t *Table, regions []Region, cfg Config) ([]RegionJoinResult, error) {
+func nestedLoopJoin(t *Table, regions []Region, cfg Config, sp *obs.Span) ([]RegionJoinResult, error) {
 	var out []RegionJoinResult
 	for _, r := range regions {
-		pts, _, err := t.Index.RangeSearch(r.Box, cfg.Strategy)
+		pts, _, err := t.Index.RangeSearchTraced(r.Box, cfg.Strategy, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -250,7 +276,7 @@ func nestedLoopJoin(t *Table, regions []Region, cfg Config) ([]RegionJoinResult,
 	return out, nil
 }
 
-func mergeJoin(t *Table, regions []Region, cfg Config) ([]RegionJoinResult, error) {
+func mergeJoin(t *Table, regions []Region, cfg Config, sp *obs.Span) ([]RegionJoinResult, error) {
 	g := t.Index.Grid()
 	// Build the region element relation.
 	var items []core.Item
@@ -283,9 +309,9 @@ func mergeJoin(t *Table, regions []Region, cfg Config) ([]RegionJoinResult, erro
 	var pairs []core.Pair
 	var err error
 	if cfg.Parallelism > 1 {
-		pairs, err = core.SpatialJoinParallel(pItems, items, core.ParallelJoinConfig{Workers: cfg.Parallelism})
+		pairs, err = core.SpatialJoinParallelTraced(pItems, items, core.ParallelJoinConfig{Workers: cfg.Parallelism}, sp)
 	} else {
-		pairs, err = core.SpatialJoin(pItems, items)
+		pairs, err = core.SpatialJoinTraced(pItems, items, sp)
 	}
 	if err != nil {
 		return nil, err

@@ -155,11 +155,11 @@ func TestRegionJoinPlansAgree(t *testing.T) {
 		{ID: 20, Box: geom.Box2(50, 200, 50, 200)},
 		{ID: 30, Box: geom.Box2(240, 255, 240, 255)},
 	}
-	nl, err := nestedLoopJoin(tab, regions, Config{})
+	nl, err := nestedLoopJoin(tab, regions, Config{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mg, err := mergeJoin(tab, regions, Config{})
+	mg, err := mergeJoin(tab, regions, Config{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +204,7 @@ func TestRegionJoinValidation(t *testing.T) {
 	}
 	indexed := newTable(t, g, 100, 8)
 	dup := []Region{{ID: 1, Box: geom.Box2(0, 1, 0, 1)}, {ID: 1, Box: geom.Box2(2, 3, 2, 3)}}
-	if _, err := mergeJoin(indexed, dup, Config{}); err == nil {
+	if _, err := mergeJoin(indexed, dup, Config{}, nil); err == nil {
 		t.Errorf("duplicate region ids accepted by merge join")
 	}
 }
@@ -344,12 +344,12 @@ func TestRegionJoinParallelismKnob(t *testing.T) {
 		lo := uint32(i * 8)
 		regions = append(regions, Region{ID: uint64(i + 1), Box: geom.Box2(lo, lo+120, 0, 200)})
 	}
-	seq, err := mergeJoin(tab, regions, Config{})
+	seq, err := mergeJoin(tab, regions, Config{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, par := range []int{2, 4, 8} {
-		got, err := mergeJoin(tab, regions, Config{Parallelism: par})
+		got, err := mergeJoin(tab, regions, Config{Parallelism: par}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,394 @@
+package probe_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"probe"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// obsTestDB builds a deterministic database: a diagonal-ish lattice
+// of points bulk-loaded into packed pages, so every counter in these
+// tests is reproducible run to run.
+func obsTestDB(t *testing.T) *probe.DB {
+	t.Helper()
+	g := probe.MustGrid(2, 8)
+	var pts []probe.Point
+	id := uint64(1)
+	for x := uint32(0); x < 256; x += 5 {
+		for y := uint32(0); y < 256; y += 11 {
+			pts = append(pts, probe.Pt2(id, x, (y+x/3)%256))
+			id++
+		}
+	}
+	db, err := probe.Open(g, probe.WithPageSize(512), probe.WithPoolPages(16), probe.WithBulkLoad(pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestTracedRangeSearchMatchesLegacy asserts the invariant the trace
+// layer promises: the span counters — counted independently inside
+// the B+-tree and decomposition cursors — equal the legacy
+// SearchStats counters computed in the core merge loops.
+func TestTracedRangeSearchMatchesLegacy(t *testing.T) {
+	db := obsTestDB(t)
+	box := probe.Box2(40, 170, 30, 140)
+	for _, strat := range []probe.Strategy{probe.MergeDecomposed, probe.MergeLazy, probe.SkipBigMin} {
+		tr := probe.NewTrace("q")
+		pts, stats, err := db.RangeSearch(box, probe.WithStrategy(strat), probe.WithTrace(tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		kids := tr.Children()
+		if len(kids) != 1 || kids[0].Name() != "range-search" {
+			t.Fatalf("%v: trace children = %v", strat, kids)
+		}
+		sp := kids[0]
+		if got := sp.Get(probe.CounterResults); int(got) != stats.Results || stats.Results != len(pts) {
+			t.Errorf("%v: span results %d, stats %d, points %d", strat, got, stats.Results, len(pts))
+		}
+		if got := sp.Get(probe.CounterDataPages); int(got) != stats.DataPages {
+			t.Errorf("%v: span data-pages %d, stats %d", strat, got, stats.DataPages)
+		}
+		// Seeks are counted inside the B+-tree cursor at each SeekGE;
+		// the legacy counter increments at the core call sites. They
+		// must agree exactly.
+		if got := sp.Get(probe.CounterSeeks); int(got) != stats.Seeks {
+			t.Errorf("%v: span seeks %d, stats %d", strat, got, stats.Seeks)
+		}
+		// Elements: strategies A and B count generated elements (B via
+		// the decompose cursor, independently of the legacy counter);
+		// strategy C counts BigMin computations instead.
+		elems := sp.Get(probe.CounterElements) + sp.Get(probe.CounterBigMinSkips)
+		if int(elems) != stats.Elements {
+			t.Errorf("%v: span elements+skips %d, stats elements %d", strat, elems, stats.Elements)
+		}
+		if strat == probe.SkipBigMin && sp.Get(probe.CounterElements) != 0 {
+			t.Errorf("skip-bigmin generated elements: %d", sp.Get(probe.CounterElements))
+		}
+		if sp.Get(probe.CounterLeafScans) < sp.Get(probe.CounterSeeks) {
+			t.Errorf("%v: fewer leaf scans (%d) than seeks (%d)", strat,
+				sp.Get(probe.CounterLeafScans), sp.Get(probe.CounterSeeks))
+		}
+	}
+}
+
+// TestTracedPoolAttribution asserts buffer-pool and physical-I/O
+// activity lands on the operation span and the unified stats.
+func TestTracedPoolAttribution(t *testing.T) {
+	db := obsTestDB(t)
+	if err := db.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	tr := probe.NewTrace("cold")
+	_, stats, err := db.RangeSearch(probe.Box2(0, 255, 0, 255), probe.WithTrace(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PoolGets == 0 || stats.PoolMisses == 0 || stats.PhysReads == 0 {
+		t.Fatalf("cold traced query attributed no pool/phys activity: %+v", stats)
+	}
+	if stats.PoolGets != stats.PoolHits+stats.PoolMisses {
+		t.Errorf("gets %d != hits %d + misses %d", stats.PoolGets, stats.PoolHits, stats.PoolMisses)
+	}
+	if stats.PoolMisses != stats.PhysReads {
+		t.Errorf("misses %d != physical reads %d", stats.PoolMisses, stats.PhysReads)
+	}
+	// Untraced queries leave attribution fields zero.
+	_, stats2, err := db.RangeSearch(probe.Box2(0, 255, 0, 255))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.PoolGets != 0 || stats2.PhysReads != 0 {
+		t.Errorf("untraced query has attributed I/O: %+v", stats2)
+	}
+}
+
+// joinInputs builds two deterministic z-sorted element relations.
+func joinInputs(t *testing.T) (a, b []probe.Item) {
+	t.Helper()
+	g := probe.MustGrid(2, 8)
+	id := uint64(1)
+	for x := uint32(0); x < 200; x += 23 {
+		for _, e := range probe.DecomposeBox(g, probe.Box2(x, x+40, x/2, x/2+60)) {
+			a = append(a, probe.Item{Elem: e, ID: id})
+		}
+		id++
+	}
+	id = 1
+	for y := uint32(0); y < 200; y += 31 {
+		for _, e := range probe.DecomposeBox(g, probe.Box2(y/2, y/2+50, y, y+35)) {
+			b = append(b, probe.Item{Elem: e, ID: id})
+		}
+		id++
+	}
+	probe.SortItems(a)
+	probe.SortItems(b)
+	return a, b
+}
+
+// TestTracedJoinMatchesLegacy asserts the sequential join's span
+// counters equal the legacy JoinStats.
+func TestTracedJoinMatchesLegacy(t *testing.T) {
+	a, b := joinInputs(t)
+	tr := probe.NewTrace("join")
+	pairs, stats, err := probe.SpatialJoin(a, b, probe.WithTrace(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kids := tr.Children()
+	if len(kids) != 1 || kids[0].Name() != "spatial-join" {
+		t.Fatalf("trace children = %v", kids)
+	}
+	sp := kids[0]
+	if got := sp.Get(probe.CounterRawPairs); int(got) != stats.RawPairs {
+		t.Errorf("span raw pairs %d, stats %d", got, stats.RawPairs)
+	}
+	if got := sp.Get(probe.CounterDistinctPairs); int(got) != stats.DistinctPairs || stats.DistinctPairs != len(pairs) {
+		t.Errorf("span distinct %d, stats %d, pairs %d", got, stats.DistinctPairs, len(pairs))
+	}
+	if got := sp.Get(probe.CounterItemsLeft); int(got) != stats.LeftItems || int(got) != len(a) {
+		t.Errorf("span items-left %d, stats %d, input %d", got, stats.LeftItems, len(a))
+	}
+	if got := sp.Get(probe.CounterItemsRight); int(got) != stats.RightItems {
+		t.Errorf("span items-right %d, stats %d", got, stats.RightItems)
+	}
+	// Every input item is consumed exactly once by the merge.
+	if got := sp.Get(probe.CounterMergeSteps); int(got) != len(a)+len(b) {
+		t.Errorf("merge steps %d, want %d", got, len(a)+len(b))
+	}
+}
+
+// TestTracedParallelJoinShards asserts the parallel join's per-shard
+// spans partition the work: shard counters sum to the parent totals
+// and the distinct pair set matches the sequential join.
+func TestTracedParallelJoinShards(t *testing.T) {
+	a, b := joinInputs(t)
+	seq, seqStats, err := probe.SpatialJoin(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := probe.NewTrace("join")
+	par, stats, err := probe.SpatialJoin(a, b,
+		probe.WithWorkers(3), probe.WithPartitionPrefix(4), probe.WithTrace(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(seq) || stats.DistinctPairs != seqStats.DistinctPairs {
+		t.Fatalf("parallel distinct pairs %d, sequential %d", stats.DistinctPairs, seqStats.DistinctPairs)
+	}
+	kids := tr.Children()
+	if len(kids) != 1 || kids[0].Name() != "spatial-join-parallel" {
+		t.Fatalf("trace children = %v", kids)
+	}
+	sp := kids[0]
+	shards := sp.Children()
+	if stats.Shards == 0 || len(shards) != stats.Shards {
+		t.Fatalf("shard spans %d, stats.Shards %d", len(shards), stats.Shards)
+	}
+	var shardRaw, shardItems, shardSteps int64
+	for _, sh := range shards {
+		shardRaw += sh.Get(probe.CounterRawPairs)
+		shardItems += sh.Get(probe.CounterItemsLeft) + sh.Get(probe.CounterItemsRight)
+		shardSteps += sh.Get(probe.CounterMergeSteps)
+	}
+	if int(shardRaw) != stats.RawPairs {
+		t.Errorf("shard raw pairs sum %d, stats %d", shardRaw, stats.RawPairs)
+	}
+	if shardSteps != shardItems {
+		t.Errorf("shard merge steps %d != shard items %d", shardSteps, shardItems)
+	}
+	// Replication accounting: shard items exceed the inputs by exactly
+	// the replicated count.
+	wantRepl := shardItems - int64(len(a)+len(b))
+	if wantRepl < 0 {
+		wantRepl = 0
+	}
+	if int64(stats.ReplicatedItems) != wantRepl {
+		t.Errorf("replicated items %d, want %d", stats.ReplicatedItems, wantRepl)
+	}
+	// Each counter lives at exactly one level of the span tree, so the
+	// subtree totals aggregate without double counting: raw pairs and
+	// items are recorded only on the shard spans (Total == shard sums),
+	// shard-level facts only on the join span.
+	if n := sp.Total(probe.CounterRawPairs); int(n) != stats.RawPairs {
+		t.Errorf("Total raw pairs %d, stats %d", n, stats.RawPairs)
+	}
+	totalItems := sp.Total(probe.CounterItemsLeft) + sp.Total(probe.CounterItemsRight)
+	if totalItems != shardItems {
+		t.Errorf("Total items %d != shard item sum %d (parent must not re-count)", totalItems, shardItems)
+	}
+	if n := sp.Total(probe.CounterDistinctPairs); int(n) != stats.DistinctPairs {
+		t.Errorf("Total distinct pairs %d, stats %d", n, stats.DistinctPairs)
+	}
+}
+
+// TestExplainAnalyzeMatchesLegacy asserts the per-operator actuals
+// equal the legacy counters from running the same query directly.
+func TestExplainAnalyzeMatchesLegacy(t *testing.T) {
+	db := obsTestDB(t)
+	// Small box: the index scan wins, and its actuals must equal a
+	// direct range search counter for counter.
+	box := probe.Box2(10, 60, 60, 110)
+	res, err := db.ExplainAnalyze(box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Access != "index-scan" {
+		t.Fatalf("small box chose %q, want index-scan", res.Access)
+	}
+	_, legacy, err := db.RangeSearch(box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Search() != legacy.Search() {
+		t.Errorf("explain-analyze stats %+v, legacy %+v", res.Stats.Search(), legacy.Search())
+	}
+	if res.Stats.Results != len(res.Points) {
+		t.Errorf("stats results %d, points %d", res.Stats.Results, len(res.Points))
+	}
+	if res.Trace.Get(probe.CounterDataPages) != int64(res.Stats.DataPages) {
+		t.Errorf("trace data-pages %d, stats %d", res.Trace.Get(probe.CounterDataPages), res.Stats.DataPages)
+	}
+	// Huge box: the sequential scan wins; its result set must still
+	// match a direct range search exactly.
+	wide := probe.Box2(0, 255, 0, 255)
+	res2, err := db.ExplainAnalyze(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Access != "seq-scan" {
+		t.Fatalf("full-space box chose %q, want seq-scan", res2.Access)
+	}
+	_, legacy2, err := db.RangeSearch(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.Results != legacy2.Results || len(res2.Points) != legacy2.Results {
+		t.Errorf("seq-scan results %d (points %d), index results %d",
+			res2.Stats.Results, len(res2.Points), legacy2.Results)
+	}
+}
+
+// TestExplainAnalyzeGolden locks the deterministic rendering down to
+// a golden file (run with -update to regenerate).
+func TestExplainAnalyzeGolden(t *testing.T) {
+	db := obsTestDB(t)
+	if err := db.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.ExplainAnalyze(probe.Box2(32, 96, 32, 96), probe.WithStrategy(probe.SkipBigMin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.String()
+	path := filepath.Join("testdata", "explain_analyze.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("explain-analyze rendering drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestMetricsRegistry asserts DB operations accumulate in the
+// expvar-compatible registry.
+func TestMetricsRegistry(t *testing.T) {
+	db := obsTestDB(t)
+	box := probe.Box2(0, 50, 0, 50)
+	if _, _, err := db.RangeSearch(box); err != nil {
+		t.Fatal(err)
+	}
+	tr := probe.NewTrace("q")
+	if _, _, err := db.RangeSearch(box, probe.WithTrace(tr)); err != nil {
+		t.Fatal(err)
+	}
+	m := db.Metrics()
+	if got := m.Int("range-search.count").Value(); got != 2 {
+		t.Errorf("range-search.count = %d, want 2", got)
+	}
+	if got := m.Int("range-search.data-pages").Value(); got <= 0 {
+		t.Errorf("range-search.data-pages = %d, want > 0 (traced op merged)", got)
+	}
+	s := m.String()
+	if len(s) == 0 || s[0] != '{' {
+		t.Errorf("registry String not a JSON object: %q", s)
+	}
+}
+
+// TestNoopTraceZeroAllocs proves the disabled-tracer path allocates
+// nothing: all span methods on a nil *Trace are free.
+func TestNoopTraceZeroAllocs(t *testing.T) {
+	var tr *probe.Trace
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Inc(probe.CounterSeeks)
+		tr.Add(probe.CounterDataPages, 7)
+		tr.End()
+		_ = tr.Get(probe.CounterSeeks)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil trace allocates %v per op, want 0", allocs)
+	}
+}
+
+// BenchmarkRangeSearchUntraced measures the untraced fast path end to
+// end; compare with BenchmarkRangeSearchTraced for tracing overhead.
+func BenchmarkRangeSearchUntraced(b *testing.B) {
+	db := benchDB(b)
+	box := probe.Box2(40, 170, 30, 140)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := db.RangeSearch(box); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRangeSearchTraced measures the same query with a live
+// trace attached.
+func BenchmarkRangeSearchTraced(b *testing.B) {
+	db := benchDB(b)
+	box := probe.Box2(40, 170, 30, 140)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := probe.NewTrace("bench")
+		if _, _, err := db.RangeSearch(box, probe.WithTrace(tr)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDB(b *testing.B) *probe.DB {
+	b.Helper()
+	g := probe.MustGrid(2, 8)
+	var pts []probe.Point
+	id := uint64(1)
+	for x := uint32(0); x < 256; x += 5 {
+		for y := uint32(0); y < 256; y += 11 {
+			pts = append(pts, probe.Pt2(id, x, (y+x/3)%256))
+			id++
+		}
+	}
+	db, err := probe.Open(g, probe.WithBulkLoad(pts))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}

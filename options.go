@@ -1,0 +1,137 @@
+package probe
+
+// This file defines the functional options accepted by the three
+// variadic entry points of the redesigned API:
+//
+//	Open(g, ...Option)                  — database construction
+//	DB.RangeSearch(box, ...QueryOption) — range queries
+//	SpatialJoin(a, b, ...JoinOption)    — spatial joins
+//
+// The legacy Options struct implements Option, so pre-redesign calls
+// like Open(g, Options{PageSize: 1024}) keep compiling unchanged.
+
+// openConfig is the resolved configuration of one Open call.
+type openConfig struct {
+	pageSize     int
+	poolPages    int
+	leafCapacity int
+	bulk         []Point
+	bulkSet      bool
+}
+
+// Option configures Open.
+type Option interface {
+	applyOpen(*openConfig)
+}
+
+type openOptionFunc func(*openConfig)
+
+func (f openOptionFunc) applyOpen(c *openConfig) { f(c) }
+
+// applyOpen makes the legacy Options struct a valid Option: zero
+// fields are left at their defaults, exactly as before.
+func (o Options) applyOpen(c *openConfig) {
+	if o.PageSize != 0 {
+		c.pageSize = o.PageSize
+	}
+	if o.PoolPages != 0 {
+		c.poolPages = o.PoolPages
+	}
+	if o.LeafCapacity != 0 {
+		c.leafCapacity = o.LeafCapacity
+	}
+}
+
+// WithPageSize sets the simulated disk page size in bytes [4096].
+func WithPageSize(bytes int) Option {
+	return openOptionFunc(func(c *openConfig) { c.pageSize = bytes })
+}
+
+// WithPoolPages sets the buffer pool capacity in pages [256].
+func WithPoolPages(pages int) Option {
+	return openOptionFunc(func(c *openConfig) { c.poolPages = pages })
+}
+
+// WithLeafCapacity caps points per index leaf page [derived from the
+// page size].
+func WithLeafCapacity(points int) Option {
+	return openOptionFunc(func(c *openConfig) { c.leafCapacity = points })
+}
+
+// WithBulkLoad builds the index bottom-up from pts with fully packed
+// pages (about 30% fewer data pages than one-at-a-time insertion) —
+// what OpenPacked did.
+func WithBulkLoad(pts []Point) Option {
+	return openOptionFunc(func(c *openConfig) { c.bulk = pts; c.bulkSet = true })
+}
+
+// queryConfig is the resolved configuration of one range search.
+type queryConfig struct {
+	strategy Strategy
+	trace    *Trace
+}
+
+// QueryOption configures DB.RangeSearch and the other point-query
+// entry points.
+type QueryOption interface {
+	applyQuery(*queryConfig)
+}
+
+type queryOptionFunc func(*queryConfig)
+
+func (f queryOptionFunc) applyQuery(c *queryConfig) { f(c) }
+
+// WithStrategy selects the range-search variant [MergeLazy].
+func WithStrategy(s Strategy) QueryOption {
+	return queryOptionFunc(func(c *queryConfig) { c.strategy = s })
+}
+
+// joinConfig is the resolved configuration of one spatial join.
+type joinConfig struct {
+	workers    int
+	prefixBits int
+	parallel   bool
+	trace      *Trace
+}
+
+// JoinOption configures SpatialJoin.
+type JoinOption interface {
+	applyJoin(*joinConfig)
+}
+
+type joinOptionFunc func(*joinConfig)
+
+func (f joinOptionFunc) applyJoin(c *joinConfig) { f(c) }
+
+// WithWorkers executes the join with a pool of n workers over
+// z-prefix partitions of the inputs (see docs/parallelism.md);
+// n <= 0 selects runtime.GOMAXPROCS. Without this option the join is
+// sequential. The distinct pair set is identical either way.
+func WithWorkers(n int) JoinOption {
+	return joinOptionFunc(func(c *joinConfig) { c.workers = n; c.parallel = true })
+}
+
+// WithPartitionPrefix sets the z-prefix length at which a parallel
+// join cuts the inputs into shards (up to 2^bits of them); zero or
+// negative derives it from the worker count. It implies WithWorkers'
+// parallel execution.
+func WithPartitionPrefix(bits int) JoinOption {
+	return joinOptionFunc(func(c *joinConfig) { c.prefixBits = bits; c.parallel = true })
+}
+
+// TraceOption attributes an operation's work to an execution trace.
+// It satisfies both QueryOption and JoinOption, so one WithTrace call
+// works for range searches and joins alike.
+type TraceOption struct {
+	t *Trace
+}
+
+// WithTrace attributes the operation's work to a child span of t:
+// operator counters, buffer-pool activity, and physical I/O all land
+// on the trace, and the returned QueryStats gains its attributed
+// pool/phys fields. A nil t is valid and disables tracing.
+func WithTrace(t *Trace) TraceOption { return TraceOption{t: t} }
+
+func (o TraceOption) applyQuery(c *queryConfig) { c.trace = o.t }
+
+func (o TraceOption) applyJoin(c *joinConfig) { c.trace = o.t }

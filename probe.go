@@ -21,9 +21,14 @@
 // Quick start:
 //
 //	g := probe.MustGrid(2, 10)                 // 1024 x 1024 space
-//	db, _ := probe.Open(g, probe.Options{})
+//	db, _ := probe.Open(g)
 //	db.Insert(probe.Pt2(1, 30, 40))
 //	pts, stats, _ := db.RangeSearch(probe.Box2(0, 100, 0, 100))
+//
+// Every query entry point accepts functional options and returns the
+// unified QueryStats record. To see how a query executed, attach a
+// Trace (WithTrace) or ask for the full plan-with-actuals via
+// DB.ExplainAnalyze.
 package probe
 
 import (
@@ -36,6 +41,7 @@ import (
 	"probe/internal/disk"
 	"probe/internal/geom"
 	"probe/internal/interfere"
+	"probe/internal/obs"
 	"probe/internal/overlay"
 	"probe/internal/planner"
 	"probe/internal/zorder"
@@ -68,12 +74,20 @@ type (
 	// Strategy selects a range-search variant.
 	Strategy = core.Strategy
 	// SearchStats reports the work a range search performed.
+	//
+	// Deprecated: query entry points now return the unified
+	// QueryStats, which carries the same fields; use it directly or
+	// project the legacy view with QueryStats.Search.
 	SearchStats = core.SearchStats
 	// Item is one element of a decomposed object relation.
 	Item = core.Item
 	// Pair is a pair of overlapping object ids from a spatial join.
 	Pair = core.Pair
 	// JoinStats reports spatial-join statistics.
+	//
+	// Deprecated: query entry points now return the unified
+	// QueryStats, which carries the same fields; use it directly or
+	// project the legacy view with QueryStats.Join.
 	JoinStats = core.JoinStats
 	// Component is one labelled connected component.
 	Component = conncomp.Component
@@ -134,12 +148,42 @@ func Condense(elems []Element) []Element { return decompose.Condense(elems) }
 func SortItems(items []Item) { core.SortItems(items) }
 
 // SpatialJoin computes R[zr <> zs]S over two z-sorted element
-// relations, returning distinct overlapping object pairs.
-func SpatialJoin(a, b []Item) ([]Pair, JoinStats, error) {
-	return core.SpatialJoinDistinct(a, b)
+// relations, returning distinct overlapping object pairs. By default
+// the join is the sequential stack-based merge; WithWorkers switches
+// to parallel execution over z-prefix partitions, WithPartitionPrefix
+// tunes the cut depth, and WithTrace attributes the work — including
+// one child span per shard when parallel — to an execution trace.
+func SpatialJoin(a, b []Item, opts ...JoinOption) ([]Pair, QueryStats, error) {
+	var jc joinConfig
+	for _, o := range opts {
+		o.applyJoin(&jc)
+	}
+	var sp *Trace
+	if jc.trace != nil {
+		name := "spatial-join"
+		if jc.parallel {
+			name = "spatial-join-parallel"
+		}
+		sp = jc.trace.Child(name)
+		defer sp.End()
+	}
+	var (
+		pairs []Pair
+		js    core.JoinStats
+		err   error
+	)
+	if jc.parallel {
+		cfg := core.ParallelJoinConfig{Workers: jc.workers, PrefixBits: jc.prefixBits}
+		pairs, js, err = core.SpatialJoinParallelDistinctTraced(a, b, cfg, sp)
+	} else {
+		pairs, js, err = core.SpatialJoinDistinctTraced(a, b, sp)
+	}
+	qs := joinQueryStats(js)
+	qs.addSpanIO(sp)
+	return pairs, qs, err
 }
 
-// ParallelJoinConfig tunes SpatialJoinParallel: the worker count
+// ParallelJoinConfig tunes the core parallel join: the worker count
 // (degree of parallelism) and the z-prefix length at which the inputs
 // are partitioned.
 type ParallelJoinConfig = core.ParallelJoinConfig
@@ -148,8 +192,10 @@ type ParallelJoinConfig = core.ParallelJoinConfig
 // over z-prefix partitions of the inputs (see docs/parallelism.md).
 // workers <= 0 selects runtime.GOMAXPROCS. The distinct pair set is
 // identical to SpatialJoin's.
-func SpatialJoinParallel(a, b []Item, workers int) ([]Pair, JoinStats, error) {
-	return core.SpatialJoinParallelDistinct(a, b, core.ParallelJoinConfig{Workers: workers})
+//
+// Deprecated: use SpatialJoin(a, b, WithWorkers(workers)).
+func SpatialJoinParallel(a, b []Item, workers int) ([]Pair, QueryStats, error) {
+	return SpatialJoin(a, b, WithWorkers(workers))
 }
 
 // Union, Intersect, Subtract and XOR are the polygon-overlay set
@@ -180,6 +226,8 @@ func DetectInterference(g Grid, parts []Part, maxLen int) ([]interfere.Pair, int
 }
 
 // Options tunes a DB. Zero values select the defaults in brackets.
+// Options implements Option, so it can be passed directly to Open;
+// the individual With* options are the preferred spelling.
 type Options struct {
 	// PageSize is the simulated disk page size in bytes [4096].
 	PageSize int
@@ -197,35 +245,79 @@ type Options struct {
 // but DB keeps full serialization so its page-access counts stay
 // exactly reproducible, the paper's reported metric.)
 type DB struct {
-	mu    sync.Mutex
-	grid  Grid
-	store *disk.MemStore
-	pool  *disk.Pool
-	index *core.Index
+	mu      sync.Mutex
+	grid    Grid
+	store   *disk.MemStore
+	pool    *disk.Pool
+	index   *core.Index
+	metrics *obs.Registry
 }
 
-// Open creates an empty spatial database over grid g.
-func Open(g Grid, opts Options) (*DB, error) {
-	if opts.PageSize == 0 {
-		opts.PageSize = disk.DefaultPageSize
+// Open creates a spatial database over grid g. With no options it is
+// empty with default page size, pool capacity and leaf capacity;
+// WithPageSize, WithPoolPages and WithLeafCapacity tune those, and
+// WithBulkLoad builds the index bottom-up from an initial point set.
+// The legacy Options struct is itself an Option, so existing
+// Open(g, Options{...}) calls keep working.
+func Open(g Grid, opts ...Option) (*DB, error) {
+	cfg := openConfig{pageSize: disk.DefaultPageSize, poolPages: 256}
+	for _, o := range opts {
+		o.applyOpen(&cfg)
 	}
-	if opts.PoolPages == 0 {
-		opts.PoolPages = 256
-	}
-	store, err := disk.NewMemStore(opts.PageSize)
+	store, err := disk.NewMemStore(cfg.pageSize)
 	if err != nil {
 		return nil, err
 	}
-	pool, err := disk.NewPool(store, opts.PoolPages, disk.LRU)
+	pool, err := disk.NewPool(store, cfg.poolPages, disk.LRU)
 	if err != nil {
 		return nil, err
 	}
-	ix, err := core.NewIndex(pool, g, core.IndexConfig{LeafCapacity: opts.LeafCapacity})
+	var ix *core.Index
+	if cfg.bulkSet {
+		ix, err = core.NewIndexBulk(pool, g, core.IndexConfig{LeafCapacity: cfg.leafCapacity}, cfg.bulk, 0)
+	} else {
+		ix, err = core.NewIndex(pool, g, core.IndexConfig{LeafCapacity: cfg.leafCapacity})
+	}
 	if err != nil {
 		return nil, err
 	}
-	return &DB{grid: g, store: store, pool: pool, index: ix}, nil
+	return &DB{grid: g, store: store, pool: pool, index: ix, metrics: obs.NewRegistry()}, nil
 }
+
+// beginOp starts per-operation attribution under db.mu: when the
+// caller supplied a trace, a child span named op is created and
+// attached to the buffer pool and the store, so page and I/O activity
+// lands on it. It returns the span (nil when untraced — the whole
+// attribution path then costs nothing).
+func (db *DB) beginOp(op string, t *Trace) *Trace {
+	if t == nil {
+		return nil
+	}
+	sp := t.Child(op)
+	db.pool.AttachSpan(sp)
+	db.store.AttachSpan(sp)
+	return sp
+}
+
+// endOp seals the operation span, detaches it from the pool and the
+// store, and folds the operation into the metrics registry: the
+// "<op>.count" cumulative counter always bumps, and span counters
+// merge under "<op>.<counter>" when traced.
+func (db *DB) endOp(op string, sp *Trace) {
+	if sp != nil {
+		db.pool.AttachSpan(nil)
+		db.store.AttachSpan(nil)
+		sp.End()
+	}
+	db.metrics.AddSpan(op, sp)
+}
+
+// Metrics returns the database's cumulative metrics registry. Every
+// operation bumps "<op>.count"; traced operations additionally merge
+// their span counters under "<op>.<counter>". The registry and its
+// individual counters satisfy expvar.Var, so they can be published
+// with expvar.Publish for scraping.
+func (db *DB) Metrics() *Metrics { return db.metrics }
 
 // Grid returns the database's grid.
 func (db *DB) Grid() Grid { return db.grid }
@@ -279,27 +371,48 @@ func (db *DB) DeleteBox(box Box) (int, error) {
 	return len(victims), nil
 }
 
-// RangeSearch returns all points inside the box using the default
-// strategy (MergeLazy).
-func (db *DB) RangeSearch(box Box) ([]Point, SearchStats, error) {
+// RangeSearch returns all points inside the box. The default
+// strategy is MergeLazy; WithStrategy selects another, and WithTrace
+// attributes the query's work — operator counters, buffer-pool
+// activity, physical I/O — to an execution trace.
+func (db *DB) RangeSearch(box Box, opts ...QueryOption) ([]Point, QueryStats, error) {
+	qc := queryConfig{strategy: MergeLazy}
+	for _, o := range opts {
+		o.applyQuery(&qc)
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.index.RangeSearch(box, MergeLazy)
+	sp := db.beginOp("range-search", qc.trace)
+	defer db.endOp("range-search", sp)
+	pts, ss, err := db.index.RangeSearchTraced(box, qc.strategy, sp)
+	qs := searchQueryStats(ss)
+	qs.addSpanIO(sp)
+	return pts, qs, err
 }
 
 // RangeSearchWith runs a range search with an explicit strategy.
-func (db *DB) RangeSearchWith(box Box, s Strategy) ([]Point, SearchStats, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.index.RangeSearch(box, s)
+//
+// Deprecated: use RangeSearch(box, WithStrategy(s)).
+func (db *DB) RangeSearchWith(box Box, s Strategy) ([]Point, QueryStats, error) {
+	return db.RangeSearch(box, WithStrategy(s))
 }
 
 // PartialMatch pins the restricted dimensions to the given values and
-// leaves the rest unconstrained.
-func (db *DB) PartialMatch(restricted []bool, value []uint32) ([]Point, SearchStats, error) {
+// leaves the rest unconstrained. It accepts the same options as
+// RangeSearch.
+func (db *DB) PartialMatch(restricted []bool, value []uint32, opts ...QueryOption) ([]Point, QueryStats, error) {
+	qc := queryConfig{strategy: MergeLazy}
+	for _, o := range opts {
+		o.applyQuery(&qc)
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.index.PartialMatch(restricted, value, MergeLazy)
+	sp := db.beginOp("partial-match", qc.trace)
+	defer db.endOp("partial-match", sp)
+	pts, ss, err := db.index.PartialMatchTraced(restricted, value, qc.strategy, sp)
+	qs := searchQueryStats(ss)
+	qs.addSpanIO(sp)
+	return pts, qs, err
 }
 
 // LeafPages returns the number of data pages in the index.
@@ -329,10 +442,19 @@ func (db *DB) DropCaches() error {
 }
 
 // IOStats returns the physical read/write counters of the simulated
-// disk.
+// disk. It takes no DB mutex by design: MemStore guards its counters
+// with its own lock, so the read is safe against concurrent
+// operations, and skipping db.mu lets monitoring sample I/O while a
+// long query holds the database lock (the same contract as
+// disk.Pool.Stats). The snapshot may interleave with an in-flight
+// operation's writes; counters never tear.
 func (db *DB) IOStats() disk.IOStats { return db.store.Stats() }
 
-// ResetIOStats zeroes the physical I/O counters.
+// ResetIOStats zeroes the physical I/O counters. Like IOStats it
+// relies on MemStore's own lock rather than db.mu, so a reset
+// concurrent with a running operation yields counts attributable to
+// neither before nor after — reset on an idle database when exact
+// accounting matters.
 func (db *DB) ResetIOStats() { db.store.ResetStats() }
 
 // Index exposes the underlying index for advanced use (experiment
@@ -369,11 +491,21 @@ const (
 
 // Nearest returns the m indexed points nearest to q under the metric,
 // implemented as expanding range queries (the Section 6 translation
-// of proximity queries into overlap queries).
-func (db *DB) Nearest(q []uint32, m int, metric Metric) ([]Neighbor, SearchStats, error) {
+// of proximity queries into overlap queries). It accepts the same
+// options as RangeSearch.
+func (db *DB) Nearest(q []uint32, m int, metric Metric, opts ...QueryOption) ([]Neighbor, QueryStats, error) {
+	qc := queryConfig{strategy: MergeLazy}
+	for _, o := range opts {
+		o.applyQuery(&qc)
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.index.Nearest(q, m, metric, MergeLazy)
+	sp := db.beginOp("nearest", qc.trace)
+	defer db.endOp("nearest", sp)
+	nbs, ss, err := db.index.Nearest(q, m, metric, qc.strategy)
+	qs := searchQueryStats(ss)
+	qs.addSpanIO(sp)
+	return nbs, qs, err
 }
 
 // ContainsRegion reports whether region a covers every pixel of
@@ -383,24 +515,8 @@ func ContainsRegion(a, b []Element) (bool, error) { return overlay.ContainsRegio
 // OpenPacked creates a database bulk-loaded with the given points:
 // the index is built bottom-up with fully packed pages (about 30%
 // fewer data pages than one-at-a-time insertion).
+//
+// Deprecated: use Open(g, opts, WithBulkLoad(pts)).
 func OpenPacked(g Grid, opts Options, pts []Point) (*DB, error) {
-	if opts.PageSize == 0 {
-		opts.PageSize = disk.DefaultPageSize
-	}
-	if opts.PoolPages == 0 {
-		opts.PoolPages = 256
-	}
-	store, err := disk.NewMemStore(opts.PageSize)
-	if err != nil {
-		return nil, err
-	}
-	pool, err := disk.NewPool(store, opts.PoolPages, disk.LRU)
-	if err != nil {
-		return nil, err
-	}
-	ix, err := core.NewIndexBulk(pool, g, core.IndexConfig{LeafCapacity: opts.LeafCapacity}, pts, 0)
-	if err != nil {
-		return nil, err
-	}
-	return &DB{grid: g, store: store, pool: pool, index: ix}, nil
+	return Open(g, opts, WithBulkLoad(pts))
 }
