@@ -1,0 +1,8 @@
+//go:build !slow
+
+package probe_test
+
+// crashHarnessSeeds is the number of seeded fault schedules the
+// crash-recovery property harness runs in the default build. The CI
+// crash-matrix job builds with -tags slow for a deeper sweep.
+const crashHarnessSeeds = 300

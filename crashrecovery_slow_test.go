@@ -1,0 +1,7 @@
+//go:build slow
+
+package probe_test
+
+// crashHarnessSeeds under -tags slow: the deep sweep the CI
+// crash-matrix job runs.
+const crashHarnessSeeds = 2000

@@ -1,0 +1,323 @@
+package probe_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"testing"
+
+	"probe"
+	"probe/internal/disk"
+	"probe/internal/disk/faultfs"
+)
+
+// This file is the crash-recovery property harness of the durability
+// design (docs/durability.md): for hundreds of seeded schedules it
+// runs a random insert/delete/checkpoint workload against a database
+// on a fault-injecting filesystem, injects one fault — process crash,
+// torn write, I/O error, or bit flip — at a seeded write operation,
+// takes the resulting crash image, recovers, and asserts:
+//
+//   - recovery succeeds (for a bit flip it may instead refuse with
+//     *disk.ChecksumError — detected corruption — but must never
+//     return wrong data);
+//   - the recovered contents equal an acknowledged checkpoint: the
+//     last Checkpoint that returned nil, or the one in flight when the
+//     fault hit (whose commit record may or may not have reached the
+//     platter) — nothing else, never a torn hybrid;
+//   - the recovered B+-tree passes its structural invariants;
+//   - range searches over the recovered index agree with a
+//     brute-force oracle over the matched checkpoint's point set;
+//   - the recovered database accepts and checkpoints new writes.
+//
+// Failing seeds are appended to $CRASH_SEED_FILE (CI archives it).
+
+// dbStep is one operation of a generated schedule.
+type dbStep struct {
+	op int // 0 insert, 1 delete, 2 checkpoint
+	id uint64
+	x  uint32
+	y  uint32
+	n  int
+}
+
+func genDBSteps(rng *rand.Rand) []dbStep {
+	n := 40 + rng.Intn(80)
+	steps := make([]dbStep, n)
+	nextID := uint64(1)
+	for i := range steps {
+		r := rng.Intn(100)
+		switch {
+		case r < 70:
+			steps[i] = dbStep{op: 0, id: nextID,
+				x: uint32(rng.Intn(256)), y: uint32(rng.Intn(256))}
+			nextID++
+		case r < 85:
+			steps[i] = dbStep{op: 1, n: rng.Intn(1 << 30)}
+		default:
+			steps[i] = dbStep{op: 2}
+		}
+	}
+	steps[n-1] = dbStep{op: 2} // end on a checkpoint attempt
+	return steps
+}
+
+// dbModel is the oracle: the point set the database should hold.
+type dbModel map[uint64][2]uint32
+
+func (m dbModel) clone() dbModel {
+	c := make(dbModel, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+func (m dbModel) liveIDs() []uint64 {
+	ids := make([]uint64, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// runDBSteps executes the schedule, tracking the last acknowledged
+// checkpoint state and the (at most one) checkpoint that failed after
+// possibly committing.
+func runDBSteps(fsys *faultfs.FS, db *probe.DB, steps []dbStep) (acked, maybe dbModel) {
+	live := dbModel{}
+	acked = dbModel{} // database creation checkpoints an empty state
+	for _, st := range steps {
+		if fsys.Crashed() {
+			break
+		}
+		switch st.op {
+		case 0:
+			if err := db.Insert(probe.Pt2(st.id, st.x, st.y)); err == nil {
+				live[st.id] = [2]uint32{st.x, st.y}
+			}
+		case 1:
+			ids := live.liveIDs()
+			if len(ids) == 0 {
+				continue
+			}
+			id := ids[st.n%len(ids)]
+			xy := live[id]
+			if ok, err := db.Delete(probe.Pt2(id, xy[0], xy[1])); err == nil && ok {
+				delete(live, id)
+			}
+		case 2:
+			cand := live.clone()
+			if _, err := db.Checkpoint(); err == nil {
+				acked = cand
+				maybe = nil
+			} else if maybe == nil {
+				maybe = cand
+			}
+		}
+	}
+	return acked, maybe
+}
+
+func matchDBState(got, want dbModel) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%d points, want %d", len(got), len(want))
+	}
+	for id, xy := range want {
+		if got[id] != xy {
+			return fmt.Errorf("point %d is %v, want %v", id, got[id], xy)
+		}
+	}
+	return nil
+}
+
+func dbPlanForSeed(rng *rand.Rand, seed int64, w int) (faultfs.Plan, string) {
+	at := 1 + rng.Intn(w)
+	switch seed % 4 {
+	case 0:
+		return faultfs.Plan{Seed: seed, CrashAt: at}, "crash"
+	case 1:
+		return faultfs.Plan{Seed: seed, TornAt: at}, "torn"
+	case 2:
+		return faultfs.Plan{Seed: seed, FailAt: at}, "fail"
+	default:
+		return faultfs.Plan{Seed: seed, FlipAt: at, CrashAt: at + 1 + rng.Intn(30)}, "flip"
+	}
+}
+
+// recordDBFailureSeed appends a failing seed to $CRASH_SEED_FILE so CI
+// can archive it for reproduction.
+func recordDBFailureSeed(seed int64, kind string) {
+	path := os.Getenv("CRASH_SEED_FILE")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(f, "probe seed=%d kind=%s\n", seed, kind)
+	f.Close()
+}
+
+func TestCrashRecoveryProperty(t *testing.T) {
+	seeds := crashHarnessSeeds
+	if testing.Short() {
+		seeds /= 10
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			kind := runOneCrashSchedule(t, seed)
+			if t.Failed() {
+				recordDBFailureSeed(seed, kind)
+			}
+		})
+	}
+}
+
+func openOn(t *testing.T, fsys *faultfs.FS) *probe.DB {
+	t.Helper()
+	db, err := probe.Open(probe.MustGrid(2, 8),
+		probe.WithDurability("probe.db"), probe.WithFS(fsys),
+		probe.WithPageSize(256), probe.WithPoolPages(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func runOneCrashSchedule(t *testing.T, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	steps := genDBSteps(rng)
+
+	// Dry run on a clean filesystem: count the schedule's write
+	// operations so the fault index lands inside the workload.
+	dry := faultfs.New()
+	dryDB := openOn(t, dry)
+	dry.Arm(faultfs.Plan{}) // reset the op counter; no faults
+	runDBSteps(dry, dryDB, steps)
+	w := dry.Ops()
+	if w == 0 {
+		t.Fatal("schedule performed no write operations")
+	}
+
+	// Armed run: same schedule, one injected fault.
+	plan, kind := dbPlanForSeed(rng, seed, w)
+	fsys := faultfs.New()
+	db := openOn(t, fsys)
+	fsys.Arm(plan)
+	acked, maybe := runDBSteps(fsys, db, steps)
+
+	// The crash: whatever was not fsynced may be gone.
+	img := fsys.CrashImage()
+	imgCopy := img.Clone() // pristine copy for the idempotency check
+
+	rec, err := probe.Open(probe.MustGrid(2, 8),
+		probe.WithDurability("probe.db"), probe.WithFS(img))
+	if err != nil {
+		var ce *disk.ChecksumError
+		if kind == "flip" && errors.As(err, &ce) {
+			return kind // detected corruption: refused, not wrong
+		}
+		t.Fatalf("kind=%s: recovery failed: %v", kind, err)
+	}
+	defer rec.Close()
+	if wasRec, _ := rec.Recovered(); !wasRec {
+		t.Fatalf("kind=%s: open did not report recovery", kind)
+	}
+
+	got := dbModel{}
+	if err := rec.Scan(func(p probe.Point) bool {
+		got[p.ID] = [2]uint32{p.Coords[0], p.Coords[1]}
+		return true
+	}); err != nil {
+		t.Fatalf("kind=%s: scan of recovered database: %v", kind, err)
+	}
+
+	// The recovered state must be an acknowledged checkpoint — the last
+	// acked one, or the one in flight when the fault hit.
+	matched := acked
+	errAcked := matchDBState(got, acked)
+	if errAcked != nil {
+		errMaybe := fmt.Errorf("no checkpoint was in flight")
+		if maybe != nil {
+			errMaybe = matchDBState(got, maybe)
+			matched = maybe
+		}
+		if errMaybe != nil {
+			t.Fatalf("kind=%s: recovered state matches no acknowledged checkpoint:\n  vs acked: %v\n  vs in-flight: %v",
+				kind, errAcked, errMaybe)
+		}
+	}
+
+	// Structural invariants of the recovered tree.
+	if err := rec.Index().Tree().CheckInvariants(); err != nil {
+		t.Fatalf("kind=%s: recovered tree invariants: %v", kind, err)
+	}
+
+	// Differential range searches against a brute-force oracle over the
+	// matched checkpoint state.
+	for q := 0; q < 3; q++ {
+		x1, x2 := uint32(rng.Intn(256)), uint32(rng.Intn(256))
+		y1, y2 := uint32(rng.Intn(256)), uint32(rng.Intn(256))
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		if y1 > y2 {
+			y1, y2 = y2, y1
+		}
+		pts, _, err := rec.RangeSearch(probe.Box2(x1, x2, y1, y2))
+		if err != nil {
+			t.Fatalf("kind=%s: range search: %v", kind, err)
+		}
+		oracle := map[uint64]bool{}
+		for id, xy := range matched {
+			if xy[0] >= x1 && xy[0] <= x2 && xy[1] >= y1 && xy[1] <= y2 {
+				oracle[id] = true
+			}
+		}
+		if len(pts) != len(oracle) {
+			t.Fatalf("kind=%s: box [%d,%d]x[%d,%d]: found %d points, oracle says %d",
+				kind, x1, x2, y1, y2, len(pts), len(oracle))
+		}
+		for _, p := range pts {
+			if !oracle[p.ID] {
+				t.Fatalf("kind=%s: range search returned point %d the oracle does not have", kind, p.ID)
+			}
+		}
+	}
+
+	// The recovered database must accept and checkpoint new writes.
+	if err := rec.Insert(probe.Pt2(1<<40, 11, 13)); err != nil {
+		t.Fatalf("kind=%s: insert after recovery: %v", kind, err)
+	}
+	if _, err := rec.Checkpoint(); err != nil {
+		t.Fatalf("kind=%s: checkpoint after recovery: %v", kind, err)
+	}
+
+	// Idempotence: recovering the same image again yields the same
+	// state.
+	if seed%5 == 0 {
+		rec2, err := probe.Open(probe.MustGrid(2, 8),
+			probe.WithDurability("probe.db"), probe.WithFS(imgCopy))
+		if err != nil {
+			t.Fatalf("kind=%s: re-recovery: %v", kind, err)
+		}
+		got2 := dbModel{}
+		if err := rec2.Scan(func(p probe.Point) bool {
+			got2[p.ID] = [2]uint32{p.Coords[0], p.Coords[1]}
+			return true
+		}); err != nil {
+			t.Fatalf("kind=%s: re-recovery scan: %v", kind, err)
+		}
+		if err := matchDBState(got2, matched); err != nil {
+			t.Fatalf("kind=%s: re-recovery diverged: %v", kind, err)
+		}
+		rec2.Close()
+	}
+	return kind
+}

@@ -1,0 +1,297 @@
+package probe
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"probe/internal/btree"
+	"probe/internal/core"
+	"probe/internal/disk"
+	"probe/internal/obs"
+)
+
+// This file is the durable face of the database: Open with
+// WithDurability places the index on a disk.RecoverableStore (WAL +
+// checksummed pages) instead of the in-memory simulated disk,
+// DB.Checkpoint is the commit point that makes inserts durable, and
+// reopening the same path recovers the last checkpoint — after a
+// clean Close and after a crash alike. See docs/durability.md for the
+// full protocol and its guarantees.
+
+// metaPageID is the page holding the database descriptor: the grid
+// shape and the B+-tree metadata. It is allocated first on creation,
+// so it is always page 1; the tree's pages follow. The page is
+// written directly through the store at each checkpoint — never
+// through the buffer pool, which therefore never caches it.
+const metaPageID disk.PageID = 1
+
+const (
+	dbMetaMagic   = "PROBEDB1"
+	dbMetaVersion = 1
+)
+
+// encodeDBMeta serializes the database descriptor into a page-sized
+// buffer:
+//
+//	[magic 8B][version u32][k u32][bits u32 x k]
+//	[root u32][height u32][leaves u32][leaf cap u32][value size u32]
+//	[count u64]
+func encodeDBMeta(buf []byte, g Grid, m btree.Meta) error {
+	need := 8 + 4 + 4 + 4*g.Dims() + 5*4 + 8
+	if len(buf) < need {
+		return fmt.Errorf("probe: page size %d cannot hold database metadata (%d bytes)", len(buf), need)
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	copy(buf[0:8], dbMetaMagic)
+	binary.LittleEndian.PutUint32(buf[8:12], dbMetaVersion)
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(g.Dims()))
+	off := 16
+	for i := 0; i < g.Dims(); i++ {
+		binary.LittleEndian.PutUint32(buf[off:off+4], uint32(g.BitsOf(i)))
+		off += 4
+	}
+	binary.LittleEndian.PutUint32(buf[off:off+4], uint32(m.Root))
+	binary.LittleEndian.PutUint32(buf[off+4:off+8], uint32(m.Height))
+	binary.LittleEndian.PutUint32(buf[off+8:off+12], uint32(m.Leaves))
+	binary.LittleEndian.PutUint32(buf[off+12:off+16], uint32(m.LeafCapacity))
+	binary.LittleEndian.PutUint32(buf[off+16:off+20], uint32(m.ValueSize))
+	binary.LittleEndian.PutUint64(buf[off+20:off+28], uint64(m.Count))
+	return nil
+}
+
+// decodeDBMeta parses a database descriptor page.
+func decodeDBMeta(buf []byte) (bits []int, m btree.Meta, err error) {
+	if len(buf) < 16 || string(buf[0:8]) != dbMetaMagic {
+		return nil, m, fmt.Errorf("probe: bad database metadata magic")
+	}
+	if v := binary.LittleEndian.Uint32(buf[8:12]); v != dbMetaVersion {
+		return nil, m, fmt.Errorf("probe: unsupported database metadata version %d", v)
+	}
+	k := int(binary.LittleEndian.Uint32(buf[12:16]))
+	if k < 1 || k > 64 || len(buf) < 16+4*k+28 {
+		return nil, m, fmt.Errorf("probe: implausible database metadata (k=%d)", k)
+	}
+	bits = make([]int, k)
+	off := 16
+	for i := 0; i < k; i++ {
+		bits[i] = int(binary.LittleEndian.Uint32(buf[off : off+4]))
+		off += 4
+	}
+	m.Root = disk.PageID(binary.LittleEndian.Uint32(buf[off : off+4]))
+	m.Height = int(binary.LittleEndian.Uint32(buf[off+4 : off+8]))
+	m.Leaves = int(binary.LittleEndian.Uint32(buf[off+8 : off+12]))
+	m.LeafCapacity = int(binary.LittleEndian.Uint32(buf[off+12 : off+16]))
+	m.ValueSize = int(binary.LittleEndian.Uint32(buf[off+16 : off+20]))
+	m.Count = int(binary.LittleEndian.Uint64(buf[off+20 : off+28]))
+	return bits, m, nil
+}
+
+// gridMatches reports whether g has exactly the per-dimension bit
+// widths recorded in a descriptor.
+func gridMatches(g Grid, bits []int) bool {
+	if g.Dims() != len(bits) {
+		return false
+	}
+	for i, b := range bits {
+		if g.BitsOf(i) != b {
+			return false
+		}
+	}
+	return true
+}
+
+// DurabilityStats re-exports the durable store's counters.
+type DurabilityStats = disk.DurabilityStats
+
+// RecoveryInfo re-exports what opening a durable database found and
+// repaired.
+type RecoveryInfo = disk.RecoveryInfo
+
+// openDurable is Open's durable path: create the store at cfg.durPath
+// if it does not exist, otherwise recover it and reattach the index.
+func openDurable(g Grid, cfg openConfig) (*DB, error) {
+	fsys := cfg.fsys
+	if fsys == nil {
+		fsys = disk.OSFS{}
+	}
+	_, exists, err := fsys.Stat(cfg.durPath)
+	if err != nil {
+		return nil, fmt.Errorf("probe: stat %s: %w", cfg.durPath, err)
+	}
+	sp := cfg.trace.Child("open")
+	defer sp.End()
+	if !exists {
+		return createDurable(g, cfg, fsys)
+	}
+	return recoverDurable(g, cfg, fsys, sp)
+}
+
+func createDurable(g Grid, cfg openConfig, fsys disk.FS) (*DB, error) {
+	rs, err := disk.CreateRecoverableStore(fsys, cfg.durPath, cfg.pageSize)
+	if err != nil {
+		return nil, err
+	}
+	id, err := rs.Allocate()
+	if err != nil {
+		rs.Close()
+		return nil, err
+	}
+	if id != metaPageID {
+		rs.Close()
+		return nil, fmt.Errorf("probe: metadata page allocated as %d, want %d", id, metaPageID)
+	}
+	pool, err := disk.NewPool(rs, cfg.poolPages, disk.LRU)
+	if err != nil {
+		rs.Close()
+		return nil, err
+	}
+	var ix *core.Index
+	if cfg.bulkSet {
+		ix, err = core.NewIndexBulk(pool, g, core.IndexConfig{LeafCapacity: cfg.leafCapacity}, cfg.bulk, 0)
+	} else {
+		ix, err = core.NewIndex(pool, g, core.IndexConfig{LeafCapacity: cfg.leafCapacity})
+	}
+	if err != nil {
+		rs.Close()
+		return nil, err
+	}
+	db := &DB{grid: g, store: rs, rs: rs, pool: pool, index: ix, metrics: obs.NewRegistry()}
+	// Checkpoint immediately: a freshly created database must be
+	// recoverable even if the process dies before the first explicit
+	// Checkpoint.
+	if err := db.checkpointLocked(); err != nil {
+		rs.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+func recoverDurable(g Grid, cfg openConfig, fsys disk.FS, sp *Trace) (*DB, error) {
+	if cfg.bulkSet {
+		return nil, fmt.Errorf("probe: cannot bulk-load into the existing database at %s (WithBulkLoad requires a fresh path)", cfg.durPath)
+	}
+	rs, info, err := disk.RecoverStore(fsys, cfg.durPath)
+	if err != nil {
+		return nil, err
+	}
+	sp.Add(obs.PagesRecovered, int64(info.PagesRecovered))
+	if cfg.pageSize != disk.DefaultPageSize && cfg.pageSize != rs.PageSize() {
+		ps := rs.PageSize()
+		rs.Close()
+		return nil, fmt.Errorf("probe: WithPageSize(%d) conflicts with existing database page size %d", cfg.pageSize, ps)
+	}
+	buf := make([]byte, rs.PageSize())
+	if err := rs.Read(metaPageID, buf); err != nil {
+		rs.Close()
+		return nil, fmt.Errorf("probe: read database metadata: %w", err)
+	}
+	bits, tm, err := decodeDBMeta(buf)
+	if err != nil {
+		rs.Close()
+		return nil, err
+	}
+	if !gridMatches(g, bits) {
+		rs.Close()
+		return nil, fmt.Errorf("probe: database at %s was created with grid bits %v, not %v", cfg.durPath, bits, g)
+	}
+	pool, err := disk.NewPool(rs, cfg.poolPages, disk.LRU)
+	if err != nil {
+		rs.Close()
+		return nil, err
+	}
+	ix, err := core.OpenIndex(pool, g, tm)
+	if err != nil {
+		rs.Close()
+		return nil, err
+	}
+	return &DB{
+		grid: g, store: rs, rs: rs, pool: pool, index: ix,
+		metrics: obs.NewRegistry(), recovery: info, recovered: true,
+	}, nil
+}
+
+// Checkpoint makes every change so far durable: the database
+// descriptor is rewritten, the buffer pool's dirty pages are handed
+// to the store, and the store commits its write-ahead batch with one
+// group fsync. After Checkpoint returns nil, the database reopens to
+// exactly this state no matter how the process dies.
+//
+// On an in-memory database (no WithDurability) Checkpoint just
+// flushes the buffer pool.
+//
+// It accepts WithTrace like the query entry points; the returned
+// QueryStats carries the attributed WALAppends/WALSyncs and physical
+// I/O of the checkpoint.
+func (db *DB) Checkpoint(opts ...QueryOption) (QueryStats, error) {
+	var qc queryConfig
+	for _, o := range opts {
+		o.applyQuery(&qc)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	sp := db.beginOp("checkpoint", qc.trace)
+	defer db.endOp("checkpoint", sp)
+	err := db.checkpointLocked()
+	var qs QueryStats
+	qs.addSpanIO(sp)
+	return qs, err
+}
+
+// checkpointLocked runs the checkpoint under db.mu.
+func (db *DB) checkpointLocked() error {
+	if db.closed {
+		return fmt.Errorf("probe: database is closed")
+	}
+	if db.rs == nil {
+		return db.pool.Flush()
+	}
+	buf := make([]byte, db.rs.PageSize())
+	if err := encodeDBMeta(buf, db.grid, db.index.Tree().Meta()); err != nil {
+		return err
+	}
+	if err := db.rs.Write(metaPageID, buf); err != nil {
+		return err
+	}
+	return db.pool.Checkpoint()
+}
+
+// Close checkpoints (on a durable database) and releases the store.
+// Close is idempotent; operations after Close fail.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	var err error
+	if db.rs != nil {
+		err = db.checkpointLocked()
+		if cerr := db.rs.Close(); err == nil {
+			err = cerr
+		}
+	}
+	db.closed = true
+	return err
+}
+
+// DurabilityStats returns the durable store's counters: WAL appends
+// and fsyncs, checkpoints completed, pages replayed at recovery, and
+// checksum failures surfaced. Zero on an in-memory database.
+func (db *DB) DurabilityStats() DurabilityStats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.rs == nil {
+		return DurabilityStats{}
+	}
+	return db.rs.DurabilityStats()
+}
+
+// Recovered reports whether Open attached to an existing database,
+// and what recovery found there.
+func (db *DB) Recovered() (bool, RecoveryInfo) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.recovered, db.recovery
+}

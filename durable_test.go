@@ -1,0 +1,342 @@
+package probe_test
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"probe"
+	"probe/internal/disk"
+	"probe/internal/disk/faultfs"
+)
+
+// collect drains the database into an id -> (x, y) map via Scan.
+func collect(t *testing.T, db *probe.DB) map[uint64][2]uint32 {
+	t.Helper()
+	got := map[uint64][2]uint32{}
+	if err := db.Scan(func(p probe.Point) bool {
+		got[p.ID] = [2]uint32{p.Coords[0], p.Coords[1]}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestDurableCreateCheckpointReopen(t *testing.T) {
+	g := probe.MustGrid(2, 8)
+	path := filepath.Join(t.TempDir(), "probe.db")
+
+	db, err := probe.Open(g, probe.WithDurability(path), probe.WithPageSize(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec, _ := db.Recovered(); rec {
+		t.Fatal("fresh database reports recovered")
+	}
+	for i := uint64(0); i < 200; i++ {
+		if err := db.Insert(probe.Pt2(i, uint32(i%256), uint32((i*7)%256))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	want := collect(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: same grid, no page-size option (it is read from disk).
+	db2, err := probe.Open(g, probe.WithDurability(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec, _ := db2.Recovered(); !rec {
+		t.Fatal("reopened database does not report recovered")
+	}
+	if db2.Len() != 200 {
+		t.Fatalf("reopened Len %d, want 200", db2.Len())
+	}
+	if got := collect(t, db2); len(got) != len(want) {
+		t.Fatalf("reopened scan has %d points, want %d", len(got), len(want))
+	} else {
+		for id, xy := range want {
+			if got[id] != xy {
+				t.Fatalf("point %d: got %v, want %v", id, got[id], xy)
+			}
+		}
+	}
+	if err := db2.Index().Tree().CheckInvariants(); err != nil {
+		t.Fatalf("recovered tree invariants: %v", err)
+	}
+	// Queries answer from the recovered index.
+	pts, _, err := db2.RangeSearch(probe.Box2(0, 50, 0, 255))
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute := 0
+	for _, xy := range want {
+		if xy[0] <= 50 {
+			brute++
+		}
+	}
+	if len(pts) != brute {
+		t.Fatalf("recovered range search found %d points, brute force says %d", len(pts), brute)
+	}
+	// The recovered database accepts new work; Close checkpoints it.
+	if err := db2.Insert(probe.Pt2(1000, 3, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db3, err := probe.Open(g, probe.WithDurability(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if db3.Len() != 201 {
+		t.Fatalf("after close-reopen Len %d, want 201", db3.Len())
+	}
+}
+
+func TestDurableCrashRollsBackToCheckpoint(t *testing.T) {
+	g := probe.MustGrid(2, 8)
+	fsys := faultfs.New()
+	db, err := probe.Open(g, probe.WithDurability("probe.db"), probe.WithFS(fsys), probe.WithPageSize(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 50; i++ {
+		if err := db.Insert(probe.Pt2(i, uint32(i), uint32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// More inserts, never checkpointed: a crash must lose exactly these.
+	for i := uint64(100); i < 150; i++ {
+		if err := db.Insert(probe.Pt2(i, uint32(i%256), 7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img := fsys.CrashImage() // crash now — no Close
+	db2, err := probe.Open(g, probe.WithDurability("probe.db"), probe.WithFS(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	got := collect(t, db2)
+	if len(got) != 50 {
+		t.Fatalf("recovered %d points, want the 50 checkpointed ones", len(got))
+	}
+	for i := uint64(0); i < 50; i++ {
+		if got[i] != [2]uint32{uint32(i), uint32(i)} {
+			t.Fatalf("checkpointed point %d missing or wrong: %v", i, got[i])
+		}
+	}
+}
+
+func TestDurableGridMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "probe.db")
+	db, err := probe.Open(probe.MustGrid(2, 8), probe.WithDurability(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := probe.Open(probe.MustGrid(2, 10), probe.WithDurability(path)); err == nil ||
+		!strings.Contains(err.Error(), "grid bits") {
+		t.Fatalf("grid mismatch not rejected: %v", err)
+	}
+}
+
+func TestDurablePageSizeConflict(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "probe.db")
+	g := probe.MustGrid(2, 8)
+	db, err := probe.Open(g, probe.WithDurability(path), probe.WithPageSize(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := probe.Open(g, probe.WithDurability(path), probe.WithPageSize(512)); err == nil ||
+		!strings.Contains(err.Error(), "page size") {
+		t.Fatalf("page-size conflict not rejected: %v", err)
+	}
+	// Omitting the option adopts the on-disk page size.
+	db2, err := probe.Open(g, probe.WithDurability(path))
+	if err != nil {
+		t.Fatalf("reopen without page-size option: %v", err)
+	}
+	db2.Close()
+}
+
+func TestDurableBulkLoadIntoExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "probe.db")
+	g := probe.MustGrid(2, 8)
+	db, err := probe.Open(g, probe.WithDurability(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pts := []probe.Point{probe.Pt2(1, 2, 3)}
+	if _, err := probe.Open(g, probe.WithDurability(path), probe.WithBulkLoad(pts)); err == nil ||
+		!strings.Contains(err.Error(), "bulk-load") {
+		t.Fatalf("bulk load into existing database not rejected: %v", err)
+	}
+}
+
+func TestDurableBulkLoadFreshPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "probe.db")
+	g := probe.MustGrid(2, 8)
+	pts := make([]probe.Point, 100)
+	for i := range pts {
+		pts[i] = probe.Pt2(uint64(i), uint32(i%256), uint32((i*3)%256))
+	}
+	db, err := probe.Open(g, probe.WithDurability(path), probe.WithPageSize(256), probe.WithBulkLoad(pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := probe.Open(g, probe.WithDurability(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Len() != 100 {
+		t.Fatalf("bulk-loaded database reopened with %d points, want 100", db2.Len())
+	}
+}
+
+func TestDurableStatsAndTrace(t *testing.T) {
+	g := probe.MustGrid(2, 8)
+	fsys := faultfs.New()
+	db, err := probe.Open(g, probe.WithDurability("probe.db"), probe.WithFS(fsys), probe.WithPageSize(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := uint64(0); i < 20; i++ {
+		if err := db.Insert(probe.Pt2(i, uint32(i), uint32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr := probe.NewTrace("test")
+	qs, err := db.Checkpoint(probe.WithTrace(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.WALAppends == 0 {
+		t.Fatalf("traced checkpoint attributes no WAL appends: %+v", qs)
+	}
+	if qs.WALSyncs == 0 {
+		t.Fatalf("traced checkpoint attributes no WAL syncs: %+v", qs)
+	}
+	ds := db.DurabilityStats()
+	if ds.WALAppends == 0 || ds.WALSyncs == 0 || ds.Checkpoints < 2 {
+		t.Fatalf("durability stats: %+v", ds)
+	}
+}
+
+func TestDurableRecoveryCountsPages(t *testing.T) {
+	g := probe.MustGrid(2, 8)
+	fsys := faultfs.New()
+	db, err := probe.Open(g, probe.WithDurability("probe.db"), probe.WithFS(fsys), probe.WithPageSize(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 30; i++ {
+		if err := db.Insert(probe.Pt2(i, uint32(i), uint32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash mid-checkpoint, after the commit fsync: find a schedule
+	// that lands there by scanning fault indices until recovery reports
+	// a committed batch.
+	base := fsys.Clone()
+	for fault := 1; fault < 40; fault++ {
+		run := base.Clone()
+		dbr, err := probe.Open(g, probe.WithDurability("probe.db"), probe.WithFS(run))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dbr.Insert(probe.Pt2(999, 1, 2)); err != nil {
+			t.Fatal(err)
+		}
+		run.Arm(faultfs.Plan{Seed: int64(fault), CrashAt: fault})
+		_, ckErr := dbr.Checkpoint()
+		if !run.Crashed() {
+			if ckErr != nil {
+				t.Fatalf("fault %d: checkpoint failed without crash: %v", fault, ckErr)
+			}
+			break
+		}
+		img := run.CrashImage()
+		db2, err := probe.Open(g, probe.WithDurability("probe.db"), probe.WithFS(img))
+		if err != nil {
+			var ce *disk.ChecksumError
+			if errors.As(err, &ce) {
+				t.Fatalf("fault %d: single crash surfaced as checksum error: %v", fault, err)
+			}
+			t.Fatalf("fault %d: %v", fault, err)
+		}
+		rec, info := db2.Recovered()
+		if !rec {
+			t.Fatalf("fault %d: not recovered", fault)
+		}
+		if info.Committed && info.PagesRecovered == 0 {
+			t.Fatalf("fault %d: committed recovery replayed no pages", fault)
+		}
+		if info.Committed && db2.DurabilityStats().PagesRecovered == 0 {
+			t.Fatalf("fault %d: PagesRecovered counter not set", fault)
+		}
+		db2.Close()
+	}
+}
+
+func TestDurableCloseIdempotentAndGuards(t *testing.T) {
+	g := probe.MustGrid(2, 8)
+	path := filepath.Join(t.TempDir(), "probe.db")
+	db, err := probe.Open(g, probe.WithDurability(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := db.Checkpoint(); err == nil {
+		t.Fatal("checkpoint after close succeeded")
+	}
+}
+
+func TestInMemoryCheckpointAndStats(t *testing.T) {
+	db, err := probe.Open(probe.MustGrid(2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert(probe.Pt2(1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatalf("in-memory checkpoint: %v", err)
+	}
+	if ds := db.DurabilityStats(); ds != (probe.DurabilityStats{}) {
+		t.Fatalf("in-memory durability stats not zero: %+v", ds)
+	}
+	if rec, _ := db.Recovered(); rec {
+		t.Fatal("in-memory database reports recovered")
+	}
+}

@@ -81,6 +81,66 @@ func New(pool *disk.Pool, cfg Config) (*Tree, error) {
 	return t, nil
 }
 
+// Meta is the persistent identity of a tree: everything needed to
+// reattach to its pages after the process restarts. A durable caller
+// serializes it at each checkpoint and hands it back to Load on
+// reopen.
+type Meta struct {
+	Root         disk.PageID
+	Height       int // 1 = root is a leaf
+	Count        int
+	Leaves       int
+	ValueSize    int
+	LeafCapacity int
+}
+
+// Meta returns the tree's current persistent metadata.
+func (t *Tree) Meta() Meta {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return Meta{
+		Root:         t.root,
+		Height:       t.height,
+		Count:        t.count,
+		Leaves:       t.leaves,
+		ValueSize:    t.valueSize,
+		LeafCapacity: t.leafCap,
+	}
+}
+
+// Attach reattaches to an existing tree whose pages live on the
+// pool's store, using metadata captured by Meta. It validates the
+// geometry against the store's page size but does not touch any
+// pages; the first operation does.
+func Attach(pool *disk.Pool, m Meta) (*Tree, error) {
+	ps := pool.Store().PageSize()
+	if m.ValueSize < 0 {
+		return nil, fmt.Errorf("btree: negative value size")
+	}
+	stride := encodedKeyLen + m.ValueSize
+	maxLeaf := (ps - leafHeaderLen) / stride
+	if m.LeafCapacity < 2 || m.LeafCapacity > maxLeaf {
+		return nil, fmt.Errorf("btree: leaf capacity %d outside [2,%d] for page size %d", m.LeafCapacity, maxLeaf, ps)
+	}
+	fanout := (ps - internalHeaderLen + 2 + encodedKeyLen) / (4 + 2 + encodedKeyLen)
+	if fanout < 4 {
+		return nil, fmt.Errorf("btree: page size %d too small for internal nodes", ps)
+	}
+	if m.Root == disk.InvalidPage || m.Height < 1 || m.Count < 0 || m.Leaves < 1 {
+		return nil, fmt.Errorf("btree: implausible tree metadata %+v", m)
+	}
+	return &Tree{
+		pool:      pool,
+		valueSize: m.ValueSize,
+		leafCap:   m.LeafCapacity,
+		fanout:    fanout,
+		root:      m.Root,
+		height:    m.Height,
+		count:     m.Count,
+		leaves:    m.Leaves,
+	}, nil
+}
+
 // Len returns the number of entries.
 func (t *Tree) Len() int {
 	t.mu.RLock()

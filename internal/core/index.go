@@ -54,6 +54,20 @@ func NewIndex(pool *disk.Pool, g zorder.Grid, cfg IndexConfig) (*Index, error) {
 	return &Index{g: g, tree: tree}, nil
 }
 
+// OpenIndex reattaches to an existing index whose tree pages live on
+// the pool's store, using metadata captured by Tree().Meta(). The
+// durable database facade uses it on reopen.
+func OpenIndex(pool *disk.Pool, g zorder.Grid, m btree.Meta) (*Index, error) {
+	if m.ValueSize != 0 {
+		return nil, fmt.Errorf("core: index tree has value size %d, want 0", m.ValueSize)
+	}
+	tree, err := btree.Attach(pool, m)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{g: g, tree: tree}, nil
+}
+
 // Grid returns the index's grid.
 func (ix *Index) Grid() zorder.Grid { return ix.g }
 

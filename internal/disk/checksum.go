@@ -1,0 +1,125 @@
+package disk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Every page slot in a FileStore carries a 16-byte header ahead of the
+// payload so torn writes and media corruption are detected on read:
+//
+//	[crc32c u32][page id u32][lsn u64]
+//
+// The checksum covers the page id, the LSN and the payload
+// (Castagnoli polynomial, the CRC32C of iSCSI/ext4). A slot whose
+// header is entirely zero is a free slot; a slot whose id field is
+// zero but checksum verifies is a freed slot stamp.
+const pageHeaderLen = 16
+
+// castagnoli is the CRC32C table.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// pageCRC computes the checksum of a slot: header bytes 4.. plus the
+// payload.
+func pageCRC(slot []byte) uint32 {
+	return crc32.Checksum(slot[4:], castagnoli)
+}
+
+// encodePageHeader stamps the slot's header in place and returns the
+// checksum written.
+func encodePageHeader(slot []byte, id PageID, lsn uint64) uint32 {
+	binary.LittleEndian.PutUint32(slot[4:8], uint32(id))
+	binary.LittleEndian.PutUint64(slot[8:16], lsn)
+	crc := pageCRC(slot)
+	binary.LittleEndian.PutUint32(slot[0:4], crc)
+	return crc
+}
+
+// decodePageHeader parses a slot header without verifying it.
+func decodePageHeader(slot []byte) (crc uint32, id PageID, lsn uint64) {
+	crc = binary.LittleEndian.Uint32(slot[0:4])
+	id = PageID(binary.LittleEndian.Uint32(slot[4:8]))
+	lsn = binary.LittleEndian.Uint64(slot[8:16])
+	return crc, id, lsn
+}
+
+// ChecksumError reports that on-disk bytes failed verification: a
+// page whose CRC32C does not match its contents, a page stored under
+// the wrong id (a misdirected write), or a corrupt superblock or WAL.
+// It is the storage layer's guarantee that corruption surfaces as an
+// error, never as silently wrong data.
+type ChecksumError struct {
+	// Path is the file the corruption was found in.
+	Path string
+	// Page is the page involved, or InvalidPage for file-level
+	// structures (superblock, WAL).
+	Page PageID
+	// Reason describes what failed to verify.
+	Reason string
+}
+
+// Error implements error.
+func (e *ChecksumError) Error() string {
+	if e.Page != InvalidPage {
+		return fmt.Sprintf("disk: %s: page %d: checksum failure: %s", e.Path, e.Page, e.Reason)
+	}
+	return fmt.Sprintf("disk: %s: checksum failure: %s", e.Path, e.Reason)
+}
+
+// The superblock is the first 64 bytes of a store file:
+//
+//	[magic 8B][version u32][payload size u32][checkpoint LSN u64][crc32c u32]
+//
+// The CRC covers bytes 0..24. The checkpoint LSN is stamped as the
+// final durable step of every checkpoint; recovery uses it to decide
+// whether the page file may contain writes from an interrupted
+// checkpoint (any page LSN above it) that the WAL must account for.
+// The superblock fits one device sector, so its update is assumed
+// atomic (the standard single-sector assumption; faultfs honors it).
+const (
+	superblockLen  = 64
+	storeMagic     = "ZKDPAGE1"
+	storeVersion   = 1
+	superblockCRCO = 24 // offset of the crc field
+)
+
+func encodeSuperblock(payloadSize int, ckptLSN uint64) []byte {
+	sb := make([]byte, superblockLen)
+	copy(sb[0:8], storeMagic)
+	binary.LittleEndian.PutUint32(sb[8:12], storeVersion)
+	binary.LittleEndian.PutUint32(sb[12:16], uint32(payloadSize))
+	binary.LittleEndian.PutUint64(sb[16:24], ckptLSN)
+	crc := crc32.Checksum(sb[:superblockCRCO], castagnoli)
+	binary.LittleEndian.PutUint32(sb[superblockCRCO:superblockCRCO+4], crc)
+	return sb
+}
+
+func decodeSuperblock(path string, sb []byte) (payloadSize int, ckptLSN uint64, err error) {
+	if len(sb) < superblockLen {
+		return 0, 0, &ChecksumError{Path: path, Reason: "superblock truncated"}
+	}
+	if string(sb[0:8]) != storeMagic {
+		return 0, 0, &ChecksumError{Path: path, Reason: "bad superblock magic"}
+	}
+	want := binary.LittleEndian.Uint32(sb[superblockCRCO : superblockCRCO+4])
+	if got := crc32.Checksum(sb[:superblockCRCO], castagnoli); got != want {
+		return 0, 0, &ChecksumError{Path: path, Reason: "superblock crc mismatch"}
+	}
+	if v := binary.LittleEndian.Uint32(sb[8:12]); v != storeVersion {
+		return 0, 0, &ChecksumError{Path: path, Reason: fmt.Sprintf("unsupported version %d", v)}
+	}
+	payloadSize = int(binary.LittleEndian.Uint32(sb[12:16]))
+	ckptLSN = binary.LittleEndian.Uint64(sb[16:24])
+	return payloadSize, ckptLSN, nil
+}
+
+// isZero reports whether every byte of b is zero.
+func isZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}

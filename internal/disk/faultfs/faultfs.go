@@ -1,0 +1,415 @@
+// Package faultfs is a deterministic fault-injecting filesystem for
+// crash-recovery testing. It implements disk.FS in memory and can,
+// at the Nth write operation of a run, fail the operation, tear it
+// (write a sector-aligned prefix only), flip a bit in it, or
+// hard-stop the whole filesystem as if the process had died.
+//
+// The crash model mirrors what a real kernel guarantees:
+//
+//   - Operations since a file's last Sync live in an unsynced journal.
+//     On a crash each unsynced operation independently survives or
+//     vanishes (chosen by the run's seeded RNG), so recovery code sees
+//     every legal reordering-by-omission of its unflushed writes.
+//   - Tears happen only at 64-byte sector boundaries, so a structure
+//     that fits one sector (the store superblock) updates atomically —
+//     the standard single-sector assumption.
+//   - A torn write's prefix is always present in the crash image;
+//     that is the write the device was executing when power failed.
+//
+// A typical schedule: run the workload once unarmed to count its
+// write operations, pick a fault index in [1, count] from the seed,
+// Arm the plan, run again until ErrCrashed/ErrInjected surfaces, take
+// CrashImage, and recover against it.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+
+	"probe/internal/disk"
+)
+
+// SectorSize is the granularity at which torn writes are cut. Writes
+// of at most one sector are atomic: they are either wholly present or
+// wholly absent after a crash, never partial.
+const SectorSize = 64
+
+// ErrCrashed is returned by every operation after the filesystem has
+// hard-stopped. Code under test must treat it like process death:
+// abandon the session and recover from a CrashImage.
+var ErrCrashed = errors.New("faultfs: crashed")
+
+// ErrInjected is returned by an operation that was failed by plan
+// (an I/O error; the filesystem stays alive).
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Plan schedules at most one fault of each kind against a run's
+// global write-operation counter (WriteAt, Truncate, Sync and Create
+// each count as one operation; the first operation is 1; zero means
+// never).
+type Plan struct {
+	// Seed drives every random choice of the run: torn-prefix
+	// lengths, flipped bit positions, and which unsynced operations
+	// survive a crash.
+	Seed int64
+	// FailAt makes the Nth operation return ErrInjected without
+	// taking effect.
+	FailAt int
+	// TornAt makes the Nth operation (if a WriteAt) apply only a
+	// sector-aligned prefix and then hard-stops the filesystem. For
+	// other operations it acts like CrashAt.
+	TornAt int
+	// FlipAt makes the Nth operation (if a WriteAt) apply with a
+	// single seeded bit inverted; the run continues. Other operations
+	// are unaffected.
+	FlipAt int
+	// CrashAt hard-stops the filesystem at the Nth operation; the
+	// operation itself does not happen.
+	CrashAt int
+}
+
+type pendingOp struct {
+	off    int64  // write offset, or -1 for truncate
+	data   []byte // written bytes (nil for truncate)
+	size   int64  // truncate size
+	sticky bool   // always survives a crash (a torn prefix)
+}
+
+type memFile struct {
+	synced  []byte // contents as of the last Sync
+	data    []byte // contents the running process sees
+	pending []pendingOp
+}
+
+// FS is the fault-injecting in-memory filesystem.
+type FS struct {
+	mu      sync.Mutex
+	files   map[string]*memFile
+	plan    Plan
+	rng     *rand.Rand
+	armed   bool
+	ops     int
+	crashed bool
+}
+
+// New returns an empty, unarmed filesystem: all operations succeed
+// and nothing is counted.
+func New() *FS {
+	return &FS{files: make(map[string]*memFile)}
+}
+
+// Arm resets the operation counter and activates plan. Call it after
+// setup (or after a dry run) so only the workload's operations count.
+func (fs *FS) Arm(plan Plan) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.plan = plan
+	fs.rng = rand.New(rand.NewSource(plan.Seed))
+	fs.armed = true
+	fs.ops = 0
+	fs.crashed = false
+}
+
+// Disarm deactivates fault injection; operations still count.
+func (fs *FS) Disarm() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.armed = false
+}
+
+// Ops returns the number of write operations performed since the last
+// Arm (or since creation). Dry runs use it to size a fault index.
+func (fs *FS) Ops() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.ops
+}
+
+// Crashed reports whether the filesystem has hard-stopped.
+func (fs *FS) Crashed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.crashed
+}
+
+// CrashImage materializes the on-disk state after the crash: each
+// file's synced contents plus a seeded subset of its unsynced
+// operations (sticky torn prefixes always included), applied in
+// order. The result is a fresh, unarmed filesystem to recover
+// against. It may also be taken from a live filesystem, simulating a
+// crash at the current instant.
+func (fs *FS) CrashImage() *FS {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	rng := fs.rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(0))
+	}
+	img := New()
+	// Deterministic iteration: files in sorted name order.
+	names := make([]string, 0, len(fs.files))
+	for name := range fs.files {
+		names = append(names, name)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	for _, name := range names {
+		f := fs.files[name]
+		data := append([]byte(nil), f.synced...)
+		for _, op := range f.pending {
+			if !op.sticky && rng.Intn(2) == 0 {
+				continue // this unsynced operation never reached the platter
+			}
+			data = applyOp(data, op)
+		}
+		img.files[name] = &memFile{
+			synced: append([]byte(nil), data...),
+			data:   data,
+		}
+	}
+	return img
+}
+
+// Clone returns an unarmed copy of the filesystem's current (live)
+// state, as if every operation had been synced.
+func (fs *FS) Clone() *FS {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	img := New()
+	for name, f := range fs.files {
+		img.files[name] = &memFile{
+			synced: append([]byte(nil), f.data...),
+			data:   append([]byte(nil), f.data...),
+		}
+	}
+	return img
+}
+
+func applyOp(data []byte, op pendingOp) []byte {
+	if op.off < 0 {
+		if op.size <= int64(len(data)) {
+			return data[:op.size]
+		}
+		return append(data, make([]byte, op.size-int64(len(data)))...)
+	}
+	end := op.off + int64(len(op.data))
+	if end > int64(len(data)) {
+		data = append(data, make([]byte, end-int64(len(data)))...)
+	}
+	copy(data[op.off:end], op.data)
+	return data
+}
+
+// faultAction describes what the injection point decided.
+type faultAction int
+
+const (
+	actApply faultAction = iota
+	actFail
+	actCrash
+	actTear
+	actFlip
+)
+
+// step counts one write operation and decides its fate. The caller
+// holds fs.mu.
+func (fs *FS) step(isWrite bool) faultAction {
+	if fs.crashed {
+		return actCrash
+	}
+	fs.ops++
+	if !fs.armed {
+		return actApply
+	}
+	n := fs.ops
+	switch {
+	case n == fs.plan.FailAt:
+		return actFail
+	case n == fs.plan.CrashAt:
+		fs.crashed = true
+		return actCrash
+	case n == fs.plan.TornAt:
+		fs.crashed = true
+		if isWrite {
+			return actTear
+		}
+		return actCrash
+	case n == fs.plan.FlipAt && isWrite:
+		return actFlip
+	}
+	return actApply
+}
+
+// Create implements disk.FS. Creating (or truncating) a file counts
+// as one write operation.
+func (fs *FS) Create(path string) (disk.File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	switch fs.step(false) {
+	case actCrash:
+		return nil, ErrCrashed
+	case actFail:
+		return nil, ErrInjected
+	}
+	f, ok := fs.files[path]
+	if !ok {
+		f = &memFile{}
+		fs.files[path] = f
+	} else {
+		f.pending = append(f.pending, pendingOp{off: -1, size: 0})
+		f.data = f.data[:0]
+	}
+	return &file{fs: fs, f: f, path: path}, nil
+}
+
+// Open implements disk.FS.
+func (fs *FS) Open(path string) (disk.File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return nil, ErrCrashed
+	}
+	f, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("faultfs: open %s: file does not exist", path)
+	}
+	return &file{fs: fs, f: f, path: path}, nil
+}
+
+// Stat implements disk.FS.
+func (fs *FS) Stat(path string) (int64, bool, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return 0, false, ErrCrashed
+	}
+	f, ok := fs.files[path]
+	if !ok {
+		return 0, false, nil
+	}
+	return int64(len(f.data)), true, nil
+}
+
+// file is an open handle. Handles share the underlying memFile, like
+// OS file descriptors share an inode.
+type file struct {
+	fs   *FS
+	f    *memFile
+	path string
+}
+
+// ReadAt implements io.ReaderAt.
+func (h *file) ReadAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return 0, ErrCrashed
+	}
+	if off >= int64(len(h.f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt: the injection point for torn writes
+// and bit flips.
+func (h *file) WriteAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	switch h.fs.step(true) {
+	case actCrash:
+		return 0, ErrCrashed
+	case actFail:
+		return 0, ErrInjected
+	case actTear:
+		// Keep a sector-aligned prefix; it is sticky — the device was
+		// mid-write when power failed.
+		sectors := len(p) / SectorSize
+		keep := 0
+		if sectors > 0 {
+			keep = h.fs.rng.Intn(sectors) * SectorSize
+		}
+		if keep > 0 {
+			op := pendingOp{off: off, data: append([]byte(nil), p[:keep]...), sticky: true}
+			h.f.pending = append(h.f.pending, op)
+			h.f.data = applyOp(h.f.data, op)
+		}
+		return 0, ErrCrashed
+	case actFlip:
+		q := append([]byte(nil), p...)
+		if len(q) > 0 {
+			bit := h.fs.rng.Intn(len(q) * 8)
+			q[bit/8] ^= 1 << (bit % 8)
+		}
+		op := pendingOp{off: off, data: q}
+		h.f.pending = append(h.f.pending, op)
+		h.f.data = applyOp(h.f.data, op)
+		return len(p), nil
+	}
+	op := pendingOp{off: off, data: append([]byte(nil), p...)}
+	h.f.pending = append(h.f.pending, op)
+	h.f.data = applyOp(h.f.data, op)
+	return len(p), nil
+}
+
+// Truncate implements disk.File.
+func (h *file) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	switch h.fs.step(false) {
+	case actCrash:
+		return ErrCrashed
+	case actFail:
+		return ErrInjected
+	}
+	op := pendingOp{off: -1, size: size}
+	h.f.pending = append(h.f.pending, op)
+	h.f.data = applyOp(h.f.data, op)
+	return nil
+}
+
+// Sync implements disk.File: the file's unsynced journal becomes
+// durable and can no longer be lost to a crash.
+func (h *file) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	switch h.fs.step(false) {
+	case actCrash:
+		return ErrCrashed
+	case actFail:
+		return ErrInjected
+	}
+	h.f.synced = append(h.f.synced[:0], h.f.data...)
+	h.f.pending = nil
+	return nil
+}
+
+// Size implements disk.File.
+func (h *file) Size() (int64, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return 0, ErrCrashed
+	}
+	return int64(len(h.f.data)), nil
+}
+
+// Close implements disk.File. Closing never syncs.
+func (h *file) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return ErrCrashed
+	}
+	return nil
+}

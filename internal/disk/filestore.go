@@ -2,58 +2,304 @@ package disk
 
 import (
 	"fmt"
-	"os"
 	"sync"
 )
 
-// FileStore is a Store backed by an operating-system file: page i
-// lives at byte offset (i-1)*pageSize. It gives the zkd B+-tree a
-// real persistent substrate; the free list is kept in memory (freed
-// pages are reused within a session and the file is truncated only on
-// Close).
+// FileStore is a Store backed by an operating-system file. The file
+// starts with a 64-byte superblock; page i then lives in slot i at
+// byte offset superblockLen + (i-1)*(pageHeaderLen+pageSize). Every
+// slot carries a CRC32C-checksummed header (page id, LSN), so Read
+// detects torn writes, bit rot and misdirected writes and reports
+// them as *ChecksumError rather than returning wrong bytes.
+//
+// PageSize is the logical payload size: callers see pages of exactly
+// the size they asked for; the header is internal.
+//
+// The free list is kept in memory during a session; freed slots are
+// stamped with a zero header so OpenFileStore can rebuild the
+// allocation state from a header scan.
 type FileStore struct {
 	mu        sync.Mutex
-	f         *os.File
-	pageSize  int
+	f         File
+	path      string
+	pageSize  int // payload bytes per page
 	next      PageID
 	freeList  []PageID
 	allocated map[PageID]bool
+	corrupt   map[PageID]bool // slots that failed the open-time scan
+	unstamped []PageID        // scanned slots allocated with LSN 0 (never checkpointed)
+	lsn       uint64          // highest LSN stamped or seen
+	ckptLSN   uint64          // superblock checkpoint LSN
+	closed    bool
 	stats     IOStats
 }
 
-// NewFileStore creates (or truncates) the file at path.
-func NewFileStore(path string, pageSize int) (*FileStore, error) {
+// CreateFileStore creates (or truncates) the store file at path and
+// writes its superblock durably before returning.
+func CreateFileStore(path string, pageSize int) (*FileStore, error) {
+	return CreateFileStoreFS(OSFS{}, path, pageSize)
+}
+
+// CreateFileStoreFS is CreateFileStore on an injected filesystem.
+func CreateFileStoreFS(fsys FS, path string, pageSize int) (*FileStore, error) {
 	if pageSize < 64 {
 		return nil, fmt.Errorf("disk: page size %d too small (minimum 64)", pageSize)
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.Create(path)
 	if err != nil {
-		return nil, fmt.Errorf("disk: open %s: %w", path, err)
+		return nil, fmt.Errorf("disk: create %s: %w", path, err)
 	}
-	return &FileStore{
+	s := &FileStore{
 		f:         f,
+		path:      path,
 		pageSize:  pageSize,
 		next:      1,
 		allocated: make(map[PageID]bool),
-	}, nil
+		corrupt:   make(map[PageID]bool),
+	}
+	if err := s.stampSuperblock(0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
 }
 
-// Close flushes and closes the underlying file.
-func (s *FileStore) Close() error {
+// OpenFileStore opens an existing store file, reading the page size
+// from the superblock and rebuilding the allocation state (next id,
+// free list) from the file size and a full header scan. Slots whose
+// checksum fails are recorded as corrupt: they count as allocated,
+// reading them returns *ChecksumError, and CorruptPages exposes them
+// so a recovery layer can decide whether its log repairs them. A
+// trailing partial slot (a torn file extension) is truncated away.
+func OpenFileStore(path string) (*FileStore, error) {
+	return OpenFileStoreFS(OSFS{}, path)
+}
+
+// OpenFileStoreFS is OpenFileStore on an injected filesystem.
+func OpenFileStoreFS(fsys FS, path string) (*FileStore, error) {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("disk: open %s: %w", path, err)
+	}
+	s, err := openScan(f, path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func openScan(f File, path string) (*FileStore, error) {
+	sb := make([]byte, superblockLen)
+	size, err := f.Size()
+	if err != nil {
+		return nil, fmt.Errorf("disk: stat %s: %w", path, err)
+	}
+	if size < superblockLen {
+		return nil, &ChecksumError{Path: path, Reason: "file too small for superblock"}
+	}
+	if err := readFull(f, sb, 0); err != nil {
+		return nil, fmt.Errorf("disk: %s: %w", path, err)
+	}
+	pageSize, ckptLSN, err := decodeSuperblock(path, sb)
+	if err != nil {
+		return nil, err
+	}
+	if pageSize < 64 {
+		return nil, &ChecksumError{Path: path, Reason: fmt.Sprintf("implausible page size %d", pageSize)}
+	}
+	s := &FileStore{
+		f:         f,
+		path:      path,
+		pageSize:  pageSize,
+		next:      1,
+		allocated: make(map[PageID]bool),
+		corrupt:   make(map[PageID]bool),
+		ckptLSN:   ckptLSN,
+		lsn:       ckptLSN,
+	}
+	slot := int64(pageHeaderLen + pageSize)
+	n := (size - superblockLen) / slot
+	if rem := superblockLen + n*slot; rem != size {
+		// Torn extension: drop the partial trailing slot.
+		if err := f.Truncate(rem); err != nil {
+			return nil, fmt.Errorf("disk: %s: truncate torn tail: %w", path, err)
+		}
+	}
+	buf := make([]byte, slot)
+	for i := int64(1); i <= n; i++ {
+		id := PageID(i)
+		if err := readFull(f, buf, s.offset(id)); err != nil {
+			return nil, fmt.Errorf("disk: %s: scan page %d: %w", path, id, err)
+		}
+		crc, hdrID, lsn := decodePageHeader(buf)
+		switch {
+		case isZero(buf[:pageHeaderLen]):
+			// Never written or free-stamped: a free slot.
+			s.freeList = append(s.freeList, id)
+		case crc == pageCRC(buf) && hdrID == id:
+			s.allocated[id] = true
+			if lsn > s.lsn {
+				s.lsn = lsn
+			}
+			if lsn == 0 {
+				s.unstamped = append(s.unstamped, id)
+			}
+		case crc == pageCRC(buf) && hdrID == 0:
+			// Explicit free stamp.
+			s.freeList = append(s.freeList, id)
+			if lsn > s.lsn {
+				s.lsn = lsn
+			}
+		default:
+			// Torn or corrupted slot: occupied but unreadable.
+			s.allocated[id] = true
+			s.corrupt[id] = true
+		}
+	}
+	s.next = PageID(n + 1)
+	// Reverse the free list so low ids are reused first (scan order
+	// pushes ascending; allocation pops from the tail).
+	for i, j := 0, len(s.freeList)-1; i < j; i, j = i+1, j-1 {
+		s.freeList[i], s.freeList[j] = s.freeList[j], s.freeList[i]
+	}
+	return s, nil
+}
+
+// NewFileStore creates (or truncates) the file at path.
+//
+// Deprecated: use CreateFileStore, or OpenFileStore to open an
+// existing store without destroying it.
+func NewFileStore(path string, pageSize int) (*FileStore, error) {
+	return CreateFileStore(path, pageSize)
+}
+
+// stampSuperblock durably rewrites the superblock with the given
+// checkpoint LSN. The caller holds s.mu (or the store is private).
+func (s *FileStore) stampSuperblock(ckptLSN uint64) error {
+	if _, err := s.f.WriteAt(encodeSuperblock(s.pageSize, ckptLSN), 0); err != nil {
+		return fmt.Errorf("disk: %s: write superblock: %w", s.path, err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("disk: %s: sync superblock: %w", s.path, err)
+	}
+	s.ckptLSN = ckptLSN
+	return nil
+}
+
+// StampCheckpoint durably records that every page write with LSN <=
+// lsn has reached the file (the final step of a checkpoint).
+func (s *FileStore) StampCheckpoint(lsn uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stampSuperblock(lsn)
+}
+
+// CheckpointLSN returns the superblock's checkpoint LSN.
+func (s *FileStore) CheckpointLSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ckptLSN
+}
+
+// MaxLSN returns the highest LSN stamped on any page so far (including
+// LSNs observed during the open scan).
+func (s *FileStore) MaxLSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lsn
+}
+
+// CorruptPages returns the pages whose slots failed verification
+// during the open-time scan, in ascending order.
+func (s *FileStore) CorruptPages() []PageID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]PageID, 0, len(s.corrupt))
+	for id := range s.corrupt {
+		out = append(out, id)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// reclaimUnstamped frees every slot the open-time scan found allocated
+// with LSN 0. Allocation stamps pages with LSN 0, and a checkpoint
+// rewrites every allocated-since-last-checkpoint page with the LSN of
+// its log record (always >= 1) — so after a crash an LSN-0 slot is an
+// allocation that never reached a committed checkpoint: a leak nothing
+// references. Recovery calls this right after opening, before log
+// replay. Returns how many slots were reclaimed.
+func (s *FileStore) reclaimUnstamped() (int, error) {
+	s.mu.Lock()
+	ids := s.unstamped
+	s.unstamped = nil
+	s.mu.Unlock()
+	n := 0
+	for _, id := range ids {
+		if !s.isAllocated(id) {
+			continue
+		}
+		if err := s.Free(id); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// SyncData flushes the page file to stable storage.
+func (s *FileStore) SyncData() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.f.Sync(); err != nil {
-		s.f.Close()
-		return err
+		return fmt.Errorf("disk: %s: sync: %w", s.path, err)
 	}
-	return s.f.Close()
+	return nil
+}
+
+// Close flushes and closes the underlying file. Close is idempotent:
+// the second and later calls return nil.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("disk: %s: sync on close: %w", s.path, err)
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("disk: %s: close: %w", s.path, err)
+	}
+	return nil
 }
 
 // PageSize implements Store.
 func (s *FileStore) PageSize() int { return s.pageSize }
 
 func (s *FileStore) offset(id PageID) int64 {
-	return int64(id-1) * int64(s.pageSize)
+	return superblockLen + int64(id-1)*int64(pageHeaderLen+s.pageSize)
+}
+
+// writeSlot stamps and writes a full slot. The caller holds s.mu.
+func (s *FileStore) writeSlot(id PageID, hdrID PageID, lsn uint64, payload []byte) error {
+	slot := make([]byte, pageHeaderLen+s.pageSize)
+	copy(slot[pageHeaderLen:], payload)
+	encodePageHeader(slot, hdrID, lsn)
+	if _, err := s.f.WriteAt(slot, s.offset(id)); err != nil {
+		return fmt.Errorf("disk: %s: write page %d: %w", s.path, id, err)
+	}
+	if lsn > s.lsn {
+		s.lsn = lsn
+	}
+	return nil
 }
 
 // Allocate implements Store.
@@ -71,17 +317,50 @@ func (s *FileStore) Allocate() (PageID, error) {
 		}
 		s.next++
 	}
-	// Pages must read back zeroed.
-	zero := make([]byte, s.pageSize)
-	if _, err := s.f.WriteAt(zero, s.offset(id)); err != nil {
-		return InvalidPage, fmt.Errorf("disk: extend file: %w", err)
+	// Pages must read back zeroed; stamp a valid header with LSN 0 so
+	// the slot scans as allocated but predates every checkpoint.
+	if err := s.writeSlot(id, id, 0, nil); err != nil {
+		return InvalidPage, err
 	}
 	s.allocated[id] = true
+	delete(s.corrupt, id)
 	s.stats.Allocs++
 	return id, nil
 }
 
-// Read implements Store.
+// allocateExact marks a specific page id allocated, stamping its
+// slot. Recovery uses it to replay allocation records whose file
+// extension was lost in a crash; ordinary callers use Allocate.
+func (s *FileStore) allocateExact(id PageID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id == InvalidPage {
+		return fmt.Errorf("disk: allocateExact of invalid page")
+	}
+	if s.allocated[id] && !s.corrupt[id] {
+		return nil // already durable
+	}
+	for s.next <= id {
+		s.freeList = append(s.freeList, s.next)
+		s.next++
+	}
+	for i, fid := range s.freeList {
+		if fid == id {
+			s.freeList = append(s.freeList[:i], s.freeList[i+1:]...)
+			break
+		}
+	}
+	if err := s.writeSlot(id, id, 0, nil); err != nil {
+		return err
+	}
+	s.allocated[id] = true
+	delete(s.corrupt, id)
+	s.stats.Allocs++
+	return nil
+}
+
+// Read implements Store. A slot that fails verification returns a
+// *ChecksumError.
 func (s *FileStore) Read(id PageID, buf []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -91,41 +370,85 @@ func (s *FileStore) Read(id PageID, buf []byte) error {
 	if len(buf) != s.pageSize {
 		return fmt.Errorf("disk: read buffer has %d bytes, want %d", len(buf), s.pageSize)
 	}
-	if _, err := s.f.ReadAt(buf, s.offset(id)); err != nil {
-		return fmt.Errorf("disk: read page %d: %w", id, err)
+	slot := make([]byte, pageHeaderLen+s.pageSize)
+	if err := readFull(s.f, slot, s.offset(id)); err != nil {
+		return fmt.Errorf("disk: %s: read page %d: %w", s.path, id, err)
 	}
+	crc, hdrID, _ := decodePageHeader(slot)
+	if crc != pageCRC(slot) {
+		return &ChecksumError{Path: s.path, Page: id, Reason: "crc mismatch"}
+	}
+	if hdrID != id {
+		return &ChecksumError{Path: s.path, Page: id, Reason: fmt.Sprintf("slot stamped with page %d", hdrID)}
+	}
+	copy(buf, slot[pageHeaderLen:])
 	s.stats.Reads++
 	return nil
 }
 
-// Write implements Store.
+// Write implements Store, stamping the slot with the next internal
+// LSN.
 func (s *FileStore) Write(id PageID, buf []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.writeLocked(id, buf, s.lsn+1)
+}
+
+// WriteLSN writes the page stamping an explicit LSN (the WAL record's
+// LSN during checkpoint apply and recovery).
+func (s *FileStore) WriteLSN(id PageID, buf []byte, lsn uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writeLocked(id, buf, lsn)
+}
+
+func (s *FileStore) writeLocked(id PageID, buf []byte, lsn uint64) error {
 	if !s.allocated[id] {
 		return fmt.Errorf("disk: write of unallocated page %d", id)
 	}
 	if len(buf) != s.pageSize {
 		return fmt.Errorf("disk: write buffer has %d bytes, want %d", len(buf), s.pageSize)
 	}
-	if _, err := s.f.WriteAt(buf, s.offset(id)); err != nil {
-		return fmt.Errorf("disk: write page %d: %w", id, err)
+	if err := s.writeSlot(id, id, lsn, buf); err != nil {
+		return err
 	}
+	delete(s.corrupt, id)
 	s.stats.Writes++
 	return nil
 }
 
-// Free implements Store.
-func (s *FileStore) Free(id PageID) error {
+// Free implements Store, stamping the slot as free so a header scan
+// sees it.
+func (s *FileStore) Free(id PageID) error { return s.FreeLSN(id, 0) }
+
+// FreeLSN frees the page, stamping the slot with an explicit free
+// marker (header page id 0) carrying lsn — the free's log record LSN
+// during checkpoint apply and recovery. The stamp matters: a free
+// applied from a batch that later proves unreadable must be as visible
+// to the checkpoint-LSN verification as any page write, or it would
+// silently erase state the last checkpoint still vouches for. The
+// payload is zeroed so reallocation hands out a clean page.
+func (s *FileStore) FreeLSN(id PageID, lsn uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.allocated[id] {
 		return fmt.Errorf("disk: free of unallocated page %d", id)
 	}
+	if err := s.writeSlot(id, 0, lsn, nil); err != nil {
+		return err
+	}
 	delete(s.allocated, id)
+	delete(s.corrupt, id)
 	s.freeList = append(s.freeList, id)
 	s.stats.Frees++
 	return nil
+}
+
+// isAllocated reports whether the page is currently allocated.
+func (s *FileStore) isAllocated(id PageID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.allocated[id]
 }
 
 // NumPages implements Store.

@@ -1,0 +1,233 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFileStoreCreateOpenSplit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.db")
+	s, err := CreateFileStore(path, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []PageID
+	payload := func(i int) []byte {
+		b := make([]byte, 128)
+		for j := range b {
+			b[j] = byte(i * 7)
+		}
+		return b
+	}
+	for i := 0; i < 5; i++ {
+		id, err := s.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		if err := s.Write(id, payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Free one page in the middle so the reopen scan must rebuild a
+	// free list, not just a high-water mark.
+	if err := s.Free(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.PageSize() != 128 {
+		t.Fatalf("reopened page size %d, want 128", r.PageSize())
+	}
+	if r.NumPages() != 4 {
+		t.Fatalf("reopened NumPages %d, want 4", r.NumPages())
+	}
+	buf := make([]byte, 128)
+	for i, id := range ids {
+		if i == 2 {
+			if err := r.Read(id, buf); err == nil {
+				t.Fatal("freed page readable after reopen")
+			}
+			continue
+		}
+		if err := r.Read(id, buf); err != nil {
+			t.Fatalf("read page %d after reopen: %v", id, err)
+		}
+		if !bytes.Equal(buf, payload(i)) {
+			t.Fatalf("page %d contents changed across reopen", id)
+		}
+	}
+	// The freed slot must be reused before the file grows.
+	id, err := r.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != ids[2] {
+		t.Fatalf("allocate after reopen returned %d, want freed slot %d", id, ids[2])
+	}
+	// Allocation resumes past the old high-water mark after that.
+	id2, err := r.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != PageID(len(ids)+1) {
+		t.Fatalf("next fresh page %d, want %d", id2, len(ids)+1)
+	}
+}
+
+func TestFileStoreOpenMissing(t *testing.T) {
+	if _, err := OpenFileStore(filepath.Join(t.TempDir(), "absent.db")); err == nil {
+		t.Fatal("open of missing store succeeded")
+	}
+}
+
+func TestFileStoreOpenDetectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.db")
+	s, err := CreateFileStore(path, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 128)
+	copy(data, "important")
+	if err := s.Write(id, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte on disk.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[superblockLen+pageHeaderLen+3] ^= 0x20
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.CorruptPages(); len(got) != 1 || got[0] != id {
+		t.Fatalf("corrupt pages %v, want [%d]", got, id)
+	}
+	var ce *ChecksumError
+	if err := r.Read(id, make([]byte, 128)); !errors.As(err, &ce) {
+		t.Fatalf("read of corrupt page: want ChecksumError, got %v", err)
+	}
+	// A fresh write heals the slot.
+	if err := r.Write(id, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Read(id, make([]byte, 128)); err != nil {
+		t.Fatalf("read after healing write: %v", err)
+	}
+	if len(r.CorruptPages()) != 0 {
+		t.Fatalf("slot still marked corrupt after rewrite")
+	}
+}
+
+func TestFileStoreOpenRejectsBadSuperblock(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.db")
+	if err := os.WriteFile(path, make([]byte, superblockLen), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var ce *ChecksumError
+	if _, err := OpenFileStore(path); !errors.As(err, &ce) {
+		t.Fatalf("zero superblock: want ChecksumError, got %v", err)
+	}
+	if err := os.WriteFile(path, []byte("tiny"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileStore(path); !errors.As(err, &ce) {
+		t.Fatalf("truncated superblock: want ChecksumError, got %v", err)
+	}
+}
+
+func TestFileStoreOpenTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.db")
+	s, err := CreateFileStore(path, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Append half a slot: a file extension torn by a crash.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, 70)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	r, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.NumPages() != 1 {
+		t.Fatalf("NumPages %d, want 1", r.NumPages())
+	}
+	next, err := r.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != id+1 {
+		t.Fatalf("allocate after torn tail returned %d, want %d", next, id+1)
+	}
+}
+
+func TestFileStoreCloseIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.db")
+	s, err := CreateFileStore(path, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestFileStoreCloseWrapsPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.db")
+	s, err := CreateFileStore(path, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close the file underneath the store so its sync fails.
+	s.f.Close()
+	err = s.Close()
+	if err == nil {
+		t.Fatal("close over a dead file succeeded")
+	}
+	if !bytes.Contains([]byte(err.Error()), []byte(path)) {
+		t.Fatalf("close error does not name the file: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close after failed close: %v", err)
+	}
+}

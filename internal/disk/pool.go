@@ -338,6 +338,38 @@ func (p *Pool) flushLocked() error {
 	return nil
 }
 
+// Checkpointer is implemented by stores whose writes become durable
+// only at an explicit commit point (RecoverableStore). Stores without
+// a checkpoint protocol simply don't implement it.
+type Checkpointer interface {
+	Checkpoint() error
+}
+
+// Checkpoint flushes every dirty frame to the store and then, if the
+// store is a Checkpointer, commits its checkpoint protocol.
+//
+// Flush ordering contract: the pool only ever moves dirty pages to
+// the store via Store.Write — on eviction, Flush, Drop and here — and
+// a RecoverableStore.Write is by construction a WAL append plus an
+// in-memory delta, never a data-file write. No dirty page can
+// therefore reach the page file before its WAL record is synced: the
+// file is written only inside Checkpoint/Recover, after the batch's
+// commit record is durable. The pool needs no write-ordering logic of
+// its own; it must only guarantee — as this method does — that every
+// dirty frame has been handed to the store before Checkpoint is
+// invoked, so the commit covers them.
+func (p *Pool) Checkpoint() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.flushLocked(); err != nil {
+		return err
+	}
+	if ck, ok := p.store.(Checkpointer); ok {
+		return ck.Checkpoint()
+	}
+	return nil
+}
+
 // Drop removes the page from the pool (writing it back if dirty) and
 // frees it in the store. The page must be unpinned.
 func (p *Pool) Drop(id PageID) error {

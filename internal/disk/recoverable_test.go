@@ -1,0 +1,303 @@
+package disk_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"probe/internal/disk"
+	"probe/internal/disk/faultfs"
+)
+
+// page builds a page-sized payload with a recognizable fill.
+func page(size int, fill byte) []byte {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+func TestRecoverableCheckpointAndReopen(t *testing.T) {
+	fsys := faultfs.New()
+	rs, err := disk.CreateRecoverableStore(fsys, "db", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []disk.PageID
+	for i := 0; i < 3; i++ {
+		id, err := rs.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		if err := rs.Write(id, page(128, byte('A'+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rs.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ds := rs.DurabilityStats()
+	if ds.WALAppends == 0 || ds.WALSyncs == 0 || ds.Checkpoints != 1 {
+		t.Fatalf("durability stats after checkpoint: %+v", ds)
+	}
+	// Overwrite one page and free another WITHOUT checkpointing: a
+	// crash must roll both back.
+	if err := rs.Write(ids[0], page(128, 'Z')); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Free(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	// The dirty read must see the new data before the crash...
+	buf := make([]byte, 128)
+	if err := rs.Read(ids[0], buf); err != nil || buf[0] != 'Z' {
+		t.Fatalf("dirty read: %v, buf[0]=%c", err, buf[0])
+	}
+
+	img := fsys.CrashImage()
+	rs2, info, err := disk.RecoverStore(img, "db")
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer rs2.Close()
+	if info.Committed {
+		t.Fatalf("no committed batch expected: %+v", info)
+	}
+	// ...and the recovered store must see the checkpointed data.
+	for i, id := range ids {
+		if err := rs2.Read(id, buf); err != nil {
+			t.Fatalf("read %d after recovery: %v", id, err)
+		}
+		if !bytes.Equal(buf, page(128, byte('A'+i))) {
+			t.Fatalf("page %d rolled forward past the checkpoint", id)
+		}
+	}
+	if rs2.NumPages() != 3 {
+		t.Fatalf("NumPages after recovery: %d", rs2.NumPages())
+	}
+}
+
+func TestRecoverableCommittedBatchReplay(t *testing.T) {
+	// Crash between the WAL commit fsync and the data-file apply: the
+	// batch must be rolled forward on recovery. The schedule is found
+	// by scanning fault indices for one that dies inside Checkpoint.
+	for fault := 1; fault < 60; fault++ {
+		fsys := faultfs.New()
+		rs, err := disk.CreateRecoverableStore(fsys, "db", 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := rs.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rs.Write(id, page(128, 'Q')); err != nil {
+			t.Fatal(err)
+		}
+		if err := rs.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		if err := rs.Write(id, page(128, 'R')); err != nil {
+			t.Fatal(err)
+		}
+		fsys.Arm(faultfs.Plan{Seed: int64(fault), CrashAt: fault})
+		ckErr := rs.Checkpoint()
+		if !fsys.Crashed() {
+			if ckErr != nil {
+				t.Fatalf("fault %d: checkpoint failed without crash: %v", fault, ckErr)
+			}
+			break // schedule exhausted the checkpoint's own writes
+		}
+		img := fsys.CrashImage()
+		rs2, _, err := disk.RecoverStore(img, "db")
+		if err != nil {
+			t.Fatalf("fault %d: recover: %v", fault, err)
+		}
+		buf := make([]byte, 128)
+		if err := rs2.Read(id, buf); err != nil {
+			t.Fatalf("fault %d: read: %v", fault, err)
+		}
+		// Either the old or the new checkpoint, depending on whether
+		// the commit fsync landed — never a mix, never garbage.
+		if buf[0] != 'Q' && buf[0] != 'R' {
+			t.Fatalf("fault %d: impossible page contents %q", fault, buf[0])
+		}
+		if !bytes.Equal(buf, page(128, buf[0])) {
+			t.Fatalf("fault %d: torn page survived recovery", fault)
+		}
+		rs2.Close()
+	}
+}
+
+func TestRecoverableStickyFailure(t *testing.T) {
+	fsys := faultfs.New()
+	rs, err := disk.CreateRecoverableStore(fsys, "db", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := rs.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys.Arm(faultfs.Plan{FailAt: 1}) // the next WAL append fails
+	if err := rs.Write(id, page(128, 'X')); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("want injected failure, got %v", err)
+	}
+	fsys.Disarm()
+	// The store is frozen: every write-path operation reports the
+	// sticky error, telling the operator to recover from the log.
+	if err := rs.Write(id, page(128, 'X')); err == nil || !strings.Contains(err.Error(), "needs recovery") {
+		t.Fatalf("write after failure: %v", err)
+	}
+	if err := rs.Checkpoint(); err == nil || !strings.Contains(err.Error(), "needs recovery") {
+		t.Fatalf("checkpoint after failure: %v", err)
+	}
+	if _, err := rs.Allocate(); err == nil {
+		t.Fatal("allocate after failure succeeded")
+	}
+	if rs.Failed() == nil {
+		t.Fatal("Failed() nil after failure")
+	}
+	// Reads stay available.
+	buf := make([]byte, 128)
+	if err := rs.Read(id, buf); err != nil {
+		t.Fatalf("read after failure: %v", err)
+	}
+}
+
+func TestRecoverableChecksumErrorOnCorruption(t *testing.T) {
+	fsys := faultfs.New()
+	rs, err := disk.CreateRecoverableStore(fsys, "db", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := rs.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Write(id, page(128, 'C')); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit of the page's slot on "disk", behind the store's
+	// back (media corruption).
+	f, err := fsys.Open("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := make([]byte, 1)
+	off := int64(64 + 16 + 5) // superblock + slot header + 5 into the payload
+	if _, err := f.ReadAt(one, off); err != nil {
+		t.Fatal(err)
+	}
+	one[0] ^= 0x40
+	if _, err := f.WriteAt(one, off); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	var ce *disk.ChecksumError
+	if err := rs.Read(id, buf); !errors.As(err, &ce) {
+		t.Fatalf("read of corrupted page: want ChecksumError, got %v", err)
+	}
+	if ce.Page != id {
+		t.Fatalf("ChecksumError names page %d, want %d", ce.Page, id)
+	}
+	if rs.DurabilityStats().ChecksumFailures != 1 {
+		t.Fatalf("checksum failure not counted: %+v", rs.DurabilityStats())
+	}
+	// Recovery with no committed log cannot vouch for the page either:
+	// the double fault surfaces as ChecksumError, never as wrong data.
+	img := fsys.Clone()
+	if _, _, err := disk.RecoverStore(img, "db"); !errors.As(err, &ce) {
+		t.Fatalf("recover over corruption: want ChecksumError, got %v", err)
+	}
+}
+
+func TestRecoverableFreeDeferredToCheckpoint(t *testing.T) {
+	fsys := faultfs.New()
+	rs, err := disk.CreateRecoverableStore(fsys, "db", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := rs.Allocate()
+	b, _ := rs.Allocate()
+	if err := rs.Write(a, page(128, 'a')); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Write(b, page(128, 'b')); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if rs.NumPages() != 1 {
+		t.Fatalf("NumPages with pending free: %d", rs.NumPages())
+	}
+	if err := rs.Read(b, make([]byte, 128)); err == nil {
+		t.Fatal("read of freed page succeeded")
+	}
+	// Crash before the free's checkpoint: the page must come back.
+	img := fsys.CrashImage()
+	rs2, _, err := disk.RecoverStore(img, "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	if err := rs2.Read(b, buf); err != nil || buf[0] != 'b' {
+		t.Fatalf("freed-but-uncommitted page lost: %v", err)
+	}
+	rs2.Close()
+	// Checkpoint the free for real: it must survive recovery.
+	if err := rs.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	img = fsys.CrashImage()
+	rs3, _, err := disk.RecoverStore(img, "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs3.Close()
+	if rs3.NumPages() != 1 {
+		t.Fatalf("NumPages after committed free: %d", rs3.NumPages())
+	}
+	if err := rs3.Read(b, buf); err == nil {
+		t.Fatal("committed-freed page still readable")
+	}
+}
+
+func TestRecoverableIdempotentRecover(t *testing.T) {
+	fsys := faultfs.New()
+	rs, err := disk.CreateRecoverableStore(fsys, "db", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := rs.Allocate()
+	if err := rs.Write(id, page(128, 'I')); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	img := fsys.CrashImage()
+	for round := 0; round < 3; round++ {
+		rs2, _, err := disk.RecoverStore(img, "db")
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		buf := make([]byte, 128)
+		if err := rs2.Read(id, buf); err != nil || buf[0] != 'I' {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if err := rs2.Close(); err != nil {
+			t.Fatalf("round %d close: %v", round, err)
+		}
+	}
+}

@@ -81,33 +81,46 @@ const (
 	ReplicatedItems
 	// Shards counts join partitions actually executed.
 	Shards
+	// WALAppends/WALSyncs count write-ahead-log records appended and
+	// group fsyncs issued by a durable store.
+	WALAppends
+	WALSyncs
+	// PagesRecovered counts page images replayed from the log when a
+	// durable store was reopened.
+	PagesRecovered
+	// ChecksumFailures counts reads that failed page verification.
+	ChecksumFailures
 
 	// NumCounters is the number of defined counters.
 	NumCounters
 )
 
 var counterNames = [NumCounters]string{
-	Elements:        "elements",
-	BigMinSkips:     "bigmin-skips",
-	Seeks:           "seeks",
-	DataPages:       "data-pages",
-	Results:         "results",
-	NodeVisits:      "node-visits",
-	LeafScans:       "leaf-scans",
-	PoolGets:        "pool-gets",
-	PoolHits:        "pool-hits",
-	PoolMisses:      "pool-misses",
-	PoolEvictions:   "pool-evictions",
-	PoolWriteBacks:  "pool-write-backs",
-	PhysReads:       "phys-reads",
-	PhysWrites:      "phys-writes",
-	ItemsLeft:       "items-left",
-	ItemsRight:      "items-right",
-	RawPairs:        "raw-pairs",
-	DistinctPairs:   "distinct-pairs",
-	MergeSteps:      "merge-steps",
-	ReplicatedItems: "replicated-items",
-	Shards:          "shards",
+	Elements:         "elements",
+	BigMinSkips:      "bigmin-skips",
+	Seeks:            "seeks",
+	DataPages:        "data-pages",
+	Results:          "results",
+	NodeVisits:       "node-visits",
+	LeafScans:        "leaf-scans",
+	PoolGets:         "pool-gets",
+	PoolHits:         "pool-hits",
+	PoolMisses:       "pool-misses",
+	PoolEvictions:    "pool-evictions",
+	PoolWriteBacks:   "pool-write-backs",
+	PhysReads:        "phys-reads",
+	PhysWrites:       "phys-writes",
+	ItemsLeft:        "items-left",
+	ItemsRight:       "items-right",
+	RawPairs:         "raw-pairs",
+	DistinctPairs:    "distinct-pairs",
+	MergeSteps:       "merge-steps",
+	ReplicatedItems:  "replicated-items",
+	Shards:           "shards",
+	WALAppends:       "wal-appends",
+	WALSyncs:         "wal-syncs",
+	PagesRecovered:   "pages-recovered",
+	ChecksumFailures: "checksum-failures",
 }
 
 // String implements fmt.Stringer.

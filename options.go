@@ -1,5 +1,7 @@
 package probe
 
+import "probe/internal/disk"
+
 // This file defines the functional options accepted by the three
 // variadic entry points of the redesigned API:
 //
@@ -17,6 +19,9 @@ type openConfig struct {
 	leafCapacity int
 	bulk         []Point
 	bulkSet      bool
+	durPath      string
+	fsys         disk.FS
+	trace        *Trace
 }
 
 // Option configures Open.
@@ -63,6 +68,23 @@ func WithLeafCapacity(points int) Option {
 // what OpenPacked did.
 func WithBulkLoad(pts []Point) Option {
 	return openOptionFunc(func(c *openConfig) { c.bulk = pts; c.bulkSet = true })
+}
+
+// WithDurability places the database on a crash-safe paged store at
+// path (write-ahead log at path+".wal") instead of the in-memory
+// simulated disk. A fresh path creates the database; an existing one
+// recovers it — including after a crash. Changes become durable at
+// DB.Checkpoint (and DB.Close); a crash rolls back to the last
+// checkpoint, never to a corrupt or partial state.
+func WithDurability(path string) Option {
+	return openOptionFunc(func(c *openConfig) { c.durPath = path })
+}
+
+// WithFS substitutes the filesystem a durable database lives on. The
+// crash-recovery harness uses it to inject deterministic fault
+// schedules (internal/disk/faultfs); production code leaves it alone.
+func WithFS(fsys disk.FS) Option {
+	return openOptionFunc(func(c *openConfig) { c.fsys = fsys })
 }
 
 // queryConfig is the resolved configuration of one range search.
@@ -135,3 +157,7 @@ func WithTrace(t *Trace) TraceOption { return TraceOption{t: t} }
 func (o TraceOption) applyQuery(c *queryConfig) { c.trace = o.t }
 
 func (o TraceOption) applyJoin(c *joinConfig) { c.trace = o.t }
+
+// applyOpen makes WithTrace an Option too: a durable Open attributes
+// its recovery work (pages replayed from the log) to a child span.
+func (o TraceOption) applyOpen(c *openConfig) { c.trace = o.t }

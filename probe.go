@@ -247,10 +247,23 @@ type Options struct {
 type DB struct {
 	mu      sync.Mutex
 	grid    Grid
-	store   *disk.MemStore
+	store   spanStore
+	rs      *disk.RecoverableStore // non-nil iff opened WithDurability
 	pool    *disk.Pool
 	index   *core.Index
 	metrics *obs.Registry
+
+	closed    bool
+	recovered bool
+	recovery  disk.RecoveryInfo
+}
+
+// spanStore is the store contract DB needs: paged I/O plus per-span
+// counter attribution. Both disk.MemStore (the default simulated
+// disk) and disk.RecoverableStore (WithDurability) satisfy it.
+type spanStore interface {
+	disk.Store
+	AttachSpan(*obs.Span) *obs.Span
 }
 
 // Open creates a spatial database over grid g. With no options it is
@@ -259,10 +272,20 @@ type DB struct {
 // WithBulkLoad builds the index bottom-up from an initial point set.
 // The legacy Options struct is itself an Option, so existing
 // Open(g, Options{...}) calls keep working.
+//
+// By default the database lives on an in-memory simulated disk and
+// vanishes with the process. WithDurability(path) places it on a
+// crash-safe paged store instead: if path exists the database is
+// recovered (grid and options must agree with what is on disk), and
+// DB.Checkpoint/DB.Close bound what a crash can lose. See
+// docs/durability.md.
 func Open(g Grid, opts ...Option) (*DB, error) {
 	cfg := openConfig{pageSize: disk.DefaultPageSize, poolPages: 256}
 	for _, o := range opts {
 		o.applyOpen(&cfg)
+	}
+	if cfg.durPath != "" {
+		return openDurable(g, cfg)
 	}
 	store, err := disk.NewMemStore(cfg.pageSize)
 	if err != nil {

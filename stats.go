@@ -65,6 +65,20 @@ type QueryStats struct {
 
 	PhysReads  uint64
 	PhysWrites uint64
+
+	// Durability, attributed to this operation (databases opened
+	// WithDurability; traced operations only).
+
+	// WALAppends and WALSyncs count write-ahead-log records appended
+	// and group fsyncs issued while this operation ran.
+	WALAppends uint64
+	WALSyncs   uint64
+	// PagesRecovered counts page images replayed from the log
+	// (nonzero only on the span of a recovering Open).
+	PagesRecovered uint64
+	// ChecksumFailures counts reads that failed page verification
+	// during this operation.
+	ChecksumFailures uint64
 }
 
 // Efficiency returns the paper's efficiency measure: how much
@@ -140,6 +154,10 @@ func (s *QueryStats) addSpanIO(sp *obs.Span) {
 	s.PoolWriteBacks = uint64(sp.Total(obs.PoolWriteBacks))
 	s.PhysReads = uint64(sp.Total(obs.PhysReads))
 	s.PhysWrites = uint64(sp.Total(obs.PhysWrites))
+	s.WALAppends = uint64(sp.Total(obs.WALAppends))
+	s.WALSyncs = uint64(sp.Total(obs.WALSyncs))
+	s.PagesRecovered = uint64(sp.Total(obs.PagesRecovered))
+	s.ChecksumFailures = uint64(sp.Total(obs.ChecksumFailures))
 	s.Shards = int(sp.Get(obs.Shards))
 	s.ReplicatedItems = int(sp.Get(obs.ReplicatedItems))
 }
