@@ -1,0 +1,158 @@
+package probe_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"probe"
+)
+
+// cancelTestDB builds an in-memory database big enough that a full
+// range scan touches many hundreds of leaf pages, so a prompt cancel
+// is clearly distinguishable from a completed query.
+func cancelTestDB(t *testing.T) (*probe.DB, probe.Box, int) {
+	t.Helper()
+	g := probe.MustGrid(2, 10)
+	db, err := probe.Open(g, probe.Options{LeafCapacity: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	rng := rand.New(rand.NewSource(42))
+	pts := make([]probe.Point, 20000)
+	for i := range pts {
+		pts[i] = probe.Pt2(uint64(i+1), uint32(rng.Intn(1024)), uint32(rng.Intn(1024)))
+	}
+	if err := db.InsertAll(pts); err != nil {
+		t.Fatal(err)
+	}
+	return db, probe.Box2(0, 1023, 0, 1023), len(pts)
+}
+
+// TestCancelMidRangeSearch is the cancellation conformance test: a
+// context cancelled mid-stream stops the search within a bounded
+// number of extra page reads (the cursor checks its context at page
+// boundaries), surfaces context.Canceled, and leaves the database
+// fully usable.
+func TestCancelMidRangeSearch(t *testing.T) {
+	db, box, n := cancelTestDB(t)
+
+	// Baseline: the uncancelled query must visit everything.
+	full, err := db.RangeSearchFunc(box, func(probe.Point) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Results != n {
+		t.Fatalf("full scan saw %d points, want %d", full.Results, n)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	seen := 0
+	qs, err := db.RangeSearchFunc(box, func(probe.Point) bool {
+		seen++
+		if seen == 5 {
+			cancel() // cancel mid-stream, keep consuming
+		}
+		return true
+	}, probe.WithContext(ctx))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled query returned %v, want context.Canceled", err)
+	}
+	// Promptness: the cancel lands on the 5th point of the first leaf
+	// page; the cursor may finish the page it is on but must not load
+	// more than one page past the cancellation point.
+	if qs.DataPages > 4 {
+		t.Fatalf("cancelled query read %d data pages, want a handful", qs.DataPages)
+	}
+	if qs.DataPages >= full.DataPages/4 {
+		t.Fatalf("cancelled query read %d of %d full-scan pages: not bounded", qs.DataPages, full.DataPages)
+	}
+	if seen >= n/4 {
+		t.Fatalf("cancelled query streamed %d of %d points: not bounded", seen, n)
+	}
+
+	// The database survives: the same query, uncancelled, completes.
+	after, err := db.RangeSearchFunc(box, func(probe.Point) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Results != n {
+		t.Fatalf("post-cancel scan saw %d points, want %d", after.Results, n)
+	}
+}
+
+// TestCancelBeforeQuery: an already-cancelled context fails the
+// operation before it touches any pages.
+func TestCancelBeforeQuery(t *testing.T) {
+	db, box, _ := cancelTestDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	qs, err := db.RangeSearchFunc(box, func(probe.Point) bool {
+		t.Error("callback ran under a dead context")
+		return false
+	}, probe.WithContext(ctx))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if qs.DataPages != 0 {
+		t.Fatalf("dead-context query read %d pages, want 0", qs.DataPages)
+	}
+}
+
+// TestCloseWhileQuerying exercises the close-while-querying contract
+// documented on ErrClosed: Close may run concurrently with in-flight
+// queries — it waits for them rather than yanking the store — and
+// every operation issued after Close fails with ErrClosed.
+func TestCloseWhileQuerying(t *testing.T) {
+	db, box, _ := cancelTestDB(t)
+
+	const workers = 6
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, _, err := db.RangeSearch(box)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+
+	time.Sleep(20 * time.Millisecond) // let queries get in flight
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	for w, err := range errs {
+		if err != nil && !errors.Is(err, probe.ErrClosed) {
+			t.Fatalf("worker %d: got %v, want nil or ErrClosed", w, err)
+		}
+	}
+	if _, _, err := db.RangeSearch(box); !errors.Is(err, probe.ErrClosed) {
+		t.Fatalf("query after Close: got %v, want ErrClosed", err)
+	}
+	if err := db.Insert(probe.Pt2(99, 1, 1)); !errors.Is(err, probe.ErrClosed) {
+		t.Fatalf("insert after Close: got %v, want ErrClosed", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

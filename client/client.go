@@ -1,0 +1,452 @@
+// Package client is the Go client for probed, the probe network query
+// server. One Client wraps one reused TCP connection speaking the
+// wire protocol (docs/server.md); it is safe for concurrent use, with
+// calls serialized over the connection in arrival order — open
+// several Clients for real concurrency.
+//
+// Cancellation and deadlines ride on context.Context: a context with
+// a deadline becomes the request's timeout_ms on the wire, and
+// cancelling the context sends a CANCEL frame so the server stops the
+// request within about one page read. Server-side failures come back
+// as *ServerError values that errors.Is-match the typed sentinels
+// (ErrOverloaded, ErrCanceled, ErrDeadline, ErrShuttingDown), so a
+// caller can distinguish backpressure from cancellation from drain
+// without parsing messages.
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"probe"
+	"probe/internal/wire"
+)
+
+// Typed error sentinels for errors.Is. The concrete error is always a
+// *ServerError carrying the server's message.
+var (
+	// ErrOverloaded: admission control rejected the request; the
+	// server is at its in-flight limit. Retrying after a backoff is
+	// reasonable.
+	ErrOverloaded = errors.New("probed: overloaded")
+	// ErrCanceled: the request was cancelled (normally by this
+	// client's own context).
+	ErrCanceled = errors.New("probed: canceled")
+	// ErrDeadline: the request's timeout expired server-side.
+	ErrDeadline = errors.New("probed: deadline exceeded")
+	// ErrShuttingDown: the server is draining and accepts no new
+	// requests.
+	ErrShuttingDown = errors.New("probed: server shutting down")
+)
+
+// ServerError is a typed failure reported by the server.
+type ServerError struct {
+	Code uint8
+	Msg  string
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("probed: %s: %s", wire.CodeString(e.Code), e.Msg)
+}
+
+// Is matches the sentinel corresponding to the error's wire code, so
+// errors.Is(err, client.ErrOverloaded) works on returned errors.
+func (e *ServerError) Is(target error) bool {
+	switch target {
+	case ErrOverloaded:
+		return e.Code == wire.CodeOverloaded
+	case ErrCanceled:
+		return e.Code == wire.CodeCanceled
+	case ErrDeadline:
+		return e.Code == wire.CodeDeadline
+	case ErrShuttingDown:
+		return e.Code == wire.CodeShuttingDown
+	}
+	return false
+}
+
+// BoxItem is one object of a join relation: an id plus its bounding
+// box. The server decomposes it into z-elements.
+type BoxItem struct {
+	ID     uint64
+	Lo, Hi []uint32
+}
+
+// Client is one connection to a probed server. Safe for concurrent
+// use; requests serialize on the connection.
+type Client struct {
+	mu     sync.Mutex // serializes whole requests
+	sendMu sync.Mutex // serializes frame writes (request vs. cancel)
+
+	conn   net.Conn
+	br     *bufio.Reader
+	nextID uint32
+	bits   []uint32
+	broken error // sticky transport failure
+}
+
+// Dial connects to a probed server and performs the version
+// handshake.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(conn)
+}
+
+// NewConn wraps an established connection — a custom dialer's, a TLS
+// channel's, a test pipe's — in a Client, performing the protocol
+// handshake. The Client takes ownership of conn.
+func NewConn(conn net.Conn) (*Client, error) {
+	c := &Client{conn: conn, br: bufio.NewReader(conn), nextID: 1}
+	if err := c.handshake(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) handshake() error {
+	if err := c.writeFrame(wire.MsgHello, wire.Hello{
+		Major: wire.VersionMajor, Minor: wire.VersionMinor,
+	}.Encode()); err != nil {
+		return err
+	}
+	typ, payload, err := wire.ReadFrame(c.br)
+	if err != nil {
+		return err
+	}
+	switch typ {
+	case wire.MsgWelcome:
+		w, err := wire.DecodeWelcome(payload)
+		if err != nil {
+			return err
+		}
+		c.bits = w.Bits
+		return nil
+	case wire.MsgError:
+		em, err := wire.DecodeErrorMsg(payload)
+		if err != nil {
+			return err
+		}
+		return &ServerError{Code: em.Code, Msg: em.Msg}
+	default:
+		return fmt.Errorf("probed: unexpected handshake frame 0x%02x", typ)
+	}
+}
+
+// GridBits returns the served database's bits per dimension, learned
+// in the handshake.
+func (c *Client) GridBits() []int {
+	out := make([]int, len(c.bits))
+	for i, b := range c.bits {
+		out[i] = int(b)
+	}
+	return out
+}
+
+// Close closes the connection. In-flight requests fail with a
+// transport error.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) writeFrame(typ uint8, payload []byte) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	return wire.WriteFrame(c.conn, typ, payload)
+}
+
+// timeoutMS derives the wire timeout from the context's deadline.
+func timeoutMS(ctx context.Context) uint32 {
+	if ctx == nil {
+		return 0
+	}
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	ms := time.Until(dl).Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return uint32(ms)
+}
+
+// do runs one request round trip: write the request frame, stream
+// response frames to the handlers until Done or Error, relaying a
+// context cancellation as a CANCEL frame. onBatch and onText may be
+// nil.
+func (c *Client) do(ctx context.Context, typ uint8, payload []byte, id uint32,
+	onBatch func(wire.Batch) error, onText func(string)) (probe.QueryStats, error) {
+
+	if c.broken != nil {
+		return probe.QueryStats{}, c.broken
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return probe.QueryStats{}, err
+		}
+	}
+	if err := c.writeFrame(typ, payload); err != nil {
+		c.broken = err
+		return probe.QueryStats{}, err
+	}
+
+	// Relay a context cancellation as a CANCEL frame. The watcher
+	// must not outlive the request: stop is closed before do returns.
+	stop := make(chan struct{})
+	defer close(stop)
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				c.writeFrame(wire.MsgCancel, wire.Cancel{ID: id}.Encode())
+			case <-stop:
+			}
+		}()
+	}
+
+	for {
+		ftyp, fp, err := wire.ReadFrame(c.br)
+		if err != nil {
+			c.broken = err
+			return probe.QueryStats{}, err
+		}
+		switch ftyp {
+		case wire.MsgBatch:
+			b, err := wire.DecodeBatch(fp)
+			if err != nil {
+				c.broken = err
+				return probe.QueryStats{}, err
+			}
+			if b.ID != id || onBatch == nil {
+				continue
+			}
+			if err := onBatch(b); err != nil {
+				// The consumer wants out: cancel server-side and keep
+				// reading to the request's terminal frame so the
+				// connection stays usable.
+				c.writeFrame(wire.MsgCancel, wire.Cancel{ID: id}.Encode())
+				onBatch = nil
+			}
+		case wire.MsgText:
+			tm, err := wire.DecodeTextMsg(fp)
+			if err != nil {
+				c.broken = err
+				return probe.QueryStats{}, err
+			}
+			if tm.ID == id && onText != nil {
+				onText(tm.Text)
+			}
+		case wire.MsgDone:
+			dn, err := wire.DecodeDone(fp)
+			if err != nil {
+				c.broken = err
+				return probe.QueryStats{}, err
+			}
+			if dn.ID != id {
+				continue
+			}
+			return statsOf(dn), nil
+		case wire.MsgError:
+			em, err := wire.DecodeErrorMsg(fp)
+			if err != nil {
+				c.broken = err
+				return probe.QueryStats{}, err
+			}
+			if em.ID != id {
+				continue
+			}
+			return probe.QueryStats{}, &ServerError{Code: em.Code, Msg: em.Msg}
+		default:
+			err := fmt.Errorf("probed: unexpected frame type 0x%02x", ftyp)
+			c.broken = err
+			return probe.QueryStats{}, err
+		}
+	}
+}
+
+// statsOf unpacks the Done stats array into QueryStats.
+func statsOf(d wire.Done) probe.QueryStats {
+	return probe.QueryStats{
+		DataPages:       int(d.Stat(wire.StatDataPages)),
+		Seeks:           int(d.Stat(wire.StatSeeks)),
+		Elements:        int(d.Stat(wire.StatElements)),
+		Results:         int(d.Stat(wire.StatResults)),
+		LeftItems:       int(d.Stat(wire.StatLeftItems)),
+		RightItems:      int(d.Stat(wire.StatRightItems)),
+		RawPairs:        int(d.Stat(wire.StatRawPairs)),
+		DistinctPairs:   int(d.Stat(wire.StatDistinctPairs)),
+		Shards:          int(d.Stat(wire.StatShards)),
+		ReplicatedItems: int(d.Stat(wire.StatReplicatedItems)),
+		PoolGets:        d.Stat(wire.StatPoolGets),
+		PoolHits:        d.Stat(wire.StatPoolHits),
+		PoolMisses:      d.Stat(wire.StatPoolMisses),
+		PhysReads:       d.Stat(wire.StatPhysReads),
+		PhysWrites:      d.Stat(wire.StatPhysWrites),
+		WALAppends:      d.Stat(wire.StatWALAppends),
+		WALSyncs:        d.Stat(wire.StatWALSyncs),
+	}
+}
+
+// begin claims the connection and allocates a request id.
+func (c *Client) begin() uint32 {
+	id := c.nextID
+	c.nextID++
+	return id
+}
+
+// RangeFunc streams every point in the box to fn in z order;
+// returning false from fn stops the query (the server is cancelled)
+// without error. Strategy 0 is the server default; 1, 2, 3 select
+// MergeDecomposed, MergeLazy, SkipBigMin.
+func (c *Client) RangeFunc(ctx context.Context, lo, hi []uint32, strategy uint8, fn func(probe.Point) bool) (probe.QueryStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.begin()
+	req := wire.RangeReq{
+		Header:   wire.Header{ID: id, TimeoutMS: timeoutMS(ctx)},
+		Strategy: strategy, Lo: lo, Hi: hi,
+	}
+	stopped := false
+	errStop := errors.New("stop")
+	qs, err := c.do(ctx, wire.MsgRange, req.Encode(), id, func(b wire.Batch) error {
+		for _, p := range b.Points {
+			if !fn(probe.Point{ID: p.ID, Coords: p.Coords}) {
+				stopped = true
+				return errStop
+			}
+		}
+		return nil
+	}, nil)
+	if err != nil && stopped && errors.Is(err, ErrCanceled) {
+		return qs, nil
+	}
+	return qs, err
+}
+
+// Range returns every point in the box.
+func (c *Client) Range(ctx context.Context, lo, hi []uint32) ([]probe.Point, probe.QueryStats, error) {
+	var pts []probe.Point
+	qs, err := c.RangeFunc(ctx, lo, hi, 0, func(p probe.Point) bool {
+		pts = append(pts, p)
+		return true
+	})
+	if err != nil {
+		return nil, qs, err
+	}
+	return pts, qs, nil
+}
+
+// Nearest returns the m indexed points nearest q under the metric.
+func (c *Client) Nearest(ctx context.Context, q []uint32, m int, metric probe.Metric) ([]probe.Neighbor, probe.QueryStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.begin()
+	req := wire.NearestReq{
+		Header: wire.Header{ID: id, TimeoutMS: timeoutMS(ctx)},
+		Metric: uint8(metric), M: uint32(m), Q: q,
+	}
+	var nbs []probe.Neighbor
+	qs, err := c.do(ctx, wire.MsgNearest, req.Encode(), id, func(b wire.Batch) error {
+		for _, n := range b.Neighbors {
+			nbs = append(nbs, probe.Neighbor{
+				Point: probe.Point{ID: n.ID, Coords: n.Coords},
+				Dist:  n.Dist,
+			})
+		}
+		return nil
+	}, nil)
+	if err != nil {
+		return nil, qs, err
+	}
+	return nbs, qs, nil
+}
+
+// Join ships two box relations and returns the distinct overlapping
+// id pairs of their spatial join. workers > 0 requests parallel
+// execution server-side.
+func (c *Client) Join(ctx context.Context, a, b []BoxItem, workers int) ([]probe.Pair, probe.QueryStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.begin()
+	dims := uint32(len(c.bits))
+	conv := func(items []BoxItem) []wire.JoinItem {
+		out := make([]wire.JoinItem, len(items))
+		for i, it := range items {
+			out[i] = wire.JoinItem{ID: it.ID, Lo: it.Lo, Hi: it.Hi}
+		}
+		return out
+	}
+	req := wire.JoinReq{
+		Header:  wire.Header{ID: id, TimeoutMS: timeoutMS(ctx)},
+		Workers: uint32(workers), Dims: dims,
+		A: conv(a), B: conv(b),
+	}
+	var pairs []probe.Pair
+	qs, err := c.do(ctx, wire.MsgJoin, req.Encode(), id, func(bt wire.Batch) error {
+		for _, p := range bt.Pairs {
+			pairs = append(pairs, probe.Pair{A: p[0], B: p[1]})
+		}
+		return nil
+	}, nil)
+	if err != nil {
+		return nil, qs, err
+	}
+	return pairs, qs, nil
+}
+
+// Insert ships a batch of points for insertion. The returned stats
+// carry the inserted count in Results.
+func (c *Client) Insert(ctx context.Context, pts []probe.Point) (probe.QueryStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.begin()
+	wpts := make([]wire.Point, len(pts))
+	for i, p := range pts {
+		wpts[i] = wire.Point{ID: p.ID, Coords: p.Coords}
+	}
+	req := wire.InsertReq{
+		Header: wire.Header{ID: id, TimeoutMS: timeoutMS(ctx)},
+		Dims:   uint32(len(c.bits)), Points: wpts,
+	}
+	return c.do(ctx, wire.MsgInsert, req.Encode(), id, nil, nil)
+}
+
+// Checkpoint forces a durability checkpoint on the server.
+func (c *Client) Checkpoint(ctx context.Context) (probe.QueryStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.begin()
+	req := wire.SimpleReq{Header: wire.Header{ID: id, TimeoutMS: timeoutMS(ctx)}}
+	return c.do(ctx, wire.MsgCheckpoint, req.Encode(), id, nil, nil)
+}
+
+// Explain returns the plan the server's optimizer picks for a range
+// query, without running it.
+func (c *Client) Explain(ctx context.Context, lo, hi []uint32) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.begin()
+	req := wire.RangeReq{Header: wire.Header{ID: id, TimeoutMS: timeoutMS(ctx)}, Lo: lo, Hi: hi}
+	var text string
+	_, err := c.do(ctx, wire.MsgExplain, req.Encode(), id, nil, func(s string) { text = s })
+	return text, err
+}
+
+// Stats returns a JSON snapshot of the server's and the database's
+// cumulative counters.
+func (c *Client) Stats(ctx context.Context) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.begin()
+	req := wire.SimpleReq{Header: wire.Header{ID: id, TimeoutMS: timeoutMS(ctx)}}
+	var text string
+	_, err := c.do(ctx, wire.MsgStats, req.Encode(), id, nil, func(s string) { text = s })
+	return text, err
+}

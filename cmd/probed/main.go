@@ -1,0 +1,273 @@
+// Command probed serves a probe spatial database over TCP, speaking
+// the wire protocol specified in docs/server.md. It is the network
+// face of the library: sessions, admission control, per-request
+// cancellation, and a graceful checkpoint-on-drain.
+//
+// Serve a durable database (created on first run, recovered after):
+//
+//	probed -db /var/lib/probe/db -addr :7331
+//
+// Seed a fresh store with uniform points and serve it:
+//
+//	probed -db /tmp/db -seed-n 100000
+//
+// SIGTERM or SIGINT drains the server: in-flight requests finish (or
+// are cancelled after -drain), the store is checkpointed, and the
+// process exits 0. A second signal forces immediate exit.
+//
+// Other modes:
+//
+//	probed -check -addr HOST:PORT
+//	    Handshake with a running server, print its stats, exit.
+//
+//	probed -loadgen -addr HOST:PORT -conns 8 -duration 10s
+//	    Drive a running server with a mixed workload and report
+//	    throughput and latency percentiles.
+//
+//	probed -loadgen -selfhost -out BENCH_server.json
+//	    Start a temporary server in-process, drive it, and write the
+//	    probe-bench-server/v1 JSON document (the bench CI artifact).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"probe"
+	"probe/client"
+	"probe/internal/experiment"
+	"probe/internal/loadgen"
+	"probe/internal/server"
+	"probe/internal/workload"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":7331", "listen address (serve) or server address (-check, -loadgen)")
+		dbPath  = flag.String("db", "", "durable store path; empty serves an in-memory database")
+		bits    = flag.Int("bits", 10, "grid resolution in bits per dimension (fresh stores)")
+		dims    = flag.Int("dims", 2, "grid dimensions (fresh stores)")
+		pool    = flag.Int("pool", 256, "buffer pool pages")
+		seedN   = flag.Int("seed-n", 0, "seed a fresh store with this many uniform points")
+		seed    = flag.Int64("seed", 1986, "seed for -seed-n and -loadgen")
+		maxIn   = flag.Int("max-inflight", 16, "admission control: max concurrently executing requests")
+		drain   = flag.Duration("drain", 5*time.Second, "graceful drain timeout on shutdown")
+		batch   = flag.Int("batch", 512, "results per streamed batch frame")
+		check   = flag.Bool("check", false, "handshake with a running server, print stats, exit")
+		lg      = flag.Bool("loadgen", false, "drive a server with a mixed workload")
+		selfGen = flag.Bool("selfhost", false, "with -loadgen: start a temporary in-process server to drive")
+		conns   = flag.Int("conns", 8, "loadgen: concurrent connections")
+		dur     = flag.Duration("duration", 5*time.Second, "loadgen: run duration")
+		out     = flag.String("out", "", "loadgen: write the probe-bench-server/v1 JSON report here")
+	)
+	flag.Parse()
+
+	switch {
+	case *check:
+		if err := runCheck(*addr); err != nil {
+			fatal(err)
+		}
+	case *lg:
+		if err := runLoadgen(*addr, *selfGen, *conns, *dur, *seed, *out); err != nil {
+			fatal(err)
+		}
+	default:
+		if err := serve(*addr, *dbPath, *dims, *bits, *pool, *seedN, *seed, *maxIn, *drain, *batch); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// openDB opens (or creates and optionally seeds) the served database.
+func openDB(dbPath string, dims, bits, pool, seedN int, seed int64) (*probe.DB, error) {
+	g, err := probe.NewGrid(dims, bits)
+	if err != nil {
+		return nil, err
+	}
+	var opts []probe.Option
+	opts = append(opts, probe.WithPoolPages(pool))
+	fresh := true
+	if dbPath != "" {
+		if _, err := os.Stat(dbPath); err == nil {
+			fresh = false
+		}
+		opts = append(opts, probe.WithDurability(dbPath))
+	}
+	db, err := probe.Open(g, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if recovered, info := db.Recovered(); recovered {
+		fmt.Printf("probed: recovered %s (%d pages replayed), %d points\n",
+			dbPath, info.PagesRecovered, db.Len())
+	}
+	if fresh && seedN > 0 {
+		if err := db.InsertAll(workload.Uniform(g, seedN, seed)); err != nil {
+			db.Close()
+			return nil, err
+		}
+		if _, err := db.Checkpoint(); err != nil {
+			db.Close()
+			return nil, err
+		}
+		fmt.Printf("probed: seeded %d uniform points\n", seedN)
+	}
+	return db, nil
+}
+
+func serve(addr, dbPath string, dims, bits, pool, seedN int, seed int64, maxIn int, drain time.Duration, batch int) error {
+	db, err := openDB(dbPath, dims, bits, pool, seedN, seed)
+	if err != nil {
+		return err
+	}
+	srv := server.New(db, server.Config{
+		MaxInflight:  maxIn,
+		DrainTimeout: drain,
+		BatchSize:    batch,
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		db.Close()
+		return err
+	}
+	fmt.Printf("probed: serving %d points on %s (max-inflight %d)\n", db.Len(), ln.Addr(), maxIn)
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case sig := <-sigs:
+		fmt.Printf("probed: %v: draining (timeout %s)\n", sig, drain)
+		done := make(chan error, 1)
+		go func() { done <- srv.Shutdown(context.Background()) }()
+		select {
+		case err := <-done:
+			if err != nil {
+				return fmt.Errorf("drain: %w", err)
+			}
+			fmt.Println("probed: drained, checkpointed, closed")
+			return nil
+		case sig := <-sigs:
+			return fmt.Errorf("%v during drain: exiting hard", sig)
+		}
+	case err := <-errCh:
+		db.Close()
+		return err
+	}
+}
+
+func runCheck(addr string) error {
+	cl, err := client.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	fmt.Printf("probed: %s speaks protocol, grid bits %v\n", addr, cl.GridBits())
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Println(stats)
+	return nil
+}
+
+// serverBenchSchema identifies the BENCH_server.json document.
+const serverBenchSchema = "probe-bench-server/v1"
+
+// serverBenchReport is the loadgen trajectory document archived by
+// the bench CI job alongside BENCH_spatial.json.
+type serverBenchReport struct {
+	Schema     string          `json:"schema"`
+	Host       experiment.Host `json:"host"`
+	Conns      int             `json:"conns"`
+	DurationMS float64         `json:"duration_ms"`
+	Seed       int64           `json:"seed"`
+	Ops        int             `json:"ops"`
+	Errors     int             `json:"errors"`
+	Overloaded int             `json:"overloaded"`
+	QPS        float64         `json:"qps"`
+	P50MS      float64         `json:"p50_ms"`
+	P95MS      float64         `json:"p95_ms"`
+	P99MS      float64         `json:"p99_ms"`
+}
+
+func runLoadgen(addr string, selfhost bool, conns int, dur time.Duration, seed int64, out string) error {
+	if selfhost {
+		dir, err := os.MkdirTemp("", "probed-loadgen")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		db, err := openDB(filepath.Join(dir, "db"), 2, 10, 256, 50000, seed)
+		if err != nil {
+			return err
+		}
+		srv := server.New(db, server.Config{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			db.Close()
+			return err
+		}
+		go srv.Serve(ln)
+		defer srv.Shutdown(context.Background())
+		addr = ln.Addr().String()
+		fmt.Printf("probed: self-hosted server on %s (50000 points)\n", addr)
+	}
+
+	rep, err := loadgen.Run(loadgen.Config{
+		Addr: addr, Conns: conns, Duration: dur, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("loadgen:", rep)
+
+	if out != "" {
+		doc := serverBenchReport{
+			Schema:     serverBenchSchema,
+			Host:       experiment.CurrentHost(),
+			Conns:      rep.Conns,
+			DurationMS: float64(rep.Elapsed.Microseconds()) / 1e3,
+			Seed:       seed,
+			Ops:        rep.Ops,
+			Errors:     rep.Errors,
+			Overloaded: rep.Overloaded,
+			QPS:        rep.QPS,
+			P50MS:      float64(rep.P50.Microseconds()) / 1e3,
+			P95MS:      float64(rep.P95.Microseconds()) / 1e3,
+			P99MS:      float64(rep.P99.Microseconds()) / 1e3,
+		}
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("probed: wrote %s\n", out)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "probed: %v\n", err)
+	os.Exit(1)
+}

@@ -1,46 +1,67 @@
 // Command zquery builds a z-ordered spatial index over generated or
 // CSV points and runs range or partial-match queries against it,
-// printing results and page-access statistics.
+// printing results and page-access statistics. With -addr it instead
+// speaks to a running probed server, executing the query remotely.
 //
 // Usage:
 //
 //	zquery [flags] XLO XHI YLO YHI
 //	zquery [flags] -partial x=VALUE
+//	zquery -addr HOST:PORT [-nearest X,Y,M | -explain | -stats | -checkpoint] [XLO XHI YLO YHI]
 //
 // Examples:
 //
 //	zquery -n 5000 -dist uniform 100 300 50 180
 //	zquery -points pts.csv -strategy bigmin 0 1023 0 1023
 //	zquery -n 5000 -partial x=17
+//	zquery -addr localhost:7331 100 300 50 180
+//	zquery -addr localhost:7331 -nearest 512,512,5
+//	zquery -addr localhost:7331 -explain 0 1023 0 1023
 //
 // CSV rows are "id,x,y".
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"probe"
+	"probe/client"
 	"probe/internal/workload"
 )
 
 func main() {
 	var (
-		bits     = flag.Int("bits", 10, "grid resolution in bits per dimension")
-		n        = flag.Int("n", 5000, "number of generated points")
-		dist     = flag.String("dist", "uniform", "point distribution: uniform, clustered, diagonal")
-		seed     = flag.Int64("seed", 1986, "generator seed")
-		file     = flag.String("points", "", "CSV file of id,x,y points (overrides -dist)")
-		strategy = flag.String("strategy", "lazy", "range-search strategy: decomposed, lazy, bigmin")
-		leafCap  = flag.Int("leaf", 20, "points per index page")
-		partial  = flag.String("partial", "", "partial match, e.g. x=17 or y=250")
-		verbose  = flag.Bool("v", false, "print matching points")
+		bits       = flag.Int("bits", 10, "grid resolution in bits per dimension")
+		n          = flag.Int("n", 5000, "number of generated points")
+		dist       = flag.String("dist", "uniform", "point distribution: uniform, clustered, diagonal")
+		seed       = flag.Int64("seed", 1986, "generator seed")
+		file       = flag.String("points", "", "CSV file of id,x,y points (overrides -dist)")
+		strategy   = flag.String("strategy", "lazy", "range-search strategy: decomposed, lazy, bigmin")
+		leafCap    = flag.Int("leaf", 20, "points per index page")
+		partial    = flag.String("partial", "", "partial match, e.g. x=17 or y=250")
+		verbose    = flag.Bool("v", false, "print matching points")
+		addr       = flag.String("addr", "", "query a running probed server instead of a local index")
+		nearest    = flag.String("nearest", "", "with -addr: m-nearest query as X,Y,M")
+		explain    = flag.Bool("explain", false, "with -addr: print the server's plan for the range, don't run it")
+		srvStats   = flag.Bool("stats", false, "with -addr: print server+database counters")
+		checkpoint = flag.Bool("checkpoint", false, "with -addr: force a durability checkpoint")
+		timeout    = flag.Duration("timeout", 30*time.Second, "with -addr: per-request deadline")
 	)
 	flag.Parse()
+
+	if *addr != "" {
+		if err := runRemote(*addr, *nearest, *explain, *srvStats, *checkpoint, *timeout, *verbose, flag.Args()); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	g, err := probe.NewGrid(2, *bits)
 	if err != nil {
@@ -84,6 +105,97 @@ func main() {
 	fmt.Printf("data pages accessed: %d (efficiency %.3f)\n",
 		stats.DataPages, stats.Efficiency(*leafCap))
 	fmt.Printf("random accesses (seeks): %d, elements/skips: %d\n", stats.Seeks, stats.Elements)
+}
+
+// runRemote executes the requested operation against a probed server.
+func runRemote(addr, nearest string, explain, stats, checkpoint bool, timeout time.Duration, verbose bool, args []string) error {
+	cl, err := client.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	fmt.Printf("connected to %s, grid bits %v\n", addr, cl.GridBits())
+
+	switch {
+	case stats:
+		text, err := cl.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+		return nil
+	case checkpoint:
+		qs, err := cl.Checkpoint(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("checkpointed (wal appends %d, syncs %d)\n", qs.WALAppends, qs.WALSyncs)
+		return nil
+	case nearest != "":
+		parts := strings.Split(nearest, ",")
+		if len(parts) != 3 {
+			return fmt.Errorf("bad -nearest %q, want X,Y,M", nearest)
+		}
+		vals := make([]uint64, 3)
+		for i, p := range parts {
+			if vals[i], err = strconv.ParseUint(strings.TrimSpace(p), 10, 32); err != nil {
+				return fmt.Errorf("bad -nearest %q: %v", nearest, err)
+			}
+		}
+		nbs, qs, err := cl.Nearest(ctx, []uint32{uint32(vals[0]), uint32(vals[1])}, int(vals[2]), probe.Euclidean)
+		if err != nil {
+			return err
+		}
+		for _, nb := range nbs {
+			fmt.Printf("  %d %v dist %.3f\n", nb.Point.ID, nb.Point.Coords, nb.Dist)
+		}
+		fmt.Printf("results: %d neighbors, data pages accessed: %d\n", len(nbs), qs.DataPages)
+		return nil
+	}
+
+	lo, hi, err := parseBounds(args)
+	if err != nil {
+		return err
+	}
+	if explain {
+		plan, err := cl.Explain(ctx, lo, hi)
+		if err != nil {
+			return err
+		}
+		fmt.Println(plan)
+		return nil
+	}
+	pts, qs, err := cl.Range(ctx, lo, hi)
+	if err != nil {
+		return err
+	}
+	if verbose {
+		for _, p := range pts {
+			fmt.Printf("  %d (%d, %d)\n", p.ID, p.Coords[0], p.Coords[1])
+		}
+	}
+	fmt.Printf("results: %d points\n", qs.Results)
+	fmt.Printf("data pages accessed: %d\n", qs.DataPages)
+	fmt.Printf("random accesses (seeks): %d, elements/skips: %d\n", qs.Seeks, qs.Elements)
+	return nil
+}
+
+// parseBounds parses XLO XHI YLO YHI into box corners.
+func parseBounds(args []string) (lo, hi []uint32, err error) {
+	if len(args) != 4 {
+		return nil, nil, fmt.Errorf("expected XLO XHI YLO YHI, got %d args", len(args))
+	}
+	vals := make([]uint32, 4)
+	for i, a := range args {
+		v, err := strconv.ParseUint(a, 10, 32)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad bound %q: %v", a, err)
+		}
+		vals[i] = uint32(v)
+	}
+	return []uint32{vals[0], vals[2]}, []uint32{vals[1], vals[3]}, nil
 }
 
 func runRange(db *probe.DB, g probe.Grid, strat probe.Strategy, args []string) ([]probe.Point, probe.QueryStats, error) {

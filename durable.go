@@ -242,7 +242,7 @@ func (db *DB) Checkpoint(opts ...QueryOption) (QueryStats, error) {
 // checkpointLocked runs the checkpoint under db.mu.
 func (db *DB) checkpointLocked() error {
 	if db.closed {
-		return fmt.Errorf("probe: database is closed")
+		return ErrClosed
 	}
 	if db.rs == nil {
 		return db.pool.Flush()
@@ -258,7 +258,14 @@ func (db *DB) checkpointLocked() error {
 }
 
 // Close checkpoints (on a durable database) and releases the store.
-// Close is idempotent; operations after Close fail.
+// Close is idempotent; operations after Close fail with ErrClosed.
+//
+// Close is safe against concurrent in-flight queries: it serializes
+// on the same internal mutex as every operation, so it blocks until
+// running queries finish and never releases the store underneath one.
+// To close promptly while long queries are running, cancel them first
+// (run queries under WithContext and cancel the context); the server
+// package's drain sequence does exactly that. See TestCloseWhileQuerying.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()

@@ -60,6 +60,9 @@ func (db *DB) ExplainAnalyze(box Box, opts ...QueryOption) (*ExplainResult, erro
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.usableLocked(qc.ctx); err != nil {
+		return nil, err
+	}
 	// Materialize the heap view of the index so the sequential-scan
 	// plan is executable too — the planner may legitimately prefer it
 	// for large boxes, and EXPLAIN ANALYZE must run whatever plan it

@@ -1,6 +1,8 @@
 package btree
 
 import (
+	"context"
+
 	"probe/internal/disk"
 	"probe/internal/obs"
 )
@@ -24,7 +26,8 @@ type Cursor struct {
 	id    disk.PageID
 	pos   int
 	valid bool
-	span  *obs.Span // traversal-work attribution; nil = untraced
+	span  *obs.Span       // traversal-work attribution; nil = untraced
+	ctx   context.Context // cancellation; nil = never cancelled
 }
 
 // Cursor returns a new cursor positioned before the first entry.
@@ -36,6 +39,22 @@ func (t *Tree) Cursor() *Cursor { return &Cursor{t: t} }
 // distinct-page counting is the caller's concern). A nil span
 // disables attribution at zero cost.
 func (c *Cursor) SetSpan(sp *obs.Span) { c.span = sp }
+
+// SetContext makes the cursor cancellable: every page-load boundary —
+// each SeekGE descent and each leaf crossing in Next/Prev — checks the
+// context first and fails with its error once it is done. Cancellation
+// therefore costs at most the leaf already in hand: a cancelled cursor
+// performs no further page reads. A nil context (the default) disables
+// the checks at zero cost.
+func (c *Cursor) SetContext(ctx context.Context) { c.ctx = ctx }
+
+// ctxErr reports the cursor's cancellation state.
+func (c *Cursor) ctxErr() error {
+	if c.ctx == nil {
+		return nil
+	}
+	return c.ctx.Err()
+}
 
 // Valid reports whether the cursor is positioned on an entry.
 func (c *Cursor) Valid() bool { return c.valid }
@@ -66,6 +85,10 @@ func (c *Cursor) First() (bool, error) {
 
 // SeekGE positions the cursor on the first entry with key >= k.
 func (c *Cursor) SeekGE(k Key) (bool, error) {
+	if err := c.ctxErr(); err != nil {
+		c.valid = false
+		return false, err
+	}
 	c.t.mu.RLock()
 	defer c.t.mu.RUnlock()
 	c.span.Inc(obs.Seeks)
@@ -91,6 +114,10 @@ func (c *Cursor) SeekGE(k Key) (bool, error) {
 		if c.leaf.next == disk.InvalidPage {
 			c.valid = false
 			return false, nil
+		}
+		if err := c.ctxErr(); err != nil {
+			c.valid = false
+			return false, err
 		}
 		id = c.leaf.next
 		n, err = c.t.loadLeaf(id)
@@ -118,6 +145,10 @@ func (c *Cursor) Next() (bool, error) {
 			c.valid = false
 			return false, nil
 		}
+		if err := c.ctxErr(); err != nil {
+			c.valid = false
+			return false, err
+		}
 		id := c.leaf.next
 		n, err := c.t.loadLeaf(id)
 		c.span.Inc(obs.LeafScans)
@@ -142,6 +173,10 @@ func (c *Cursor) Prev() (bool, error) {
 		if c.leaf.prev == disk.InvalidPage {
 			c.valid = false
 			return false, nil
+		}
+		if err := c.ctxErr(); err != nil {
+			c.valid = false
+			return false, err
 		}
 		id := c.leaf.prev
 		n, err := c.t.loadLeaf(id)

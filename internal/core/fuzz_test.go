@@ -110,7 +110,7 @@ func FuzzPartitionZ(f *testing.F) {
 		// after projection.
 		var shardPairs []Pair
 		for _, part := range parts {
-			err := spatialJoinFunc(part.A, part.B, nil, func(p Pair) bool {
+			err := spatialJoinFunc(nil, part.A, part.B, nil, func(p Pair) bool {
 				shardPairs = append(shardPairs, p)
 				return true
 			})

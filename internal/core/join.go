@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -62,7 +63,7 @@ func SpatialJoinTraced(a, b []Item, sp *obs.Span) ([]Pair, error) {
 		return nil, fmt.Errorf("core: right input: %w", err)
 	}
 	var pairs []Pair
-	err := spatialJoinFunc(a, b, sp, func(p Pair) bool {
+	err := spatialJoinFunc(nil, a, b, sp, func(p Pair) bool {
 		pairs = append(pairs, p)
 		return true
 	})
@@ -78,11 +79,18 @@ func checkSorted(items []Item) error {
 	return nil
 }
 
+// joinCancelStride is how many merge steps a join runs between
+// context checks: frequent enough that a cancelled join stops within
+// microseconds, sparse enough that the ctx.Err call (a mutex
+// acquisition on cancelable contexts) stays off the hot path.
+const joinCancelStride = 1024
+
 // spatialJoinFunc is the streaming form of SpatialJoin. The span, if
 // non-nil, receives one obs.MergeSteps per item the merge consumes
 // and one obs.RawPairs per emitted pair (added in bulk at return, so
-// the hot loop stays free of atomics).
-func spatialJoinFunc(a, b []Item, sp *obs.Span, fn func(Pair) bool) error {
+// the hot loop stays free of atomics). A non-nil ctx is checked every
+// joinCancelStride merge steps; a nil ctx is never cancelled.
+func spatialJoinFunc(ctx context.Context, a, b []Item, sp *obs.Span, fn func(Pair) bool) error {
 	const total = zorder.MaxBits
 	var stackA, stackB []Item
 	i, j := 0, 0
@@ -99,6 +107,11 @@ func spatialJoinFunc(a, b []Item, sp *obs.Span, fn func(Pair) bool) error {
 	}
 	for i < len(a) || j < len(b) {
 		steps++
+		if ctx != nil && steps%joinCancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		fromA := j >= len(b) || (i < len(a) && a[i].Elem.Compare(b[j].Elem) <= 0)
 		var it Item
 		if fromA {
@@ -171,6 +184,13 @@ func SpatialJoinDistinct(a, b []Item) ([]Pair, JoinStats, error) {
 // counts. A nil span behaves exactly like SpatialJoinDistinct at no
 // cost.
 func SpatialJoinDistinctTraced(a, b []Item, sp *obs.Span) ([]Pair, JoinStats, error) {
+	return SpatialJoinDistinctCtx(nil, a, b, sp)
+}
+
+// SpatialJoinDistinctCtx is SpatialJoinDistinctTraced under a
+// cancellation context, checked every joinCancelStride merge steps
+// (nil = never cancelled).
+func SpatialJoinDistinctCtx(ctx context.Context, a, b []Item, sp *obs.Span) ([]Pair, JoinStats, error) {
 	stats := JoinStats{LeftItems: len(a), RightItems: len(b)}
 	sp.Add(obs.ItemsLeft, int64(len(a)))
 	sp.Add(obs.ItemsRight, int64(len(b)))
@@ -181,7 +201,7 @@ func SpatialJoinDistinctTraced(a, b []Item, sp *obs.Span) ([]Pair, JoinStats, er
 		return nil, stats, fmt.Errorf("core: right input: %w", err)
 	}
 	var raw []Pair
-	if err := spatialJoinFunc(a, b, sp, func(p Pair) bool {
+	if err := spatialJoinFunc(ctx, a, b, sp, func(p Pair) bool {
 		raw = append(raw, p)
 		return true
 	}); err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -84,6 +85,15 @@ func SpatialJoinParallel(a, b []Item, cfg ParallelJoinConfig) ([]Pair, error) {
 // the inputs, clamped at zero — the net overhead of partitioning. A
 // nil span behaves exactly like SpatialJoinParallel at no cost.
 func SpatialJoinParallelTraced(a, b []Item, cfg ParallelJoinConfig, sp *obs.Span) ([]Pair, error) {
+	return SpatialJoinParallelCtx(nil, a, b, cfg, sp)
+}
+
+// SpatialJoinParallelCtx is SpatialJoinParallelTraced under a
+// cancellation context (nil = never cancelled): each shard's merge
+// checks it every joinCancelStride steps, the dispatcher stops
+// handing out shards once it is done, and the first context error
+// observed is returned.
+func SpatialJoinParallelCtx(ctx context.Context, a, b []Item, cfg ParallelJoinConfig, sp *obs.Span) ([]Pair, error) {
 	workers := cfg.workers()
 	pb := cfg.prefixBits(workers)
 	// Cutting deeper than the finest element present only replicates:
@@ -138,15 +148,15 @@ func SpatialJoinParallelTraced(a, b []Item, cfg ParallelJoinConfig, sp *obs.Span
 				ss.Add(obs.ItemsLeft, int64(len(parts[s].A)))
 				ss.Add(obs.ItemsRight, int64(len(parts[s].B)))
 				var pairs []Pair
-				err := spatialJoinFunc(parts[s].A, parts[s].B, ss, func(p Pair) bool {
+				err := spatialJoinFunc(ctx, parts[s].A, parts[s].B, ss, func(p Pair) bool {
 					pairs = append(pairs, p)
 					return true
 				})
 				ss.End()
 				if err != nil {
-					// Unreachable today (inputs were validated by
-					// PartitionZ), but kept so a future streaming join
-					// can fail without deadlocking the pool.
+					// A cancelled shard (or, defensively, a failed
+					// one) records the first error; remaining shards
+					// drain quickly because they hit the same context.
 					errOnce.Do(func() { joinErr = err })
 					continue
 				}
@@ -154,8 +164,18 @@ func SpatialJoinParallelTraced(a, b []Item, cfg ParallelJoinConfig, sp *obs.Span
 			}
 		}()
 	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+dispatch:
 	for s := range parts {
-		next <- s
+		select {
+		case next <- s:
+		case <-done:
+			errOnce.Do(func() { joinErr = ctx.Err() })
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
@@ -184,8 +204,15 @@ func SpatialJoinParallelDistinct(a, b []Item, cfg ParallelJoinConfig) ([]Pair, J
 // with per-shard attribution on sp (see SpatialJoinParallelTraced). A
 // nil span disables tracing at no cost.
 func SpatialJoinParallelDistinctTraced(a, b []Item, cfg ParallelJoinConfig, sp *obs.Span) ([]Pair, JoinStats, error) {
+	return SpatialJoinParallelDistinctCtx(nil, a, b, cfg, sp)
+}
+
+// SpatialJoinParallelDistinctCtx is SpatialJoinParallelDistinctTraced
+// under a cancellation context (nil = never cancelled; see
+// SpatialJoinParallelCtx).
+func SpatialJoinParallelDistinctCtx(ctx context.Context, a, b []Item, cfg ParallelJoinConfig, sp *obs.Span) ([]Pair, JoinStats, error) {
 	stats := JoinStats{LeftItems: len(a), RightItems: len(b)}
-	raw, err := SpatialJoinParallelTraced(a, b, cfg, sp)
+	raw, err := SpatialJoinParallelCtx(ctx, a, b, cfg, sp)
 	if err != nil {
 		return nil, stats, fmt.Errorf("core: parallel join: %w", err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -54,6 +55,14 @@ type Neighbor struct {
 // proximity queries. The returned stats aggregate all the underlying
 // searches.
 func (ix *Index) Nearest(q []uint32, m int, metric Metric, strategy Strategy) ([]Neighbor, SearchStats, error) {
+	return ix.NearestCtx(nil, q, m, metric, strategy)
+}
+
+// NearestCtx is Nearest under a cancellation context: every
+// underlying range search checks it (nil = never cancelled; see
+// RangeSearchFuncCtx), so a cancelled proximity query stops between
+// or inside its expansion rounds with the context's error.
+func (ix *Index) NearestCtx(ctx context.Context, q []uint32, m int, metric Metric, strategy Strategy) ([]Neighbor, SearchStats, error) {
 	var agg SearchStats
 	if !ix.g.Valid(q) {
 		return nil, agg, fmt.Errorf("core: query point %v outside %v", q, ix.g)
@@ -75,7 +84,7 @@ func (ix *Index) Nearest(q []uint32, m int, metric Metric, strategy Strategy) ([
 	var candidates []geom.Point
 	for {
 		box := ix.ringBox(q, r)
-		pts, stats, err := ix.RangeSearch(box, strategy)
+		pts, stats, err := ix.RangeSearchCtx(ctx, box, strategy, nil)
 		if err != nil {
 			return nil, agg, err
 		}
@@ -110,7 +119,7 @@ func (ix *Index) Nearest(q []uint32, m int, metric Metric, strategy Strategy) ([
 	// distance <= d of q).
 	certified := uint32(math.Ceil(neighbors[m-1].Dist))
 	finalBox := ix.ringBox(q, certified)
-	pts, stats, err := ix.RangeSearch(finalBox, strategy)
+	pts, stats, err := ix.RangeSearchCtx(ctx, finalBox, strategy, nil)
 	if err != nil {
 		return nil, agg, err
 	}

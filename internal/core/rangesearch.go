@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -81,8 +82,14 @@ func (ix *Index) RangeSearch(box geom.Box, strategy Strategy) ([]geom.Point, Sea
 // and Results. A nil span behaves exactly like RangeSearch at no
 // cost.
 func (ix *Index) RangeSearchTraced(box geom.Box, strategy Strategy, sp *obs.Span) ([]geom.Point, SearchStats, error) {
+	return ix.RangeSearchCtx(nil, box, strategy, sp)
+}
+
+// RangeSearchCtx is RangeSearchTraced under a cancellation context
+// (nil = never cancelled; see RangeSearchFuncCtx).
+func (ix *Index) RangeSearchCtx(ctx context.Context, box geom.Box, strategy Strategy, sp *obs.Span) ([]geom.Point, SearchStats, error) {
 	var out []geom.Point
-	stats, err := ix.RangeSearchFuncTraced(box, strategy, sp, func(p geom.Point) bool {
+	stats, err := ix.RangeSearchFuncCtx(ctx, box, strategy, sp, func(p geom.Point) bool {
 		out = append(out, p)
 		return true
 	})
@@ -98,18 +105,34 @@ func (ix *Index) RangeSearchFunc(box geom.Box, strategy Strategy, fn func(geom.P
 // RangeSearchFuncTraced is RangeSearchFunc with per-operator
 // attribution on sp (nil disables tracing at no cost).
 func (ix *Index) RangeSearchFuncTraced(box geom.Box, strategy Strategy, sp *obs.Span, fn func(geom.Point) bool) (SearchStats, error) {
+	return ix.RangeSearchFuncCtx(nil, box, strategy, sp, fn)
+}
+
+// RangeSearchFuncCtx is RangeSearchFuncTraced under a cancellation
+// context. The context is threaded into both cursors of the merge —
+// the B+-tree cursor checks it at every page-load boundary, the
+// decomposition cursor at every element generation — so a cancelled
+// search stops promptly with the context's error having read at most
+// one further page. A nil context (the internal convention for "never
+// cancelled") disables the checks at zero cost.
+func (ix *Index) RangeSearchFuncCtx(ctx context.Context, box geom.Box, strategy Strategy, sp *obs.Span, fn func(geom.Point) bool) (SearchStats, error) {
 	if box.Dims() != ix.g.Dims() {
 		return SearchStats{}, fmt.Errorf("core: box has %d dims, index %d", box.Dims(), ix.g.Dims())
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return SearchStats{}, err
+		}
 	}
 	var stats SearchStats
 	var err error
 	switch strategy {
 	case MergeDecomposed:
-		stats, err = ix.searchDecomposed(box, sp, fn)
+		stats, err = ix.searchDecomposed(ctx, box, sp, fn)
 	case MergeLazy:
-		stats, err = ix.searchLazy(box, sp, fn)
+		stats, err = ix.searchLazy(ctx, box, sp, fn)
 	case SkipBigMin:
-		stats, err = ix.searchBigMin(box, sp, fn)
+		stats, err = ix.searchBigMin(ctx, box, sp, fn)
 	default:
 		return SearchStats{}, fmt.Errorf("core: unknown strategy %d", int(strategy))
 	}
@@ -142,7 +165,7 @@ func (ix *Index) emit(c *btree.Cursor, fn func(geom.Point) bool, stats *SearchSt
 
 // searchDecomposed is strategy A: materialize B, merge with skipping
 // on both sides.
-func (ix *Index) searchDecomposed(box geom.Box, sp *obs.Span, fn func(geom.Point) bool) (SearchStats, error) {
+func (ix *Index) searchDecomposed(ctx context.Context, box geom.Box, sp *obs.Span, fn func(geom.Point) bool) (SearchStats, error) {
 	var stats SearchStats
 	elems := decompose.Box(ix.g, box)
 	stats.Elements = len(elems)
@@ -153,6 +176,7 @@ func (ix *Index) searchDecomposed(box geom.Box, sp *obs.Span, fn func(geom.Point
 	total := ix.g.TotalBits()
 	pc := ix.tree.Cursor()
 	pc.SetSpan(sp)
+	pc.SetContext(ctx)
 	pages := newPageTracker()
 	i := 0
 	ok, err := pc.SeekGE(btree.Key{Hi: elems[0].MinZ()})
@@ -198,19 +222,23 @@ func (ix *Index) searchDecomposed(box geom.Box, sp *obs.Span, fn func(geom.Point
 
 // searchLazy is strategy B: the same merge, with B generated on
 // demand.
-func (ix *Index) searchLazy(box geom.Box, sp *obs.Span, fn func(geom.Point) bool) (SearchStats, error) {
+func (ix *Index) searchLazy(ctx context.Context, box geom.Box, sp *obs.Span, fn func(geom.Point) bool) (SearchStats, error) {
 	var stats SearchStats
 	bc, err := decompose.NewCursor(ix.g, box, decompose.Options{})
 	if err != nil {
 		return stats, err
 	}
 	bc.SetSpan(sp)
+	bc.SetContext(ctx)
 	if !bc.Next() {
-		return stats, nil
+		// An empty decomposition and a pre-cancelled context both land
+		// here; Err distinguishes them.
+		return stats, bc.Err()
 	}
 	stats.Elements++
 	pc := ix.tree.Cursor()
 	pc.SetSpan(sp)
+	pc.SetContext(ctx)
 	pages := newPageTracker()
 	ok, err := pc.SeekGE(btree.Key{Hi: bc.ZLo()})
 	stats.Seeks++
@@ -218,10 +246,12 @@ func (ix *Index) searchLazy(box geom.Box, sp *obs.Span, fn func(geom.Point) bool
 		return stats, err
 	}
 	pages.touch(pc)
+	var stopErr error
 	for ok {
 		z := pc.Key().Hi
 		if bc.ZHi() < z {
 			if !bc.Seek(z) {
+				stopErr = bc.Err()
 				break
 			}
 			stats.Elements++
@@ -246,12 +276,12 @@ func (ix *Index) searchLazy(box geom.Box, sp *obs.Span, fn func(geom.Point) bool
 		pages.touch(pc)
 	}
 	stats.DataPages = pages.count()
-	return stats, nil
+	return stats, stopErr
 }
 
 // searchBigMin is strategy C: skip directly to the next in-box z
 // value whenever the scan leaves the box.
-func (ix *Index) searchBigMin(box geom.Box, sp *obs.Span, fn func(geom.Point) bool) (SearchStats, error) {
+func (ix *Index) searchBigMin(ctx context.Context, box geom.Box, sp *obs.Span, fn func(geom.Point) bool) (SearchStats, error) {
 	var stats SearchStats
 	first, any := ix.g.BigMin(0, box.Lo, box.Hi)
 	if !any {
@@ -262,6 +292,7 @@ func (ix *Index) searchBigMin(box geom.Box, sp *obs.Span, fn func(geom.Point) bo
 	last, _ := ix.g.LitMax(^uint64(0), box.Lo, box.Hi)
 	pc := ix.tree.Cursor()
 	pc.SetSpan(sp)
+	pc.SetContext(ctx)
 	pages := newPageTracker()
 	ok, err := pc.SeekGE(btree.Key{Hi: first})
 	stats.Seeks++
@@ -311,8 +342,14 @@ func (ix *Index) PartialMatch(restricted []bool, value []uint32, strategy Strate
 // PartialMatchTraced is PartialMatch with per-operator attribution on
 // sp (nil disables tracing at no cost).
 func (ix *Index) PartialMatchTraced(restricted []bool, value []uint32, strategy Strategy, sp *obs.Span) ([]geom.Point, SearchStats, error) {
+	return ix.PartialMatchCtx(nil, restricted, value, strategy, sp)
+}
+
+// PartialMatchCtx is PartialMatchTraced under a cancellation context
+// (nil = never cancelled; see RangeSearchFuncCtx).
+func (ix *Index) PartialMatchCtx(ctx context.Context, restricted []bool, value []uint32, strategy Strategy, sp *obs.Span) ([]geom.Point, SearchStats, error) {
 	if len(restricted) != ix.g.Dims() || len(value) != ix.g.Dims() {
 		return nil, SearchStats{}, fmt.Errorf("core: partial match arity mismatch")
 	}
-	return ix.RangeSearchTraced(geom.PartialMatchBox(ix.g, restricted, value), strategy, sp)
+	return ix.RangeSearchCtx(ctx, geom.PartialMatchBox(ix.g, restricted, value), strategy, sp)
 }

@@ -1,6 +1,8 @@
 package decompose
 
 import (
+	"context"
+
 	"probe/internal/geom"
 	"probe/internal/obs"
 	"probe/internal/zorder"
@@ -28,7 +30,9 @@ type Cursor struct {
 
 	lo, hi []uint32 // scratch region, rebuilt per descent
 
-	span *obs.Span // element-generation attribution; nil = untraced
+	span *obs.Span       // element-generation attribution; nil = untraced
+	ctx  context.Context // cancellation; nil = never cancelled
+	err  error           // sticky cancellation error, reported by Err
 }
 
 // NewCursor builds a cursor over the decomposition of obj. The cursor
@@ -57,6 +61,18 @@ func errDims(g zorder.Grid, obj geom.Object) error {
 // element generated (each successful Next or Seek positioning). A nil
 // span disables attribution at zero cost.
 func (c *Cursor) SetSpan(sp *obs.Span) { c.span = sp }
+
+// SetContext makes the cursor cancellable: each element generation
+// (every Next or Seek) checks the context first and, once it is done,
+// stops with the cursor exhausted and the context's error held for
+// Err. A nil context (the default) disables the checks at zero cost.
+func (c *Cursor) SetContext(ctx context.Context) { c.ctx = ctx }
+
+// Err reports why the cursor stopped: nil after a normal exhaustion,
+// the context's error after a cancellation. Callers that see Next or
+// Seek return false must consult Err before treating the sequence as
+// complete.
+func (c *Cursor) Err() error { return c.err }
 
 // Valid reports whether the cursor is positioned on an element.
 func (c *Cursor) Valid() bool { return c.valid }
@@ -108,6 +124,13 @@ func (c *Cursor) Seek(z uint64) bool {
 func zStep(g zorder.Grid) uint64 { return 1 << uint(64-g.TotalBits()) }
 
 func (c *Cursor) seekFrom(z uint64) bool {
+	if c.ctx != nil {
+		if err := c.ctx.Err(); err != nil {
+			c.err = err
+			c.valid, c.done = false, true
+			return false
+		}
+	}
 	for i := range c.lo {
 		c.lo[i] = 0
 		c.hi[i] = uint32(c.g.SideOf(i) - 1)

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"probe/internal/core"
@@ -26,10 +27,32 @@ const BenchSchema = "probe-bench/v1"
 type BenchReport struct {
 	Schema  string        `json:"schema"`
 	Quick   bool          `json:"quick"`
+	Host    Host          `json:"host"`
 	Config  BenchSettings `json:"config"`
 	Ranges  []RangeBench  `json:"range_queries"`
 	Joins   []JoinBench   `json:"joins"`
 	Inserts []InsertBench `json:"inserts"`
+}
+
+// Host records the execution environment throughput numbers were
+// measured on, so trend consumers can separate code changes from
+// machine changes. Adding it is schema-compatible (fields only ever
+// accrete within a schema version).
+type Host struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+}
+
+// CurrentHost snapshots the running process's environment.
+func CurrentHost() Host {
+	return Host{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+	}
 }
 
 // BenchSettings records the experiment parameters the numbers were
@@ -95,6 +118,7 @@ func RunBench(cfg Config, quick bool) (*BenchReport, error) {
 	rep := &BenchReport{
 		Schema: BenchSchema,
 		Quick:  quick,
+		Host:   CurrentHost(),
 		Config: BenchSettings{
 			GridBits:     cfg.GridBits,
 			N:            cfg.N,

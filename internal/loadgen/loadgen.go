@@ -1,0 +1,217 @@
+// Package loadgen drives a probed server with a mixed open-loop
+// workload and reports throughput and latency percentiles. It backs
+// probed's -loadgen mode and the BENCH_server.json CI emitter.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"probe"
+	"probe/client"
+)
+
+// Config tunes one load-generation run. Zero values select the
+// defaults in brackets.
+type Config struct {
+	// Addr is the server to drive (required).
+	Addr string
+	// Conns is the number of concurrent client connections [8].
+	Conns int
+	// Duration is how long to drive load [5s].
+	Duration time.Duration
+	// Seed makes the workload reproducible [1].
+	Seed int64
+	// InsertEvery makes every Nth operation an INSERT of a small
+	// point batch [10]; 0 disables inserts.
+	InsertEvery int
+	// JoinEvery makes every Nth operation a small JOIN [25]; 0
+	// disables joins.
+	JoinEvery int
+	// NearestEvery makes every Nth operation an NNEAREST [15]; 0
+	// disables them. All remaining operations are RANGE queries.
+	NearestEvery int
+	// BoxSide caps the side length of generated range boxes [128].
+	BoxSide uint32
+}
+
+func (c *Config) fillDefaults() {
+	if c.Conns <= 0 {
+		c.Conns = 8
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.InsertEvery == 0 {
+		c.InsertEvery = 10
+	}
+	if c.JoinEvery == 0 {
+		c.JoinEvery = 25
+	}
+	if c.NearestEvery == 0 {
+		c.NearestEvery = 15
+	}
+	if c.BoxSide == 0 {
+		c.BoxSide = 128
+	}
+}
+
+// Report is the outcome of a run: counts, throughput, and latency
+// percentiles over all successful operations.
+type Report struct {
+	Conns      int           `json:"conns"`
+	Ops        int           `json:"ops"`
+	Errors     int           `json:"errors"`
+	Overloaded int           `json:"overloaded"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	QPS        float64       `json:"qps"`
+	P50        time.Duration `json:"p50_ns"`
+	P95        time.Duration `json:"p95_ns"`
+	P99        time.Duration `json:"p99_ns"`
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("conns=%d ops=%d errors=%d overloaded=%d qps=%.0f p50=%s p95=%s p99=%s",
+		r.Conns, r.Ops, r.Errors, r.Overloaded, r.QPS, r.P50, r.P95, r.P99)
+}
+
+// Run drives the server at cfg.Addr for cfg.Duration with cfg.Conns
+// connections and returns the aggregate report. Overloaded responses
+// count separately from errors: they are the admission control
+// working as designed, and the generator backs off briefly when it
+// sees one.
+func Run(cfg Config) (Report, error) {
+	cfg.fillDefaults()
+	if cfg.Addr == "" {
+		return Report{}, errors.New("loadgen: no server address")
+	}
+
+	type workerResult struct {
+		lats       []time.Duration
+		errors     int
+		overloaded int
+		err        error // fatal setup error
+	}
+	results := make([]workerResult, cfg.Conns)
+	deadline := time.Now().Add(cfg.Duration)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := &results[w]
+			cl, err := client.Dial(cfg.Addr)
+			if err != nil {
+				res.err = err
+				return
+			}
+			defer cl.Close()
+			bits := cl.GridBits()
+			side := make([]uint32, len(bits))
+			for i, b := range bits {
+				side[i] = uint32(1) << uint(b)
+			}
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			ctx := context.Background()
+			idBase := uint64(1_000_000 * (w + 1))
+			for op := 0; time.Now().Before(deadline); op++ {
+				t0 := time.Now()
+				var err error
+				switch {
+				case cfg.InsertEvery > 0 && op%cfg.InsertEvery == cfg.InsertEvery-1:
+					pts := make([]probe.Point, 8)
+					for i := range pts {
+						coords := make([]uint32, len(side))
+						for d := range coords {
+							coords[d] = uint32(rng.Intn(int(side[d])))
+						}
+						idBase++
+						pts[i] = probe.Point{ID: idBase, Coords: coords}
+					}
+					_, err = cl.Insert(ctx, pts)
+				case cfg.JoinEvery > 0 && op%cfg.JoinEvery == cfg.JoinEvery-1:
+					mk := func(base uint64) []client.BoxItem {
+						items := make([]client.BoxItem, 10)
+						for i := range items {
+							lo := make([]uint32, len(side))
+							hi := make([]uint32, len(side))
+							for d := range lo {
+								lo[d] = uint32(rng.Intn(int(side[d] - cfg.BoxSide)))
+								hi[d] = lo[d] + uint32(rng.Intn(int(cfg.BoxSide)))
+							}
+							items[i] = client.BoxItem{ID: base + uint64(i), Lo: lo, Hi: hi}
+						}
+						return items
+					}
+					_, _, err = cl.Join(ctx, mk(0), mk(100), 0)
+				case cfg.NearestEvery > 0 && op%cfg.NearestEvery == cfg.NearestEvery-1:
+					q := make([]uint32, len(side))
+					for d := range q {
+						q[d] = uint32(rng.Intn(int(side[d])))
+					}
+					_, _, err = cl.Nearest(ctx, q, 5, probe.Euclidean)
+				default:
+					lo := make([]uint32, len(side))
+					hi := make([]uint32, len(side))
+					for d := range lo {
+						lo[d] = uint32(rng.Intn(int(side[d] - cfg.BoxSide)))
+						hi[d] = lo[d] + uint32(rng.Intn(int(cfg.BoxSide)))
+					}
+					_, _, err = cl.Range(ctx, lo, hi)
+				}
+				switch {
+				case err == nil:
+					res.lats = append(res.lats, time.Since(t0))
+				case errors.Is(err, client.ErrOverloaded):
+					res.overloaded++
+					time.Sleep(time.Millisecond) // back off, then retry
+				default:
+					res.errors++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	rep := Report{Conns: cfg.Conns, Elapsed: elapsed}
+	for _, res := range results {
+		if res.err != nil {
+			return rep, res.err
+		}
+		all = append(all, res.lats...)
+		rep.Errors += res.errors
+		rep.Overloaded += res.overloaded
+	}
+	rep.Ops = len(all)
+	if elapsed > 0 {
+		rep.QPS = float64(rep.Ops) / elapsed.Seconds()
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		rep.P50 = percentile(all, 0.50)
+		rep.P95 = percentile(all, 0.95)
+		rep.P99 = percentile(all, 0.99)
+	}
+	return rep, nil
+}
+
+// percentile reads the q-quantile from sorted latencies.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

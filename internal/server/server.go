@@ -1,0 +1,276 @@
+// Package server implements probed's network front end: a TCP query
+// server over the wire protocol (internal/wire, specified in
+// docs/server.md) that owns one probe.DB and executes RANGE, NNEAREST,
+// JOIN, INSERT, CHECKPOINT, EXPLAIN and STATS requests on behalf of
+// remote clients.
+//
+// Concurrency model. Each accepted connection gets one session
+// goroutine; a session executes at most one request at a time, in its
+// own goroutine, while the session loop keeps reading frames so a
+// CANCEL can interrupt the running request. Every request runs under
+// a context.Context derived from the server's base context plus the
+// request's own timeout; the query engine checks it at page-load
+// boundaries, so a cancel stops a long scan within one page read.
+//
+// Admission control. In-flight requests across all sessions are
+// bounded by Config.MaxInflight. Admission is fail-fast: a request
+// arriving with no free slot is rejected immediately with the typed
+// "overloaded" error rather than queued, so clients see load as
+// backpressure they can retry against, and a slow query cannot grow
+// an unbounded queue inside the server.
+//
+// Drain. Shutdown stops accepting connections and requests (new ones
+// get "shutting-down"), waits up to Config.DrainTimeout for in-flight
+// requests to finish, cancels whatever remains, closes every
+// connection, checkpoints the database and closes it. After Shutdown
+// returns the store is consistent and reopens without recovery work.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"probe"
+	"probe/internal/obs"
+)
+
+// Config tunes a Server. Zero values select the defaults in brackets.
+type Config struct {
+	// MaxInflight bounds concurrently executing requests across all
+	// sessions [16]. Requests beyond it are rejected with the typed
+	// "overloaded" error, never queued.
+	MaxInflight int
+	// DrainTimeout is how long Shutdown waits for in-flight requests
+	// to finish before cancelling them [5s].
+	DrainTimeout time.Duration
+	// WriteTimeout bounds each response frame write, so one stalled
+	// client cannot pin a request (and the DB mutex under it)
+	// indefinitely [10s].
+	WriteTimeout time.Duration
+	// BatchSize is the number of results per streamed batch frame
+	// [512].
+	BatchSize int
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 16
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 512
+	}
+}
+
+// Cancellation causes: context.Cause distinguishes a client's CANCEL
+// frame from the server's drain, so the error frame carries the right
+// typed code.
+var (
+	errClientCancel = errors.New("server: cancelled by client")
+	errDraining     = errors.New("server: draining")
+)
+
+// Server serves one probe.DB over the wire protocol. Create with New,
+// start with Serve, stop with Shutdown. The server owns the database:
+// Shutdown checkpoints and closes it.
+type Server struct {
+	db  *probe.DB
+	cfg Config
+
+	// metrics holds the server-side counters: server.accepted,
+	// server.active, server.rejected, server.cancelled,
+	// server.requests, server.sessions.
+	metrics *obs.Registry
+
+	baseCtx    context.Context
+	cancelBase context.CancelCauseFunc
+
+	// sem is the admission semaphore; a slot is held for the duration
+	// of one executing request.
+	sem chan struct{}
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	draining  bool
+
+	// active counts executing requests; drainDone is closed when the
+	// last one finishes while draining.
+	active int
+	idle   chan struct{} // closed & re-made when active drops to 0
+
+	wg sync.WaitGroup // session goroutines
+}
+
+// New returns a server over db. The server takes ownership: Shutdown
+// checkpoints and closes db.
+func New(db *probe.DB, cfg Config) *Server {
+	cfg.fillDefaults()
+	ctx, cancel := context.WithCancelCause(context.Background())
+	return &Server{
+		db:         db,
+		cfg:        cfg,
+		metrics:    obs.NewRegistry(),
+		baseCtx:    ctx,
+		cancelBase: cancel,
+		sem:        make(chan struct{}, cfg.MaxInflight),
+		listeners:  make(map[net.Listener]struct{}),
+		conns:      make(map[net.Conn]struct{}),
+		idle:       make(chan struct{}),
+	}
+}
+
+// Metrics returns the server's counter registry (expvar-compatible).
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// DB returns the database the server fronts.
+func (s *Server) DB() *probe.DB { return s.db }
+
+// Serve accepts connections on ln until Shutdown closes it (or ln
+// fails). It blocks; run it in a goroutine. The listener is closed by
+// Shutdown; Serve then returns nil.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("server: Serve after Shutdown")
+	}
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, ln)
+		s.mu.Unlock()
+	}()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.isDraining() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.metrics.Int("server.sessions").Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			newSession(s, conn).run()
+		}()
+	}
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// beginRequest claims an admission slot; false means the server is at
+// MaxInflight and the request must be rejected as overloaded.
+func (s *Server) beginRequest() bool {
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.metrics.Int("server.rejected").Add(1)
+		return false
+	}
+	s.mu.Lock()
+	s.active++
+	s.mu.Unlock()
+	s.metrics.Int("server.accepted").Add(1)
+	s.metrics.Int("server.active").Add(1)
+	return true
+}
+
+// endRequest releases the slot claimed by beginRequest.
+func (s *Server) endRequest() {
+	<-s.sem
+	s.mu.Lock()
+	s.active--
+	if s.active == 0 {
+		close(s.idle)
+		s.idle = make(chan struct{})
+	}
+	s.mu.Unlock()
+	s.metrics.Int("server.active").Add(-1)
+}
+
+// Shutdown drains the server: stop accepting connections and
+// requests, wait up to Config.DrainTimeout (bounded further by ctx)
+// for in-flight requests to finish, cancel the stragglers, close all
+// connections, then checkpoint and close the database. It is safe to
+// call once; subsequent calls return nil immediately.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	idle := s.idle
+	active := s.active
+	s.mu.Unlock()
+
+	// Grace period: let in-flight requests finish naturally.
+	if active > 0 {
+		timer := time.NewTimer(s.cfg.DrainTimeout)
+		defer timer.Stop()
+		select {
+		case <-idle:
+		case <-timer.C:
+		case <-ctx.Done():
+		}
+	}
+
+	// Cancel whatever is still running; the query engine unwinds
+	// within a page read and the executor sends the shutting-down
+	// error frame.
+	s.cancelBase(errDraining)
+
+	// Close every connection: idle sessions are blocked in ReadFrame
+	// and exit on the close; busy ones finish their (now cancelled)
+	// request first.
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+
+	// All sessions are gone; the database is quiescent. Make the
+	// state durable and release the store.
+	if _, err := s.db.Checkpoint(); err != nil && !errors.Is(err, probe.ErrClosed) {
+		s.db.Close()
+		return err
+	}
+	return s.db.Close()
+}

@@ -1,0 +1,549 @@
+package server
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"probe"
+	"probe/internal/core"
+	"probe/internal/decompose"
+	"probe/internal/geom"
+	"probe/internal/wire"
+)
+
+// session is the server side of one connection: a reader goroutine
+// feeding frames to the session loop, which executes at most one
+// request at a time in its own goroutine while staying responsive to
+// CANCEL frames.
+type session struct {
+	srv  *Server
+	conn net.Conn
+
+	// writeMu serializes response frames: the executor goroutine
+	// streams batches while the session loop may emit protocol errors.
+	writeMu sync.Mutex
+
+	frames chan frameMsg
+
+	// root is the session's span: every request's work is attributed
+	// to a child operator span, so the session trace is the full
+	// I/O-attributed history of the connection. Folded into the
+	// server's metrics registry when the session ends.
+	root *probe.Trace
+}
+
+type frameMsg struct {
+	typ     uint8
+	payload []byte
+}
+
+func newSession(srv *Server, conn net.Conn) *session {
+	return &session{
+		srv:    srv,
+		conn:   conn,
+		frames: make(chan frameMsg, 4),
+		root:   probe.NewTrace("session"),
+	}
+}
+
+// send writes one response frame under the write mutex with the
+// configured write deadline.
+func (ss *session) send(typ uint8, payload []byte) error {
+	ss.writeMu.Lock()
+	defer ss.writeMu.Unlock()
+	ss.conn.SetWriteDeadline(time.Now().Add(ss.srv.cfg.WriteTimeout))
+	return wire.WriteFrame(ss.conn, typ, payload)
+}
+
+func (ss *session) sendError(id uint32, code uint8, msg string) {
+	ss.send(wire.MsgError, wire.ErrorMsg{ID: id, Code: code, Msg: msg}.Encode())
+}
+
+// peekID extracts the request id every request payload leads with, so
+// even a request rejected before decoding gets a correctly-addressed
+// error frame.
+func peekID(payload []byte) uint32 {
+	if len(payload) < 4 {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(payload)
+}
+
+// run drives the session to completion. The caller closes the
+// connection afterwards; run additionally closes it on its own exit
+// paths so the reader goroutine always unblocks.
+func (ss *session) run() {
+	defer func() {
+		ss.conn.Close()
+		for range ss.frames {
+			// Drain so the reader goroutine can exit.
+		}
+		ss.root.End()
+		ss.srv.metrics.AddSpan("session", ss.root)
+	}()
+
+	// Reader goroutine: frames in, closed on any read error.
+	go func() {
+		defer close(ss.frames)
+		for {
+			typ, payload, err := wire.ReadFrame(ss.conn)
+			if err != nil {
+				return
+			}
+			ss.frames <- frameMsg{typ: typ, payload: payload}
+		}
+	}()
+
+	if !ss.handshake() {
+		return
+	}
+
+	var (
+		reqDone   chan struct{} // non-nil while a request executes
+		cancelReq context.CancelCauseFunc
+		inflight  uint32 // id of the executing request
+	)
+	for {
+		select {
+		case f, ok := <-ss.frames:
+			if !ok {
+				// Connection gone. Cancel any running request — its
+				// results have nowhere to go — and wait it out so the
+				// admission slot is released before the session ends.
+				if reqDone != nil {
+					cancelReq(errClientCancel)
+					<-reqDone
+					cancelReq(context.Canceled)
+				}
+				return
+			}
+			switch f.typ {
+			case wire.MsgCancel:
+				c, err := wire.DecodeCancel(f.payload)
+				if err != nil {
+					ss.sendError(0, wire.CodeBadRequest, "malformed cancel")
+					continue
+				}
+				if reqDone != nil && c.ID == inflight {
+					ss.srv.metrics.Int("server.cancelled").Add(1)
+					cancelReq(errClientCancel)
+				}
+			case wire.MsgRange, wire.MsgNearest, wire.MsgJoin, wire.MsgInsert,
+				wire.MsgCheckpoint, wire.MsgExplain, wire.MsgStats:
+				id := peekID(f.payload)
+				if reqDone != nil {
+					ss.sendError(id, wire.CodeBadRequest,
+						fmt.Sprintf("request %d is still in flight on this connection", inflight))
+					continue
+				}
+				if ss.srv.isDraining() {
+					ss.sendError(id, wire.CodeShuttingDown, "server is shutting down")
+					continue
+				}
+				if !ss.srv.beginRequest() {
+					ss.sendError(id, wire.CodeOverloaded,
+						fmt.Sprintf("server at its in-flight limit (%d); retry later", ss.srv.cfg.MaxInflight))
+					continue
+				}
+				ctx, cancel := context.WithCancelCause(ss.srv.baseCtx)
+				done := make(chan struct{})
+				reqDone, cancelReq, inflight = done, cancel, id
+				typ, payload := f.typ, f.payload
+				go func() {
+					defer close(done)
+					defer ss.srv.endRequest()
+					ss.execute(ctx, typ, payload)
+				}()
+			default:
+				ss.sendError(0, wire.CodeBadRequest,
+					fmt.Sprintf("unexpected frame type 0x%02x", f.typ))
+			}
+		case <-reqDone:
+			cancelReq(context.Canceled) // release the context's resources
+			reqDone, cancelReq = nil, nil
+		}
+	}
+}
+
+// handshake expects the client's Hello as the first frame and answers
+// Welcome with the grid shape; a major-version mismatch gets a typed
+// error and closes the session.
+func (ss *session) handshake() bool {
+	f, ok := <-ss.frames
+	if !ok {
+		return false
+	}
+	if f.typ != wire.MsgHello {
+		ss.sendError(0, wire.CodeBadRequest, "expected HELLO")
+		return false
+	}
+	hello, err := wire.DecodeHello(f.payload)
+	if err != nil {
+		ss.sendError(0, wire.CodeBadRequest, err.Error())
+		return false
+	}
+	if hello.Major != wire.VersionMajor {
+		ss.sendError(0, wire.CodeVersion,
+			fmt.Sprintf("protocol major version %d not supported (server speaks %d)", hello.Major, wire.VersionMajor))
+		return false
+	}
+	g := ss.srv.db.Grid()
+	bits := make([]uint32, g.Dims())
+	for i := range bits {
+		bits[i] = uint32(g.BitsOf(i))
+	}
+	return ss.send(wire.MsgWelcome, wire.Welcome{
+		Major: wire.VersionMajor, Minor: wire.VersionMinor, Bits: bits,
+	}.Encode()) == nil
+}
+
+// execute runs one decoded-and-admitted request to completion,
+// sending its Done or Error frame. It runs in its own goroutine.
+func (ss *session) execute(ctx context.Context, typ uint8, payload []byte) {
+	ss.srv.metrics.Int("server.requests").Add(1)
+	switch typ {
+	case wire.MsgRange:
+		ss.handleRange(ctx, payload)
+	case wire.MsgNearest:
+		ss.handleNearest(ctx, payload)
+	case wire.MsgJoin:
+		ss.handleJoin(ctx, payload)
+	case wire.MsgInsert:
+		ss.handleInsert(ctx, payload)
+	case wire.MsgCheckpoint:
+		ss.handleCheckpoint(ctx, payload)
+	case wire.MsgExplain:
+		ss.handleExplain(ctx, payload)
+	case wire.MsgStats:
+		ss.handleStats(ctx, payload)
+	}
+}
+
+// withTimeout applies a request's timeout_ms to its context.
+func withTimeout(ctx context.Context, ms uint32) (context.Context, context.CancelFunc) {
+	if ms == 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+}
+
+// fail maps an execution error to its typed wire code and sends the
+// error frame. context.Cause distinguishes a client cancel from the
+// server's drain.
+func (ss *session) fail(ctx context.Context, id uint32, err error) {
+	code := uint8(wire.CodeInternal)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		code = wire.CodeDeadline
+	case errors.Is(err, context.Canceled):
+		switch context.Cause(ctx) {
+		case errDraining:
+			code = wire.CodeShuttingDown
+		default:
+			code = wire.CodeCanceled
+		}
+	case errors.Is(err, probe.ErrClosed):
+		code = wire.CodeShuttingDown
+	}
+	ss.sendError(id, code, err.Error())
+}
+
+// strategyOf maps the wire strategy byte (0 = server default) to a
+// core strategy.
+func strategyOf(b uint8) (probe.Strategy, error) {
+	switch b {
+	case 0:
+		return probe.MergeLazy, nil
+	case 1:
+		return probe.MergeDecomposed, nil
+	case 2:
+		return probe.MergeLazy, nil
+	case 3:
+		return probe.SkipBigMin, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %d", b)
+	}
+}
+
+// boxOf validates wire bounds against the server's grid.
+func (ss *session) boxOf(lo, hi []uint32) (probe.Box, error) {
+	if len(lo) != ss.srv.db.Grid().Dims() {
+		return probe.Box{}, fmt.Errorf("box has %d dimensions, database has %d",
+			len(lo), ss.srv.db.Grid().Dims())
+	}
+	return probe.NewBox(lo, hi)
+}
+
+// statsArray flattens QueryStats into the Done stats array (see the
+// wire.Stat* indices).
+func statsArray(qs probe.QueryStats) []uint64 {
+	a := make([]uint64, wire.NumStats)
+	a[wire.StatDataPages] = uint64(qs.DataPages)
+	a[wire.StatSeeks] = uint64(qs.Seeks)
+	a[wire.StatElements] = uint64(qs.Elements)
+	a[wire.StatResults] = uint64(qs.Results)
+	a[wire.StatLeftItems] = uint64(qs.LeftItems)
+	a[wire.StatRightItems] = uint64(qs.RightItems)
+	a[wire.StatRawPairs] = uint64(qs.RawPairs)
+	a[wire.StatDistinctPairs] = uint64(qs.DistinctPairs)
+	a[wire.StatShards] = uint64(qs.Shards)
+	a[wire.StatReplicatedItems] = uint64(qs.ReplicatedItems)
+	a[wire.StatPoolGets] = qs.PoolGets
+	a[wire.StatPoolHits] = qs.PoolHits
+	a[wire.StatPoolMisses] = qs.PoolMisses
+	a[wire.StatPhysReads] = qs.PhysReads
+	a[wire.StatPhysWrites] = qs.PhysWrites
+	a[wire.StatWALAppends] = qs.WALAppends
+	a[wire.StatWALSyncs] = qs.WALSyncs
+	return a
+}
+
+func (ss *session) sendDone(id uint32, qs probe.QueryStats) {
+	ss.send(wire.MsgDone, wire.Done{ID: id, Stats: statsArray(qs)}.Encode())
+}
+
+func (ss *session) handleRange(ctx context.Context, payload []byte) {
+	req, err := wire.DecodeRangeReq(payload)
+	if err != nil {
+		ss.sendError(peekID(payload), wire.CodeBadRequest, err.Error())
+		return
+	}
+	strat, err := strategyOf(req.Strategy)
+	if err != nil {
+		ss.sendError(req.ID, wire.CodeBadRequest, err.Error())
+		return
+	}
+	box, err := ss.boxOf(req.Lo, req.Hi)
+	if err != nil {
+		ss.sendError(req.ID, wire.CodeBadRequest, err.Error())
+		return
+	}
+	ctx, stop := withTimeout(ctx, req.TimeoutMS)
+	defer stop()
+
+	dims := uint32(ss.srv.db.Grid().Dims())
+	batch := make([]wire.Point, 0, ss.srv.cfg.BatchSize)
+	var writeErr error
+	flush := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		writeErr = ss.send(wire.MsgBatch, wire.Batch{
+			ID: req.ID, Kind: wire.KindPoints, Dims: dims, Points: batch,
+		}.Encode())
+		batch = batch[:0]
+		return writeErr == nil
+	}
+	qs, err := ss.srv.db.RangeSearchFunc(box, func(p probe.Point) bool {
+		batch = append(batch, wire.Point{ID: p.ID, Coords: p.Coords})
+		if len(batch) == cap(batch) {
+			return flush()
+		}
+		return true
+	}, probe.WithContext(ctx), probe.WithStrategy(strat), probe.WithTrace(ss.root))
+	if writeErr != nil {
+		return // connection is gone; nothing more to say
+	}
+	if err != nil {
+		ss.fail(ctx, req.ID, err)
+		return
+	}
+	if !flush() {
+		return
+	}
+	ss.sendDone(req.ID, qs)
+}
+
+func (ss *session) handleNearest(ctx context.Context, payload []byte) {
+	req, err := wire.DecodeNearestReq(payload)
+	if err != nil {
+		ss.sendError(peekID(payload), wire.CodeBadRequest, err.Error())
+		return
+	}
+	if len(req.Q) != ss.srv.db.Grid().Dims() {
+		ss.sendError(req.ID, wire.CodeBadRequest,
+			fmt.Sprintf("query point has %d dimensions, database has %d", len(req.Q), ss.srv.db.Grid().Dims()))
+		return
+	}
+	var metric probe.Metric
+	switch req.Metric {
+	case 0:
+		metric = probe.Chebyshev
+	case 1:
+		metric = probe.Euclidean
+	default:
+		ss.sendError(req.ID, wire.CodeBadRequest, fmt.Sprintf("unknown metric %d", req.Metric))
+		return
+	}
+	ctx, stop := withTimeout(ctx, req.TimeoutMS)
+	defer stop()
+
+	nbs, qs, err := ss.srv.db.Nearest(req.Q, int(req.M), metric,
+		probe.WithContext(ctx), probe.WithTrace(ss.root))
+	if err != nil {
+		ss.fail(ctx, req.ID, err)
+		return
+	}
+	dims := uint32(ss.srv.db.Grid().Dims())
+	for off := 0; off < len(nbs); off += ss.srv.cfg.BatchSize {
+		end := min(off+ss.srv.cfg.BatchSize, len(nbs))
+		out := make([]wire.Neighbor, 0, end-off)
+		for _, n := range nbs[off:end] {
+			out = append(out, wire.Neighbor{
+				Point: wire.Point{ID: n.Point.ID, Coords: n.Point.Coords},
+				Dist:  n.Dist,
+			})
+		}
+		if ss.send(wire.MsgBatch, wire.Batch{
+			ID: req.ID, Kind: wire.KindNeighbors, Dims: dims, Neighbors: out,
+		}.Encode()) != nil {
+			return
+		}
+	}
+	ss.sendDone(req.ID, qs)
+}
+
+func (ss *session) handleJoin(ctx context.Context, payload []byte) {
+	req, err := wire.DecodeJoinReq(payload)
+	if err != nil {
+		ss.sendError(peekID(payload), wire.CodeBadRequest, err.Error())
+		return
+	}
+	ctx, stop := withTimeout(ctx, req.TimeoutMS)
+	defer stop()
+
+	g := ss.srv.db.Grid()
+	decomposeRel := func(items []wire.JoinItem) ([]core.Item, error) {
+		var out []core.Item
+		for _, it := range items {
+			box, err := geom.NewBox(it.Lo, it.Hi)
+			if err != nil {
+				return nil, err
+			}
+			if box.Dims() != g.Dims() {
+				return nil, fmt.Errorf("join item %d has %d dimensions, database has %d", it.ID, box.Dims(), g.Dims())
+			}
+			for _, el := range decompose.Box(g, box) {
+				out = append(out, core.Item{Elem: el, ID: it.ID})
+			}
+		}
+		core.SortItems(out)
+		return out, nil
+	}
+	a, err := decomposeRel(req.A)
+	if err != nil {
+		ss.sendError(req.ID, wire.CodeBadRequest, err.Error())
+		return
+	}
+	b, err := decomposeRel(req.B)
+	if err != nil {
+		ss.sendError(req.ID, wire.CodeBadRequest, err.Error())
+		return
+	}
+	opts := []probe.JoinOption{probe.WithContext(ctx), probe.WithTrace(ss.root)}
+	if req.Workers > 0 {
+		opts = append(opts, probe.WithWorkers(int(req.Workers)))
+	}
+	pairs, qs, err := probe.SpatialJoin(a, b, opts...)
+	if err != nil {
+		ss.fail(ctx, req.ID, err)
+		return
+	}
+	for off := 0; off < len(pairs); off += ss.srv.cfg.BatchSize {
+		end := min(off+ss.srv.cfg.BatchSize, len(pairs))
+		out := make([][2]uint64, 0, end-off)
+		for _, p := range pairs[off:end] {
+			out = append(out, [2]uint64{p.A, p.B})
+		}
+		if ss.send(wire.MsgBatch, wire.Batch{
+			ID: req.ID, Kind: wire.KindPairs, Pairs: out,
+		}.Encode()) != nil {
+			return
+		}
+	}
+	ss.sendDone(req.ID, qs)
+}
+
+func (ss *session) handleInsert(ctx context.Context, payload []byte) {
+	req, err := wire.DecodeInsertReq(payload)
+	if err != nil {
+		ss.sendError(peekID(payload), wire.CodeBadRequest, err.Error())
+		return
+	}
+	if int(req.Dims) != ss.srv.db.Grid().Dims() {
+		ss.sendError(req.ID, wire.CodeBadRequest,
+			fmt.Sprintf("points have %d dimensions, database has %d", req.Dims, ss.srv.db.Grid().Dims()))
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		ss.fail(ctx, req.ID, err)
+		return
+	}
+	pts := make([]probe.Point, len(req.Points))
+	for i, p := range req.Points {
+		pts[i] = probe.Point{ID: p.ID, Coords: p.Coords}
+	}
+	// Inserts run to completion once started: a half-applied batch is
+	// worse than a late cancel, so only the pre-flight context check
+	// above honors cancellation.
+	if err := ss.srv.db.InsertAll(pts); err != nil {
+		ss.fail(ctx, req.ID, err)
+		return
+	}
+	ss.sendDone(req.ID, probe.QueryStats{Results: len(pts)})
+}
+
+func (ss *session) handleCheckpoint(ctx context.Context, payload []byte) {
+	req, err := wire.DecodeSimpleReq(payload)
+	if err != nil {
+		ss.sendError(peekID(payload), wire.CodeBadRequest, err.Error())
+		return
+	}
+	qs, err := ss.srv.db.Checkpoint(probe.WithTrace(ss.root))
+	if err != nil {
+		ss.fail(ctx, req.ID, err)
+		return
+	}
+	ss.sendDone(req.ID, qs)
+}
+
+func (ss *session) handleExplain(ctx context.Context, payload []byte) {
+	req, err := wire.DecodeRangeReq(payload)
+	if err != nil {
+		ss.sendError(peekID(payload), wire.CodeBadRequest, err.Error())
+		return
+	}
+	box, err := ss.boxOf(req.Lo, req.Hi)
+	if err != nil {
+		ss.sendError(req.ID, wire.CodeBadRequest, err.Error())
+		return
+	}
+	plan, err := ss.srv.db.Explain(box)
+	if err != nil {
+		ss.fail(ctx, req.ID, err)
+		return
+	}
+	if ss.send(wire.MsgText, wire.TextMsg{ID: req.ID, Text: plan}.Encode()) != nil {
+		return
+	}
+	ss.sendDone(req.ID, probe.QueryStats{})
+}
+
+func (ss *session) handleStats(ctx context.Context, payload []byte) {
+	req, err := wire.DecodeSimpleReq(payload)
+	if err != nil {
+		ss.sendError(peekID(payload), wire.CodeBadRequest, err.Error())
+		return
+	}
+	text := fmt.Sprintf("{\"server\": %s, \"db\": %s}",
+		ss.srv.metrics.String(), ss.srv.db.Metrics().String())
+	if ss.send(wire.MsgText, wire.TextMsg{ID: req.ID, Text: text}.Encode()) != nil {
+		return
+	}
+	ss.sendDone(req.ID, probe.QueryStats{})
+}

@@ -1,0 +1,655 @@
+package wire
+
+import (
+	"fmt"
+	"math"
+)
+
+func f64bits(f float64) uint64     { return math.Float64bits(f) }
+func f64frombits(b uint64) float64 { return math.Float64frombits(b) }
+
+// This file defines the typed messages and their payload codecs. Each
+// message has an Encode method producing its payload (framing is
+// WriteFrame's job) and a Decode* function parsing one. Decoders
+// tolerate trailing bytes they do not understand — that is how a
+// newer minor version adds fields.
+
+// Point is a wire-level indexed point: an id plus grid coordinates.
+type Point struct {
+	ID     uint64
+	Coords []uint32
+}
+
+// Neighbor is a wire-level nearest-neighbor result: the point and its
+// distance under the request's metric.
+type Neighbor struct {
+	Point
+	Dist float64
+}
+
+// JoinItem is one object of a shipped join relation: an id and its
+// bounding box, decomposed server-side.
+type JoinItem struct {
+	ID     uint64
+	Lo, Hi []uint32
+}
+
+// Hello opens the handshake: magic, then the client's version.
+type Hello struct {
+	Major, Minor uint8
+}
+
+func (m Hello) Encode() []byte {
+	var e enc
+	e.b = append(e.b, Magic...)
+	e.u8(m.Major)
+	e.u8(m.Minor)
+	return e.b
+}
+
+func DecodeHello(p []byte) (Hello, error) {
+	d := dec{b: p}
+	if err := d.need(6); err != nil {
+		return Hello{}, err
+	}
+	if string(p[:4]) != Magic {
+		return Hello{}, fmt.Errorf("wire: bad magic %q", p[:4])
+	}
+	d.off = 4
+	maj, _ := d.u8()
+	min, _ := d.u8()
+	return Hello{Major: maj, Minor: min}, nil
+}
+
+// Welcome accepts the handshake: magic, the server's version, and the
+// grid shape (bits per dimension) of the database being served.
+type Welcome struct {
+	Major, Minor uint8
+	Bits         []uint32
+}
+
+func (m Welcome) Encode() []byte {
+	var e enc
+	e.b = append(e.b, Magic...)
+	e.u8(m.Major)
+	e.u8(m.Minor)
+	e.u32(uint32(len(m.Bits)))
+	for _, b := range m.Bits {
+		e.u32(b)
+	}
+	return e.b
+}
+
+func DecodeWelcome(p []byte) (Welcome, error) {
+	d := dec{b: p}
+	if err := d.need(6); err != nil {
+		return Welcome{}, err
+	}
+	if string(p[:4]) != Magic {
+		return Welcome{}, fmt.Errorf("wire: bad magic %q", p[:4])
+	}
+	d.off = 4
+	maj, _ := d.u8()
+	min, _ := d.u8()
+	k, err := d.dims()
+	if err != nil {
+		return Welcome{}, err
+	}
+	bits, err := d.coords(k)
+	if err != nil {
+		return Welcome{}, err
+	}
+	return Welcome{Major: maj, Minor: min, Bits: bits}, nil
+}
+
+// Header is the prefix every request shares: the client-chosen
+// request id (echoed on every response frame) and an optional
+// timeout in milliseconds (0 = none), which the server turns into a
+// context deadline.
+type Header struct {
+	ID        uint32
+	TimeoutMS uint32
+}
+
+func (h Header) encodeTo(e *enc) {
+	e.u32(h.ID)
+	e.u32(h.TimeoutMS)
+}
+
+func decodeHeader(d *dec) (Header, error) {
+	id, err := d.u32()
+	if err != nil {
+		return Header{}, err
+	}
+	tmo, err := d.u32()
+	if err != nil {
+		return Header{}, err
+	}
+	return Header{ID: id, TimeoutMS: tmo}, nil
+}
+
+// RangeReq asks for every point inside the box; Strategy selects the
+// range-search variant (0 = server default). The same payload shape
+// serves MsgExplain.
+type RangeReq struct {
+	Header
+	Strategy uint8
+	Lo, Hi   []uint32
+}
+
+func (m RangeReq) Encode() []byte {
+	var e enc
+	m.Header.encodeTo(&e)
+	e.u8(m.Strategy)
+	e.u32(uint32(len(m.Lo)))
+	for _, v := range m.Lo {
+		e.u32(v)
+	}
+	for _, v := range m.Hi {
+		e.u32(v)
+	}
+	return e.b
+}
+
+func DecodeRangeReq(p []byte) (RangeReq, error) {
+	d := dec{b: p}
+	h, err := decodeHeader(&d)
+	if err != nil {
+		return RangeReq{}, err
+	}
+	strat, err := d.u8()
+	if err != nil {
+		return RangeReq{}, err
+	}
+	k, err := d.dims()
+	if err != nil {
+		return RangeReq{}, err
+	}
+	lo, err := d.coords(k)
+	if err != nil {
+		return RangeReq{}, err
+	}
+	hi, err := d.coords(k)
+	if err != nil {
+		return RangeReq{}, err
+	}
+	return RangeReq{Header: h, Strategy: strat, Lo: lo, Hi: hi}, nil
+}
+
+// NearestReq asks for the M points nearest Q under Metric
+// (0 = Chebyshev, 1 = Euclidean).
+type NearestReq struct {
+	Header
+	Metric uint8
+	M      uint32
+	Q      []uint32
+}
+
+func (m NearestReq) Encode() []byte {
+	var e enc
+	m.Header.encodeTo(&e)
+	e.u8(m.Metric)
+	e.u32(m.M)
+	e.u32(uint32(len(m.Q)))
+	for _, v := range m.Q {
+		e.u32(v)
+	}
+	return e.b
+}
+
+func DecodeNearestReq(p []byte) (NearestReq, error) {
+	d := dec{b: p}
+	h, err := decodeHeader(&d)
+	if err != nil {
+		return NearestReq{}, err
+	}
+	metric, err := d.u8()
+	if err != nil {
+		return NearestReq{}, err
+	}
+	mm, err := d.u32()
+	if err != nil {
+		return NearestReq{}, err
+	}
+	k, err := d.dims()
+	if err != nil {
+		return NearestReq{}, err
+	}
+	q, err := d.coords(k)
+	if err != nil {
+		return NearestReq{}, err
+	}
+	return NearestReq{Header: h, Metric: metric, M: mm, Q: q}, nil
+}
+
+// InsertReq ships a batch of points to insert.
+type InsertReq struct {
+	Header
+	Dims   uint32
+	Points []Point
+}
+
+func (m InsertReq) Encode() []byte {
+	var e enc
+	m.Header.encodeTo(&e)
+	e.u32(m.Dims)
+	e.u32(uint32(len(m.Points)))
+	for _, p := range m.Points {
+		e.u64(p.ID)
+		for _, v := range p.Coords {
+			e.u32(v)
+		}
+	}
+	return e.b
+}
+
+func DecodeInsertReq(p []byte) (InsertReq, error) {
+	d := dec{b: p}
+	h, err := decodeHeader(&d)
+	if err != nil {
+		return InsertReq{}, err
+	}
+	k, err := d.dims()
+	if err != nil {
+		return InsertReq{}, err
+	}
+	n, err := d.count(8 + 4*k)
+	if err != nil {
+		return InsertReq{}, err
+	}
+	pts := make([]Point, n)
+	for i := range pts {
+		id, err := d.u64()
+		if err != nil {
+			return InsertReq{}, err
+		}
+		coords, err := d.coords(k)
+		if err != nil {
+			return InsertReq{}, err
+		}
+		pts[i] = Point{ID: id, Coords: coords}
+	}
+	return InsertReq{Header: h, Dims: uint32(k), Points: pts}, nil
+}
+
+// JoinReq ships two object relations (as bounding boxes) for a
+// spatial join; Workers > 0 requests parallel execution with that
+// many workers.
+type JoinReq struct {
+	Header
+	Workers uint32
+	Dims    uint32
+	A, B    []JoinItem
+}
+
+func encodeRelation(e *enc, items []JoinItem) {
+	e.u32(uint32(len(items)))
+	for _, it := range items {
+		e.u64(it.ID)
+		for _, v := range it.Lo {
+			e.u32(v)
+		}
+		for _, v := range it.Hi {
+			e.u32(v)
+		}
+	}
+}
+
+func decodeRelation(d *dec, k int) ([]JoinItem, error) {
+	n, err := d.count(8 + 8*k)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]JoinItem, n)
+	for i := range items {
+		id, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		lo, err := d.coords(k)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := d.coords(k)
+		if err != nil {
+			return nil, err
+		}
+		items[i] = JoinItem{ID: id, Lo: lo, Hi: hi}
+	}
+	return items, nil
+}
+
+func (m JoinReq) Encode() []byte {
+	var e enc
+	m.Header.encodeTo(&e)
+	e.u32(m.Workers)
+	e.u32(m.Dims)
+	encodeRelation(&e, m.A)
+	encodeRelation(&e, m.B)
+	return e.b
+}
+
+func DecodeJoinReq(p []byte) (JoinReq, error) {
+	d := dec{b: p}
+	h, err := decodeHeader(&d)
+	if err != nil {
+		return JoinReq{}, err
+	}
+	workers, err := d.u32()
+	if err != nil {
+		return JoinReq{}, err
+	}
+	k, err := d.dims()
+	if err != nil {
+		return JoinReq{}, err
+	}
+	a, err := decodeRelation(&d, k)
+	if err != nil {
+		return JoinReq{}, err
+	}
+	b, err := decodeRelation(&d, k)
+	if err != nil {
+		return JoinReq{}, err
+	}
+	return JoinReq{Header: h, Workers: workers, Dims: uint32(k), A: a, B: b}, nil
+}
+
+// SimpleReq is the header-only request shape shared by MsgCheckpoint
+// and MsgStats.
+type SimpleReq struct {
+	Header
+}
+
+func (m SimpleReq) Encode() []byte {
+	var e enc
+	m.Header.encodeTo(&e)
+	return e.b
+}
+
+func DecodeSimpleReq(p []byte) (SimpleReq, error) {
+	d := dec{b: p}
+	h, err := decodeHeader(&d)
+	if err != nil {
+		return SimpleReq{}, err
+	}
+	return SimpleReq{Header: h}, nil
+}
+
+// Cancel asks the server to stop the in-flight request with this id.
+// It is advisory: the request may already have completed, in which
+// case the cancel is a no-op.
+type Cancel struct {
+	ID uint32
+}
+
+func (m Cancel) Encode() []byte {
+	var e enc
+	e.u32(m.ID)
+	return e.b
+}
+
+func DecodeCancel(p []byte) (Cancel, error) {
+	d := dec{b: p}
+	id, err := d.u32()
+	if err != nil {
+		return Cancel{}, err
+	}
+	return Cancel{ID: id}, nil
+}
+
+// Batch is one chunk of a streamed result set. Exactly one of the
+// three slices is populated, named by Kind; Dims describes the
+// coordinate width of Points and Neighbors.
+type Batch struct {
+	ID        uint32
+	Kind      uint8
+	Dims      uint32
+	Points    []Point
+	Pairs     [][2]uint64
+	Neighbors []Neighbor
+}
+
+func (m Batch) Encode() []byte {
+	var e enc
+	e.u32(m.ID)
+	e.u8(m.Kind)
+	e.u32(m.Dims)
+	switch m.Kind {
+	case KindPoints:
+		e.u32(uint32(len(m.Points)))
+		for _, p := range m.Points {
+			e.u64(p.ID)
+			for _, v := range p.Coords {
+				e.u32(v)
+			}
+		}
+	case KindPairs:
+		e.u32(uint32(len(m.Pairs)))
+		for _, p := range m.Pairs {
+			e.u64(p[0])
+			e.u64(p[1])
+		}
+	case KindNeighbors:
+		e.u32(uint32(len(m.Neighbors)))
+		for _, n := range m.Neighbors {
+			e.u64(n.ID)
+			for _, v := range n.Coords {
+				e.u32(v)
+			}
+			e.u64(f64bits(n.Dist))
+		}
+	}
+	return e.b
+}
+
+func DecodeBatch(p []byte) (Batch, error) {
+	d := dec{b: p}
+	id, err := d.u32()
+	if err != nil {
+		return Batch{}, err
+	}
+	kind, err := d.u8()
+	if err != nil {
+		return Batch{}, err
+	}
+	dims, err := d.u32()
+	if err != nil {
+		return Batch{}, err
+	}
+	k := int(dims)
+	if k > MaxDims {
+		return Batch{}, fmt.Errorf("wire: bad dimension count %d", k)
+	}
+	out := Batch{ID: id, Kind: kind, Dims: dims}
+	switch kind {
+	case KindPoints:
+		n, err := d.count(8 + 4*k)
+		if err != nil {
+			return Batch{}, err
+		}
+		out.Points = make([]Point, n)
+		for i := range out.Points {
+			pid, err := d.u64()
+			if err != nil {
+				return Batch{}, err
+			}
+			coords, err := d.coords(k)
+			if err != nil {
+				return Batch{}, err
+			}
+			out.Points[i] = Point{ID: pid, Coords: coords}
+		}
+	case KindPairs:
+		n, err := d.count(16)
+		if err != nil {
+			return Batch{}, err
+		}
+		out.Pairs = make([][2]uint64, n)
+		for i := range out.Pairs {
+			a, err := d.u64()
+			if err != nil {
+				return Batch{}, err
+			}
+			b, err := d.u64()
+			if err != nil {
+				return Batch{}, err
+			}
+			out.Pairs[i] = [2]uint64{a, b}
+		}
+	case KindNeighbors:
+		n, err := d.count(16 + 4*k)
+		if err != nil {
+			return Batch{}, err
+		}
+		out.Neighbors = make([]Neighbor, n)
+		for i := range out.Neighbors {
+			pid, err := d.u64()
+			if err != nil {
+				return Batch{}, err
+			}
+			coords, err := d.coords(k)
+			if err != nil {
+				return Batch{}, err
+			}
+			bits, err := d.u64()
+			if err != nil {
+				return Batch{}, err
+			}
+			out.Neighbors[i] = Neighbor{Point: Point{ID: pid, Coords: coords}, Dist: f64frombits(bits)}
+		}
+	default:
+		return Batch{}, fmt.Errorf("wire: unknown batch kind %d", kind)
+	}
+	return out, nil
+}
+
+// Stat field indices of the Done message. Done carries a
+// field-count-prefixed array of u64s in exactly this order; a peer
+// built against an older minor version reads the fields it knows and
+// ignores the rest, a newer one zero-fills missing trailing fields.
+const (
+	StatDataPages = iota
+	StatSeeks
+	StatElements
+	StatResults
+	StatLeftItems
+	StatRightItems
+	StatRawPairs
+	StatDistinctPairs
+	StatShards
+	StatReplicatedItems
+	StatPoolGets
+	StatPoolHits
+	StatPoolMisses
+	StatPhysReads
+	StatPhysWrites
+	StatWALAppends
+	StatWALSyncs
+
+	NumStats // count of defined stat fields in this version
+)
+
+// Done ends a successful request: the echoed request id and the
+// operation's statistics array (see the Stat* indices).
+type Done struct {
+	ID    uint32
+	Stats []uint64
+}
+
+func (m Done) Encode() []byte {
+	var e enc
+	e.u32(m.ID)
+	e.u32(uint32(len(m.Stats)))
+	for _, v := range m.Stats {
+		e.u64(v)
+	}
+	return e.b
+}
+
+func DecodeDone(p []byte) (Done, error) {
+	d := dec{b: p}
+	id, err := d.u32()
+	if err != nil {
+		return Done{}, err
+	}
+	n, err := d.count(8)
+	if err != nil {
+		return Done{}, err
+	}
+	stats := make([]uint64, n)
+	for i := range stats {
+		if stats[i], err = d.u64(); err != nil {
+			return Done{}, err
+		}
+	}
+	return Done{ID: id, Stats: stats}, nil
+}
+
+// Stat reads field i, zero when the peer did not send it — the
+// forward-compatible accessor.
+func (m Done) Stat(i int) uint64 {
+	if i < 0 || i >= len(m.Stats) {
+		return 0
+	}
+	return m.Stats[i]
+}
+
+// TextMsg carries a textual response body (EXPLAIN plans, STATS
+// snapshots).
+type TextMsg struct {
+	ID   uint32
+	Text string
+}
+
+func (m TextMsg) Encode() []byte {
+	var e enc
+	e.u32(m.ID)
+	e.bytes([]byte(m.Text))
+	return e.b
+}
+
+func DecodeTextMsg(p []byte) (TextMsg, error) {
+	d := dec{b: p}
+	id, err := d.u32()
+	if err != nil {
+		return TextMsg{}, err
+	}
+	body, err := d.bytes()
+	if err != nil {
+		return TextMsg{}, err
+	}
+	return TextMsg{ID: id, Text: string(body)}, nil
+}
+
+// ErrorMsg ends a failed request: the echoed id, a typed code (see
+// Code*), and a human-readable message.
+type ErrorMsg struct {
+	ID   uint32
+	Code uint8
+	Msg  string
+}
+
+func (m ErrorMsg) Encode() []byte {
+	var e enc
+	e.u32(m.ID)
+	e.u8(m.Code)
+	e.bytes([]byte(m.Msg))
+	return e.b
+}
+
+func DecodeErrorMsg(p []byte) (ErrorMsg, error) {
+	d := dec{b: p}
+	id, err := d.u32()
+	if err != nil {
+		return ErrorMsg{}, err
+	}
+	code, err := d.u8()
+	if err != nil {
+		return ErrorMsg{}, err
+	}
+	body, err := d.bytes()
+	if err != nil {
+		return ErrorMsg{}, err
+	}
+	return ErrorMsg{ID: id, Code: code, Msg: string(body)}, nil
+}

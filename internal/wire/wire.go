@@ -1,0 +1,270 @@
+// Package wire defines probed's client/server protocol: a
+// length-prefixed binary framing over a byte stream, a versioned
+// handshake, and the encodings of every request and response message.
+// docs/server.md is the normative specification; this package is its
+// executable form, shared by internal/server and the public client
+// package so the two can never drift apart.
+//
+// Framing. Every message travels as one frame:
+//
+//	u32 LE length | u8 type | payload
+//
+// where length counts the type byte plus the payload (so the minimum
+// legal length is 1). Frames longer than MaxFrame are a protocol
+// error; the peer that reads one closes the connection. All integers
+// in the protocol are little-endian, matching the repo's on-disk
+// convention.
+//
+// Versioning. The first frame in each direction is the handshake:
+// the client sends Hello carrying the protocol magic and its version,
+// the server answers Welcome with its own version and the database's
+// grid shape. The major version must match exactly; minor versions
+// are additive (unknown trailing payload bytes are ignored), which is
+// the protocol's compatibility promise.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Magic is the four-byte protocol identifier opening the handshake.
+const Magic = "ZKDQ"
+
+// Protocol version. Major must match between peers; minor only adds
+// fields at the end of existing payloads.
+const (
+	VersionMajor = 1
+	VersionMinor = 0
+)
+
+// MaxFrame caps a frame's length field (type byte + payload). Frames
+// above it are rejected before allocation, bounding what a broken or
+// hostile peer can make the other side buffer.
+const MaxFrame = 1 << 24
+
+// MaxDims caps the dimensionality any message may claim — the grid
+// itself allows at most 64 bits total, so 64 dimensions is already
+// unreachable; this bound only defends the decoder.
+const MaxDims = 64
+
+// Message types. Requests flow client→server, responses
+// server→client; Cancel is the one client frame legal while a
+// request is in flight.
+const (
+	MsgHello   = 0x01 // client→server: handshake open
+	MsgWelcome = 0x02 // server→client: handshake accept
+
+	MsgRange      = 0x10 // box range search; streams point batches
+	MsgNearest    = 0x11 // m-nearest-neighbor query; streams neighbor batches
+	MsgJoin       = 0x12 // spatial join of two shipped relations; streams pair batches
+	MsgInsert     = 0x13 // insert a batch of points
+	MsgCheckpoint = 0x14 // force a durability checkpoint
+	MsgExplain    = 0x15 // plan a range query without running it
+	MsgStats      = 0x16 // server + database counters snapshot
+	MsgCancel     = 0x18 // cancel the in-flight request with this id
+
+	MsgBatch = 0x20 // one batch of streamed results
+	MsgDone  = 0x21 // request finished; carries its QueryStats
+	MsgText  = 0x22 // textual response (EXPLAIN, STATS)
+	MsgError = 0x23 // request failed; carries a typed error code
+)
+
+// Error codes carried by MsgError.
+const (
+	CodeBadRequest   = 1 // malformed or semantically invalid request
+	CodeOverloaded   = 2 // admission control rejected the request; retry later
+	CodeCanceled     = 3 // the client's Cancel stopped the request
+	CodeDeadline     = 4 // the request's own timeout_ms expired
+	CodeShuttingDown = 5 // server is draining; no new requests
+	CodeInternal     = 6 // unexpected server-side failure
+	CodeVersion      = 7 // handshake version mismatch
+)
+
+// CodeString names an error code for diagnostics.
+func CodeString(code uint8) string {
+	switch code {
+	case CodeBadRequest:
+		return "bad-request"
+	case CodeOverloaded:
+		return "overloaded"
+	case CodeCanceled:
+		return "canceled"
+	case CodeDeadline:
+		return "deadline"
+	case CodeShuttingDown:
+		return "shutting-down"
+	case CodeInternal:
+		return "internal"
+	case CodeVersion:
+		return "version-mismatch"
+	default:
+		return fmt.Sprintf("code-%d", code)
+	}
+}
+
+// Batch result kinds (the Kind byte of MsgBatch).
+const (
+	KindPoints    = 0 // Point records: u64 id, k coordinates
+	KindPairs     = 1 // Pair records: two u64 object ids
+	KindNeighbors = 2 // Neighbor records: point plus f64 distance
+)
+
+// WriteFrame writes one frame: the length prefix, the type byte, and
+// the payload. It is not safe for concurrent use on one writer;
+// callers serialize (the server per session, the client per
+// connection).
+func WriteFrame(w io.Writer, msgType uint8, payload []byte) error {
+	if len(payload)+1 > MaxFrame {
+		return fmt.Errorf("wire: frame too large (%d bytes)", len(payload)+1)
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)+1))
+	hdr[4] = msgType
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame, returning its type and payload. A length
+// of zero or above MaxFrame is a protocol error. io.EOF is returned
+// untouched when the stream ends cleanly between frames.
+func ReadFrame(r io.Reader) (msgType uint8, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n == 0 || n > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: bad frame length %d", n)
+	}
+	if _, err := io.ReadFull(r, hdr[4:5]); err != nil {
+		return 0, nil, eofIsUnexpected(err)
+	}
+	payload = make([]byte, n-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, eofIsUnexpected(err)
+	}
+	return hdr[4], payload, nil
+}
+
+// eofIsUnexpected maps a mid-frame EOF to io.ErrUnexpectedEOF so only
+// a clean between-frames close reads as io.EOF.
+func eofIsUnexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// enc is an append-style encoder. Encoding cannot fail; all methods
+// grow the buffer.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) bytes(p []byte) {
+	e.u32(uint32(len(p)))
+	e.b = append(e.b, p...)
+}
+
+// dec is a cursor-style decoder with truncation checks. Methods
+// return an error on short input; decode functions propagate it.
+type dec struct {
+	b   []byte
+	off int
+}
+
+func (d *dec) remaining() int { return len(d.b) - d.off }
+
+func (d *dec) need(n int) error {
+	if d.remaining() < n {
+		return fmt.Errorf("wire: truncated message (need %d bytes, have %d)", n, d.remaining())
+	}
+	return nil
+}
+
+func (d *dec) u8() (uint8, error) {
+	if err := d.need(1); err != nil {
+		return 0, err
+	}
+	v := d.b[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *dec) u32() (uint32, error) {
+	if err := d.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *dec) u64() (uint64, error) {
+	if err := d.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *dec) bytes() ([]byte, error) {
+	n, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.need(int(n)); err != nil {
+		return nil, err
+	}
+	p := d.b[d.off : d.off+int(n)]
+	d.off += int(n)
+	return p, nil
+}
+
+// count validates a claimed record count against the bytes actually
+// present: each record needs at least min bytes, so a count that
+// cannot fit is rejected before any allocation sized by it.
+func (d *dec) count(min int) (int, error) {
+	n, err := d.u32()
+	if err != nil {
+		return 0, err
+	}
+	if min > 0 && int(n) > d.remaining()/min {
+		return 0, fmt.Errorf("wire: implausible count %d for %d remaining bytes", n, d.remaining())
+	}
+	return int(n), nil
+}
+
+func (d *dec) dims() (int, error) {
+	k, err := d.u32()
+	if err != nil {
+		return 0, err
+	}
+	if k == 0 || k > MaxDims {
+		return 0, fmt.Errorf("wire: bad dimension count %d", k)
+	}
+	return int(k), nil
+}
+
+func (d *dec) coords(k int) ([]uint32, error) {
+	if err := d.need(4 * k); err != nil {
+		return nil, err
+	}
+	out := make([]uint32, k)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(d.b[d.off:])
+		d.off += 4
+	}
+	return out, nil
+}

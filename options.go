@@ -1,6 +1,10 @@
 package probe
 
-import "probe/internal/disk"
+import (
+	"context"
+
+	"probe/internal/disk"
+)
 
 // This file defines the functional options accepted by the three
 // variadic entry points of the redesigned API:
@@ -91,6 +95,7 @@ func WithFS(fsys disk.FS) Option {
 type queryConfig struct {
 	strategy Strategy
 	trace    *Trace
+	ctx      context.Context
 }
 
 // QueryOption configures DB.RangeSearch and the other point-query
@@ -114,6 +119,7 @@ type joinConfig struct {
 	prefixBits int
 	parallel   bool
 	trace      *Trace
+	ctx        context.Context
 }
 
 // JoinOption configures SpatialJoin.
@@ -161,3 +167,28 @@ func (o TraceOption) applyJoin(c *joinConfig) { c.trace = o.t }
 // applyOpen makes WithTrace an Option too: a durable Open attributes
 // its recovery work (pages replayed from the log) to a child span.
 func (o TraceOption) applyOpen(c *openConfig) { c.trace = o.t }
+
+// ContextOption places an operation under a cancellation context. It
+// satisfies both QueryOption and JoinOption, so one WithContext call
+// works for range searches, proximity queries, and joins alike.
+type ContextOption struct {
+	ctx context.Context
+}
+
+// WithContext runs the operation under ctx: once the context is
+// cancelled or its deadline passes, the operation stops promptly —
+// the B+-tree cursor checks at every page-load boundary (so at most
+// one further page is read), the decomposition cursor at every
+// element generation, and the join merge every few hundred steps —
+// and returns the context's error. Cancellation releases all latches
+// and buffer-pool state as usual; the database remains fully usable.
+//
+// The context is checked once the operation holds the database's
+// internal mutex; an operation cancelled while still queued behind
+// another returns as soon as it acquires the mutex, without touching
+// the index. A nil ctx is valid and means "never cancelled".
+func WithContext(ctx context.Context) ContextOption { return ContextOption{ctx: ctx} }
+
+func (o ContextOption) applyQuery(c *queryConfig) { c.ctx = o.ctx }
+
+func (o ContextOption) applyJoin(c *joinConfig) { c.ctx = o.ctx }

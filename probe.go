@@ -32,6 +32,8 @@
 package probe
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -174,9 +176,9 @@ func SpatialJoin(a, b []Item, opts ...JoinOption) ([]Pair, QueryStats, error) {
 	)
 	if jc.parallel {
 		cfg := core.ParallelJoinConfig{Workers: jc.workers, PrefixBits: jc.prefixBits}
-		pairs, js, err = core.SpatialJoinParallelDistinctTraced(a, b, cfg, sp)
+		pairs, js, err = core.SpatialJoinParallelDistinctCtx(jc.ctx, a, b, cfg, sp)
 	} else {
-		pairs, js, err = core.SpatialJoinDistinctTraced(a, b, sp)
+		pairs, js, err = core.SpatialJoinDistinctCtx(jc.ctx, a, b, sp)
 	}
 	qs := joinQueryStats(js)
 	qs.addSpanIO(sp)
@@ -307,6 +309,34 @@ func Open(g Grid, opts ...Option) (*DB, error) {
 	return &DB{grid: g, store: store, pool: pool, index: ix, metrics: obs.NewRegistry()}, nil
 }
 
+// ErrClosed is returned by every DB operation attempted after Close.
+//
+// The close-while-querying contract: DB operations and Close all
+// serialize on the database's internal mutex, so Close never yanks
+// the store out from under a running operation — it blocks until
+// in-flight operations finish (cancel them first via WithContext for
+// a prompt close), and every operation that starts after Close fails
+// with ErrClosed before touching the index or the store. The network
+// server's drain sequence is built on exactly this contract.
+var ErrClosed = errors.New("probe: database is closed")
+
+// usableLocked verifies, under db.mu, that the database is open and
+// the operation's context (nil = none) is still live; every entry
+// point calls it before touching the index. An operation cancelled
+// while queued behind the mutex therefore fails here, without
+// touching any pages.
+func (db *DB) usableLocked(ctx context.Context) error {
+	if db.closed {
+		return ErrClosed
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // beginOp starts per-operation attribution under db.mu: when the
 // caller supplied a trace, a child span named op is created and
 // attached to the buffer pool and the store, so page and I/O activity
@@ -345,10 +375,13 @@ func (db *DB) Metrics() *Metrics { return db.metrics }
 // Grid returns the database's grid.
 func (db *DB) Grid() Grid { return db.grid }
 
-// Len returns the number of indexed points.
+// Len returns the number of indexed points (0 after Close).
 func (db *DB) Len() int {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.closed {
+		return 0
+	}
 	return db.index.Len()
 }
 
@@ -356,6 +389,9 @@ func (db *DB) Len() int {
 func (db *DB) Insert(p Point) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.usableLocked(nil); err != nil {
+		return err
+	}
 	return db.index.Insert(p)
 }
 
@@ -363,6 +399,9 @@ func (db *DB) Insert(p Point) error {
 func (db *DB) InsertAll(pts []Point) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.usableLocked(nil); err != nil {
+		return err
+	}
 	return db.index.BulkLoad(pts)
 }
 
@@ -370,6 +409,9 @@ func (db *DB) InsertAll(pts []Point) error {
 func (db *DB) Delete(p Point) (bool, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.usableLocked(nil); err != nil {
+		return false, err
+	}
 	return db.index.Delete(p)
 }
 
@@ -378,6 +420,9 @@ func (db *DB) Delete(p Point) (bool, error) {
 func (db *DB) DeleteBox(box Box) (int, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.usableLocked(nil); err != nil {
+		return 0, err
+	}
 	victims, _, err := db.index.RangeSearch(box, MergeLazy)
 	if err != nil {
 		return 0, err
@@ -405,12 +450,43 @@ func (db *DB) RangeSearch(box Box, opts ...QueryOption) ([]Point, QueryStats, er
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.usableLocked(qc.ctx); err != nil {
+		return nil, QueryStats{}, err
+	}
 	sp := db.beginOp("range-search", qc.trace)
 	defer db.endOp("range-search", sp)
-	pts, ss, err := db.index.RangeSearchTraced(box, qc.strategy, sp)
+	pts, ss, err := db.index.RangeSearchCtx(qc.ctx, box, qc.strategy, sp)
 	qs := searchQueryStats(ss)
 	qs.addSpanIO(sp)
 	return pts, qs, err
+}
+
+// RangeSearchFunc streams every point inside the box to fn in z
+// order, without materializing the result; returning false from fn
+// stops the search early (with a nil error). It accepts the same
+// options as RangeSearch — in particular WithContext, which makes it
+// the entry point the network server streams large range searches
+// through: result batches go out as the merge produces them, and a
+// client cancel stops the merge within one page read.
+//
+// fn runs with the database's internal mutex held; a slow fn delays
+// every other operation on this DB.
+func (db *DB) RangeSearchFunc(box Box, fn func(Point) bool, opts ...QueryOption) (QueryStats, error) {
+	qc := queryConfig{strategy: MergeLazy}
+	for _, o := range opts {
+		o.applyQuery(&qc)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.usableLocked(qc.ctx); err != nil {
+		return QueryStats{}, err
+	}
+	sp := db.beginOp("range-search", qc.trace)
+	defer db.endOp("range-search", sp)
+	ss, err := db.index.RangeSearchFuncCtx(qc.ctx, box, qc.strategy, sp, fn)
+	qs := searchQueryStats(ss)
+	qs.addSpanIO(sp)
+	return qs, err
 }
 
 // RangeSearchWith runs a range search with an explicit strategy.
@@ -430,18 +506,25 @@ func (db *DB) PartialMatch(restricted []bool, value []uint32, opts ...QueryOptio
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.usableLocked(qc.ctx); err != nil {
+		return nil, QueryStats{}, err
+	}
 	sp := db.beginOp("partial-match", qc.trace)
 	defer db.endOp("partial-match", sp)
-	pts, ss, err := db.index.PartialMatchTraced(restricted, value, qc.strategy, sp)
+	pts, ss, err := db.index.PartialMatchCtx(qc.ctx, restricted, value, qc.strategy, sp)
 	qs := searchQueryStats(ss)
 	qs.addSpanIO(sp)
 	return pts, qs, err
 }
 
-// LeafPages returns the number of data pages in the index.
+// LeafPages returns the number of data pages in the index (0 after
+// Close).
 func (db *DB) LeafPages() int {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.closed {
+		return 0
+	}
 	return db.index.Tree().LeafPages()
 }
 
@@ -451,6 +534,9 @@ func (db *DB) LeafPages() int {
 func (db *DB) Scan(fn func(Point) bool) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.usableLocked(nil); err != nil {
+		return err
+	}
 	box := geom.FullBox(db.grid)
 	_, err := db.index.RangeSearchFunc(box, MergeLazy, fn)
 	return err
@@ -461,6 +547,9 @@ func (db *DB) Scan(fn func(Point) bool) error {
 func (db *DB) DropCaches() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.usableLocked(nil); err != nil {
+		return err
+	}
 	return db.pool.Invalidate()
 }
 
@@ -490,6 +579,9 @@ func (db *DB) Index() *core.Index { return db.index }
 func (db *DB) Explain(box Box) (string, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.usableLocked(nil); err != nil {
+		return "", err
+	}
 	tab := &planner.Table{Name: "db", Index: db.index}
 	plan, err := planner.PlanRange(tab, box, planner.Config{})
 	if err != nil {
@@ -523,9 +615,12 @@ func (db *DB) Nearest(q []uint32, m int, metric Metric, opts ...QueryOption) ([]
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.usableLocked(qc.ctx); err != nil {
+		return nil, QueryStats{}, err
+	}
 	sp := db.beginOp("nearest", qc.trace)
 	defer db.endOp("nearest", sp)
-	nbs, ss, err := db.index.Nearest(q, m, metric, qc.strategy)
+	nbs, ss, err := db.index.NearestCtx(qc.ctx, q, m, metric, qc.strategy)
 	qs := searchQueryStats(ss)
 	qs.addSpanIO(sp)
 	return nbs, qs, err
