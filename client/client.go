@@ -17,6 +17,7 @@ package client
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -87,7 +88,26 @@ type Client struct {
 	br     *bufio.Reader
 	nextID uint32
 	bits   []uint32
+	minor  uint8 // server's protocol minor, from Welcome
 	broken error // sticky transport failure
+
+	// Tracing state (SetTrace / LastTiming / LastTrace), guarded by
+	// mu like everything per-request.
+	trace      bool
+	lastTiming Timing
+	lastTrace  string
+}
+
+// Timing is the server's per-phase breakdown of the last traced
+// request: where its wall-clock went between arriving at the server
+// and the terminal frame. Servers older than protocol 1.1 send no
+// breakdown, leaving the zero Timing.
+type Timing struct {
+	Queue  time.Duration // frame receipt → execution start
+	Plan   time.Duration // request decode + validation
+	Exec   time.Duration // the query engine call
+	Stream time.Duration // writing result batches back
+	Total  time.Duration // receipt → terminal frame
 }
 
 // Dial connects to a probed server and performs the version
@@ -129,6 +149,7 @@ func (c *Client) handshake() error {
 			return err
 		}
 		c.bits = w.Bits
+		c.minor = w.Minor
 		return nil
 	case wire.MsgError:
 		em, err := wire.DecodeErrorMsg(payload)
@@ -149,6 +170,41 @@ func (c *Client) GridBits() []int {
 		out[i] = int(b)
 	}
 	return out
+}
+
+// SetTrace toggles request tracing: while on, each request asks the
+// server for its per-phase timing breakdown (LastTiming) and, for
+// data requests, the rendered server-side span tree (LastTrace).
+// Tracing is silently inert against servers older than protocol 1.1.
+func (c *Client) SetTrace(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.trace = on
+}
+
+// LastTiming returns the server timing breakdown of the most recent
+// traced request on this client; the zero Timing if there is none.
+func (c *Client) LastTiming() Timing {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastTiming
+}
+
+// LastTrace returns the rendered server-side span tree of the most
+// recent traced data request; "" if there is none.
+func (c *Client) LastTrace() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastTrace
+}
+
+// reqFlags returns the wire flags for the next request: FlagTrace
+// when tracing is on and the server speaks minor >= 1.
+func (c *Client) reqFlags() uint8 {
+	if c.trace && c.minor >= 1 {
+		return wire.FlagTrace
+	}
+	return 0
 }
 
 // Close closes the connection. In-flight requests fail with a
@@ -179,14 +235,17 @@ func timeoutMS(ctx context.Context) uint32 {
 
 // do runs one request round trip: write the request frame, stream
 // response frames to the handlers until Done or Error, relaying a
-// context cancellation as a CANCEL frame. onBatch and onText may be
-// nil.
+// context cancellation as a CANCEL frame. onBatch, onText and onKV
+// may be nil. While tracing, a TEXT frame with no consumer is the
+// server's span tree and lands in lastTrace, and a Done timing array
+// lands in lastTiming.
 func (c *Client) do(ctx context.Context, typ uint8, payload []byte, id uint32,
-	onBatch func(wire.Batch) error, onText func(string)) (probe.QueryStats, error) {
+	onBatch func(wire.Batch) error, onText func(string), onKV func(wire.StatsKV)) (probe.QueryStats, error) {
 
 	if c.broken != nil {
 		return probe.QueryStats{}, c.broken
 	}
+	c.lastTiming, c.lastTrace = Timing{}, ""
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return probe.QueryStats{}, err
@@ -240,8 +299,21 @@ func (c *Client) do(ctx context.Context, typ uint8, payload []byte, id uint32,
 				c.broken = err
 				return probe.QueryStats{}, err
 			}
-			if tm.ID == id && onText != nil {
-				onText(tm.Text)
+			if tm.ID == id {
+				if onText != nil {
+					onText(tm.Text)
+				} else if c.trace {
+					c.lastTrace = tm.Text
+				}
+			}
+		case wire.MsgStatsKV:
+			kv, err := wire.DecodeStatsKV(fp)
+			if err != nil {
+				c.broken = err
+				return probe.QueryStats{}, err
+			}
+			if kv.ID == id && onKV != nil {
+				onKV(kv)
 			}
 		case wire.MsgDone:
 			dn, err := wire.DecodeDone(fp)
@@ -251,6 +323,15 @@ func (c *Client) do(ctx context.Context, typ uint8, payload []byte, id uint32,
 			}
 			if dn.ID != id {
 				continue
+			}
+			if len(dn.Timings) > 0 {
+				c.lastTiming = Timing{
+					Queue:  time.Duration(dn.Timing(wire.TimingQueue)),
+					Plan:   time.Duration(dn.Timing(wire.TimingPlan)),
+					Exec:   time.Duration(dn.Timing(wire.TimingExec)),
+					Stream: time.Duration(dn.Timing(wire.TimingStream)),
+					Total:  time.Duration(dn.Timing(wire.TimingTotal)),
+				}
 			}
 			return statsOf(dn), nil
 		case wire.MsgError:
@@ -310,7 +391,7 @@ func (c *Client) RangeFunc(ctx context.Context, lo, hi []uint32, strategy uint8,
 	defer c.mu.Unlock()
 	id := c.begin()
 	req := wire.RangeReq{
-		Header:   wire.Header{ID: id, TimeoutMS: timeoutMS(ctx)},
+		Header:   wire.Header{ID: id, TimeoutMS: timeoutMS(ctx), Flags: c.reqFlags()},
 		Strategy: strategy, Lo: lo, Hi: hi,
 	}
 	stopped := false
@@ -323,7 +404,7 @@ func (c *Client) RangeFunc(ctx context.Context, lo, hi []uint32, strategy uint8,
 			}
 		}
 		return nil
-	}, nil)
+	}, nil, nil)
 	if err != nil && stopped && errors.Is(err, ErrCanceled) {
 		return qs, nil
 	}
@@ -349,7 +430,7 @@ func (c *Client) Nearest(ctx context.Context, q []uint32, m int, metric probe.Me
 	defer c.mu.Unlock()
 	id := c.begin()
 	req := wire.NearestReq{
-		Header: wire.Header{ID: id, TimeoutMS: timeoutMS(ctx)},
+		Header: wire.Header{ID: id, TimeoutMS: timeoutMS(ctx), Flags: c.reqFlags()},
 		Metric: uint8(metric), M: uint32(m), Q: q,
 	}
 	var nbs []probe.Neighbor
@@ -361,7 +442,7 @@ func (c *Client) Nearest(ctx context.Context, q []uint32, m int, metric probe.Me
 			})
 		}
 		return nil
-	}, nil)
+	}, nil, nil)
 	if err != nil {
 		return nil, qs, err
 	}
@@ -384,7 +465,7 @@ func (c *Client) Join(ctx context.Context, a, b []BoxItem, workers int) ([]probe
 		return out
 	}
 	req := wire.JoinReq{
-		Header:  wire.Header{ID: id, TimeoutMS: timeoutMS(ctx)},
+		Header:  wire.Header{ID: id, TimeoutMS: timeoutMS(ctx), Flags: c.reqFlags()},
 		Workers: uint32(workers), Dims: dims,
 		A: conv(a), B: conv(b),
 	}
@@ -394,7 +475,7 @@ func (c *Client) Join(ctx context.Context, a, b []BoxItem, workers int) ([]probe
 			pairs = append(pairs, probe.Pair{A: p[0], B: p[1]})
 		}
 		return nil
-	}, nil)
+	}, nil, nil)
 	if err != nil {
 		return nil, qs, err
 	}
@@ -412,10 +493,10 @@ func (c *Client) Insert(ctx context.Context, pts []probe.Point) (probe.QueryStat
 		wpts[i] = wire.Point{ID: p.ID, Coords: p.Coords}
 	}
 	req := wire.InsertReq{
-		Header: wire.Header{ID: id, TimeoutMS: timeoutMS(ctx)},
+		Header: wire.Header{ID: id, TimeoutMS: timeoutMS(ctx), Flags: c.reqFlags()},
 		Dims:   uint32(len(c.bits)), Points: wpts,
 	}
-	return c.do(ctx, wire.MsgInsert, req.Encode(), id, nil, nil)
+	return c.do(ctx, wire.MsgInsert, req.Encode(), id, nil, nil, nil)
 }
 
 // Checkpoint forces a durability checkpoint on the server.
@@ -423,8 +504,8 @@ func (c *Client) Checkpoint(ctx context.Context) (probe.QueryStats, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	id := c.begin()
-	req := wire.SimpleReq{Header: wire.Header{ID: id, TimeoutMS: timeoutMS(ctx)}}
-	return c.do(ctx, wire.MsgCheckpoint, req.Encode(), id, nil, nil)
+	req := wire.SimpleReq{Header: wire.Header{ID: id, TimeoutMS: timeoutMS(ctx), Flags: c.reqFlags()}}
+	return c.do(ctx, wire.MsgCheckpoint, req.Encode(), id, nil, nil, nil)
 }
 
 // Explain returns the plan the server's optimizer picks for a range
@@ -435,18 +516,62 @@ func (c *Client) Explain(ctx context.Context, lo, hi []uint32) (string, error) {
 	id := c.begin()
 	req := wire.RangeReq{Header: wire.Header{ID: id, TimeoutMS: timeoutMS(ctx)}, Lo: lo, Hi: hi}
 	var text string
-	_, err := c.do(ctx, wire.MsgExplain, req.Encode(), id, nil, func(s string) { text = s })
+	_, err := c.do(ctx, wire.MsgExplain, req.Encode(), id, nil, func(s string) { text = s }, nil)
 	return text, err
 }
 
-// Stats returns a JSON snapshot of the server's and the database's
-// cumulative counters.
-func (c *Client) Stats(ctx context.Context) (string, error) {
+// Stats returns a snapshot of the server's and the database's
+// cumulative metrics as a flat name → value map: counters and gauges
+// directly, histograms as .count/.p50/.p95/.p99/.max summaries, with
+// "server." and "db." name prefixes. Against a 1.0 server the legacy
+// JSON TEXT response is parsed into the same shape.
+func (c *Client) Stats(ctx context.Context) (map[string]int64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	id := c.begin()
 	req := wire.SimpleReq{Header: wire.Header{ID: id, TimeoutMS: timeoutMS(ctx)}}
-	var text string
-	_, err := c.do(ctx, wire.MsgStats, req.Encode(), id, nil, func(s string) { text = s })
-	return text, err
+	out := make(map[string]int64)
+	var legacy string
+	_, err := c.do(ctx, wire.MsgStats, req.Encode(), id, nil,
+		func(s string) { legacy = s },
+		func(kv wire.StatsKV) {
+			for _, e := range kv.KVs {
+				out[e.Name] = e.Value
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	if len(out) == 0 && legacy != "" {
+		if err := flattenStatsJSON(legacy, out); err != nil {
+			return nil, fmt.Errorf("probed: parsing legacy stats: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// flattenStatsJSON parses a 1.0 server's TEXT stats blob — nested
+// JSON objects of numbers — into dotted int64 keys.
+func flattenStatsJSON(text string, out map[string]int64) error {
+	var root map[string]any
+	if err := json.Unmarshal([]byte(text), &root); err != nil {
+		return err
+	}
+	var walk func(prefix string, m map[string]any)
+	walk = func(prefix string, m map[string]any) {
+		for k, v := range m {
+			key := k
+			if prefix != "" {
+				key = prefix + "." + k
+			}
+			switch t := v.(type) {
+			case map[string]any:
+				walk(key, t)
+			case float64:
+				out[key] = int64(t)
+			}
+		}
+	}
+	walk("", root)
+	return nil
 }

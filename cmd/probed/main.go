@@ -34,10 +34,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"syscall"
 	"time"
 
@@ -45,13 +48,27 @@ import (
 	"probe/client"
 	"probe/internal/experiment"
 	"probe/internal/loadgen"
+	"probe/internal/obs"
 	"probe/internal/server"
 	"probe/internal/workload"
 )
 
+// serveConfig gathers the serve-mode flags.
+type serveConfig struct {
+	addr, admin, dbPath     string
+	dims, bits, pool, seedN int
+	seed                    int64
+	maxIn                   int
+	drain                   time.Duration
+	batch                   int
+	slowQuery               time.Duration
+	logEvery                int
+}
+
 func main() {
 	var (
 		addr    = flag.String("addr", ":7331", "listen address (serve) or server address (-check, -loadgen)")
+		admin   = flag.String("admin", "", "admin HTTP address serving /metrics, /debug/pprof, /healthz, /readyz; empty disables")
 		dbPath  = flag.String("db", "", "durable store path; empty serves an in-memory database")
 		bits    = flag.Int("bits", 10, "grid resolution in bits per dimension (fresh stores)")
 		dims    = flag.Int("dims", 2, "grid dimensions (fresh stores)")
@@ -61,7 +78,9 @@ func main() {
 		maxIn   = flag.Int("max-inflight", 16, "admission control: max concurrently executing requests")
 		drain   = flag.Duration("drain", 5*time.Second, "graceful drain timeout on shutdown")
 		batch   = flag.Int("batch", 512, "results per streamed batch frame")
-		check   = flag.Bool("check", false, "handshake with a running server, print stats, exit")
+		slowQ   = flag.Duration("slow-query", -1, "log requests at/above this latency at warn with their trace; 0 logs every request; negative disables")
+		logEv   = flag.Int("log-requests", 0, "log every Nth request at info; 0 disables")
+		check   = flag.Bool("check", false, "validate the serve configuration, then handshake with a running server and print stats")
 		lg      = flag.Bool("loadgen", false, "drive a server with a mixed workload")
 		selfGen = flag.Bool("selfhost", false, "with -loadgen: start a temporary in-process server to drive")
 		conns   = flag.Int("conns", 8, "loadgen: concurrent connections")
@@ -70,9 +89,15 @@ func main() {
 	)
 	flag.Parse()
 
+	cfg := serveConfig{
+		addr: *addr, admin: *admin, dbPath: *dbPath,
+		dims: *dims, bits: *bits, pool: *pool, seedN: *seedN,
+		seed: *seed, maxIn: *maxIn, drain: *drain, batch: *batch,
+		slowQuery: *slowQ, logEvery: *logEv,
+	}
 	switch {
 	case *check:
-		if err := runCheck(*addr); err != nil {
+		if err := runCheck(cfg); err != nil {
 			fatal(err)
 		}
 	case *lg:
@@ -80,10 +105,61 @@ func main() {
 			fatal(err)
 		}
 	default:
-		if err := serve(*addr, *dbPath, *dims, *bits, *pool, *seedN, *seed, *maxIn, *drain, *batch); err != nil {
+		if err := serve(cfg); err != nil {
 			fatal(err)
 		}
 	}
+}
+
+// validateServeConfig rejects serve configurations that would start
+// and then misbehave: an admin endpoint colliding with the query
+// listener, or logging thresholds outside their meaningful range.
+func validateServeConfig(cfg serveConfig) error {
+	if cfg.admin != "" {
+		ahost, aport, err := net.SplitHostPort(cfg.admin)
+		if err != nil {
+			return fmt.Errorf("bad -admin address %q: %v", cfg.admin, err)
+		}
+		qhost, qport, err := net.SplitHostPort(cfg.addr)
+		if err != nil {
+			return fmt.Errorf("bad -addr address %q: %v", cfg.addr, err)
+		}
+		// A port shared with the query listener is a clash when either
+		// side binds the wildcard or both name the same host.
+		if aport == qport && (ahost == "" || qhost == "" || ahost == qhost) {
+			return fmt.Errorf("-admin %s clashes with -addr %s: same port", cfg.admin, cfg.addr)
+		}
+	}
+	if cfg.slowQuery > 24*time.Hour {
+		return fmt.Errorf("-slow-query %s is not a plausible threshold (max 24h)", cfg.slowQuery)
+	}
+	if cfg.logEvery < 0 {
+		return fmt.Errorf("-log-requests %d: the sample interval cannot be negative", cfg.logEvery)
+	}
+	return nil
+}
+
+// serverConfig maps the command line onto server.Config, including
+// the slow-query flag convention: the flag's 0 means "log every
+// request" (the config's negative), the flag's negative means
+// disabled (the config's zero).
+func serverConfig(cfg serveConfig) server.Config {
+	sc := server.Config{
+		MaxInflight:  cfg.maxIn,
+		DrainTimeout: cfg.drain,
+		BatchSize:    cfg.batch,
+	}
+	switch {
+	case cfg.slowQuery == 0:
+		sc.SlowQuery = -1
+	case cfg.slowQuery > 0:
+		sc.SlowQuery = cfg.slowQuery
+	}
+	sc.LogEvery = cfg.logEvery
+	if cfg.slowQuery >= 0 || cfg.logEvery > 0 {
+		sc.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	return sc
 }
 
 // openDB opens (or creates and optionally seeds) the served database.
@@ -123,22 +199,43 @@ func openDB(dbPath string, dims, bits, pool, seedN int, seed int64) (*probe.DB, 
 	return db, nil
 }
 
-func serve(addr, dbPath string, dims, bits, pool, seedN int, seed int64, maxIn int, drain time.Duration, batch int) error {
-	db, err := openDB(dbPath, dims, bits, pool, seedN, seed)
+func serve(cfg serveConfig) error {
+	if err := validateServeConfig(cfg); err != nil {
+		return err
+	}
+	db, err := openDB(cfg.dbPath, cfg.dims, cfg.bits, cfg.pool, cfg.seedN, cfg.seed)
 	if err != nil {
 		return err
 	}
-	srv := server.New(db, server.Config{
-		MaxInflight:  maxIn,
-		DrainTimeout: drain,
-		BatchSize:    batch,
-	})
-	ln, err := net.Listen("tcp", addr)
+	srv := server.New(db, serverConfig(cfg))
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		db.Close()
 		return err
 	}
-	fmt.Printf("probed: serving %d points on %s (max-inflight %d)\n", db.Len(), ln.Addr(), maxIn)
+	fmt.Printf("probed: serving %d points on %s (max-inflight %d)\n", db.Len(), ln.Addr(), cfg.maxIn)
+
+	// The admin endpoint outlives the query listener on purpose: it
+	// keeps answering /readyz with 503 while the drain runs, so load
+	// balancers see the drain instead of a vanished backend. It closes
+	// only after Shutdown returns.
+	var adminSrv *http.Server
+	if cfg.admin != "" {
+		aln, err := net.Listen("tcp", cfg.admin)
+		if err != nil {
+			ln.Close()
+			db.Close()
+			return err
+		}
+		adminSrv = &http.Server{Handler: srv.AdminHandler()}
+		go adminSrv.Serve(aln)
+		fmt.Printf("probed: admin endpoint on http://%s/metrics\n", aln.Addr())
+	}
+	closeAdmin := func() {
+		if adminSrv != nil {
+			adminSrv.Close()
+		}
+	}
 
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
@@ -147,60 +244,88 @@ func serve(addr, dbPath string, dims, bits, pool, seedN int, seed int64, maxIn i
 
 	select {
 	case sig := <-sigs:
-		fmt.Printf("probed: %v: draining (timeout %s)\n", sig, drain)
+		fmt.Printf("probed: %v: draining (timeout %s)\n", sig, cfg.drain)
 		done := make(chan error, 1)
 		go func() { done <- srv.Shutdown(context.Background()) }()
 		select {
 		case err := <-done:
+			closeAdmin()
 			if err != nil {
 				return fmt.Errorf("drain: %w", err)
 			}
 			fmt.Println("probed: drained, checkpointed, closed")
 			return nil
 		case sig := <-sigs:
+			closeAdmin()
 			return fmt.Errorf("%v during drain: exiting hard", sig)
 		}
 	case err := <-errCh:
+		closeAdmin()
 		db.Close()
 		return err
 	}
 }
 
-func runCheck(addr string) error {
-	cl, err := client.Dial(addr)
+func runCheck(cfg serveConfig) error {
+	if err := validateServeConfig(cfg); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	fmt.Println("probed: serve configuration ok")
+	cl, err := client.Dial(cfg.addr)
 	if err != nil {
 		return err
 	}
 	defer cl.Close()
-	fmt.Printf("probed: %s speaks protocol, grid bits %v\n", addr, cl.GridBits())
+	fmt.Printf("probed: %s speaks protocol, grid bits %v\n", cfg.addr, cl.GridBits())
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	stats, err := cl.Stats(ctx)
 	if err != nil {
 		return err
 	}
-	fmt.Println(stats)
+	names := make([]string, 0, len(stats))
+	for name := range stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("%-48s %d\n", name, stats[name])
+	}
 	return nil
 }
 
 // serverBenchSchema identifies the BENCH_server.json document.
 const serverBenchSchema = "probe-bench-server/v1"
 
+// perOpBench is one opcode's latency row in BENCH_server.json.
+type perOpBench struct {
+	Ops   int     `json:"ops"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
 // serverBenchReport is the loadgen trajectory document archived by
 // the bench CI job alongside BENCH_spatial.json.
 type serverBenchReport struct {
-	Schema     string          `json:"schema"`
-	Host       experiment.Host `json:"host"`
-	Conns      int             `json:"conns"`
-	DurationMS float64         `json:"duration_ms"`
-	Seed       int64           `json:"seed"`
-	Ops        int             `json:"ops"`
-	Errors     int             `json:"errors"`
-	Overloaded int             `json:"overloaded"`
-	QPS        float64         `json:"qps"`
-	P50MS      float64         `json:"p50_ms"`
-	P95MS      float64         `json:"p95_ms"`
-	P99MS      float64         `json:"p99_ms"`
+	Schema     string                `json:"schema"`
+	Host       experiment.Host       `json:"host"`
+	Conns      int                   `json:"conns"`
+	DurationMS float64               `json:"duration_ms"`
+	Seed       int64                 `json:"seed"`
+	Ops        int                   `json:"ops"`
+	Errors     int                   `json:"errors"`
+	Overloaded int                   `json:"overloaded"`
+	QPS        float64               `json:"qps"`
+	P50MS      float64               `json:"p50_ms"`
+	P95MS      float64               `json:"p95_ms"`
+	P99MS      float64               `json:"p99_ms"`
+	PerOp      map[string]perOpBench `json:"per_op"`
+}
+
+// ms renders a duration as fractional milliseconds for the report.
+func ms(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1e3
 }
 
 func runLoadgen(addr string, selfhost bool, conns int, dur time.Duration, seed int64, out string) error {
@@ -228,11 +353,16 @@ func runLoadgen(addr string, selfhost bool, conns int, dur time.Duration, seed i
 
 	rep, err := loadgen.Run(loadgen.Config{
 		Addr: addr, Conns: conns, Duration: dur, Seed: seed,
+		Metrics: obs.NewRegistry(),
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Println("loadgen:", rep)
+	for _, kind := range sortedOpKinds(rep.PerOp) {
+		st := rep.PerOp[kind]
+		fmt.Printf("loadgen: %-8s ops=%-7d p50=%s p95=%s p99=%s\n", kind, st.Ops, st.P50, st.P95, st.P99)
+	}
 
 	if out != "" {
 		doc := serverBenchReport{
@@ -245,9 +375,15 @@ func runLoadgen(addr string, selfhost bool, conns int, dur time.Duration, seed i
 			Errors:     rep.Errors,
 			Overloaded: rep.Overloaded,
 			QPS:        rep.QPS,
-			P50MS:      float64(rep.P50.Microseconds()) / 1e3,
-			P95MS:      float64(rep.P95.Microseconds()) / 1e3,
-			P99MS:      float64(rep.P99.Microseconds()) / 1e3,
+			P50MS:      ms(rep.P50),
+			P95MS:      ms(rep.P95),
+			P99MS:      ms(rep.P99),
+			PerOp:      make(map[string]perOpBench, len(rep.PerOp)),
+		}
+		for kind, st := range rep.PerOp {
+			doc.PerOp[kind] = perOpBench{
+				Ops: st.Ops, P50MS: ms(st.P50), P95MS: ms(st.P95), P99MS: ms(st.P99),
+			}
 		}
 		f, err := os.Create(out)
 		if err != nil {
@@ -265,6 +401,16 @@ func runLoadgen(addr string, selfhost bool, conns int, dur time.Duration, seed i
 		fmt.Printf("probed: wrote %s\n", out)
 	}
 	return nil
+}
+
+// sortedOpKinds orders the per-op breakdown for stable output.
+func sortedOpKinds(perOp map[string]loadgen.OpStats) []string {
+	kinds := make([]string, 0, len(perOp))
+	for k := range perOp {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
 }
 
 func fatal(err error) {

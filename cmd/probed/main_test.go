@@ -1,0 +1,52 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestValidateServeConfig(t *testing.T) {
+	cases := []struct {
+		name   string
+		cfg    serveConfig
+		wantOK bool
+	}{
+		{"defaults", serveConfig{addr: ":7331", slowQuery: -1}, true},
+		{"admin on its own port", serveConfig{addr: ":7331", admin: ":9090", slowQuery: -1}, true},
+		{"admin clashes wildcard", serveConfig{addr: ":7331", admin: ":7331", slowQuery: -1}, false},
+		{"admin clashes same host", serveConfig{addr: "127.0.0.1:7331", admin: "127.0.0.1:7331", slowQuery: -1}, false},
+		{"admin wildcard vs host, same port", serveConfig{addr: "127.0.0.1:7331", admin: ":7331", slowQuery: -1}, false},
+		{"same port distinct hosts", serveConfig{addr: "127.0.0.1:7331", admin: "127.0.0.2:7331", slowQuery: -1}, true},
+		{"admin missing port", serveConfig{addr: ":7331", admin: "localhost", slowQuery: -1}, false},
+		{"addr unparseable with admin set", serveConfig{addr: "garbage", admin: ":9090", slowQuery: -1}, false},
+		{"slow-query zero means log everything", serveConfig{addr: ":7331", slowQuery: 0}, true},
+		{"slow-query implausibly large", serveConfig{addr: ":7331", slowQuery: 25 * time.Hour}, false},
+		{"log-requests negative", serveConfig{addr: ":7331", slowQuery: -1, logEvery: -1}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateServeConfig(tc.cfg)
+			if (err == nil) != tc.wantOK {
+				t.Fatalf("validateServeConfig(%+v) = %v, want ok=%v", tc.cfg, err, tc.wantOK)
+			}
+		})
+	}
+}
+
+// TestServerConfigMapping pins the flag-to-config convention for
+// -slow-query: flag 0 = log every request (config negative), flag
+// negative = disabled (config zero), flag positive = threshold.
+func TestServerConfigMapping(t *testing.T) {
+	if sc := serverConfig(serveConfig{slowQuery: -1}); sc.SlowQuery != 0 || sc.Logger != nil {
+		t.Fatalf("disabled: SlowQuery=%v Logger=%v", sc.SlowQuery, sc.Logger)
+	}
+	if sc := serverConfig(serveConfig{slowQuery: 0}); sc.SlowQuery >= 0 || sc.Logger == nil {
+		t.Fatalf("log-everything: SlowQuery=%v Logger=%v", sc.SlowQuery, sc.Logger)
+	}
+	if sc := serverConfig(serveConfig{slowQuery: 50 * time.Millisecond}); sc.SlowQuery != 50*time.Millisecond || sc.Logger == nil {
+		t.Fatalf("threshold: SlowQuery=%v Logger=%v", sc.SlowQuery, sc.Logger)
+	}
+	if sc := serverConfig(serveConfig{slowQuery: -1, logEvery: 100}); sc.LogEvery != 100 || sc.Logger == nil {
+		t.Fatalf("sampled logging alone must still build a logger: %+v", sc)
+	}
+}

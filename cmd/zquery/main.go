@@ -7,7 +7,7 @@
 //
 //	zquery [flags] XLO XHI YLO YHI
 //	zquery [flags] -partial x=VALUE
-//	zquery -addr HOST:PORT [-nearest X,Y,M | -explain | -stats | -checkpoint] [XLO XHI YLO YHI]
+//	zquery -addr HOST:PORT [-trace] [-nearest X,Y,M | -explain | -stats | -checkpoint] [XLO XHI YLO YHI]
 //
 // Examples:
 //
@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -52,12 +53,13 @@ func main() {
 		explain    = flag.Bool("explain", false, "with -addr: print the server's plan for the range, don't run it")
 		srvStats   = flag.Bool("stats", false, "with -addr: print server+database counters")
 		checkpoint = flag.Bool("checkpoint", false, "with -addr: force a durability checkpoint")
+		trace      = flag.Bool("trace", false, "with -addr: print the server's timing breakdown and span tree")
 		timeout    = flag.Duration("timeout", 30*time.Second, "with -addr: per-request deadline")
 	)
 	flag.Parse()
 
 	if *addr != "" {
-		if err := runRemote(*addr, *nearest, *explain, *srvStats, *checkpoint, *timeout, *verbose, flag.Args()); err != nil {
+		if err := runRemote(*addr, *nearest, *explain, *srvStats, *checkpoint, *trace, *timeout, *verbose, flag.Args()); err != nil {
 			fatal(err)
 		}
 		return
@@ -108,23 +110,31 @@ func main() {
 }
 
 // runRemote executes the requested operation against a probed server.
-func runRemote(addr, nearest string, explain, stats, checkpoint bool, timeout time.Duration, verbose bool, args []string) error {
+func runRemote(addr, nearest string, explain, stats, checkpoint, trace bool, timeout time.Duration, verbose bool, args []string) error {
 	cl, err := client.Dial(addr)
 	if err != nil {
 		return err
 	}
 	defer cl.Close()
+	cl.SetTrace(trace)
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	fmt.Printf("connected to %s, grid bits %v\n", addr, cl.GridBits())
 
 	switch {
 	case stats:
-		text, err := cl.Stats(ctx)
+		kvs, err := cl.Stats(ctx)
 		if err != nil {
 			return err
 		}
-		fmt.Println(text)
+		names := make([]string, 0, len(kvs))
+		for name := range kvs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("%-48s %d\n", name, kvs[name])
+		}
 		return nil
 	case checkpoint:
 		qs, err := cl.Checkpoint(ctx)
@@ -132,6 +142,7 @@ func runRemote(addr, nearest string, explain, stats, checkpoint bool, timeout ti
 			return err
 		}
 		fmt.Printf("checkpointed (wal appends %d, syncs %d)\n", qs.WALAppends, qs.WALSyncs)
+		printTrace(cl, trace)
 		return nil
 	case nearest != "":
 		parts := strings.Split(nearest, ",")
@@ -152,6 +163,7 @@ func runRemote(addr, nearest string, explain, stats, checkpoint bool, timeout ti
 			fmt.Printf("  %d %v dist %.3f\n", nb.Point.ID, nb.Point.Coords, nb.Dist)
 		}
 		fmt.Printf("results: %d neighbors, data pages accessed: %d\n", len(nbs), qs.DataPages)
+		printTrace(cl, trace)
 		return nil
 	}
 
@@ -179,7 +191,35 @@ func runRemote(addr, nearest string, explain, stats, checkpoint bool, timeout ti
 	fmt.Printf("results: %d points\n", qs.Results)
 	fmt.Printf("data pages accessed: %d\n", qs.DataPages)
 	fmt.Printf("random accesses (seeks): %d, elements/skips: %d\n", qs.Seeks, qs.Elements)
+	printTrace(cl, trace)
 	return nil
+}
+
+// printTrace prints the server-side timing breakdown and span tree of
+// the last traced request.
+func printTrace(cl *client.Client, trace bool) {
+	if !trace {
+		return
+	}
+	t := cl.LastTiming()
+	if t.Total == 0 {
+		fmt.Println("server sent no timing breakdown (pre-1.1 server?)")
+		return
+	}
+	fmt.Printf("server timing: total %v = queue %v + plan %v + exec %v + stream %v\n",
+		t.Total, t.Queue, t.Plan, t.Exec, t.Stream)
+	if tree := cl.LastTrace(); tree != "" {
+		fmt.Print("server trace:\n" + indent(tree, "  "))
+	}
+}
+
+// indent prefixes every non-empty line of s.
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n") + "\n"
 }
 
 // parseBounds parses XLO XHI YLO YHI into box corners.

@@ -391,6 +391,20 @@ func (p *Pool) Resident() int {
 	return len(p.frames)
 }
 
+// Pinned returns the number of resident frames with at least one pin
+// — pages some operation is actively using and eviction cannot touch.
+func (p *Pool) Pinned() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, f := range p.frames {
+		if f.pins > 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // Invalidate empties the pool after flushing dirty pages, so the next
 // accesses are cold. The experiment harness uses this between queries
 // to make page-access counts reproducible.

@@ -14,6 +14,7 @@ import (
 
 	"probe"
 	"probe/client"
+	"probe/internal/obs"
 )
 
 // Config tunes one load-generation run. Zero values select the
@@ -38,6 +39,11 @@ type Config struct {
 	NearestEvery int
 	// BoxSide caps the side length of generated range boxes [128].
 	BoxSide uint32
+	// Metrics, when non-nil, receives a "loadgen.latency.<op>"
+	// histogram observation (nanoseconds) for every successful
+	// operation, so a run's latency distribution can be exported
+	// through the same Registry machinery the server uses.
+	Metrics *obs.Registry
 }
 
 func (c *Config) fillDefaults() {
@@ -64,18 +70,29 @@ func (c *Config) fillDefaults() {
 	}
 }
 
+// OpStats is the latency distribution of one operation kind within a
+// run.
+type OpStats struct {
+	Ops int           `json:"ops"`
+	P50 time.Duration `json:"p50_ns"`
+	P95 time.Duration `json:"p95_ns"`
+	P99 time.Duration `json:"p99_ns"`
+}
+
 // Report is the outcome of a run: counts, throughput, and latency
-// percentiles over all successful operations.
+// percentiles over all successful operations, overall and broken
+// down per operation kind ("range", "nearest", "join", "insert").
 type Report struct {
-	Conns      int           `json:"conns"`
-	Ops        int           `json:"ops"`
-	Errors     int           `json:"errors"`
-	Overloaded int           `json:"overloaded"`
-	Elapsed    time.Duration `json:"elapsed_ns"`
-	QPS        float64       `json:"qps"`
-	P50        time.Duration `json:"p50_ns"`
-	P95        time.Duration `json:"p95_ns"`
-	P99        time.Duration `json:"p99_ns"`
+	Conns      int                `json:"conns"`
+	Ops        int                `json:"ops"`
+	Errors     int                `json:"errors"`
+	Overloaded int                `json:"overloaded"`
+	Elapsed    time.Duration      `json:"elapsed_ns"`
+	QPS        float64            `json:"qps"`
+	P50        time.Duration      `json:"p50_ns"`
+	P95        time.Duration      `json:"p95_ns"`
+	P99        time.Duration      `json:"p99_ns"`
+	PerOp      map[string]OpStats `json:"per_op,omitempty"`
 }
 
 func (r Report) String() string {
@@ -95,7 +112,7 @@ func Run(cfg Config) (Report, error) {
 	}
 
 	type workerResult struct {
-		lats       []time.Duration
+		perOp      map[string][]time.Duration
 		errors     int
 		overloaded int
 		err        error // fatal setup error
@@ -110,6 +127,7 @@ func Run(cfg Config) (Report, error) {
 		go func(w int) {
 			defer wg.Done()
 			res := &results[w]
+			res.perOp = make(map[string][]time.Duration)
 			cl, err := client.Dial(cfg.Addr)
 			if err != nil {
 				res.err = err
@@ -127,8 +145,10 @@ func Run(cfg Config) (Report, error) {
 			for op := 0; time.Now().Before(deadline); op++ {
 				t0 := time.Now()
 				var err error
+				var kind string
 				switch {
 				case cfg.InsertEvery > 0 && op%cfg.InsertEvery == cfg.InsertEvery-1:
+					kind = "insert"
 					pts := make([]probe.Point, 8)
 					for i := range pts {
 						coords := make([]uint32, len(side))
@@ -140,6 +160,7 @@ func Run(cfg Config) (Report, error) {
 					}
 					_, err = cl.Insert(ctx, pts)
 				case cfg.JoinEvery > 0 && op%cfg.JoinEvery == cfg.JoinEvery-1:
+					kind = "join"
 					mk := func(base uint64) []client.BoxItem {
 						items := make([]client.BoxItem, 10)
 						for i := range items {
@@ -155,12 +176,14 @@ func Run(cfg Config) (Report, error) {
 					}
 					_, _, err = cl.Join(ctx, mk(0), mk(100), 0)
 				case cfg.NearestEvery > 0 && op%cfg.NearestEvery == cfg.NearestEvery-1:
+					kind = "nearest"
 					q := make([]uint32, len(side))
 					for d := range q {
 						q[d] = uint32(rng.Intn(int(side[d])))
 					}
 					_, _, err = cl.Nearest(ctx, q, 5, probe.Euclidean)
 				default:
+					kind = "range"
 					lo := make([]uint32, len(side))
 					hi := make([]uint32, len(side))
 					for d := range lo {
@@ -171,7 +194,11 @@ func Run(cfg Config) (Report, error) {
 				}
 				switch {
 				case err == nil:
-					res.lats = append(res.lats, time.Since(t0))
+					d := time.Since(t0)
+					res.perOp[kind] = append(res.perOp[kind], d)
+					if cfg.Metrics != nil {
+						cfg.Metrics.Histogram("loadgen.latency." + kind).Observe(d.Nanoseconds())
+					}
 				case errors.Is(err, client.ErrOverloaded):
 					res.overloaded++
 					time.Sleep(time.Millisecond) // back off, then retry
@@ -185,12 +212,16 @@ func Run(cfg Config) (Report, error) {
 	elapsed := time.Since(start)
 
 	var all []time.Duration
+	perOp := make(map[string][]time.Duration)
 	rep := Report{Conns: cfg.Conns, Elapsed: elapsed}
 	for _, res := range results {
 		if res.err != nil {
 			return rep, res.err
 		}
-		all = append(all, res.lats...)
+		for kind, lats := range res.perOp {
+			all = append(all, lats...)
+			perOp[kind] = append(perOp[kind], lats...)
+		}
 		rep.Errors += res.errors
 		rep.Overloaded += res.overloaded
 	}
@@ -203,6 +234,16 @@ func Run(cfg Config) (Report, error) {
 		rep.P50 = percentile(all, 0.50)
 		rep.P95 = percentile(all, 0.95)
 		rep.P99 = percentile(all, 0.99)
+		rep.PerOp = make(map[string]OpStats, len(perOp))
+		for kind, lats := range perOp {
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			rep.PerOp[kind] = OpStats{
+				Ops: len(lats),
+				P50: percentile(lats, 0.50),
+				P95: percentile(lats, 0.95),
+				P99: percentile(lats, 0.99),
+			}
+		}
 	}
 	return rep, nil
 }

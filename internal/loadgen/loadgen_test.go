@@ -1,0 +1,122 @@
+package loadgen
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"probe"
+	"probe/internal/obs"
+	"probe/internal/server"
+)
+
+// TestPercentile pins the edge cases the index arithmetic has to
+// survive: an empty slice must not panic (or index -1), a single
+// sample is every percentile, and on larger inputs the quantiles are
+// ordered and drawn from the data.
+func TestPercentile(t *testing.T) {
+	if got := percentile(nil, 0.99); got != 0 {
+		t.Fatalf("percentile(nil) = %v, want 0", got)
+	}
+	if got := percentile([]time.Duration{}, 0.50); got != 0 {
+		t.Fatalf("percentile(empty) = %v, want 0", got)
+	}
+
+	single := []time.Duration{42 * time.Millisecond}
+	for _, q := range []float64{0, 0.50, 0.95, 0.99, 1} {
+		if got := percentile(single, q); got != 42*time.Millisecond {
+			t.Fatalf("percentile(single, %v) = %v, want 42ms", q, got)
+		}
+	}
+
+	sorted := make([]time.Duration, 100)
+	for i := range sorted {
+		sorted[i] = time.Duration(i+1) * time.Millisecond
+	}
+	p50 := percentile(sorted, 0.50)
+	p95 := percentile(sorted, 0.95)
+	p99 := percentile(sorted, 0.99)
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Fatalf("quantiles out of order: p50=%v p95=%v p99=%v", p50, p95, p99)
+	}
+	if p99 != 99*time.Millisecond {
+		t.Fatalf("p99 = %v, want 99ms (nearest-rank on 1..100ms)", p99)
+	}
+	if p50 < 50*time.Millisecond || p50 > 51*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~50ms", p50)
+	}
+}
+
+func TestRunRejectsMissingAddr(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("Run with no address succeeded")
+	}
+}
+
+// TestRunPerOp drives a real in-process server briefly and checks
+// that the report's per-op breakdown and the caller's obs histograms
+// both account for every successful operation.
+func TestRunPerOp(t *testing.T) {
+	g, err := probe.NewGrid(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := probe.Open(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]probe.Point, 5000)
+	for i := range pts {
+		pts[i] = probe.Point{
+			ID:     uint64(i + 1),
+			Coords: []uint32{uint32(rng.Intn(1024)), uint32(rng.Intn(1024))},
+		}
+	}
+	if err := db.InsertAll(pts); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db, server.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown(context.Background())
+
+	reg := obs.NewRegistry()
+	rep, err := Run(Config{
+		Addr:     ln.Addr().String(),
+		Conns:    2,
+		Duration: 300 * time.Millisecond,
+		Seed:     7,
+		Metrics:  reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops == 0 {
+		t.Fatal("no operations completed")
+	}
+	sum := 0
+	for kind, st := range rep.PerOp {
+		if st.Ops == 0 {
+			t.Errorf("per-op %q has zero ops", kind)
+		}
+		if st.P50 > st.P95 || st.P95 > st.P99 {
+			t.Errorf("per-op %q quantiles out of order: %+v", kind, st)
+		}
+		sum += st.Ops
+		if got := reg.Histogram("loadgen.latency." + kind).Snapshot().Count; got != int64(st.Ops) {
+			t.Errorf("histogram loadgen.latency.%s count %d, report says %d", kind, got, st.Ops)
+		}
+	}
+	if sum != rep.Ops {
+		t.Errorf("per-op counts sum to %d, total ops %d", sum, rep.Ops)
+	}
+	if _, ok := rep.PerOp["range"]; !ok {
+		t.Errorf("no range ops in a mixed workload: %v", rep.PerOp)
+	}
+}

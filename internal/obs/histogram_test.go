@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.Count != 0 || s.Quantile(0.5) != 0 || s.Max != 0 {
+		t.Fatalf("empty histogram snapshot: %+v", s)
+	}
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(-5) // clamps to 0
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count = %d, want 3", s.Count)
+	}
+	if s.Sum != 1 {
+		t.Fatalf("sum = %d, want 1", s.Sum)
+	}
+	if s.Max != 1 {
+		t.Fatalf("max = %d, want 1", s.Max)
+	}
+	if s.Buckets[0] != 2 || s.Buckets[1] != 1 {
+		t.Fatalf("buckets = %v %v, want 2 1", s.Buckets[0], s.Buckets[1])
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {1 << 62, 63}, {1<<63 - 1, 63},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+		b := bucketOf(c.v)
+		if lo, hi := bucketLower(b), bucketUpper(b); c.v < lo || c.v > hi {
+			t.Errorf("value %d outside its bucket [%d, %d]", c.v, lo, hi)
+		}
+	}
+}
+
+// TestHistogramQuantileError pins the accuracy contract: log2 buckets
+// with interpolation estimate any quantile of a random workload
+// within a factor of two of the exact order statistic.
+func TestHistogramQuantileError(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var h Histogram
+	var exact []int64
+	for i := 0; i < 20000; i++ {
+		// Log-uniform values spanning microseconds to seconds in ns.
+		v := int64(1000 * (1 << uint(rng.Intn(20))))
+		v += rng.Int63n(v)
+		h.Observe(v)
+		exact = append(exact, v)
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+	s := h.Snapshot()
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 1.0} {
+		want := exact[int(q*float64(len(exact)-1))]
+		got := s.Quantile(q)
+		if got < want/2 || got > want*2 {
+			t.Errorf("q%.2f: estimate %d not within 2x of exact %d", q, got, want)
+		}
+	}
+	if got := s.Quantile(1.0); got > s.Max {
+		t.Errorf("q1.0 = %d exceeds exact max %d", got, s.Max)
+	}
+}
+
+// TestHistogramObserveAllocs pins the hot path: observing into a
+// histogram (and moving a gauge) never allocates, so an instrumented
+// request path costs only the atomics.
+func TestHistogramObserveAllocs(t *testing.T) {
+	var h Histogram
+	var g Gauge
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Observe(12345)
+		g.Inc()
+		g.Dec()
+	}); n != 0 {
+		t.Fatalf("Observe/Inc/Dec allocated %.1f times per run, want 0", n)
+	}
+}
+
+// TestRegistryUnobservedHistogramAllocs: fetching an already-created
+// histogram from the registry and not observing stays zero-alloc —
+// the lookup is a read-locked map hit, nothing more.
+func TestRegistryUnobservedHistogramAllocs(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("server.latency.range") // create once
+	if n := testing.AllocsPerRun(1000, func() {
+		_ = r.Histogram("server.latency.range")
+	}); n != 0 {
+		t.Fatalf("registry histogram lookup allocated %.1f times per run, want 0", n)
+	}
+	if got := r.Histogram("server.latency.range").Count(); got != 0 {
+		t.Fatalf("unobserved histogram count = %d, want 0", got)
+	}
+}
+
+// TestRegistryConcurrentStress hammers histogram observes, gauge
+// add/sub, counter adds, and /metrics rendering from concurrent
+// goroutines; run under -race this proves the registry's concurrency
+// contract, and afterwards the totals must balance.
+func TestRegistryConcurrentStress(t *testing.T) {
+	r := NewRegistry()
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				r.Histogram("lat").Observe(int64(i))
+				r.Gauge("inflight").Inc()
+				r.Int("requests").Add(1)
+				r.Gauge("inflight").Dec()
+				if i%64 == 0 {
+					var sb strings.Builder
+					if err := r.WritePrometheus(&sb, "probe"); err != nil {
+						t.Errorf("WritePrometheus: %v", err)
+						return
+					}
+					_ = r.String()
+					r.DoNumeric(func(string, int64) {})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := r.Histogram("lat").Count(); got != workers*perW {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perW)
+	}
+	if got := r.Gauge("inflight").Value(); got != 0 {
+		t.Fatalf("gauge did not balance: %d", got)
+	}
+	if got := r.Int("requests").Value(); got != workers*perW {
+		t.Fatalf("counter = %d, want %d", got, workers*perW)
+	}
+}
+
+// TestWritePrometheus checks the exposition contract: counter with
+// _total, gauge bare, histogram with monotonic cumulative buckets and
+// sum/count lines, all parseable as "name{labels} value".
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Int("server.requests").Add(7)
+	r.Gauge("server.inflight").Set(3)
+	h := r.Histogram("server.latency.range_ns")
+	for _, v := range []int64{100, 200, 4000, 4001, 90000} {
+		h.Observe(v)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb, "probe"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE probe_server_requests_total counter\nprobe_server_requests_total 7\n",
+		"# TYPE probe_server_inflight gauge\nprobe_server_inflight 3\n",
+		"# TYPE probe_server_latency_range_ns histogram\n",
+		"probe_server_latency_range_ns_bucket{le=\"+Inf\"} 5\n",
+		"probe_server_latency_range_ns_sum 98301\n",
+		"probe_server_latency_range_ns_count 5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Bucket series must be cumulative (non-decreasing).
+	last := int64(-1)
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "probe_server_latency_range_ns_bucket") {
+			continue
+		}
+		v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("unparseable bucket line %q: %v", line, err)
+		}
+		if v < last {
+			t.Fatalf("bucket series not cumulative at %q", line)
+		}
+		last = v
+	}
+	if last != 5 {
+		t.Fatalf("final bucket cumulative = %d, want 5", last)
+	}
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file renders a Registry in the Prometheus text exposition
+// format (version 0.0.4), so a live server can be scraped without
+// importing a client library. The mapping, documented in
+// docs/observability.md:
+//
+//   - metric names are sanitized ('.' and every other character
+//     outside [a-zA-Z0-9_] becomes '_') and prefixed with the
+//     caller's namespace, e.g. "server.requests" under namespace
+//     "probe_server" becomes probe_server_requests;
+//   - Int counters render as TYPE counter with a "_total" suffix;
+//   - Gauges render as TYPE gauge, unsuffixed;
+//   - Histograms render as classic TYPE histogram series: cumulative
+//     "_bucket" samples with le labels at the log2 bucket upper
+//     bounds, then "_sum" and "_count". Values are whatever unit the
+//     histogram observed (the server's "server.latency.<op>" series
+//     observe nanoseconds).
+
+// promName sanitizes a registry metric name into a Prometheus metric
+// name component.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders every metric in the registry to w in the
+// Prometheus text exposition format, each name prefixed with
+// namespace and an underscore (empty namespace = no prefix). Metrics
+// appear in sorted name order, so output is deterministic for a
+// quiescent registry. The first write error aborts the walk.
+func (r *Registry) WritePrometheus(w io.Writer, namespace string) error {
+	prefix := ""
+	if namespace != "" {
+		prefix = promName(namespace) + "_"
+	}
+
+	var err error
+	write := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	r.mu.RLock()
+	ints := make(map[string]*Int, len(r.ints))
+	for k, v := range r.ints {
+		ints[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+
+	for _, k := range sortedKeys(ints) {
+		name := prefix + promName(k) + "_total"
+		write("# TYPE %s counter\n%s %d\n", name, name, ints[k].Value())
+	}
+	for _, k := range sortedKeys(gauges) {
+		name := prefix + promName(k)
+		write("# TYPE %s gauge\n%s %d\n", name, name, gauges[k].Value())
+	}
+	for _, k := range sortedKeys(hists) {
+		name := prefix + promName(k)
+		s := hists[k].Snapshot()
+		write("# TYPE %s histogram\n", name)
+		var cum int64
+		for i, c := range s.Buckets {
+			cum += c
+			// Only emit boundaries up to the bucket holding the max:
+			// the dozens of empty buckets above it would be identical
+			// +Inf-equal lines.
+			if i == 0 || bucketLower(i) <= s.Max {
+				write("%s_bucket{le=\"%d\"} %d\n", name, bucketUpper(i), cum)
+			}
+		}
+		// cum, not s.Count: a snapshot racing concurrent Observes can
+		// read count and buckets slightly apart, and le="+Inf" must
+		// stay monotonic with the bucket series.
+		write("%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		write("%s_sum %d\n%s_count %d\n", name, s.Sum, name, cum)
+	}
+	return err
+}

@@ -34,22 +34,36 @@ func (i *Int) Value() int64 { return i.v.Load() }
 // String implements Var (and expvar.Var) as a JSON number.
 func (i *Int) String() string { return strconv.FormatInt(i.v.Load(), 10) }
 
-// Registry is a named set of cumulative metrics for long-running use:
-// the DB merges every query's span counters into its registry, so a
-// server exposes lifetime totals (pages read, buffer hit counts,
-// queries executed) alongside the per-query QueryStats. All methods
-// are safe for concurrent use.
+// Registry is a named set of metrics for long-running use: the DB
+// merges every query's span counters into its registry, and the
+// network server keeps its request counters, level gauges, and
+// latency histograms in one, so lifetime totals are exposable
+// alongside the per-query QueryStats.
+//
+// Three metric kinds live side by side: Int (cumulative counter),
+// Gauge (instantaneous level), and Histogram (log-bucketed
+// distribution). Names must be unique across kinds — registering
+// "x" as both a counter and a gauge renders both and confuses every
+// consumer, so don't. All methods are safe for concurrent use;
+// metric lookups are read-locked and the metrics themselves are
+// lock-free atomics.
 type Registry struct {
-	mu   sync.RWMutex
-	ints map[string]*Int
+	mu     sync.RWMutex
+	ints   map[string]*Int
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{ints: make(map[string]*Int)}
+	return &Registry{
+		ints:   make(map[string]*Int),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
 }
 
-// Int returns the named metric, creating it at zero on first use.
+// Int returns the named counter, creating it at zero on first use.
 func (r *Registry) Int(name string) *Int {
 	r.mu.RLock()
 	i, ok := r.ints[name]
@@ -67,11 +81,55 @@ func (r *Registry) Int(name string) *Int {
 	return i
 }
 
-// Do calls fn for every metric in sorted name order.
+// Gauge returns the named gauge, creating it at zero on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it empty on first
+// use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = &Histogram{}
+	r.hists[name] = h
+	return h
+}
+
+// Do calls fn for every metric — counters, gauges, and histograms —
+// in sorted name order.
 func (r *Registry) Do(fn func(name string, v Var)) {
 	r.mu.RLock()
-	snapshot := make(map[string]*Int, len(r.ints))
+	snapshot := make(map[string]Var, len(r.ints)+len(r.gauges)+len(r.hists))
 	for k, v := range r.ints {
+		snapshot[k] = v
+	}
+	for k, v := range r.gauges {
+		snapshot[k] = v
+	}
+	for k, v := range r.hists {
 		snapshot[k] = v
 	}
 	r.mu.RUnlock()
@@ -80,8 +138,51 @@ func (r *Registry) Do(fn func(name string, v Var)) {
 	}
 }
 
+// DoNumeric calls fn for every scalar reading the registry can
+// produce, in sorted name order: counters and gauges by value, and
+// each histogram flattened into "<name>.count", "<name>.p50",
+// "<name>.p95", "<name>.p99", and "<name>.max". This is the registry
+// view the STATS wire opcode ships: flat, typed, and append-only.
+func (r *Registry) DoNumeric(fn func(name string, value int64)) {
+	r.mu.RLock()
+	ints := make(map[string]*Int, len(r.ints))
+	for k, v := range r.ints {
+		ints[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+
+	flat := make(map[string]int64, len(ints)+len(gauges)+5*len(hists))
+	for k, v := range ints {
+		flat[k] = v.Value()
+	}
+	for k, v := range gauges {
+		flat[k] = v.Value()
+	}
+	for k, h := range hists {
+		s := h.Snapshot()
+		flat[k+".count"] = s.Count
+		flat[k+".p50"] = s.Quantile(0.50)
+		flat[k+".p95"] = s.Quantile(0.95)
+		flat[k+".p99"] = s.Quantile(0.99)
+		flat[k+".max"] = s.Max
+	}
+	for _, k := range sortedKeys(flat) {
+		fn(k, flat[k])
+	}
+}
+
 // String implements Var (and expvar.Var) as a JSON object with
 // sorted keys, so publishing the whole registry as one expvar works.
+// Counters and gauges render as numbers, histograms as summary
+// objects.
 func (r *Registry) String() string {
 	var b strings.Builder
 	b.WriteByte('{')

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+)
+
+// AdminHandler returns the HTTP handler for the server's admin
+// endpoint — the observability side-channel probed serves on a
+// separate listener (-admin) so operational traffic never competes
+// with query traffic:
+//
+//	/metrics          Prometheus text exposition of every server and
+//	                  database metric plus scrape-time pool gauges
+//	/debug/vars       expvar-style JSON snapshot of both registries
+//	/debug/pprof/     the standard Go profiling handlers
+//	/healthz          liveness: 200 while the process runs
+//	/readyz           readiness: 200 while accepting requests,
+//	                  503 once Shutdown starts draining
+//
+// The handler stays valid during and after Shutdown (readiness is how
+// a load balancer sees the drain), so the admin HTTP server should be
+// closed after Shutdown returns, not before.
+//
+// pprof handlers are registered on the returned mux explicitly —
+// importing net/http/pprof for its DefaultServeMux side effect would
+// leak profiling onto any default-mux server the embedding process
+// runs.
+func (s *Server) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/debug/vars", s.serveVars)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", s.serveReady)
+	return mux
+}
+
+func (s *Server) serveReady(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// serveMetrics renders both registries in the Prometheus text format:
+// the server's under probe_server_*, the database's under probe_db_*,
+// plus point-in-time gauges (buffer-pool occupancy, goroutines) that
+// are cheaper to read at scrape time than to maintain continuously.
+func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	if err := s.metrics.WritePrometheus(&buf, "probe_server"); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if err := s.db.Metrics().WritePrometheus(&buf, "probe_db"); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	pi := s.db.PoolInfo()
+	for _, g := range []struct {
+		name string
+		v    int
+	}{
+		{"probe_pool_pages_capacity", pi.Capacity},
+		{"probe_pool_pages_resident", pi.Resident},
+		{"probe_pool_pages_pinned", pi.Pinned},
+		{"probe_go_goroutines", runtime.NumGoroutine()},
+	} {
+		fmt.Fprintf(&buf, "# TYPE %s gauge\n%s %d\n", g.name, g.name, g.v)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf.Bytes())
+}
+
+// serveVars is the expvar-shaped JSON view: one object with the
+// server's and the database's registries nested under "server" and
+// "db". Registries render themselves, so this does not import expvar
+// or register anything globally.
+func (s *Server) serveVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\"server\": %s, \"db\": %s}\n", s.metrics.String(), s.db.Metrics().String())
+}

@@ -1,0 +1,190 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"probe"
+	"probe/internal/wire"
+)
+
+// request carries one request's identity and instrumentation through
+// its executor goroutine: the phase timestamps behind the wire timing
+// breakdown, the operator span all engine work is attributed to, and
+// the outcome for metrics and the structured log. It is owned by the
+// single executor goroutine; nothing in it is shared.
+type request struct {
+	id    uint32
+	op    string
+	flags uint8
+
+	// span is the request's operator span, a child of the session
+	// span; handlers pass it to the engine via WithTrace so page reads
+	// and operator timings hang off this one node.
+	span *probe.Trace
+
+	recv    time.Time // frame dequeued by the session loop
+	start   time.Time // executor goroutine began (queue phase ends)
+	planned time.Time // decode + validation done (zero if rejected there)
+
+	// streamNs accumulates time spent writing result frames, so the
+	// exec phase can be reported net of client backpressure even for
+	// handlers that stream from inside the engine callback.
+	streamNs int64
+
+	qs      probe.QueryStats
+	errCode uint8 // 0 = success; otherwise the wire error code sent
+}
+
+// opName names a request opcode for metric names and log lines.
+func opName(typ uint8) string {
+	switch typ {
+	case wire.MsgRange:
+		return "range"
+	case wire.MsgNearest:
+		return "nearest"
+	case wire.MsgJoin:
+		return "join"
+	case wire.MsgInsert:
+		return "insert"
+	case wire.MsgCheckpoint:
+		return "checkpoint"
+	case wire.MsgExplain:
+		return "explain"
+	case wire.MsgStats:
+		return "stats"
+	default:
+		return "unknown"
+	}
+}
+
+// markPlanned seals the plan phase: decoding and validation are done,
+// the engine call is next.
+func (rq *request) markPlanned() { rq.planned = time.Now() }
+
+// traced reports whether the client set FlagTrace on this request.
+func (rq *request) traced() bool { return rq.flags&wire.FlagTrace != 0 }
+
+// timings builds the Done timing array (nanoseconds, wire.Timing*
+// indices). Exec is derived as the remainder so it stays correct for
+// handlers that stream from inside the engine call.
+func (rq *request) timings() []uint64 {
+	total := time.Since(rq.recv)
+	queue := rq.start.Sub(rq.recv)
+	var plan time.Duration
+	if !rq.planned.IsZero() {
+		plan = rq.planned.Sub(rq.start)
+	}
+	stream := time.Duration(rq.streamNs)
+	exec := total - queue - plan - stream
+	if exec < 0 {
+		exec = 0
+	}
+	t := make([]uint64, wire.NumTimings)
+	t[wire.TimingQueue] = uint64(queue)
+	t[wire.TimingPlan] = uint64(plan)
+	t[wire.TimingExec] = uint64(exec)
+	t[wire.TimingStream] = uint64(stream)
+	t[wire.TimingTotal] = uint64(total)
+	return t
+}
+
+// sendTimed is send with the elapsed write time accounted to the
+// request's stream phase.
+func (ss *session) sendTimed(rq *request, typ uint8, payload []byte) error {
+	t0 := time.Now()
+	err := ss.send(typ, payload)
+	rq.streamNs += int64(time.Since(t0))
+	return err
+}
+
+// reject ends a request at validation: bad-request error frame plus
+// the recorded outcome.
+func (ss *session) reject(rq *request, msg string) {
+	rq.errCode = wire.CodeBadRequest
+	ss.sendError(rq.id, wire.CodeBadRequest, msg)
+}
+
+// codeOf maps an execution error to its typed wire code.
+// context.Cause distinguishes a client cancel from the server's
+// drain.
+func codeOf(ctx context.Context, err error) uint8 {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return wire.CodeDeadline
+	case errors.Is(err, context.Canceled):
+		if context.Cause(ctx) == errDraining {
+			return wire.CodeShuttingDown
+		}
+		return wire.CodeCanceled
+	case errors.Is(err, probe.ErrClosed):
+		return wire.CodeShuttingDown
+	}
+	return wire.CodeInternal
+}
+
+// failReq ends a request at execution: typed error frame plus the
+// recorded outcome.
+func (ss *session) failReq(ctx context.Context, rq *request, err error) {
+	rq.errCode = codeOf(ctx, err)
+	ss.sendError(rq.id, rq.errCode, err.Error())
+}
+
+// sendDone ends a successful request. A traced data request first
+// gets a TEXT frame with the rendered server-side span tree (EXPLAIN
+// and STATS keep their single TEXT body), then every traced request's
+// DONE carries the per-phase timing breakdown.
+func (ss *session) sendDone(rq *request, qs probe.QueryStats) {
+	rq.qs = qs
+	rq.span.End()
+	if rq.traced() && rq.op != "explain" && rq.op != "stats" {
+		if ss.send(wire.MsgText, wire.TextMsg{ID: rq.id, Text: rq.span.Render(true)}.Encode()) != nil {
+			return
+		}
+	}
+	dn := wire.Done{ID: rq.id, Stats: statsArray(qs)}
+	if rq.traced() {
+		dn.Timings = rq.timings()
+	}
+	ss.send(wire.MsgDone, dn.Encode())
+}
+
+// finish runs once per executed request, after its handler returns:
+// it seals the span, feeds the per-opcode latency and page-read
+// histograms, and emits the structured log line — a Warn with the
+// rendered span tree for slow queries, or the sampled Info line.
+func (ss *session) finish(rq *request) {
+	rq.span.End()
+	total := time.Since(rq.recv)
+	pages := rq.span.Total(probe.CounterPoolGets)
+	m := ss.srv.metrics
+	m.Histogram("server.latency." + rq.op).Observe(int64(total))
+	m.Histogram("server.pages." + rq.op).Observe(pages)
+
+	cfg := &ss.srv.cfg
+	if cfg.Logger == nil {
+		return
+	}
+	status := "ok"
+	if rq.errCode != 0 {
+		status = wire.CodeString(rq.errCode)
+	}
+	args := []any{
+		"op", rq.op,
+		"id", rq.id,
+		"remote", ss.conn.RemoteAddr().String(),
+		"dur", total,
+		"results", rq.qs.Results,
+		"pages", pages,
+		"status", status,
+	}
+	seq := ss.srv.reqSeq.Add(1)
+	if cfg.SlowQuery < 0 || (cfg.SlowQuery > 0 && total >= cfg.SlowQuery) {
+		cfg.Logger.Warn("slow query", append(args, "trace", rq.span.Render(true))...)
+		return
+	}
+	if n := cfg.LogEvery; n > 0 && seq%uint64(n) == 0 {
+		cfg.Logger.Info("request", args...)
+	}
+}

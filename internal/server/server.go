@@ -30,8 +30,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"probe"
@@ -54,6 +56,23 @@ type Config struct {
 	// BatchSize is the number of results per streamed batch frame
 	// [512].
 	BatchSize int
+
+	// Logger receives structured request logs (log/slog). nil disables
+	// request logging entirely; the server never logs on its own.
+	Logger *slog.Logger
+
+	// SlowQuery is the slow-query log threshold: a request whose total
+	// latency reaches it is logged at Warn with its rendered trace-span
+	// tree. Zero disables the slow-query log (the zero value stays
+	// silent); negative logs every request that way — the firehose
+	// setting for debugging.
+	SlowQuery time.Duration
+
+	// LogEvery samples the per-request Info log: every Nth completed
+	// request logs one line (opcode, session, duration, results, pages
+	// read). Zero disables sampling. Slow-query logging is independent
+	// of the sample.
+	LogEvery int
 }
 
 func (c *Config) fillDefaults() {
@@ -86,10 +105,16 @@ type Server struct {
 	db  *probe.DB
 	cfg Config
 
-	// metrics holds the server-side counters: server.accepted,
-	// server.active, server.rejected, server.cancelled,
-	// server.requests, server.sessions.
+	// metrics holds the server-side telemetry: counters
+	// (server.accepted, server.active, server.rejected,
+	// server.cancelled, server.requests, server.sessions), gauges
+	// (server.inflight, server.open_sessions), and per-opcode
+	// histograms (server.latency.<op> in nanoseconds,
+	// server.pages.<op> in buffer-pool page reads).
 	metrics *obs.Registry
+
+	// reqSeq numbers completed requests for the sampled Info log.
+	reqSeq atomic.Uint64
 
 	baseCtx    context.Context
 	cancelBase context.CancelCauseFunc
@@ -172,6 +197,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.wg.Add(1)
 		s.mu.Unlock()
 		s.metrics.Int("server.sessions").Add(1)
+		s.metrics.Gauge("server.open_sessions").Inc()
 		go func() {
 			defer s.wg.Done()
 			defer func() {
@@ -179,6 +205,7 @@ func (s *Server) Serve(ln net.Listener) error {
 				delete(s.conns, conn)
 				s.mu.Unlock()
 				conn.Close()
+				s.metrics.Gauge("server.open_sessions").Dec()
 			}()
 			newSession(s, conn).run()
 		}()
@@ -205,6 +232,7 @@ func (s *Server) beginRequest() bool {
 	s.mu.Unlock()
 	s.metrics.Int("server.accepted").Add(1)
 	s.metrics.Int("server.active").Add(1)
+	s.metrics.Gauge("server.inflight").Inc()
 	return true
 }
 
@@ -219,6 +247,7 @@ func (s *Server) endRequest() {
 	}
 	s.mu.Unlock()
 	s.metrics.Int("server.active").Add(-1)
+	s.metrics.Gauge("server.inflight").Dec()
 }
 
 // Shutdown drains the server: stop accepting connections and

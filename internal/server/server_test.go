@@ -475,8 +475,17 @@ func TestExplainStatsCheckpoint(t *testing.T) {
 	if err != nil {
 		t.Fatalf("stats: %v", err)
 	}
-	if !strings.Contains(stats, "server") || !strings.Contains(stats, "db") {
-		t.Fatalf("stats snapshot %q missing sections", stats)
+	// The structured snapshot carries both registries: server-side
+	// request counters and database operation counters, with the
+	// latency histogram summaries the registry flattens in.
+	if got := stats["server.server.requests"]; got < 2 {
+		t.Fatalf("server.server.requests = %d, want >= 2 (explain + checkpoint ran)", got)
+	}
+	if _, ok := stats["db.checkpoint.count"]; !ok {
+		t.Fatalf("stats %v missing db.checkpoint.count", stats)
+	}
+	if got := stats["server.server.latency.explain.count"]; got != 1 {
+		t.Fatalf("explain latency histogram count = %d, want 1", got)
 	}
 }
 

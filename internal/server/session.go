@@ -3,7 +3,6 @@ package server
 import (
 	"context"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -29,6 +28,10 @@ type session struct {
 	writeMu sync.Mutex
 
 	frames chan frameMsg
+
+	// minor is the client's protocol minor from its Hello; it gates
+	// the minor-1 response forms (STATSKV instead of TEXT).
+	minor uint8
 
 	// root is the session's span: every request's work is attributed
 	// to a child operator span, so the session trace is the full
@@ -135,6 +138,7 @@ func (ss *session) run() {
 				}
 			case wire.MsgRange, wire.MsgNearest, wire.MsgJoin, wire.MsgInsert,
 				wire.MsgCheckpoint, wire.MsgExplain, wire.MsgStats:
+				recv := time.Now()
 				id := peekID(f.payload)
 				if reqDone != nil {
 					ss.sendError(id, wire.CodeBadRequest,
@@ -157,7 +161,7 @@ func (ss *session) run() {
 				go func() {
 					defer close(done)
 					defer ss.srv.endRequest()
-					ss.execute(ctx, typ, payload)
+					ss.execute(ctx, typ, payload, recv)
 				}()
 			default:
 				ss.sendError(0, wire.CodeBadRequest,
@@ -192,6 +196,7 @@ func (ss *session) handshake() bool {
 			fmt.Sprintf("protocol major version %d not supported (server speaks %d)", hello.Major, wire.VersionMajor))
 		return false
 	}
+	ss.minor = hello.Minor
 	g := ss.srv.db.Grid()
 	bits := make([]uint32, g.Dims())
 	for i := range bits {
@@ -202,26 +207,36 @@ func (ss *session) handshake() bool {
 	}.Encode()) == nil
 }
 
-// execute runs one decoded-and-admitted request to completion,
-// sending its Done or Error frame. It runs in its own goroutine.
-func (ss *session) execute(ctx context.Context, typ uint8, payload []byte) {
+// execute runs one admitted request to completion, sending its Done
+// or Error frame, then records its telemetry (histograms, log line).
+// It runs in its own goroutine; recv is when the session loop
+// dequeued the frame, the anchor of the timing breakdown.
+func (ss *session) execute(ctx context.Context, typ uint8, payload []byte, recv time.Time) {
 	ss.srv.metrics.Int("server.requests").Add(1)
+	rq := &request{
+		id:    peekID(payload),
+		op:    opName(typ),
+		recv:  recv,
+		start: time.Now(),
+		span:  ss.root.Child(opName(typ)),
+	}
 	switch typ {
 	case wire.MsgRange:
-		ss.handleRange(ctx, payload)
+		ss.handleRange(ctx, rq, payload)
 	case wire.MsgNearest:
-		ss.handleNearest(ctx, payload)
+		ss.handleNearest(ctx, rq, payload)
 	case wire.MsgJoin:
-		ss.handleJoin(ctx, payload)
+		ss.handleJoin(ctx, rq, payload)
 	case wire.MsgInsert:
-		ss.handleInsert(ctx, payload)
+		ss.handleInsert(ctx, rq, payload)
 	case wire.MsgCheckpoint:
-		ss.handleCheckpoint(ctx, payload)
+		ss.handleCheckpoint(ctx, rq, payload)
 	case wire.MsgExplain:
-		ss.handleExplain(ctx, payload)
+		ss.handleExplain(ctx, rq, payload)
 	case wire.MsgStats:
-		ss.handleStats(ctx, payload)
+		ss.handleStats(ctx, rq, payload)
 	}
+	ss.finish(rq)
 }
 
 // withTimeout applies a request's timeout_ms to its context.
@@ -230,27 +245,6 @@ func withTimeout(ctx context.Context, ms uint32) (context.Context, context.Cance
 		return ctx, func() {}
 	}
 	return context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
-}
-
-// fail maps an execution error to its typed wire code and sends the
-// error frame. context.Cause distinguishes a client cancel from the
-// server's drain.
-func (ss *session) fail(ctx context.Context, id uint32, err error) {
-	code := uint8(wire.CodeInternal)
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		code = wire.CodeDeadline
-	case errors.Is(err, context.Canceled):
-		switch context.Cause(ctx) {
-		case errDraining:
-			code = wire.CodeShuttingDown
-		default:
-			code = wire.CodeCanceled
-		}
-	case errors.Is(err, probe.ErrClosed):
-		code = wire.CodeShuttingDown
-	}
-	ss.sendError(id, code, err.Error())
 }
 
 // strategyOf maps the wire strategy byte (0 = server default) to a
@@ -303,28 +297,26 @@ func statsArray(qs probe.QueryStats) []uint64 {
 	return a
 }
 
-func (ss *session) sendDone(id uint32, qs probe.QueryStats) {
-	ss.send(wire.MsgDone, wire.Done{ID: id, Stats: statsArray(qs)}.Encode())
-}
-
-func (ss *session) handleRange(ctx context.Context, payload []byte) {
+func (ss *session) handleRange(ctx context.Context, rq *request, payload []byte) {
 	req, err := wire.DecodeRangeReq(payload)
 	if err != nil {
-		ss.sendError(peekID(payload), wire.CodeBadRequest, err.Error())
+		ss.reject(rq, err.Error())
 		return
 	}
+	rq.flags = req.Flags
 	strat, err := strategyOf(req.Strategy)
 	if err != nil {
-		ss.sendError(req.ID, wire.CodeBadRequest, err.Error())
+		ss.reject(rq, err.Error())
 		return
 	}
 	box, err := ss.boxOf(req.Lo, req.Hi)
 	if err != nil {
-		ss.sendError(req.ID, wire.CodeBadRequest, err.Error())
+		ss.reject(rq, err.Error())
 		return
 	}
 	ctx, stop := withTimeout(ctx, req.TimeoutMS)
 	defer stop()
+	rq.markPlanned()
 
 	dims := uint32(ss.srv.db.Grid().Dims())
 	batch := make([]wire.Point, 0, ss.srv.cfg.BatchSize)
@@ -333,7 +325,7 @@ func (ss *session) handleRange(ctx context.Context, payload []byte) {
 		if len(batch) == 0 {
 			return true
 		}
-		writeErr = ss.send(wire.MsgBatch, wire.Batch{
+		writeErr = ss.sendTimed(rq, wire.MsgBatch, wire.Batch{
 			ID: req.ID, Kind: wire.KindPoints, Dims: dims, Points: batch,
 		}.Encode())
 		batch = batch[:0]
@@ -345,29 +337,29 @@ func (ss *session) handleRange(ctx context.Context, payload []byte) {
 			return flush()
 		}
 		return true
-	}, probe.WithContext(ctx), probe.WithStrategy(strat), probe.WithTrace(ss.root))
+	}, probe.WithContext(ctx), probe.WithStrategy(strat), probe.WithTrace(rq.span))
 	if writeErr != nil {
 		return // connection is gone; nothing more to say
 	}
 	if err != nil {
-		ss.fail(ctx, req.ID, err)
+		ss.failReq(ctx, rq, err)
 		return
 	}
 	if !flush() {
 		return
 	}
-	ss.sendDone(req.ID, qs)
+	ss.sendDone(rq, qs)
 }
 
-func (ss *session) handleNearest(ctx context.Context, payload []byte) {
+func (ss *session) handleNearest(ctx context.Context, rq *request, payload []byte) {
 	req, err := wire.DecodeNearestReq(payload)
 	if err != nil {
-		ss.sendError(peekID(payload), wire.CodeBadRequest, err.Error())
+		ss.reject(rq, err.Error())
 		return
 	}
+	rq.flags = req.Flags
 	if len(req.Q) != ss.srv.db.Grid().Dims() {
-		ss.sendError(req.ID, wire.CodeBadRequest,
-			fmt.Sprintf("query point has %d dimensions, database has %d", len(req.Q), ss.srv.db.Grid().Dims()))
+		ss.reject(rq, fmt.Sprintf("query point has %d dimensions, database has %d", len(req.Q), ss.srv.db.Grid().Dims()))
 		return
 	}
 	var metric probe.Metric
@@ -377,16 +369,17 @@ func (ss *session) handleNearest(ctx context.Context, payload []byte) {
 	case 1:
 		metric = probe.Euclidean
 	default:
-		ss.sendError(req.ID, wire.CodeBadRequest, fmt.Sprintf("unknown metric %d", req.Metric))
+		ss.reject(rq, fmt.Sprintf("unknown metric %d", req.Metric))
 		return
 	}
 	ctx, stop := withTimeout(ctx, req.TimeoutMS)
 	defer stop()
+	rq.markPlanned()
 
 	nbs, qs, err := ss.srv.db.Nearest(req.Q, int(req.M), metric,
-		probe.WithContext(ctx), probe.WithTrace(ss.root))
+		probe.WithContext(ctx), probe.WithTrace(rq.span))
 	if err != nil {
-		ss.fail(ctx, req.ID, err)
+		ss.failReq(ctx, rq, err)
 		return
 	}
 	dims := uint32(ss.srv.db.Grid().Dims())
@@ -399,21 +392,22 @@ func (ss *session) handleNearest(ctx context.Context, payload []byte) {
 				Dist:  n.Dist,
 			})
 		}
-		if ss.send(wire.MsgBatch, wire.Batch{
+		if ss.sendTimed(rq, wire.MsgBatch, wire.Batch{
 			ID: req.ID, Kind: wire.KindNeighbors, Dims: dims, Neighbors: out,
 		}.Encode()) != nil {
 			return
 		}
 	}
-	ss.sendDone(req.ID, qs)
+	ss.sendDone(rq, qs)
 }
 
-func (ss *session) handleJoin(ctx context.Context, payload []byte) {
+func (ss *session) handleJoin(ctx context.Context, rq *request, payload []byte) {
 	req, err := wire.DecodeJoinReq(payload)
 	if err != nil {
-		ss.sendError(peekID(payload), wire.CodeBadRequest, err.Error())
+		ss.reject(rq, err.Error())
 		return
 	}
+	rq.flags = req.Flags
 	ctx, stop := withTimeout(ctx, req.TimeoutMS)
 	defer stop()
 
@@ -437,21 +431,22 @@ func (ss *session) handleJoin(ctx context.Context, payload []byte) {
 	}
 	a, err := decomposeRel(req.A)
 	if err != nil {
-		ss.sendError(req.ID, wire.CodeBadRequest, err.Error())
+		ss.reject(rq, err.Error())
 		return
 	}
 	b, err := decomposeRel(req.B)
 	if err != nil {
-		ss.sendError(req.ID, wire.CodeBadRequest, err.Error())
+		ss.reject(rq, err.Error())
 		return
 	}
-	opts := []probe.JoinOption{probe.WithContext(ctx), probe.WithTrace(ss.root)}
+	rq.markPlanned()
+	opts := []probe.JoinOption{probe.WithContext(ctx), probe.WithTrace(rq.span)}
 	if req.Workers > 0 {
 		opts = append(opts, probe.WithWorkers(int(req.Workers)))
 	}
 	pairs, qs, err := probe.SpatialJoin(a, b, opts...)
 	if err != nil {
-		ss.fail(ctx, req.ID, err)
+		ss.failReq(ctx, rq, err)
 		return
 	}
 	for off := 0; off < len(pairs); off += ss.srv.cfg.BatchSize {
@@ -460,90 +455,115 @@ func (ss *session) handleJoin(ctx context.Context, payload []byte) {
 		for _, p := range pairs[off:end] {
 			out = append(out, [2]uint64{p.A, p.B})
 		}
-		if ss.send(wire.MsgBatch, wire.Batch{
+		if ss.sendTimed(rq, wire.MsgBatch, wire.Batch{
 			ID: req.ID, Kind: wire.KindPairs, Pairs: out,
 		}.Encode()) != nil {
 			return
 		}
 	}
-	ss.sendDone(req.ID, qs)
+	ss.sendDone(rq, qs)
 }
 
-func (ss *session) handleInsert(ctx context.Context, payload []byte) {
+func (ss *session) handleInsert(ctx context.Context, rq *request, payload []byte) {
 	req, err := wire.DecodeInsertReq(payload)
 	if err != nil {
-		ss.sendError(peekID(payload), wire.CodeBadRequest, err.Error())
+		ss.reject(rq, err.Error())
 		return
 	}
+	rq.flags = req.Flags
 	if int(req.Dims) != ss.srv.db.Grid().Dims() {
-		ss.sendError(req.ID, wire.CodeBadRequest,
-			fmt.Sprintf("points have %d dimensions, database has %d", req.Dims, ss.srv.db.Grid().Dims()))
+		ss.reject(rq, fmt.Sprintf("points have %d dimensions, database has %d", req.Dims, ss.srv.db.Grid().Dims()))
 		return
 	}
 	if err := ctx.Err(); err != nil {
-		ss.fail(ctx, req.ID, err)
+		ss.failReq(ctx, rq, err)
 		return
 	}
 	pts := make([]probe.Point, len(req.Points))
 	for i, p := range req.Points {
 		pts[i] = probe.Point{ID: p.ID, Coords: p.Coords}
 	}
+	rq.markPlanned()
 	// Inserts run to completion once started: a half-applied batch is
 	// worse than a late cancel, so only the pre-flight context check
 	// above honors cancellation.
 	if err := ss.srv.db.InsertAll(pts); err != nil {
-		ss.fail(ctx, req.ID, err)
+		ss.failReq(ctx, rq, err)
 		return
 	}
-	ss.sendDone(req.ID, probe.QueryStats{Results: len(pts)})
+	ss.sendDone(rq, probe.QueryStats{Results: len(pts)})
 }
 
-func (ss *session) handleCheckpoint(ctx context.Context, payload []byte) {
+func (ss *session) handleCheckpoint(ctx context.Context, rq *request, payload []byte) {
 	req, err := wire.DecodeSimpleReq(payload)
 	if err != nil {
-		ss.sendError(peekID(payload), wire.CodeBadRequest, err.Error())
+		ss.reject(rq, err.Error())
 		return
 	}
-	qs, err := ss.srv.db.Checkpoint(probe.WithTrace(ss.root))
+	rq.flags = req.Flags
+	rq.markPlanned()
+	qs, err := ss.srv.db.Checkpoint(probe.WithTrace(rq.span))
 	if err != nil {
-		ss.fail(ctx, req.ID, err)
+		ss.failReq(ctx, rq, err)
 		return
 	}
-	ss.sendDone(req.ID, qs)
+	ss.sendDone(rq, qs)
 }
 
-func (ss *session) handleExplain(ctx context.Context, payload []byte) {
+func (ss *session) handleExplain(ctx context.Context, rq *request, payload []byte) {
 	req, err := wire.DecodeRangeReq(payload)
 	if err != nil {
-		ss.sendError(peekID(payload), wire.CodeBadRequest, err.Error())
+		ss.reject(rq, err.Error())
 		return
 	}
+	rq.flags = req.Flags
 	box, err := ss.boxOf(req.Lo, req.Hi)
 	if err != nil {
-		ss.sendError(req.ID, wire.CodeBadRequest, err.Error())
+		ss.reject(rq, err.Error())
 		return
 	}
+	rq.markPlanned()
 	plan, err := ss.srv.db.Explain(box)
 	if err != nil {
-		ss.fail(ctx, req.ID, err)
+		ss.failReq(ctx, rq, err)
 		return
 	}
-	if ss.send(wire.MsgText, wire.TextMsg{ID: req.ID, Text: plan}.Encode()) != nil {
+	if ss.sendTimed(rq, wire.MsgText, wire.TextMsg{ID: req.ID, Text: plan}.Encode()) != nil {
 		return
 	}
-	ss.sendDone(req.ID, probe.QueryStats{})
+	ss.sendDone(rq, probe.QueryStats{})
 }
 
-func (ss *session) handleStats(ctx context.Context, payload []byte) {
+// handleStats snapshots the server's and the database's registries. A
+// minor >= 1 client gets the structured STATSKV response — every
+// metric flattened to a named int64 (histograms as .count/.p50/.p95/
+// .p99/.max), "server."/"db." prefixed; a 1.0 client gets the legacy
+// rendered-JSON TEXT blob.
+func (ss *session) handleStats(ctx context.Context, rq *request, payload []byte) {
 	req, err := wire.DecodeSimpleReq(payload)
 	if err != nil {
-		ss.sendError(peekID(payload), wire.CodeBadRequest, err.Error())
+		ss.reject(rq, err.Error())
 		return
 	}
-	text := fmt.Sprintf("{\"server\": %s, \"db\": %s}",
-		ss.srv.metrics.String(), ss.srv.db.Metrics().String())
-	if ss.send(wire.MsgText, wire.TextMsg{ID: req.ID, Text: text}.Encode()) != nil {
-		return
+	rq.flags = req.Flags
+	rq.markPlanned()
+	if ss.minor >= 1 {
+		var kvs []wire.KV
+		ss.srv.metrics.DoNumeric(func(name string, v int64) {
+			kvs = append(kvs, wire.KV{Name: "server." + name, Value: v})
+		})
+		ss.srv.db.Metrics().DoNumeric(func(name string, v int64) {
+			kvs = append(kvs, wire.KV{Name: "db." + name, Value: v})
+		})
+		if ss.sendTimed(rq, wire.MsgStatsKV, wire.StatsKV{ID: req.ID, KVs: kvs}.Encode()) != nil {
+			return
+		}
+	} else {
+		text := fmt.Sprintf("{\"server\": %s, \"db\": %s}",
+			ss.srv.metrics.String(), ss.srv.db.Metrics().String())
+		if ss.sendTimed(rq, wire.MsgText, wire.TextMsg{ID: req.ID, Text: text}.Encode()) != nil {
+			return
+		}
 	}
-	ss.sendDone(req.ID, probe.QueryStats{})
+	ss.sendDone(rq, probe.QueryStats{})
 }

@@ -106,14 +106,35 @@ func DecodeWelcome(p []byte) (Welcome, error) {
 // request id (echoed on every response frame) and an optional
 // timeout in milliseconds (0 = none), which the server turns into a
 // context deadline.
+//
+// Flags (the Flag* bits) is logically part of the header but travels
+// as the *final* byte of the request payload — minor version 1 added
+// it, and the additive-only promise permits appending, never
+// inserting. A payload without the byte decodes as Flags == 0.
 type Header struct {
 	ID        uint32
 	TimeoutMS uint32
+	Flags     uint8
 }
 
 func (h Header) encodeTo(e *enc) {
 	e.u32(h.ID)
 	e.u32(h.TimeoutMS)
+}
+
+// encodeTail appends the minor-1 trailing flags byte. Every request
+// Encode calls it last.
+func (h Header) encodeTail(e *enc) {
+	e.u8(h.Flags)
+}
+
+// decodeTail reads the optional trailing flags byte into the header;
+// absent (a 1.0 peer) means zero flags. Every request decoder calls
+// it after its fixed fields.
+func (h *Header) decodeTail(d *dec) {
+	if d.remaining() >= 1 {
+		h.Flags, _ = d.u8()
+	}
 }
 
 func decodeHeader(d *dec) (Header, error) {
@@ -148,6 +169,7 @@ func (m RangeReq) Encode() []byte {
 	for _, v := range m.Hi {
 		e.u32(v)
 	}
+	m.Header.encodeTail(&e)
 	return e.b
 }
 
@@ -173,6 +195,7 @@ func DecodeRangeReq(p []byte) (RangeReq, error) {
 	if err != nil {
 		return RangeReq{}, err
 	}
+	h.decodeTail(&d)
 	return RangeReq{Header: h, Strategy: strat, Lo: lo, Hi: hi}, nil
 }
 
@@ -194,6 +217,7 @@ func (m NearestReq) Encode() []byte {
 	for _, v := range m.Q {
 		e.u32(v)
 	}
+	m.Header.encodeTail(&e)
 	return e.b
 }
 
@@ -219,6 +243,7 @@ func DecodeNearestReq(p []byte) (NearestReq, error) {
 	if err != nil {
 		return NearestReq{}, err
 	}
+	h.decodeTail(&d)
 	return NearestReq{Header: h, Metric: metric, M: mm, Q: q}, nil
 }
 
@@ -240,6 +265,7 @@ func (m InsertReq) Encode() []byte {
 			e.u32(v)
 		}
 	}
+	m.Header.encodeTail(&e)
 	return e.b
 }
 
@@ -269,6 +295,7 @@ func DecodeInsertReq(p []byte) (InsertReq, error) {
 		}
 		pts[i] = Point{ID: id, Coords: coords}
 	}
+	h.decodeTail(&d)
 	return InsertReq{Header: h, Dims: uint32(k), Points: pts}, nil
 }
 
@@ -326,6 +353,7 @@ func (m JoinReq) Encode() []byte {
 	e.u32(m.Dims)
 	encodeRelation(&e, m.A)
 	encodeRelation(&e, m.B)
+	m.Header.encodeTail(&e)
 	return e.b
 }
 
@@ -351,6 +379,7 @@ func DecodeJoinReq(p []byte) (JoinReq, error) {
 	if err != nil {
 		return JoinReq{}, err
 	}
+	h.decodeTail(&d)
 	return JoinReq{Header: h, Workers: workers, Dims: uint32(k), A: a, B: b}, nil
 }
 
@@ -363,6 +392,7 @@ type SimpleReq struct {
 func (m SimpleReq) Encode() []byte {
 	var e enc
 	m.Header.encodeTo(&e)
+	m.Header.encodeTail(&e)
 	return e.b
 }
 
@@ -372,6 +402,7 @@ func DecodeSimpleReq(p []byte) (SimpleReq, error) {
 	if err != nil {
 		return SimpleReq{}, err
 	}
+	h.decodeTail(&d)
 	return SimpleReq{Header: h}, nil
 }
 
@@ -549,11 +580,28 @@ const (
 	NumStats // count of defined stat fields in this version
 )
 
-// Done ends a successful request: the echoed request id and the
-// operation's statistics array (see the Stat* indices).
+// Timing field indices of the Done message's per-phase breakdown
+// (minor 1). Like the stats array it is count-prefixed and
+// append-only: older peers skip it entirely, newer peers zero-fill
+// missing trailing fields. All values are nanoseconds.
+const (
+	TimingQueue  = iota // frame receipt → execution start (admission wait)
+	TimingPlan          // decode + validation before the engine call
+	TimingExec          // the query engine call itself
+	TimingStream        // writing result batch frames
+	TimingTotal         // frame receipt → terminal frame
+
+	NumTimings // count of defined timing fields in this version
+)
+
+// Done ends a successful request: the echoed request id, the
+// operation's statistics array (see the Stat* indices), and — since
+// minor 1 — the server's per-phase timing breakdown (see the Timing*
+// indices; empty when the request did not ask for FlagTrace).
 type Done struct {
-	ID    uint32
-	Stats []uint64
+	ID      uint32
+	Stats   []uint64
+	Timings []uint64
 }
 
 func (m Done) Encode() []byte {
@@ -561,6 +609,10 @@ func (m Done) Encode() []byte {
 	e.u32(m.ID)
 	e.u32(uint32(len(m.Stats)))
 	for _, v := range m.Stats {
+		e.u64(v)
+	}
+	e.u32(uint32(len(m.Timings)))
+	for _, v := range m.Timings {
 		e.u64(v)
 	}
 	return e.b
@@ -582,7 +634,23 @@ func DecodeDone(p []byte) (Done, error) {
 			return Done{}, err
 		}
 	}
-	return Done{ID: id, Stats: stats}, nil
+	out := Done{ID: id, Stats: stats}
+	// The timing array is the minor-1 tail: absent from 1.0 peers.
+	if d.remaining() >= 4 {
+		tn, err := d.count(8)
+		if err != nil {
+			return Done{}, err
+		}
+		if tn > 0 {
+			out.Timings = make([]uint64, tn)
+			for i := range out.Timings {
+				if out.Timings[i], err = d.u64(); err != nil {
+					return Done{}, err
+				}
+			}
+		}
+	}
+	return out, nil
 }
 
 // Stat reads field i, zero when the peer did not send it — the
@@ -592,6 +660,14 @@ func (m Done) Stat(i int) uint64 {
 		return 0
 	}
 	return m.Stats[i]
+}
+
+// Timing reads timing field i, zero when the peer did not send it.
+func (m Done) Timing(i int) uint64 {
+	if i < 0 || i >= len(m.Timings) {
+		return 0
+	}
+	return m.Timings[i]
 }
 
 // TextMsg carries a textual response body (EXPLAIN plans, STATS
@@ -619,6 +695,60 @@ func DecodeTextMsg(p []byte) (TextMsg, error) {
 		return TextMsg{}, err
 	}
 	return TextMsg{ID: id, Text: string(body)}, nil
+}
+
+// KV is one named scalar of a StatsKV snapshot.
+type KV struct {
+	Name  string
+	Value int64
+}
+
+// StatsKV is the structured response to the STATS opcode (minor 1):
+// a flat list of named counter/gauge/histogram-summary readings,
+// sorted by name server-side. It replaces the rendered-JSON TEXT
+// blob 1.0 servers sent; a server still answers a minor-0 client
+// with TEXT.
+type StatsKV struct {
+	ID  uint32
+	KVs []KV
+}
+
+func (m StatsKV) Encode() []byte {
+	var e enc
+	e.u32(m.ID)
+	e.u32(uint32(len(m.KVs)))
+	for _, kv := range m.KVs {
+		e.bytes([]byte(kv.Name))
+		e.u64(uint64(kv.Value))
+	}
+	return e.b
+}
+
+func DecodeStatsKV(p []byte) (StatsKV, error) {
+	d := dec{b: p}
+	id, err := d.u32()
+	if err != nil {
+		return StatsKV{}, err
+	}
+	// Each entry is at least a 4-byte name length plus the 8-byte
+	// value, so 12 bytes bounds the plausible count.
+	n, err := d.count(12)
+	if err != nil {
+		return StatsKV{}, err
+	}
+	kvs := make([]KV, n)
+	for i := range kvs {
+		name, err := d.bytes()
+		if err != nil {
+			return StatsKV{}, err
+		}
+		v, err := d.u64()
+		if err != nil {
+			return StatsKV{}, err
+		}
+		kvs[i] = KV{Name: string(name), Value: int64(v)}
+	}
+	return StatsKV{ID: id, KVs: kvs}, nil
 }
 
 // ErrorMsg ends a failed request: the echoed id, a typed code (see

@@ -34,9 +34,14 @@ const Magic = "ZKDQ"
 
 // Protocol version. Major must match between peers; minor only adds
 // fields at the end of existing payloads.
+//
+// Minor 1 added: a trailing flags byte on every request (FlagTrace),
+// the timing-breakdown array on DONE, and the structured STATSKV
+// response (sent instead of TEXT to clients that said minor >= 1 in
+// their Hello).
 const (
 	VersionMajor = 1
-	VersionMinor = 0
+	VersionMinor = 1
 )
 
 // MaxFrame caps a frame's length field (type byte + payload). Frames
@@ -65,10 +70,22 @@ const (
 	MsgStats      = 0x16 // server + database counters snapshot
 	MsgCancel     = 0x18 // cancel the in-flight request with this id
 
-	MsgBatch = 0x20 // one batch of streamed results
-	MsgDone  = 0x21 // request finished; carries its QueryStats
-	MsgText  = 0x22 // textual response (EXPLAIN, STATS)
-	MsgError = 0x23 // request failed; carries a typed error code
+	MsgBatch   = 0x20 // one batch of streamed results
+	MsgDone    = 0x21 // request finished; carries its QueryStats
+	MsgText    = 0x22 // textual response (EXPLAIN, legacy STATS, trace trees)
+	MsgError   = 0x23 // request failed; carries a typed error code
+	MsgStatsKV = 0x24 // structured key/value counter snapshot (minor >= 1)
+)
+
+// Request flag bits, carried as the trailing flags byte every request
+// grew in minor 1. A 1.0 peer never sends the byte and ignores it on
+// receipt, so the zero flags word is the only legal 1.0 behavior.
+const (
+	// FlagTrace asks the server to trace the request: the DONE frame
+	// carries the per-phase timing breakdown, and data requests are
+	// preceded by a TEXT frame with the rendered server-side span
+	// tree.
+	FlagTrace = 1 << 0
 )
 
 // Error codes carried by MsgError.

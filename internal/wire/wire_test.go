@@ -80,12 +80,12 @@ func TestMessageRoundTrips(t *testing.T) {
 	gw, err := DecodeWelcome(wel.Encode())
 	check("welcome", gw, wel, err)
 
-	rr := RangeReq{Header: Header{ID: 7, TimeoutMS: 1500}, Strategy: 2,
+	rr := RangeReq{Header: Header{ID: 7, TimeoutMS: 1500, Flags: FlagTrace}, Strategy: 2,
 		Lo: []uint32{1, 2}, Hi: []uint32{30, 40}}
 	gr, err := DecodeRangeReq(rr.Encode())
 	check("range", gr, rr, err)
 
-	nr := NearestReq{Header: Header{ID: 8}, Metric: 1, M: 5, Q: []uint32{100, 200, 300}}
+	nr := NearestReq{Header: Header{ID: 8, Flags: FlagTrace}, Metric: 1, M: 5, Q: []uint32{100, 200, 300}}
 	gn, err := DecodeNearestReq(nr.Encode())
 	check("nearest", gn, nr, err)
 
@@ -137,6 +137,22 @@ func TestMessageRoundTrips(t *testing.T) {
 		t.Fatal("Done.Stat accessor wrong")
 	}
 
+	dt := Done{ID: 7, Stats: []uint64{1, 2}, Timings: make([]uint64, NumTimings)}
+	dt.Timings[TimingExec] = 1500
+	dt.Timings[TimingTotal] = 2000
+	gdt, err := DecodeDone(dt.Encode())
+	check("done-timings", gdt, dt, err)
+	if gdt.Timing(TimingExec) != 1500 || gdt.Timing(NumTimings+3) != 0 {
+		t.Fatal("Done.Timing accessor wrong")
+	}
+
+	kv := StatsKV{ID: 7, KVs: []KV{
+		{Name: "server.requests", Value: 42},
+		{Name: "server.latency.range.p99", Value: 1234567},
+	}}
+	gkv, err := DecodeStatsKV(kv.Encode())
+	check("stats-kv", gkv, kv, err)
+
 	tm := TextMsg{ID: 7, Text: "plan: index-scan"}
 	gt, err := DecodeTextMsg(tm.Encode())
 	check("text", gt, tm, err)
@@ -147,34 +163,60 @@ func TestMessageRoundTrips(t *testing.T) {
 }
 
 // TestDecodeTruncated: every decoder fails cleanly (no panic) on
-// every strict prefix of a valid payload.
+// every strict prefix of a valid payload — except the prefixes that
+// are themselves valid older-minor payloads. Requests carry a
+// trailing minor-1 flags byte, so the prefix one byte short is the
+// legal 1.0 form; Done's timing array is an optional tail, so any cut
+// before its count field decodes as a 1.0 Done.
 func TestDecodeTruncated(t *testing.T) {
+	// okPrefix(full, n) reports whether a prefix of n bytes is a
+	// legal older-minor payload rather than a truncation.
+	strict := func(full []byte, n int) bool { return false }
+	flagTail := func(full []byte, n int) bool { return n == len(full)-1 }
+
+	dn := Done{ID: 1, Stats: []uint64{1, 2}, Timings: []uint64{3, 4}}
+	dnStatsEnd := len(Done{ID: 1, Stats: []uint64{1, 2}}.Encode()) - 4 // minus the empty timing count
+	doneTail := func(full []byte, n int) bool {
+		// A cut at the end of the stats array — or inside the first
+		// three bytes after it, which an old decoder skips as trailing
+		// garbage — is a valid 1.0 Done.
+		return n >= dnStatsEnd && n < dnStatsEnd+4
+	}
+
 	payloads := map[string]struct {
 		full   []byte
+		ok     func([]byte, int) bool
 		decode func([]byte) error
 	}{
-		"hello":   {Hello{Major: 1}.Encode(), func(p []byte) error { _, err := DecodeHello(p); return err }},
-		"welcome": {Welcome{Major: 1, Bits: []uint32{10, 10}}.Encode(), func(p []byte) error { _, err := DecodeWelcome(p); return err }},
-		"range": {RangeReq{Lo: []uint32{1, 2}, Hi: []uint32{3, 4}}.Encode(),
+		"hello":   {Hello{Major: 1}.Encode(), strict, func(p []byte) error { _, err := DecodeHello(p); return err }},
+		"welcome": {Welcome{Major: 1, Bits: []uint32{10, 10}}.Encode(), strict, func(p []byte) error { _, err := DecodeWelcome(p); return err }},
+		"range": {RangeReq{Lo: []uint32{1, 2}, Hi: []uint32{3, 4}}.Encode(), flagTail,
 			func(p []byte) error { _, err := DecodeRangeReq(p); return err }},
-		"nearest": {NearestReq{M: 1, Q: []uint32{1, 2}}.Encode(),
+		"nearest": {NearestReq{M: 1, Q: []uint32{1, 2}}.Encode(), flagTail,
 			func(p []byte) error { _, err := DecodeNearestReq(p); return err }},
-		"insert": {InsertReq{Dims: 2, Points: []Point{{ID: 1, Coords: []uint32{1, 2}}}}.Encode(),
+		"insert": {InsertReq{Dims: 2, Points: []Point{{ID: 1, Coords: []uint32{1, 2}}}}.Encode(), flagTail,
 			func(p []byte) error { _, err := DecodeInsertReq(p); return err }},
-		"join": {JoinReq{Dims: 1, A: []JoinItem{{ID: 1, Lo: []uint32{0}, Hi: []uint32{1}}}}.Encode(),
+		"join": {JoinReq{Dims: 1, A: []JoinItem{{ID: 1, Lo: []uint32{0}, Hi: []uint32{1}}}}.Encode(), flagTail,
 			func(p []byte) error { _, err := DecodeJoinReq(p); return err }},
-		"batch": {Batch{Kind: KindPoints, Dims: 1, Points: []Point{{ID: 1, Coords: []uint32{1}}}}.Encode(),
+		"batch": {Batch{Kind: KindPoints, Dims: 1, Points: []Point{{ID: 1, Coords: []uint32{1}}}}.Encode(), strict,
 			func(p []byte) error { _, err := DecodeBatch(p); return err }},
-		"done": {Done{ID: 1, Stats: []uint64{1, 2}}.Encode(),
+		"done": {dn.Encode(), doneTail,
 			func(p []byte) error { _, err := DecodeDone(p); return err }},
-		"text": {TextMsg{ID: 1, Text: "x"}.Encode(),
+		"stats-kv": {StatsKV{ID: 1, KVs: []KV{{Name: "x", Value: 2}}}.Encode(), strict,
+			func(p []byte) error { _, err := DecodeStatsKV(p); return err }},
+		"text": {TextMsg{ID: 1, Text: "x"}.Encode(), strict,
 			func(p []byte) error { _, err := DecodeTextMsg(p); return err }},
-		"error": {ErrorMsg{ID: 1, Code: 1, Msg: "x"}.Encode(),
+		"error": {ErrorMsg{ID: 1, Code: 1, Msg: "x"}.Encode(), strict,
 			func(p []byte) error { _, err := DecodeErrorMsg(p); return err }},
 	}
 	for name, tc := range payloads {
 		for n := 0; n < len(tc.full); n++ {
-			if err := tc.decode(tc.full[:n]); err == nil {
+			err := tc.decode(tc.full[:n])
+			if tc.ok(tc.full, n) {
+				if err != nil {
+					t.Errorf("%s: legal older-minor prefix of %d/%d bytes rejected: %v", name, n, len(tc.full), err)
+				}
+			} else if err == nil {
 				t.Errorf("%s: prefix of %d/%d bytes decoded without error", name, n, len(tc.full))
 			}
 		}

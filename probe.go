@@ -372,6 +372,30 @@ func (db *DB) endOp(op string, sp *Trace) {
 // with expvar.Publish for scraping.
 func (db *DB) Metrics() *Metrics { return db.metrics }
 
+// PoolInfo describes the buffer pool's occupancy at one instant:
+// its fixed capacity, how many frames are resident, and how many of
+// those are pinned by in-flight operations. Scrape-time state for
+// monitoring (the admin endpoint exports it as gauges).
+type PoolInfo struct {
+	Capacity int // frames the pool may hold
+	Resident int // frames currently held
+	Pinned   int // resident frames pinned by an operation
+}
+
+// PoolInfo snapshots the buffer pool's occupancy. Zero after Close.
+func (db *DB) PoolInfo() PoolInfo {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return PoolInfo{}
+	}
+	return PoolInfo{
+		Capacity: db.pool.Capacity(),
+		Resident: db.pool.Resident(),
+		Pinned:   db.pool.Pinned(),
+	}
+}
+
 // Grid returns the database's grid.
 func (db *DB) Grid() Grid { return db.grid }
 
