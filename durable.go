@@ -218,6 +218,20 @@ func recoverDurable(g Grid, cfg openConfig, fsys disk.FS, sp *Trace) (*DB, error
 // group fsync. After Checkpoint returns nil, the database reopens to
 // exactly this state no matter how the process dies.
 //
+// Checkpoint always captures a committed tree root, never a partial
+// write: it serializes with Insert/Delete on the database mutex, so no
+// structural change is in flight while the descriptor is encoded, and
+// the descriptor it writes is the root the tree last published — a
+// root whose every page already went through the buffer pool before
+// the writer committed it. A Checkpoint racing an insert therefore
+// lands either wholly before it (recovering to the pre-insert root)
+// or wholly after it (recovering to the post-insert root); recovery
+// can never observe a root with missing children. Superseded pages
+// freed by version garbage collection after the checkpoint stay
+// allocated on disk until the NEXT checkpoint commits the frees, so a
+// crash in between still replays onto an intact page set. See
+// TestCheckpointVsInsertRace and docs/mvcc.md.
+//
 // On an in-memory database (no WithDurability) Checkpoint just
 // flushes the buffer pool.
 //
@@ -261,11 +275,15 @@ func (db *DB) checkpointLocked() error {
 // Close is idempotent; operations after Close fail with ErrClosed.
 //
 // Close is safe against concurrent in-flight queries: it serializes
-// on the same internal mutex as every operation, so it blocks until
-// running queries finish and never releases the store underneath one.
-// To close promptly while long queries are running, cancel them first
-// (run queries under WithContext and cancel the context); the server
-// package's drain sequence does exactly that. See TestCloseWhileQuerying.
+// with writers and traced operations on the database mutex, then
+// takes the read-path state lock exclusively — waiting for every
+// in-flight snapshot read to finish — before marking the database
+// closed and releasing the store. It therefore never releases the
+// store underneath a running operation of either kind. To close
+// promptly while long queries are running, cancel them first (run
+// queries under WithContext and cancel the context); the server
+// package's drain sequence does exactly that. See
+// TestCloseWhileQuerying.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -275,11 +293,18 @@ func (db *DB) Close() error {
 	var err error
 	if db.rs != nil {
 		err = db.checkpointLocked()
+	}
+	// Drain the snapshot read path: the exclusive lock waits out every
+	// reader holding stateMu shared, and flipping closed under it makes
+	// any later read fail with ErrClosed before touching the store.
+	db.stateMu.Lock()
+	db.closed = true
+	db.stateMu.Unlock()
+	if db.rs != nil {
 		if cerr := db.rs.Close(); err == nil {
 			err = cerr
 		}
 	}
-	db.closed = true
 	return err
 }
 

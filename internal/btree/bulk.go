@@ -18,8 +18,9 @@ type Entry struct {
 // built over them. A bulk-loaded tree satisfies the same invariants
 // as one built by insertion but packs pages tighter — loading n
 // entries costs O(n) page writes instead of O(n log n) page accesses.
+// The finished tree is published as its first committed version.
 func Load(pool *disk.Pool, cfg Config, entries []Entry, fill float64) (*Tree, error) {
-	t, err := New(pool, cfg)
+	t, err := newTreeShell(pool, cfg.ValueSize, cfg.LeafCapacity)
 	if err != nil {
 		return nil, err
 	}
@@ -30,6 +31,16 @@ func Load(pool *disk.Pool, cfg Config, entries []Entry, fill float64) (*Tree, er
 		return nil, fmt.Errorf("btree: fill %v outside [0.5, 1]", fill)
 	}
 	if len(entries) == 0 {
+		// Degenerate load: a single empty root leaf, like New.
+		f, err := pool.NewPage()
+		if err != nil {
+			return nil, err
+		}
+		(&leafNode{}).encode(f.Data, t.valueSize)
+		if err := pool.Unpin(f.ID, true); err != nil {
+			return nil, err
+		}
+		t.publishInitial(&version{root: f.ID, height: 1, leaves: 1})
 		return t, nil
 	}
 	for i := 1; i < len(entries); i++ {
@@ -47,13 +58,6 @@ func Load(pool *disk.Pool, cfg Config, entries []Entry, fill float64) (*Tree, er
 		target = 2
 	}
 
-	// Drop the empty root leaf created by New; we rebuild from
-	// scratch.
-	if err := pool.Drop(t.root); err != nil {
-		return nil, err
-	}
-	t.leaves = 0
-
 	// Level 0: pack leaves. chunks distributes the entries evenly
 	// over ceil(n/target) leaves so no leaf underflows.
 	sizes := chunkSizes(len(entries), target, t.minLeafEntries())
@@ -62,16 +66,14 @@ func Load(pool *disk.Pool, cfg Config, entries []Entry, fill float64) (*Tree, er
 		sep []byte // separator preceding this child (nil for first)
 	}
 	var level []childRef
-	var prev disk.PageID
-	var prevNode *leafNode
-	var prevFrame disk.PageID
+	leaves := 0
 	pos := 0
 	for li, size := range sizes {
 		f, err := pool.NewPage()
 		if err != nil {
 			return nil, err
 		}
-		n := &leafNode{prev: prev}
+		n := &leafNode{}
 		for i := 0; i < size; i++ {
 			e := entries[pos]
 			pos++
@@ -88,31 +90,15 @@ func Load(pool *disk.Pool, cfg Config, entries []Entry, fill float64) (*Tree, er
 			sep = shortestSeparator(a[:], b[:])
 		}
 		level = append(level, childRef{id: f.ID, sep: sep})
-		if prevNode != nil {
-			prevNode.next = f.ID
-			if err := t.storeLeaf(prevFrame, prevNode); err != nil {
-				return nil, err
-			}
-		}
-		// Hold the node in memory until we know its next link.
 		n.encode(f.Data, t.valueSize)
 		if err := pool.Unpin(f.ID, true); err != nil {
 			return nil, err
 		}
-		prevNode, prevFrame = n, f.ID
-		prev = f.ID
-		t.leaves++
+		leaves++
 	}
-	if prevNode != nil {
-		prevNode.next = disk.InvalidPage
-		if err := t.storeLeaf(prevFrame, prevNode); err != nil {
-			return nil, err
-		}
-	}
-	t.count = len(entries)
-	t.height = 1
 
 	// Build internal levels until one node remains.
+	height := 1
 	intTarget := t.fanout
 	for len(level) > 1 {
 		sizes := chunkSizes(len(level), intTarget, t.minChildren())
@@ -146,9 +132,14 @@ func Load(pool *disk.Pool, cfg Config, entries []Entry, fill float64) (*Tree, er
 			next = append(next, childRef{id: f.ID, sep: nodeSep})
 		}
 		level = next
-		t.height++
+		height++
 	}
-	t.root = level[0].id
+	t.publishInitial(&version{
+		root:   level[0].id,
+		height: height,
+		count:  len(entries),
+		leaves: leaves,
+	})
 	return t, nil
 }
 

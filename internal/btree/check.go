@@ -6,37 +6,53 @@ import (
 	"probe/internal/disk"
 )
 
-// CheckInvariants walks the whole tree and verifies its structural
-// invariants. It is used by tests after randomized workloads; the
-// checks are:
+// CheckInvariants pins the current committed version and verifies its
+// structural invariants. It is used by tests after randomized
+// workloads; the checks are:
 //
-//  1. every leaf's keys are strictly increasing;
+//  1. every leaf's keys are strictly increasing, and keys increase
+//     strictly across leaves taken in order (the global key order);
 //  2. leaf occupancy is within [minLeafEntries, leafCap] except for a
 //     root leaf;
 //  3. internal occupancy is within [minChildren, fanout] except for
 //     the root (>= 2 children);
 //  4. every key in child i satisfies seps[i-1] <= enc(key) < seps[i];
-//  5. the leaf sibling links visit every leaf in key order;
-//  6. the entry count and leaf count match the tree's counters;
-//  7. all leaves are at the same depth (t.height).
+//  5. the entry count and leaf count match the version's counters;
+//  6. all leaves are at the same depth (the version's height).
+//
+// Because the walk runs against one pinned version, it is safe (and
+// meaningful) concurrently with writers: it validates the committed
+// state the snapshot observes.
 func (t *Tree) CheckInvariants() error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	s := t.Snapshot()
+	defer s.Release()
+	return s.CheckInvariants()
+}
+
+// CheckInvariants verifies the snapshot's version of the tree; see
+// Tree.CheckInvariants.
+func (s *Snapshot) CheckInvariants() error {
+	if s.released {
+		return fmt.Errorf("btree: CheckInvariants on released snapshot")
+	}
+	t, v := s.t, s.v
 	type visit struct {
 		id    disk.PageID
 		depth int
 		lo    []byte // inclusive lower bound (nil = none)
 		hi    []byte // exclusive upper bound (nil = none)
 	}
-	var leavesInOrder []disk.PageID
+	leaves := 0
 	entries := 0
-	stack := []visit{{id: t.root, depth: 1}}
+	var lastKey Key
+	haveLast := false
+	stack := []visit{{id: v.root, depth: 1}}
 	// Depth-first, children pushed right-to-left to visit leaves left
 	// to right.
 	for len(stack) > 0 {
-		v := stack[len(stack)-1]
+		vi := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		f, err := t.pool.Get(v.id)
+		f, err := t.pool.Get(vi.id)
 		if err != nil {
 			return err
 		}
@@ -47,98 +63,76 @@ func (t *Tree) CheckInvariants() error {
 			if err != nil {
 				return err
 			}
-			if err := t.pool.Unpin(v.id, false); err != nil {
+			if err := t.pool.Unpin(vi.id, false); err != nil {
 				return err
 			}
-			if v.depth != t.height {
-				return fmt.Errorf("leaf %d at depth %d, want %d", v.id, v.depth, t.height)
+			if vi.depth != v.height {
+				return fmt.Errorf("leaf %d at depth %d, want %d", vi.id, vi.depth, v.height)
 			}
-			if v.id != t.root && len(n.keys) < t.minLeafEntries() {
-				return fmt.Errorf("leaf %d underfull: %d < %d", v.id, len(n.keys), t.minLeafEntries())
+			if vi.id != v.root && len(n.keys) < t.minLeafEntries() {
+				return fmt.Errorf("leaf %d underfull: %d < %d", vi.id, len(n.keys), t.minLeafEntries())
 			}
 			if len(n.keys) > t.leafCap {
-				return fmt.Errorf("leaf %d overfull: %d > %d", v.id, len(n.keys), t.leafCap)
+				return fmt.Errorf("leaf %d overfull: %d > %d", vi.id, len(n.keys), t.leafCap)
 			}
 			var enc [encodedKeyLen]byte
 			for i, k := range n.keys {
-				if i > 0 && !n.keys[i-1].Less(k) {
-					return fmt.Errorf("leaf %d keys not increasing at %d", v.id, i)
+				if haveLast && !lastKey.Less(k) {
+					return fmt.Errorf("leaf %d breaks global key order at entry %d", vi.id, i)
 				}
+				lastKey, haveLast = k, true
 				k.encode(enc[:])
-				if v.lo != nil && sepCompare(v.lo, enc[:]) > 0 {
-					return fmt.Errorf("leaf %d key %v below bound", v.id, k)
+				if vi.lo != nil && sepCompare(vi.lo, enc[:]) > 0 {
+					return fmt.Errorf("leaf %d key %v below bound", vi.id, k)
 				}
-				if v.hi != nil && sepCompare(v.hi, enc[:]) <= 0 {
-					return fmt.Errorf("leaf %d key %v above bound", v.id, k)
+				if vi.hi != nil && sepCompare(vi.hi, enc[:]) <= 0 {
+					return fmt.Errorf("leaf %d key %v above bound", vi.id, k)
 				}
 			}
 			entries += len(n.keys)
-			leavesInOrder = append(leavesInOrder, v.id)
+			leaves++
 		case internalType:
 			n, err := decodeInternal(f.Data)
 			if err != nil {
 				return err
 			}
-			if err := t.pool.Unpin(v.id, false); err != nil {
+			if err := t.pool.Unpin(vi.id, false); err != nil {
 				return err
 			}
 			minC := t.minChildren()
-			if v.id == t.root {
+			if vi.id == v.root {
 				minC = 2
 			}
 			if len(n.children) < minC {
-				return fmt.Errorf("internal %d underfull: %d children < %d", v.id, len(n.children), minC)
+				return fmt.Errorf("internal %d underfull: %d children < %d", vi.id, len(n.children), minC)
 			}
 			if len(n.children) > t.fanout {
-				return fmt.Errorf("internal %d overfull: %d children > %d", v.id, len(n.children), t.fanout)
+				return fmt.Errorf("internal %d overfull: %d children > %d", vi.id, len(n.children), t.fanout)
 			}
 			for i := 1; i < len(n.seps); i++ {
 				if sepCompare(n.seps[i-1], n.seps[i]) >= 0 {
-					return fmt.Errorf("internal %d separators not increasing at %d", v.id, i)
+					return fmt.Errorf("internal %d separators not increasing at %d", vi.id, i)
 				}
 			}
 			for i := len(n.children) - 1; i >= 0; i-- {
-				lo, hi := v.lo, v.hi
+				lo, hi := vi.lo, vi.hi
 				if i > 0 {
 					lo = n.seps[i-1]
 				}
 				if i < len(n.seps) {
 					hi = n.seps[i]
 				}
-				stack = append(stack, visit{id: n.children[i], depth: v.depth + 1, lo: lo, hi: hi})
+				stack = append(stack, visit{id: n.children[i], depth: vi.depth + 1, lo: lo, hi: hi})
 			}
 		default:
-			return fmt.Errorf("page %d has unknown node type %d", v.id, typ)
+			return fmt.Errorf("page %d has unknown node type %d", vi.id, typ)
 		}
 	}
-	if entries != t.count {
-		return fmt.Errorf("tree holds %d entries, counter says %d", entries, t.count)
+	if entries != v.count {
+		return fmt.Errorf("tree holds %d entries, counter says %d", entries, v.count)
 	}
-	if len(leavesInOrder) != t.leaves {
-		return fmt.Errorf("tree has %d leaves, counter says %d", len(leavesInOrder), t.leaves)
-	}
-	// Walk the sibling chain and compare with the in-order leaves.
-	var chain []disk.PageID
-	id := leavesInOrder[0]
-	prevID := disk.InvalidPage
-	for id != disk.InvalidPage {
-		n, err := t.loadLeaf(id)
-		if err != nil {
-			return err
-		}
-		if n.prev != prevID {
-			return fmt.Errorf("leaf %d prev link %d, want %d", id, n.prev, prevID)
-		}
-		chain = append(chain, id)
-		prevID, id = id, n.next
-	}
-	if len(chain) != len(leavesInOrder) {
-		return fmt.Errorf("sibling chain has %d leaves, tree walk found %d", len(chain), len(leavesInOrder))
-	}
-	for i := range chain {
-		if chain[i] != leavesInOrder[i] {
-			return fmt.Errorf("sibling chain diverges from key order at leaf %d", i)
-		}
+	if leaves != v.leaves {
+		return fmt.Errorf("tree has %d leaves, counter says %d", leaves, v.leaves)
 	}
 	return nil
 }

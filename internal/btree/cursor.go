@@ -2,6 +2,7 @@ package btree
 
 import (
 	"context"
+	"fmt"
 
 	"probe/internal/disk"
 	"probe/internal/obs"
@@ -9,19 +10,29 @@ import (
 
 // Cursor iterates leaf entries in key order. It supports the two
 // access patterns the range-search merge requires (Section 3.3):
-// sequential access (Next, via the leaf sibling links) and random
-// access (SeekGE, a root-to-leaf descent).
+// sequential access (Next, via the descent stack) and random access
+// (SeekGE, a root-to-leaf descent).
 //
-// A cursor holds decoded copies of one leaf at a time and no pins, so
-// any number of cursors may be open. Mutating the tree invalidates
-// open cursors.
+// A cursor holds decoded copies of its descent path — the internal
+// nodes from the root down, plus one leaf — and no pins between
+// steps, so any number of cursors may be open. Sequential steps reuse
+// the cached path: advancing to a neighboring leaf under the same
+// parent costs one leaf read, with internal reads only when the walk
+// crosses a subtree boundary.
 //
-// Each cursor step takes the tree's read latch, so cursors from many
-// goroutines may traverse one tree concurrently (see the Tree
-// thread-safety contract). A cursor itself must not be shared between
-// goroutines.
+// A cursor obtained from Tree.Cursor is live: each step pins the
+// current committed version, so steps interleaved with writes observe
+// the newest data — each step is consistent, but the sequence may
+// span versions (the cursor re-anchors by key when the tree changed
+// under it, so it never follows stale pages). A cursor obtained from
+// Snapshot.Cursor is bound to that snapshot's version for its whole
+// lifetime and is immune to concurrent writes. A cursor itself must
+// not be shared between goroutines.
 type Cursor struct {
 	t     *Tree
+	snap  *Snapshot // non-nil: fixed-version cursor
+	v     *version  // version the cached path below belongs to
+	stack []cursorLevel
 	leaf  *leafNode
 	id    disk.PageID
 	pos   int
@@ -30,22 +41,29 @@ type Cursor struct {
 	ctx   context.Context // cancellation; nil = never cancelled
 }
 
-// Cursor returns a new cursor positioned before the first entry.
+// cursorLevel is one decoded internal node on the descent path and
+// the index of the child the path went into.
+type cursorLevel struct {
+	n     *internalNode
+	id    disk.PageID
+	child int
+}
+
+// Cursor returns a new live cursor positioned before the first entry.
 func (t *Tree) Cursor() *Cursor { return &Cursor{t: t} }
 
 // SetSpan attributes the cursor's traversal work to sp: one
-// obs.Seeks per SeekGE, obs.NodeVisits per internal node crossed on a
-// descent, and obs.LeafScans per leaf page loaded (rescans included —
+// obs.Seeks per SeekGE, obs.NodeVisits per internal node loaded, and
+// obs.LeafScans per leaf page loaded (rescans included —
 // distinct-page counting is the caller's concern). A nil span
 // disables attribution at zero cost.
 func (c *Cursor) SetSpan(sp *obs.Span) { c.span = sp }
 
-// SetContext makes the cursor cancellable: every page-load boundary —
-// each SeekGE descent and each leaf crossing in Next/Prev — checks the
-// context first and fails with its error once it is done. Cancellation
-// therefore costs at most the leaf already in hand: a cancelled cursor
-// performs no further page reads. A nil context (the default) disables
-// the checks at zero cost.
+// SetContext makes the cursor cancellable: every page-load boundary
+// checks the context first and fails with its error once it is done.
+// Cancellation therefore costs at most the leaf already in hand: a
+// cancelled cursor performs no further page reads. A nil context (the
+// default) disables the checks at zero cost.
 func (c *Cursor) SetContext(ctx context.Context) { c.ctx = ctx }
 
 // ctxErr reports the cursor's cancellation state.
@@ -54,6 +72,23 @@ func (c *Cursor) ctxErr() error {
 		return nil
 	}
 	return c.ctx.Err()
+}
+
+// errReleasedSnapshot guards against use-after-Release bugs.
+var errReleasedSnapshot = fmt.Errorf("btree: cursor on released snapshot")
+
+// acquire returns the version this step reads and whether the caller
+// must unpin it afterwards. Snapshot cursors read their pinned
+// version for free; live cursors pin the current version for the
+// duration of one step.
+func (c *Cursor) acquire() (*version, bool, error) {
+	if c.snap != nil {
+		if c.snap.released {
+			return nil, false, errReleasedSnapshot
+		}
+		return c.snap.v, false, nil
+	}
+	return c.t.pin(), true, nil
 }
 
 // Valid reports whether the cursor is positioned on an entry.
@@ -77,119 +112,6 @@ func (c *Cursor) Value() []byte {
 	return c.leaf.values[c.pos]
 }
 
-// First positions the cursor on the smallest entry. It reports
-// whether the tree is non-empty.
-func (c *Cursor) First() (bool, error) {
-	return c.SeekGE(Key{})
-}
-
-// SeekGE positions the cursor on the first entry with key >= k.
-func (c *Cursor) SeekGE(k Key) (bool, error) {
-	if err := c.ctxErr(); err != nil {
-		c.valid = false
-		return false, err
-	}
-	c.t.mu.RLock()
-	defer c.t.mu.RUnlock()
-	c.span.Inc(obs.Seeks)
-	c.span.Add(obs.NodeVisits, int64(c.t.height-1))
-	var enc [encodedKeyLen]byte
-	k.encode(enc[:])
-	id, _, err := c.t.findLeaf(enc[:])
-	if err != nil {
-		c.valid = false
-		return false, err
-	}
-	n, err := c.t.loadLeaf(id)
-	c.span.Inc(obs.LeafScans)
-	if err != nil {
-		c.valid = false
-		return false, err
-	}
-	c.leaf, c.id = n, id
-	c.pos = searchLeaf(n, k)
-	// The target may start in the next leaf (the descend key landed
-	// at this leaf's end).
-	for c.pos >= len(c.leaf.keys) {
-		if c.leaf.next == disk.InvalidPage {
-			c.valid = false
-			return false, nil
-		}
-		if err := c.ctxErr(); err != nil {
-			c.valid = false
-			return false, err
-		}
-		id = c.leaf.next
-		n, err = c.t.loadLeaf(id)
-		c.span.Inc(obs.LeafScans)
-		if err != nil {
-			c.valid = false
-			return false, err
-		}
-		c.leaf, c.id, c.pos = n, id, 0
-	}
-	c.valid = true
-	return true, nil
-}
-
-// Next advances to the next entry in key order.
-func (c *Cursor) Next() (bool, error) {
-	if !c.valid {
-		return false, nil
-	}
-	c.t.mu.RLock()
-	defer c.t.mu.RUnlock()
-	c.pos++
-	for c.pos >= len(c.leaf.keys) {
-		if c.leaf.next == disk.InvalidPage {
-			c.valid = false
-			return false, nil
-		}
-		if err := c.ctxErr(); err != nil {
-			c.valid = false
-			return false, err
-		}
-		id := c.leaf.next
-		n, err := c.t.loadLeaf(id)
-		c.span.Inc(obs.LeafScans)
-		if err != nil {
-			c.valid = false
-			return false, err
-		}
-		c.leaf, c.id, c.pos = n, id, 0
-	}
-	return true, nil
-}
-
-// Prev moves to the previous entry in key order.
-func (c *Cursor) Prev() (bool, error) {
-	if !c.valid {
-		return false, nil
-	}
-	c.t.mu.RLock()
-	defer c.t.mu.RUnlock()
-	c.pos--
-	for c.pos < 0 {
-		if c.leaf.prev == disk.InvalidPage {
-			c.valid = false
-			return false, nil
-		}
-		if err := c.ctxErr(); err != nil {
-			c.valid = false
-			return false, err
-		}
-		id := c.leaf.prev
-		n, err := c.t.loadLeaf(id)
-		c.span.Inc(obs.LeafScans)
-		if err != nil {
-			c.valid = false
-			return false, err
-		}
-		c.leaf, c.id, c.pos = n, id, len(n.keys)-1
-	}
-	return true, nil
-}
-
 // LeafID returns the page id of the leaf under the cursor; the
 // cursor must be Valid. The experiment harness uses it to attribute
 // entries to pages (Figure 6).
@@ -198,4 +120,212 @@ func (c *Cursor) LeafID() disk.PageID {
 		panic("btree: LeafID on invalid cursor")
 	}
 	return c.id
+}
+
+// First positions the cursor on the smallest entry. It reports
+// whether the tree is non-empty.
+func (c *Cursor) First() (bool, error) {
+	return c.SeekGE(Key{})
+}
+
+// descend rebuilds the cursor's path from v's root to the leaf
+// responsible for k.
+func (c *Cursor) descend(v *version, k Key) error {
+	var enc [encodedKeyLen]byte
+	k.encode(enc[:])
+	c.stack = c.stack[:0]
+	id := v.root
+	for level := v.height; level > 1; level-- {
+		if err := c.ctxErr(); err != nil {
+			return err
+		}
+		n, err := c.t.loadInternal(id)
+		if err != nil {
+			return err
+		}
+		c.span.Inc(obs.NodeVisits)
+		i := n.childIndex(enc[:])
+		c.stack = append(c.stack, cursorLevel{n: n, id: id, child: i})
+		id = n.children[i]
+	}
+	if err := c.ctxErr(); err != nil {
+		return err
+	}
+	n, err := c.t.loadLeaf(id)
+	if err != nil {
+		return err
+	}
+	c.span.Inc(obs.LeafScans)
+	c.leaf, c.id, c.v = n, id, v
+	return nil
+}
+
+// descendEdge descends to the leftmost (rightmost) leaf of the
+// subtree rooted at id, extending the cached path.
+func (c *Cursor) descendEdge(v *version, id disk.PageID, rightmost bool) (bool, error) {
+	for len(c.stack)+1 < v.height {
+		if err := c.ctxErr(); err != nil {
+			c.valid = false
+			return false, err
+		}
+		n, err := c.t.loadInternal(id)
+		if err != nil {
+			c.valid = false
+			return false, err
+		}
+		c.span.Inc(obs.NodeVisits)
+		child := 0
+		if rightmost {
+			child = len(n.children) - 1
+		}
+		c.stack = append(c.stack, cursorLevel{n: n, id: id, child: child})
+		id = n.children[child]
+	}
+	if err := c.ctxErr(); err != nil {
+		c.valid = false
+		return false, err
+	}
+	n, err := c.t.loadLeaf(id)
+	if err != nil {
+		c.valid = false
+		return false, err
+	}
+	c.span.Inc(obs.LeafScans)
+	c.leaf, c.id = n, id
+	if rightmost {
+		c.pos = len(n.keys) - 1
+	} else {
+		c.pos = 0
+	}
+	c.valid = len(n.keys) > 0
+	return c.valid, nil
+}
+
+// nextLeaf moves to the first entry of the leaf after the current one
+// by walking the cached path: pop exhausted levels, advance the first
+// ancestor with a further child, descend its leftmost edge.
+func (c *Cursor) nextLeaf(v *version) (bool, error) {
+	for len(c.stack) > 0 {
+		top := &c.stack[len(c.stack)-1]
+		if top.child+1 < len(top.n.children) {
+			top.child++
+			return c.descendEdge(v, top.n.children[top.child], false)
+		}
+		c.stack = c.stack[:len(c.stack)-1]
+	}
+	c.valid = false
+	return false, nil
+}
+
+// prevLeaf is nextLeaf's mirror image.
+func (c *Cursor) prevLeaf(v *version) (bool, error) {
+	for len(c.stack) > 0 {
+		top := &c.stack[len(c.stack)-1]
+		if top.child > 0 {
+			top.child--
+			return c.descendEdge(v, top.n.children[top.child], true)
+		}
+		c.stack = c.stack[:len(c.stack)-1]
+	}
+	c.valid = false
+	return false, nil
+}
+
+// SeekGE positions the cursor on the first entry with key >= k.
+func (c *Cursor) SeekGE(k Key) (bool, error) {
+	if err := c.ctxErr(); err != nil {
+		c.valid = false
+		return false, err
+	}
+	v, rel, err := c.acquire()
+	if err != nil {
+		c.valid = false
+		return false, err
+	}
+	if rel {
+		defer c.t.unpin(v)
+	}
+	c.span.Inc(obs.Seeks)
+	if err := c.descend(v, k); err != nil {
+		c.valid = false
+		return false, err
+	}
+	c.pos = searchLeaf(c.leaf, k)
+	if c.pos < len(c.leaf.keys) {
+		c.valid = true
+		return true, nil
+	}
+	// The target starts past this leaf's end (the descend key landed
+	// at a leaf boundary).
+	return c.nextLeaf(v)
+}
+
+// Next advances to the next entry in key order.
+func (c *Cursor) Next() (bool, error) {
+	if !c.valid {
+		return false, nil
+	}
+	if c.pos+1 < len(c.leaf.keys) {
+		c.pos++
+		return true, nil
+	}
+	// Crossing a leaf boundary needs a consistent view: pin one.
+	last := c.leaf.keys[len(c.leaf.keys)-1]
+	v, rel, err := c.acquire()
+	if err != nil {
+		c.valid = false
+		return false, err
+	}
+	if rel {
+		defer c.t.unpin(v)
+	}
+	if v != c.v {
+		// The tree changed since the cached path was built: the old
+		// page ids may be gone. Re-anchor by key in the new version.
+		if err := c.descend(v, last); err != nil {
+			c.valid = false
+			return false, err
+		}
+		c.pos = searchLeaf(c.leaf, last)
+		if c.pos < len(c.leaf.keys) && c.leaf.keys[c.pos] == last {
+			c.pos++
+		}
+		if c.pos < len(c.leaf.keys) {
+			c.valid = true
+			return true, nil
+		}
+	}
+	return c.nextLeaf(v)
+}
+
+// Prev moves to the previous entry in key order.
+func (c *Cursor) Prev() (bool, error) {
+	if !c.valid {
+		return false, nil
+	}
+	if c.pos > 0 {
+		c.pos--
+		return true, nil
+	}
+	first := c.leaf.keys[0]
+	v, rel, err := c.acquire()
+	if err != nil {
+		c.valid = false
+		return false, err
+	}
+	if rel {
+		defer c.t.unpin(v)
+	}
+	if v != c.v {
+		if err := c.descend(v, first); err != nil {
+			c.valid = false
+			return false, err
+		}
+		c.pos = searchLeaf(c.leaf, first) - 1
+		if c.pos >= 0 {
+			c.valid = true
+			return true, nil
+		}
+	}
+	return c.prevLeaf(v)
 }

@@ -6,9 +6,8 @@ import (
 	"probe/internal/disk"
 )
 
-// load/store helpers: decode copies page contents, so frames are
-// unpinned immediately and structure modifications never hold more
-// than one pin at a time.
+// load helpers: decode copies page contents, so frames are unpinned
+// immediately and no operation ever holds more than one pin at a time.
 
 func (t *Tree) loadLeaf(id disk.PageID) (*leafNode, error) {
 	f, n, err := t.readLeaf(id)
@@ -16,15 +15,6 @@ func (t *Tree) loadLeaf(id disk.PageID) (*leafNode, error) {
 		return nil, err
 	}
 	return n, t.pool.Unpin(f.ID, false)
-}
-
-func (t *Tree) storeLeaf(id disk.PageID, n *leafNode) error {
-	f, err := t.pool.Get(id)
-	if err != nil {
-		return err
-	}
-	n.encode(f.Data, t.valueSize)
-	return t.pool.Unpin(id, true)
 }
 
 func (t *Tree) loadInternal(id disk.PageID) (*internalNode, error) {
@@ -35,81 +25,90 @@ func (t *Tree) loadInternal(id disk.PageID) (*internalNode, error) {
 	return n, t.pool.Unpin(f.ID, false)
 }
 
-func (t *Tree) storeInternal(id disk.PageID, n *internalNode) error {
-	f, err := t.pool.Get(id)
-	if err != nil {
-		return err
-	}
-	n.encode(f.Data)
-	return t.pool.Unpin(id, true)
-}
-
 func (t *Tree) minLeafEntries() int { return t.leafCap / 2 }
 func (t *Tree) minChildren() int    { return t.fanout / 2 }
+
+func encMaxLeaf(l *leafNode) []byte {
+	var b [encodedKeyLen]byte
+	l.keys[len(l.keys)-1].encode(b[:])
+	return b[:]
+}
+
+func encMinLeaf(l *leafNode) []byte {
+	var b [encodedKeyLen]byte
+	l.keys[0].encode(b[:])
+	return b[:]
+}
 
 // Delete removes the entry with the given key. It returns false when
 // the key is absent. Underfull nodes borrow from or merge with
 // siblings, so the tree adapts gracefully as the point set shrinks
-// (the third requirement of Section 2).
+// (the third requirement of Section 2). Like Insert, the delete is
+// copy-on-write: every touched page is rewritten to a fresh page and
+// the result published as one new version, leaving concurrent
+// snapshot readers on the old one.
 func (t *Tree) Delete(k Key) (bool, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	var enc [encodedKeyLen]byte
-	k.encode(enc[:])
-	leafID, path, err := t.findLeaf(enc[:])
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	w := &cow{t: t}
+	nv, found, err := t.deleteCOW(w, t.currentVersion(), k)
 	if err != nil {
+		w.abort()
 		return false, err
 	}
-	n, err := t.loadLeaf(leafID)
-	if err != nil {
-		return false, err
-	}
-	i := searchLeaf(n, k)
-	if i >= len(n.keys) || n.keys[i] != k {
+	if !found {
 		return false, nil
 	}
-	n.keys = append(n.keys[:i], n.keys[i+1:]...)
-	n.values = append(n.values[:i], n.values[i+1:]...)
-	t.count--
-	if err := t.storeLeaf(leafID, n); err != nil {
-		return false, err
-	}
-	if len(n.keys) >= t.minLeafEntries() || len(path) == 0 {
-		return true, nil // no underflow, or the root leaf may shrink freely
-	}
-	if err := t.rebalanceLeaf(leafID, n, path); err != nil {
-		return false, err
-	}
+	t.commit(nv, w.retired)
 	return true, nil
 }
 
-// rebalanceLeaf restores the occupancy invariant of an underfull,
-// non-root leaf.
-func (t *Tree) rebalanceLeaf(id disk.PageID, n *leafNode, path []pathEntry) error {
-	pe := path[len(path)-1]
-	parent, err := t.loadInternal(pe.id)
+func (t *Tree) deleteCOW(w *cow, v *version, k Key) (*version, bool, error) {
+	var enc [encodedKeyLen]byte
+	k.encode(enc[:])
+	path, leafID, err := t.descendPath(v, enc[:])
 	if err != nil {
-		return err
+		return nil, false, err
 	}
-	ci := pe.child
+	n, err := t.loadLeaf(leafID)
+	if err != nil {
+		return nil, false, err
+	}
+	i := searchLeaf(n, k)
+	if i >= len(n.keys) || n.keys[i] != k {
+		return nil, false, nil
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.values = append(n.values[:i], n.values[i+1:]...)
+	nv := &version{seq: v.seq + 1, height: v.height, count: v.count - 1, leaves: v.leaves}
 
-	encMax := func(l *leafNode) []byte {
-		var b [encodedKeyLen]byte
-		l.keys[len(l.keys)-1].encode(b[:])
-		return b[:]
+	if len(n.keys) >= t.minLeafEntries() || len(path) == 0 {
+		// No underflow, or the root leaf may shrink freely.
+		id, err := w.writeLeaf(n)
+		if err != nil {
+			return nil, false, err
+		}
+		w.retire(leafID)
+		root, err := t.replaceUpward(w, path, len(path)-1, id)
+		if err != nil {
+			return nil, false, err
+		}
+		nv.root = root
+		return nv, true, nil
 	}
-	encMin := func(l *leafNode) []byte {
-		var b [encodedKeyLen]byte
-		l.keys[0].encode(b[:])
-		return b[:]
-	}
+
+	// Underfull non-root leaf: borrow from a sibling or merge. The
+	// parent (a decoded copy on the path) absorbs separator and child
+	// edits in memory; replaceUpward/rebalanceUpward write it out.
+	parent := path[len(path)-1].n
+	ci := path[len(path)-1].child
 
 	// Borrow from the left sibling.
 	if ci > 0 {
 		leftID := parent.children[ci-1]
 		left, err := t.loadLeaf(leftID)
 		if err != nil {
-			return err
+			return nil, false, err
 		}
 		if len(left.keys) > t.minLeafEntries() {
 			last := len(left.keys) - 1
@@ -117,14 +116,26 @@ func (t *Tree) rebalanceLeaf(id disk.PageID, n *leafNode, path []pathEntry) erro
 			n.values = append([][]byte{left.values[last]}, n.values...)
 			left.keys = left.keys[:last]
 			left.values = left.values[:last]
-			parent.seps[ci-1] = shortestSeparator(encMax(left), encMin(n))
-			if err := t.storeLeaf(leftID, left); err != nil {
-				return err
+			parent.seps[ci-1] = shortestSeparator(encMaxLeaf(left), encMinLeaf(n))
+			newLeft, err := w.writeLeaf(left)
+			if err != nil {
+				return nil, false, err
 			}
-			if err := t.storeLeaf(id, n); err != nil {
-				return err
+			newSelf, err := w.writeLeaf(n)
+			if err != nil {
+				return nil, false, err
 			}
-			return t.storeInternal(pe.id, parent)
+			w.retire(leftID)
+			w.retire(leafID)
+			parent.children[ci-1] = newLeft
+			parent.children[ci] = newSelf
+			// The parent kept its child count: no rebalance above.
+			root, err := t.writeParentAndReplaceUp(w, path, len(path)-1)
+			if err != nil {
+				return nil, false, err
+			}
+			nv.root = root
+			return nv, true, nil
 		}
 	}
 	// Borrow from the right sibling.
@@ -132,169 +143,212 @@ func (t *Tree) rebalanceLeaf(id disk.PageID, n *leafNode, path []pathEntry) erro
 		rightID := parent.children[ci+1]
 		right, err := t.loadLeaf(rightID)
 		if err != nil {
-			return err
+			return nil, false, err
 		}
 		if len(right.keys) > t.minLeafEntries() {
 			n.keys = append(n.keys, right.keys[0])
 			n.values = append(n.values, right.values[0])
 			right.keys = right.keys[1:]
 			right.values = right.values[1:]
-			parent.seps[ci] = shortestSeparator(encMax(n), encMin(right))
-			if err := t.storeLeaf(rightID, right); err != nil {
-				return err
+			parent.seps[ci] = shortestSeparator(encMaxLeaf(n), encMinLeaf(right))
+			newSelf, err := w.writeLeaf(n)
+			if err != nil {
+				return nil, false, err
 			}
-			if err := t.storeLeaf(id, n); err != nil {
-				return err
+			newRight, err := w.writeLeaf(right)
+			if err != nil {
+				return nil, false, err
 			}
-			return t.storeInternal(pe.id, parent)
+			w.retire(leafID)
+			w.retire(rightID)
+			parent.children[ci] = newSelf
+			parent.children[ci+1] = newRight
+			root, err := t.writeParentAndReplaceUp(w, path, len(path)-1)
+			if err != nil {
+				return nil, false, err
+			}
+			nv.root = root
+			return nv, true, nil
 		}
 	}
 	// Merge with a sibling: always merge the right node of the pair
-	// into the left.
+	// into the left. The merged leaf is a fresh page; both old halves
+	// retire.
 	var leftID, rightID disk.PageID
 	var sepIdx int
+	var left, right *leafNode
 	if ci > 0 {
-		leftID, rightID, sepIdx = parent.children[ci-1], id, ci-1
+		leftID, rightID, sepIdx = parent.children[ci-1], leafID, ci-1
+		if left, err = t.loadLeaf(leftID); err != nil {
+			return nil, false, err
+		}
+		right = n
 	} else {
-		leftID, rightID, sepIdx = id, parent.children[ci+1], ci
-	}
-	left, err := t.loadLeaf(leftID)
-	if err != nil {
-		return err
-	}
-	right, err := t.loadLeaf(rightID)
-	if err != nil {
-		return err
+		leftID, rightID, sepIdx = leafID, parent.children[ci+1], ci
+		left = n
+		if right, err = t.loadLeaf(rightID); err != nil {
+			return nil, false, err
+		}
 	}
 	left.keys = append(left.keys, right.keys...)
 	left.values = append(left.values, right.values...)
-	left.next = right.next
-	if right.next != disk.InvalidPage {
-		after, err := t.loadLeaf(right.next)
-		if err != nil {
-			return err
-		}
-		after.prev = leftID
-		if err := t.storeLeaf(right.next, after); err != nil {
-			return err
-		}
+	mergedID, err := w.writeLeaf(left)
+	if err != nil {
+		return nil, false, err
 	}
-	if err := t.storeLeaf(leftID, left); err != nil {
-		return err
-	}
-	if err := t.pool.Drop(rightID); err != nil {
-		return err
-	}
-	t.leaves--
+	w.retire(leftID)
+	w.retire(rightID)
+	nv.leaves--
+	parent.children[sepIdx] = mergedID
 	parent.removeAt(sepIdx)
-	if err := t.storeInternal(pe.id, parent); err != nil {
-		return err
+	root, err := t.rebalanceUpward(w, nv, path, len(path)-1)
+	if err != nil {
+		return nil, false, err
 	}
-	return t.rebalanceInternal(pe.id, parent, path[:len(path)-1])
+	nv.root = root
+	return nv, true, nil
 }
 
-// rebalanceInternal restores the occupancy invariant of an internal
-// node after one of its separators was removed.
-func (t *Tree) rebalanceInternal(id disk.PageID, n *internalNode, path []pathEntry) error {
-	if id == t.root {
-		if len(n.children) == 1 {
-			// Collapse the root.
-			old := t.root
-			t.root = n.children[0]
-			t.height--
-			return t.pool.Drop(old)
-		}
-		return nil
-	}
-	if len(n.children) >= t.minChildren() {
-		return nil
-	}
-	pe := path[len(path)-1]
-	parent, err := t.loadInternal(pe.id)
+// writeParentAndReplaceUp writes the (already edited) path node at
+// level pi, retires its old page, and propagates the replacement to
+// the root. It is the no-rebalance finish used after a borrow, where
+// the edited node kept its child count.
+func (t *Tree) writeParentAndReplaceUp(w *cow, path []cowLevel, pi int) (disk.PageID, error) {
+	id, err := w.writeInternal(path[pi].n)
 	if err != nil {
-		return err
+		return disk.InvalidPage, err
 	}
-	ci := pe.child
+	w.retire(path[pi].id)
+	return t.replaceUpward(w, path, pi-1, id)
+}
 
-	// Borrow from the left sibling: rotate through the parent.
-	if ci > 0 {
-		leftID := parent.children[ci-1]
-		left, err := t.loadInternal(leftID)
+// rebalanceUpward writes out path[pi].n — an internal node whose child
+// set shrank — rebalancing it against its siblings and cascading
+// upward as needed. It returns the new root id.
+func (t *Tree) rebalanceUpward(w *cow, nv *version, path []cowLevel, pi int) (disk.PageID, error) {
+	for {
+		cur := path[pi].n
+		curOld := path[pi].id
+		if pi == 0 {
+			// cur is the root.
+			if len(cur.children) == 1 && nv.height > 1 {
+				// Collapse the root: its only child becomes the root.
+				w.retire(curOld)
+				nv.height--
+				return cur.children[0], nil
+			}
+			id, err := w.writeInternal(cur)
+			if err != nil {
+				return disk.InvalidPage, err
+			}
+			w.retire(curOld)
+			return id, nil
+		}
+		if len(cur.children) >= t.minChildren() {
+			id, err := w.writeInternal(cur)
+			if err != nil {
+				return disk.InvalidPage, err
+			}
+			w.retire(curOld)
+			return t.replaceUpward(w, path, pi-1, id)
+		}
+
+		parent := path[pi-1].n
+		ci := path[pi-1].child
+
+		// Borrow from the left sibling: rotate through the parent.
+		if ci > 0 {
+			leftID := parent.children[ci-1]
+			left, err := t.loadInternal(leftID)
+			if err != nil {
+				return disk.InvalidPage, err
+			}
+			if len(left.children) > t.minChildren() {
+				lastChild := left.children[len(left.children)-1]
+				lastSep := left.seps[len(left.seps)-1]
+				left.children = left.children[:len(left.children)-1]
+				left.seps = left.seps[:len(left.seps)-1]
+				cur.children = append([]disk.PageID{lastChild}, cur.children...)
+				cur.seps = append([][]byte{parent.seps[ci-1]}, cur.seps...)
+				parent.seps[ci-1] = lastSep
+				newLeft, err := w.writeInternal(left)
+				if err != nil {
+					return disk.InvalidPage, err
+				}
+				newSelf, err := w.writeInternal(cur)
+				if err != nil {
+					return disk.InvalidPage, err
+				}
+				w.retire(leftID)
+				w.retire(curOld)
+				parent.children[ci-1] = newLeft
+				parent.children[ci] = newSelf
+				return t.writeParentAndReplaceUp(w, path, pi-1)
+			}
+		}
+		// Borrow from the right sibling.
+		if ci < len(parent.children)-1 {
+			rightID := parent.children[ci+1]
+			right, err := t.loadInternal(rightID)
+			if err != nil {
+				return disk.InvalidPage, err
+			}
+			if len(right.children) > t.minChildren() {
+				firstChild := right.children[0]
+				firstSep := right.seps[0]
+				right.children = right.children[1:]
+				right.seps = right.seps[1:]
+				cur.children = append(cur.children, firstChild)
+				cur.seps = append(cur.seps, parent.seps[ci])
+				parent.seps[ci] = firstSep
+				newSelf, err := w.writeInternal(cur)
+				if err != nil {
+					return disk.InvalidPage, err
+				}
+				newRight, err := w.writeInternal(right)
+				if err != nil {
+					return disk.InvalidPage, err
+				}
+				w.retire(curOld)
+				w.retire(rightID)
+				parent.children[ci] = newSelf
+				parent.children[ci+1] = newRight
+				return t.writeParentAndReplaceUp(w, path, pi-1)
+			}
+		}
+		// Merge with a sibling, pulling the parent separator down.
+		var leftID, rightID disk.PageID
+		var sepIdx int
+		var left, right *internalNode
+		if ci > 0 {
+			leftID, rightID, sepIdx = parent.children[ci-1], curOld, ci-1
+			var err error
+			if left, err = t.loadInternal(leftID); err != nil {
+				return disk.InvalidPage, err
+			}
+			right = cur
+		} else {
+			leftID, rightID, sepIdx = curOld, parent.children[ci+1], ci
+			left = cur
+			var err error
+			if right, err = t.loadInternal(rightID); err != nil {
+				return disk.InvalidPage, err
+			}
+		}
+		left.seps = append(left.seps, parent.seps[sepIdx])
+		left.seps = append(left.seps, right.seps...)
+		left.children = append(left.children, right.children...)
+		if len(left.children) > t.fanout {
+			return disk.InvalidPage, fmt.Errorf("btree: merge overflowed internal node (%d children)", len(left.children))
+		}
+		mergedID, err := w.writeInternal(left)
 		if err != nil {
-			return err
+			return disk.InvalidPage, err
 		}
-		if len(left.children) > t.minChildren() {
-			lastChild := left.children[len(left.children)-1]
-			lastSep := left.seps[len(left.seps)-1]
-			left.children = left.children[:len(left.children)-1]
-			left.seps = left.seps[:len(left.seps)-1]
-			n.children = append([]disk.PageID{lastChild}, n.children...)
-			n.seps = append([][]byte{parent.seps[ci-1]}, n.seps...)
-			parent.seps[ci-1] = lastSep
-			if err := t.storeInternal(leftID, left); err != nil {
-				return err
-			}
-			if err := t.storeInternal(id, n); err != nil {
-				return err
-			}
-			return t.storeInternal(pe.id, parent)
-		}
+		w.retire(leftID)
+		w.retire(rightID)
+		parent.children[sepIdx] = mergedID
+		parent.removeAt(sepIdx)
+		pi--
 	}
-	// Borrow from the right sibling.
-	if ci < len(parent.children)-1 {
-		rightID := parent.children[ci+1]
-		right, err := t.loadInternal(rightID)
-		if err != nil {
-			return err
-		}
-		if len(right.children) > t.minChildren() {
-			firstChild := right.children[0]
-			firstSep := right.seps[0]
-			right.children = right.children[1:]
-			right.seps = right.seps[1:]
-			n.children = append(n.children, firstChild)
-			n.seps = append(n.seps, parent.seps[ci])
-			parent.seps[ci] = firstSep
-			if err := t.storeInternal(rightID, right); err != nil {
-				return err
-			}
-			if err := t.storeInternal(id, n); err != nil {
-				return err
-			}
-			return t.storeInternal(pe.id, parent)
-		}
-	}
-	// Merge with a sibling, pulling the parent separator down.
-	var leftID, rightID disk.PageID
-	var sepIdx int
-	if ci > 0 {
-		leftID, rightID, sepIdx = parent.children[ci-1], id, ci-1
-	} else {
-		leftID, rightID, sepIdx = id, parent.children[ci+1], ci
-	}
-	left, err := t.loadInternal(leftID)
-	if err != nil {
-		return err
-	}
-	right, err := t.loadInternal(rightID)
-	if err != nil {
-		return err
-	}
-	left.seps = append(left.seps, parent.seps[sepIdx])
-	left.seps = append(left.seps, right.seps...)
-	left.children = append(left.children, right.children...)
-	if len(left.children) > t.fanout {
-		return fmt.Errorf("btree: merge overflowed internal node (%d children)", len(left.children))
-	}
-	if err := t.storeInternal(leftID, left); err != nil {
-		return err
-	}
-	if err := t.pool.Drop(rightID); err != nil {
-		return err
-	}
-	parent.removeAt(sepIdx)
-	if err := t.storeInternal(pe.id, parent); err != nil {
-		return err
-	}
-	return t.rebalanceInternal(pe.id, parent, path[:len(path)-1])
 }

@@ -7,10 +7,15 @@
 //
 // The tree lives on disk.Pool pages, so every access flows through
 // the buffer pool and is counted — the experiment harness reproduces
-// the paper's page-access figures from those counters. Leaves are
-// doubly linked for the sequential access the merge algorithms need,
-// and the cursor supports the random access (SeekGE) used by the skip
-// optimization of Section 3.3.
+// the paper's page-access figures from those counters. The cursor
+// provides the sequential access the merge algorithms need (via its
+// cached descent path) and the random access (SeekGE) used by the
+// skip optimization of Section 3.3.
+//
+// The tree is multi-versioned: writers are copy-on-write and publish
+// immutable versions, readers pin a version and run lock-free. See
+// version.go for the MVCC design and docs/mvcc.md for the full
+// lifecycle.
 package btree
 
 import (

@@ -18,45 +18,62 @@ type Config struct {
 	LeafCapacity int
 }
 
-// Tree is a prefix B+-tree over disk pages.
+// Tree is a prefix B+-tree over disk pages with multi-version
+// concurrency control.
 //
-// Thread safety: reads (Get, the accessors, and cursor steps) may run
-// concurrently with each other; structural writes (Insert, Delete)
-// take the tree latch exclusively, so a write never races a read.
-// Note the guarantee is freedom from data races, not snapshot
-// isolation: a cursor interleaved with writes observes the tree
-// page-at-a-time and may see a mix of old and new state, so
-// consistent iteration still requires no concurrent writers.
+// Thread safety: the tree is a chain of immutable versions (see
+// version.go). Reads — Get, the accessors, Snapshot views, and cursor
+// steps — pin a committed version and traverse its pages without any
+// tree-wide lock, so they never block behind a writer. Structural
+// writes (Insert, Delete) serialize on an internal writer mutex, build
+// new pages along the modified path, and publish a new root with one
+// atomic commit. A Snapshot observes exactly one committed version for
+// its whole lifetime; a plain Tree.Cursor re-pins the current version
+// at each step, so an iteration interleaved with writes may observe
+// different committed versions at different steps — each step is
+// consistent, the sequence is not. Consistent iteration across steps
+// uses Snapshot.Cursor.
 type Tree struct {
 	pool      *disk.Pool
 	valueSize int
 	leafCap   int
 	fanout    int // max children of an internal node
 
-	mu     sync.RWMutex
-	root   disk.PageID
-	height int // 1 = root is a leaf
-	count  int // number of entries
-	leaves int // number of leaf pages
+	// writeMu serializes structural writers (Insert, Delete, and
+	// version publication from Load).
+	writeMu sync.Mutex
+
+	// verMu guards the version chain: cur, pin counts, and the retire
+	// queue. It is held only for pointer-sized critical sections —
+	// never across page I/O — so readers pinning a version contend
+	// only momentarily with a committing writer.
+	verMu         sync.Mutex
+	cur           *version
+	pinnedVers    []*version  // versions with pins > 0
+	retired       []retireSet // superseded pages awaiting GC
+	retainedPages int
+	freedPages    uint64
+	freeFailures  uint64
 }
 
-// New creates an empty tree on the pool.
-func New(pool *disk.Pool, cfg Config) (*Tree, error) {
+// newTreeShell validates the geometry and returns a Tree with no
+// published version yet; callers publish one via publishInitial.
+func newTreeShell(pool *disk.Pool, valueSize, leafCapacity int) (*Tree, error) {
 	ps := pool.Store().PageSize()
-	if cfg.ValueSize < 0 {
+	if valueSize < 0 {
 		return nil, fmt.Errorf("btree: negative value size")
 	}
-	stride := encodedKeyLen + cfg.ValueSize
+	stride := encodedKeyLen + valueSize
 	maxLeaf := (ps - leafHeaderLen) / stride
 	if maxLeaf < 2 {
 		return nil, fmt.Errorf("btree: page size %d cannot hold 2 entries of %d bytes", ps, stride)
 	}
-	leafCap := cfg.LeafCapacity
+	leafCap := leafCapacity
 	if leafCap == 0 {
 		leafCap = maxLeaf
 	}
 	if leafCap < 2 || leafCap > maxLeaf {
-		return nil, fmt.Errorf("btree: leaf capacity %d outside [2,%d]", cfg.LeafCapacity, maxLeaf)
+		return nil, fmt.Errorf("btree: leaf capacity %d outside [2,%d]", leafCapacity, maxLeaf)
 	}
 	// Pessimistic fanout: assume every separator is a full key, so
 	// any mix of truncated separators always fits the page.
@@ -65,26 +82,39 @@ func New(pool *disk.Pool, cfg Config) (*Tree, error) {
 	if fanout < 4 {
 		return nil, fmt.Errorf("btree: page size %d too small for internal nodes", ps)
 	}
-	t := &Tree{pool: pool, valueSize: cfg.ValueSize, leafCap: leafCap, fanout: fanout}
+	return &Tree{pool: pool, valueSize: valueSize, leafCap: leafCap, fanout: fanout}, nil
+}
+
+// publishInitial installs v as version 1 of a freshly built tree.
+func (t *Tree) publishInitial(v *version) {
+	v.seq = 1
+	t.cur = v
+}
+
+// New creates an empty tree on the pool.
+func New(pool *disk.Pool, cfg Config) (*Tree, error) {
+	t, err := newTreeShell(pool, cfg.ValueSize, cfg.LeafCapacity)
+	if err != nil {
+		return nil, err
+	}
 	f, err := pool.NewPage()
 	if err != nil {
 		return nil, err
 	}
 	root := &leafNode{}
 	root.encode(f.Data, t.valueSize)
-	t.root = f.ID
-	t.height = 1
-	t.leaves = 1
 	if err := pool.Unpin(f.ID, true); err != nil {
 		return nil, err
 	}
+	t.publishInitial(&version{root: f.ID, height: 1, leaves: 1})
 	return t, nil
 }
 
 // Meta is the persistent identity of a tree: everything needed to
 // reattach to its pages after the process restarts. A durable caller
-// serializes it at each checkpoint and hands it back to Load on
-// reopen.
+// serializes it at each checkpoint and hands it back to Attach on
+// reopen. Meta describes one committed version; the version sequence
+// itself is process-local and restarts at 1 on Attach.
 type Meta struct {
 	Root         disk.PageID
 	Height       int // 1 = root is a leaf
@@ -94,15 +124,15 @@ type Meta struct {
 	LeafCapacity int
 }
 
-// Meta returns the tree's current persistent metadata.
+// Meta returns the persistent metadata of the current committed
+// version.
 func (t *Tree) Meta() Meta {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	v := t.currentVersion()
 	return Meta{
-		Root:         t.root,
-		Height:       t.height,
-		Count:        t.count,
-		Leaves:       t.leaves,
+		Root:         v.root,
+		Height:       v.height,
+		Count:        v.count,
+		Leaves:       v.leaves,
 		ValueSize:    t.valueSize,
 		LeafCapacity: t.leafCap,
 	}
@@ -113,55 +143,29 @@ func (t *Tree) Meta() Meta {
 // geometry against the store's page size but does not touch any
 // pages; the first operation does.
 func Attach(pool *disk.Pool, m Meta) (*Tree, error) {
-	ps := pool.Store().PageSize()
-	if m.ValueSize < 0 {
-		return nil, fmt.Errorf("btree: negative value size")
+	t, err := newTreeShell(pool, m.ValueSize, m.LeafCapacity)
+	if err != nil {
+		return nil, err
 	}
-	stride := encodedKeyLen + m.ValueSize
-	maxLeaf := (ps - leafHeaderLen) / stride
-	if m.LeafCapacity < 2 || m.LeafCapacity > maxLeaf {
-		return nil, fmt.Errorf("btree: leaf capacity %d outside [2,%d] for page size %d", m.LeafCapacity, maxLeaf, ps)
-	}
-	fanout := (ps - internalHeaderLen + 2 + encodedKeyLen) / (4 + 2 + encodedKeyLen)
-	if fanout < 4 {
-		return nil, fmt.Errorf("btree: page size %d too small for internal nodes", ps)
+	if m.LeafCapacity == 0 {
+		return nil, fmt.Errorf("btree: metadata missing leaf capacity")
 	}
 	if m.Root == disk.InvalidPage || m.Height < 1 || m.Count < 0 || m.Leaves < 1 {
 		return nil, fmt.Errorf("btree: implausible tree metadata %+v", m)
 	}
-	return &Tree{
-		pool:      pool,
-		valueSize: m.ValueSize,
-		leafCap:   m.LeafCapacity,
-		fanout:    fanout,
-		root:      m.Root,
-		height:    m.Height,
-		count:     m.Count,
-		leaves:    m.Leaves,
-	}, nil
+	t.publishInitial(&version{root: m.Root, height: m.Height, count: m.Count, leaves: m.Leaves})
+	return t, nil
 }
 
-// Len returns the number of entries.
-func (t *Tree) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.count
-}
+// Len returns the number of entries in the current committed version.
+func (t *Tree) Len() int { return t.currentVersion().count }
 
 // Height returns the tree height (1 when the root is a leaf).
-func (t *Tree) Height() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.height
-}
+func (t *Tree) Height() int { return t.currentVersion().height }
 
 // LeafPages returns the number of leaf pages, the N of the paper's
 // O(vN) page-access analysis.
-func (t *Tree) LeafPages() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.leaves
-}
+func (t *Tree) LeafPages() int { return t.currentVersion().leaves }
 
 // LeafCapacity returns the configured maximum entries per leaf.
 func (t *Tree) LeafCapacity() int { return t.leafCap }
@@ -197,65 +201,28 @@ func (t *Tree) readInternal(id disk.PageID) (*disk.Frame, *internalNode, error) 
 	return f, n, nil
 }
 
-// writeNode encodes a node back into its pinned frame and unpins it
-// dirty.
-func (t *Tree) writeLeaf(f *disk.Frame, n *leafNode) error {
-	n.encode(f.Data, t.valueSize)
-	return t.pool.Unpin(f.ID, true)
-}
-
-func (t *Tree) writeInternal(f *disk.Frame, n *internalNode) error {
-	n.encode(f.Data)
-	return t.pool.Unpin(f.ID, true)
-}
-
-// findLeaf descends from the root to the leaf that should hold the
-// key, recording the path (page ids and child indexes) for structure
-// modifications.
-type pathEntry struct {
-	id    disk.PageID
-	child int // index of the child we descended into
-}
-
-func (t *Tree) findLeaf(enc []byte) (disk.PageID, []pathEntry, error) {
-	id := t.root
-	var path []pathEntry
-	for level := t.height; level > 1; level-- {
-		f, n, err := t.readInternal(id)
-		if err != nil {
-			return 0, nil, err
-		}
-		i := n.childIndex(enc)
-		child := n.children[i]
-		if err := t.pool.Unpin(f.ID, false); err != nil {
-			return 0, nil, err
-		}
-		path = append(path, pathEntry{id: id, child: i})
-		id = child
-	}
-	return id, path, nil
-}
-
 // searchLeaf returns the index of the first key >= k in the leaf.
 func searchLeaf(n *leafNode, k Key) int {
 	return sort.Search(len(n.keys), func(i int) bool { return !n.keys[i].Less(k) })
 }
 
-// Get returns the value stored under the key.
-func (t *Tree) Get(k Key) ([]byte, bool, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+// getAt looks the key up in one committed version. The caller must
+// hold a pin on v (or be the serialized writer).
+func (t *Tree) getAt(v *version, k Key) ([]byte, bool, error) {
 	var enc [encodedKeyLen]byte
 	k.encode(enc[:])
-	leafID, _, err := t.findLeaf(enc[:])
+	id := v.root
+	for level := v.height; level > 1; level-- {
+		n, err := t.loadInternal(id)
+		if err != nil {
+			return nil, false, err
+		}
+		id = n.children[n.childIndex(enc[:])]
+	}
+	n, err := t.loadLeaf(id)
 	if err != nil {
 		return nil, false, err
 	}
-	f, n, err := t.readLeaf(leafID)
-	if err != nil {
-		return nil, false, err
-	}
-	defer t.pool.Unpin(f.ID, false)
 	i := searchLeaf(n, k)
 	if i < len(n.keys) && n.keys[i] == k {
 		return n.values[i], true, nil
@@ -263,140 +230,229 @@ func (t *Tree) Get(k Key) ([]byte, bool, error) {
 	return nil, false, nil
 }
 
+// Get returns the value stored under the key in the current committed
+// version.
+func (t *Tree) Get(k Key) ([]byte, bool, error) {
+	v := t.pin()
+	defer t.unpin(v)
+	return t.getAt(v, k)
+}
+
 // ErrDuplicateKey is returned by Insert when the exact key exists.
 var ErrDuplicateKey = fmt.Errorf("btree: duplicate key")
 
+// cow accumulates the page bookkeeping of one copy-on-write
+// transformation: pages freshly written (to drop again if the write
+// aborts) and old pages superseded by the new version (to retire at
+// commit). Page writes go one at a time — allocate, encode, unpin — so
+// a write never holds more than one pin, the same bound as reads.
+type cow struct {
+	t       *Tree
+	fresh   []disk.PageID
+	retired []disk.PageID
+}
+
+// writeLeaf allocates a new page for the decoded leaf and writes it.
+func (w *cow) writeLeaf(n *leafNode) (disk.PageID, error) {
+	f, err := w.t.pool.NewPage()
+	if err != nil {
+		return disk.InvalidPage, err
+	}
+	// Sibling links are a pre-MVCC layout field: copy-on-write makes
+	// them unmaintainable (a neighbor's link would dangle at the old
+	// page version), so new pages write them as invalid and cursors
+	// never follow them. The on-page layout is unchanged.
+	n.next, n.prev = disk.InvalidPage, disk.InvalidPage
+	n.encode(f.Data, w.t.valueSize)
+	w.fresh = append(w.fresh, f.ID)
+	return f.ID, w.t.pool.Unpin(f.ID, true)
+}
+
+// writeInternal allocates a new page for the decoded internal node.
+func (w *cow) writeInternal(n *internalNode) (disk.PageID, error) {
+	f, err := w.t.pool.NewPage()
+	if err != nil {
+		return disk.InvalidPage, err
+	}
+	n.encode(f.Data)
+	w.fresh = append(w.fresh, f.ID)
+	return f.ID, w.t.pool.Unpin(f.ID, true)
+}
+
+// retire marks an old page as superseded by this transformation.
+func (w *cow) retire(id disk.PageID) { w.retired = append(w.retired, id) }
+
+// abort drops the pages written so far; the published tree never
+// referenced them. Drop errors are ignored — the store is likely the
+// reason the write failed in the first place, and an unfreed page is
+// only a leak.
+func (w *cow) abort() {
+	for _, id := range w.fresh {
+		_ = w.t.pool.Drop(id)
+	}
+}
+
+// cowLevel is one internal node on the writer's descent path, decoded.
+type cowLevel struct {
+	n     *internalNode
+	id    disk.PageID
+	child int
+}
+
+// descendPath walks from v's root to the leaf responsible for enc,
+// returning the decoded internal path and the leaf's page id.
+func (t *Tree) descendPath(v *version, enc []byte) ([]cowLevel, disk.PageID, error) {
+	var path []cowLevel
+	id := v.root
+	for level := v.height; level > 1; level-- {
+		n, err := t.loadInternal(id)
+		if err != nil {
+			return nil, disk.InvalidPage, err
+		}
+		i := n.childIndex(enc)
+		path = append(path, cowLevel{n: n, id: id, child: i})
+		id = n.children[i]
+	}
+	return path, id, nil
+}
+
+// replaceUpward rewrites the internal path from level pi up to the
+// root, pointing each level at the new id of the child below it, and
+// returns the new root id. The path nodes must already carry any
+// separator edits; no rebalancing happens here.
+func (t *Tree) replaceUpward(w *cow, path []cowLevel, pi int, childID disk.PageID) (disk.PageID, error) {
+	for li := pi; li >= 0; li-- {
+		path[li].n.children[path[li].child] = childID
+		id, err := w.writeInternal(path[li].n)
+		if err != nil {
+			return disk.InvalidPage, err
+		}
+		w.retire(path[li].id)
+		childID = id
+	}
+	return childID, nil
+}
+
 // Insert adds an entry. The value must be exactly ValueSize bytes.
-// Inserting an existing key returns ErrDuplicateKey.
+// Inserting an existing key returns ErrDuplicateKey. The insert is
+// copy-on-write: it builds new pages along the root-to-leaf path and
+// atomically publishes a new version, so concurrent snapshot readers
+// are undisturbed. A failed insert publishes nothing.
 func (t *Tree) Insert(k Key, value []byte) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
 	if len(value) != t.valueSize {
 		return fmt.Errorf("btree: value has %d bytes, want %d", len(value), t.valueSize)
 	}
-	var enc [encodedKeyLen]byte
-	k.encode(enc[:])
-	leafID, path, err := t.findLeaf(enc[:])
+	w := &cow{t: t}
+	nv, err := t.insertCOW(w, t.currentVersion(), k, value)
 	if err != nil {
+		w.abort()
 		return err
 	}
-	f, n, err := t.readLeaf(leafID)
+	t.commit(nv, w.retired)
+	return nil
+}
+
+func (t *Tree) insertCOW(w *cow, v *version, k Key, value []byte) (*version, error) {
+	var enc [encodedKeyLen]byte
+	k.encode(enc[:])
+	path, leafID, err := t.descendPath(v, enc[:])
 	if err != nil {
-		return err
+		return nil, err
+	}
+	n, err := t.loadLeaf(leafID)
+	if err != nil {
+		return nil, err
 	}
 	i := searchLeaf(n, k)
 	if i < len(n.keys) && n.keys[i] == k {
-		t.pool.Unpin(f.ID, false)
-		return ErrDuplicateKey
+		return nil, ErrDuplicateKey
 	}
-	v := make([]byte, t.valueSize)
-	copy(v, value)
+	val := make([]byte, t.valueSize)
+	copy(val, value)
 	n.keys = append(n.keys, Key{})
 	copy(n.keys[i+1:], n.keys[i:])
 	n.keys[i] = k
 	n.values = append(n.values, nil)
 	copy(n.values[i+1:], n.values[i:])
-	n.values[i] = v
-	t.count++
+	n.values[i] = val
 
+	nv := &version{seq: v.seq + 1, height: v.height, count: v.count + 1, leaves: v.leaves}
+
+	// Write the leaf (splitting if overfull), then propagate the
+	// replacement — and possibly a new separator — up the path.
+	var newChild, extra disk.PageID
+	var sep []byte
 	if len(n.keys) <= t.leafCap {
-		return t.writeLeaf(f, n)
-	}
-	return t.splitLeaf(f, n, path)
-}
-
-// splitLeaf splits an overfull leaf and propagates the separator up.
-func (t *Tree) splitLeaf(f *disk.Frame, n *leafNode, path []pathEntry) error {
-	mid := len(n.keys) / 2
-	rightFrame, err := t.pool.NewPage()
-	if err != nil {
-		t.pool.Unpin(f.ID, true)
-		return err
-	}
-	right := &leafNode{
-		next:   n.next,
-		prev:   f.ID,
-		keys:   append([]Key(nil), n.keys[mid:]...),
-		values: append([][]byte(nil), n.values[mid:]...),
-	}
-	oldNext := n.next
-	n.keys = n.keys[:mid]
-	n.values = n.values[:mid]
-	n.next = rightFrame.ID
-	t.leaves++
-
-	var leftMaxEnc, rightMinEnc [encodedKeyLen]byte
-	n.keys[len(n.keys)-1].encode(leftMaxEnc[:])
-	right.keys[0].encode(rightMinEnc[:])
-	sep := shortestSeparator(leftMaxEnc[:], rightMinEnc[:])
-
-	if err := t.writeLeaf(f, n); err != nil {
-		return err
-	}
-	rightID := rightFrame.ID
-	if err := t.writeLeaf(rightFrame, right); err != nil {
-		return err
-	}
-	// Fix the right neighbor's prev link.
-	if oldNext != disk.InvalidPage {
-		nf, nn, err := t.readLeaf(oldNext)
+		newChild, err = w.writeLeaf(n)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		nn.prev = rightID
-		if err := t.writeLeaf(nf, nn); err != nil {
-			return err
+	} else {
+		mid := len(n.keys) / 2
+		right := &leafNode{keys: n.keys[mid:], values: n.values[mid:]}
+		n.keys = n.keys[:mid]
+		n.values = n.values[:mid]
+		var leftMaxEnc, rightMinEnc [encodedKeyLen]byte
+		n.keys[len(n.keys)-1].encode(leftMaxEnc[:])
+		right.keys[0].encode(rightMinEnc[:])
+		sep = shortestSeparator(leftMaxEnc[:], rightMinEnc[:])
+		if newChild, err = w.writeLeaf(n); err != nil {
+			return nil, err
 		}
+		if extra, err = w.writeLeaf(right); err != nil {
+			return nil, err
+		}
+		nv.leaves++
 	}
-	return t.insertIntoParent(path, sep, rightID)
-}
+	w.retire(leafID)
 
-// insertIntoParent inserts (sep, rightChild) into the lowest node of
-// the path, splitting internal nodes upward as needed.
-func (t *Tree) insertIntoParent(path []pathEntry, sep []byte, rightChild disk.PageID) error {
-	for level := len(path) - 1; level >= 0; level-- {
-		pe := path[level]
-		f, n, err := t.readInternal(pe.id)
-		if err != nil {
-			return err
+	for li := len(path) - 1; li >= 0; li-- {
+		pn := path[li].n
+		pn.children[path[li].child] = newChild
+		if extra != disk.InvalidPage {
+			pn.insertAt(path[li].child, sep, extra)
+			extra, sep = disk.InvalidPage, nil
 		}
-		n.insertAt(pe.child, sep, rightChild)
-		if len(n.children) <= t.fanout {
-			return t.writeInternal(f, n)
+		if len(pn.children) > t.fanout {
+			// Split the internal node; the middle separator is
+			// promoted.
+			mid := len(pn.seps) / 2
+			promoted := pn.seps[mid]
+			right := &internalNode{
+				children: append([]disk.PageID(nil), pn.children[mid+1:]...),
+				seps:     append([][]byte(nil), pn.seps[mid+1:]...),
+			}
+			pn.children = pn.children[:mid+1]
+			pn.seps = pn.seps[:mid]
+			if newChild, err = w.writeInternal(pn); err != nil {
+				return nil, err
+			}
+			if extra, err = w.writeInternal(right); err != nil {
+				return nil, err
+			}
+			sep = promoted
+		} else {
+			if newChild, err = w.writeInternal(pn); err != nil {
+				return nil, err
+			}
 		}
-		// Split the internal node; the middle separator is promoted.
-		mid := len(n.seps) / 2
-		promoted := n.seps[mid]
-		rightFrame, err := t.pool.NewPage()
-		if err != nil {
-			t.pool.Unpin(f.ID, true)
-			return err
-		}
-		right := &internalNode{
-			children: append([]disk.PageID(nil), n.children[mid+1:]...),
-			seps:     append([][]byte(nil), n.seps[mid+1:]...),
-		}
-		n.children = n.children[:mid+1]
-		n.seps = n.seps[:mid]
-		if err := t.writeInternal(f, n); err != nil {
-			return err
-		}
-		rightID := rightFrame.ID
-		if err := t.writeInternal(rightFrame, right); err != nil {
-			return err
-		}
-		sep, rightChild = promoted, rightID
+		w.retire(path[li].id)
 	}
-	// The root itself split: grow a new root.
-	rootFrame, err := t.pool.NewPage()
-	if err != nil {
-		return err
+
+	root := newChild
+	if extra != disk.InvalidPage {
+		// The root itself split: grow a new root.
+		newRoot := &internalNode{
+			children: []disk.PageID{newChild, extra},
+			seps:     [][]byte{sep},
+		}
+		if root, err = w.writeInternal(newRoot); err != nil {
+			return nil, err
+		}
+		nv.height++
 	}
-	newRoot := &internalNode{
-		children: []disk.PageID{t.root, rightChild},
-		seps:     [][]byte{sep},
-	}
-	t.root = rootFrame.ID
-	t.height++
-	return t.writeInternal(rootFrame, newRoot)
+	nv.root = root
+	return nv, nil
 }

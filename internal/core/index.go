@@ -23,6 +23,38 @@ type IndexConfig struct {
 	LeafCapacity int
 }
 
+// cursorSource is the tree view a reader runs its merges against:
+// either the live tree (cursors track the newest committed version)
+// or one pinned snapshot (cursors see a frozen version). Both sides
+// of the interface are in internal/btree; the indirection is what
+// lets one implementation of the search algorithms serve both.
+type cursorSource interface {
+	Cursor() *btree.Cursor
+	Len() int
+}
+
+// reader bundles a grid with a cursor source and carries every
+// read-only query method — RangeSearch and friends, PartialMatch,
+// Nearest, Decompose. Index embeds a live reader; IndexSnapshot
+// embeds a pinned one.
+type reader struct {
+	g   zorder.Grid
+	src cursorSource
+}
+
+// Grid returns the grid the points live on.
+func (ix *reader) Grid() zorder.Grid { return ix.g }
+
+// Len returns the number of indexed points.
+func (ix *reader) Len() int { return ix.src.Len() }
+
+// Decompose runs the object decomposition on the index's grid: the
+// Decompose operator of Section 4, yielding the element relation for
+// one object.
+func (ix *reader) Decompose(obj geom.Object, opts decompose.Options) ([]zorder.Element, error) {
+	return decompose.Object(ix.g, obj, opts)
+}
+
 // Index stores points of a grid in z order inside a prefix B+-tree:
 // step 1 of the range-search algorithm ("Compute the z value of each
 // point... form a sequence of points ordered by z value").
@@ -32,17 +64,22 @@ type IndexConfig struct {
 // no separate value payload is needed — coordinates are recovered by
 // unshuffling the z value.
 //
-// Thread safety: an Index is safe for concurrent *readers* —
+// Thread safety: an Index is safe for concurrent readers —
 // RangeSearch, PartialMatch, Nearest, and Decompose may run from many
-// goroutines against one index sharing one buffer pool (the
-// underlying tree and pool latch internally). Writers (Insert,
-// Delete, BulkLoad) exclude readers at the tree latch but callers
-// must not expect snapshot isolation: interleave writes and scans
-// only if phantom/missed rows are acceptable. See docs/parallelism.md
-// for the full layer-by-layer contract.
+// goroutines against one index sharing one buffer pool. The tree is
+// multi-versioned: readers run against committed versions without
+// blocking behind writers (Insert, Delete, BulkLoad), which serialize
+// among themselves only. A query on the Index itself observes the
+// newest committed version at each cursor step; a query that must
+// observe one frozen version end to end runs on Snapshot(). See
+// docs/mvcc.md for the full contract.
 type Index struct {
-	g    zorder.Grid
+	reader
 	tree *btree.Tree
+}
+
+func newIndexOver(g zorder.Grid, tree *btree.Tree) *Index {
+	return &Index{reader: reader{g: g, src: tree}, tree: tree}
 }
 
 // NewIndex creates an empty index over grid g on the pool.
@@ -51,7 +88,7 @@ func NewIndex(pool *disk.Pool, g zorder.Grid, cfg IndexConfig) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{g: g, tree: tree}, nil
+	return newIndexOver(g, tree), nil
 }
 
 // OpenIndex reattaches to an existing index whose tree pages live on
@@ -65,18 +102,38 @@ func OpenIndex(pool *disk.Pool, g zorder.Grid, m btree.Meta) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{g: g, tree: tree}, nil
+	return newIndexOver(g, tree), nil
 }
-
-// Grid returns the index's grid.
-func (ix *Index) Grid() zorder.Grid { return ix.g }
 
 // Tree exposes the underlying B+-tree (for statistics and the
 // experiment harness).
 func (ix *Index) Tree() *btree.Tree { return ix.tree }
 
-// Len returns the number of indexed points.
-func (ix *Index) Len() int { return ix.tree.Len() }
+// IndexSnapshot is a read-only view of an Index at one committed tree
+// version. All reader methods — RangeSearch, PartialMatch, Nearest —
+// run against exactly that version, so a multi-statement computation
+// (or one wire request) observes a single consistent state however
+// many writes commit meanwhile. Snapshots are cheap to open, safe for
+// concurrent use, and must be Released to let superseded pages be
+// reclaimed.
+type IndexSnapshot struct {
+	reader
+	snap *btree.Snapshot
+}
+
+// Snapshot pins the index's current committed version and returns a
+// read-only view of it. The caller must Release it.
+func (ix *Index) Snapshot() *IndexSnapshot {
+	s := ix.tree.Snapshot()
+	return &IndexSnapshot{reader: reader{g: ix.g, src: s}, snap: s}
+}
+
+// Release unpins the snapshot's tree version. It is idempotent; using
+// the snapshot afterwards is a bug.
+func (s *IndexSnapshot) Release() { s.snap.Release() }
+
+// Seq returns the committed tree version the snapshot observes.
+func (s *IndexSnapshot) Seq() uint64 { return s.snap.Seq() }
 
 // key builds the tree key of a point.
 func (ix *Index) key(p geom.Point) (btree.Key, error) {
@@ -113,11 +170,4 @@ func (ix *Index) BulkLoad(pts []geom.Point) error {
 		}
 	}
 	return nil
-}
-
-// Decompose runs the object decomposition on the index's grid: the
-// Decompose operator of Section 4, yielding the element relation for
-// one object.
-func (ix *Index) Decompose(obj geom.Object, opts decompose.Options) ([]zorder.Element, error) {
-	return decompose.Object(ix.g, obj, opts)
 }

@@ -54,7 +54,7 @@ type Neighbor struct {
 // the certified radius — the containment/overlap translation of
 // proximity queries. The returned stats aggregate all the underlying
 // searches.
-func (ix *Index) Nearest(q []uint32, m int, metric Metric, strategy Strategy) ([]Neighbor, SearchStats, error) {
+func (ix *reader) Nearest(q []uint32, m int, metric Metric, strategy Strategy) ([]Neighbor, SearchStats, error) {
 	return ix.NearestCtx(nil, q, m, metric, strategy)
 }
 
@@ -62,7 +62,7 @@ func (ix *Index) Nearest(q []uint32, m int, metric Metric, strategy Strategy) ([
 // underlying range search checks it (nil = never cancelled; see
 // RangeSearchFuncCtx), so a cancelled proximity query stops between
 // or inside its expansion rounds with the context's error.
-func (ix *Index) NearestCtx(ctx context.Context, q []uint32, m int, metric Metric, strategy Strategy) ([]Neighbor, SearchStats, error) {
+func (ix *reader) NearestCtx(ctx context.Context, q []uint32, m int, metric Metric, strategy Strategy) ([]Neighbor, SearchStats, error) {
 	var agg SearchStats
 	if !ix.g.Valid(q) {
 		return nil, agg, fmt.Errorf("core: query point %v outside %v", q, ix.g)
@@ -140,7 +140,7 @@ func accumulate(agg *SearchStats, s SearchStats) {
 
 // ringBox builds the box of L-infinity radius r around q, clamped to
 // the grid.
-func (ix *Index) ringBox(q []uint32, r uint32) geom.Box {
+func (ix *reader) ringBox(q []uint32, r uint32) geom.Box {
 	lo := make([]uint32, len(q))
 	hi := make([]uint32, len(q))
 	for i, c := range q {
@@ -157,7 +157,7 @@ func (ix *Index) ringBox(q []uint32, r uint32) geom.Box {
 	return geom.Box{Lo: lo, Hi: hi}
 }
 
-func (ix *Index) coversSpace(b geom.Box) bool {
+func (ix *reader) coversSpace(b geom.Box) bool {
 	for i := range b.Lo {
 		if b.Lo[i] != 0 || b.Hi[i] != uint32(ix.g.SideOf(i)-1) {
 			return false
@@ -167,7 +167,7 @@ func (ix *Index) coversSpace(b geom.Box) bool {
 }
 
 // rank sorts candidates by distance to q under the metric.
-func (ix *Index) rank(q []uint32, pts []geom.Point, metric Metric) []Neighbor {
+func (ix *reader) rank(q []uint32, pts []geom.Point, metric Metric) []Neighbor {
 	ns := make([]Neighbor, len(pts))
 	for i, p := range pts {
 		ns[i] = Neighbor{Point: p, Dist: distance(q, p.Coords, metric)}
@@ -227,5 +227,5 @@ func NewIndexBulk(pool *disk.Pool, g zorder.Grid, cfg IndexConfig, pts []geom.Po
 	if err != nil {
 		return nil, err
 	}
-	return &Index{g: g, tree: tree}, nil
+	return newIndexOver(g, tree), nil
 }

@@ -72,7 +72,7 @@ func (s SearchStats) Efficiency(leafCapacity int) float64 {
 }
 
 // RangeSearch returns all indexed points inside the box.
-func (ix *Index) RangeSearch(box geom.Box, strategy Strategy) ([]geom.Point, SearchStats, error) {
+func (ix *reader) RangeSearch(box geom.Box, strategy Strategy) ([]geom.Point, SearchStats, error) {
 	return ix.RangeSearchTraced(box, strategy, nil)
 }
 
@@ -81,13 +81,13 @@ func (ix *Index) RangeSearch(box geom.Box, strategy Strategy) ([]geom.Point, Sea
 // the B+-tree cursor's traversal counters, and the final DataPages
 // and Results. A nil span behaves exactly like RangeSearch at no
 // cost.
-func (ix *Index) RangeSearchTraced(box geom.Box, strategy Strategy, sp *obs.Span) ([]geom.Point, SearchStats, error) {
+func (ix *reader) RangeSearchTraced(box geom.Box, strategy Strategy, sp *obs.Span) ([]geom.Point, SearchStats, error) {
 	return ix.RangeSearchCtx(nil, box, strategy, sp)
 }
 
 // RangeSearchCtx is RangeSearchTraced under a cancellation context
 // (nil = never cancelled; see RangeSearchFuncCtx).
-func (ix *Index) RangeSearchCtx(ctx context.Context, box geom.Box, strategy Strategy, sp *obs.Span) ([]geom.Point, SearchStats, error) {
+func (ix *reader) RangeSearchCtx(ctx context.Context, box geom.Box, strategy Strategy, sp *obs.Span) ([]geom.Point, SearchStats, error) {
 	var out []geom.Point
 	stats, err := ix.RangeSearchFuncCtx(ctx, box, strategy, sp, func(p geom.Point) bool {
 		out = append(out, p)
@@ -98,13 +98,13 @@ func (ix *Index) RangeSearchCtx(ctx context.Context, box geom.Box, strategy Stra
 
 // RangeSearchFunc streams all indexed points inside the box to fn, in
 // z order. Returning false from fn stops the search early.
-func (ix *Index) RangeSearchFunc(box geom.Box, strategy Strategy, fn func(geom.Point) bool) (SearchStats, error) {
+func (ix *reader) RangeSearchFunc(box geom.Box, strategy Strategy, fn func(geom.Point) bool) (SearchStats, error) {
 	return ix.RangeSearchFuncTraced(box, strategy, nil, fn)
 }
 
 // RangeSearchFuncTraced is RangeSearchFunc with per-operator
 // attribution on sp (nil disables tracing at no cost).
-func (ix *Index) RangeSearchFuncTraced(box geom.Box, strategy Strategy, sp *obs.Span, fn func(geom.Point) bool) (SearchStats, error) {
+func (ix *reader) RangeSearchFuncTraced(box geom.Box, strategy Strategy, sp *obs.Span, fn func(geom.Point) bool) (SearchStats, error) {
 	return ix.RangeSearchFuncCtx(nil, box, strategy, sp, fn)
 }
 
@@ -115,7 +115,7 @@ func (ix *Index) RangeSearchFuncTraced(box geom.Box, strategy Strategy, sp *obs.
 // search stops promptly with the context's error having read at most
 // one further page. A nil context (the internal convention for "never
 // cancelled") disables the checks at zero cost.
-func (ix *Index) RangeSearchFuncCtx(ctx context.Context, box geom.Box, strategy Strategy, sp *obs.Span, fn func(geom.Point) bool) (SearchStats, error) {
+func (ix *reader) RangeSearchFuncCtx(ctx context.Context, box geom.Box, strategy Strategy, sp *obs.Span, fn func(geom.Point) bool) (SearchStats, error) {
 	if box.Dims() != ix.g.Dims() {
 		return SearchStats{}, fmt.Errorf("core: box has %d dims, index %d", box.Dims(), ix.g.Dims())
 	}
@@ -157,7 +157,7 @@ func (pt *pageTracker) touch(c *btree.Cursor) {
 func (pt *pageTracker) count() int { return len(pt.seen) }
 
 // emit converts the cursor entry to a point and passes it to fn.
-func (ix *Index) emit(c *btree.Cursor, fn func(geom.Point) bool, stats *SearchStats) bool {
+func (ix *reader) emit(c *btree.Cursor, fn func(geom.Point) bool, stats *SearchStats) bool {
 	k := c.Key()
 	stats.Results++
 	return fn(geom.Point{ID: k.Lo, Coords: ix.g.UnshuffleKey(k.Hi)})
@@ -165,7 +165,7 @@ func (ix *Index) emit(c *btree.Cursor, fn func(geom.Point) bool, stats *SearchSt
 
 // searchDecomposed is strategy A: materialize B, merge with skipping
 // on both sides.
-func (ix *Index) searchDecomposed(ctx context.Context, box geom.Box, sp *obs.Span, fn func(geom.Point) bool) (SearchStats, error) {
+func (ix *reader) searchDecomposed(ctx context.Context, box geom.Box, sp *obs.Span, fn func(geom.Point) bool) (SearchStats, error) {
 	var stats SearchStats
 	elems := decompose.Box(ix.g, box)
 	stats.Elements = len(elems)
@@ -174,7 +174,7 @@ func (ix *Index) searchDecomposed(ctx context.Context, box geom.Box, sp *obs.Spa
 		return stats, nil
 	}
 	total := ix.g.TotalBits()
-	pc := ix.tree.Cursor()
+	pc := ix.src.Cursor()
 	pc.SetSpan(sp)
 	pc.SetContext(ctx)
 	pages := newPageTracker()
@@ -222,7 +222,7 @@ func (ix *Index) searchDecomposed(ctx context.Context, box geom.Box, sp *obs.Spa
 
 // searchLazy is strategy B: the same merge, with B generated on
 // demand.
-func (ix *Index) searchLazy(ctx context.Context, box geom.Box, sp *obs.Span, fn func(geom.Point) bool) (SearchStats, error) {
+func (ix *reader) searchLazy(ctx context.Context, box geom.Box, sp *obs.Span, fn func(geom.Point) bool) (SearchStats, error) {
 	var stats SearchStats
 	bc, err := decompose.NewCursor(ix.g, box, decompose.Options{})
 	if err != nil {
@@ -236,7 +236,7 @@ func (ix *Index) searchLazy(ctx context.Context, box geom.Box, sp *obs.Span, fn 
 		return stats, bc.Err()
 	}
 	stats.Elements++
-	pc := ix.tree.Cursor()
+	pc := ix.src.Cursor()
 	pc.SetSpan(sp)
 	pc.SetContext(ctx)
 	pages := newPageTracker()
@@ -281,7 +281,7 @@ func (ix *Index) searchLazy(ctx context.Context, box geom.Box, sp *obs.Span, fn 
 
 // searchBigMin is strategy C: skip directly to the next in-box z
 // value whenever the scan leaves the box.
-func (ix *Index) searchBigMin(ctx context.Context, box geom.Box, sp *obs.Span, fn func(geom.Point) bool) (SearchStats, error) {
+func (ix *reader) searchBigMin(ctx context.Context, box geom.Box, sp *obs.Span, fn func(geom.Point) bool) (SearchStats, error) {
 	var stats SearchStats
 	first, any := ix.g.BigMin(0, box.Lo, box.Hi)
 	if !any {
@@ -290,7 +290,7 @@ func (ix *Index) searchBigMin(ctx context.Context, box geom.Box, sp *obs.Span, f
 	stats.Elements++
 	sp.Inc(obs.BigMinSkips)
 	last, _ := ix.g.LitMax(^uint64(0), box.Lo, box.Hi)
-	pc := ix.tree.Cursor()
+	pc := ix.src.Cursor()
 	pc.SetSpan(sp)
 	pc.SetContext(ctx)
 	pages := newPageTracker()
@@ -335,19 +335,19 @@ func (ix *Index) searchBigMin(ctx context.Context, box geom.Box, sp *obs.Span, f
 
 // PartialMatch runs a partial-match query (Section 5.3.1):
 // restricted[i] pins dimension i to value[i].
-func (ix *Index) PartialMatch(restricted []bool, value []uint32, strategy Strategy) ([]geom.Point, SearchStats, error) {
+func (ix *reader) PartialMatch(restricted []bool, value []uint32, strategy Strategy) ([]geom.Point, SearchStats, error) {
 	return ix.PartialMatchTraced(restricted, value, strategy, nil)
 }
 
 // PartialMatchTraced is PartialMatch with per-operator attribution on
 // sp (nil disables tracing at no cost).
-func (ix *Index) PartialMatchTraced(restricted []bool, value []uint32, strategy Strategy, sp *obs.Span) ([]geom.Point, SearchStats, error) {
+func (ix *reader) PartialMatchTraced(restricted []bool, value []uint32, strategy Strategy, sp *obs.Span) ([]geom.Point, SearchStats, error) {
 	return ix.PartialMatchCtx(nil, restricted, value, strategy, sp)
 }
 
 // PartialMatchCtx is PartialMatchTraced under a cancellation context
 // (nil = never cancelled; see RangeSearchFuncCtx).
-func (ix *Index) PartialMatchCtx(ctx context.Context, restricted []bool, value []uint32, strategy Strategy, sp *obs.Span) ([]geom.Point, SearchStats, error) {
+func (ix *reader) PartialMatchCtx(ctx context.Context, restricted []bool, value []uint32, strategy Strategy, sp *obs.Span) ([]geom.Point, SearchStats, error) {
 	if len(restricted) != ix.g.Dims() || len(value) != ix.g.Dims() {
 		return nil, SearchStats{}, fmt.Errorf("core: partial match arity mismatch")
 	}

@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
+	"sync"
 	"time"
 
+	"probe"
 	"probe/internal/core"
 	"probe/internal/decompose"
 	"probe/internal/disk"
@@ -32,6 +35,7 @@ type BenchReport struct {
 	Ranges  []RangeBench  `json:"range_queries"`
 	Joins   []JoinBench   `json:"joins"`
 	Inserts []InsertBench `json:"inserts"`
+	Mixed   []MixedBench  `json:"mixed"`
 }
 
 // Host records the execution environment throughput numbers were
@@ -96,6 +100,23 @@ type JoinBench struct {
 	MergeSteps      int64   `json:"merge_steps"`
 	WallMS          float64 `json:"wall_ms"`
 	PairsPerSec     float64 `json:"pairs_per_sec"`
+}
+
+// MixedBench is one cell of the mixed read/write scenario: untraced
+// range-query latency percentiles through the full DB facade,
+// measured solo and again with a concurrent writer committing the
+// whole time. Readers run on the MVCC snapshot path, so the two
+// distributions should stay close — the with-writer cell is the
+// document's evidence that readers no longer stall behind a writer
+// holding the database mutex.
+type MixedBench struct {
+	Scenario    string  `json:"scenario"` // "reader-solo" | "reader-with-writer"
+	Reads       int     `json:"reads"`
+	WriterOps   int     `json:"writer_ops"`
+	ReadP50US   float64 `json:"read_p50_us"`
+	ReadP95US   float64 `json:"read_p95_us"`
+	ReadP99US   float64 `json:"read_p99_us"`
+	ReadsPerSec float64 `json:"reads_per_sec"`
 }
 
 // InsertBench is one index-build measurement.
@@ -202,7 +223,108 @@ func RunBench(cfg Config, quick bool) (*BenchReport, error) {
 		return nil, err
 	}
 	rep.Inserts = inserts
+	mixed, err := benchMixed(cfg, quick)
+	if err != nil {
+		return nil, err
+	}
+	rep.Mixed = mixed
 	return rep, nil
+}
+
+// benchMixed measures untraced reader latency through probe.DB solo
+// and under a concurrent insert stream.
+func benchMixed(cfg Config, quick bool) ([]MixedBench, error) {
+	g := cfg.Grid()
+	db, err := probe.Open(g,
+		probe.WithPageSize(cfg.PageSize), probe.WithPoolPages(cfg.PoolPages),
+		probe.WithLeafCapacity(cfg.LeafCapacity), probe.WithBulkLoad(cfg.Points(U)))
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	boxes, err := workload.Queries(g, workload.QuerySpec{Volume: 0.01, Aspect: 1},
+		cfg.Locations, cfg.Seed+303)
+	if err != nil {
+		return nil, err
+	}
+	reads := 2000
+	if quick {
+		reads = 400
+	}
+	measure := func(scenario string, withWriter bool) (MixedBench, error) {
+		cell := MixedBench{Scenario: scenario, Reads: reads}
+		var (
+			stop chan struct{}
+			wg   sync.WaitGroup
+			ops  int
+			werr error
+		)
+		if withWriter {
+			stop = make(chan struct{})
+			started := make(chan struct{})
+			var once sync.Once
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer once.Do(func() { close(started) })
+				side := uint32(g.SideOf(0))
+				for id := uint64(1 << 40); ; id++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					p := probe.Point{ID: id, Coords: []uint32{uint32(id) % side, uint32(id*31) % side}}
+					if err := db.Insert(p); err != nil {
+						werr = err
+						return
+					}
+					ops++
+					once.Do(func() { close(started) })
+				}
+			}()
+			// Don't start measuring until the writer is demonstrably
+			// committing — otherwise a short read batch can finish before
+			// the goroutine is even scheduled.
+			<-started
+		}
+		lat := make([]float64, 0, reads)
+		start := time.Now()
+		for i := 0; i < reads; i++ {
+			t0 := time.Now()
+			if _, _, err := db.RangeSearch(boxes[i%len(boxes)]); err != nil {
+				return cell, err
+			}
+			lat = append(lat, float64(time.Since(t0).Nanoseconds())/1e3)
+		}
+		elapsed := time.Since(start).Seconds()
+		if withWriter {
+			close(stop)
+			wg.Wait()
+			if werr != nil {
+				return cell, werr
+			}
+			cell.WriterOps = ops
+		}
+		sort.Float64s(lat)
+		pct := func(q float64) float64 { return lat[int(q*float64(len(lat)-1))] }
+		cell.ReadP50US = pct(0.50)
+		cell.ReadP95US = pct(0.95)
+		cell.ReadP99US = pct(0.99)
+		if elapsed > 0 {
+			cell.ReadsPerSec = float64(reads) / elapsed
+		}
+		return cell, nil
+	}
+	solo, err := measure("reader-solo", false)
+	if err != nil {
+		return nil, err
+	}
+	mixed, err := measure("reader-with-writer", true)
+	if err != nil {
+		return nil, err
+	}
+	return []MixedBench{solo, mixed}, nil
 }
 
 // benchJoins joins two decomposed region relations derived from the

@@ -27,9 +27,9 @@ func TestBenchReportSchema(t *testing.T) {
 	if rep.Schema != BenchSchema {
 		t.Fatalf("schema %q, want %q", rep.Schema, BenchSchema)
 	}
-	if len(rep.Ranges) == 0 || len(rep.Joins) == 0 || len(rep.Inserts) == 0 {
-		t.Fatalf("empty section: ranges=%d joins=%d inserts=%d",
-			len(rep.Ranges), len(rep.Joins), len(rep.Inserts))
+	if len(rep.Ranges) == 0 || len(rep.Joins) == 0 || len(rep.Inserts) == 0 || len(rep.Mixed) == 0 {
+		t.Fatalf("empty section: ranges=%d joins=%d inserts=%d mixed=%d",
+			len(rep.Ranges), len(rep.Joins), len(rep.Inserts), len(rep.Mixed))
 	}
 	var buf bytes.Buffer
 	if err := rep.WriteJSON(&buf); err != nil {
@@ -39,7 +39,7 @@ func TestBenchReportSchema(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
 		t.Fatalf("emitted document is not valid JSON: %v", err)
 	}
-	for _, key := range []string{"schema", "quick", "config", "range_queries", "joins", "inserts"} {
+	for _, key := range []string{"schema", "quick", "config", "range_queries", "joins", "inserts", "mixed"} {
 		if _, ok := doc[key]; !ok {
 			t.Errorf("document missing top-level key %q", key)
 		}
@@ -59,6 +59,39 @@ func TestBenchReportSchema(t *testing.T) {
 		"merge_steps", "wall_ms", "pairs_per_sec"} {
 		if _, ok := jcell[key]; !ok {
 			t.Errorf("join cell missing key %q", key)
+		}
+	}
+	mixed := doc["mixed"].([]any)
+	mcell := mixed[0].(map[string]any)
+	for _, key := range []string{"scenario", "reads", "writer_ops",
+		"read_p50_us", "read_p95_us", "read_p99_us", "reads_per_sec"} {
+		if _, ok := mcell[key]; !ok {
+			t.Errorf("mixed cell missing key %q", key)
+		}
+	}
+}
+
+// TestBenchMixedScenarios asserts the mixed section carries both
+// scenarios and that the with-writer cell really ran against a live
+// writer — writer_ops == 0 would mean the cell measured nothing.
+func TestBenchMixedScenarios(t *testing.T) {
+	mixed, err := benchMixed(benchTestConfig(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mixed) != 2 {
+		t.Fatalf("got %d mixed cells, want 2", len(mixed))
+	}
+	if mixed[0].Scenario != "reader-solo" || mixed[1].Scenario != "reader-with-writer" {
+		t.Fatalf("scenarios %q/%q, want reader-solo/reader-with-writer",
+			mixed[0].Scenario, mixed[1].Scenario)
+	}
+	if mixed[1].WriterOps == 0 {
+		t.Error("reader-with-writer cell recorded no writer progress")
+	}
+	for _, c := range mixed {
+		if c.ReadP95US <= 0 || c.ReadsPerSec <= 0 {
+			t.Errorf("%s: degenerate measurements: %+v", c.Scenario, c)
 		}
 	}
 }

@@ -14,7 +14,8 @@ import (
 // with query traffic:
 //
 //	/metrics          Prometheus text exposition of every server and
-//	                  database metric plus scrape-time pool gauges
+//	                  database metric plus scrape-time pool and MVCC
+//	                  gauges (retained versions/pages, pinned snapshots)
 //	/debug/vars       expvar-style JSON snapshot of both registries
 //	/debug/pprof/     the standard Go profiling handlers
 //	/healthz          liveness: 200 while the process runs
@@ -68,6 +69,7 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	pi := s.db.PoolInfo()
+	mv := s.db.MVCCStats()
 	for _, g := range []struct {
 		name string
 		v    int
@@ -75,6 +77,11 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		{"probe_pool_pages_capacity", pi.Capacity},
 		{"probe_pool_pages_resident", pi.Resident},
 		{"probe_pool_pages_pinned", pi.Pinned},
+		{"probe_mvcc_version_seq", int(mv.Seq)},
+		{"probe_mvcc_pinned_snapshots", mv.PinnedSnapshots},
+		{"probe_mvcc_retained_versions", mv.RetainedVersions},
+		{"probe_mvcc_retained_pages", mv.RetainedPages},
+		{"probe_mvcc_freed_pages", int(mv.FreedPages)},
 		{"probe_go_goroutines", runtime.NumGoroutine()},
 	} {
 		fmt.Fprintf(&buf, "# TYPE %s gauge\n%s %d\n", g.name, g.name, g.v)

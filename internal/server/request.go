@@ -66,6 +66,22 @@ func (rq *request) markPlanned() { rq.planned = time.Now() }
 // traced reports whether the client set FlagTrace on this request.
 func (rq *request) traced() bool { return rq.flags&wire.FlagTrace != 0 }
 
+// queryOpts assembles the engine options for a data request: the
+// request context always, plus trace attribution only when the client
+// set FlagTrace. An untraced request therefore takes the engine's
+// snapshot read path — it runs against one pinned committed tree
+// version without serializing on the database mutex, so reads on one
+// connection do not stall behind a writer on another. A traced
+// request serializes on the database mutex so its page-access
+// attribution stays exact.
+func (rq *request) queryOpts(ctx context.Context, extra ...probe.QueryOption) []probe.QueryOption {
+	opts := append([]probe.QueryOption{probe.WithContext(ctx)}, extra...)
+	if rq.traced() {
+		opts = append(opts, probe.WithTrace(rq.span))
+	}
+	return opts
+}
+
 // timings builds the Done timing array (nanoseconds, wire.Timing*
 // indices). Exec is derived as the remainder so it stays correct for
 // handlers that stream from inside the engine call.
@@ -137,6 +153,18 @@ func (ss *session) failReq(ctx context.Context, rq *request, err error) {
 // DONE carries the per-phase timing breakdown.
 func (ss *session) sendDone(rq *request, qs probe.QueryStats) {
 	rq.qs = qs
+	if !rq.traced() {
+		// Untraced requests run on the snapshot path with no engine
+		// span attribution; fold the logical merge counters back into
+		// the request span so telemetry (slow-query traces, the span
+		// tree folded into the metrics registry) still reports the
+		// work performed. Physical attribution (pool-gets, phys-reads)
+		// requires FlagTrace.
+		rq.span.Add(probe.CounterSeeks, int64(qs.Seeks))
+		rq.span.Add(probe.CounterDataPages, int64(qs.DataPages))
+		rq.span.Add(probe.CounterElements, int64(qs.Elements))
+		rq.span.Add(probe.CounterResults, int64(qs.Results))
+	}
 	rq.span.End()
 	if rq.traced() && rq.op != "explain" && rq.op != "stats" {
 		if ss.send(wire.MsgText, wire.TextMsg{ID: rq.id, Text: rq.span.Render(true)}.Encode()) != nil {
@@ -158,6 +186,12 @@ func (ss *session) finish(rq *request) {
 	rq.span.End()
 	total := time.Since(rq.recv)
 	pages := rq.span.Total(probe.CounterPoolGets)
+	if pages == 0 {
+		// Untraced requests run on the snapshot path with no span
+		// attribution; the merge's logical data-page count is the
+		// closest available measure for the histogram and log line.
+		pages = int64(rq.qs.DataPages)
+	}
 	m := ss.srv.metrics
 	m.Histogram("server.latency." + rq.op).Observe(int64(total))
 	m.Histogram("server.pages." + rq.op).Observe(pages)

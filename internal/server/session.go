@@ -337,7 +337,7 @@ func (ss *session) handleRange(ctx context.Context, rq *request, payload []byte)
 			return flush()
 		}
 		return true
-	}, probe.WithContext(ctx), probe.WithStrategy(strat), probe.WithTrace(rq.span))
+	}, rq.queryOpts(ctx, probe.WithStrategy(strat))...)
 	if writeErr != nil {
 		return // connection is gone; nothing more to say
 	}
@@ -376,8 +376,7 @@ func (ss *session) handleNearest(ctx context.Context, rq *request, payload []byt
 	defer stop()
 	rq.markPlanned()
 
-	nbs, qs, err := ss.srv.db.Nearest(req.Q, int(req.M), metric,
-		probe.WithContext(ctx), probe.WithTrace(rq.span))
+	nbs, qs, err := ss.srv.db.Nearest(req.Q, int(req.M), metric, rq.queryOpts(ctx)...)
 	if err != nil {
 		ss.failReq(ctx, rq, err)
 		return

@@ -1,0 +1,8 @@
+//go:build !slow
+
+package probe_test
+
+// mvccHarnessSchedules is the number of seeded mixed read/write
+// schedules the MVCC isolation property harness runs in the default
+// test configuration. The -tags slow sweep raises it.
+const mvccHarnessSchedules = 250

@@ -1,0 +1,7 @@
+//go:build slow
+
+package probe_test
+
+// mvccHarnessSchedules under -tags slow: the deep sweep the CI
+// mvcc-stress job runs.
+const mvccHarnessSchedules = 1200

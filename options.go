@@ -183,10 +183,12 @@ type ContextOption struct {
 // and returns the context's error. Cancellation releases all latches
 // and buffer-pool state as usual; the database remains fully usable.
 //
-// The context is checked once the operation holds the database's
-// internal mutex; an operation cancelled while still queued behind
-// another returns as soon as it acquires the mutex, without touching
-// the index. A nil ctx is valid and means "never cancelled".
+// The context is checked as the operation enters the database —
+// untraced reads check it right after pinning their snapshot, writers
+// and traced operations right after acquiring the database mutex — so
+// an operation cancelled while still queued behind a writer returns
+// without touching the index. A nil ctx is valid and means "never
+// cancelled".
 func WithContext(ctx context.Context) ContextOption { return ContextOption{ctx: ctx} }
 
 func (o ContextOption) applyQuery(c *queryConfig) { c.ctx = o.ctx }

@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"sync"
 
+	"probe/internal/btree"
 	"probe/internal/conncomp"
 	"probe/internal/core"
 	"probe/internal/decompose"
@@ -241,13 +242,27 @@ type Options struct {
 }
 
 // DB is a spatial database over one grid: a z-ordered point index on
-// simulated paged storage. DB is safe for concurrent use; operations
-// serialize on an internal mutex. (The underlying pool and tree also
-// support concurrent readers on their own — see docs/parallelism.md —
-// but DB keeps full serialization so its page-access counts stay
-// exactly reproducible, the paper's reported metric.)
+// simulated paged storage. DB is safe for concurrent use.
+//
+// The index is multi-versioned (see docs/mvcc.md): every untraced
+// read query — RangeSearch, RangeSearchFunc, PartialMatch, Nearest,
+// Scan — pins a snapshot of the newest committed tree version and runs
+// against it without blocking, and without being blocked by, writers.
+// Writers (Insert, InsertAll, Delete, DeleteBox) and maintenance
+// operations (Checkpoint, DropCaches, Close) serialize among
+// themselves on db.mu. Traced queries (WithTrace) also serialize on
+// db.mu: span attribution attaches to one global slot on the pool and
+// the store, so traced page-access counts stay exactly reproducible,
+// the paper's reported metric.
 type DB struct {
-	mu      sync.Mutex
+	// mu serializes writers, maintenance and traced operations.
+	mu sync.Mutex
+	// stateMu guards db.closed against the snapshot read path: reads
+	// hold it shared for their whole query; Close takes it exclusively
+	// after its final checkpoint, so the store is never released under
+	// a running read.
+	stateMu sync.RWMutex
+
 	grid    Grid
 	store   spanStore
 	rs      *disk.RecoverableStore // non-nil iff opened WithDurability
@@ -255,7 +270,7 @@ type DB struct {
 	index   *core.Index
 	metrics *obs.Registry
 
-	closed    bool
+	closed    bool // written under db.mu AND stateMu
 	recovered bool
 	recovery  disk.RecoveryInfo
 }
@@ -311,20 +326,23 @@ func Open(g Grid, opts ...Option) (*DB, error) {
 
 // ErrClosed is returned by every DB operation attempted after Close.
 //
-// The close-while-querying contract: DB operations and Close all
-// serialize on the database's internal mutex, so Close never yanks
-// the store out from under a running operation — it blocks until
-// in-flight operations finish (cancel them first via WithContext for
-// a prompt close), and every operation that starts after Close fails
-// with ErrClosed before touching the index or the store. The network
+// The close-while-querying contract: writers and traced operations
+// serialize with Close on db.mu; snapshot reads hold stateMu shared
+// for their whole query and Close takes it exclusively before
+// releasing the store. Either way Close never yanks the store out
+// from under a running operation — it blocks until in-flight
+// operations finish (cancel them first via WithContext for a prompt
+// close), and every operation that starts after Close fails with
+// ErrClosed before touching the index or the store. The network
 // server's drain sequence is built on exactly this contract.
 var ErrClosed = errors.New("probe: database is closed")
 
-// usableLocked verifies, under db.mu, that the database is open and
-// the operation's context (nil = none) is still live; every entry
-// point calls it before touching the index. An operation cancelled
-// while queued behind the mutex therefore fails here, without
-// touching any pages.
+// usableLocked verifies, under db.mu (write/traced path) or a shared
+// stateMu (snapshot read path), that the database is open and the
+// operation's context (nil = none) is still live; every entry point
+// calls it before touching the index. An operation cancelled while
+// queued behind a mutex therefore fails here, without touching any
+// pages.
 func (db *DB) usableLocked(ctx context.Context) error {
 	if db.closed {
 		return ErrClosed
@@ -365,6 +383,22 @@ func (db *DB) endOp(op string, sp *Trace) {
 	db.metrics.AddSpan(op, sp)
 }
 
+// beginRead enters the snapshot read path: it takes stateMu shared,
+// verifies the database is usable, and pins the newest committed index
+// version. The caller runs its whole query against the returned
+// snapshot and must call release exactly once — it unpins the version
+// and drops stateMu. Untraced reads use this path and so never touch
+// db.mu: they neither block behind a running writer nor delay one.
+func (db *DB) beginRead(ctx context.Context) (*core.IndexSnapshot, func(), error) {
+	db.stateMu.RLock()
+	if err := db.usableLocked(ctx); err != nil {
+		db.stateMu.RUnlock()
+		return nil, nil, err
+	}
+	snap := db.index.Snapshot()
+	return snap, func() { snap.Release(); db.stateMu.RUnlock() }, nil
+}
+
 // Metrics returns the database's cumulative metrics registry. Every
 // operation bumps "<op>.count"; traced operations additionally merge
 // their span counters under "<op>.<counter>". The registry and its
@@ -396,13 +430,31 @@ func (db *DB) PoolInfo() PoolInfo {
 	}
 }
 
+// MVCCStats re-exports the index tree's multi-version counters: the
+// committed version sequence number, pinned snapshots, retained
+// superseded versions/pages awaiting garbage collection, and pages
+// freed so far. Scrape-time state for monitoring (the admin endpoint
+// exports the gauges). Zero after Close.
+type MVCCStats = btree.MVCCStats
+
+// MVCCStats snapshots the index's multi-version state.
+func (db *DB) MVCCStats() MVCCStats {
+	db.stateMu.RLock()
+	defer db.stateMu.RUnlock()
+	if db.closed {
+		return MVCCStats{}
+	}
+	return db.index.Tree().MVCCStats()
+}
+
 // Grid returns the database's grid.
 func (db *DB) Grid() Grid { return db.grid }
 
-// Len returns the number of indexed points (0 after Close).
+// Len returns the number of indexed points (0 after Close). It reads
+// the newest committed version and never blocks behind a writer.
 func (db *DB) Len() int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.stateMu.RLock()
+	defer db.stateMu.RUnlock()
 	if db.closed {
 		return 0
 	}
@@ -467,10 +519,26 @@ func (db *DB) DeleteBox(box Box) (int, error) {
 // strategy is MergeLazy; WithStrategy selects another, and WithTrace
 // attributes the query's work — operator counters, buffer-pool
 // activity, physical I/O — to an execution trace.
+//
+// An untraced RangeSearch runs on a pinned snapshot of the newest
+// committed index version: it observes one consistent state end to
+// end and neither blocks behind nor delays concurrent writers. A
+// traced RangeSearch serializes on the database mutex so its
+// page-access counts stay exactly attributable.
 func (db *DB) RangeSearch(box Box, opts ...QueryOption) ([]Point, QueryStats, error) {
 	qc := queryConfig{strategy: MergeLazy}
 	for _, o := range opts {
 		o.applyQuery(&qc)
+	}
+	if qc.trace == nil {
+		snap, release, err := db.beginRead(qc.ctx)
+		if err != nil {
+			return nil, QueryStats{}, err
+		}
+		defer release()
+		defer db.metrics.AddSpan("range-search", nil)
+		pts, ss, err := snap.RangeSearchCtx(qc.ctx, box, qc.strategy, nil)
+		return pts, searchQueryStats(ss), err
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -493,12 +561,25 @@ func (db *DB) RangeSearch(box Box, opts ...QueryOption) ([]Point, QueryStats, er
 // through: result batches go out as the merge produces them, and a
 // client cancel stops the merge within one page read.
 //
-// fn runs with the database's internal mutex held; a slow fn delays
-// every other operation on this DB.
+// Untraced, fn runs on a pinned snapshot without holding the database
+// mutex: a slow fn delays nothing but its own query (it does hold the
+// snapshot's version pinned, deferring page reclamation, and briefly
+// delays Close). Traced (WithTrace), fn runs with the database mutex
+// held and a slow fn delays every writer and other traced operation.
 func (db *DB) RangeSearchFunc(box Box, fn func(Point) bool, opts ...QueryOption) (QueryStats, error) {
 	qc := queryConfig{strategy: MergeLazy}
 	for _, o := range opts {
 		o.applyQuery(&qc)
+	}
+	if qc.trace == nil {
+		snap, release, err := db.beginRead(qc.ctx)
+		if err != nil {
+			return QueryStats{}, err
+		}
+		defer release()
+		defer db.metrics.AddSpan("range-search", nil)
+		ss, err := snap.RangeSearchFuncCtx(qc.ctx, box, qc.strategy, nil, fn)
+		return searchQueryStats(ss), err
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -522,11 +603,22 @@ func (db *DB) RangeSearchWith(box Box, s Strategy) ([]Point, QueryStats, error) 
 
 // PartialMatch pins the restricted dimensions to the given values and
 // leaves the rest unconstrained. It accepts the same options as
-// RangeSearch.
+// RangeSearch and follows the same concurrency contract: untraced, it
+// runs on a pinned snapshot without blocking behind writers.
 func (db *DB) PartialMatch(restricted []bool, value []uint32, opts ...QueryOption) ([]Point, QueryStats, error) {
 	qc := queryConfig{strategy: MergeLazy}
 	for _, o := range opts {
 		o.applyQuery(&qc)
+	}
+	if qc.trace == nil {
+		snap, release, err := db.beginRead(qc.ctx)
+		if err != nil {
+			return nil, QueryStats{}, err
+		}
+		defer release()
+		defer db.metrics.AddSpan("partial-match", nil)
+		pts, ss, err := snap.PartialMatchCtx(qc.ctx, restricted, value, qc.strategy, nil)
+		return pts, searchQueryStats(ss), err
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -542,10 +634,11 @@ func (db *DB) PartialMatch(restricted []bool, value []uint32, opts ...QueryOptio
 }
 
 // LeafPages returns the number of data pages in the index (0 after
-// Close).
+// Close). It reads the newest committed version and never blocks
+// behind a writer.
 func (db *DB) LeafPages() int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.stateMu.RLock()
+	defer db.stateMu.RUnlock()
 	if db.closed {
 		return 0
 	}
@@ -554,15 +647,17 @@ func (db *DB) LeafPages() int {
 
 // Scan streams every indexed point in z order to fn; returning false
 // stops the scan. This is the sequential access over the point
-// sequence P that all the merge algorithms build on.
+// sequence P that all the merge algorithms build on. Scan runs on a
+// pinned snapshot: it streams one consistent committed state however
+// many writes land while it runs.
 func (db *DB) Scan(fn func(Point) bool) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if err := db.usableLocked(nil); err != nil {
+	snap, release, err := db.beginRead(nil)
+	if err != nil {
 		return err
 	}
+	defer release()
 	box := geom.FullBox(db.grid)
-	_, err := db.index.RangeSearchFunc(box, MergeLazy, fn)
+	_, err = snap.RangeSearchFunc(box, MergeLazy, fn)
 	return err
 }
 
@@ -631,11 +726,23 @@ const (
 // Nearest returns the m indexed points nearest to q under the metric,
 // implemented as expanding range queries (the Section 6 translation
 // of proximity queries into overlap queries). It accepts the same
-// options as RangeSearch.
+// options as RangeSearch and follows the same concurrency contract:
+// untraced, every expansion round runs on one pinned snapshot, so the
+// certified radius is sound even against concurrent inserts.
 func (db *DB) Nearest(q []uint32, m int, metric Metric, opts ...QueryOption) ([]Neighbor, QueryStats, error) {
 	qc := queryConfig{strategy: MergeLazy}
 	for _, o := range opts {
 		o.applyQuery(&qc)
+	}
+	if qc.trace == nil {
+		snap, release, err := db.beginRead(qc.ctx)
+		if err != nil {
+			return nil, QueryStats{}, err
+		}
+		defer release()
+		defer db.metrics.AddSpan("nearest", nil)
+		nbs, ss, err := snap.NearestCtx(qc.ctx, q, m, metric, qc.strategy)
+		return nbs, searchQueryStats(ss), err
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
