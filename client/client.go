@@ -1,17 +1,25 @@
 // Package client is the Go client for probed, the probe network query
-// server. One Client wraps one reused TCP connection speaking the
-// wire protocol (docs/server.md); it is safe for concurrent use, with
+// server. One Conn wraps one reused TCP connection speaking the wire
+// protocol (docs/server.md); it is safe for concurrent use, with
 // calls serialized over the connection in arrival order — open
-// several Clients for real concurrency.
+// several Conns for real concurrency.
+//
+// Transactions (protocol 1.2) are session state on the connection:
+// Conn.Begin opens one, the returned Tx buffers writes server-side
+// and reads a pinned snapshot overlaid with them, and Tx.Commit
+// either applies everything atomically or fails with ErrTxConflict
+// when another committer won first-committer-wins validation — see
+// docs/transactions.md.
 //
 // Cancellation and deadlines ride on context.Context: a context with
 // a deadline becomes the request's timeout_ms on the wire, and
 // cancelling the context sends a CANCEL frame so the server stops the
 // request within about one page read. Server-side failures come back
 // as *ServerError values that errors.Is-match the typed sentinels
-// (ErrOverloaded, ErrCanceled, ErrDeadline, ErrShuttingDown), so a
-// caller can distinguish backpressure from cancellation from drain
-// without parsing messages.
+// (ErrOverloaded, ErrCanceled, ErrDeadline, ErrShuttingDown,
+// ErrTxConflict), so a caller can distinguish backpressure from
+// cancellation from drain from a lost commit race without parsing
+// messages.
 package client
 
 import (
@@ -29,7 +37,8 @@ import (
 )
 
 // Typed error sentinels for errors.Is. The concrete error is always a
-// *ServerError carrying the server's message.
+// *ServerError carrying the server's message, except ErrTxAborted,
+// which the client raises locally for operations on an ended Tx.
 var (
 	// ErrOverloaded: admission control rejected the request; the
 	// server is at its in-flight limit. Retrying after a backoff is
@@ -43,6 +52,13 @@ var (
 	// ErrShuttingDown: the server is draining and accepts no new
 	// requests.
 	ErrShuttingDown = errors.New("probed: server shutting down")
+	// ErrTxConflict: Commit lost first-committer-wins validation —
+	// another transaction (or auto-commit write) committed to a key in
+	// this transaction's write-set first. Retry the whole transaction.
+	ErrTxConflict = errors.New("probed: transaction conflict")
+	// ErrTxAborted: the Tx has already ended (committed, rolled back,
+	// or aborted by the server).
+	ErrTxAborted = errors.New("probed: transaction has ended")
 )
 
 // ServerError is a typed failure reported by the server.
@@ -67,6 +83,8 @@ func (e *ServerError) Is(target error) bool {
 		return e.Code == wire.CodeDeadline
 	case ErrShuttingDown:
 		return e.Code == wire.CodeShuttingDown
+	case ErrTxConflict:
+		return e.Code == wire.CodeConflict
 	}
 	return false
 }
@@ -78,9 +96,9 @@ type BoxItem struct {
 	Lo, Hi []uint32
 }
 
-// Client is one connection to a probed server. Safe for concurrent
-// use; requests serialize on the connection.
-type Client struct {
+// Conn is one connection to a probed server. Safe for concurrent use;
+// requests serialize on the connection.
+type Conn struct {
 	mu     sync.Mutex // serializes whole requests
 	sendMu sync.Mutex // serializes frame writes (request vs. cancel)
 
@@ -90,6 +108,11 @@ type Client struct {
 	bits   []uint32
 	minor  uint8 // server's protocol minor, from Welcome
 	broken error // sticky transport failure
+
+	// tx is the connection's open transaction, nil outside
+	// BEGIN…COMMIT/ROLLBACK (guarded by mu). The server enforces the
+	// same one-transaction-per-connection rule.
+	tx *Tx
 
 	// Tracing state (SetTrace / LastTiming / LastTrace), guarded by
 	// mu like everything per-request.
@@ -112,7 +135,7 @@ type Timing struct {
 
 // Dial connects to a probed server and performs the version
 // handshake.
-func Dial(addr string) (*Client, error) {
+func Dial(addr string) (*Conn, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -121,10 +144,10 @@ func Dial(addr string) (*Client, error) {
 }
 
 // NewConn wraps an established connection — a custom dialer's, a TLS
-// channel's, a test pipe's — in a Client, performing the protocol
-// handshake. The Client takes ownership of conn.
-func NewConn(conn net.Conn) (*Client, error) {
-	c := &Client{conn: conn, br: bufio.NewReader(conn), nextID: 1}
+// channel's, a test pipe's — in a Conn, performing the protocol
+// handshake. The Conn takes ownership of conn.
+func NewConn(conn net.Conn) (*Conn, error) {
+	c := &Conn{conn: conn, br: bufio.NewReader(conn), nextID: 1}
 	if err := c.handshake(); err != nil {
 		conn.Close()
 		return nil, err
@@ -132,7 +155,7 @@ func NewConn(conn net.Conn) (*Client, error) {
 	return c, nil
 }
 
-func (c *Client) handshake() error {
+func (c *Conn) handshake() error {
 	if err := c.writeFrame(wire.MsgHello, wire.Hello{
 		Major: wire.VersionMajor, Minor: wire.VersionMinor,
 	}.Encode()); err != nil {
@@ -164,7 +187,7 @@ func (c *Client) handshake() error {
 
 // GridBits returns the served database's bits per dimension, learned
 // in the handshake.
-func (c *Client) GridBits() []int {
+func (c *Conn) GridBits() []int {
 	out := make([]int, len(c.bits))
 	for i, b := range c.bits {
 		out[i] = int(b)
@@ -176,15 +199,16 @@ func (c *Client) GridBits() []int {
 // server for its per-phase timing breakdown (LastTiming) and, for
 // data requests, the rendered server-side span tree (LastTrace).
 // Tracing is silently inert against servers older than protocol 1.1.
-func (c *Client) SetTrace(on bool) {
+func (c *Conn) SetTrace(on bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.trace = on
 }
 
 // LastTiming returns the server timing breakdown of the most recent
-// traced request on this client; the zero Timing if there is none.
-func (c *Client) LastTiming() Timing {
+// traced request on this connection; the zero Timing if there is
+// none.
+func (c *Conn) LastTiming() Timing {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lastTiming
@@ -192,7 +216,7 @@ func (c *Client) LastTiming() Timing {
 
 // LastTrace returns the rendered server-side span tree of the most
 // recent traced data request; "" if there is none.
-func (c *Client) LastTrace() string {
+func (c *Conn) LastTrace() string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lastTrace
@@ -200,7 +224,7 @@ func (c *Client) LastTrace() string {
 
 // reqFlags returns the wire flags for the next request: FlagTrace
 // when tracing is on and the server speaks minor >= 1.
-func (c *Client) reqFlags() uint8 {
+func (c *Conn) reqFlags() uint8 {
 	if c.trace && c.minor >= 1 {
 		return wire.FlagTrace
 	}
@@ -208,10 +232,10 @@ func (c *Client) reqFlags() uint8 {
 }
 
 // Close closes the connection. In-flight requests fail with a
-// transport error.
-func (c *Client) Close() error { return c.conn.Close() }
+// transport error; an open transaction is rolled back server-side.
+func (c *Conn) Close() error { return c.conn.Close() }
 
-func (c *Client) writeFrame(typ uint8, payload []byte) error {
+func (c *Conn) writeFrame(typ uint8, payload []byte) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
 	return wire.WriteFrame(c.conn, typ, payload)
@@ -239,7 +263,7 @@ func timeoutMS(ctx context.Context) uint32 {
 // may be nil. While tracing, a TEXT frame with no consumer is the
 // server's span tree and lands in lastTrace, and a Done timing array
 // lands in lastTiming.
-func (c *Client) do(ctx context.Context, typ uint8, payload []byte, id uint32,
+func (c *Conn) do(ctx context.Context, typ uint8, payload []byte, id uint32,
 	onBatch func(wire.Batch) error, onText func(string), onKV func(wire.StatsKV)) (probe.QueryStats, error) {
 
 	if c.broken != nil {
@@ -376,7 +400,7 @@ func statsOf(d wire.Done) probe.QueryStats {
 }
 
 // begin claims the connection and allocates a request id.
-func (c *Client) begin() uint32 {
+func (c *Conn) begin() uint32 {
 	id := c.nextID
 	c.nextID++
 	return id
@@ -385,10 +409,15 @@ func (c *Client) begin() uint32 {
 // RangeFunc streams every point in the box to fn in z order;
 // returning false from fn stops the query (the server is cancelled)
 // without error. Strategy 0 is the server default; 1, 2, 3 select
-// MergeDecomposed, MergeLazy, SkipBigMin.
-func (c *Client) RangeFunc(ctx context.Context, lo, hi []uint32, strategy uint8, fn func(probe.Point) bool) (probe.QueryStats, error) {
+// MergeDecomposed, MergeLazy, SkipBigMin. Inside an open transaction
+// the server answers from the transaction's view.
+func (c *Conn) RangeFunc(ctx context.Context, lo, hi []uint32, strategy uint8, fn func(probe.Point) bool) (probe.QueryStats, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.rangeFuncLocked(ctx, lo, hi, strategy, fn)
+}
+
+func (c *Conn) rangeFuncLocked(ctx context.Context, lo, hi []uint32, strategy uint8, fn func(probe.Point) bool) (probe.QueryStats, error) {
 	id := c.begin()
 	req := wire.RangeReq{
 		Header:   wire.Header{ID: id, TimeoutMS: timeoutMS(ctx), Flags: c.reqFlags()},
@@ -412,7 +441,7 @@ func (c *Client) RangeFunc(ctx context.Context, lo, hi []uint32, strategy uint8,
 }
 
 // Range returns every point in the box.
-func (c *Client) Range(ctx context.Context, lo, hi []uint32) ([]probe.Point, probe.QueryStats, error) {
+func (c *Conn) Range(ctx context.Context, lo, hi []uint32) ([]probe.Point, probe.QueryStats, error) {
 	var pts []probe.Point
 	qs, err := c.RangeFunc(ctx, lo, hi, 0, func(p probe.Point) bool {
 		pts = append(pts, p)
@@ -425,9 +454,13 @@ func (c *Client) Range(ctx context.Context, lo, hi []uint32) ([]probe.Point, pro
 }
 
 // Nearest returns the m indexed points nearest q under the metric.
-func (c *Client) Nearest(ctx context.Context, q []uint32, m int, metric probe.Metric) ([]probe.Neighbor, probe.QueryStats, error) {
+func (c *Conn) Nearest(ctx context.Context, q []uint32, m int, metric probe.Metric) ([]probe.Neighbor, probe.QueryStats, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.nearestLocked(ctx, q, m, metric)
+}
+
+func (c *Conn) nearestLocked(ctx context.Context, q []uint32, m int, metric probe.Metric) ([]probe.Neighbor, probe.QueryStats, error) {
 	id := c.begin()
 	req := wire.NearestReq{
 		Header: wire.Header{ID: id, TimeoutMS: timeoutMS(ctx), Flags: c.reqFlags()},
@@ -452,7 +485,7 @@ func (c *Client) Nearest(ctx context.Context, q []uint32, m int, metric probe.Me
 // Join ships two box relations and returns the distinct overlapping
 // id pairs of their spatial join. workers > 0 requests parallel
 // execution server-side.
-func (c *Client) Join(ctx context.Context, a, b []BoxItem, workers int) ([]probe.Pair, probe.QueryStats, error) {
+func (c *Conn) Join(ctx context.Context, a, b []BoxItem, workers int) ([]probe.Pair, probe.QueryStats, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	id := c.begin()
@@ -483,10 +516,15 @@ func (c *Client) Join(ctx context.Context, a, b []BoxItem, workers int) ([]probe
 }
 
 // Insert ships a batch of points for insertion. The returned stats
-// carry the inserted count in Results.
-func (c *Client) Insert(ctx context.Context, pts []probe.Point) (probe.QueryStats, error) {
+// carry the inserted count in Results. Inside an open transaction the
+// batch buffers server-side until Commit.
+func (c *Conn) Insert(ctx context.Context, pts []probe.Point) (probe.QueryStats, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.insertLocked(ctx, pts)
+}
+
+func (c *Conn) insertLocked(ctx context.Context, pts []probe.Point) (probe.QueryStats, error) {
 	id := c.begin()
 	wpts := make([]wire.Point, len(pts))
 	for i, p := range pts {
@@ -499,8 +537,33 @@ func (c *Client) Insert(ctx context.Context, pts []probe.Point) (probe.QueryStat
 	return c.do(ctx, wire.MsgInsert, req.Encode(), id, nil, nil, nil)
 }
 
+// Delete ships a batch of points for deletion (protocol 1.2). Points
+// already absent are skipped, not an error; the returned stats carry
+// the actually-removed count in Results.
+func (c *Conn) Delete(ctx context.Context, pts []probe.Point) (probe.QueryStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.deleteLocked(ctx, pts)
+}
+
+func (c *Conn) deleteLocked(ctx context.Context, pts []probe.Point) (probe.QueryStats, error) {
+	if c.minor < 2 {
+		return probe.QueryStats{}, fmt.Errorf("probed: server protocol 1.%d has no DELETE (needs 1.2)", c.minor)
+	}
+	id := c.begin()
+	wpts := make([]wire.Point, len(pts))
+	for i, p := range pts {
+		wpts[i] = wire.Point{ID: p.ID, Coords: p.Coords}
+	}
+	req := wire.DeleteReq{
+		Header: wire.Header{ID: id, TimeoutMS: timeoutMS(ctx), Flags: c.reqFlags()},
+		Dims:   uint32(len(c.bits)), Points: wpts,
+	}
+	return c.do(ctx, wire.MsgDelete, req.Encode(), id, nil, nil, nil)
+}
+
 // Checkpoint forces a durability checkpoint on the server.
-func (c *Client) Checkpoint(ctx context.Context) (probe.QueryStats, error) {
+func (c *Conn) Checkpoint(ctx context.Context) (probe.QueryStats, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	id := c.begin()
@@ -510,7 +573,7 @@ func (c *Client) Checkpoint(ctx context.Context) (probe.QueryStats, error) {
 
 // Explain returns the plan the server's optimizer picks for a range
 // query, without running it.
-func (c *Client) Explain(ctx context.Context, lo, hi []uint32) (string, error) {
+func (c *Conn) Explain(ctx context.Context, lo, hi []uint32) (string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	id := c.begin()
@@ -525,7 +588,7 @@ func (c *Client) Explain(ctx context.Context, lo, hi []uint32) (string, error) {
 // directly, histograms as .count/.p50/.p95/.p99/.max summaries, with
 // "server." and "db." name prefixes. Against a 1.0 server the legacy
 // JSON TEXT response is parsed into the same shape.
-func (c *Client) Stats(ctx context.Context) (map[string]int64, error) {
+func (c *Conn) Stats(ctx context.Context) (map[string]int64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	id := c.begin()

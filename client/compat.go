@@ -1,0 +1,94 @@
+package client
+
+import (
+	"context"
+
+	"probe"
+)
+
+// Client is the pre-1.2 name for a probed connection, kept so code
+// written against the old API keeps compiling. It is a pure
+// delegating wrapper around a Conn — no state of its own — so a
+// Client and the Conn it wraps may be used interchangeably.
+//
+// Deprecated: use Conn (returned by Dial / NewConn), which adds
+// transactions (Begin) and batch deletion (Delete).
+type Client struct {
+	conn *Conn
+}
+
+// DialClient connects like Dial but returns the wrapped legacy
+// Client.
+//
+// Deprecated: use Dial and the Conn it returns.
+func DialClient(addr string) (*Client, error) {
+	conn, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established Conn in the legacy Client shape.
+//
+// Deprecated: use the Conn directly.
+func NewClient(conn *Conn) *Client { return &Client{conn: conn} }
+
+// Conn returns the underlying connection, the migration path out of
+// the deprecated wrapper.
+func (c *Client) Conn() *Conn { return c.conn }
+
+// Deprecated: use Conn.GridBits.
+func (c *Client) GridBits() []int { return c.conn.GridBits() }
+
+// Deprecated: use Conn.SetTrace.
+func (c *Client) SetTrace(on bool) { c.conn.SetTrace(on) }
+
+// Deprecated: use Conn.LastTiming.
+func (c *Client) LastTiming() Timing { return c.conn.LastTiming() }
+
+// Deprecated: use Conn.LastTrace.
+func (c *Client) LastTrace() string { return c.conn.LastTrace() }
+
+// Deprecated: use Conn.Close.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Deprecated: use Conn.RangeFunc.
+func (c *Client) RangeFunc(ctx context.Context, lo, hi []uint32, strategy uint8, fn func(probe.Point) bool) (probe.QueryStats, error) {
+	return c.conn.RangeFunc(ctx, lo, hi, strategy, fn)
+}
+
+// Deprecated: use Conn.Range.
+func (c *Client) Range(ctx context.Context, lo, hi []uint32) ([]probe.Point, probe.QueryStats, error) {
+	return c.conn.Range(ctx, lo, hi)
+}
+
+// Deprecated: use Conn.Nearest.
+func (c *Client) Nearest(ctx context.Context, q []uint32, m int, metric probe.Metric) ([]probe.Neighbor, probe.QueryStats, error) {
+	return c.conn.Nearest(ctx, q, m, metric)
+}
+
+// Deprecated: use Conn.Join.
+func (c *Client) Join(ctx context.Context, a, b []BoxItem, workers int) ([]probe.Pair, probe.QueryStats, error) {
+	return c.conn.Join(ctx, a, b, workers)
+}
+
+// Deprecated: use Conn.Insert.
+func (c *Client) Insert(ctx context.Context, pts []probe.Point) (probe.QueryStats, error) {
+	return c.conn.Insert(ctx, pts)
+}
+
+// Deprecated: use Conn.Checkpoint.
+func (c *Client) Checkpoint(ctx context.Context) (probe.QueryStats, error) {
+	return c.conn.Checkpoint(ctx)
+}
+
+// Deprecated: use Conn.Explain.
+func (c *Client) Explain(ctx context.Context, lo, hi []uint32) (string, error) {
+	return c.conn.Explain(ctx, lo, hi)
+}
+
+// Deprecated: use Conn.Stats.
+func (c *Client) Stats(ctx context.Context) (map[string]int64, error) {
+	return c.conn.Stats(ctx)
+}

@@ -316,6 +316,7 @@ type serverBenchReport struct {
 	Ops        int                   `json:"ops"`
 	Errors     int                   `json:"errors"`
 	Overloaded int                   `json:"overloaded"`
+	Conflicts  int                   `json:"conflicts"`
 	QPS        float64               `json:"qps"`
 	P50MS      float64               `json:"p50_ms"`
 	P95MS      float64               `json:"p95_ms"`
@@ -374,6 +375,7 @@ func runLoadgen(addr string, selfhost bool, conns int, dur time.Duration, seed i
 			Ops:        rep.Ops,
 			Errors:     rep.Errors,
 			Overloaded: rep.Overloaded,
+			Conflicts:  rep.Conflicts,
 			QPS:        rep.QPS,
 			P50MS:      ms(rep.P50),
 			P95MS:      ms(rep.P95),

@@ -197,7 +197,7 @@ func runRemote(addr, nearest string, explain, stats, checkpoint, trace bool, tim
 
 // printTrace prints the server-side timing breakdown and span tree of
 // the last traced request.
-func printTrace(cl *client.Client, trace bool) {
+func printTrace(cl *client.Conn, trace bool) {
 	if !trace {
 		return
 	}

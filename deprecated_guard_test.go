@@ -1,0 +1,165 @@
+package probe
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDeprecatedEntryPointsDelegate parses every non-test Go file in
+// the module and pins two properties of the deprecated surface:
+//
+//  1. Every function or method carrying a "Deprecated:" doc comment is
+//     a pure delegating wrapper — no loops, no goroutines, no
+//     branching beyond an error-return guard — so keeping the old
+//     names costs nothing but the name.
+//  2. Every deprecated type declaration is an alias (type T = U), never
+//     a defined type that could accrete its own method set.
+//
+// The walk covers the whole module, so a future deprecation that
+// sneaks real logic behind an old name fails here, not in review.
+func TestDeprecatedEntryPointsDelegate(t *testing.T) {
+	fset := token.NewFileSet()
+	var funcs, aliases int
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		for _, decl := range file.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				if !deprecated(decl.Doc) {
+					continue
+				}
+				funcs++
+				checkDelegating(t, fset, decl)
+			case *ast.GenDecl:
+				for _, spec := range decl.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !(deprecated(ts.Doc) || deprecated(ts.Comment)) {
+						continue
+					}
+					aliases++
+					if !ts.Assign.IsValid() {
+						t.Errorf("%s: deprecated type %s is a defined type, want an alias (type %s = ...)",
+							fset.Position(ts.Pos()), ts.Name.Name, ts.Name.Name)
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sweep must actually find the legacy surface: three package
+	// probe functions (SpatialJoinParallel, RangeSearchWith,
+	// OpenPacked), disk.NewFileStore, the client compatibility wrapper
+	// (DialClient, NewClient and the Client methods), and the two stat
+	// aliases. Falling below these floors means the guard silently
+	// stopped guarding.
+	if funcs < 17 {
+		t.Errorf("found %d deprecated functions, expected at least 17 — did the guard lose files?", funcs)
+	}
+	if aliases < 2 {
+		t.Errorf("found %d deprecated type aliases, expected at least 2", aliases)
+	}
+}
+
+func deprecated(cg *ast.CommentGroup) bool {
+	return cg != nil && strings.Contains(cg.Text(), "Deprecated:")
+}
+
+// checkDelegating enforces the wrapper shape: each statement is an
+// assignment from a single call, an `if` guard that only returns, a
+// bare delegating call, or a return of calls / field selections /
+// constructor literals. Anything with real control flow fails.
+func checkDelegating(t *testing.T, fset *token.FileSet, fn *ast.FuncDecl) {
+	t.Helper()
+	fail := func(n ast.Node, why string) {
+		t.Errorf("%s: deprecated %s is not a pure delegating wrapper: %s",
+			fset.Position(n.Pos()), fn.Name.Name, why)
+	}
+	if fn.Body == nil {
+		return
+	}
+	if len(fn.Body.List) > 4 {
+		fail(fn, "body has more than 4 statements")
+		return
+	}
+	sawDelegation := false
+	for _, stmt := range fn.Body.List {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if len(s.Rhs) != 1 {
+				fail(s, "multi-value assignment not from one call")
+				continue
+			}
+			if _, ok := s.Rhs[0].(*ast.CallExpr); !ok {
+				fail(s, "assignment from something other than a delegated call")
+				continue
+			}
+			sawDelegation = true
+		case *ast.IfStmt:
+			for _, inner := range s.Body.List {
+				if _, ok := inner.(*ast.ReturnStmt); !ok {
+					fail(inner, "if-body does more than return")
+				}
+			}
+			if s.Else != nil {
+				fail(s, "wrapper has an else branch")
+			}
+		case *ast.ExprStmt:
+			if _, ok := s.X.(*ast.CallExpr); !ok {
+				fail(s, "non-call expression statement")
+				continue
+			}
+			sawDelegation = true
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				if containsCallOrConstructor(res) {
+					sawDelegation = true
+				}
+			}
+		default:
+			fail(s, "statement with control flow or state")
+		}
+	}
+	if !sawDelegation {
+		fail(fn, "never calls (or constructs) the thing it wraps")
+	}
+}
+
+// containsCallOrConstructor reports whether the expression delegates:
+// a call, a composite literal (constructor wrapper), or a plain
+// selector/identifier handing back wrapped state.
+func containsCallOrConstructor(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		return true
+	case *ast.UnaryExpr:
+		return containsCallOrConstructor(e.X)
+	case *ast.CompositeLit:
+		return true
+	case *ast.SelectorExpr, *ast.Ident:
+		return true
+	}
+	return false
+}

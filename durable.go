@@ -157,7 +157,8 @@ func createDurable(g Grid, cfg openConfig, fsys disk.FS) (*DB, error) {
 		rs.Close()
 		return nil, err
 	}
-	db := &DB{grid: g, store: rs, rs: rs, pool: pool, index: ix, metrics: obs.NewRegistry()}
+	db := &DB{grid: g, store: rs, rs: rs, pool: pool, index: ix,
+		metrics: obs.NewRegistry(), txMetrics: newTxMetrics()}
 	// Checkpoint immediately: a freshly created database must be
 	// recoverable even if the process dies before the first explicit
 	// Checkpoint.
@@ -208,7 +209,8 @@ func recoverDurable(g Grid, cfg openConfig, fsys disk.FS, sp *Trace) (*DB, error
 	}
 	return &DB{
 		grid: g, store: rs, rs: rs, pool: pool, index: ix,
-		metrics: obs.NewRegistry(), recovery: info, recovered: true,
+		metrics: obs.NewRegistry(), txMetrics: newTxMetrics(),
+		recovery: info, recovered: true,
 	}, nil
 }
 

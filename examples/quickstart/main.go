@@ -47,7 +47,7 @@ func main() {
 	// The three strategies of Section 3.3 give identical answers;
 	// compare their work.
 	for _, s := range []probe.Strategy{probe.MergeDecomposed, probe.MergeLazy, probe.SkipBigMin} {
-		_, st, err := db.RangeSearchWith(box, s)
+		_, st, err := db.RangeSearch(box, probe.WithStrategy(s))
 		if err != nil {
 			log.Fatal(err)
 		}

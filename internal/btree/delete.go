@@ -59,7 +59,7 @@ func (t *Tree) Delete(k Key) (bool, error) {
 	if !found {
 		return false, nil
 	}
-	t.commit(nv, w.retired)
+	t.commit(nv, w.retired, []Key{k})
 	return true, nil
 }
 

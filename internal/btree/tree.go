@@ -54,6 +54,12 @@ type Tree struct {
 	retainedPages int
 	freedPages    uint64
 	freeFailures  uint64
+
+	// commits is the key-set log of published versions, kept for
+	// transaction validation (tx.go); prunedSeq is the highest record
+	// sequence already pruned. Both guarded by verMu.
+	commits   []commitRecord
+	prunedSeq uint64
 }
 
 // newTreeShell validates the geometry and returns a Tree with no
@@ -350,7 +356,7 @@ func (t *Tree) Insert(k Key, value []byte) error {
 		w.abort()
 		return err
 	}
-	t.commit(nv, w.retired)
+	t.commit(nv, w.retired, []Key{k})
 	return nil
 }
 

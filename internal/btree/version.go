@@ -60,6 +60,9 @@ type MVCCStats struct {
 	// leaks in the store; harmless for correctness, counted so leaks
 	// are visible).
 	FreeFailures uint64
+	// CommitRecords is the number of commit key-set records retained
+	// for transaction validation (pruned with the GC horizon).
+	CommitRecords int
 }
 
 // MVCCStats returns a snapshot of the version-chain state.
@@ -73,6 +76,7 @@ func (t *Tree) MVCCStats() MVCCStats {
 		RetainedPages:    t.retainedPages,
 		FreedPages:       t.freedPages,
 		FreeFailures:     t.freeFailures,
+		CommitRecords:    len(t.commits),
 	}
 	for _, v := range t.pinnedVers {
 		s.PinnedSnapshots += v.pins
@@ -138,18 +142,20 @@ func (t *Tree) horizonLocked() uint64 {
 	return h
 }
 
-// commit publishes nv as the new current version and queues the pages
-// the writer replaced for reclamation, then runs an opportunistic GC
-// pass. The publish itself is a single pointer swap under verMu, so a
-// concurrent pin sees either the old or the new version, never a
-// mixture. Caller holds writeMu.
-func (t *Tree) commit(nv *version, retired []disk.PageID) {
+// commit publishes nv as the new current version, queues the pages
+// the writer replaced for reclamation, and records the key-set the
+// commit changed for transaction validation (tx.go); then it runs an
+// opportunistic GC pass. The publish itself is a single pointer swap
+// under verMu, so a concurrent pin sees either the old or the new
+// version, never a mixture. Caller holds writeMu.
+func (t *Tree) commit(nv *version, retired []disk.PageID, keys []Key) {
 	t.verMu.Lock()
 	t.cur = nv
 	if len(retired) > 0 {
 		t.retired = append(t.retired, retireSet{seq: nv.seq, pages: retired})
 		t.retainedPages += len(retired)
 	}
+	t.recordCommitLocked(nv.seq, keys)
 	t.verMu.Unlock()
 	t.collect()
 }
@@ -160,6 +166,7 @@ func (t *Tree) commit(nv *version, retired []disk.PageID) {
 func (t *Tree) collect() {
 	t.verMu.Lock()
 	h := t.horizonLocked()
+	t.pruneCommitsLocked(h)
 	var pages []disk.PageID
 	keep := t.retired[:0]
 	for _, rs := range t.retired {

@@ -136,11 +136,46 @@ func (s *IndexSnapshot) Release() { s.snap.Release() }
 func (s *IndexSnapshot) Seq() uint64 { return s.snap.Seq() }
 
 // key builds the tree key of a point.
-func (ix *Index) key(p geom.Point) (btree.Key, error) {
+func (ix *reader) key(p geom.Point) (btree.Key, error) {
 	if !ix.g.Valid(p.Coords) {
 		return btree.Key{}, fmt.Errorf("core: point %v outside %v", p, ix.g)
 	}
 	return btree.Key{Hi: ix.g.ShuffleKey(p.Coords), Lo: p.ID}, nil
+}
+
+// Contains reports whether the exact point (pixel and id) is present
+// in the snapshot's version. Transactions use it for duplicate checks
+// and read-your-writes delete semantics.
+func (s *IndexSnapshot) Contains(p geom.Point) (bool, error) {
+	k, err := s.key(p)
+	if err != nil {
+		return false, err
+	}
+	_, ok, err := s.snap.Get(k)
+	return ok, err
+}
+
+// PointMutation is one buffered transaction write at the point level.
+type PointMutation struct {
+	Point  geom.Point
+	Delete bool
+}
+
+// CommitBatch applies a transaction's buffered point mutations as one
+// atomic tree publication, after first-committer-wins validation
+// against every version committed since baseSeq (the sequence of the
+// transaction's pinned snapshot). It returns btree.ErrConflict when
+// validation fails; on any error nothing is applied.
+func (ix *Index) CommitBatch(baseSeq uint64, muts []PointMutation) error {
+	bm := make([]btree.Mutation, len(muts))
+	for i, m := range muts {
+		k, err := ix.key(m.Point)
+		if err != nil {
+			return err
+		}
+		bm[i] = btree.Mutation{Key: k, Delete: m.Delete}
+	}
+	return ix.tree.CommitBatch(baseSeq, bm)
 }
 
 // Insert adds a point. Point ids must be unique per pixel.

@@ -181,6 +181,11 @@ func (ix *reader) rank(q []uint32, pts []geom.Point, metric Metric) []Neighbor {
 	return ns
 }
 
+// Distance returns the distance between two coordinate vectors under
+// the metric. Exposed so transaction overlays can rank buffered
+// (uncommitted) points against snapshot results.
+func Distance(a, b []uint32, metric Metric) float64 { return distance(a, b, metric) }
+
 func distance(a, b []uint32, metric Metric) float64 {
 	switch metric {
 	case Chebyshev:

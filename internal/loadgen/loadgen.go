@@ -37,6 +37,11 @@ type Config struct {
 	// NearestEvery makes every Nth operation an NNEAREST [15]; 0
 	// disables them. All remaining operations are RANGE queries.
 	NearestEvery int
+	// TxEvery makes every Nth operation a multi-statement transaction
+	// (BEGIN, a small insert batch, a range over it, COMMIT) [20]; 0
+	// disables transactions. A COMMIT losing first-committer-wins
+	// validation counts in Report.Conflicts, not Errors.
+	TxEvery int
 	// BoxSide caps the side length of generated range boxes [128].
 	BoxSide uint32
 	// Metrics, when non-nil, receives a "loadgen.latency.<op>"
@@ -65,6 +70,9 @@ func (c *Config) fillDefaults() {
 	if c.NearestEvery == 0 {
 		c.NearestEvery = 15
 	}
+	if c.TxEvery == 0 {
+		c.TxEvery = 20
+	}
 	if c.BoxSide == 0 {
 		c.BoxSide = 128
 	}
@@ -87,6 +95,7 @@ type Report struct {
 	Ops        int                `json:"ops"`
 	Errors     int                `json:"errors"`
 	Overloaded int                `json:"overloaded"`
+	Conflicts  int                `json:"conflicts"`
 	Elapsed    time.Duration      `json:"elapsed_ns"`
 	QPS        float64            `json:"qps"`
 	P50        time.Duration      `json:"p50_ns"`
@@ -96,8 +105,8 @@ type Report struct {
 }
 
 func (r Report) String() string {
-	return fmt.Sprintf("conns=%d ops=%d errors=%d overloaded=%d qps=%.0f p50=%s p95=%s p99=%s",
-		r.Conns, r.Ops, r.Errors, r.Overloaded, r.QPS, r.P50, r.P95, r.P99)
+	return fmt.Sprintf("conns=%d ops=%d errors=%d overloaded=%d conflicts=%d qps=%.0f p50=%s p95=%s p99=%s",
+		r.Conns, r.Ops, r.Errors, r.Overloaded, r.Conflicts, r.QPS, r.P50, r.P95, r.P99)
 }
 
 // Run drives the server at cfg.Addr for cfg.Duration with cfg.Conns
@@ -115,6 +124,7 @@ func Run(cfg Config) (Report, error) {
 		perOp      map[string][]time.Duration
 		errors     int
 		overloaded int
+		conflicts  int
 		err        error // fatal setup error
 	}
 	results := make([]workerResult, cfg.Conns)
@@ -147,6 +157,41 @@ func Run(cfg Config) (Report, error) {
 				var err error
 				var kind string
 				switch {
+				// The tx case must precede insert: the default cadences
+				// (TxEvery 20, InsertEvery 10) overlap on op%20==19, and
+				// the earlier case would swallow every tx slot.
+				case cfg.TxEvery > 0 && op%cfg.TxEvery == cfg.TxEvery-1:
+					kind = "tx"
+					err = func() error {
+						tx, err := cl.Begin(ctx)
+						if err != nil {
+							return err
+						}
+						defer tx.Rollback(ctx)
+						pts := make([]probe.Point, 4)
+						lo := make([]uint32, len(side))
+						hi := make([]uint32, len(side))
+						for d := range lo {
+							lo[d] = uint32(rng.Intn(int(side[d] - cfg.BoxSide)))
+							hi[d] = lo[d] + cfg.BoxSide - 1
+						}
+						for i := range pts {
+							coords := make([]uint32, len(side))
+							for d := range coords {
+								coords[d] = lo[d] + uint32(rng.Intn(int(cfg.BoxSide)))
+							}
+							idBase++
+							pts[i] = probe.Point{ID: idBase, Coords: coords}
+						}
+						if _, err := tx.Insert(ctx, pts); err != nil {
+							return err
+						}
+						if _, _, err := tx.Range(ctx, lo, hi); err != nil {
+							return err
+						}
+						_, err = tx.Commit(ctx)
+						return err
+					}()
 				case cfg.InsertEvery > 0 && op%cfg.InsertEvery == cfg.InsertEvery-1:
 					kind = "insert"
 					pts := make([]probe.Point, 8)
@@ -202,6 +247,8 @@ func Run(cfg Config) (Report, error) {
 				case errors.Is(err, client.ErrOverloaded):
 					res.overloaded++
 					time.Sleep(time.Millisecond) // back off, then retry
+				case errors.Is(err, client.ErrTxConflict):
+					res.conflicts++ // lost the commit race: by design, retryable
 				default:
 					res.errors++
 				}
@@ -224,6 +271,7 @@ func Run(cfg Config) (Report, error) {
 		}
 		rep.Errors += res.errors
 		rep.Overloaded += res.overloaded
+		rep.Conflicts += res.conflicts
 	}
 	rep.Ops = len(all)
 	if elapsed > 0 {

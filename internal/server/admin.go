@@ -13,9 +13,10 @@ import (
 // separate listener (-admin) so operational traffic never competes
 // with query traffic:
 //
-//	/metrics          Prometheus text exposition of every server and
-//	                  database metric plus scrape-time pool and MVCC
-//	                  gauges (retained versions/pages, pinned snapshots)
+//	/metrics          Prometheus text exposition of every server,
+//	                  database, and transaction (probe_tx_*) metric
+//	                  plus scrape-time pool and MVCC gauges (retained
+//	                  versions/pages, pinned snapshots)
 //	/debug/vars       expvar-style JSON snapshot of both registries
 //	/debug/pprof/     the standard Go profiling handlers
 //	/healthz          liveness: 200 while the process runs
@@ -68,6 +69,10 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	if err := s.db.TxMetrics().WritePrometheus(&buf, "probe_tx"); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	pi := s.db.PoolInfo()
 	mv := s.db.MVCCStats()
 	for _, g := range []struct {
@@ -96,5 +101,6 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 // or register anything globally.
 func (s *Server) serveVars(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	fmt.Fprintf(w, "{\"server\": %s, \"db\": %s}\n", s.metrics.String(), s.db.Metrics().String())
+	fmt.Fprintf(w, "{\"server\": %s, \"db\": %s, \"tx\": %s}\n",
+		s.metrics.String(), s.db.Metrics().String(), s.db.TxMetrics().String())
 }

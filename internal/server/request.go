@@ -54,6 +54,14 @@ func opName(typ uint8) string {
 		return "explain"
 	case wire.MsgStats:
 		return "stats"
+	case wire.MsgDelete:
+		return "delete"
+	case wire.MsgBegin:
+		return "begin"
+	case wire.MsgCommit:
+		return "commit"
+	case wire.MsgRollback:
+		return "rollback"
 	default:
 		return "unknown"
 	}
@@ -127,6 +135,10 @@ func (ss *session) reject(rq *request, msg string) {
 // drain.
 func codeOf(ctx context.Context, err error) uint8 {
 	switch {
+	case errors.Is(err, probe.ErrTxConflict):
+		return wire.CodeConflict
+	case errors.Is(err, probe.ErrTxAborted):
+		return wire.CodeBadRequest
 	case errors.Is(err, context.DeadlineExceeded):
 		return wire.CodeDeadline
 	case errors.Is(err, context.Canceled):

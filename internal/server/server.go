@@ -19,11 +19,22 @@
 // backpressure they can retry against, and a slow query cannot grow
 // an unbounded queue inside the server.
 //
+// Transactions. A session may hold at most one open transaction
+// (BEGIN … COMMIT/ROLLBACK, protocol minor 2); while it is open, the
+// session's RANGE, NEAREST, INSERT and DELETE requests run inside it.
+// The transaction is rolled back if the connection drops or if the
+// session sends nothing for Config.TxIdleTimeout, so an abandoned
+// client cannot pin an MVCC snapshot (and the garbage-collection
+// horizon under it) forever.
+//
 // Drain. Shutdown stops accepting connections and requests (new ones
 // get "shutting-down"), waits up to Config.DrainTimeout for in-flight
-// requests to finish, cancels whatever remains, closes every
-// connection, checkpoints the database and closes it. After Shutdown
-// returns the store is consistent and reopens without recovery work.
+// requests to finish and open transactions to commit or roll back —
+// sessions holding a transaction may keep issuing requests during the
+// grace window — then cancels whatever remains, closes every
+// connection (rolling back still-open transactions), checkpoints the
+// database and closes it. After Shutdown returns the store is
+// consistent and reopens without recovery work.
 package server
 
 import (
@@ -56,6 +67,11 @@ type Config struct {
 	// BatchSize is the number of results per streamed batch frame
 	// [512].
 	BatchSize int
+	// TxIdleTimeout bounds how long a session may hold a transaction
+	// open without issuing any request before the server rolls it back
+	// [30s]. An abandoned transaction pins an MVCC snapshot, which
+	// stalls version garbage collection; the timeout caps that damage.
+	TxIdleTimeout time.Duration
 
 	// Logger receives structured request logs (log/slog). nil disables
 	// request logging entirely; the server never logs on its own.
@@ -87,6 +103,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = 512
+	}
+	if c.TxIdleTimeout <= 0 {
+		c.TxIdleTimeout = 30 * time.Second
 	}
 }
 
@@ -128,10 +147,12 @@ type Server struct {
 	conns     map[net.Conn]struct{}
 	draining  bool
 
-	// active counts executing requests; drainDone is closed when the
-	// last one finishes while draining.
-	active int
-	idle   chan struct{} // closed & re-made when active drops to 0
+	// active counts executing requests and openTxs counts sessions
+	// holding an open transaction; idle is closed & re-made when both
+	// drop to 0 (what Shutdown's grace window waits for).
+	active  int
+	openTxs int
+	idle    chan struct{}
 
 	wg sync.WaitGroup // session goroutines
 }
@@ -241,13 +262,37 @@ func (s *Server) endRequest() {
 	<-s.sem
 	s.mu.Lock()
 	s.active--
-	if s.active == 0 {
-		close(s.idle)
-		s.idle = make(chan struct{})
-	}
+	s.signalIdleLocked()
 	s.mu.Unlock()
 	s.metrics.Int("server.active").Add(-1)
 	s.metrics.Gauge("server.inflight").Dec()
+}
+
+// signalIdleLocked wakes Shutdown's grace-window wait once no request
+// executes and no transaction is open. Caller holds s.mu.
+func (s *Server) signalIdleLocked() {
+	if s.active == 0 && s.openTxs == 0 {
+		close(s.idle)
+		s.idle = make(chan struct{})
+	}
+}
+
+// txBegan and txEnded track sessions holding an open transaction, for
+// the drain grace window and the server.open_txs gauge.
+func (s *Server) txBegan() {
+	s.mu.Lock()
+	s.openTxs++
+	s.mu.Unlock()
+	s.metrics.Int("server.tx_begun").Add(1)
+	s.metrics.Gauge("server.open_txs").Inc()
+}
+
+func (s *Server) txEnded() {
+	s.mu.Lock()
+	s.openTxs--
+	s.signalIdleLocked()
+	s.mu.Unlock()
+	s.metrics.Gauge("server.open_txs").Dec()
 }
 
 // Shutdown drains the server: stop accepting connections and
@@ -266,11 +311,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		ln.Close()
 	}
 	idle := s.idle
-	active := s.active
+	busy := s.active > 0 || s.openTxs > 0
 	s.mu.Unlock()
 
-	// Grace period: let in-flight requests finish naturally.
-	if active > 0 {
+	// Grace period: let in-flight requests finish and open
+	// transactions commit or roll back naturally.
+	if busy {
 		timer := time.NewTimer(s.cfg.DrainTimeout)
 		defer timer.Stop()
 		select {

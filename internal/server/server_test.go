@@ -54,7 +54,7 @@ func startServer(t *testing.T, cfg Config, seed []probe.Point) (*Server, string,
 	return srv, ln.Addr().String(), path
 }
 
-func dial(t *testing.T, addr string) *client.Client {
+func dial(t *testing.T, addr string) *client.Conn {
 	t.Helper()
 	cl, err := client.Dial(addr)
 	if err != nil {

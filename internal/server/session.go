@@ -30,8 +30,22 @@ type session struct {
 	frames chan frameMsg
 
 	// minor is the client's protocol minor from its Hello; it gates
-	// the minor-1 response forms (STATSKV instead of TEXT).
+	// the minor-1 response forms (STATSKV instead of TEXT) and the
+	// minor-2 transaction opcodes.
 	minor uint8
+
+	// tx is the session's open transaction, nil outside BEGIN…COMMIT/
+	// ROLLBACK. The executor goroutine uses it during a request; the
+	// session loop rolls it back on idle timeout or disconnect, which
+	// it only does while no request is in flight — txMu guards the
+	// pointer itself so those handoffs are race-free.
+	// txAborted latches when the server kills the transaction (idle
+	// timeout) so later statements fail loudly instead of silently
+	// running in auto-commit mode; BEGIN, COMMIT, and ROLLBACK clear
+	// it.
+	txMu      sync.Mutex
+	tx        *probe.Tx
+	txAborted bool
 
 	// root is the session's span: every request's work is attributed
 	// to a child operator span, so the session trace is the full
@@ -51,6 +65,66 @@ func newSession(srv *Server, conn net.Conn) *session {
 		conn:   conn,
 		frames: make(chan frameMsg, 4),
 		root:   probe.NewTrace("session"),
+	}
+}
+
+// currentTx returns the session's open transaction, nil if none.
+func (ss *session) currentTx() *probe.Tx {
+	ss.txMu.Lock()
+	defer ss.txMu.Unlock()
+	return ss.tx
+}
+
+// txState returns the open transaction and whether a previous one was
+// aborted by the server without the client's acknowledgement.
+func (ss *session) txState() (*probe.Tx, bool) {
+	ss.txMu.Lock()
+	defer ss.txMu.Unlock()
+	return ss.tx, ss.txAborted
+}
+
+// setTx installs a freshly begun transaction, clearing any stale
+// aborted latch.
+func (ss *session) setTx(tx *probe.Tx) {
+	ss.txMu.Lock()
+	ss.tx = tx
+	ss.txAborted = false
+	ss.txMu.Unlock()
+}
+
+// latchAborted records a server-side abort the client has not seen.
+func (ss *session) latchAborted() {
+	ss.txMu.Lock()
+	ss.txAborted = true
+	ss.txMu.Unlock()
+}
+
+// ackAborted clears the aborted latch, reporting whether it was set —
+// COMMIT and ROLLBACK acknowledge the abort.
+func (ss *session) ackAborted() bool {
+	ss.txMu.Lock()
+	defer ss.txMu.Unlock()
+	was := ss.txAborted
+	ss.txAborted = false
+	return was
+}
+
+// takeTx detaches the open transaction from the session, nil if none.
+// The caller owns ending it (and calling srv.txEnded).
+func (ss *session) takeTx() *probe.Tx {
+	ss.txMu.Lock()
+	defer ss.txMu.Unlock()
+	tx := ss.tx
+	ss.tx = nil
+	return tx
+}
+
+// abortTx rolls back the open transaction, if any — the disconnect,
+// idle-timeout, and session-exit path.
+func (ss *session) abortTx() {
+	if tx := ss.takeTx(); tx != nil {
+		tx.Rollback()
+		ss.srv.txEnded()
 	}
 }
 
@@ -82,6 +156,7 @@ func peekID(payload []byte) uint32 {
 // paths so the reader goroutine always unblocks.
 func (ss *session) run() {
 	defer func() {
+		ss.abortTx() // a transaction never outlives its connection
 		ss.conn.Close()
 		for range ss.frames {
 			// Drain so the reader goroutine can exit.
@@ -104,6 +179,27 @@ func (ss *session) run() {
 
 	if !ss.handshake() {
 		return
+	}
+
+	// txTimer enforces Config.TxIdleTimeout: it is (re-)armed whenever
+	// a request finishes with a transaction open, and fires only while
+	// no request is in flight — the executor goroutine owns the
+	// transaction during a request, so the loop never ends it mid-use.
+	txTimer := time.NewTimer(ss.srv.cfg.TxIdleTimeout)
+	if !txTimer.Stop() {
+		<-txTimer.C
+	}
+	defer txTimer.Stop()
+	armTxTimer := func() {
+		if !txTimer.Stop() {
+			select {
+			case <-txTimer.C:
+			default:
+			}
+		}
+		if ss.currentTx() != nil {
+			txTimer.Reset(ss.srv.cfg.TxIdleTimeout)
+		}
 	}
 
 	var (
@@ -137,15 +233,24 @@ func (ss *session) run() {
 					cancelReq(errClientCancel)
 				}
 			case wire.MsgRange, wire.MsgNearest, wire.MsgJoin, wire.MsgInsert,
-				wire.MsgCheckpoint, wire.MsgExplain, wire.MsgStats:
+				wire.MsgCheckpoint, wire.MsgExplain, wire.MsgStats,
+				wire.MsgDelete, wire.MsgBegin, wire.MsgCommit, wire.MsgRollback:
 				recv := time.Now()
 				id := peekID(f.payload)
+				if isTxOp(f.typ) && ss.minor < 2 {
+					ss.sendError(id, wire.CodeBadRequest,
+						fmt.Sprintf("opcode 0x%02x requires protocol minor >= 2 (client said %d)", f.typ, ss.minor))
+					continue
+				}
 				if reqDone != nil {
 					ss.sendError(id, wire.CodeBadRequest,
 						fmt.Sprintf("request %d is still in flight on this connection", inflight))
 					continue
 				}
-				if ss.srv.isDraining() {
+				// Drain: reject new work, but a session holding an open
+				// transaction may keep going through the grace window so
+				// it can finish and COMMIT (or ROLLBACK) cleanly.
+				if ss.srv.isDraining() && ss.currentTx() == nil {
 					ss.sendError(id, wire.CodeShuttingDown, "server is shutting down")
 					continue
 				}
@@ -170,8 +275,31 @@ func (ss *session) run() {
 		case <-reqDone:
 			cancelReq(context.Canceled) // release the context's resources
 			reqDone, cancelReq = nil, nil
+			armTxTimer()
+		case <-txTimer.C:
+			if reqDone != nil {
+				// A request slipped in; re-check after it finishes.
+				armTxTimer()
+				continue
+			}
+			if tx := ss.takeTx(); tx != nil {
+				tx.Rollback()
+				ss.srv.txEnded()
+				ss.latchAborted()
+				ss.srv.metrics.Int("server.tx_idle_aborts").Add(1)
+			}
 		}
 	}
+}
+
+// isTxOp reports whether the opcode is one of the minor-2 additions
+// (transactions and DELETE).
+func isTxOp(typ uint8) bool {
+	switch typ {
+	case wire.MsgDelete, wire.MsgBegin, wire.MsgCommit, wire.MsgRollback:
+		return true
+	}
+	return false
 }
 
 // handshake expects the client's Hello as the first frame and answers
@@ -235,6 +363,14 @@ func (ss *session) execute(ctx context.Context, typ uint8, payload []byte, recv 
 		ss.handleExplain(ctx, rq, payload)
 	case wire.MsgStats:
 		ss.handleStats(ctx, rq, payload)
+	case wire.MsgDelete:
+		ss.handleDelete(ctx, rq, payload)
+	case wire.MsgBegin:
+		ss.handleBegin(ctx, rq, payload)
+	case wire.MsgCommit:
+		ss.handleCommit(ctx, rq, payload)
+	case wire.MsgRollback:
+		ss.handleRollback(ctx, rq, payload)
 	}
 	ss.finish(rq)
 }
@@ -331,13 +467,28 @@ func (ss *session) handleRange(ctx context.Context, rq *request, payload []byte)
 		batch = batch[:0]
 		return writeErr == nil
 	}
-	qs, err := ss.srv.db.RangeSearchFunc(box, func(p probe.Point) bool {
+	each := func(p probe.Point) bool {
 		batch = append(batch, wire.Point{ID: p.ID, Coords: p.Coords})
 		if len(batch) == cap(batch) {
 			return flush()
 		}
 		return true
-	}, rq.queryOpts(ctx, probe.WithStrategy(strat))...)
+	}
+	var qs probe.QueryStats
+	tx, aborted := ss.txState()
+	if tx == nil && aborted {
+		ss.failReq(ctx, rq, probe.ErrTxAborted)
+		return
+	}
+	if tx != nil {
+		// Inside the session's transaction: the search runs on the
+		// pinned snapshot with the write-set overlaid.
+		qs, err = tx.RangeSearchFunc(box, each,
+			probe.WithContext(ctx), probe.WithStrategy(strat))
+	} else {
+		qs, err = ss.srv.db.RangeSearchFunc(box, each,
+			rq.queryOpts(ctx, probe.WithStrategy(strat))...)
+	}
 	if writeErr != nil {
 		return // connection is gone; nothing more to say
 	}
@@ -376,7 +527,18 @@ func (ss *session) handleNearest(ctx context.Context, rq *request, payload []byt
 	defer stop()
 	rq.markPlanned()
 
-	nbs, qs, err := ss.srv.db.Nearest(req.Q, int(req.M), metric, rq.queryOpts(ctx)...)
+	var nbs []probe.Neighbor
+	var qs probe.QueryStats
+	tx, aborted := ss.txState()
+	if tx == nil && aborted {
+		ss.failReq(ctx, rq, probe.ErrTxAborted)
+		return
+	}
+	if tx != nil {
+		nbs, qs, err = tx.Nearest(req.Q, int(req.M), metric, probe.WithContext(ctx))
+	} else {
+		nbs, qs, err = ss.srv.db.Nearest(req.Q, int(req.M), metric, rq.queryOpts(ctx)...)
+	}
 	if err != nil {
 		ss.failReq(ctx, rq, err)
 		return
@@ -485,12 +647,152 @@ func (ss *session) handleInsert(ctx context.Context, rq *request, payload []byte
 	rq.markPlanned()
 	// Inserts run to completion once started: a half-applied batch is
 	// worse than a late cancel, so only the pre-flight context check
-	// above honors cancellation.
-	if err := ss.srv.db.InsertAll(pts); err != nil {
+	// above honors cancellation. Inside a transaction the batch only
+	// buffers — the shared index is untouched until COMMIT.
+	tx, aborted := ss.txState()
+	if tx == nil && aborted {
+		ss.failReq(ctx, rq, probe.ErrTxAborted)
+		return
+	}
+	if tx != nil {
+		err = tx.InsertAll(pts)
+	} else {
+		err = ss.srv.db.InsertAll(pts)
+	}
+	if err != nil {
 		ss.failReq(ctx, rq, err)
 		return
 	}
 	ss.sendDone(rq, probe.QueryStats{Results: len(pts)})
+}
+
+// handleDelete removes a batch of points (minor 2). Points already
+// absent are not an error; DONE's StatResults counts those actually
+// removed. Inside a transaction the deletions buffer into the
+// write-set against the transaction's own view.
+func (ss *session) handleDelete(ctx context.Context, rq *request, payload []byte) {
+	req, err := wire.DecodeDeleteReq(payload)
+	if err != nil {
+		ss.reject(rq, err.Error())
+		return
+	}
+	rq.flags = req.Flags
+	if int(req.Dims) != ss.srv.db.Grid().Dims() {
+		ss.reject(rq, fmt.Sprintf("points have %d dimensions, database has %d", req.Dims, ss.srv.db.Grid().Dims()))
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		ss.failReq(ctx, rq, err)
+		return
+	}
+	rq.markPlanned()
+	tx, aborted := ss.txState()
+	if tx == nil && aborted {
+		ss.failReq(ctx, rq, probe.ErrTxAborted)
+		return
+	}
+	removed := 0
+	for _, wp := range req.Points {
+		p := probe.Point{ID: wp.ID, Coords: wp.Coords}
+		var ok bool
+		var err error
+		if tx != nil {
+			ok, err = tx.Delete(p)
+		} else {
+			ok, err = ss.srv.db.Delete(p)
+		}
+		if err != nil {
+			ss.failReq(ctx, rq, err)
+			return
+		}
+		if ok {
+			removed++
+		}
+	}
+	ss.sendDone(rq, probe.QueryStats{Results: removed})
+}
+
+// handleBegin opens the session's transaction. The transaction lives
+// on the session's base context, not this request's, so it survives
+// until COMMIT/ROLLBACK, disconnect, idle timeout, or the end of the
+// drain grace window.
+func (ss *session) handleBegin(ctx context.Context, rq *request, payload []byte) {
+	req, err := wire.DecodeSimpleReq(payload)
+	if err != nil {
+		ss.reject(rq, err.Error())
+		return
+	}
+	rq.flags = req.Flags
+	if ss.currentTx() != nil {
+		ss.reject(rq, "a transaction is already open on this connection")
+		return
+	}
+	rq.markPlanned()
+	tx, err := ss.srv.db.Begin(ss.srv.baseCtx)
+	if err != nil {
+		ss.failReq(ctx, rq, err)
+		return
+	}
+	ss.setTx(tx)
+	ss.srv.txBegan()
+	ss.sendDone(rq, probe.QueryStats{})
+}
+
+// handleCommit commits the session's transaction. A lost
+// first-committer-wins validation answers with the typed CONFLICT
+// error; either way the transaction is over.
+func (ss *session) handleCommit(ctx context.Context, rq *request, payload []byte) {
+	req, err := wire.DecodeSimpleReq(payload)
+	if err != nil {
+		ss.reject(rq, err.Error())
+		return
+	}
+	rq.flags = req.Flags
+	tx := ss.takeTx()
+	if tx == nil {
+		if ss.ackAborted() {
+			ss.failReq(ctx, rq, probe.ErrTxAborted)
+		} else {
+			ss.reject(rq, "no transaction is open on this connection")
+		}
+		return
+	}
+	rq.markPlanned()
+	pending := tx.Pending()
+	err = tx.Commit()
+	ss.srv.txEnded()
+	if err != nil {
+		ss.failReq(ctx, rq, err)
+		return
+	}
+	ss.sendDone(rq, probe.QueryStats{Results: pending})
+}
+
+// handleRollback discards the session's transaction.
+func (ss *session) handleRollback(ctx context.Context, rq *request, payload []byte) {
+	req, err := wire.DecodeSimpleReq(payload)
+	if err != nil {
+		ss.reject(rq, err.Error())
+		return
+	}
+	rq.flags = req.Flags
+	tx := ss.takeTx()
+	if tx == nil {
+		if ss.ackAborted() {
+			// The server already rolled this transaction back (idle
+			// timeout); the client's ROLLBACK lands on the same state
+			// it asked for, so acknowledge rather than error.
+			rq.markPlanned()
+			ss.sendDone(rq, probe.QueryStats{})
+		} else {
+			ss.reject(rq, "no transaction is open on this connection")
+		}
+		return
+	}
+	rq.markPlanned()
+	tx.Rollback()
+	ss.srv.txEnded()
+	ss.sendDone(rq, probe.QueryStats{})
 }
 
 func (ss *session) handleCheckpoint(ctx context.Context, rq *request, payload []byte) {

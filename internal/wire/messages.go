@@ -299,6 +299,60 @@ func DecodeInsertReq(p []byte) (InsertReq, error) {
 	return InsertReq{Header: h, Dims: uint32(k), Points: pts}, nil
 }
 
+// DeleteReq ships a batch of points to delete (minor 2). It mirrors
+// InsertReq exactly; the DONE response reports the number actually
+// removed in StatResults (points already absent are not an error).
+type DeleteReq struct {
+	Header
+	Dims   uint32
+	Points []Point
+}
+
+func (m DeleteReq) Encode() []byte {
+	var e enc
+	m.Header.encodeTo(&e)
+	e.u32(m.Dims)
+	e.u32(uint32(len(m.Points)))
+	for _, p := range m.Points {
+		e.u64(p.ID)
+		for _, v := range p.Coords {
+			e.u32(v)
+		}
+	}
+	m.Header.encodeTail(&e)
+	return e.b
+}
+
+func DecodeDeleteReq(p []byte) (DeleteReq, error) {
+	d := dec{b: p}
+	h, err := decodeHeader(&d)
+	if err != nil {
+		return DeleteReq{}, err
+	}
+	k, err := d.dims()
+	if err != nil {
+		return DeleteReq{}, err
+	}
+	n, err := d.count(8 + 4*k)
+	if err != nil {
+		return DeleteReq{}, err
+	}
+	pts := make([]Point, n)
+	for i := range pts {
+		id, err := d.u64()
+		if err != nil {
+			return DeleteReq{}, err
+		}
+		coords, err := d.coords(k)
+		if err != nil {
+			return DeleteReq{}, err
+		}
+		pts[i] = Point{ID: id, Coords: coords}
+	}
+	h.decodeTail(&d)
+	return DeleteReq{Header: h, Dims: uint32(k), Points: pts}, nil
+}
+
 // JoinReq ships two object relations (as bounding boxes) for a
 // spatial join; Workers > 0 requests parallel execution with that
 // many workers.
@@ -383,8 +437,9 @@ func DecodeJoinReq(p []byte) (JoinReq, error) {
 	return JoinReq{Header: h, Workers: workers, Dims: uint32(k), A: a, B: b}, nil
 }
 
-// SimpleReq is the header-only request shape shared by MsgCheckpoint
-// and MsgStats.
+// SimpleReq is the header-only request shape shared by MsgCheckpoint,
+// MsgStats, and — since minor 2 — the transaction control opcodes
+// MsgBegin, MsgCommit, and MsgRollback.
 type SimpleReq struct {
 	Header
 }

@@ -39,9 +39,15 @@ const Magic = "ZKDQ"
 // the timing-breakdown array on DONE, and the structured STATSKV
 // response (sent instead of TEXT to clients that said minor >= 1 in
 // their Hello).
+//
+// Minor 2 added: the DELETE request, the multi-statement transaction
+// opcodes BEGIN/COMMIT/ROLLBACK, and the CONFLICT error code a losing
+// COMMIT returns. All are new opcodes, so a 1.1 peer never sees them;
+// a 1.2 server rejects them from a client that said minor < 2 in its
+// Hello with CodeBadRequest.
 const (
 	VersionMajor = 1
-	VersionMinor = 1
+	VersionMinor = 2
 )
 
 // MaxFrame caps a frame's length field (type byte + payload). Frames
@@ -69,6 +75,10 @@ const (
 	MsgExplain    = 0x15 // plan a range query without running it
 	MsgStats      = 0x16 // server + database counters snapshot
 	MsgCancel     = 0x18 // cancel the in-flight request with this id
+	MsgDelete     = 0x19 // delete a batch of points (minor >= 2)
+	MsgBegin      = 0x1A // open a transaction on this session (minor >= 2)
+	MsgCommit     = 0x1B // commit the session's transaction (minor >= 2)
+	MsgRollback   = 0x1C // roll back the session's transaction (minor >= 2)
 
 	MsgBatch   = 0x20 // one batch of streamed results
 	MsgDone    = 0x21 // request finished; carries its QueryStats
@@ -97,6 +107,7 @@ const (
 	CodeShuttingDown = 5 // server is draining; no new requests
 	CodeInternal     = 6 // unexpected server-side failure
 	CodeVersion      = 7 // handshake version mismatch
+	CodeConflict     = 8 // COMMIT lost first-committer-wins validation; retry the tx
 )
 
 // CodeString names an error code for diagnostics.
@@ -116,6 +127,8 @@ func CodeString(code uint8) string {
 		return "internal"
 	case CodeVersion:
 		return "version-mismatch"
+	case CodeConflict:
+		return "conflict"
 	default:
 		return fmt.Sprintf("code-%d", code)
 	}

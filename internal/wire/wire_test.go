@@ -96,6 +96,13 @@ func TestMessageRoundTrips(t *testing.T) {
 	gi, err := DecodeInsertReq(ir.Encode())
 	check("insert", gi, ir, err)
 
+	dr := DeleteReq{Header: Header{ID: 12, TimeoutMS: 250}, Dims: 2, Points: []Point{
+		{ID: 3, Coords: []uint32{9, 10}},
+		{ID: 4, Coords: []uint32{11, 12}},
+	}}
+	gdr, err := DecodeDeleteReq(dr.Encode())
+	check("delete", gdr, dr, err)
+
 	jr := JoinReq{Header: Header{ID: 10, TimeoutMS: 100}, Workers: 4, Dims: 2,
 		A: []JoinItem{{ID: 1, Lo: []uint32{0, 0}, Hi: []uint32{5, 5}}},
 		B: []JoinItem{{ID: 2, Lo: []uint32{3, 3}, Hi: []uint32{9, 9}},
@@ -196,6 +203,8 @@ func TestDecodeTruncated(t *testing.T) {
 			func(p []byte) error { _, err := DecodeNearestReq(p); return err }},
 		"insert": {InsertReq{Dims: 2, Points: []Point{{ID: 1, Coords: []uint32{1, 2}}}}.Encode(), flagTail,
 			func(p []byte) error { _, err := DecodeInsertReq(p); return err }},
+		"delete": {DeleteReq{Dims: 2, Points: []Point{{ID: 1, Coords: []uint32{1, 2}}}}.Encode(), flagTail,
+			func(p []byte) error { _, err := DecodeDeleteReq(p); return err }},
 		"join": {JoinReq{Dims: 1, A: []JoinItem{{ID: 1, Lo: []uint32{0}, Hi: []uint32{1}}}}.Encode(), flagTail,
 			func(p []byte) error { _, err := DecodeJoinReq(p); return err }},
 		"batch": {Batch{Kind: KindPoints, Dims: 1, Points: []Point{{ID: 1, Coords: []uint32{1}}}}.Encode(), strict,
@@ -246,6 +255,51 @@ func TestImplausibleCounts(t *testing.T) {
 	e2.u32(1000)
 	if _, err := DecodeWelcome(e2.b); err == nil {
 		t.Fatal("implausible dimension count accepted")
+	}
+}
+
+// TestTxOpcodes: the minor-2 additions — transaction opcodes are
+// distinct from every prior opcode, CONFLICT has a name, and the
+// control messages round-trip through the SimpleReq shape.
+func TestTxOpcodes(t *testing.T) {
+	ops := map[string]uint8{
+		"hello": MsgHello, "welcome": MsgWelcome, "range": MsgRange,
+		"nearest": MsgNearest, "join": MsgJoin, "insert": MsgInsert,
+		"checkpoint": MsgCheckpoint, "explain": MsgExplain, "stats": MsgStats,
+		"cancel": MsgCancel, "delete": MsgDelete, "begin": MsgBegin,
+		"commit": MsgCommit, "rollback": MsgRollback, "batch": MsgBatch,
+		"done": MsgDone, "text": MsgText, "error": MsgError, "statskv": MsgStatsKV,
+	}
+	seen := map[uint8]string{}
+	for name, op := range ops {
+		if prev, dup := seen[op]; dup {
+			t.Fatalf("opcode collision: %s and %s are both 0x%02x", name, prev, op)
+		}
+		seen[op] = name
+	}
+	if CodeString(CodeConflict) != "conflict" {
+		t.Fatalf("CodeString(CodeConflict) = %q", CodeString(CodeConflict))
+	}
+	for _, op := range []uint8{MsgBegin, MsgCommit, MsgRollback} {
+		req := SimpleReq{Header: Header{ID: 99, TimeoutMS: 42, Flags: FlagTrace}}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, op, req.Encode()); err != nil {
+			t.Fatal(err)
+		}
+		typ, payload, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != op {
+			t.Fatalf("opcode 0x%02x came back as 0x%02x", op, typ)
+		}
+		got, err := DecodeSimpleReq(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, req) {
+			t.Fatalf("tx control round trip mismatch: %+v != %+v", got, req)
+		}
 	}
 }
 

@@ -34,7 +34,6 @@ package probe
 import (
 	"context"
 	"errors"
-	"fmt"
 	"sync"
 
 	"probe/internal/btree"
@@ -263,12 +262,13 @@ type DB struct {
 	// a running read.
 	stateMu sync.RWMutex
 
-	grid    Grid
-	store   spanStore
-	rs      *disk.RecoverableStore // non-nil iff opened WithDurability
-	pool    *disk.Pool
-	index   *core.Index
-	metrics *obs.Registry
+	grid      Grid
+	store     spanStore
+	rs        *disk.RecoverableStore // non-nil iff opened WithDurability
+	pool      *disk.Pool
+	index     *core.Index
+	metrics   *obs.Registry
+	txMetrics *obs.Registry // transaction counters (probe_tx_*)
 
 	closed    bool // written under db.mu AND stateMu
 	recovered bool
@@ -321,7 +321,8 @@ func Open(g Grid, opts ...Option) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{grid: g, store: store, pool: pool, index: ix, metrics: obs.NewRegistry()}, nil
+	return &DB{grid: g, store: store, pool: pool, index: ix,
+		metrics: obs.NewRegistry(), txMetrics: newTxMetrics()}, nil
 }
 
 // ErrClosed is returned by every DB operation attempted after Close.
@@ -461,58 +462,48 @@ func (db *DB) Len() int {
 	return db.index.Len()
 }
 
-// Insert adds a point; (pixel, id) pairs must be unique.
+// Insert adds a point; (pixel, id) pairs must be unique. It is a
+// one-shot auto-commit transaction: equivalent to an Update whose
+// closure buffers a single insertion, committed before Insert
+// returns. Multi-statement work should use Update/Begin directly.
 func (db *DB) Insert(p Point) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if err := db.usableLocked(nil); err != nil {
-		return err
-	}
-	return db.index.Insert(p)
+	return db.updateAuto(nil, func(tx *Tx) error { return tx.Insert(p) })
 }
 
-// InsertAll adds many points.
+// InsertAll adds many points as one auto-commit transaction: either
+// every point is inserted and published as one atomic commit, or —
+// on the first error — none are.
 func (db *DB) InsertAll(pts []Point) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if err := db.usableLocked(nil); err != nil {
-		return err
-	}
-	return db.index.BulkLoad(pts)
+	return db.updateAuto(nil, func(tx *Tx) error { return tx.InsertAll(pts) })
 }
 
-// Delete removes a point, reporting whether it was present.
+// Delete removes a point, reporting whether it was present. Like
+// Insert it is a one-shot auto-commit transaction.
 func (db *DB) Delete(p Point) (bool, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if err := db.usableLocked(nil); err != nil {
-		return false, err
-	}
-	return db.index.Delete(p)
+	var found bool
+	err := db.updateAuto(nil, func(tx *Tx) error {
+		var err error
+		found, err = tx.Delete(p)
+		return err
+	})
+	return found, err
 }
 
 // DeleteBox removes every point inside the box, returning how many
-// were deleted.
+// were deleted. It is one auto-commit transaction: the search and
+// all deletions observe and publish one consistent state — either
+// every point in the box is removed or, on error, none are.
 func (db *DB) DeleteBox(box Box) (int, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if err := db.usableLocked(nil); err != nil {
-		return 0, err
-	}
-	victims, _, err := db.index.RangeSearch(box, MergeLazy)
+	var n int
+	err := db.updateAuto(nil, func(tx *Tx) error {
+		var err error
+		n, err = tx.DeleteBox(box)
+		return err
+	})
 	if err != nil {
 		return 0, err
 	}
-	for i, p := range victims {
-		ok, err := db.index.Delete(p)
-		if err != nil {
-			return i, err
-		}
-		if !ok {
-			return i, fmt.Errorf("probe: point %v vanished during DeleteBox", p)
-		}
-	}
-	return len(victims), nil
+	return n, nil
 }
 
 // RangeSearch returns all points inside the box. The default
@@ -531,14 +522,15 @@ func (db *DB) RangeSearch(box Box, opts ...QueryOption) ([]Point, QueryStats, er
 		o.applyQuery(&qc)
 	}
 	if qc.trace == nil {
-		snap, release, err := db.beginRead(qc.ctx)
-		if err != nil {
-			return nil, QueryStats{}, err
-		}
-		defer release()
-		defer db.metrics.AddSpan("range-search", nil)
-		pts, ss, err := snap.RangeSearchCtx(qc.ctx, box, qc.strategy, nil)
-		return pts, searchQueryStats(ss), err
+		var pts []Point
+		var qs QueryStats
+		err := db.viewAuto(qc.ctx, func(tx *Tx) error {
+			defer db.metrics.AddSpan("range-search", nil)
+			var err error
+			pts, qs, err = tx.RangeSearch(box, opts...)
+			return err
+		})
+		return pts, qs, err
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -572,6 +564,9 @@ func (db *DB) RangeSearchFunc(box Box, fn func(Point) bool, opts ...QueryOption)
 		o.applyQuery(&qc)
 	}
 	if qc.trace == nil {
+		// One-shot read-only transaction. With an empty write-set the
+		// overlay is pass-through, so fn streams straight from the
+		// pinned snapshot's merge, unmaterialized.
 		snap, release, err := db.beginRead(qc.ctx)
 		if err != nil {
 			return QueryStats{}, err
@@ -735,14 +730,15 @@ func (db *DB) Nearest(q []uint32, m int, metric Metric, opts ...QueryOption) ([]
 		o.applyQuery(&qc)
 	}
 	if qc.trace == nil {
-		snap, release, err := db.beginRead(qc.ctx)
-		if err != nil {
-			return nil, QueryStats{}, err
-		}
-		defer release()
-		defer db.metrics.AddSpan("nearest", nil)
-		nbs, ss, err := snap.NearestCtx(qc.ctx, q, m, metric, qc.strategy)
-		return nbs, searchQueryStats(ss), err
+		var nbs []Neighbor
+		var qs QueryStats
+		err := db.viewAuto(qc.ctx, func(tx *Tx) error {
+			defer db.metrics.AddSpan("nearest", nil)
+			var err error
+			nbs, qs, err = tx.Nearest(q, m, metric, opts...)
+			return err
+		})
+		return nbs, qs, err
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()

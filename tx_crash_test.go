@@ -1,0 +1,289 @@
+package probe_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"probe"
+	"probe/internal/disk/faultfs"
+)
+
+// This file is the transaction crash-atomicity harness: for hundreds
+// of seeded schedules it runs transactions — each buffering a batch
+// of inserts in a private id band, plus deletes of committed points —
+// interleaved with auto-commit writes and checkpoints, on a
+// fault-injecting filesystem that crashes (or tears a write) at a
+// seeded operation, very often inside the page-write burst a COMMIT's
+// publication and the following checkpoint produce. It then recovers
+// from the crash image and asserts all-or-nothing:
+//
+//   - recovery yields an acknowledged checkpoint state (the standard
+//     durability contract), never a torn hybrid;
+//   - per transaction, band counting makes atomicity directly
+//     observable: of the points a committed transaction inserted, the
+//     recovered database holds either all of them or none of them —
+//     a partially applied write-set can never surface, no matter
+//     where in COMMIT the fault landed;
+//   - a transaction that was still open (or rolled back, or lost
+//     validation) at the fault contributes nothing.
+//
+// Failing seeds are appended to $CRASH_SEED_FILE like the base
+// crash-recovery harness, tagged kind=tx-crash/tx-torn.
+
+// txBand is one transaction's insert band for the all-or-nothing
+// check: the ids it buffered, and whether COMMIT was acknowledged.
+type txBand struct {
+	ids       []uint64
+	committed bool
+}
+
+// deletableIDs returns the live points outside every transaction's
+// insert band (ids below 1<<40). Deletes target only these, so band
+// counting observes commit atomicity undisturbed: once a band is in,
+// nothing in the schedule ever removes part of it.
+func deletableIDs(live dbModel) []uint64 {
+	ids := live.liveIDs()
+	out := ids[:0]
+	for _, id := range ids {
+		if id < 1<<40 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// runTxCrashSteps drives one schedule until the filesystem crashes or
+// the schedule ends. It mirrors runDBSteps' checkpoint bookkeeping
+// (acked / maybe) and additionally records every transaction's band.
+func runTxCrashSteps(t *testing.T, fsys *faultfs.FS, db *probe.DB, seed int64) (acked, maybe dbModel, bands []*txBand) {
+	rng := rand.New(rand.NewSource(seed * 7))
+	ctx := context.Background()
+	live := dbModel{}
+	acked = dbModel{} // database creation checkpoints an empty state
+
+	nextAutoID := uint64(1)
+	steps := 30 + rng.Intn(40)
+	for i := 0; i < steps && !fsys.Crashed(); i++ {
+		switch r := rng.Intn(100); {
+		case r < 35: // one whole transaction, commit attempted
+			tx, err := db.Begin(ctx)
+			if err != nil {
+				if fsys.Crashed() {
+					return acked, maybe, bands
+				}
+				t.Fatalf("begin: %v", err)
+			}
+			band := &txBand{}
+			n := 3 + rng.Intn(6)
+			bandBase := uint64(i+1)<<40 | uint64(seed&0xffff)<<20
+			overlay := dbModel{}
+			for j := 0; j < n; j++ {
+				id := bandBase + uint64(j)
+				x, y := uint32(rng.Intn(256)), uint32(rng.Intn(256))
+				if err := tx.Insert(probe.Pt2(id, x, y)); err != nil {
+					if fsys.Crashed() {
+						tx.Rollback()
+						bands = append(bands, band)
+						return acked, maybe, bands
+					}
+					t.Fatalf("tx insert: %v", err)
+				}
+				band.ids = append(band.ids, id)
+				overlay[id] = [2]uint32{x, y}
+			}
+			var dels []uint64
+			if ids := deletableIDs(live); len(ids) > 0 && rng.Intn(2) == 0 {
+				id := ids[rng.Intn(len(ids))]
+				xy := live[id]
+				if ok, err := tx.Delete(probe.Pt2(id, xy[0], xy[1])); err != nil || !ok {
+					if fsys.Crashed() {
+						tx.Rollback()
+						bands = append(bands, band)
+						return acked, maybe, bands
+					}
+					t.Fatalf("tx delete: ok=%v err=%v", ok, err)
+				}
+				dels = append(dels, id)
+			}
+			err = tx.Commit()
+			bands = append(bands, band)
+			switch {
+			case err == nil:
+				band.committed = true
+				for id, xy := range overlay {
+					live[id] = xy
+				}
+				for _, id := range dels {
+					delete(live, id)
+				}
+			case fsys.Crashed() || errors.Is(err, probe.ErrTxConflict):
+				// Nothing applies; single-threaded schedules should
+				// never actually conflict, but a crashed commit may
+				// surface as any error.
+			default:
+				t.Fatalf("commit: %v", err)
+			}
+		case r < 55: // auto-commit insert
+			id := nextAutoID
+			nextAutoID++
+			x, y := uint32(rng.Intn(256)), uint32(rng.Intn(256))
+			if err := db.Insert(probe.Pt2(id, x, y)); err == nil {
+				live[id] = [2]uint32{x, y}
+			}
+		case r < 65: // auto-commit delete
+			ids := deletableIDs(live)
+			if len(ids) == 0 {
+				continue
+			}
+			id := ids[rng.Intn(len(ids))]
+			xy := live[id]
+			if ok, err := db.Delete(probe.Pt2(id, xy[0], xy[1])); err == nil && ok {
+				delete(live, id)
+			}
+		case r < 72: // abandoned transaction: buffered writes, rolled back
+			tx, err := db.Begin(ctx)
+			if err != nil {
+				continue
+			}
+			id := uint64(i+1)<<40 | 0xdead<<4
+			_ = tx.Insert(probe.Pt2(id, uint32(rng.Intn(256)), uint32(rng.Intn(256))))
+			bands = append(bands, &txBand{ids: []uint64{id}})
+			_ = tx.Rollback()
+		default: // checkpoint: the durability point
+			cand := live.clone()
+			if _, err := db.Checkpoint(); err == nil {
+				acked = cand
+				maybe = nil
+			} else if maybe == nil {
+				maybe = cand
+			}
+		}
+	}
+	// End on a checkpoint attempt so committed transactions have a
+	// durability point to survive through.
+	if !fsys.Crashed() {
+		cand := live.clone()
+		if _, err := db.Checkpoint(); err == nil {
+			acked = cand
+			maybe = nil
+		} else if maybe == nil {
+			maybe = cand
+		}
+	}
+	return acked, maybe, bands
+}
+
+func TestTxCrashAtomicity(t *testing.T) {
+	seeds := txCrashSchedules
+	if testing.Short() {
+		seeds /= 10
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			kind := runOneTxCrashSchedule(t, seed)
+			if t.Failed() {
+				recordDBFailureSeed(seed, kind)
+			}
+		})
+	}
+}
+
+func runOneTxCrashSchedule(t *testing.T, seed int64) string {
+	// Dry run on a clean filesystem to size the fault window.
+	dry := faultfs.New()
+	dryDB := openOn(t, dry)
+	dry.Arm(faultfs.Plan{})
+	runTxCrashSteps(t, dry, dryDB, seed)
+	w := dry.Ops()
+	if w == 0 {
+		t.Fatal("schedule performed no write operations")
+	}
+
+	// Armed run: crash or torn write at a seeded operation inside the
+	// workload's write stream.
+	rng := rand.New(rand.NewSource(seed))
+	at := 1 + rng.Intn(w)
+	var plan faultfs.Plan
+	var kind string
+	if seed%2 == 0 {
+		plan, kind = faultfs.Plan{Seed: seed, CrashAt: at}, "tx-crash"
+	} else {
+		plan, kind = faultfs.Plan{Seed: seed, TornAt: at}, "tx-torn"
+	}
+	fsys := faultfs.New()
+	db := openOn(t, fsys)
+	fsys.Arm(plan)
+	acked, maybe, bands := runTxCrashSteps(t, fsys, db, seed)
+
+	img := fsys.CrashImage()
+	rec, err := probe.Open(probe.MustGrid(2, 8),
+		probe.WithDurability("probe.db"), probe.WithFS(img))
+	if err != nil {
+		t.Fatalf("kind=%s: recovery failed: %v", kind, err)
+	}
+	defer rec.Close()
+
+	got := dbModel{}
+	if err := rec.Scan(func(p probe.Point) bool {
+		got[p.ID] = [2]uint32{p.Coords[0], p.Coords[1]}
+		return true
+	}); err != nil {
+		t.Fatalf("kind=%s: scan of recovered database: %v", kind, err)
+	}
+
+	// Durability contract: the recovered state is an acknowledged
+	// checkpoint (or the one in flight at the fault).
+	errAcked := matchDBState(got, acked)
+	if errAcked != nil {
+		errMaybe := fmt.Errorf("no checkpoint was in flight")
+		if maybe != nil {
+			errMaybe = matchDBState(got, maybe)
+		}
+		if errMaybe != nil {
+			t.Fatalf("kind=%s: recovered state matches no acknowledged checkpoint:\n  vs acked: %v\n  vs in-flight: %v",
+				kind, errAcked, errMaybe)
+		}
+	}
+
+	// All-or-nothing, observed directly: every transaction's insert
+	// band is fully present or fully absent — regardless of whether
+	// the fault hit mid-COMMIT — and an uncommitted band never
+	// surfaces at all.
+	for i, b := range bands {
+		present := 0
+		for _, id := range b.ids {
+			if _, ok := got[id]; ok {
+				present++
+			}
+		}
+		if !b.committed && present != 0 {
+			t.Fatalf("kind=%s: tx %d never committed but %d/%d of its inserts survived recovery",
+				kind, i, present, len(b.ids))
+		}
+		if present != 0 && present != len(b.ids) {
+			t.Fatalf("kind=%s: tx %d recovered torn: %d of %d inserts present",
+				kind, i, present, len(b.ids))
+		}
+	}
+
+	// The recovered database accepts transactions again.
+	ctx := context.Background()
+	tx, err := rec.Begin(ctx)
+	if err != nil {
+		t.Fatalf("kind=%s: begin after recovery: %v", kind, err)
+	}
+	if err := tx.Insert(probe.Pt2(1<<60, 11, 13)); err != nil {
+		t.Fatalf("kind=%s: tx insert after recovery: %v", kind, err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("kind=%s: tx commit after recovery: %v", kind, err)
+	}
+	if _, err := rec.Checkpoint(); err != nil {
+		t.Fatalf("kind=%s: checkpoint after recovery: %v", kind, err)
+	}
+	return kind
+}

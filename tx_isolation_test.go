@@ -1,0 +1,331 @@
+package probe_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"probe"
+)
+
+// This file is the transaction isolation property harness
+// (docs/transactions.md): for hundreds of seeded schedules it
+// interleaves several open transactions with auto-commit writes —
+// all driven from one goroutine, so a serial oracle can predict every
+// outcome exactly — and asserts:
+//
+//   - every read inside a transaction equals its pinned base state
+//     with its own buffered writes overlaid (read-your-writes), no
+//     matter what committed meanwhile;
+//   - every auto-commit read equals the committed oracle state;
+//   - COMMIT succeeds exactly when first-committer-wins validation
+//     should let it: it conflicts if and only if some write published
+//     after the transaction began touched a key in its write-set;
+//   - a committed transaction applies its whole write-set to the
+//     committed state; a conflicting or rolled-back one applies
+//     nothing;
+//   - when all transactions have ended, the database contents equal
+//     the serial replay and the version chain GCs clean.
+//
+// Failing seeds are appended to $TX_SEED_FILE (CI archives it).
+
+// txKeyT identifies a point for conflict prediction: transactions
+// conflict on exact (id, coords) keys.
+type txKeyT struct {
+	id   uint64
+	x, y uint32
+}
+
+// txSlot is the oracle's view of one open transaction.
+type txSlot struct {
+	tx      *probe.Tx
+	base    dbModel         // committed state when it began
+	overlay dbModel         // inserts buffered so far
+	deletes map[txKeyT]bool // deletes buffered so far
+	writes  map[txKeyT]bool // every key the write-set touches
+	logAt   int             // length of the commit log at Begin
+	nextID  uint64          // private id band for inserts
+}
+
+// view is the state the transaction must observe: base + overlay.
+func (s *txSlot) view() dbModel {
+	v := s.base.clone()
+	for id, xy := range s.overlay {
+		v[id] = xy
+	}
+	for k := range s.deletes {
+		delete(v, k.id)
+	}
+	return v
+}
+
+func recordTxFailureSeed(seed int64) {
+	path := os.Getenv("TX_SEED_FILE")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(f, "probe tx seed=%d\n", seed)
+	f.Close()
+}
+
+func TestTxIsolationProperty(t *testing.T) {
+	schedules := txHarnessSchedules
+	if testing.Short() {
+		schedules /= 10
+	}
+	for seed := int64(0); seed < int64(schedules); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runOneTxSchedule(t, seed)
+			if t.Failed() {
+				recordTxFailureSeed(seed)
+			}
+		})
+	}
+}
+
+func runOneTxSchedule(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	ctx := context.Background()
+
+	db, err := probe.Open(probe.MustGrid(2, 8),
+		probe.WithLeafCapacity(4+rng.Intn(8)), probe.WithPoolPages(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	// Committed oracle state, seeded so deletes have targets.
+	committed := dbModel{}
+	for i := 0; i < 15+rng.Intn(15); i++ {
+		id := uint64(1<<40) + uint64(i)
+		x, y := uint32(rng.Intn(256)), uint32(rng.Intn(256))
+		if err := db.Insert(probe.Pt2(id, x, y)); err != nil {
+			t.Fatal(err)
+		}
+		committed[id] = [2]uint32{x, y}
+	}
+
+	// commitLog records the key set of every publication, in order —
+	// the oracle for first-committer-wins validation.
+	var commitLog []map[txKeyT]bool
+	publish := func(keys map[txKeyT]bool) { commitLog = append(commitLog, keys) }
+
+	const slots = 3
+	open := [slots]*txSlot{}
+	nextAutoID := uint64(1)
+
+	autoDelete := func(st int) {
+		ids := committed.liveIDs()
+		if len(ids) == 0 {
+			return
+		}
+		id := ids[st%len(ids)]
+		xy := committed[id]
+		ok, err := db.Delete(probe.Pt2(id, xy[0], xy[1]))
+		if err != nil || !ok {
+			t.Fatalf("auto delete of live id %d: ok=%v err=%v", id, ok, err)
+		}
+		delete(committed, id)
+		publish(map[txKeyT]bool{{id, xy[0], xy[1]}: true})
+	}
+
+	steps := 60 + rng.Intn(80)
+	for i := 0; i < steps; i++ {
+		slot := rng.Intn(slots)
+		s := open[slot]
+		switch r := rng.Intn(100); {
+		case r < 12: // begin (if the slot is free)
+			if s != nil {
+				continue
+			}
+			tx, err := db.Begin(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			open[slot] = &txSlot{
+				tx: tx, base: committed.clone(),
+				overlay: dbModel{}, deletes: map[txKeyT]bool{}, writes: map[txKeyT]bool{},
+				logAt:  len(commitLog),
+				nextID: uint64(slot+1)<<50 | uint64(i)<<20, // private band
+			}
+		case r < 32: // tx insert
+			if s == nil {
+				continue
+			}
+			id := s.nextID
+			s.nextID++
+			x, y := uint32(rng.Intn(256)), uint32(rng.Intn(256))
+			if err := s.tx.Insert(probe.Pt2(id, x, y)); err != nil {
+				t.Fatalf("tx insert: %v", err)
+			}
+			s.overlay[id] = [2]uint32{x, y}
+			s.writes[txKeyT{id, x, y}] = true
+		case r < 44: // tx delete of something in its view
+			if s == nil {
+				continue
+			}
+			view := s.view()
+			ids := view.liveIDs()
+			if len(ids) == 0 {
+				continue
+			}
+			id := ids[rng.Intn(len(ids))]
+			xy := view[id]
+			ok, err := s.tx.Delete(probe.Pt2(id, xy[0], xy[1]))
+			if err != nil || !ok {
+				t.Fatalf("tx delete of id %d in its view: ok=%v err=%v", id, ok, err)
+			}
+			k := txKeyT{id, xy[0], xy[1]}
+			if s.overlay[id] == xy {
+				delete(s.overlay, id) // deleting its own insert
+			} else {
+				s.deletes[k] = true
+			}
+			s.writes[k] = true
+		case r < 56: // tx read: full-box range must equal base+overlay
+			if s == nil {
+				continue
+			}
+			got := dbModel{}
+			if _, err := s.tx.RangeSearchFunc(probe.Box2(0, 255, 0, 255), func(p probe.Point) bool {
+				got[p.ID] = [2]uint32{p.Coords[0], p.Coords[1]}
+				return true
+			}); err != nil {
+				t.Fatalf("tx range: %v", err)
+			}
+			if err := matchDBState(got, s.view()); err != nil {
+				t.Fatalf("step %d: tx view diverged from base+overlay: %v", i, err)
+			}
+			if n := s.tx.Len(); n != len(s.view()) {
+				t.Fatalf("step %d: tx Len %d, oracle %d", i, n, len(s.view()))
+			}
+		case r < 66: // commit: conflicts iff a later publication hit its keys
+			if s == nil {
+				continue
+			}
+			open[slot] = nil
+			wantConflict := false
+			for _, keys := range commitLog[s.logAt:] {
+				for k := range keys {
+					if s.writes[k] {
+						wantConflict = true
+					}
+				}
+			}
+			err := s.tx.Commit()
+			switch {
+			case wantConflict && errors.Is(err, probe.ErrTxConflict):
+				// Loser: nothing applies.
+			case !wantConflict && err == nil:
+				for id, xy := range s.overlay {
+					committed[id] = xy
+				}
+				for k := range s.deletes {
+					delete(committed, k.id)
+				}
+				if len(s.writes) > 0 {
+					publish(s.writes)
+				}
+			default:
+				t.Fatalf("step %d: commit got %v, oracle wanted conflict=%v (writes=%d, log since begin=%d)",
+					i, err, wantConflict, len(s.writes), len(commitLog)-s.logAt)
+			}
+		case r < 72: // rollback: nothing applies
+			if s == nil {
+				continue
+			}
+			open[slot] = nil
+			if err := s.tx.Rollback(); err != nil {
+				t.Fatalf("rollback: %v", err)
+			}
+		case r < 88: // auto-commit insert
+			id := nextAutoID
+			nextAutoID++
+			x, y := uint32(rng.Intn(256)), uint32(rng.Intn(256))
+			if err := db.Insert(probe.Pt2(id, x, y)); err != nil {
+				t.Fatalf("auto insert: %v", err)
+			}
+			committed[id] = [2]uint32{x, y}
+			publish(map[txKeyT]bool{{id, x, y}: true})
+		case r < 96: // auto-commit delete (the conflict generator)
+			autoDelete(rng.Intn(1 << 30))
+		default: // auto-commit read sees only committed state
+			pts, _, err := db.RangeSearch(probe.Box2(0, 255, 0, 255))
+			if err != nil {
+				t.Fatalf("auto range: %v", err)
+			}
+			got := dbModel{}
+			for _, p := range pts {
+				got[p.ID] = [2]uint32{p.Coords[0], p.Coords[1]}
+			}
+			if err := matchDBState(got, committed); err != nil {
+				t.Fatalf("step %d: auto-commit read diverged from committed state: %v", i, err)
+			}
+		}
+	}
+
+	// End every schedule by resolving the stragglers, alternating
+	// commit and rollback so both paths run.
+	for slot, s := range open {
+		if s == nil {
+			continue
+		}
+		if slot%2 == 0 {
+			wantConflict := false
+			for _, keys := range commitLog[s.logAt:] {
+				for k := range keys {
+					if s.writes[k] {
+						wantConflict = true
+					}
+				}
+			}
+			err := s.tx.Commit()
+			if wantConflict != (err != nil) {
+				t.Fatalf("final commit slot %d: got %v, oracle wanted conflict=%v", slot, err, wantConflict)
+			}
+			if err == nil {
+				for id, xy := range s.overlay {
+					committed[id] = xy
+				}
+				for k := range s.deletes {
+					delete(committed, k.id)
+				}
+				if len(s.writes) > 0 {
+					publish(s.writes)
+				}
+			}
+		} else if err := s.tx.Rollback(); err != nil {
+			t.Fatalf("final rollback slot %d: %v", slot, err)
+		}
+	}
+
+	// Serial replay: the surviving state is exactly the oracle's.
+	final := dbModel{}
+	if err := db.Scan(func(p probe.Point) bool {
+		final[p.ID] = [2]uint32{p.Coords[0], p.Coords[1]}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := matchDBState(final, committed); err != nil {
+		t.Fatalf("final state diverged from serial replay: %v", err)
+	}
+
+	// With every transaction ended, the version chain must GC clean.
+	db.Index().Tree().CollectGarbage()
+	mv := db.MVCCStats()
+	if mv.PinnedSnapshots != 0 || mv.RetainedVersions != 0 || mv.RetainedPages != 0 {
+		t.Fatalf("version chain not drained after all txs ended: %+v", mv)
+	}
+	if err := db.Index().Tree().CheckInvariants(); err != nil {
+		t.Fatalf("surviving tree invariants: %v", err)
+	}
+}
