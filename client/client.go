@@ -59,6 +59,11 @@ var (
 	// ErrTxAborted: the Tx has already ended (committed, rolled back,
 	// or aborted by the server).
 	ErrTxAborted = errors.New("probed: transaction has ended")
+	// ErrParse: the QUERY statement failed to parse (protocol 1.3).
+	ErrParse = errors.New("probed: query parse error")
+	// ErrPlan: the QUERY statement parsed but cannot run against the
+	// served database (protocol 1.3).
+	ErrPlan = errors.New("probed: query plan error")
 )
 
 // ServerError is a typed failure reported by the server.
@@ -85,6 +90,10 @@ func (e *ServerError) Is(target error) bool {
 		return e.Code == wire.CodeShuttingDown
 	case ErrTxConflict:
 		return e.Code == wire.CodeConflict
+	case ErrParse:
+		return e.Code == wire.CodeParse
+	case ErrPlan:
+		return e.Code == wire.CodePlan
 	}
 	return false
 }
@@ -257,14 +266,24 @@ func timeoutMS(ctx context.Context) uint32 {
 	return uint32(ms)
 }
 
+// handlers routes a request's response frames; any field may be nil.
+// batch and rows returning an error ask for the stream to stop: the
+// request is cancelled server-side and drained to its terminal frame
+// so the connection stays usable.
+type handlers struct {
+	batch  func(wire.Batch) error
+	text   func(string)
+	kv     func(wire.StatsKV)
+	schema func(wire.SchemaMsg)
+	rows   func(wire.RowsMsg) error
+}
+
 // do runs one request round trip: write the request frame, stream
 // response frames to the handlers until Done or Error, relaying a
-// context cancellation as a CANCEL frame. onBatch, onText and onKV
-// may be nil. While tracing, a TEXT frame with no consumer is the
-// server's span tree and lands in lastTrace, and a Done timing array
-// lands in lastTiming.
-func (c *Conn) do(ctx context.Context, typ uint8, payload []byte, id uint32,
-	onBatch func(wire.Batch) error, onText func(string), onKV func(wire.StatsKV)) (probe.QueryStats, error) {
+// context cancellation as a CANCEL frame. While tracing, a TEXT frame
+// with no consumer is the server's span tree and lands in lastTrace,
+// and a Done timing array lands in lastTiming.
+func (c *Conn) do(ctx context.Context, typ uint8, payload []byte, id uint32, h handlers) (probe.QueryStats, error) {
 
 	if c.broken != nil {
 		return probe.QueryStats{}, c.broken
@@ -307,15 +326,15 @@ func (c *Conn) do(ctx context.Context, typ uint8, payload []byte, id uint32,
 				c.broken = err
 				return probe.QueryStats{}, err
 			}
-			if b.ID != id || onBatch == nil {
+			if b.ID != id || h.batch == nil {
 				continue
 			}
-			if err := onBatch(b); err != nil {
+			if err := h.batch(b); err != nil {
 				// The consumer wants out: cancel server-side and keep
 				// reading to the request's terminal frame so the
 				// connection stays usable.
 				c.writeFrame(wire.MsgCancel, wire.Cancel{ID: id}.Encode())
-				onBatch = nil
+				h.batch = nil
 			}
 		case wire.MsgText:
 			tm, err := wire.DecodeTextMsg(fp)
@@ -324,8 +343,8 @@ func (c *Conn) do(ctx context.Context, typ uint8, payload []byte, id uint32,
 				return probe.QueryStats{}, err
 			}
 			if tm.ID == id {
-				if onText != nil {
-					onText(tm.Text)
+				if h.text != nil {
+					h.text(tm.Text)
 				} else if c.trace {
 					c.lastTrace = tm.Text
 				}
@@ -336,8 +355,30 @@ func (c *Conn) do(ctx context.Context, typ uint8, payload []byte, id uint32,
 				c.broken = err
 				return probe.QueryStats{}, err
 			}
-			if kv.ID == id && onKV != nil {
-				onKV(kv)
+			if kv.ID == id && h.kv != nil {
+				h.kv(kv)
+			}
+		case wire.MsgSchema:
+			sm, err := wire.DecodeSchemaMsg(fp)
+			if err != nil {
+				c.broken = err
+				return probe.QueryStats{}, err
+			}
+			if sm.ID == id && h.schema != nil {
+				h.schema(sm)
+			}
+		case wire.MsgRows:
+			rm, err := wire.DecodeRowsMsg(fp)
+			if err != nil {
+				c.broken = err
+				return probe.QueryStats{}, err
+			}
+			if rm.ID != id || h.rows == nil {
+				continue
+			}
+			if err := h.rows(rm); err != nil {
+				c.writeFrame(wire.MsgCancel, wire.Cancel{ID: id}.Encode())
+				h.rows = nil
 			}
 		case wire.MsgDone:
 			dn, err := wire.DecodeDone(fp)
@@ -425,7 +466,7 @@ func (c *Conn) rangeFuncLocked(ctx context.Context, lo, hi []uint32, strategy ui
 	}
 	stopped := false
 	errStop := errors.New("stop")
-	qs, err := c.do(ctx, wire.MsgRange, req.Encode(), id, func(b wire.Batch) error {
+	qs, err := c.do(ctx, wire.MsgRange, req.Encode(), id, handlers{batch: func(b wire.Batch) error {
 		for _, p := range b.Points {
 			if !fn(probe.Point{ID: p.ID, Coords: p.Coords}) {
 				stopped = true
@@ -433,7 +474,7 @@ func (c *Conn) rangeFuncLocked(ctx context.Context, lo, hi []uint32, strategy ui
 			}
 		}
 		return nil
-	}, nil, nil)
+	}})
 	if err != nil && stopped && errors.Is(err, ErrCanceled) {
 		return qs, nil
 	}
@@ -467,7 +508,7 @@ func (c *Conn) nearestLocked(ctx context.Context, q []uint32, m int, metric prob
 		Metric: uint8(metric), M: uint32(m), Q: q,
 	}
 	var nbs []probe.Neighbor
-	qs, err := c.do(ctx, wire.MsgNearest, req.Encode(), id, func(b wire.Batch) error {
+	qs, err := c.do(ctx, wire.MsgNearest, req.Encode(), id, handlers{batch: func(b wire.Batch) error {
 		for _, n := range b.Neighbors {
 			nbs = append(nbs, probe.Neighbor{
 				Point: probe.Point{ID: n.ID, Coords: n.Coords},
@@ -475,7 +516,7 @@ func (c *Conn) nearestLocked(ctx context.Context, q []uint32, m int, metric prob
 			})
 		}
 		return nil
-	}, nil, nil)
+	}})
 	if err != nil {
 		return nil, qs, err
 	}
@@ -503,12 +544,12 @@ func (c *Conn) Join(ctx context.Context, a, b []BoxItem, workers int) ([]probe.P
 		A: conv(a), B: conv(b),
 	}
 	var pairs []probe.Pair
-	qs, err := c.do(ctx, wire.MsgJoin, req.Encode(), id, func(bt wire.Batch) error {
+	qs, err := c.do(ctx, wire.MsgJoin, req.Encode(), id, handlers{batch: func(bt wire.Batch) error {
 		for _, p := range bt.Pairs {
 			pairs = append(pairs, probe.Pair{A: p[0], B: p[1]})
 		}
 		return nil
-	}, nil, nil)
+	}})
 	if err != nil {
 		return nil, qs, err
 	}
@@ -534,7 +575,7 @@ func (c *Conn) insertLocked(ctx context.Context, pts []probe.Point) (probe.Query
 		Header: wire.Header{ID: id, TimeoutMS: timeoutMS(ctx), Flags: c.reqFlags()},
 		Dims:   uint32(len(c.bits)), Points: wpts,
 	}
-	return c.do(ctx, wire.MsgInsert, req.Encode(), id, nil, nil, nil)
+	return c.do(ctx, wire.MsgInsert, req.Encode(), id, handlers{})
 }
 
 // Delete ships a batch of points for deletion (protocol 1.2). Points
@@ -559,7 +600,7 @@ func (c *Conn) deleteLocked(ctx context.Context, pts []probe.Point) (probe.Query
 		Header: wire.Header{ID: id, TimeoutMS: timeoutMS(ctx), Flags: c.reqFlags()},
 		Dims:   uint32(len(c.bits)), Points: wpts,
 	}
-	return c.do(ctx, wire.MsgDelete, req.Encode(), id, nil, nil, nil)
+	return c.do(ctx, wire.MsgDelete, req.Encode(), id, handlers{})
 }
 
 // Checkpoint forces a durability checkpoint on the server.
@@ -568,7 +609,7 @@ func (c *Conn) Checkpoint(ctx context.Context) (probe.QueryStats, error) {
 	defer c.mu.Unlock()
 	id := c.begin()
 	req := wire.SimpleReq{Header: wire.Header{ID: id, TimeoutMS: timeoutMS(ctx), Flags: c.reqFlags()}}
-	return c.do(ctx, wire.MsgCheckpoint, req.Encode(), id, nil, nil, nil)
+	return c.do(ctx, wire.MsgCheckpoint, req.Encode(), id, handlers{})
 }
 
 // Explain returns the plan the server's optimizer picks for a range
@@ -579,8 +620,104 @@ func (c *Conn) Explain(ctx context.Context, lo, hi []uint32) (string, error) {
 	id := c.begin()
 	req := wire.RangeReq{Header: wire.Header{ID: id, TimeoutMS: timeoutMS(ctx)}, Lo: lo, Hi: hi}
 	var text string
-	_, err := c.do(ctx, wire.MsgExplain, req.Encode(), id, nil, func(s string) { text = s }, nil)
+	_, err := c.do(ctx, wire.MsgExplain, req.Encode(), id, handlers{text: func(s string) { text = s }})
 	return text, err
+}
+
+// QueryResult is one materialized spatial SQL result: the schema, the
+// rows (typed values aligned with the columns), the EXPLAIN rendering
+// for EXPLAIN statements (Rows is then nil), and the server's stats.
+type QueryResult struct {
+	Columns []probe.QueryColumn
+	Rows    []probe.QueryRow
+	Explain string
+	Stats   probe.QueryStats
+}
+
+// Query runs one spatial SQL statement (protocol 1.3; docs/query.md
+// defines the language) and materializes the result. Parse and plan
+// failures come back as *ServerError values matching ErrParse and
+// ErrPlan. Inside an open transaction the statement runs on the
+// transaction's view.
+func (c *Conn) Query(ctx context.Context, text string) (*QueryResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.queryLocked(ctx, text)
+}
+
+func (c *Conn) queryLocked(ctx context.Context, text string) (*QueryResult, error) {
+	res := &QueryResult{}
+	qs, err := c.queryFuncLocked(ctx, text,
+		func(cols []probe.QueryColumn) { res.Columns = cols },
+		func(row probe.QueryRow) bool {
+			res.Rows = append(res.Rows, row)
+			return true
+		},
+		func(s string) { res.Explain = s })
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = qs
+	return res, nil
+}
+
+// QueryFunc runs one spatial SQL statement, streaming rows to onRow
+// as batches arrive; returning false stops the query (the server is
+// cancelled) without error. onSchema, if non-nil, is called once with
+// the result schema before the first row. EXPLAIN statements produce
+// no schema or rows; use Query for those.
+func (c *Conn) QueryFunc(ctx context.Context, text string, onSchema func([]probe.QueryColumn), onRow func(probe.QueryRow) bool) (probe.QueryStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.queryFuncLocked(ctx, text, onSchema, onRow, nil)
+}
+
+func (c *Conn) queryFuncLocked(ctx context.Context, text string,
+	onSchema func([]probe.QueryColumn), onRow func(probe.QueryRow) bool, onText func(string)) (probe.QueryStats, error) {
+
+	if c.minor < 3 {
+		return probe.QueryStats{}, fmt.Errorf("probed: server protocol 1.%d has no QUERY (needs 1.3)", c.minor)
+	}
+	id := c.begin()
+	req := wire.QueryReq{
+		Header: wire.Header{ID: id, TimeoutMS: timeoutMS(ctx), Flags: c.reqFlags()},
+		Text:   text,
+	}
+	stopped := false
+	errStop := errors.New("stop")
+	qs, err := c.do(ctx, wire.MsgQuery, req.Encode(), id, handlers{
+		text: onText,
+		schema: func(sm wire.SchemaMsg) {
+			if onSchema == nil {
+				return
+			}
+			cols := make([]probe.QueryColumn, len(sm.Cols))
+			for i, sc := range sm.Cols {
+				cols[i] = probe.QueryColumn{Name: sc.Name, Type: probe.ColumnType(sc.Type)}
+			}
+			onSchema(cols)
+		},
+		rows: func(rm wire.RowsMsg) error {
+			if onRow == nil {
+				return nil
+			}
+			for _, r := range rm.Rows {
+				row := make(probe.QueryRow, len(r))
+				for i, v := range r {
+					row[i] = probe.QueryValue(v)
+				}
+				if !onRow(row) {
+					stopped = true
+					return errStop
+				}
+			}
+			return nil
+		},
+	})
+	if err != nil && stopped && errors.Is(err, ErrCanceled) {
+		return qs, nil
+	}
+	return qs, err
 }
 
 // Stats returns a snapshot of the server's and the database's
@@ -595,13 +732,13 @@ func (c *Conn) Stats(ctx context.Context) (map[string]int64, error) {
 	req := wire.SimpleReq{Header: wire.Header{ID: id, TimeoutMS: timeoutMS(ctx)}}
 	out := make(map[string]int64)
 	var legacy string
-	_, err := c.do(ctx, wire.MsgStats, req.Encode(), id, nil,
-		func(s string) { legacy = s },
-		func(kv wire.StatsKV) {
+	_, err := c.do(ctx, wire.MsgStats, req.Encode(), id, handlers{
+		text: func(s string) { legacy = s },
+		kv: func(kv wire.StatsKV) {
 			for _, e := range kv.KVs {
 				out[e.Name] = e.Value
 			}
-		})
+		}})
 	if err != nil {
 		return nil, err
 	}

@@ -40,7 +40,7 @@ func (c *Conn) Begin(ctx context.Context) (*Tx, error) {
 	}
 	id := c.begin()
 	req := wire.SimpleReq{Header: wire.Header{ID: id, TimeoutMS: timeoutMS(ctx), Flags: c.reqFlags()}}
-	if _, err := c.do(ctx, wire.MsgBegin, req.Encode(), id, nil, nil, nil); err != nil {
+	if _, err := c.do(ctx, wire.MsgBegin, req.Encode(), id, handlers{}); err != nil {
 		return nil, err
 	}
 	tx := &Tx{c: c}
@@ -118,6 +118,28 @@ func (tx *Tx) Nearest(ctx context.Context, q []uint32, m int, metric probe.Metri
 	return tx.c.nearestLocked(ctx, q, m, metric)
 }
 
+// Query runs one spatial SQL statement on the transaction's view: the
+// pinned snapshot plus this transaction's buffered writes.
+func (tx *Tx) Query(ctx context.Context, text string) (*QueryResult, error) {
+	release, err := tx.enter()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return tx.c.queryLocked(ctx, text)
+}
+
+// QueryFunc streams a statement's rows from the transaction's view;
+// returning false from onRow stops the query without error.
+func (tx *Tx) QueryFunc(ctx context.Context, text string, onSchema func([]probe.QueryColumn), onRow func(probe.QueryRow) bool) (probe.QueryStats, error) {
+	release, err := tx.enter()
+	if err != nil {
+		return probe.QueryStats{}, err
+	}
+	defer release()
+	return tx.c.queryFuncLocked(ctx, text, onSchema, onRow, nil)
+}
+
 // Commit applies the transaction's write-set atomically. It returns
 // an error matching ErrTxConflict when first-committer-wins
 // validation fails — the transaction is then over and can be retried
@@ -133,7 +155,7 @@ func (tx *Tx) Commit(ctx context.Context) (probe.QueryStats, error) {
 	tx.c.tx = nil
 	id := tx.c.begin()
 	req := wire.SimpleReq{Header: wire.Header{ID: id, TimeoutMS: timeoutMS(ctx), Flags: tx.c.reqFlags()}}
-	return tx.c.do(ctx, wire.MsgCommit, req.Encode(), id, nil, nil, nil)
+	return tx.c.do(ctx, wire.MsgCommit, req.Encode(), id, handlers{})
 }
 
 // Rollback discards the transaction. It is a no-op on a transaction
@@ -149,6 +171,6 @@ func (tx *Tx) Rollback(ctx context.Context) error {
 	tx.c.tx = nil
 	id := tx.c.begin()
 	req := wire.SimpleReq{Header: wire.Header{ID: id, TimeoutMS: timeoutMS(ctx), Flags: tx.c.reqFlags()}}
-	_, err = tx.c.do(ctx, wire.MsgRollback, req.Encode(), id, nil, nil, nil)
+	_, err = tx.c.do(ctx, wire.MsgRollback, req.Encode(), id, handlers{})
 	return err
 }

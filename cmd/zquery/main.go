@@ -7,16 +7,20 @@
 //
 //	zquery [flags] XLO XHI YLO YHI
 //	zquery [flags] -partial x=VALUE
+//	zquery [flags] -e "SELECT ..." | -repl
 //	zquery -addr HOST:PORT [-trace] [-nearest X,Y,M | -explain | -stats | -checkpoint] [XLO XHI YLO YHI]
+//	zquery -addr HOST:PORT -e "SELECT ..." | -repl
 //
 // Examples:
 //
 //	zquery -n 5000 -dist uniform 100 300 50 180
 //	zquery -points pts.csv -strategy bigmin 0 1023 0 1023
 //	zquery -n 5000 -partial x=17
+//	zquery -n 5000 -e "SELECT COUNT(*) FROM points WHERE CONTAINS(BOX(0,511,0,511))"
 //	zquery -addr localhost:7331 100 300 50 180
 //	zquery -addr localhost:7331 -nearest 512,512,5
 //	zquery -addr localhost:7331 -explain 0 1023 0 1023
+//	zquery -addr localhost:7331 -e "SELECT id, x, y FROM points WHERE NEAREST(POINT(512,512), 5)"
 //
 // CSV rows are "id,x,y".
 package main
@@ -55,10 +59,18 @@ func main() {
 		checkpoint = flag.Bool("checkpoint", false, "with -addr: force a durability checkpoint")
 		trace      = flag.Bool("trace", false, "with -addr: print the server's timing breakdown and span tree")
 		timeout    = flag.Duration("timeout", 30*time.Second, "with -addr: per-request deadline")
+		sqlText    = flag.String("e", "", "execute one spatial SQL statement (see docs/query.md) and exit")
+		sqlRepl    = flag.Bool("repl", false, "interactive spatial SQL shell; exit/quit or EOF ends it")
 	)
 	flag.Parse()
 
 	if *addr != "" {
+		if *sqlText != "" || *sqlRepl {
+			if err := runRemoteSQL(*addr, *sqlText, *sqlRepl, *timeout); err != nil {
+				fatal(err)
+			}
+			return
+		}
 		if err := runRemote(*addr, *nearest, *explain, *srvStats, *checkpoint, *trace, *timeout, *verbose, flag.Args()); err != nil {
 			fatal(err)
 		}
@@ -82,6 +94,22 @@ func main() {
 	}
 	fmt.Printf("indexed %d points on %v: %d data pages of %d points\n",
 		db.Len(), g, db.LeafPages(), *leafCap)
+
+	if *sqlText != "" || *sqlRepl {
+		ctx := context.Background()
+		run := localRunner(db)
+		if *sqlText != "" {
+			if err := runSQL(ctx, run, *sqlText, os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+		if *sqlRepl {
+			if err := repl(ctx, run, os.Stdin, os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
 
 	strat, err := parseStrategy(*strategy)
 	if err != nil {
@@ -107,6 +135,34 @@ func main() {
 	fmt.Printf("data pages accessed: %d (efficiency %.3f)\n",
 		stats.DataPages, stats.Efficiency(*leafCap))
 	fmt.Printf("random accesses (seeks): %d, elements/skips: %d\n", stats.Seeks, stats.Elements)
+}
+
+// runRemoteSQL executes -e / -repl statements over the wire.
+func runRemoteSQL(addr, text string, startRepl bool, timeout time.Duration) error {
+	cl, err := client.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	fmt.Printf("connected to %s, grid bits %v\n", addr, cl.GridBits())
+	run := remoteRunner(cl)
+	if text != "" {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		if err := runSQL(ctx, run, text, os.Stdout); err != nil {
+			return err
+		}
+	}
+	if startRepl {
+		// No per-session deadline: each statement carries the -timeout
+		// via the runner's context below.
+		return repl(context.Background(), func(ctx context.Context, stmt string) (sqlResult, error) {
+			sctx, cancel := context.WithTimeout(ctx, timeout)
+			defer cancel()
+			return run(sctx, stmt)
+		}, os.Stdin, os.Stdout)
+	}
+	return nil
 }
 
 // runRemote executes the requested operation against a probed server.

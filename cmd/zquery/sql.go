@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"strings"
+
+	"probe"
+	"probe/client"
+)
+
+// sqlResult is the shape both executors (local library, remote
+// server) reduce a statement to for printing.
+type sqlResult struct {
+	cols    []probe.QueryColumn
+	rows    []probe.QueryRow
+	explain string
+	stats   probe.QueryStats
+}
+
+// sqlRunner executes one spatial SQL statement.
+type sqlRunner func(ctx context.Context, text string) (sqlResult, error)
+
+// localRunner runs statements against an in-process database.
+func localRunner(db *probe.DB) sqlRunner {
+	return func(ctx context.Context, text string) (sqlResult, error) {
+		res, err := db.Query(ctx, text)
+		if err != nil {
+			return sqlResult{}, err
+		}
+		return sqlResult{cols: res.Columns, rows: res.Rows, explain: res.Explain, stats: res.Stats}, nil
+	}
+}
+
+// remoteRunner runs statements over the wire (protocol 1.3 QUERY).
+func remoteRunner(cl *client.Conn) sqlRunner {
+	return func(ctx context.Context, text string) (sqlResult, error) {
+		res, err := cl.Query(ctx, text)
+		if err != nil {
+			return sqlResult{}, err
+		}
+		return sqlResult{cols: res.Columns, rows: res.Rows, explain: res.Explain, stats: res.Stats}, nil
+	}
+}
+
+// runSQL executes one statement and prints its result.
+func runSQL(ctx context.Context, run sqlRunner, text string, w io.Writer) error {
+	res, err := run(ctx, text)
+	if err != nil {
+		return err
+	}
+	if res.explain != "" {
+		fmt.Fprint(w, res.explain)
+		return nil
+	}
+	printResult(w, res)
+	return nil
+}
+
+// printResult renders a result set as an aligned table followed by a
+// one-line summary.
+func printResult(w io.Writer, res sqlResult) {
+	headers := make([]string, len(res.cols))
+	widths := make([]int, len(res.cols))
+	for i, c := range res.cols {
+		headers[i] = c.Name
+		widths[i] = len(c.Name)
+	}
+	cells := make([][]string, len(res.rows))
+	for r, row := range res.rows {
+		cells[r] = make([]string, len(row))
+		for i, v := range row {
+			s := formatValue(v)
+			cells[r][i] = s
+			if i < len(widths) && len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	writeRow := func(vals []string) {
+		for i, s := range vals {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], s)
+		}
+		fmt.Fprintln(w)
+	}
+	writeRow(headers)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	fmt.Fprintf(w, "(%d rows; data pages %d, seeks %d)\n",
+		len(res.rows), res.stats.DataPages, res.stats.Seeks)
+}
+
+// formatValue renders one typed cell.
+func formatValue(v probe.QueryValue) string {
+	switch t := v.(type) {
+	case float64:
+		return fmt.Sprintf("%.3f", t)
+	default:
+		return fmt.Sprintf("%v", t)
+	}
+}
+
+// repl reads statements line by line, executing each. Empty lines and
+// -- comments are skipped; exit/quit (or EOF) ends the loop. Errors
+// are printed and the loop continues — a typo should not end the
+// session.
+func repl(ctx context.Context, run sqlRunner, in io.Reader, out io.Writer) error {
+	sc := bufio.NewScanner(in)
+	fmt.Fprint(out, "sql> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "--"):
+		case line == "exit" || line == "quit":
+			return nil
+		default:
+			if err := runSQL(ctx, run, line, out); err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+			}
+		}
+		fmt.Fprint(out, "sql> ")
+	}
+	fmt.Fprintln(out)
+	return sc.Err()
+}

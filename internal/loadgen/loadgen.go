@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -37,6 +38,10 @@ type Config struct {
 	// NearestEvery makes every Nth operation an NNEAREST [15]; 0
 	// disables them. All remaining operations are RANGE queries.
 	NearestEvery int
+	// QueryEvery makes every Nth operation a parsed spatial SQL QUERY
+	// (protocol 1.3) alternating between a row select and an aggregate
+	// over a random box [12]; 0 disables them.
+	QueryEvery int
 	// TxEvery makes every Nth operation a multi-statement transaction
 	// (BEGIN, a small insert batch, a range over it, COMMIT) [20]; 0
 	// disables transactions. A COMMIT losing first-committer-wins
@@ -70,6 +75,9 @@ func (c *Config) fillDefaults() {
 	if c.NearestEvery == 0 {
 		c.NearestEvery = 15
 	}
+	if c.QueryEvery == 0 {
+		c.QueryEvery = 12
+	}
 	if c.TxEvery == 0 {
 		c.TxEvery = 20
 	}
@@ -89,7 +97,8 @@ type OpStats struct {
 
 // Report is the outcome of a run: counts, throughput, and latency
 // percentiles over all successful operations, overall and broken
-// down per operation kind ("range", "nearest", "join", "insert").
+// down per operation kind ("range", "nearest", "join", "insert",
+// "query", "tx").
 type Report struct {
 	Conns      int                `json:"conns"`
 	Ops        int                `json:"ops"`
@@ -192,6 +201,26 @@ func Run(cfg Config) (Report, error) {
 						_, err = tx.Commit(ctx)
 						return err
 					}()
+				case cfg.QueryEvery > 0 && op%cfg.QueryEvery == cfg.QueryEvery-1:
+					kind = "query"
+					lo := make([]uint32, len(side))
+					hi := make([]uint32, len(side))
+					for d := range lo {
+						lo[d] = uint32(rng.Intn(int(side[d] - cfg.BoxSide)))
+						hi[d] = lo[d] + uint32(rng.Intn(int(cfg.BoxSide)))
+					}
+					var box strings.Builder
+					for d := range lo {
+						if d > 0 {
+							box.WriteString(", ")
+						}
+						fmt.Fprintf(&box, "%d, %d", lo[d], hi[d])
+					}
+					text := fmt.Sprintf("SELECT id FROM points WHERE CONTAINS(BOX(%s)) LIMIT 100", box.String())
+					if op%(2*cfg.QueryEvery) == cfg.QueryEvery-1 {
+						text = fmt.Sprintf("SELECT COUNT(*) FROM points WHERE INTERSECTS(BOX(%s))", box.String())
+					}
+					_, err = cl.Query(ctx, text)
 				case cfg.InsertEvery > 0 && op%cfg.InsertEvery == cfg.InsertEvery-1:
 					kind = "insert"
 					pts := make([]probe.Point, 8)

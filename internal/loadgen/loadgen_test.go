@@ -119,4 +119,7 @@ func TestRunPerOp(t *testing.T) {
 	if _, ok := rep.PerOp["range"]; !ok {
 		t.Errorf("no range ops in a mixed workload: %v", rep.PerOp)
 	}
+	if _, ok := rep.PerOp["query"]; !ok {
+		t.Errorf("no query ops in a mixed workload: %v", rep.PerOp)
+	}
 }

@@ -1,0 +1,856 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"probe/internal/core"
+	"probe/internal/decompose"
+	"probe/internal/geom"
+	"probe/internal/planner"
+	"probe/internal/relation"
+	"probe/internal/zorder"
+)
+
+// Engine is the execution surface a compiled plan runs against. Both
+// the database and a transaction implement it (probe's adapters), so
+// one plan serves plain connections and QUERY-inside-BEGIN alike —
+// a transaction engine answers from its snapshot plus its own writes.
+type Engine interface {
+	// Grid is the coordinate grid; it must match the grid the plan was
+	// compiled against.
+	Grid() zorder.Grid
+	// Table is the planner's view of the underlying index for
+	// cost-based access-path choice, or nil when no cost model applies
+	// (transaction views fall back to fixed strategies).
+	Table() *planner.Table
+	// RangeFunc streams every point in the box in z order; returning
+	// false stops the scan early.
+	RangeFunc(ctx context.Context, box geom.Box, fn func(geom.Point) bool) error
+	// Nearest returns the k points nearest to q under the Euclidean
+	// metric, sorted by distance.
+	Nearest(ctx context.Context, q []uint32, k int) ([]core.Neighbor, error)
+}
+
+// TableName is the only table the language knows: the point index.
+const TableName = "points"
+
+type planMode int
+
+const (
+	modeScan planMode = iota
+	modeNearest
+	modeJoin
+)
+
+// Plan is a compiled, executable statement. A plan is bound to the
+// grid it was compiled against but not to an engine: the same plan
+// can run against the database or a transaction view.
+type Plan struct {
+	grid zorder.Grid
+	sel  *Select
+
+	mode    planMode
+	scanBox geom.Box // modeScan: the folded index search box
+	empty   bool     // WHERE bounds are contradictory: zero rows, no scan
+	nearest *NearestPred
+	regions []planner.Region
+
+	base     relation.Schema
+	residual []Pred                    // predicates applied after the base scan
+	filter   func(relation.Tuple) bool // compiled residual filter (nil when none)
+
+	grouped   bool
+	groupCols []string
+	aggs      []relation.Agg
+
+	out    relation.Schema
+	outIdx []int // output column positions in the pre-projection schema
+
+	orderIdx  []int // ORDER BY key positions in the output schema
+	orderDesc []bool
+
+	streamable bool
+}
+
+// Columns returns the output schema.
+func (p *Plan) Columns() relation.Schema { return p.out }
+
+// coordNames names the coordinate columns: x, y, z, w for up to four
+// dimensions, c0..cN beyond.
+func coordNames(dims int) []string {
+	if dims <= 4 {
+		return []string{"x", "y", "z", "w"}[:dims]
+	}
+	names := make([]string, dims)
+	for i := range names {
+		names[i] = fmt.Sprintf("c%d", i)
+	}
+	return names
+}
+
+// Compile checks the statement against the grid and builds an
+// executable plan. All failures are *Error with KindPlan.
+func Compile(g zorder.Grid, sel *Select) (*Plan, error) {
+	if sel.From != TableName {
+		return nil, planErrf("unknown table %q (the point index is %q)", sel.From, TableName)
+	}
+	p := &Plan{grid: g, sel: sel, scanBox: geom.FullBox(g)}
+	dims := g.Dims()
+
+	// Classify the WHERE predicates.
+	var boxPreds []*BoxPred
+	var cmpPreds []*CmpPred
+	for _, pred := range sel.Where {
+		switch q := pred.(type) {
+		case *BoxPred:
+			if err := validBox(g, q.Box); err != nil {
+				return nil, err
+			}
+			boxPreds = append(boxPreds, q)
+		case *NearestPred:
+			if p.nearest != nil {
+				return nil, planErrf("at most one NEAREST predicate per query")
+			}
+			if len(q.Point.Coords) != dims {
+				return nil, planErrf("NEAREST point has %d coordinates, grid has %d dimensions", len(q.Point.Coords), dims)
+			}
+			if !g.Valid(q.Point.Coords) {
+				return nil, planErrf("NEAREST point %v outside the grid", q.Point.Coords)
+			}
+			p.nearest = q
+		case *CmpPred:
+			cmpPreds = append(cmpPreds, q)
+		}
+	}
+
+	// Pick the mode and the base schema.
+	switch {
+	case sel.Join != nil:
+		if p.nearest != nil {
+			return nil, planErrf("NEAREST cannot be combined with JOIN")
+		}
+		p.mode = modeJoin
+		seen := make(map[uint64]bool, len(sel.Join.Regions))
+		for _, r := range sel.Join.Regions {
+			if err := validBox(g, r.Box); err != nil {
+				return nil, err
+			}
+			if seen[r.ID] {
+				return nil, planErrf("duplicate region id %d", r.ID)
+			}
+			seen[r.ID] = true
+			p.regions = append(p.regions, planner.Region{ID: r.ID, Box: boxOf(r.Box)})
+		}
+	case p.nearest != nil:
+		p.mode = modeNearest
+	default:
+		p.mode = modeScan
+	}
+	p.base = baseSchema(g, p.mode)
+
+	// Fold what the index can answer into the scan box; everything
+	// else becomes a residual filter over base tuples.
+	if p.mode == modeScan {
+		p.foldScanBox(boxPreds, cmpPreds)
+	} else {
+		for _, bp := range boxPreds {
+			p.residual = append(p.residual, bp)
+		}
+		for _, cp := range cmpPreds {
+			p.residual = append(p.residual, cp)
+		}
+	}
+	// Validate residual comparison columns against the base schema.
+	for _, pred := range p.residual {
+		if cp, ok := pred.(*CmpPred); ok {
+			if p.base.Index(cp.Col) < 0 {
+				return nil, planErrf("unknown column %q in WHERE (have %v)", cp.Col, p.base)
+			}
+		}
+	}
+	p.filter = p.compileFilter()
+
+	if err := p.compileOutput(); err != nil {
+		return nil, err
+	}
+
+	// ORDER BY references output columns.
+	for _, k := range sel.OrderBy {
+		j := p.out.Index(k.Col)
+		if j < 0 {
+			return nil, planErrf("ORDER BY column %q is not in the output (have %v)", k.Col, p.out)
+		}
+		p.orderIdx = append(p.orderIdx, j)
+		p.orderDesc = append(p.orderDesc, k.Desc)
+	}
+
+	p.streamable = p.mode == modeScan && !sel.Distinct && !p.grouped &&
+		len(sel.OrderBy) == 0
+	return p, nil
+}
+
+// validBox checks a box literal's shape against the grid: one (lo,
+// hi) pair per dimension, lo <= hi, inside the grid.
+func validBox(g zorder.Grid, b BoxLit) error {
+	if len(b.Bounds) != 2*g.Dims() {
+		return planErrf("BOX has %d bounds, need %d (lo, hi per dimension)", len(b.Bounds), 2*g.Dims())
+	}
+	for d := 0; d < g.Dims(); d++ {
+		lo, hi := b.Bounds[2*d], b.Bounds[2*d+1]
+		if lo > hi {
+			return planErrf("BOX dimension %d has lo %d > hi %d", d, lo, hi)
+		}
+		if uint64(hi) >= g.SideOf(d) {
+			return planErrf("BOX dimension %d bound %d outside the grid (side %d)", d, hi, g.SideOf(d))
+		}
+	}
+	return nil
+}
+
+func boxOf(b BoxLit) geom.Box {
+	dims := len(b.Bounds) / 2
+	lo := make([]uint32, dims)
+	hi := make([]uint32, dims)
+	for d := 0; d < dims; d++ {
+		lo[d], hi[d] = b.Bounds[2*d], b.Bounds[2*d+1]
+	}
+	return geom.MustBox(lo, hi)
+}
+
+func baseSchema(g zorder.Grid, mode planMode) relation.Schema {
+	dims := g.Dims()
+	cols := make(relation.Schema, 0, dims+3)
+	if mode == modeJoin {
+		cols = append(cols, relation.Column{Name: "region", Type: relation.TID})
+	}
+	cols = append(cols, relation.Column{Name: "id", Type: relation.TID})
+	for _, name := range coordNames(dims) {
+		cols = append(cols, relation.Column{Name: name, Type: relation.TInt})
+	}
+	if mode == modeNearest {
+		cols = append(cols, relation.Column{Name: "dist", Type: relation.TFloat})
+	}
+	return cols
+}
+
+// foldScanBox tightens the index search box with every box predicate
+// and every foldable coordinate comparison; unfoldable comparisons
+// (!=, non-coordinate columns) stay residual. Contradictory bounds
+// mark the plan provably empty.
+func (p *Plan) foldScanBox(boxPreds []*BoxPred, cmpPreds []*CmpPred) {
+	dims := p.grid.Dims()
+	lo := make([]int64, dims)
+	hi := make([]int64, dims)
+	for d := 0; d < dims; d++ {
+		hi[d] = int64(p.grid.SideOf(d)) - 1
+	}
+	for _, bp := range boxPreds {
+		for d := 0; d < dims; d++ {
+			lo[d] = max64(lo[d], int64(bp.Box.Bounds[2*d]))
+			hi[d] = min64(hi[d], int64(bp.Box.Bounds[2*d+1]))
+		}
+	}
+	coordIdx := make(map[string]int, dims)
+	for d, name := range coordNames(dims) {
+		coordIdx[name] = d
+	}
+	for _, cp := range cmpPreds {
+		d, isCoord := coordIdx[cp.Col]
+		if !isCoord || cp.Op == OpNe {
+			p.residual = append(p.residual, cp)
+			continue
+		}
+		switch cp.Op {
+		case OpEq:
+			lo[d] = max64(lo[d], cp.Value)
+			hi[d] = min64(hi[d], cp.Value)
+		case OpLt:
+			hi[d] = min64(hi[d], cp.Value-1)
+		case OpLe:
+			hi[d] = min64(hi[d], cp.Value)
+		case OpGt:
+			lo[d] = max64(lo[d], cp.Value+1)
+		case OpGe:
+			lo[d] = max64(lo[d], cp.Value)
+		}
+	}
+	blo := make([]uint32, dims)
+	bhi := make([]uint32, dims)
+	for d := 0; d < dims; d++ {
+		if lo[d] > hi[d] {
+			p.empty = true
+			return
+		}
+		blo[d], bhi[d] = uint32(lo[d]), uint32(hi[d])
+	}
+	p.scanBox = geom.MustBox(blo, bhi)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// compileFilter builds one closure evaluating every residual
+// predicate against a base tuple.
+func (p *Plan) compileFilter() func(relation.Tuple) bool {
+	if len(p.residual) == 0 {
+		return nil
+	}
+	dims := p.grid.Dims()
+	coordBase := p.base.Index(coordNames(dims)[0])
+	type test func(relation.Tuple) bool
+	var tests []test
+	for _, pred := range p.residual {
+		switch q := pred.(type) {
+		case *BoxPred:
+			box := boxOf(q.Box)
+			tests = append(tests, func(t relation.Tuple) bool {
+				for d := 0; d < dims; d++ {
+					v := t[coordBase+d].(int64)
+					if v < int64(box.Lo[d]) || v > int64(box.Hi[d]) {
+						return false
+					}
+				}
+				return true
+			})
+		case *CmpPred:
+			j := p.base.Index(q.Col)
+			op, val := q.Op, q.Value
+			switch p.base[j].Type {
+			case relation.TID:
+				tests = append(tests, func(t relation.Tuple) bool {
+					v := t[j].(uint64)
+					// val is non-negative by construction (unsigned literal).
+					return cmpUint(v, uint64(val), op)
+				})
+			case relation.TInt:
+				tests = append(tests, func(t relation.Tuple) bool {
+					return cmpInt(t[j].(int64), val, op)
+				})
+			case relation.TFloat:
+				tests = append(tests, func(t relation.Tuple) bool {
+					return cmpFloat(t[j].(float64), float64(val), op)
+				})
+			}
+		}
+	}
+	return func(t relation.Tuple) bool {
+		for _, f := range tests {
+			if !f(t) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func cmpUint(a, b uint64, op CmpOp) bool {
+	switch op {
+	case OpEq:
+		return a == b
+	case OpNe:
+		return a != b
+	case OpLt:
+		return a < b
+	case OpLe:
+		return a <= b
+	case OpGt:
+		return a > b
+	case OpGe:
+		return a >= b
+	}
+	return false
+}
+
+func cmpInt(a, b int64, op CmpOp) bool {
+	switch op {
+	case OpEq:
+		return a == b
+	case OpNe:
+		return a != b
+	case OpLt:
+		return a < b
+	case OpLe:
+		return a <= b
+	case OpGt:
+		return a > b
+	case OpGe:
+		return a >= b
+	}
+	return false
+}
+
+func cmpFloat(a, b float64, op CmpOp) bool {
+	switch op {
+	case OpEq:
+		return a == b
+	case OpNe:
+		return a != b
+	case OpLt:
+		return a < b
+	case OpLe:
+		return a <= b
+	case OpGt:
+		return a > b
+	case OpGe:
+		return a >= b
+	}
+	return false
+}
+
+// compileOutput resolves the select list into the output schema, the
+// grouping spec, and the projection mapping.
+func (p *Plan) compileOutput() error {
+	sel := p.sel
+	if sel.Star {
+		if len(sel.GroupBy) > 0 {
+			return planErrf("SELECT * cannot be combined with GROUP BY")
+		}
+		p.out = p.base
+		p.outIdx = make([]int, len(p.base))
+		for i := range p.outIdx {
+			p.outIdx[i] = i
+		}
+		return nil
+	}
+	hasAgg := false
+	for _, it := range sel.Items {
+		if it.Agg != AggNone {
+			hasAgg = true
+		}
+	}
+	p.grouped = hasAgg || len(sel.GroupBy) > 0
+	if !p.grouped {
+		cols := make([]relation.Column, len(sel.Items))
+		p.outIdx = make([]int, len(sel.Items))
+		for i, it := range sel.Items {
+			j := p.base.Index(it.Col)
+			if j < 0 {
+				return planErrf("unknown column %q (have %v)", it.Col, p.base)
+			}
+			name := it.Col
+			if it.As != "" {
+				name = it.As
+			}
+			cols[i] = relation.Column{Name: name, Type: p.base[j].Type}
+			p.outIdx[i] = j
+		}
+		out, err := relation.NewSchema(cols...)
+		if err != nil {
+			return planErrf("duplicate output column (rename with AS): %v", err)
+		}
+		p.out = out
+		return nil
+	}
+
+	// Grouped (or globally aggregated) query: validate group columns,
+	// then map each select item to the GroupBy operator's output —
+	// group columns first (in GROUP BY order), aggregates after.
+	groupPos := make(map[string]int, len(sel.GroupBy))
+	for _, col := range sel.GroupBy {
+		if p.base.Index(col) < 0 {
+			return planErrf("unknown GROUP BY column %q (have %v)", col, p.base)
+		}
+		if _, dup := groupPos[col]; dup {
+			return planErrf("duplicate GROUP BY column %q", col)
+		}
+		groupPos[col] = len(p.groupCols)
+		p.groupCols = append(p.groupCols, col)
+	}
+	cols := make([]relation.Column, len(sel.Items))
+	p.outIdx = make([]int, len(sel.Items))
+	for i, it := range sel.Items {
+		if it.Agg == AggNone {
+			gp, ok := groupPos[it.Col]
+			if !ok {
+				if p.base.Index(it.Col) < 0 {
+					return planErrf("unknown column %q (have %v)", it.Col, p.base)
+				}
+				return planErrf("column %q must appear in GROUP BY or inside an aggregate", it.Col)
+			}
+			name := it.Col
+			if it.As != "" {
+				name = it.As
+			}
+			cols[i] = relation.Column{Name: name, Type: p.base[p.base.Index(it.Col)].Type}
+			p.outIdx[i] = gp
+			continue
+		}
+		typ, err := p.aggType(it)
+		if err != nil {
+			return err
+		}
+		name := it.As
+		if name == "" {
+			name = defaultAggName(it)
+		}
+		cols[i] = relation.Column{Name: name, Type: typ}
+		p.outIdx[i] = len(p.groupCols) + len(p.aggs)
+		p.aggs = append(p.aggs, relation.Agg{Func: aggFuncOf(it.Agg), Col: it.Col, As: name})
+	}
+	out, err := relation.NewSchema(cols...)
+	if err != nil {
+		return planErrf("duplicate output column (rename with AS): %v", err)
+	}
+	p.out = out
+	return nil
+}
+
+// aggType validates an aggregate item and returns its output type.
+func (p *Plan) aggType(it SelectItem) (relation.Type, error) {
+	if it.Agg == AggCount {
+		if it.Col != "*" && p.base.Index(it.Col) < 0 {
+			return 0, planErrf("unknown column %q in COUNT (have %v)", it.Col, p.base)
+		}
+		return relation.TInt, nil
+	}
+	j := p.base.Index(it.Col)
+	if j < 0 {
+		return 0, planErrf("unknown column %q in %v (have %v)", it.Col, it.Agg, p.base)
+	}
+	typ := p.base[j].Type
+	switch it.Agg {
+	case AggSum:
+		if typ != relation.TInt && typ != relation.TFloat {
+			return 0, planErrf("SUM over %v column %q", typ, it.Col)
+		}
+	case AggMin, AggMax:
+		if typ != relation.TInt && typ != relation.TFloat && typ != relation.TID {
+			return 0, planErrf("%v over %v column %q", it.Agg, typ, it.Col)
+		}
+	}
+	return typ, nil
+}
+
+func defaultAggName(it SelectItem) string {
+	if it.Agg == AggCount {
+		if it.Col == "*" {
+			return "count"
+		}
+		return "count_" + it.Col
+	}
+	var f string
+	switch it.Agg {
+	case AggSum:
+		f = "sum"
+	case AggMin:
+		f = "min"
+	case AggMax:
+		f = "max"
+	}
+	return f + "_" + it.Col
+}
+
+func aggFuncOf(a AggFunc) relation.AggFunc {
+	switch a {
+	case AggSum:
+		return relation.Sum
+	case AggMin:
+		return relation.Min
+	case AggMax:
+		return relation.Max
+	}
+	return relation.Count
+}
+
+// Run executes the plan against the engine, streaming output tuples
+// to emit; emit returning false stops the query early. Streamable
+// plans (pure index scans without grouping, ordering or DISTINCT)
+// pipe rows straight off the index merge, so a cancelled context or
+// a false emit stops the scan within one page read. Plans that need
+// the whole input (aggregates, ORDER BY, DISTINCT, joins, NEAREST)
+// materialize first.
+func (p *Plan) Run(ctx context.Context, eng Engine, emit func(relation.Tuple) bool) error {
+	if p.empty {
+		return nil
+	}
+	if p.streamable {
+		return p.runStreaming(ctx, eng, emit)
+	}
+	rel, err := p.materialize(ctx, eng)
+	if err != nil {
+		return err
+	}
+	rel, err = p.finish(rel)
+	if err != nil {
+		return err
+	}
+	for _, t := range rel.Tuples {
+		if !emit(t) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (p *Plan) runStreaming(ctx context.Context, eng Engine, emit func(relation.Tuple) bool) error {
+	limit := p.sel.Limit
+	if limit == 0 {
+		return nil
+	}
+	var emitted int64
+	return eng.RangeFunc(ctx, p.scanBox, func(pt geom.Point) bool {
+		t := p.pointTuple(pt)
+		if p.filter != nil && !p.filter(t) {
+			return true
+		}
+		if !emit(p.project(t)) {
+			return false
+		}
+		emitted++
+		return limit < 0 || emitted < limit
+	})
+}
+
+// pointTuple converts a scanned point into a base tuple (scan and
+// nearest modes; join tuples carry the region id in front).
+func (p *Plan) pointTuple(pt geom.Point) relation.Tuple {
+	t := make(relation.Tuple, 0, len(p.base))
+	t = append(t, pt.ID)
+	for _, c := range pt.Coords {
+		t = append(t, int64(c))
+	}
+	return t
+}
+
+// project maps a pre-projection tuple to the output columns (no
+// duplicate elimination; DISTINCT is applied separately).
+func (p *Plan) project(t relation.Tuple) relation.Tuple {
+	out := make(relation.Tuple, len(p.outIdx))
+	for i, j := range p.outIdx {
+		out[i] = t[j]
+	}
+	return out
+}
+
+// materialize builds the filtered base relation.
+func (p *Plan) materialize(ctx context.Context, eng Engine) (*relation.Relation, error) {
+	rel := relation.New(p.base)
+	keep := func(t relation.Tuple) {
+		if p.filter == nil || p.filter(t) {
+			rel.Tuples = append(rel.Tuples, t)
+		}
+	}
+	switch p.mode {
+	case modeScan:
+		err := eng.RangeFunc(ctx, p.scanBox, func(pt geom.Point) bool {
+			keep(p.pointTuple(pt))
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	case modeNearest:
+		nbs, err := eng.Nearest(ctx, p.nearest.Point.Coords, int(p.nearest.K))
+		if err != nil {
+			return nil, err
+		}
+		for _, nb := range nbs {
+			t := p.pointTuple(nb.Point)
+			keep(append(t, nb.Dist))
+		}
+	case modeJoin:
+		results, err := p.runJoin(ctx, eng)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range results {
+			t := make(relation.Tuple, 0, len(p.base))
+			t = append(t, r.RegionID, r.Point.ID)
+			for _, c := range r.Point.Coords {
+				t = append(t, int64(c))
+			}
+			keep(t)
+		}
+	}
+	return rel, nil
+}
+
+// runJoin executes the region join through the engine, using the
+// cost-based planner to pick the strategy when a cost model is
+// available (database engines); transaction views use the index
+// nested loop, which needs only range scans over the snapshot.
+func (p *Plan) runJoin(ctx context.Context, eng Engine) ([]planner.RegionJoinResult, error) {
+	if t := eng.Table(); t != nil && t.Index != nil {
+		jp, err := planner.PlanRegionJoin(t, p.regions, planner.Config{})
+		if err != nil {
+			return nil, err
+		}
+		if jp.Access == "merge-join" {
+			return p.mergeJoin(ctx, eng)
+		}
+	}
+	return p.nestedLoopJoin(ctx, eng)
+}
+
+func (p *Plan) nestedLoopJoin(ctx context.Context, eng Engine) ([]planner.RegionJoinResult, error) {
+	var out []planner.RegionJoinResult
+	for _, r := range p.regions {
+		err := eng.RangeFunc(ctx, r.Box, func(pt geom.Point) bool {
+			out = append(out, planner.RegionJoinResult{RegionID: r.ID, Point: pt})
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sortJoinResults(out)
+	return out, nil
+}
+
+// mergeJoin is the paper's element-relation merge executed through
+// the engine: decompose every region, stream the whole point sequence
+// once, and merge in z order.
+func (p *Plan) mergeJoin(ctx context.Context, eng Engine) ([]planner.RegionJoinResult, error) {
+	g := p.grid
+	var regionItems []core.Item
+	for _, r := range p.regions {
+		for _, e := range decompose.Box(g, r.Box) {
+			regionItems = append(regionItems, core.Item{Elem: e, ID: r.ID})
+		}
+	}
+	var pItems []core.Item
+	pointByID := make(map[uint64]geom.Point)
+	err := eng.RangeFunc(ctx, geom.FullBox(g), func(pt geom.Point) bool {
+		pItems = append(pItems, core.Item{
+			Elem: zorder.Element{Bits: g.ShuffleKey(pt.Coords), Len: uint8(g.TotalBits())},
+			ID:   pt.ID,
+		})
+		pointByID[pt.ID] = pt
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	core.SortItems(pItems)
+	core.SortItems(regionItems)
+	pairs, err := core.SpatialJoin(pItems, regionItems)
+	if err != nil {
+		return nil, err
+	}
+	pairs = core.DedupPairs(pairs)
+	out := make([]planner.RegionJoinResult, 0, len(pairs))
+	for _, pr := range pairs {
+		out = append(out, planner.RegionJoinResult{RegionID: pr.B, Point: pointByID[pr.A]})
+	}
+	sortJoinResults(out)
+	return out, nil
+}
+
+func sortJoinResults(out []planner.RegionJoinResult) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RegionID != out[j].RegionID {
+			return out[i].RegionID < out[j].RegionID
+		}
+		return out[i].Point.ID < out[j].Point.ID
+	})
+}
+
+// finish applies grouping, projection, DISTINCT, ORDER BY and LIMIT
+// to the filtered base relation.
+func (p *Plan) finish(rel *relation.Relation) (*relation.Relation, error) {
+	var err error
+	if p.grouped {
+		rel, err = relation.GroupBy(rel, p.groupCols, p.aggs)
+		if err != nil {
+			return nil, planErrf("%v", err)
+		}
+	}
+	projected := relation.New(p.out)
+	for _, t := range rel.Tuples {
+		projected.Tuples = append(projected.Tuples, p.project(t))
+	}
+	rel = projected
+	if p.sel.Distinct {
+		names := make([]string, len(p.out))
+		for i, c := range p.out {
+			names[i] = c.Name
+		}
+		rel, err = relation.Project(rel, names...)
+		if err != nil {
+			return nil, planErrf("%v", err)
+		}
+	}
+	if len(p.orderIdx) > 0 {
+		p.sortTuples(rel.Tuples)
+	}
+	if p.sel.Limit >= 0 && int64(len(rel.Tuples)) > p.sel.Limit {
+		rel.Tuples = rel.Tuples[:p.sel.Limit]
+	}
+	return rel, nil
+}
+
+// sortTuples is the multi-key stable sort ORDER BY needs (the
+// relation package's SortBy is single-key ascending).
+func (p *Plan) sortTuples(tuples []relation.Tuple) {
+	sort.SliceStable(tuples, func(a, b int) bool {
+		for k, j := range p.orderIdx {
+			c := cmpValues(tuples[a][j], tuples[b][j])
+			if c == 0 {
+				continue
+			}
+			if p.orderDesc[k] {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}
+
+// cmpValues orders two same-typed relation values.
+func cmpValues(a, b relation.Value) int {
+	switch av := a.(type) {
+	case uint64:
+		bv := b.(uint64)
+		switch {
+		case av < bv:
+			return -1
+		case av > bv:
+			return 1
+		}
+	case int64:
+		bv := b.(int64)
+		switch {
+		case av < bv:
+			return -1
+		case av > bv:
+			return 1
+		}
+	case float64:
+		bv := b.(float64)
+		switch {
+		case av < bv:
+			return -1
+		case av > bv:
+			return 1
+		}
+	case string:
+		bv := b.(string)
+		switch {
+		case av < bv:
+			return -1
+		case av > bv:
+			return 1
+		}
+	}
+	return 0
+}
+
+// MaxNearestK bounds NEAREST's k so a hostile query cannot demand an
+// unbounded candidate set. (math.MaxInt32 already bounds it at parse
+// time; this is the documented alias.)
+const MaxNearestK = math.MaxInt32

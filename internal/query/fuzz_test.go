@@ -1,0 +1,47 @@
+package query
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzParseQuery is the parser's safety net: on every input the
+// parser must return without panicking, and every input it accepts
+// must render (String()) to text that re-parses to an equal AST — the
+// round-trip property that pins the canonical form. The seed corpus
+// under testdata/queries holds one statement per file.
+func FuzzParseQuery(f *testing.F) {
+	seeds, err := filepath.Glob(filepath.Join("testdata", "queries", "*.sql"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(seeds) == 0 {
+		f.Fatal("no seed corpus under testdata/queries")
+	}
+	for _, path := range seeds {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	f.Add("SELECT")
+	f.Add("\x00\xff(")
+	f.Add("SELECT * FROM points WHERE x = 18446744073709551615")
+	f.Fuzz(func(t *testing.T, text string) {
+		st, err := Parse(text)
+		if err != nil {
+			return
+		}
+		rendered := st.String()
+		st2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its rendering %q: %v", text, rendered, err)
+		}
+		if !reflect.DeepEqual(st, st2) {
+			t.Fatalf("round trip changed AST for %q (rendered %q):\n%#v\nvs\n%#v", text, rendered, st, st2)
+		}
+	})
+}

@@ -1,0 +1,144 @@
+package query
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParseRoundTrip checks the canonical-rendering property on
+// representative statements: parse, render, re-parse, compare ASTs.
+func TestParseRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT * FROM points",
+		"select * from points",
+		"SELECT id FROM points",
+		"SELECT id, x, y FROM points WHERE CONTAINS(BOX(0, 100, 0, 100))",
+		"SELECT * FROM points WHERE INTERSECTS(BOX(10, 20, 30, 40))",
+		"SELECT id AS object, x FROM points WHERE x >= 5 AND y < 100 AND id != 3",
+		"SELECT * FROM points WHERE NEAREST(POINT(512, 512), 5)",
+		"SELECT COUNT(*) FROM points",
+		"SELECT COUNT(*) AS n, SUM(x), MIN(y), MAX(y) FROM points WHERE CONTAINS(BOX(0, 63, 0, 63))",
+		"SELECT region, COUNT(*) FROM points JOIN REGIONS(1 BOX(0, 10, 0, 10), 2 BOX(5, 20, 5, 20)) ON INTERSECTS GROUP BY region",
+		"SELECT DISTINCT x FROM points ORDER BY x DESC LIMIT 10",
+		"SELECT id FROM points ORDER BY x, y DESC, id LIMIT 0",
+		"EXPLAIN SELECT * FROM points WHERE CONTAINS(BOX(0, 100, 0, 100))",
+		"SELECT id FROM points WHERE x <> 7",
+		"SELECT id FROM points -- trailing comment",
+		"SELECT id\n\tFROM points\n\tWHERE x = 1",
+	}
+	for _, q := range queries {
+		st, err := Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		rendered := st.String()
+		st2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-Parse(%q) of %q: %v", rendered, q, err)
+		}
+		if !reflect.DeepEqual(st, st2) {
+			t.Errorf("round trip changed AST:\n  input:    %q\n  rendered: %q\n  first:  %#v\n  second: %#v", q, rendered, st, st2)
+		}
+		if rendered2 := st2.String(); rendered2 != rendered {
+			t.Errorf("rendering is not idempotent: %q -> %q", rendered, rendered2)
+		}
+	}
+}
+
+// TestParseErrors checks malformed statements fail with typed parse
+// errors (never panics, never KindPlan).
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM points",
+		"SELECT * FROM",
+		"SELECT * FROM points trailing",
+		"SELECT * FROM points WHERE",
+		"SELECT * FROM points WHERE CONTAINS(BOX(1, 2, 3))garbage",
+		"SELECT * FROM points WHERE CONTAINS(1, 2)",
+		"SELECT * FROM points WHERE NEAREST(POINT(1, 2))",
+		"SELECT * FROM points WHERE x",
+		"SELECT * FROM points WHERE x ! 3",
+		"SELECT * FROM points WHERE x = 99999999999999999999999999",
+		"SELECT * FROM points WHERE x = 5000000000", // > MaxUint32 coordinate is fine for compares; box is not:
+		"SELECT * FROM points LIMIT x",
+		"SELECT SELECT FROM points",
+		"SELECT id AS FROM FROM points",
+		"SELECT SUM(*) FROM points",
+		"SELECT * FROM points JOIN REGIONS() ON INTERSECTS",
+		"SELECT * FROM points JOIN REGIONS(1 BOX(0, 1, 0, 1)) ON EQUALS",
+		"SELECT * FROM points GROUP BY",
+		"SELECT * FROM points ORDER BY",
+		"SELECT * FROM points WHERE CONTAINS(BOX(0, 5000000000, 0, 1))",
+		"SELECT * FROM points; DROP TABLE points",
+		"SELECT 1abc FROM points",
+	}
+	for _, q := range bad {
+		st, err := Parse(q)
+		if q == "SELECT * FROM points WHERE x = 5000000000" {
+			// Large comparison literals are legal (they clamp at plan
+			// time); this entry documents the asymmetry with BOX.
+			if err != nil {
+				t.Errorf("Parse(%q) should accept large comparison literals: %v", q, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("Parse(%q) = %v, want error", q, st)
+			continue
+		}
+		var qe *Error
+		if !errors.As(err, &qe) || qe.Kind != KindParse {
+			t.Errorf("Parse(%q) error %v is not a typed parse error", q, err)
+		}
+	}
+}
+
+// TestParsePositions checks parse errors carry a plausible offset.
+func TestParsePositions(t *testing.T) {
+	q := "SELECT * FROM points WHERE x ~ 3"
+	_, err := Parse(q)
+	var qe *Error
+	if !errors.As(err, &qe) {
+		t.Fatalf("want *Error, got %v", err)
+	}
+	if qe.Pos != strings.Index(q, "~") {
+		t.Errorf("Pos = %d, want %d", qe.Pos, strings.Index(q, "~"))
+	}
+	if !strings.Contains(qe.Error(), "offset") {
+		t.Errorf("Error() = %q, want offset rendering", qe.Error())
+	}
+}
+
+// TestParseShapes spot-checks the parsed structure.
+func TestParseShapes(t *testing.T) {
+	st, err := Parse("EXPLAIN SELECT DISTINCT id AS i, COUNT(*) FROM points JOIN REGIONS(7 BOX(1, 2, 3, 4)) ON INTERSECTS WHERE x >= 10 AND NEAREST(POINT(1, 2), 3) GROUP BY id ORDER BY i DESC LIMIT 9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.Select
+	if !st.Explain || !sel.Distinct || sel.Star {
+		t.Errorf("flags wrong: %+v", st)
+	}
+	if len(sel.Items) != 2 || sel.Items[0].As != "i" || sel.Items[1].Agg != AggCount {
+		t.Errorf("items wrong: %+v", sel.Items)
+	}
+	if sel.Join == nil || len(sel.Join.Regions) != 1 || sel.Join.Regions[0].ID != 7 {
+		t.Errorf("join wrong: %+v", sel.Join)
+	}
+	if len(sel.Where) != 2 {
+		t.Fatalf("where wrong: %+v", sel.Where)
+	}
+	if cp, ok := sel.Where[0].(*CmpPred); !ok || cp.Op != OpGe || cp.Value != 10 {
+		t.Errorf("cmp pred wrong: %+v", sel.Where[0])
+	}
+	if np, ok := sel.Where[1].(*NearestPred); !ok || np.K != 3 {
+		t.Errorf("nearest pred wrong: %+v", sel.Where[1])
+	}
+	if len(sel.GroupBy) != 1 || len(sel.OrderBy) != 1 || !sel.OrderBy[0].Desc || sel.Limit != 9 {
+		t.Errorf("tail clauses wrong: %+v", sel)
+	}
+}

@@ -1,0 +1,3 @@
+SELECT id -- project just the identifier
+  FROM points
+  WHERE x <> 7 AND y < 4096

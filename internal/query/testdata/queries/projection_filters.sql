@@ -1,0 +1,1 @@
+SELECT id AS object, x, y FROM points WHERE INTERSECTS(BOX(10, 200, 10, 200)) AND id != 3 AND x >= 50

@@ -62,6 +62,8 @@ func opName(typ uint8) string {
 		return "commit"
 	case wire.MsgRollback:
 		return "rollback"
+	case wire.MsgQuery:
+		return "query"
 	default:
 		return "unknown"
 	}

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -234,12 +235,13 @@ func (ss *session) run() {
 				}
 			case wire.MsgRange, wire.MsgNearest, wire.MsgJoin, wire.MsgInsert,
 				wire.MsgCheckpoint, wire.MsgExplain, wire.MsgStats,
-				wire.MsgDelete, wire.MsgBegin, wire.MsgCommit, wire.MsgRollback:
+				wire.MsgDelete, wire.MsgBegin, wire.MsgCommit, wire.MsgRollback,
+				wire.MsgQuery:
 				recv := time.Now()
 				id := peekID(f.payload)
-				if isTxOp(f.typ) && ss.minor < 2 {
+				if need := minorRequired(f.typ); need > 0 && ss.minor < need {
 					ss.sendError(id, wire.CodeBadRequest,
-						fmt.Sprintf("opcode 0x%02x requires protocol minor >= 2 (client said %d)", f.typ, ss.minor))
+						fmt.Sprintf("opcode 0x%02x requires protocol minor >= %d (client said %d)", f.typ, need, ss.minor))
 					continue
 				}
 				if reqDone != nil {
@@ -292,14 +294,17 @@ func (ss *session) run() {
 	}
 }
 
-// isTxOp reports whether the opcode is one of the minor-2 additions
-// (transactions and DELETE).
-func isTxOp(typ uint8) bool {
+// minorRequired returns the minimum protocol minor an opcode needs (0
+// when every 1.x client may send it). Gated opcodes from an older
+// client are rejected before their payload is decoded.
+func minorRequired(typ uint8) uint8 {
 	switch typ {
 	case wire.MsgDelete, wire.MsgBegin, wire.MsgCommit, wire.MsgRollback:
-		return true
+		return 2
+	case wire.MsgQuery:
+		return 3
 	}
-	return false
+	return 0
 }
 
 // handshake expects the client's Hello as the first frame and answers
@@ -371,6 +376,8 @@ func (ss *session) execute(ctx context.Context, typ uint8, payload []byte, recv 
 		ss.handleCommit(ctx, rq, payload)
 	case wire.MsgRollback:
 		ss.handleRollback(ctx, rq, payload)
+	case wire.MsgQuery:
+		ss.handleQuery(ctx, rq, payload)
 	}
 	ss.finish(rq)
 }
@@ -793,6 +800,120 @@ func (ss *session) handleRollback(ctx context.Context, rq *request, payload []by
 	tx.Rollback()
 	ss.srv.txEnded()
 	ss.sendDone(rq, probe.QueryStats{})
+}
+
+// handleQuery runs one spatial SQL statement (minor 3). Outside a
+// transaction the statement runs on one pinned snapshot of the newest
+// committed index version; inside BEGIN…COMMIT it runs on the
+// transaction's view — its snapshot plus its own buffered writes.
+// SELECT answers with one SCHEMA frame, ROWS batches as the plan
+// produces them, and DONE; EXPLAIN answers TEXT then DONE. Parse and
+// plan failures come back as the typed PARSE/PLAN error codes, and a
+// mid-stream cancel stops a streamable scan within about one page
+// read.
+func (ss *session) handleQuery(ctx context.Context, rq *request, payload []byte) {
+	req, err := wire.DecodeQueryReq(payload)
+	if err != nil {
+		ss.reject(rq, err.Error())
+		return
+	}
+	rq.flags = req.Flags
+	ctx, stop := withTimeout(ctx, req.TimeoutMS)
+	defer stop()
+
+	tx, aborted := ss.txState()
+	if tx == nil && aborted {
+		ss.failReq(ctx, rq, probe.ErrTxAborted)
+		return
+	}
+	var stmt *probe.Stmt
+	if tx != nil {
+		stmt, err = tx.Prepare(req.Text)
+	} else {
+		stmt, err = ss.srv.db.Prepare(req.Text)
+	}
+	if err != nil {
+		var qe *probe.QueryError
+		if errors.As(err, &qe) {
+			code := uint8(wire.CodeParse)
+			if qe.Kind == probe.QueryPlanError {
+				code = wire.CodePlan
+			}
+			rq.errCode = code
+			ss.sendError(rq.id, code, err.Error())
+			return
+		}
+		ss.failReq(ctx, rq, err)
+		return
+	}
+	rq.markPlanned()
+
+	if stmt.IsExplain() {
+		text, err := stmt.ExplainText(ctx)
+		if err != nil {
+			ss.failReq(ctx, rq, err)
+			return
+		}
+		if ss.sendTimed(rq, wire.MsgText, wire.TextMsg{ID: req.ID, Text: text}.Encode()) != nil {
+			return
+		}
+		ss.sendDone(rq, probe.QueryStats{})
+		return
+	}
+
+	cols := stmt.Columns()
+	wcols := make([]wire.SchemaCol, len(cols))
+	types := make([]uint8, len(cols))
+	for i, c := range cols {
+		wcols[i] = wire.SchemaCol{Name: c.Name, Type: uint8(c.Type)}
+		types[i] = uint8(c.Type)
+	}
+	if ss.sendTimed(rq, wire.MsgSchema, wire.SchemaMsg{ID: req.ID, Cols: wcols}.Encode()) != nil {
+		return
+	}
+	var writeErr, encodeErr error
+	batch := make([][]wire.RowValue, 0, ss.srv.cfg.BatchSize)
+	flush := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		p, err := wire.RowsMsg{ID: req.ID, Types: types, Rows: batch}.Encode()
+		if err != nil {
+			encodeErr = err
+			return false
+		}
+		if err := ss.sendTimed(rq, wire.MsgRows, p); err != nil {
+			writeErr = err
+			return false
+		}
+		batch = batch[:0]
+		return true
+	}
+	qs, err := stmt.Run(ctx, func(row probe.QueryRow) bool {
+		vals := make([]wire.RowValue, len(row))
+		for i, v := range row {
+			vals[i] = wire.RowValue(v)
+		}
+		batch = append(batch, vals)
+		if len(batch) == cap(batch) {
+			return flush()
+		}
+		return true
+	})
+	switch {
+	case encodeErr != nil:
+		ss.failReq(ctx, rq, encodeErr)
+		return
+	case writeErr != nil:
+		return // connection is gone; nothing more to say
+	case err != nil:
+		ss.failReq(ctx, rq, err)
+		return
+	}
+	if !flush() {
+		return
+	}
+	ss.sendDone(rq, qs)
 }
 
 func (ss *session) handleCheckpoint(ctx context.Context, rq *request, payload []byte) {

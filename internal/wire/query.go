@@ -1,0 +1,236 @@
+package wire
+
+import "fmt"
+
+// This file defines the minor-3 QUERY message family: the request
+// carrying spatial SQL text, the SCHEMA frame describing a result
+// set, and the self-describing ROWS batches. A successful QUERY
+// answers with exactly one SCHEMA frame, zero or more ROWS frames,
+// and DONE; EXPLAIN statements answer with TEXT then DONE.
+
+// Column value types of a QUERY result set (the Type byte of a
+// SchemaMsg column and the per-column type array of a RowsMsg). The
+// values deliberately match internal/relation's Type numbering for
+// the wire-visible subset.
+const (
+	ColID     = 0 // u64 object identifier
+	ColInt    = 1 // i64 (two's-complement in a u64 slot)
+	ColFloat  = 2 // f64 (IEEE-754 bits in a u64 slot)
+	ColString = 3 // length-prefixed UTF-8 bytes
+)
+
+// colTypeValid reports whether a column type byte is known to this
+// version.
+func colTypeValid(t uint8) bool { return t <= ColString }
+
+// QueryReq ships one spatial SQL statement (docs/query.md defines the
+// language). The response stream is typed by the statement: SCHEMA +
+// ROWS* + DONE for selects, TEXT + DONE for EXPLAIN.
+type QueryReq struct {
+	Header
+	Text string
+}
+
+func (m QueryReq) Encode() []byte {
+	var e enc
+	m.Header.encodeTo(&e)
+	e.bytes([]byte(m.Text))
+	m.Header.encodeTail(&e)
+	return e.b
+}
+
+func DecodeQueryReq(p []byte) (QueryReq, error) {
+	d := dec{b: p}
+	h, err := decodeHeader(&d)
+	if err != nil {
+		return QueryReq{}, err
+	}
+	text, err := d.bytes()
+	if err != nil {
+		return QueryReq{}, err
+	}
+	h.decodeTail(&d)
+	return QueryReq{Header: h, Text: string(text)}, nil
+}
+
+// SchemaCol is one column of a QUERY result set.
+type SchemaCol struct {
+	Name string
+	Type uint8 // one of the Col* values
+}
+
+// SchemaMsg describes a QUERY result set; it precedes the first ROWS
+// frame so a client can decode rows streamingly.
+type SchemaMsg struct {
+	ID   uint32
+	Cols []SchemaCol
+}
+
+func (m SchemaMsg) Encode() []byte {
+	var e enc
+	e.u32(m.ID)
+	e.u32(uint32(len(m.Cols)))
+	for _, c := range m.Cols {
+		e.bytes([]byte(c.Name))
+		e.u8(c.Type)
+	}
+	return e.b
+}
+
+func DecodeSchemaMsg(p []byte) (SchemaMsg, error) {
+	d := dec{b: p}
+	id, err := d.u32()
+	if err != nil {
+		return SchemaMsg{}, err
+	}
+	// Each column is at least a 4-byte name length plus the type byte.
+	n, err := d.count(5)
+	if err != nil {
+		return SchemaMsg{}, err
+	}
+	cols := make([]SchemaCol, n)
+	for i := range cols {
+		name, err := d.bytes()
+		if err != nil {
+			return SchemaMsg{}, err
+		}
+		t, err := d.u8()
+		if err != nil {
+			return SchemaMsg{}, err
+		}
+		if !colTypeValid(t) {
+			return SchemaMsg{}, fmt.Errorf("wire: unknown column type %d", t)
+		}
+		cols[i] = SchemaCol{Name: string(name), Type: t}
+	}
+	return SchemaMsg{ID: id, Cols: cols}, nil
+}
+
+// RowValue is one typed cell: uint64 for ColID, int64 for ColInt,
+// float64 for ColFloat, string for ColString.
+type RowValue interface{}
+
+// RowsMsg is one batch of result rows. It is self-describing — the
+// per-column type array repeats in every batch — so a frame can be
+// decoded without held schema state.
+type RowsMsg struct {
+	ID    uint32
+	Types []uint8
+	Rows  [][]RowValue
+}
+
+func (m RowsMsg) Encode() ([]byte, error) {
+	var e enc
+	e.u32(m.ID)
+	e.u32(uint32(len(m.Types)))
+	for _, t := range m.Types {
+		e.u8(t)
+	}
+	e.u32(uint32(len(m.Rows)))
+	for _, row := range m.Rows {
+		if len(row) != len(m.Types) {
+			return nil, fmt.Errorf("wire: row has %d values, schema %d", len(row), len(m.Types))
+		}
+		for i, v := range row {
+			switch m.Types[i] {
+			case ColID:
+				u, ok := v.(uint64)
+				if !ok {
+					return nil, fmt.Errorf("wire: column %d: %T is not uint64", i, v)
+				}
+				e.u64(u)
+			case ColInt:
+				iv, ok := v.(int64)
+				if !ok {
+					return nil, fmt.Errorf("wire: column %d: %T is not int64", i, v)
+				}
+				e.u64(uint64(iv))
+			case ColFloat:
+				f, ok := v.(float64)
+				if !ok {
+					return nil, fmt.Errorf("wire: column %d: %T is not float64", i, v)
+				}
+				e.u64(f64bits(f))
+			case ColString:
+				s, ok := v.(string)
+				if !ok {
+					return nil, fmt.Errorf("wire: column %d: %T is not string", i, v)
+				}
+				e.bytes([]byte(s))
+			default:
+				return nil, fmt.Errorf("wire: unknown column type %d", m.Types[i])
+			}
+		}
+	}
+	return e.b, nil
+}
+
+func DecodeRowsMsg(p []byte) (RowsMsg, error) {
+	d := dec{b: p}
+	id, err := d.u32()
+	if err != nil {
+		return RowsMsg{}, err
+	}
+	ncols, err := d.count(1)
+	if err != nil {
+		return RowsMsg{}, err
+	}
+	types := make([]uint8, ncols)
+	minRow := 0
+	for i := range types {
+		t, err := d.u8()
+		if err != nil {
+			return RowsMsg{}, err
+		}
+		if !colTypeValid(t) {
+			return RowsMsg{}, fmt.Errorf("wire: unknown column type %d", t)
+		}
+		types[i] = t
+		if t == ColString {
+			minRow += 4
+		} else {
+			minRow += 8
+		}
+	}
+	if minRow == 0 {
+		minRow = 1 // zero-column rows cannot bound the count; be conservative
+	}
+	nrows, err := d.count(minRow)
+	if err != nil {
+		return RowsMsg{}, err
+	}
+	rows := make([][]RowValue, nrows)
+	for r := range rows {
+		row := make([]RowValue, ncols)
+		for i, t := range types {
+			switch t {
+			case ColID:
+				v, err := d.u64()
+				if err != nil {
+					return RowsMsg{}, err
+				}
+				row[i] = v
+			case ColInt:
+				v, err := d.u64()
+				if err != nil {
+					return RowsMsg{}, err
+				}
+				row[i] = int64(v)
+			case ColFloat:
+				v, err := d.u64()
+				if err != nil {
+					return RowsMsg{}, err
+				}
+				row[i] = f64frombits(v)
+			case ColString:
+				b, err := d.bytes()
+				if err != nil {
+					return RowsMsg{}, err
+				}
+				row[i] = string(b)
+			}
+		}
+		rows[r] = row
+	}
+	return RowsMsg{ID: id, Types: types, Rows: rows}, nil
+}

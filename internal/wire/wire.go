@@ -45,9 +45,15 @@ const Magic = "ZKDQ"
 // COMMIT returns. All are new opcodes, so a 1.1 peer never sees them;
 // a 1.2 server rejects them from a client that said minor < 2 in its
 // Hello with CodeBadRequest.
+//
+// Minor 3 added: the QUERY request (spatial SQL text in; a SCHEMA
+// frame, ROWS batches and DONE out) and the typed PARSE/PLAN error
+// codes its statements can fail with. Like the minor-2 opcodes, a
+// 1.3 server rejects QUERY from a client that said minor < 3 with
+// CodeBadRequest before decoding the payload.
 const (
 	VersionMajor = 1
-	VersionMinor = 2
+	VersionMinor = 3
 )
 
 // MaxFrame caps a frame's length field (type byte + payload). Frames
@@ -79,12 +85,15 @@ const (
 	MsgBegin      = 0x1A // open a transaction on this session (minor >= 2)
 	MsgCommit     = 0x1B // commit the session's transaction (minor >= 2)
 	MsgRollback   = 0x1C // roll back the session's transaction (minor >= 2)
+	MsgQuery      = 0x1D // spatial SQL statement; streams schema + row batches (minor >= 3)
 
 	MsgBatch   = 0x20 // one batch of streamed results
 	MsgDone    = 0x21 // request finished; carries its QueryStats
 	MsgText    = 0x22 // textual response (EXPLAIN, legacy STATS, trace trees)
 	MsgError   = 0x23 // request failed; carries a typed error code
 	MsgStatsKV = 0x24 // structured key/value counter snapshot (minor >= 1)
+	MsgSchema  = 0x25 // a QUERY result's column names and types (minor >= 3)
+	MsgRows    = 0x26 // one batch of typed QUERY result rows (minor >= 3)
 )
 
 // Request flag bits, carried as the trailing flags byte every request
@@ -100,14 +109,16 @@ const (
 
 // Error codes carried by MsgError.
 const (
-	CodeBadRequest   = 1 // malformed or semantically invalid request
-	CodeOverloaded   = 2 // admission control rejected the request; retry later
-	CodeCanceled     = 3 // the client's Cancel stopped the request
-	CodeDeadline     = 4 // the request's own timeout_ms expired
-	CodeShuttingDown = 5 // server is draining; no new requests
-	CodeInternal     = 6 // unexpected server-side failure
-	CodeVersion      = 7 // handshake version mismatch
-	CodeConflict     = 8 // COMMIT lost first-committer-wins validation; retry the tx
+	CodeBadRequest   = 1  // malformed or semantically invalid request
+	CodeOverloaded   = 2  // admission control rejected the request; retry later
+	CodeCanceled     = 3  // the client's Cancel stopped the request
+	CodeDeadline     = 4  // the request's own timeout_ms expired
+	CodeShuttingDown = 5  // server is draining; no new requests
+	CodeInternal     = 6  // unexpected server-side failure
+	CodeVersion      = 7  // handshake version mismatch
+	CodeConflict     = 8  // COMMIT lost first-committer-wins validation; retry the tx
+	CodeParse        = 9  // QUERY text failed to parse (minor >= 3)
+	CodePlan         = 10 // QUERY parsed but cannot run against this database (minor >= 3)
 )
 
 // CodeString names an error code for diagnostics.
@@ -129,6 +140,10 @@ func CodeString(code uint8) string {
 		return "version-mismatch"
 	case CodeConflict:
 		return "conflict"
+	case CodeParse:
+		return "parse-error"
+	case CodePlan:
+		return "plan-error"
 	default:
 		return fmt.Sprintf("code-%d", code)
 	}

@@ -1,0 +1,307 @@
+package probe
+
+import (
+	"context"
+
+	"probe/internal/core"
+	"probe/internal/geom"
+	"probe/internal/planner"
+	"probe/internal/query"
+	"probe/internal/relation"
+	"probe/internal/zorder"
+)
+
+// This file is the public face of the spatial query language
+// (internal/query): Prepare/Query on DB and Tx, the prepared Stmt,
+// and the re-exported result vocabulary. The language itself —
+// grammar, typed errors, compilation — lives in internal/query;
+// docs/query.md is the reference.
+
+// Re-exported query-language types. A query result is a schema
+// (columns) plus rows of typed values.
+type (
+	// QueryError is the typed error every malformed or unplannable
+	// statement returns; Kind distinguishes parse from plan failures.
+	QueryError = query.Error
+	// QueryErrorKind is the failure class of a QueryError.
+	QueryErrorKind = query.ErrorKind
+	// QueryColumn is one column of a result schema.
+	QueryColumn = relation.Column
+	// QueryRow is one result row; values align with the columns.
+	QueryRow = relation.Tuple
+	// QueryValue is one typed cell: uint64 (ColID), int64 (ColInt),
+	// float64 (ColFloat) or string (ColString).
+	QueryValue = relation.Value
+	// ColumnType is the type tag of a QueryColumn.
+	ColumnType = relation.Type
+)
+
+// Query error kinds.
+const (
+	// QueryParseError marks lexical/syntactic failures.
+	QueryParseError = query.KindParse
+	// QueryPlanError marks semantic failures: the statement parsed but
+	// cannot run against this database.
+	QueryPlanError = query.KindPlan
+)
+
+// Column types a query result can carry.
+const (
+	ColID     = relation.TID
+	ColInt    = relation.TInt
+	ColFloat  = relation.TFloat
+	ColString = relation.TString
+)
+
+// Stmt is a prepared statement: parsed, compiled against the
+// database's grid, and bound to the DB or Tx that prepared it. A Stmt
+// is immutable after Prepare and safe for concurrent Run calls (each
+// run acquires its own engine view).
+type Stmt struct {
+	text   string
+	parsed *query.Statement
+	plan   *query.Plan
+	binder engineBinder
+}
+
+// engineBinder acquires an execution engine for one statement run.
+// DB pins one index snapshot for the whole statement; Tx answers from
+// its transaction view (snapshot plus its own writes).
+type engineBinder interface {
+	bindEngine(ctx context.Context, stats *QueryStats) (query.Engine, func(), error)
+}
+
+// Prepare parses and compiles one spatial SQL statement against the
+// database. Failures are *QueryError: parse errors carry the byte
+// offset, plan errors the semantic complaint. The returned statement
+// runs on a snapshot pinned per Run call, so it may be kept and
+// re-run; each run observes the newest committed state.
+func (db *DB) Prepare(text string) (*Stmt, error) {
+	return prepare(db.grid, text, db)
+}
+
+// Prepare parses and compiles one statement against the transaction:
+// runs observe the transaction's snapshot plus its own buffered
+// writes.
+func (tx *Tx) Prepare(text string) (*Stmt, error) {
+	return prepare(tx.db.grid, text, tx)
+}
+
+func prepare(g Grid, text string, b engineBinder) (*Stmt, error) {
+	st, err := query.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := query.Compile(g, st.Select)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{text: text, parsed: st, plan: plan, binder: b}, nil
+}
+
+// Text returns the statement's original text.
+func (s *Stmt) Text() string { return s.text }
+
+// Canonical returns the statement rendered in canonical form
+// (uppercase keywords, normalized spacing).
+func (s *Stmt) Canonical() string { return s.parsed.String() }
+
+// IsExplain reports whether the statement is an EXPLAIN. Run executes
+// the underlying SELECT regardless; callers that honor EXPLAIN check
+// this first and call ExplainText instead.
+func (s *Stmt) IsExplain() bool { return s.parsed.Explain }
+
+// Columns returns the result schema of the underlying SELECT.
+func (s *Stmt) Columns() []QueryColumn { return s.plan.Columns() }
+
+// ExplainText renders the plan as an indented operator tree, the
+// access-path leaf last, using the cost-based planner's choice where
+// a cost model applies.
+func (s *Stmt) ExplainText(ctx context.Context) (string, error) {
+	var stats QueryStats
+	eng, release, err := s.binder.bindEngine(ctx, &stats)
+	if err != nil {
+		return "", err
+	}
+	defer release()
+	return s.plan.ExplainText(eng), nil
+}
+
+// Run executes the statement's SELECT, streaming rows to fn in plan
+// order; fn returning false stops the query early. Streamable plans
+// (pure index scans) deliver rows as the index merge produces them, so
+// a cancelled ctx or false fn stops within about one page read; plans
+// that need the whole input (aggregates, ORDER BY, DISTINCT, JOIN,
+// NEAREST) materialize first. The returned stats accumulate every
+// index scan the plan issued; Results counts the rows delivered.
+func (s *Stmt) Run(ctx context.Context, fn func(QueryRow) bool) (QueryStats, error) {
+	var stats QueryStats
+	eng, release, err := s.binder.bindEngine(ctx, &stats)
+	if err != nil {
+		return QueryStats{}, err
+	}
+	defer release()
+	rows := 0
+	err = s.plan.Run(ctx, eng, func(t relation.Tuple) bool {
+		rows++
+		return fn(t)
+	})
+	stats.Results = rows
+	return stats, err
+}
+
+// QueryResult is a fully materialized statement result. For EXPLAIN
+// statements Explain holds the plan rendering and Rows is nil; for
+// SELECT statements Explain is empty.
+type QueryResult struct {
+	Columns []QueryColumn
+	Rows    []QueryRow
+	Explain string
+	Stats   QueryStats
+}
+
+// Query parses, compiles and executes one spatial SQL statement
+// against the newest committed database state, materializing the
+// result. It is the one-call convenience over Prepare + Run; use
+// Prepare and Stmt.Run to stream large results. WHERE bounds are
+// answered by one pinned index snapshot, so concurrent writers
+// neither block nor distort the result.
+func (db *DB) Query(ctx context.Context, text string) (*QueryResult, error) {
+	s, err := db.Prepare(text)
+	if err != nil {
+		return nil, err
+	}
+	return s.result(ctx)
+}
+
+// Query parses, compiles and executes one statement against the
+// transaction's view: its snapshot plus its own buffered writes.
+func (tx *Tx) Query(ctx context.Context, text string) (*QueryResult, error) {
+	s, err := tx.Prepare(text)
+	if err != nil {
+		return nil, err
+	}
+	return s.result(ctx)
+}
+
+// result materializes the statement: EXPLAIN renders, SELECT runs.
+func (s *Stmt) result(ctx context.Context) (*QueryResult, error) {
+	res := &QueryResult{Columns: s.Columns()}
+	if s.IsExplain() {
+		text, err := s.ExplainText(ctx)
+		if err != nil {
+			return nil, err
+		}
+		res.Explain = text
+		return res, nil
+	}
+	stats, err := s.Run(ctx, func(row QueryRow) bool {
+		res.Rows = append(res.Rows, row)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = stats
+	return res, nil
+}
+
+// bindEngine (DB) enters the snapshot read path: the whole statement
+// — every scan a join or multi-predicate plan issues — runs against
+// one pinned version of the index, and the planner cost model is
+// available for access-path choice.
+func (db *DB) bindEngine(ctx context.Context, stats *QueryStats) (query.Engine, func(), error) {
+	snap, release, err := db.beginRead(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng := &dbEngine{
+		grid:  db.grid,
+		snap:  snap,
+		table: &planner.Table{Name: query.TableName, Index: db.index},
+		stats: stats,
+	}
+	done := func() {
+		release()
+		db.metrics.AddSpan("query", nil)
+	}
+	return eng, done, nil
+}
+
+// bindEngine (Tx) wraps the transaction view. Each scan revalidates
+// the transaction (ended transactions fail with ErrTxDone), and the
+// statement's ctx overrides the transaction's own for cancellation.
+func (tx *Tx) bindEngine(ctx context.Context, stats *QueryStats) (query.Engine, func(), error) {
+	return &txEngine{tx: tx, stats: stats}, func() {}, nil
+}
+
+// dbEngine runs plans against one pinned index snapshot.
+type dbEngine struct {
+	grid  Grid
+	snap  *core.IndexSnapshot
+	table *planner.Table
+	stats *QueryStats
+}
+
+func (e *dbEngine) Grid() zorder.Grid     { return e.grid }
+func (e *dbEngine) Table() *planner.Table { return e.table }
+
+func (e *dbEngine) RangeFunc(ctx context.Context, box geom.Box, fn func(geom.Point) bool) error {
+	ss, err := e.snap.RangeSearchFuncCtx(ctx, box, core.MergeLazy, nil, fn)
+	e.stats.addSearch(ss)
+	return err
+}
+
+func (e *dbEngine) Nearest(ctx context.Context, q []uint32, k int) ([]core.Neighbor, error) {
+	nbs, ss, err := e.snap.NearestCtx(ctx, q, k, core.Euclidean, core.MergeLazy)
+	e.stats.addSearch(ss)
+	return nbs, err
+}
+
+// txEngine runs plans against a transaction's view: the pinned
+// transaction snapshot overlaid with its buffered writes. No cost
+// model — the overlay invalidates page counts — so plans fall back to
+// fixed strategies (Table returns nil).
+type txEngine struct {
+	tx    *Tx
+	stats *QueryStats
+}
+
+func (e *txEngine) Grid() zorder.Grid     { return e.tx.db.grid }
+func (e *txEngine) Table() *planner.Table { return nil }
+
+func (e *txEngine) opts(ctx context.Context) []QueryOption {
+	if ctx == nil {
+		return nil
+	}
+	return []QueryOption{WithContext(ctx)}
+}
+
+func (e *txEngine) RangeFunc(ctx context.Context, box geom.Box, fn func(geom.Point) bool) error {
+	qs, err := e.tx.RangeSearchFunc(box, fn, e.opts(ctx)...)
+	e.stats.accumulate(qs)
+	return err
+}
+
+func (e *txEngine) Nearest(ctx context.Context, q []uint32, k int) ([]core.Neighbor, error) {
+	nbs, qs, err := e.tx.Nearest(q, k, Euclidean, e.opts(ctx)...)
+	e.stats.accumulate(qs)
+	return nbs, err
+}
+
+// addSearch folds one scan's legacy search stats into the
+// accumulating statement stats (Results is set by the statement, not
+// per scan).
+func (s *QueryStats) addSearch(ss core.SearchStats) {
+	s.DataPages += ss.DataPages
+	s.Seeks += ss.Seeks
+	s.Elements += ss.Elements
+}
+
+// accumulate folds another operation's stats into s (Results
+// excepted, as in addSearch).
+func (s *QueryStats) accumulate(o QueryStats) {
+	s.DataPages += o.DataPages
+	s.Seeks += o.Seeks
+	s.Elements += o.Elements
+}

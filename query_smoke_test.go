@@ -1,0 +1,100 @@
+package probe
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestQuerySmoke exercises the public query API end to end: DB.Query
+// over every plan mode, EXPLAIN, typed errors, and a transaction
+// statement observing its own writes.
+func TestQuerySmoke(t *testing.T) {
+	g := MustGrid(2, 4) // 16 x 16
+	db, err := Open(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for _, p := range []Point{Pt2(1, 1, 1), Pt2(2, 2, 3), Pt2(3, 8, 8), Pt2(4, 15, 15)} {
+		if err := db.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	res, err := db.Query(context.Background(), "SELECT * FROM points WHERE CONTAINS(BOX(0, 7, 0, 7)) ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].(uint64) != 1 || res.Rows[1][0].(uint64) != 2 {
+		t.Fatalf("range rows: %+v", res.Rows)
+	}
+	if len(res.Columns) != 3 || res.Columns[0].Name != "id" || res.Columns[1].Name != "x" {
+		t.Fatalf("schema: %+v", res.Columns)
+	}
+	if res.Stats.Results != 2 {
+		t.Fatalf("stats: %+v", res.Stats)
+	}
+
+	res, err = db.Query(context.Background(), "SELECT COUNT(*) AS n, MAX(x) FROM points")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].(int64) != 4 || res.Rows[0][1].(int64) != 15 {
+		t.Fatalf("aggregate rows: %+v", res.Rows)
+	}
+
+	res, err = db.Query(context.Background(), "SELECT id, dist FROM points WHERE NEAREST(POINT(0, 0), 2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].(uint64) != 1 {
+		t.Fatalf("nearest rows: %+v", res.Rows)
+	}
+
+	res, err = db.Query(context.Background(),
+		"SELECT region, COUNT(*) FROM points JOIN REGIONS(10 BOX(0, 7, 0, 7), 20 BOX(0, 15, 0, 15)) ON INTERSECTS GROUP BY region ORDER BY region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][1].(int64) != 2 || res.Rows[1][1].(int64) != 4 {
+		t.Fatalf("join rows: %+v", res.Rows)
+	}
+
+	res, err = db.Query(context.Background(), "EXPLAIN SELECT * FROM points WHERE CONTAINS(BOX(0, 7, 0, 7))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Explain == "" || res.Rows != nil {
+		t.Fatalf("explain result: %+v", res)
+	}
+
+	var qe *QueryError
+	if _, err = db.Query(context.Background(), "SELECT FROM points"); !errors.As(err, &qe) || qe.Kind != QueryParseError {
+		t.Fatalf("parse error: %v", err)
+	}
+	if _, err = db.Query(context.Background(), "SELECT nope FROM points"); !errors.As(err, &qe) || qe.Kind != QueryPlanError {
+		t.Fatalf("plan error: %v", err)
+	}
+
+	// A transaction's statements see its own writes and the snapshot,
+	// not later commits.
+	tx, err := db.Begin(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Rollback()
+	if err := tx.Insert(Pt2(5, 4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert(Pt2(6, 5, 5)); err != nil { // committed after the tx snapshot
+		t.Fatal(err)
+	}
+	res, err = tx.Query(context.Background(), "SELECT COUNT(*) FROM points")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Rows[0][0].(int64); n != 5 {
+		t.Fatalf("tx count = %d, want 5 (snapshot 4 + own write)", n)
+	}
+}
