@@ -1,0 +1,23 @@
+package query
+
+import (
+	"testing"
+
+	"probe/internal/zorder"
+)
+
+func TestGtMaxInt64Overflow(t *testing.T) {
+	g := zorder.MustGrid(2, 10)
+	st, err := Parse("SELECT * FROM points WHERE x > 9223372036854775807")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(g, st.Select)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("empty=%v scanBox=%v residual=%d", plan.empty, plan.scanBox, len(plan.residual))
+	if !plan.empty {
+		t.Errorf("x > MaxInt64 can match no row; plan should be empty, got scanBox=%v residual=%d", plan.scanBox, len(plan.residual))
+	}
+}
