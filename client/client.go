@@ -64,7 +64,39 @@ var (
 	// ErrPlan: the QUERY statement parsed but cannot run against the
 	// served database (protocol 1.3).
 	ErrPlan = errors.New("probed: query plan error")
+	// ErrUnavailable: a shard the request needs has no reachable node
+	// (protocol 1.4, returned by zrouted).
+	ErrUnavailable = errors.New("probed: shard unavailable")
+	// ErrReadOnly: a write was sent to a read-only replica (protocol
+	// 1.4).
+	ErrReadOnly = errors.New("probed: read-only replica")
+	// ErrPoisoned: the connection suffered a transport failure
+	// mid-protocol and is permanently unusable — the stream position is
+	// unknown, so no further request may be written. Every call after
+	// the failure returns a *PoisonedError matching this sentinel;
+	// callers (connection pools especially) must discard the Conn and
+	// dial a fresh one.
+	ErrPoisoned = errors.New("probed: connection poisoned")
 )
+
+// PoisonedError marks a Conn dead after a mid-stream transport
+// failure. Cause is the original I/O or framing error; the same value
+// (not a copy) is returned by every subsequent call, so errors.Is
+// against ErrPoisoned identifies a dead connection regardless of when
+// the caller observes it.
+type PoisonedError struct {
+	Cause error
+}
+
+func (e *PoisonedError) Error() string {
+	return fmt.Sprintf("probed: connection poisoned: %v", e.Cause)
+}
+
+// Unwrap exposes the original transport error to errors.Is/As.
+func (e *PoisonedError) Unwrap() error { return e.Cause }
+
+// Is matches the ErrPoisoned sentinel.
+func (e *PoisonedError) Is(target error) bool { return target == ErrPoisoned }
 
 // ServerError is a typed failure reported by the server.
 type ServerError struct {
@@ -94,6 +126,10 @@ func (e *ServerError) Is(target error) bool {
 		return e.Code == wire.CodeParse
 	case ErrPlan:
 		return e.Code == wire.CodePlan
+	case ErrUnavailable:
+		return e.Code == wire.CodeUnavailable
+	case ErrReadOnly:
+		return e.Code == wire.CodeReadOnly
 	}
 	return false
 }
@@ -244,6 +280,29 @@ func (c *Conn) reqFlags() uint8 {
 // transport error; an open transaction is rolled back server-side.
 func (c *Conn) Close() error { return c.conn.Close() }
 
+// Broken returns the *PoisonedError that killed the connection, or
+// nil while it is still usable. A non-nil result is permanent.
+func (c *Conn) Broken() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broken
+}
+
+// poison marks the connection permanently dead after a mid-stream
+// transport failure and returns the sticky typed error. Called with
+// c.mu held (all request paths hold it).
+func (c *Conn) poison(err error) error {
+	if c.broken == nil {
+		var pe *PoisonedError
+		if errors.As(err, &pe) {
+			c.broken = pe
+		} else {
+			c.broken = &PoisonedError{Cause: err}
+		}
+	}
+	return c.broken
+}
+
 func (c *Conn) writeFrame(typ uint8, payload []byte) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
@@ -295,8 +354,7 @@ func (c *Conn) do(ctx context.Context, typ uint8, payload []byte, id uint32, h h
 		}
 	}
 	if err := c.writeFrame(typ, payload); err != nil {
-		c.broken = err
-		return probe.QueryStats{}, err
+		return probe.QueryStats{}, c.poison(err)
 	}
 
 	// Relay a context cancellation as a CANCEL frame. The watcher
@@ -316,15 +374,13 @@ func (c *Conn) do(ctx context.Context, typ uint8, payload []byte, id uint32, h h
 	for {
 		ftyp, fp, err := wire.ReadFrame(c.br)
 		if err != nil {
-			c.broken = err
-			return probe.QueryStats{}, err
+			return probe.QueryStats{}, c.poison(err)
 		}
 		switch ftyp {
 		case wire.MsgBatch:
 			b, err := wire.DecodeBatch(fp)
 			if err != nil {
-				c.broken = err
-				return probe.QueryStats{}, err
+				return probe.QueryStats{}, c.poison(err)
 			}
 			if b.ID != id || h.batch == nil {
 				continue
@@ -339,8 +395,7 @@ func (c *Conn) do(ctx context.Context, typ uint8, payload []byte, id uint32, h h
 		case wire.MsgText:
 			tm, err := wire.DecodeTextMsg(fp)
 			if err != nil {
-				c.broken = err
-				return probe.QueryStats{}, err
+				return probe.QueryStats{}, c.poison(err)
 			}
 			if tm.ID == id {
 				if h.text != nil {
@@ -352,8 +407,7 @@ func (c *Conn) do(ctx context.Context, typ uint8, payload []byte, id uint32, h h
 		case wire.MsgStatsKV:
 			kv, err := wire.DecodeStatsKV(fp)
 			if err != nil {
-				c.broken = err
-				return probe.QueryStats{}, err
+				return probe.QueryStats{}, c.poison(err)
 			}
 			if kv.ID == id && h.kv != nil {
 				h.kv(kv)
@@ -361,8 +415,7 @@ func (c *Conn) do(ctx context.Context, typ uint8, payload []byte, id uint32, h h
 		case wire.MsgSchema:
 			sm, err := wire.DecodeSchemaMsg(fp)
 			if err != nil {
-				c.broken = err
-				return probe.QueryStats{}, err
+				return probe.QueryStats{}, c.poison(err)
 			}
 			if sm.ID == id && h.schema != nil {
 				h.schema(sm)
@@ -370,8 +423,7 @@ func (c *Conn) do(ctx context.Context, typ uint8, payload []byte, id uint32, h h
 		case wire.MsgRows:
 			rm, err := wire.DecodeRowsMsg(fp)
 			if err != nil {
-				c.broken = err
-				return probe.QueryStats{}, err
+				return probe.QueryStats{}, c.poison(err)
 			}
 			if rm.ID != id || h.rows == nil {
 				continue
@@ -383,8 +435,7 @@ func (c *Conn) do(ctx context.Context, typ uint8, payload []byte, id uint32, h h
 		case wire.MsgDone:
 			dn, err := wire.DecodeDone(fp)
 			if err != nil {
-				c.broken = err
-				return probe.QueryStats{}, err
+				return probe.QueryStats{}, c.poison(err)
 			}
 			if dn.ID != id {
 				continue
@@ -402,8 +453,7 @@ func (c *Conn) do(ctx context.Context, typ uint8, payload []byte, id uint32, h h
 		case wire.MsgError:
 			em, err := wire.DecodeErrorMsg(fp)
 			if err != nil {
-				c.broken = err
-				return probe.QueryStats{}, err
+				return probe.QueryStats{}, c.poison(err)
 			}
 			if em.ID != id {
 				continue
@@ -411,8 +461,7 @@ func (c *Conn) do(ctx context.Context, typ uint8, payload []byte, id uint32, h h
 			return probe.QueryStats{}, &ServerError{Code: em.Code, Msg: em.Msg}
 		default:
 			err := fmt.Errorf("probed: unexpected frame type 0x%02x", ftyp)
-			c.broken = err
-			return probe.QueryStats{}, err
+			return probe.QueryStats{}, c.poison(err)
 		}
 	}
 }

@@ -27,14 +27,30 @@
 //	probed -loadgen -selfhost -out BENCH_server.json
 //	    Start a temporary server in-process, drive it, and write the
 //	    probe-bench-server/v1 JSON document (the bench CI artifact).
+//
+//	probed -db DB -repl-listen :7431
+//	    Additionally ship the physical WAL to read replicas (docs/cluster.md).
+//
+//	probed -db DB -replica-of PRIMARY:7431
+//	    Run as a read-only replica following that primary.
+//
+//	probed -diff -addr SYS -against REF
+//	    Run the differential battery: seed both servers identically,
+//	    then compare seeded random statements between SYS (typically a
+//	    zrouted coordinator) and REF (a single probed). With -degraded,
+//	    typed shard-unavailable answers from SYS are tolerated and
+//	    counted instead of failing — the cluster-smoke CI job uses this
+//	    to prove partial degradation stays typed after a SIGKILL.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -46,9 +62,11 @@ import (
 
 	"probe"
 	"probe/client"
+	"probe/internal/battery"
 	"probe/internal/experiment"
 	"probe/internal/loadgen"
 	"probe/internal/obs"
+	"probe/internal/repl"
 	"probe/internal/server"
 	"probe/internal/workload"
 )
@@ -63,6 +81,8 @@ type serveConfig struct {
 	batch                   int
 	slowQuery               time.Duration
 	logEvery                int
+	replListen              string // primary: serve WAL shipping here
+	replicaOf               string // replica: follow this primary
 }
 
 func main() {
@@ -80,12 +100,20 @@ func main() {
 		batch   = flag.Int("batch", 512, "results per streamed batch frame")
 		slowQ   = flag.Duration("slow-query", -1, "log requests at/above this latency at warn with their trace; 0 logs every request; negative disables")
 		logEv   = flag.Int("log-requests", 0, "log every Nth request at info; 0 disables")
+		replLn  = flag.String("repl-listen", "", "serve WAL-shipping replication on this address (requires -db); replicas point -replica-of here")
+		replOf  = flag.String("replica-of", "", "run as a read replica of the primary's -repl-listen address (requires -db for the local page files)")
 		check   = flag.Bool("check", false, "validate the serve configuration, then handshake with a running server and print stats")
 		lg      = flag.Bool("loadgen", false, "drive a server with a mixed workload")
 		selfGen = flag.Bool("selfhost", false, "with -loadgen: start a temporary in-process server to drive")
+		cluster = flag.Bool("cluster", false, "with -loadgen: the target is a zrouted coordinator; skip transactions and write the probe-bench-cluster/v1 report (per-shard fan-out, merge overhead)")
 		conns   = flag.Int("conns", 8, "loadgen: concurrent connections")
 		dur     = flag.Duration("duration", 5*time.Second, "loadgen: run duration")
 		out     = flag.String("out", "", "loadgen: write the probe-bench-server/v1 JSON report here")
+		diff    = flag.Bool("diff", false, "differential battery: compare -addr (system under test, e.g. zrouted) against -against (single-node reference)")
+		against = flag.String("against", "", "diff: address of the single-node reference server")
+		diffN   = flag.Int("diff-n", 220, "diff: number of battery statements")
+		diffPts = flag.Int("diff-points", 4000, "diff: seed this many identical points into both servers first; 0 skips seeding")
+		degrade = flag.Bool("degraded", false, "diff: tolerate (and count) typed shard-unavailable answers from -addr instead of failing")
 	)
 	flag.Parse()
 
@@ -94,14 +122,19 @@ func main() {
 		dims: *dims, bits: *bits, pool: *pool, seedN: *seedN,
 		seed: *seed, maxIn: *maxIn, drain: *drain, batch: *batch,
 		slowQuery: *slowQ, logEvery: *logEv,
+		replListen: *replLn, replicaOf: *replOf,
 	}
 	switch {
 	case *check:
 		if err := runCheck(cfg); err != nil {
 			fatal(err)
 		}
+	case *diff:
+		if err := runDiff(*addr, *against, *diffN, *diffPts, *seed, *degrade); err != nil {
+			fatal(err)
+		}
 	case *lg:
-		if err := runLoadgen(*addr, *selfGen, *conns, *dur, *seed, *out); err != nil {
+		if err := runLoadgen(*addr, *selfGen, *cluster, *conns, *dur, *seed, *out); err != nil {
 			fatal(err)
 		}
 	default:
@@ -128,6 +161,20 @@ func validateServeConfig(cfg serveConfig) error {
 		// side binds the wildcard or both name the same host.
 		if aport == qport && (ahost == "" || qhost == "" || ahost == qhost) {
 			return fmt.Errorf("-admin %s clashes with -addr %s: same port", cfg.admin, cfg.addr)
+		}
+	}
+	if cfg.replListen != "" && cfg.dbPath == "" {
+		return fmt.Errorf("-repl-listen requires -db: only a durable store ships its WAL")
+	}
+	if cfg.replicaOf != "" {
+		if cfg.dbPath == "" {
+			return fmt.Errorf("-replica-of requires -db: the replica keeps its page files at DB.a and DB.b")
+		}
+		if cfg.replListen != "" {
+			return fmt.Errorf("-replica-of and -repl-listen are mutually exclusive: chained replication is not supported")
+		}
+		if cfg.seedN > 0 {
+			return fmt.Errorf("-replica-of and -seed-n are mutually exclusive: a replica's data comes from its primary")
 		}
 	}
 	if cfg.slowQuery > 24*time.Hour {
@@ -203,17 +250,102 @@ func serve(cfg serveConfig) error {
 	if err := validateServeConfig(cfg); err != nil {
 		return err
 	}
-	db, err := openDB(cfg.dbPath, cfg.dims, cfg.bits, cfg.pool, cfg.seedN, cfg.seed)
-	if err != nil {
-		return err
+	sc := serverConfig(cfg)
+
+	// Replica mode: the database comes from the primary, not from
+	// openDB. The replica's lag gauges share the server's registry so
+	// STATS exposes them (server.repl.caught_up) to the router's
+	// health prober, and /readyz reports 503 while the replica lags.
+	var (
+		db        *probe.DB
+		rep       *repl.Replica
+		repCancel context.CancelFunc
+	)
+	if cfg.replicaOf != "" {
+		sc.ReadOnly = true
+		sc.Metrics = obs.NewRegistry()
+		g, err := probe.NewGrid(cfg.dims, cfg.bits)
+		if err != nil {
+			return err
+		}
+		rep, err = repl.NewReplica(repl.ReplicaConfig{
+			Primary:  cfg.replicaOf,
+			Grid:     g,
+			PathA:    cfg.dbPath + ".a",
+			PathB:    cfg.dbPath + ".b",
+			Registry: sc.Metrics,
+			Logger:   sc.Logger,
+			OpenOpts: []probe.Option{probe.WithPoolPages(cfg.pool)},
+		})
+		if err != nil {
+			return err
+		}
+		var ctx context.Context
+		ctx, repCancel = context.WithCancel(context.Background())
+		defer repCancel()
+		go rep.Run(ctx)
+		fmt.Printf("probed: replica of %s: waiting for initial sync\n", cfg.replicaOf)
+		wctx, wcancel := context.WithTimeout(ctx, 60*time.Second)
+		db, err = rep.WaitReady(wctx)
+		wcancel()
+		if err != nil {
+			rep.Close()
+			return fmt.Errorf("replica initial sync: %w", err)
+		}
+	} else {
+		var err error
+		db, err = openDB(cfg.dbPath, cfg.dims, cfg.bits, cfg.pool, cfg.seedN, cfg.seed)
+		if err != nil {
+			return err
+		}
 	}
-	srv := server.New(db, serverConfig(cfg))
+
+	srv := server.New(db, sc)
+	if rep != nil {
+		rep.SetSwap(srv.SwapDB)
+		srv.SetReadyCheck(rep.ReadyErr)
+	}
+
+	// Primary mode: ship every checkpoint's WAL segment to subscribed
+	// replicas on a dedicated listener.
+	var prim *repl.Primary
+	if cfg.replListen != "" {
+		var err error
+		prim, err = repl.NewPrimary(db, repl.PrimaryConfig{Logger: sc.Logger})
+		if err != nil {
+			db.Close()
+			return err
+		}
+		rln, err := net.Listen("tcp", cfg.replListen)
+		if err != nil {
+			prim.Close()
+			db.Close()
+			return err
+		}
+		go prim.Serve(rln)
+		fmt.Printf("probed: shipping WAL segments on %s\n", rln.Addr())
+	}
+	closeRepl := func() {
+		if prim != nil {
+			prim.Close()
+		}
+		if rep != nil {
+			repCancel()
+			rep.Close()
+		}
+	}
+
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
+		closeRepl()
 		db.Close()
 		return err
 	}
-	fmt.Printf("probed: serving %d points on %s (max-inflight %d)\n", db.Len(), ln.Addr(), cfg.maxIn)
+	mode := "serving"
+	if rep != nil {
+		mode = "serving (read-only replica)"
+	}
+	fmt.Printf("probed: %s %d points on %s (max-inflight %d)\n", mode, db.Len(), ln.Addr(), cfg.maxIn)
 
 	// The admin endpoint outlives the query listener on purpose: it
 	// keeps answering /readyz with 503 while the drain runs, so load
@@ -245,6 +377,7 @@ func serve(cfg serveConfig) error {
 	select {
 	case sig := <-sigs:
 		fmt.Printf("probed: %v: draining (timeout %s)\n", sig, cfg.drain)
+		closeRepl() // stop shipping/applying before the final checkpoint
 		done := make(chan error, 1)
 		go func() { done <- srv.Shutdown(context.Background()) }()
 		select {
@@ -261,7 +394,8 @@ func serve(cfg serveConfig) error {
 		}
 	case err := <-errCh:
 		closeAdmin()
-		db.Close()
+		closeRepl()
+		srv.DB().Close() // the original db may have been swapped out
 		return err
 	}
 }
@@ -291,6 +425,94 @@ func runCheck(cfg serveConfig) error {
 	for _, name := range names {
 		fmt.Printf("%-48s %d\n", name, stats[name])
 	}
+	return nil
+}
+
+// runDiff is the CLI face of the differential battery: the same
+// generator the in-process tests use (internal/battery), pointed at
+// two live servers. The system under test is typically a zrouted
+// coordinator and the reference a single probed; identical seeding
+// plus identical statements must produce identical answers, which is
+// the cluster's "indistinguishable from a single node" contract.
+func runDiff(addr, against string, n, points int, seed int64, degraded bool) error {
+	if against == "" {
+		return fmt.Errorf("-diff requires -against ADDR (the single-node reference)")
+	}
+	sys, err := client.Dial(addr)
+	if err != nil {
+		return fmt.Errorf("system under test %s: %w", addr, err)
+	}
+	defer sys.Close()
+	ref, err := client.Dial(against)
+	if err != nil {
+		return fmt.Errorf("reference %s: %w", against, err)
+	}
+	defer ref.Close()
+	bits := sys.GridBits()
+	if rb := ref.GridBits(); fmt.Sprint(rb) != fmt.Sprint(bits) {
+		return fmt.Errorf("grid mismatch: %s serves %v, %s serves %v", addr, bits, against, rb)
+	}
+	ctx := context.Background()
+
+	if points > 0 {
+		for _, b := range bits[1:] {
+			if b != bits[0] {
+				return fmt.Errorf("diff seeding needs a uniform grid, got bits %v", bits)
+			}
+		}
+		g, err := probe.NewGrid(len(bits), bits[0])
+		if err != nil {
+			return err
+		}
+		pts := workload.Uniform(g, points, seed)
+		for lo := 0; lo < len(pts); lo += 500 {
+			hi := min(lo+500, len(pts))
+			if _, err := sys.Insert(ctx, pts[lo:hi]); err != nil {
+				return fmt.Errorf("seeding %s: %w", addr, err)
+			}
+			if _, err := ref.Insert(ctx, pts[lo:hi]); err != nil {
+				return fmt.Errorf("seeding %s: %w", against, err)
+			}
+		}
+		// Checkpointing after the seed ships WAL segments to any read
+		// replicas behind the coordinator, so they can catch up and
+		// serve these rows during failover.
+		if _, err := sys.Checkpoint(ctx); err != nil {
+			return fmt.Errorf("checkpoint %s: %w", addr, err)
+		}
+		if _, err := ref.Checkpoint(ctx); err != nil {
+			return fmt.Errorf("checkpoint %s: %w", against, err)
+		}
+		fmt.Printf("probed: diff seeded %d points into both servers\n", points)
+	}
+
+	matched, unavailable := 0, 0
+	for i := 0; i < n; i++ {
+		qseed := int64(1000 + i)
+		sql, ordered := battery.GenQuery(rand.New(rand.NewSource(qseed)))
+		want, werr := ref.Query(ctx, sql)
+		if werr != nil {
+			return fmt.Errorf("seed %d: reference error: %v\n  query: %s", qseed, werr, sql)
+		}
+		got, gerr := sys.Query(ctx, sql)
+		if gerr != nil {
+			if degraded && errors.Is(gerr, client.ErrUnavailable) {
+				unavailable++
+				continue
+			}
+			return fmt.Errorf("seed %d: system under test error: %v\n  query: %s", qseed, gerr, sql)
+		}
+		if d := battery.Diff(
+			battery.Result{Columns: got.Columns, Rows: got.Rows},
+			battery.Result{Columns: want.Columns, Rows: want.Rows},
+			ordered,
+		); d != "" {
+			return fmt.Errorf("seed %d: %s vs %s %s\n  query: %s", qseed, addr, against, d, sql)
+		}
+		matched++
+	}
+	fmt.Printf("probed: diff %s vs %s: statements=%d matched=%d unavailable=%d\n",
+		addr, against, n, matched, unavailable)
 	return nil
 }
 
@@ -329,7 +551,64 @@ func ms(d time.Duration) float64 {
 	return float64(d.Microseconds()) / 1e3
 }
 
-func runLoadgen(addr string, selfhost bool, conns int, dur time.Duration, seed int64, out string) error {
+// clusterBenchSchema identifies the BENCH_cluster.json document.
+const clusterBenchSchema = "probe-bench-cluster/v1"
+
+// shardFanout is one shard's scatter accounting in BENCH_cluster.json:
+// how many backend calls the router fanned to it and the latency
+// distribution of those calls.
+type shardFanout struct {
+	Calls int64   `json:"calls"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// clusterBenchReport is the loadgen-through-zrouted document archived
+// by the cluster-smoke CI job: the client-visible trajectory plus the
+// router's own accounting of where the work went and what the z-order
+// merge cost on top.
+type clusterBenchReport struct {
+	Schema     string                 `json:"schema"`
+	Host       experiment.Host        `json:"host"`
+	Conns      int                    `json:"conns"`
+	DurationMS float64                `json:"duration_ms"`
+	Seed       int64                  `json:"seed"`
+	Ops        int                    `json:"ops"`
+	Errors     int                    `json:"errors"`
+	Overloaded int                    `json:"overloaded"`
+	QPS        float64                `json:"qps"`
+	P50MS      float64                `json:"p50_ms"`
+	P95MS      float64                `json:"p95_ms"`
+	P99MS      float64                `json:"p99_ms"`
+	PerOp      map[string]perOpBench  `json:"per_op"`
+	Fanout     map[string]shardFanout `json:"fanout_per_shard"`
+	MergeCount int64                  `json:"merge_count"`
+	MergeP50MS float64                `json:"merge_p50_ms"`
+	MergeP95MS float64                `json:"merge_p95_ms"`
+	MergeP99MS float64                `json:"merge_p99_ms"`
+}
+
+// nsToMS renders a nanosecond stat count as fractional milliseconds.
+func nsToMS(ns int64) float64 { return float64(ns) / 1e6 }
+
+// routerStats pulls the router's STATS map (router.* keys) from the
+// coordinator the load run just drove.
+func routerStats(addr string) (map[string]int64, error) {
+	cl, err := client.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return cl.Stats(ctx)
+}
+
+func runLoadgen(addr string, selfhost, cluster bool, conns int, dur time.Duration, seed int64, out string) error {
+	if cluster && selfhost {
+		return fmt.Errorf("-cluster drives a running zrouted; it cannot be combined with -selfhost")
+	}
 	if selfhost {
 		dir, err := os.MkdirTemp("", "probed-loadgen")
 		if err != nil {
@@ -354,7 +633,7 @@ func runLoadgen(addr string, selfhost bool, conns int, dur time.Duration, seed i
 
 	rep, err := loadgen.Run(loadgen.Config{
 		Addr: addr, Conns: conns, Duration: dur, Seed: seed,
-		Metrics: obs.NewRegistry(),
+		Metrics: obs.NewRegistry(), Cluster: cluster,
 	})
 	if err != nil {
 		return err
@@ -365,6 +644,9 @@ func runLoadgen(addr string, selfhost bool, conns int, dur time.Duration, seed i
 		fmt.Printf("loadgen: %-8s ops=%-7d p50=%s p95=%s p99=%s\n", kind, st.Ops, st.P50, st.P95, st.P99)
 	}
 
+	if cluster {
+		return writeClusterReport(addr, rep, conns, seed, out)
+	}
 	if out != "" {
 		doc := serverBenchReport{
 			Schema:     serverBenchSchema,
@@ -402,6 +684,86 @@ func runLoadgen(addr string, selfhost bool, conns int, dur time.Duration, seed i
 		}
 		fmt.Printf("probed: wrote %s\n", out)
 	}
+	return nil
+}
+
+// writeClusterReport renders a -cluster run: the load report plus the
+// router's per-shard fan-out counts and merge-overhead histogram,
+// pulled over the wire from the coordinator that was just driven.
+func writeClusterReport(addr string, rep loadgen.Report, conns int, seed int64, out string) error {
+	stats, err := routerStats(addr)
+	if err != nil {
+		return fmt.Errorf("router stats: %w", err)
+	}
+	fanout := make(map[string]shardFanout)
+	for i := 0; ; i++ {
+		callsKey := fmt.Sprintf("router.fanout.shard%d.calls", i)
+		calls, ok := stats[callsKey]
+		if !ok {
+			break
+		}
+		ns := fmt.Sprintf("router.fanout.shard%d.ns", i)
+		fanout[fmt.Sprintf("shard%d", i)] = shardFanout{
+			Calls: calls,
+			P50MS: nsToMS(stats[ns+".p50"]),
+			P95MS: nsToMS(stats[ns+".p95"]),
+			P99MS: nsToMS(stats[ns+".p99"]),
+		}
+	}
+	shards := make([]string, 0, len(fanout))
+	for shard := range fanout {
+		shards = append(shards, shard)
+	}
+	sort.Strings(shards)
+	for _, shard := range shards {
+		fmt.Printf("loadgen: %-8s calls=%-7d p50=%.3fms p95=%.3fms p99=%.3fms\n",
+			shard, fanout[shard].Calls, fanout[shard].P50MS, fanout[shard].P95MS, fanout[shard].P99MS)
+	}
+	fmt.Printf("loadgen: merge    count=%-6d p50=%.3fms p95=%.3fms p99=%.3fms\n",
+		stats["router.merge.ns.count"], nsToMS(stats["router.merge.ns.p50"]),
+		nsToMS(stats["router.merge.ns.p95"]), nsToMS(stats["router.merge.ns.p99"]))
+	if out == "" {
+		return nil
+	}
+	doc := clusterBenchReport{
+		Schema:     clusterBenchSchema,
+		Host:       experiment.CurrentHost(),
+		Conns:      rep.Conns,
+		DurationMS: float64(rep.Elapsed.Microseconds()) / 1e3,
+		Seed:       seed,
+		Ops:        rep.Ops,
+		Errors:     rep.Errors,
+		Overloaded: rep.Overloaded,
+		QPS:        rep.QPS,
+		P50MS:      ms(rep.P50),
+		P95MS:      ms(rep.P95),
+		P99MS:      ms(rep.P99),
+		PerOp:      make(map[string]perOpBench, len(rep.PerOp)),
+		Fanout:     fanout,
+		MergeCount: stats["router.merge.ns.count"],
+		MergeP50MS: nsToMS(stats["router.merge.ns.p50"]),
+		MergeP95MS: nsToMS(stats["router.merge.ns.p95"]),
+		MergeP99MS: nsToMS(stats["router.merge.ns.p99"]),
+	}
+	for kind, st := range rep.PerOp {
+		doc.PerOp[kind] = perOpBench{
+			Ops: st.Ops, P50MS: ms(st.P50), P95MS: ms(st.P95), P99MS: ms(st.P99),
+		}
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("probed: wrote %s\n", out)
 	return nil
 }
 

@@ -2,6 +2,7 @@ package probe
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"probe/internal/btree"
@@ -287,13 +288,26 @@ func (db *DB) checkpointLocked() error {
 // package's drain sequence does exactly that. See
 // TestCloseWhileQuerying.
 func (db *DB) Close() error {
+	return db.close(true)
+}
+
+// CloseReadOnly is Close without the final checkpoint: the store is
+// released exactly as it is on disk, with no metadata rewrite. A
+// replication applier retiring a database over a shipped page file
+// uses it so the file stays byte-identical to what the primary
+// shipped. Like Close it blocks until in-flight operations finish.
+func (db *DB) CloseReadOnly() error {
+	return db.close(false)
+}
+
+func (db *DB) close(checkpoint bool) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
 		return nil
 	}
 	var err error
-	if db.rs != nil {
+	if db.rs != nil && checkpoint {
 		err = db.checkpointLocked()
 	}
 	// Drain the snapshot read path: the exclusive lock waits out every
@@ -328,4 +342,60 @@ func (db *DB) Recovered() (bool, RecoveryInfo) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return db.recovered, db.recovery
+}
+
+// WALSegment re-exports one shipped checkpoint batch: the physical
+// page records a checkpoint applied, for replay on a read replica.
+type WALSegment = disk.Segment
+
+// ErrNotDurable is returned by replication entry points on a database
+// opened without WithDurability: with no WAL there is nothing to ship.
+var ErrNotDurable = errors.New("probe: database is not durable (no WithDurability)")
+
+// SetWALSegmentHook installs fn to observe every completed checkpoint
+// as a compacted WAL segment — the primary side of log shipping. fn
+// runs inside Checkpoint after the batch is durable locally; it must
+// be quick and must not call back into the database. A nil fn
+// unsubscribes. See docs/cluster.md.
+func (db *DB) SetWALSegmentHook(fn func(WALSegment)) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if db.rs == nil {
+		return ErrNotDurable
+	}
+	db.rs.SetCheckpointHook(fn)
+	return nil
+}
+
+// CheckpointLSN returns the LSN of the last durable checkpoint (0 on
+// an in-memory database): the position a replica bootstrapped from
+// StoreImage starts streaming after.
+func (db *DB) CheckpointLSN() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.rs == nil {
+		return 0
+	}
+	return db.rs.CheckpointLSN()
+}
+
+// StoreImage checkpoints and returns the page file's raw bytes plus
+// the checkpoint LSN they are stamped with — the replica bootstrap
+// snapshot. Applying every shipped segment with MaxLSN above the
+// returned LSN to a copy of these bytes reproduces the primary's
+// checkpointed state exactly. The checkpoint inside guarantees the
+// image carries no half-allocated slots.
+func (db *DB) StoreImage() ([]byte, uint64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.rs == nil {
+		return nil, 0, ErrNotDurable
+	}
+	if err := db.checkpointLocked(); err != nil {
+		return nil, 0, err
+	}
+	return db.rs.PageFileImage()
 }

@@ -1,0 +1,140 @@
+// Package battery generates the seeded random spatial-SQL statements
+// the wire path and the cluster router are proven by. One generator
+// feeds every differential test — the server's in-process-vs-wire
+// battery, the router's cluster-vs-single-node battery, and the CI
+// cluster smoke script — so a statement shape added here is exercised
+// end to end everywhere at once.
+package battery
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"probe"
+)
+
+// GenQuery builds one random but always-valid statement from rng.
+// ordered reports whether the query carries a total ORDER BY (unique
+// key), in which case a differential compare is order-sensitive.
+// Shapes that materialize through map iteration (GROUP BY) only get
+// LIMIT together with a total order, so both executions select the
+// same rows.
+func GenQuery(rng *rand.Rand) (sql string, ordered bool) {
+	box := func() string {
+		xlo := rng.Intn(1024)
+		ylo := rng.Intn(1024)
+		return fmt.Sprintf("BOX(%d, %d, %d, %d)",
+			xlo, xlo+rng.Intn(1024-xlo), ylo, ylo+rng.Intn(1024-ylo))
+	}
+	pred := []string{"CONTAINS", "INTERSECTS"}[rng.Intn(2)]
+	var b strings.Builder
+	switch rng.Intn(7) {
+	case 0: // star scan
+		fmt.Fprintf(&b, "SELECT * FROM points WHERE %s(%s)", pred, box())
+		if rng.Intn(2) == 0 {
+			fmt.Fprintf(&b, " AND x >= %d", rng.Intn(1024))
+		}
+		if rng.Intn(2) == 0 {
+			b.WriteString(" ORDER BY id")
+			ordered = true
+		}
+		if rng.Intn(2) == 0 {
+			fmt.Fprintf(&b, " LIMIT %d", 1+rng.Intn(50))
+		}
+	case 1: // projection with residual comparisons
+		fmt.Fprintf(&b, "SELECT id, x, y FROM points WHERE %s(%s) AND y < %d AND id != %d",
+			pred, box(), 1+rng.Intn(1024), 1+rng.Intn(4000))
+		if rng.Intn(2) == 0 {
+			fmt.Fprintf(&b, " ORDER BY %s DESC, id", []string{"x", "y"}[rng.Intn(2)])
+			ordered = true
+		}
+	case 2: // DISTINCT on one coordinate
+		col := []string{"x", "y"}[rng.Intn(2)]
+		fmt.Fprintf(&b, "SELECT DISTINCT %s FROM points WHERE %s(%s)", col, pred, box())
+		if rng.Intn(2) == 0 {
+			b.WriteString(" ORDER BY " + col)
+			ordered = true
+		}
+	case 3: // global aggregates
+		fmt.Fprintf(&b, "SELECT COUNT(*) AS n, MIN(x) AS mnx, MAX(y) AS mxy, SUM(x) AS sx FROM points WHERE %s(%s)", pred, box())
+	case 4: // grouped, totally ordered by the group key
+		col := []string{"x", "y"}[rng.Intn(2)]
+		fmt.Fprintf(&b, "SELECT %s, COUNT(*) AS n FROM points WHERE %s(%s) GROUP BY %s ORDER BY %s",
+			col, pred, box(), col, col)
+		ordered = true
+		if rng.Intn(2) == 0 {
+			fmt.Fprintf(&b, " LIMIT %d", 1+rng.Intn(20))
+		}
+	case 5: // nearest
+		fmt.Fprintf(&b, "SELECT id, x, y, dist FROM points WHERE NEAREST(POINT(%d, %d), %d)",
+			rng.Intn(1024), rng.Intn(1024), 1+rng.Intn(20))
+	case 6: // region join
+		n := 1 + rng.Intn(4)
+		fmt.Fprintf(&b, "SELECT region, id FROM points JOIN REGIONS(")
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%d %s", i+1, box())
+		}
+		b.WriteString(") ON INTERSECTS")
+		if rng.Intn(2) == 0 {
+			b.WriteString(" ORDER BY region, id")
+			ordered = true
+		}
+	}
+	return b.String(), ordered
+}
+
+// RenderRows canonicalizes a result set for comparison, one string
+// per row with value types spelled out.
+func RenderRows(rows []probe.QueryRow) []string {
+	out := make([]string, len(rows))
+	for i, row := range rows {
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = fmt.Sprintf("%T:%v", v, v)
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	return out
+}
+
+// Result is the comparable shape of one statement execution,
+// whichever engine produced it (probe.DB.Query, client.Conn.Query
+// against a server, or against the router).
+type Result struct {
+	Columns []probe.QueryColumn
+	Rows    []probe.QueryRow
+}
+
+// Diff compares two executions of the same statement: schema
+// field-for-field, rows in exact order when the statement carried a
+// total ORDER BY, as multisets otherwise. It returns "" on agreement
+// and a description of the first mismatch otherwise.
+func Diff(a, b Result, ordered bool) string {
+	if len(a.Columns) != len(b.Columns) {
+		return fmt.Sprintf("schema width: %d vs %d", len(a.Columns), len(b.Columns))
+	}
+	for j := range a.Columns {
+		if a.Columns[j].Name != b.Columns[j].Name || a.Columns[j].Type != b.Columns[j].Type {
+			return fmt.Sprintf("column %d: %v vs %v", j, a.Columns[j], b.Columns[j])
+		}
+	}
+	ar, br := RenderRows(a.Rows), RenderRows(b.Rows)
+	if !ordered {
+		sort.Strings(ar)
+		sort.Strings(br)
+	}
+	if len(ar) != len(br) {
+		return fmt.Sprintf("row count: %d vs %d", len(ar), len(br))
+	}
+	for j := range ar {
+		if ar[j] != br[j] {
+			return fmt.Sprintf("row %d: %s vs %s", j, ar[j], br[j])
+		}
+	}
+	return ""
+}

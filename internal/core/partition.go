@@ -102,15 +102,13 @@ func PartitionZ(a, b []Item, prefixBits int) ([]JoinPartition, error) {
 // descendants arrive there, and all of a shard's items are
 // descendants of (or equal to) any short element covering it.
 func scatter(items []Item, prefixBits int, shards [][]Item) error {
-	shift := uint(64 - prefixBits)
 	var prev zorder.Element
 	for i, it := range items {
 		if i > 0 && it.Elem.Compare(prev) < 0 {
 			return fmt.Errorf("items not in z order at position %d", i)
 		}
 		prev = it.Elem
-		lo := it.Elem.MinZ() >> shift
-		hi := it.Elem.MaxZ(zorder.MaxBits) >> shift
+		lo, hi := SlotSpan(it.Elem, prefixBits)
 		if int(it.Elem.Len) >= prefixBits {
 			// One shard: the element's own prefix (lo == hi here).
 			shards[lo] = append(shards[lo], it)

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"probe/internal/zorder"
+)
+
+// TestPrefixRangeTiling proves the exported boundary arithmetic names
+// a partition of the key space: consecutive slots tile [0, 2^64)
+// exactly, and SlotOfKey inverts PrefixRange.
+func TestPrefixRangeTiling(t *testing.T) {
+	for _, bits := range []int{1, 2, 3, 5, 8, MaxPrefixBits} {
+		var prevHi uint64
+		for s := uint64(0); s < PrefixSlots(bits); s++ {
+			r, err := PrefixRange(s, bits)
+			if err != nil {
+				t.Fatalf("PrefixRange(%d, %d): %v", s, bits, err)
+			}
+			if s == 0 {
+				if r.Lo != 0 {
+					t.Fatalf("bits %d: first slot starts at %d, want 0", bits, r.Lo)
+				}
+			} else if r.Lo != prevHi+1 {
+				t.Fatalf("bits %d slot %d: gap/overlap: lo %d after hi %d", bits, s, r.Lo, prevHi)
+			}
+			if r.Hi < r.Lo {
+				t.Fatalf("bits %d slot %d: inverted range %+v", bits, s, r)
+			}
+			for _, z := range []uint64{r.Lo, r.Hi, r.Lo + (r.Hi-r.Lo)/2} {
+				if got := SlotOfKey(z, bits); got != s {
+					t.Fatalf("bits %d: SlotOfKey(%#x) = %d, want %d", bits, z, got, s)
+				}
+				if !r.Contains(z) {
+					t.Fatalf("bits %d slot %d: Contains(%#x) false", bits, s, z)
+				}
+			}
+			prevHi = r.Hi
+		}
+		if prevHi != ^uint64(0) {
+			t.Fatalf("bits %d: last slot ends at %#x, want all ones", bits, prevHi)
+		}
+	}
+	if _, err := PrefixRange(0, 0); err == nil {
+		t.Fatal("PrefixRange accepted 0 bits")
+	}
+	if _, err := PrefixRange(0, MaxPrefixBits+1); err == nil {
+		t.Fatal("PrefixRange accepted oversized prefix")
+	}
+	if _, err := PrefixRange(2, 1); err == nil {
+		t.Fatal("PrefixRange accepted out-of-range slot")
+	}
+}
+
+// TestSlotSpanMatchesScatter proves SlotSpan is the routing rule
+// PartitionZ actually applies: scattering random sorted inputs places
+// every item in exactly the slots SlotSpan names.
+func TestSlotSpanMatchesScatter(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := zorder.MustGrid(2, 10)
+	for trial := 0; trial < 50; trial++ {
+		prefixBits := 1 + rng.Intn(6)
+		items := make([]Item, 200)
+		for i := range items {
+			e := g.Shuffle([]uint32{uint32(rng.Intn(1024)), uint32(rng.Intn(1024))})
+			// Random truncation produces elements shorter than the
+			// prefix, exercising the replication path.
+			if rng.Intn(3) == 0 {
+				for keep := uint8(rng.Intn(int(e.Len) + 1)); e.Len > keep; {
+					e = e.Parent()
+				}
+			}
+			items[i] = Item{ID: uint64(i + 1), Elem: e}
+		}
+		SortItems(items)
+		shards := make([][]Item, PrefixSlots(prefixBits))
+		if err := scatter(items, prefixBits, shards); err != nil {
+			t.Fatalf("scatter: %v", err)
+		}
+		// Collect where each (ID, Elem) actually landed.
+		got := make(map[uint64]map[uint64]bool)
+		for s, sh := range shards {
+			for _, it := range sh {
+				if got[it.ID] == nil {
+					got[it.ID] = make(map[uint64]bool)
+				}
+				got[it.ID][uint64(s)] = true
+			}
+		}
+		for _, it := range items {
+			lo, hi := SlotSpan(it.Elem, prefixBits)
+			if int(it.Elem.Len) >= prefixBits && lo != hi {
+				t.Fatalf("long element spans %d..%d", lo, hi)
+			}
+			want := map[uint64]bool{}
+			if int(it.Elem.Len) >= prefixBits {
+				want[lo] = true
+			} else {
+				for s := lo; s <= hi; s++ {
+					want[s] = true
+				}
+			}
+			g := got[it.ID]
+			if len(g) != len(want) {
+				t.Fatalf("item %d: landed in %d slots, SlotSpan names %d", it.ID, len(g), len(want))
+			}
+			for s := range want {
+				if !g[s] {
+					t.Fatalf("item %d: missing from slot %d", it.ID, s)
+				}
+			}
+			// Every key inside the element's z-interval falls in a
+			// covered slot.
+			for _, z := range []uint64{it.Elem.MinZ(), it.Elem.MaxZ(zorder.MaxBits)} {
+				if s := SlotOfKey(z, prefixBits); s < lo || s > hi {
+					t.Fatalf("item %d: key %#x in slot %d outside span [%d,%d]", it.ID, z, s, lo, hi)
+				}
+			}
+		}
+	}
+}

@@ -47,6 +47,7 @@ type RecoverableStore struct {
 	failed      error
 	stats       IOStats
 	span        *obs.Span
+	ckptHook    func(Segment) // log shipping: observes each completed batch
 
 	walAppends       uint64
 	walSyncs         uint64
@@ -247,6 +248,14 @@ func RecoverStore(fsys FS, path string) (*RecoverableStore, RecoveryInfo, error)
 // LSN. Replay is idempotent: page writes are physical images and
 // allocation replay tolerates already-applied state.
 func (s *RecoverableStore) applyCommitted(recs []WALRecord) (int, uint64, error) {
+	return applyRecords(s.fs, s.wal.path, recs)
+}
+
+// applyRecords replays a record batch onto a page file. It is the
+// shared apply path for crash recovery (applyCommitted) and replica
+// log shipping (ApplyWALSegment); name labels errors with the batch's
+// source.
+func applyRecords(fs *FileStore, name string, recs []WALRecord) (int, uint64, error) {
 	type pageState struct {
 		alloc bool
 		free  bool
@@ -278,9 +287,9 @@ func (s *RecoverableStore) applyCommitted(recs []WALRecord) (int, uint64, error)
 			st := get(rec.Page)
 			st.free, st.img, st.lsn = true, nil, rec.LSN
 		case RecPage:
-			if len(rec.Payload) != s.fs.PageSize() {
-				return 0, 0, &ChecksumError{Path: s.wal.path, Page: rec.Page,
-					Reason: fmt.Sprintf("log image has %d bytes, page size is %d", len(rec.Payload), s.fs.PageSize())}
+			if len(rec.Payload) != fs.PageSize() {
+				return 0, 0, &ChecksumError{Path: name, Page: rec.Page,
+					Reason: fmt.Sprintf("log image has %d bytes, page size is %d", len(rec.Payload), fs.PageSize())}
 			}
 			st := get(rec.Page)
 			st.img, st.lsn, st.free = rec.Payload, rec.LSN, false
@@ -299,20 +308,20 @@ func (s *RecoverableStore) applyCommitted(recs []WALRecord) (int, uint64, error)
 	for _, id := range ids {
 		st := state[id]
 		if st.free {
-			if s.fs.isAllocated(id) {
-				if err := s.fs.FreeLSN(id, st.lsn); err != nil {
+			if fs.isAllocated(id) {
+				if err := fs.FreeLSN(id, st.lsn); err != nil {
 					return 0, 0, err
 				}
 			}
 			continue
 		}
 		if st.alloc || st.img != nil {
-			if err := s.fs.allocateExact(id); err != nil {
+			if err := fs.allocateExact(id); err != nil {
 				return 0, 0, err
 			}
 		}
 		if st.img != nil {
-			if err := s.fs.WriteLSN(id, st.img, st.lsn); err != nil {
+			if err := fs.WriteLSN(id, st.img, st.lsn); err != nil {
 				return 0, 0, err
 			}
 			applied++
@@ -320,7 +329,7 @@ func (s *RecoverableStore) applyCommitted(recs []WALRecord) (int, uint64, error)
 			// Allocated in the batch but never written: stamp the zero
 			// page with the allocation record's LSN so the slot reads
 			// as checkpointed (LSN >= 1), not as a reclaimable leak.
-			if err := s.fs.WriteLSN(id, make([]byte, s.fs.PageSize()), st.lsn); err != nil {
+			if err := fs.WriteLSN(id, make([]byte, fs.PageSize()), st.lsn); err != nil {
 				return 0, 0, err
 			}
 			applied++
@@ -509,9 +518,31 @@ func (s *RecoverableStore) Checkpoint() error {
 	if err := s.wal.Reset(); err != nil {
 		return s.fail(err)
 	}
+	var seg Segment
+	if s.ckptHook != nil {
+		// Compact the batch for shipping: the final free set plus the
+		// latest image per dirty page — exactly what was just applied to
+		// the page file. Images are copied so the segment stays valid
+		// after the hook returns.
+		seg.MaxLSN = maxLSN
+		seg.Records = make([]WALRecord, 0, len(frees)+len(ids))
+		for _, id := range frees {
+			seg.Records = append(seg.Records, WALRecord{Kind: RecFree, Page: id, LSN: s.pendingFree[id]})
+		}
+		for _, id := range ids {
+			dp := s.dirty[id]
+			seg.Records = append(seg.Records, WALRecord{
+				Kind: RecPage, Page: id, LSN: dp.lsn,
+				Payload: append([]byte(nil), dp.img...),
+			})
+		}
+	}
 	s.dirty = make(map[PageID]*dirtyPage)
 	s.pendingFree = make(map[PageID]uint64)
 	s.checkpoints++
+	if s.ckptHook != nil {
+		s.ckptHook(seg)
+	}
 	return nil
 }
 

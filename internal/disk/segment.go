@@ -1,0 +1,166 @@
+package disk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// This file is the physical-replication face of the WAL: a checkpoint
+// batch, compacted to its net effect (latest image per page, final
+// frees), packaged as a Segment a primary can ship to read replicas.
+// A replica applies segments in order to a copy of the page file with
+// ApplyWALSegment; because the records are physical page images, the
+// replica's file converges to byte-identical checkpointed state
+// without understanding anything above the page layer.
+
+// Segment is one shipped checkpoint batch: the compacted records and
+// the LSN the page file's superblock is stamped with after applying
+// them. Segments must be applied in MaxLSN order; applying one twice
+// is harmless (physical images are idempotent).
+type Segment struct {
+	MaxLSN  uint64
+	Records []WALRecord
+}
+
+// SetCheckpointHook installs fn to observe every completed checkpoint
+// batch: fn runs inside Checkpoint, after the batch is durable on this
+// store, with the compacted segment it shipped to the page file. The
+// primary side of log shipping subscribes here. fn must not call back
+// into the store. A nil fn unsubscribes.
+func (s *RecoverableStore) SetCheckpointHook(fn func(Segment)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ckptHook = fn
+}
+
+// ApplyWALSegment applies one shipped segment to the page file at
+// path: replay, data sync, checkpoint stamp. The file must hold the
+// checkpointed state the segment was built against (the primary's
+// previous checkpoint); out-of-order segments are rejected by the LSN
+// monotonicity check.
+func ApplyWALSegment(fsys FS, path string, seg Segment) error {
+	fs, err := OpenFileStoreFS(fsys, path)
+	if err != nil {
+		return err
+	}
+	defer fs.Close()
+	if fs.CheckpointLSN() > seg.MaxLSN {
+		return fmt.Errorf("disk: segment max LSN %d behind page file checkpoint %d", seg.MaxLSN, fs.CheckpointLSN())
+	}
+	if _, _, err := applyRecords(fs, path, seg.Records); err != nil {
+		return err
+	}
+	if err := fs.SyncData(); err != nil {
+		return err
+	}
+	return fs.StampCheckpoint(seg.MaxLSN)
+}
+
+// RawImage returns the page file's raw bytes — superblock, headers,
+// checksums and all. The caller coordinates quiescence
+// (RecoverableStore holds its mutex), under which the bytes are a
+// consistent point-in-time copy.
+func (s *FileStore) RawImage() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("disk: raw image of closed store %s", s.path)
+	}
+	size, err := s.f.Size()
+	if err != nil {
+		return nil, fmt.Errorf("disk: stat %s: %w", s.path, err)
+	}
+	buf := make([]byte, size)
+	if size > 0 {
+		if err := readFull(s.f, buf, 0); err != nil {
+			return nil, fmt.Errorf("disk: read %s: %w", s.path, err)
+		}
+	}
+	return buf, nil
+}
+
+// PageFileImage snapshots the store's checkpointed state: the page
+// file bytes (which, under the store mutex, hold exactly the last
+// checkpoint — the un-checkpointed delta lives in the WAL and memory)
+// and the checkpoint LSN the image is stamped with. The replica
+// bootstrap path: write these bytes, then apply segments with MaxLSN
+// above the returned LSN.
+func (s *RecoverableStore) PageFileImage() ([]byte, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed != nil {
+		return nil, 0, s.failed
+	}
+	img, err := s.fs.RawImage()
+	if err != nil {
+		return nil, 0, err
+	}
+	return img, s.fs.CheckpointLSN(), nil
+}
+
+// CheckpointLSN returns the LSN of the store's last durable
+// checkpoint.
+func (s *RecoverableStore) CheckpointLSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fs.CheckpointLSN()
+}
+
+// EncodeSegment serializes a segment for the replication stream:
+//
+//	[max LSN u64][count u32] record*  then [crc u32] over all of it
+//
+// with each record in the WAL's own framing (EncodeWALRecord), so the
+// per-record checksums travel too.
+func EncodeSegment(seg Segment) []byte {
+	var b []byte
+	b = binary.LittleEndian.AppendUint64(b, seg.MaxLSN)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(seg.Records)))
+	for _, rec := range seg.Records {
+		b = append(b, EncodeWALRecord(rec)...)
+	}
+	return binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, castagnoli))
+}
+
+// DecodeSegment parses EncodeSegment's framing, verifying the outer
+// and every per-record checksum. It never panics on arbitrary input.
+func DecodeSegment(data []byte) (Segment, error) {
+	var seg Segment
+	if len(data) < 16 {
+		return seg, fmt.Errorf("disk: segment truncated (%d bytes)", len(data))
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.Checksum(body, castagnoli), binary.LittleEndian.Uint32(tail); got != want {
+		return seg, fmt.Errorf("disk: segment crc mismatch")
+	}
+	seg.MaxLSN = binary.LittleEndian.Uint64(body[0:8])
+	count := binary.LittleEndian.Uint32(body[8:12])
+	off := 12
+	for i := uint32(0); i < count; i++ {
+		if len(body)-off < recHeaderLen {
+			return Segment{}, fmt.Errorf("disk: segment record %d truncated", i)
+		}
+		rec := body[off:]
+		payloadLen := int(binary.LittleEndian.Uint32(rec[17:21]))
+		if payloadLen > maxWALPayload || len(rec) < recHeaderLen+payloadLen {
+			return Segment{}, fmt.Errorf("disk: segment record %d payload overruns", i)
+		}
+		end := recHeaderLen + payloadLen
+		want := binary.LittleEndian.Uint32(rec[0:4])
+		if got := crc32.Checksum(rec[4:end], castagnoli); got != want {
+			return Segment{}, fmt.Errorf("disk: segment record %d crc mismatch", i)
+		}
+		seg.Records = append(seg.Records, WALRecord{
+			Kind:    RecordKind(rec[4]),
+			Page:    PageID(binary.LittleEndian.Uint32(rec[5:9])),
+			LSN:     binary.LittleEndian.Uint64(rec[9:17]),
+			Payload: append([]byte(nil), rec[recHeaderLen:end]...),
+		})
+		off += end
+	}
+	if off != len(body) {
+		return Segment{}, fmt.Errorf("disk: %d trailing bytes after segment records", len(body)-off)
+	}
+	return seg, nil
+}

@@ -54,6 +54,11 @@ type Config struct {
 	// operation, so a run's latency distribution can be exported
 	// through the same Registry machinery the server uses.
 	Metrics *obs.Registry
+	// Cluster marks the target as a zrouted coordinator: the router
+	// scatter-gathers single requests but does not route
+	// multi-statement transactions, so the tx slice of the mix is
+	// disabled.
+	Cluster bool
 }
 
 func (c *Config) fillDefaults() {
@@ -80,6 +85,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.TxEvery == 0 {
 		c.TxEvery = 20
+	}
+	if c.Cluster {
+		c.TxEvery = -1
 	}
 	if c.BoxSide == 0 {
 		c.BoxSide = 128

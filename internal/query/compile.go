@@ -268,10 +268,22 @@ func (p *Plan) foldScanBox(boxPreds []*BoxPred, cmpPreds []*CmpPred) {
 			lo[d] = max64(lo[d], cp.Value)
 			hi[d] = min64(hi[d], cp.Value)
 		case OpLt:
+			if cp.Value == math.MinInt64 {
+				// x < MinInt64 matches nothing; Value-1 would wrap
+				// to MaxInt64 and silently drop the bound.
+				p.empty = true
+				return
+			}
 			hi[d] = min64(hi[d], cp.Value-1)
 		case OpLe:
 			hi[d] = min64(hi[d], cp.Value)
 		case OpGt:
+			if cp.Value == math.MaxInt64 {
+				// x > MaxInt64 matches nothing; Value+1 would wrap
+				// to MinInt64 and silently drop the bound.
+				p.empty = true
+				return
+			}
 			lo[d] = max64(lo[d], cp.Value+1)
 		case OpGe:
 			lo[d] = max64(lo[d], cp.Value)

@@ -1,0 +1,352 @@
+package repl
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"testing"
+	"time"
+
+	"probe"
+	"probe/internal/disk/faultfs"
+)
+
+// scanIDs collects every point ID in the database, sorted.
+func scanIDs(t *testing.T, db *probe.DB) []uint64 {
+	t.Helper()
+	var ids []uint64
+	if err := db.Scan(func(p probe.Point) bool {
+		ids = append(ids, p.ID)
+		return true
+	}); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func sameIDs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func points(from, n int) []probe.Point {
+	pts := make([]probe.Point, n)
+	for i := range pts {
+		id := from + i
+		pts[i] = probe.Point{ID: uint64(id), Coords: []uint32{uint32(id % 1024), uint32((id * 7) % 1024)}}
+	}
+	return pts
+}
+
+// startPrimary builds a durable primary DB with n points and serves
+// replication on a loopback listener.
+func startPrimary(t *testing.T, cfg PrimaryConfig, n int) (*probe.DB, *Primary, string) {
+	t.Helper()
+	g := probe.MustGrid(2, 10)
+	db, err := probe.Open(g, probe.WithDurability("primary"), probe.WithFS(faultfs.New()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > 0 {
+		if err := db.InsertAll(points(0, n)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := NewPrimary(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go p.Serve(ln)
+	t.Cleanup(func() { p.Close(); db.Close() })
+	return db, p, ln.Addr().String()
+}
+
+// waitSynced polls until the replica serves exactly the primary's
+// point set.
+func waitSynced(t *testing.T, r *Replica, primary *probe.DB) {
+	t.Helper()
+	want := scanIDs(t, primary)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if db := r.DB(); db != nil {
+			if got := scanIDs(t, db); sameIDs(got, want) && r.ReadyErr() == nil {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			var got []uint64
+			if db := r.DB(); db != nil {
+				got = scanIDs(t, db)
+			}
+			t.Fatalf("replica never synced: ready=%v, %d ids vs primary %d",
+				r.ReadyErr(), len(got), len(want))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestReplicaSnapshotAndStream covers the tentpole happy path: a
+// fresh replica bootstraps from a snapshot, then follows live
+// checkpoints, promoting a new database version per segment.
+func TestReplicaSnapshotAndStream(t *testing.T) {
+	db, _, addr := startPrimary(t, PrimaryConfig{Heartbeat: 50 * time.Millisecond}, 500)
+	r, err := NewReplica(ReplicaConfig{
+		Primary: addr, Grid: probe.MustGrid(2, 10),
+		PathA: "ra", PathB: "rb", FS: faultfs.New(),
+		RetryInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go r.Run(ctx)
+	defer r.Close()
+
+	if _, err := r.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	waitSynced(t, r, db)
+	if got := r.cfg.Registry.Gauge("repl.caught_up").Value(); got != 1 {
+		t.Fatalf("repl.caught_up = %d after sync", got)
+	}
+
+	// Live stream: three rounds of writes, each checkpoint ships one
+	// segment and promotes a new replica version.
+	for round := 0; round < 3; round++ {
+		if err := db.InsertAll(points(1000+round*100, 50)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		waitSynced(t, r, db)
+	}
+	if n := r.cfg.Registry.Int("repl.promotions").Value(); n < 3 {
+		t.Fatalf("promotions = %d, want >= 3", n)
+	}
+	if n := r.cfg.Registry.Int("repl.snapshots_received").Value(); n != 1 {
+		t.Fatalf("snapshots_received = %d, want 1", n)
+	}
+}
+
+// TestReplicaIncrementalCatchUp restarts a replica that fell behind by
+// fewer segments than the primary retains: it must catch up from
+// history alone, without a second snapshot.
+func TestReplicaIncrementalCatchUp(t *testing.T) {
+	db, _, addr := startPrimary(t, PrimaryConfig{Heartbeat: 50 * time.Millisecond}, 200)
+	rfs := faultfs.New()
+	g := probe.MustGrid(2, 10)
+	cfg := ReplicaConfig{
+		Primary: addr, Grid: g, PathA: "ra", PathB: "rb", FS: rfs,
+		RetryInterval: 50 * time.Millisecond,
+	}
+	r1, err := NewReplica(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	go r1.Run(ctx1)
+	if _, err := r1.WaitReady(ctx1); err != nil {
+		t.Fatal(err)
+	}
+	waitSynced(t, r1, db)
+	cancel1()
+	r1.Close()
+
+	// The replica is offline; the primary moves on (well within the
+	// retained history).
+	for round := 0; round < 3; round++ {
+		if err := db.InsertAll(points(2000+round*100, 30)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r2, err := NewReplica(cfg) // same files: reopens and resumes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.DB() == nil {
+		t.Fatal("restarted replica did not reopen its page files")
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	go r2.Run(ctx2)
+	defer r2.Close()
+	waitSynced(t, r2, db)
+	if n := r2.cfg.Registry.Int("repl.snapshots_received").Value(); n != 0 {
+		t.Fatalf("catch-up took %d snapshots, want incremental", n)
+	}
+}
+
+// TestReplicaResnapshotsWhenHistoryPruned drops a replica far enough
+// behind that the primary's retained history cannot cover the gap:
+// the reconnect must fall back to a fresh snapshot and still
+// converge.
+func TestReplicaResnapshotsWhenHistoryPruned(t *testing.T) {
+	db, p, addr := startPrimary(t, PrimaryConfig{
+		Heartbeat: 50 * time.Millisecond, HistorySegments: 2,
+	}, 100)
+	rfs := faultfs.New()
+	cfg := ReplicaConfig{
+		Primary: addr, Grid: probe.MustGrid(2, 10), PathA: "ra", PathB: "rb", FS: rfs,
+		RetryInterval: 50 * time.Millisecond,
+	}
+	r1, err := NewReplica(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	go r1.Run(ctx1)
+	if _, err := r1.WaitReady(ctx1); err != nil {
+		t.Fatal(err)
+	}
+	waitSynced(t, r1, db)
+	cancel1()
+	r1.Close()
+
+	// Six checkpoints against a two-segment history: the gap is
+	// unbridgeable incrementally.
+	for round := 0; round < 6; round++ {
+		if err := db.InsertAll(points(3000+round*50, 20)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Metrics().Int("repl.segments_shipped").Value() < 6 {
+		t.Fatal("test setup: segments were not shipped")
+	}
+
+	r2, err := NewReplica(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	go r2.Run(ctx2)
+	defer r2.Close()
+	waitSynced(t, r2, db)
+	if n := r2.cfg.Registry.Int("repl.snapshots_received").Value(); n != 1 {
+		t.Fatalf("pruned-history catch-up took %d snapshots, want exactly 1", n)
+	}
+}
+
+// TestReplicaSurvivesPrimaryRestart kills the primary's listener
+// mid-stream; the replica must keep serving its last version, report
+// itself unready only if it knows it lags, and resync once a primary
+// is back on the same address.
+func TestReplicaSurvivesPrimaryRestart(t *testing.T) {
+	g := probe.MustGrid(2, 10)
+	pfs := faultfs.New()
+	db, err := probe.Open(g, probe.WithDurability("primary"), probe.WithFS(pfs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.InsertAll(points(0, 300)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	p1, err := NewPrimary(db, PrimaryConfig{Heartbeat: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln1.Addr().String()
+	go p1.Serve(ln1)
+
+	r, err := NewReplica(ReplicaConfig{
+		Primary: addr, Grid: g, PathA: "ra", PathB: "rb", FS: faultfs.New(),
+		RetryInterval: 50 * time.Millisecond, StreamTimeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go r.Run(ctx)
+	defer r.Close()
+	waitSynced(t, r, db)
+
+	// Primary dies. The replica keeps its database and keeps serving.
+	p1.Close()
+	time.Sleep(200 * time.Millisecond)
+	if r.DB() == nil {
+		t.Fatal("replica lost its database when the primary died")
+	}
+	if got := scanIDs(t, r.DB()); len(got) != 300 {
+		t.Fatalf("replica serves %d points after primary death", len(got))
+	}
+
+	// Primary returns on the same address with more data.
+	if err := db.InsertAll(points(5000, 40)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewPrimary(db, PrimaryConfig{Heartbeat: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	go p2.Serve(ln2)
+	defer p2.Close()
+	waitSynced(t, r, db)
+}
+
+// TestReplicaConfigValidation pins the config contract.
+func TestReplicaConfigValidation(t *testing.T) {
+	for i, cfg := range []ReplicaConfig{
+		{},
+		{Primary: "x", PathA: "a", PathB: "a"},
+		{Primary: "", PathA: "a", PathB: "b"},
+	} {
+		if _, err := NewReplica(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+// TestPrimaryRequiresDurableDB pins the ErrNotDurable contract.
+func TestPrimaryRequiresDurableDB(t *testing.T) {
+	db, err := probe.Open(probe.MustGrid(2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := NewPrimary(db, PrimaryConfig{}); err == nil {
+		t.Fatal("NewPrimary accepted an in-memory database")
+	} else if got := fmt.Sprint(err); got == "" {
+		t.Fatal("empty error")
+	}
+}

@@ -1,0 +1,57 @@
+package router
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+)
+
+// AdminHandler returns the router's admin HTTP surface:
+//
+//	/metrics  Prometheus text format (probe_router_* namespace):
+//	          per-shard fan-out latency histograms, fan-out call
+//	          counters, shard/replica health gauges, merge overhead,
+//	          front-side request counters
+//	/healthz  liveness (200 while the process runs)
+//	/readyz   readiness: 200 while the grid is learned, the router is
+//	          not draining, and every shard has a live node; 503
+//	          otherwise, with the first failing condition in the body
+//	/debug/pprof, /debug/vars as on probed
+//
+// The handler stays valid during and after Shutdown (readiness is how
+// a load balancer sees the drain), so the admin HTTP server should be
+// closed after Shutdown returns, not before.
+func (r *Router) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", r.serveMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, req *http.Request) {
+		if err := r.Ready(); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	return mux
+}
+
+func (r *Router) serveMetrics(w http.ResponseWriter, req *http.Request) {
+	var buf bytes.Buffer
+	if err := r.metrics.WritePrometheus(&buf, "probe_router"); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	name := "probe_router_go_goroutines"
+	fmt.Fprintf(&buf, "# TYPE %s gauge\n%s %d\n", name, name, runtime.NumGoroutine())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf.Bytes())
+}

@@ -1,0 +1,51 @@
+package router
+
+import (
+	"context"
+
+	"probe"
+	"probe/internal/core"
+	"probe/internal/geom"
+	"probe/internal/planner"
+	"probe/internal/query"
+	"probe/internal/zorder"
+)
+
+// clusterEngine adapts the router's scatter-gather primitives to
+// query.Engine, so parsed statements compile and run router-side
+// exactly as they do on a single node: the plan's operators
+// (projection, predicates, aggregates, DISTINCT, GROUP BY, LIMIT)
+// execute over the merged global streams, which arrive in the same
+// (z, id) order a single node produces. Table() is nil — the planner
+// has no cluster-wide cost model, so plans use the fixed strategies,
+// the same degradation transaction views take.
+type clusterEngine struct {
+	r     *Router
+	stats probe.QueryStats
+}
+
+var _ query.Engine = (*clusterEngine)(nil)
+
+func (e *clusterEngine) Grid() zorder.Grid      { return e.r.Grid() }
+func (e *clusterEngine) Table() *planner.Table  { return nil }
+
+func (e *clusterEngine) RangeFunc(ctx context.Context, box geom.Box, fn func(geom.Point) bool) error {
+	qs, err := e.r.RangeFunc(ctx, box.Lo, box.Hi, 0, func(p probe.Point) bool {
+		return fn(geom.Point{ID: p.ID, Coords: p.Coords})
+	})
+	e.stats = addStats(e.stats, qs)
+	return err
+}
+
+func (e *clusterEngine) Nearest(ctx context.Context, q []uint32, k int) ([]core.Neighbor, error) {
+	nbs, qs, err := e.r.Nearest(ctx, q, k, probe.Euclidean)
+	e.stats = addStats(e.stats, qs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.Neighbor, len(nbs))
+	for i, n := range nbs {
+		out[i] = core.Neighbor{Point: geom.Point{ID: n.Point.ID, Coords: n.Point.Coords}, Dist: n.Dist}
+	}
+	return out, nil
+}

@@ -1,0 +1,160 @@
+package router
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"probe/internal/core"
+)
+
+// TestMapEncodeDecodeRoundTrip pins the stable shard-map encoding:
+// decode∘encode is the identity on bytes, for maps with and without
+// replicas.
+func TestMapEncodeDecodeRoundTrip(t *testing.T) {
+	m, err := BuildEvenMap(4, []string{"a:1", "b:1", "c:1"},
+		[][]string{{"a:2"}, nil, {"c:2", "c:3"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc1, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := DecodeMap(enc1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := m2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc1, enc2) {
+		t.Fatalf("encoding not byte-stable:\n%s\nvs\n%s", enc1, enc2)
+	}
+	if m2.PrefixBits != m.PrefixBits || len(m2.Shards) != len(m.Shards) {
+		t.Fatal("decoded map differs structurally")
+	}
+	for i := range m.Shards {
+		if m2.Shards[i].Slots != m.Shards[i].Slots || m2.Shards[i].Primary != m.Shards[i].Primary {
+			t.Fatalf("shard %d differs after round trip", i)
+		}
+	}
+}
+
+// TestDecodeMapRejects pins Validate's rejections: gaps, overlaps,
+// missing primaries, bad versions, unknown fields.
+func TestDecodeMapRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"unknown field", `{"version":1,"prefix_bits":2,"bogus":1,"shards":[{"slots":[0,3],"primary":"a"}]}`},
+		{"bad version", `{"version":9,"prefix_bits":2,"shards":[{"slots":[0,3],"primary":"a"}]}`},
+		{"gap", `{"version":1,"prefix_bits":2,"shards":[{"slots":[0,1],"primary":"a"},{"slots":[3,3],"primary":"b"}]}`},
+		{"overlap", `{"version":1,"prefix_bits":2,"shards":[{"slots":[0,2],"primary":"a"},{"slots":[2,3],"primary":"b"}]}`},
+		{"short coverage", `{"version":1,"prefix_bits":2,"shards":[{"slots":[0,2],"primary":"a"}]}`},
+		{"no primary", `{"version":1,"prefix_bits":2,"shards":[{"slots":[0,3],"primary":""}]}`},
+		{"no shards", `{"version":1,"prefix_bits":2,"shards":[]}`},
+		{"prefix too long", `{"version":1,"prefix_bits":63,"shards":[{"slots":[0,0],"primary":"a"}]}`},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeMap([]byte(tc.json)); err == nil {
+			t.Errorf("%s: DecodeMap accepted invalid map", tc.name)
+		}
+	}
+}
+
+// TestBuildEvenMapCoverage checks even maps for many (bits, shards)
+// combinations: slots tile exactly and sizes differ by at most one.
+func TestBuildEvenMapCoverage(t *testing.T) {
+	for bits := 1; bits <= core.MaxPrefixBits; bits += 3 {
+		slots := core.PrefixSlots(bits)
+		for n := 1; uint64(n) <= slots && n <= 9; n++ {
+			addrs := make([]string, n)
+			for i := range addrs {
+				addrs[i] = "h:" + string(rune('a'+i))
+			}
+			m, err := BuildEvenMap(bits, addrs, nil)
+			if err != nil {
+				t.Fatalf("bits=%d n=%d: %v", bits, n, err)
+			}
+			var minSz, maxSz uint64
+			for i, s := range m.Shards {
+				sz := s.Slots[1] - s.Slots[0] + 1
+				if i == 0 {
+					minSz, maxSz = sz, sz
+				} else {
+					minSz, maxSz = min(minSz, sz), max(maxSz, sz)
+				}
+			}
+			if maxSz-minSz > 1 {
+				t.Fatalf("bits=%d n=%d: shard sizes differ by %d slots", bits, n, maxSz-minSz)
+			}
+		}
+	}
+}
+
+// TestOwnerOfMatchesPrefixArithmetic cross-checks the map's routing
+// against core's prefix arithmetic: for random z-keys, the owning
+// shard's ZRange contains the key, and Intersecting agrees with a
+// brute-force overlap scan.
+func TestOwnerOfMatchesPrefixArithmetic(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	m, err := BuildEvenMap(6, []string{"a", "b", "c", "d", "e"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := make([]core.ZRange, len(m.Shards))
+	for i := range m.Shards {
+		ranges[i], err = m.Range(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ranges[0].Lo != 0 || ranges[len(ranges)-1].Hi != ^uint64(0) {
+		t.Fatalf("shard ranges do not span the key space: first %+v last %+v", ranges[0], ranges[len(ranges)-1])
+	}
+	for trial := 0; trial < 2000; trial++ {
+		z := rng.Uint64()
+		own := m.OwnerOf(z)
+		if !ranges[own].Contains(z) {
+			t.Fatalf("OwnerOf(%#x) = shard %d whose range %+v excludes it", z, own, ranges[own])
+		}
+		if slot := core.SlotOfKey(z, m.PrefixBits); slot < m.Shards[own].Slots[0] || slot > m.Shards[own].Slots[1] {
+			t.Fatalf("slot %d of key %#x outside shard %d's slots %v", slot, z, own, m.Shards[own].Slots)
+		}
+
+		lo, hi := rng.Uint64(), rng.Uint64()
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		got := m.Intersecting(lo, hi)
+		var want []int
+		for i, r := range ranges {
+			if r.Overlaps(lo, hi) {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("Intersecting(%#x,%#x) = %v, brute force %v", lo, hi, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Intersecting(%#x,%#x) = %v, brute force %v", lo, hi, got, want)
+			}
+		}
+	}
+}
+
+// TestDefaultPrefixBits pins the sizing rule: enough slots for at
+// least 4 per shard, capped at the partition bound.
+func TestDefaultPrefixBits(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{1, 2}, {2, 3}, {3, 4}, {4, 4}, {8, 5}, {100, 9}, {1000, core.MaxPrefixBits},
+	} {
+		if got := DefaultPrefixBits(tc.n); got != tc.want {
+			t.Errorf("DefaultPrefixBits(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}

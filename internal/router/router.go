@@ -1,0 +1,721 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"probe"
+	"probe/client"
+	"probe/internal/obs"
+	"probe/internal/zorder"
+)
+
+// Config tunes one Router. Zero values select the defaults in
+// brackets.
+type Config struct {
+	// Map is the z-range shard map (required, validated).
+	Map *Map
+	// MaxInflight caps concurrently executing front-side requests [64].
+	MaxInflight int
+	// BatchSize is points/pairs/rows per streamed response frame [512].
+	BatchSize int
+	// DialTimeout bounds one backend dial [2s].
+	DialTimeout time.Duration
+	// BackendTimeout bounds one backend call: a shard that neither
+	// answers nor fails within it counts as unavailable, so a hung node
+	// cannot wedge the router [30s].
+	BackendTimeout time.Duration
+	// CancelGrace is how long after a backend-call cancellation the
+	// router waits for the client's graceful CANCEL round trip before
+	// severing the connection [500ms].
+	CancelGrace time.Duration
+	// ProbeInterval is the health re-probe cadence for down primaries
+	// and replica catch-up state [1s].
+	ProbeInterval time.Duration
+	// DrainTimeout bounds graceful shutdown [5s].
+	DrainTimeout time.Duration
+	// WriteTimeout bounds one front-side response frame write [10s].
+	WriteTimeout time.Duration
+	// Logger, when non-nil, receives structured request/health logs.
+	Logger *slog.Logger
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 64
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 512
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.BackendTimeout <= 0 {
+		c.BackendTimeout = 30 * time.Second
+	}
+	if c.CancelGrace <= 0 {
+		c.CancelGrace = 500 * time.Millisecond
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+}
+
+// Router is the scatter-gather coordinator: the wire protocol in
+// front, per-shard connection pools behind, the shard map in between.
+type Router struct {
+	cfg      Config
+	m        *Map
+	backends []*backend
+	metrics  *obs.Registry
+
+	// grid is learned from the first reachable shard's handshake and
+	// immutable afterwards (gridMu guards the learning window).
+	gridMu sync.Mutex
+	grid   zorder.Grid
+	bits   []int
+
+	baseCtx    context.Context
+	cancelBase context.CancelCauseFunc
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	draining  bool
+	wg        sync.WaitGroup // sessions
+	probeWG   sync.WaitGroup
+	probeStop chan struct{}
+	sem       chan struct{} // front-side admission
+}
+
+// New builds a Router over a validated shard map. Call Start to learn
+// the cluster grid and begin health probing, then Serve.
+func New(cfg Config) (*Router, error) {
+	if cfg.Map == nil {
+		return nil, errors.New("router: no shard map")
+	}
+	if err := cfg.Map.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.fillDefaults()
+	baseCtx, cancel := context.WithCancelCause(context.Background())
+	r := &Router{
+		cfg:        cfg,
+		m:          cfg.Map,
+		metrics:    obs.NewRegistry(),
+		baseCtx:    baseCtx,
+		cancelBase: cancel,
+		listeners:  make(map[net.Listener]struct{}),
+		conns:      make(map[net.Conn]struct{}),
+		probeStop:  make(chan struct{}),
+		sem:        make(chan struct{}, cfg.MaxInflight),
+	}
+	for i, def := range cfg.Map.Shards {
+		r.backends = append(r.backends, newBackend(r, i, def))
+	}
+	return r, nil
+}
+
+// Metrics exposes the router's registry (fan-out latency histograms,
+// shard/replica health gauges, request counters) for /metrics.
+func (r *Router) Metrics() *obs.Registry { return r.metrics }
+
+// Map returns the routing table the router was built over.
+func (r *Router) Map() *Map { return r.m }
+
+// gridBits returns the cluster grid's bits per dimension, nil until
+// learned.
+func (r *Router) gridBits() []int {
+	r.gridMu.Lock()
+	defer r.gridMu.Unlock()
+	return r.bits
+}
+
+// Grid returns the cluster grid (zero Grid until Start succeeds).
+func (r *Router) Grid() zorder.Grid {
+	r.gridMu.Lock()
+	defer r.gridMu.Unlock()
+	return r.grid
+}
+
+// Start learns the cluster grid from the first reachable shard,
+// verifies every reachable node agrees, and begins background health
+// probing. It retries until ctx expires; a cluster with no reachable
+// shard cannot route anything, so refusing to start is the safe
+// answer.
+func (r *Router) Start(ctx context.Context) error {
+	var lastErr error
+	for {
+		for _, b := range r.backends {
+			for _, ep := range b.endpoints() {
+				c, _, err := ep.get(ctx)
+				if err != nil {
+					lastErr = fmt.Errorf("shard %d node %s: %w", b.id, ep.addr, err)
+					continue
+				}
+				bits := c.GridBits()
+				g, err := zorder.NewGridAsym(bits)
+				if err != nil {
+					c.Close()
+					return fmt.Errorf("router: shard %d grid: %w", b.id, err)
+				}
+				r.gridMu.Lock()
+				r.grid, r.bits = g, bits
+				r.gridMu.Unlock()
+				ep.markUp()
+				ep.put(c)
+				r.startProber()
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("router: no shard reachable: %w (last: %v)", ctx.Err(), lastErr)
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+}
+
+// startProber launches the background health loop: down endpoints are
+// re-dialed, replica catch-up state refreshed.
+func (r *Router) startProber() {
+	r.probeWG.Add(1)
+	go func() {
+		defer r.probeWG.Done()
+		t := time.NewTicker(r.cfg.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.probeStop:
+				return
+			case <-t.C:
+				r.ProbeNow()
+			}
+		}
+	}()
+}
+
+// ProbeNow runs one synchronous health sweep over every endpoint:
+// down nodes are re-dialed, replica catch-up refreshed. The prober
+// calls it on a ticker; tests call it directly to converge health
+// state without waiting.
+func (r *Router) ProbeNow() {
+	ctx, cancel := context.WithTimeout(r.baseCtx, r.cfg.DialTimeout+r.cfg.ProbeInterval)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, b := range r.backends {
+		for _, ep := range b.endpoints() {
+			if !ep.isDown() && !ep.replica {
+				ep.setHealth(true)
+				continue
+			}
+			wg.Add(1)
+			go func(ep *endpoint) {
+				defer wg.Done()
+				ep.probe(ctx)
+			}(ep)
+		}
+	}
+	wg.Wait()
+}
+
+// Ready reports whether the router can serve: the grid is learned and
+// every shard has at least one endpoint not known-down.
+func (r *Router) Ready() error {
+	if r.gridBits() == nil {
+		return errors.New("router: cluster grid not learned")
+	}
+	if r.isDraining() {
+		return errors.New("router: draining")
+	}
+	for _, b := range r.backends {
+		ok := !b.primary.isDown()
+		for _, rep := range b.replicas {
+			ok = ok || rep.isReady()
+		}
+		if !ok {
+			return fmt.Errorf("router: shard %d has no live node", b.id)
+		}
+	}
+	return nil
+}
+
+func (r *Router) isDraining() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.draining
+}
+
+// ---- Scatter-gather data operations ----
+
+// shardsFor returns the backends whose z-intervals the box
+// [lo, hi] intersects.
+func (r *Router) shardsFor(lo, hi []uint32) ([]*backend, error) {
+	g := r.Grid()
+	if len(lo) != g.Dims() || len(hi) != g.Dims() {
+		return nil, fmt.Errorf("router: box dims %d/%d, grid has %d", len(lo), len(hi), g.Dims())
+	}
+	if !g.Valid(lo) || !g.Valid(hi) {
+		return nil, fmt.Errorf("router: box corner outside grid")
+	}
+	zlo, zhi := g.ShuffleKey(lo), g.ShuffleKey(hi)
+	idxs := r.m.Intersecting(zlo, zhi)
+	out := make([]*backend, len(idxs))
+	for i, s := range idxs {
+		out[i] = r.backends[s]
+	}
+	return out, nil
+}
+
+// RangeFunc streams every point in the box to fn in global (z, id)
+// order, exactly as a single node would; fn returning false stops the
+// scatter early without error. Shard streams are merged by z-key; a
+// shard that cannot answer fails the whole request with a typed
+// *ShardError — never a silently partial stream.
+func (r *Router) RangeFunc(ctx context.Context, lo, hi []uint32, strategy uint8, fn func(probe.Point) bool) (probe.QueryStats, error) {
+	shards, err := r.shardsFor(lo, hi)
+	if err != nil {
+		return probe.QueryStats{}, err
+	}
+	r.observeFanout("range", len(shards))
+	if len(shards) == 1 {
+		var qs probe.QueryStats
+		err := shards[0].read(ctx, func(bctx context.Context, c *client.Conn) error {
+			s, err := c.RangeFunc(bctx, lo, hi, strategy, fn)
+			qs = s
+			return err
+		})
+		return qs, err
+	}
+
+	g := r.Grid()
+	sctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(context.Canceled)
+
+	type shardStream struct {
+		ch  chan []ZPoint
+		err error
+	}
+	streams := make([]*shardStream, len(shards))
+	var qsMu sync.Mutex
+	var total probe.QueryStats
+	var wg sync.WaitGroup
+	for i, b := range shards {
+		st := &shardStream{ch: make(chan []ZPoint, 4)}
+		streams[i] = st
+		wg.Add(1)
+		go func(b *backend, st *shardStream) {
+			defer wg.Done()
+			err := b.read(sctx, func(bctx context.Context, c *client.Conn) error {
+				buf := make([]ZPoint, 0, r.cfg.BatchSize)
+				flush := func() bool {
+					if len(buf) == 0 {
+						return true
+					}
+					select {
+					case st.ch <- buf:
+						buf = make([]ZPoint, 0, r.cfg.BatchSize)
+						return true
+					case <-sctx.Done():
+						return false
+					}
+				}
+				qs, err := c.RangeFunc(bctx, lo, hi, strategy, func(p probe.Point) bool {
+					buf = append(buf, ZPoint{Z: g.ShuffleKey(p.Coords), P: p})
+					if len(buf) >= r.cfg.BatchSize {
+						return flush()
+					}
+					return true
+				})
+				if err == nil && !flush() {
+					err = sctx.Err()
+				}
+				qsMu.Lock()
+				total = addStats(total, qs)
+				qsMu.Unlock()
+				return err
+			})
+			st.err = err
+			close(st.ch)
+		}(b, st)
+	}
+
+	cursors := make([]zCursor, len(streams))
+	for i, st := range streams {
+		st := st
+		var cur []ZPoint
+		pos := 0
+		cursors[i] = func() (ZPoint, bool, error) {
+			for pos >= len(cur) {
+				var ok bool
+				cur, ok = <-st.ch
+				pos = 0
+				if !ok {
+					// Channel closed: st.err is settled (written before
+					// close) and safe to read.
+					return ZPoint{}, false, st.err
+				}
+			}
+			p := cur[pos]
+			pos++
+			return p, true, nil
+		}
+	}
+
+	t0 := time.Now()
+	stopped, err := mergeZ(cursors, func(zp ZPoint) bool { return fn(zp.P) })
+	r.metrics.Histogram("router.merge.ns").Observe(int64(time.Since(t0)))
+	if stopped {
+		cancel(errScatterStop)
+	} else if err != nil {
+		cancel(err)
+	}
+	// Unblock any worker still sending, then wait them out so their
+	// conns are back in the pools before we return.
+	wg.Wait()
+	if err != nil {
+		return total, err
+	}
+	if !stopped {
+		// The merge drained every stream; surface any error the merge
+		// didn't see (a shard that failed after its last batch).
+		for _, st := range streams {
+			if st.err != nil {
+				return total, st.err
+			}
+		}
+	}
+	return total, nil
+}
+
+// Range materializes RangeFunc.
+func (r *Router) Range(ctx context.Context, lo, hi []uint32) ([]probe.Point, probe.QueryStats, error) {
+	var pts []probe.Point
+	qs, err := r.RangeFunc(ctx, lo, hi, 0, func(p probe.Point) bool {
+		pts = append(pts, p)
+		return true
+	})
+	if err != nil {
+		return nil, qs, err
+	}
+	qs.Results = len(pts)
+	return pts, qs, nil
+}
+
+// Nearest fans the m-nearest query to every shard (the true neighbors
+// can live anywhere) and folds the per-shard lists into the global
+// top m, ordered by (distance, id) like a single node.
+func (r *Router) Nearest(ctx context.Context, q []uint32, m int, metric probe.Metric) ([]probe.Neighbor, probe.QueryStats, error) {
+	g := r.Grid()
+	if len(q) != g.Dims() || !g.Valid(q) {
+		return nil, probe.QueryStats{}, fmt.Errorf("router: query point invalid for grid")
+	}
+	if m <= 0 {
+		return nil, probe.QueryStats{}, fmt.Errorf("router: m must be positive")
+	}
+	r.observeFanout("nearest", len(r.backends))
+	lists := make([][]probe.Neighbor, len(r.backends))
+	statsList := make([]probe.QueryStats, len(r.backends))
+	errs := make([]error, len(r.backends))
+	var wg sync.WaitGroup
+	for i, b := range r.backends {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			errs[i] = b.read(ctx, func(bctx context.Context, c *client.Conn) error {
+				nbs, qs, err := c.Nearest(bctx, q, m, metric)
+				if err != nil {
+					return err
+				}
+				lists[i], statsList[i] = nbs, qs
+				return nil
+			})
+		}(i, b)
+	}
+	wg.Wait()
+	var total probe.QueryStats
+	for i := range r.backends {
+		if errs[i] != nil {
+			return nil, total, errs[i]
+		}
+		total = addStats(total, statsList[i])
+	}
+	out := mergeNeighbors(lists, m)
+	total.Results = len(out)
+	return out, total, nil
+}
+
+// Join ships each item to every shard whose z-interval its box
+// intersects and unions the per-shard joins. A joining pair shares at
+// least one grid pixel; that pixel lives in exactly one shard, which
+// both items were shipped to — so the union over shards is exactly
+// the single-node join, and DedupPairs-order (sorted (A,B), distinct)
+// is restored after the union.
+func (r *Router) Join(ctx context.Context, a, b []client.BoxItem, workers int) ([]probe.Pair, probe.QueryStats, error) {
+	aParts, err := r.scatterItems(a)
+	if err != nil {
+		return nil, probe.QueryStats{}, fmt.Errorf("router: left relation: %w", err)
+	}
+	bParts, err := r.scatterItems(b)
+	if err != nil {
+		return nil, probe.QueryStats{}, fmt.Errorf("router: right relation: %w", err)
+	}
+	type result struct {
+		pairs []probe.Pair
+		qs    probe.QueryStats
+		err   error
+	}
+	results := make([]result, len(r.backends))
+	var wg sync.WaitGroup
+	fanout := 0
+	for i, bk := range r.backends {
+		if len(aParts[i]) == 0 || len(bParts[i]) == 0 {
+			continue
+		}
+		fanout++
+		wg.Add(1)
+		go func(i int, bk *backend) {
+			defer wg.Done()
+			results[i].err = bk.read(ctx, func(bctx context.Context, c *client.Conn) error {
+				pairs, qs, err := c.Join(bctx, aParts[i], bParts[i], workers)
+				if err != nil {
+					return err
+				}
+				results[i].pairs, results[i].qs = pairs, qs
+				return nil
+			})
+		}(i, bk)
+	}
+	wg.Wait()
+	r.observeFanout("join", fanout)
+	var total probe.QueryStats
+	seen := make(map[probe.Pair]struct{})
+	var pairs []probe.Pair
+	for i := range results {
+		if results[i].err != nil {
+			return nil, total, results[i].err
+		}
+		total = addStats(total, results[i].qs)
+		for _, p := range results[i].pairs {
+			if _, dup := seen[p]; !dup {
+				seen[p] = struct{}{}
+				pairs = append(pairs, p)
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	total.Results = len(pairs)
+	total.DistinctPairs = len(pairs)
+	return pairs, total, nil
+}
+
+// scatterItems clips a join relation to the shards: item i goes to
+// every shard whose z-interval intersects its box's z-span.
+func (r *Router) scatterItems(items []client.BoxItem) ([][]client.BoxItem, error) {
+	g := r.Grid()
+	out := make([][]client.BoxItem, len(r.backends))
+	for _, it := range items {
+		if len(it.Lo) != g.Dims() || len(it.Hi) != g.Dims() || !g.Valid(it.Lo) || !g.Valid(it.Hi) {
+			return nil, fmt.Errorf("router: item %d box invalid for grid", it.ID)
+		}
+		for _, s := range r.m.Intersecting(g.ShuffleKey(it.Lo), g.ShuffleKey(it.Hi)) {
+			out[s] = append(out[s], it)
+		}
+	}
+	return out, nil
+}
+
+// Insert routes each point to the shard owning its z-key and applies
+// the per-shard batches in parallel. Any shard failure fails the
+// call; shards that already applied stay applied (inserts are
+// idempotent re-sends), and the partial outcome is counted in
+// router.partial_writes.
+func (r *Router) Insert(ctx context.Context, pts []probe.Point) (probe.QueryStats, error) {
+	return r.applyWrite(ctx, pts, func(c *client.Conn, bctx context.Context, batch []probe.Point) (probe.QueryStats, error) {
+		return c.Insert(bctx, batch)
+	})
+}
+
+// Delete routes each point to its owning shard and applies the
+// per-shard deletions in parallel; absent points are skipped by the
+// shards as usual.
+func (r *Router) Delete(ctx context.Context, pts []probe.Point) (probe.QueryStats, error) {
+	return r.applyWrite(ctx, pts, func(c *client.Conn, bctx context.Context, batch []probe.Point) (probe.QueryStats, error) {
+		return c.Delete(bctx, batch)
+	})
+}
+
+func (r *Router) applyWrite(ctx context.Context, pts []probe.Point,
+	op func(*client.Conn, context.Context, []probe.Point) (probe.QueryStats, error)) (probe.QueryStats, error) {
+
+	g := r.Grid()
+	byShard := make([][]probe.Point, len(r.backends))
+	for _, p := range pts {
+		if len(p.Coords) != g.Dims() || !g.Valid(p.Coords) {
+			return probe.QueryStats{}, fmt.Errorf("router: point %d invalid for grid", p.ID)
+		}
+		s := r.m.OwnerOf(g.ShuffleKey(p.Coords))
+		byShard[s] = append(byShard[s], p)
+	}
+	statsList := make([]probe.QueryStats, len(r.backends))
+	errs := make([]error, len(r.backends))
+	var wg sync.WaitGroup
+	fanout := 0
+	for i, batch := range byShard {
+		if len(batch) == 0 {
+			continue
+		}
+		fanout++
+		wg.Add(1)
+		go func(i int, batch []probe.Point) {
+			defer wg.Done()
+			errs[i] = r.backends[i].write(ctx, func(bctx context.Context, c *client.Conn) error {
+				qs, err := op(c, bctx, batch)
+				if err != nil {
+					return err
+				}
+				statsList[i] = qs
+				return nil
+			})
+		}(i, batch)
+	}
+	wg.Wait()
+	r.observeFanout("write", fanout)
+	var total probe.QueryStats
+	var firstErr error
+	okShards := 0
+	for i := range r.backends {
+		if errs[i] != nil {
+			if firstErr == nil {
+				firstErr = errs[i]
+			}
+			continue
+		}
+		if len(byShard[i]) > 0 {
+			okShards++
+		}
+		total = addStats(total, statsList[i])
+		total.Results += statsList[i].Results
+	}
+	if firstErr != nil {
+		if okShards > 0 {
+			r.metrics.Int("router.partial_writes").Add(1)
+		}
+		return total, firstErr
+	}
+	return total, nil
+}
+
+// Checkpoint forces a durability checkpoint on every shard primary.
+func (r *Router) Checkpoint(ctx context.Context) (probe.QueryStats, error) {
+	var total probe.QueryStats
+	statsList := make([]probe.QueryStats, len(r.backends))
+	errs := make([]error, len(r.backends))
+	var wg sync.WaitGroup
+	for i, b := range r.backends {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			errs[i] = b.write(ctx, func(bctx context.Context, c *client.Conn) error {
+				qs, err := c.Checkpoint(bctx)
+				if err != nil {
+					return err
+				}
+				statsList[i] = qs
+				return nil
+			})
+		}(i, b)
+	}
+	wg.Wait()
+	for i := range r.backends {
+		if errs[i] != nil {
+			return total, errs[i]
+		}
+		total = addStats(total, statsList[i])
+	}
+	return total, nil
+}
+
+// Explain gathers each intersecting shard's plan for the box and
+// composes them under a routing header.
+func (r *Router) Explain(ctx context.Context, lo, hi []uint32) (string, error) {
+	shards, err := r.shardsFor(lo, hi)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster scatter: %d/%d shards intersect\n", len(shards), len(r.backends))
+	for _, bk := range shards {
+		var text string
+		err := bk.read(ctx, func(bctx context.Context, c *client.Conn) error {
+			t, err := c.Explain(bctx, lo, hi)
+			text = t
+			return err
+		})
+		if err != nil {
+			return "", err
+		}
+		rg, _ := r.m.Range(bk.id)
+		fmt.Fprintf(&b, "shard %d [z %#016x..%#016x] %s:\n", bk.id, rg.Lo, rg.Hi, r.m.Shards[bk.id].Primary)
+		for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+			b.WriteString("  " + line + "\n")
+		}
+	}
+	return b.String(), nil
+}
+
+// StatsMap snapshots the router's counters, gauges and flattened
+// histograms with a "router." namespace, the shape STATS serves.
+func (r *Router) StatsMap() map[string]int64 {
+	out := make(map[string]int64)
+	r.metrics.DoNumeric(func(name string, v int64) {
+		out[name] = v
+	})
+	return out
+}
+
+// observeFanout records one scatter's breadth.
+func (r *Router) observeFanout(op string, shards int) {
+	r.metrics.Int("router.requests." + op).Add(1)
+	r.metrics.Histogram("router.fanout.shards").Observe(int64(shards))
+}
+
+// addStats sums the per-shard execution stats (Results excluded: the
+// merge decides what the client actually received).
+func addStats(a, b probe.QueryStats) probe.QueryStats {
+	a.DataPages += b.DataPages
+	a.Seeks += b.Seeks
+	a.Elements += b.Elements
+	a.LeftItems += b.LeftItems
+	a.RightItems += b.RightItems
+	a.RawPairs += b.RawPairs
+	a.DistinctPairs += b.DistinctPairs
+	a.Shards += b.Shards
+	a.ReplicatedItems += b.ReplicatedItems
+	a.PoolGets += b.PoolGets
+	a.PoolHits += b.PoolHits
+	a.PoolMisses += b.PoolMisses
+	a.PhysReads += b.PhysReads
+	a.PhysWrites += b.PhysWrites
+	a.WALAppends += b.WALAppends
+	a.WALSyncs += b.WALSyncs
+	return a
+}

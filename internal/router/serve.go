@@ -1,0 +1,135 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Serve accepts front-side connections on ln until Shutdown closes it
+// (or ln fails). It blocks; run it in a goroutine.
+func (r *Router) Serve(ln net.Listener) error {
+	r.mu.Lock()
+	if r.draining {
+		r.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("router: Serve after Shutdown")
+	}
+	r.listeners[ln] = struct{}{}
+	r.mu.Unlock()
+
+	defer func() {
+		r.mu.Lock()
+		delete(r.listeners, ln)
+		r.mu.Unlock()
+	}()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if r.isDraining() {
+				return nil
+			}
+			return err
+		}
+		r.mu.Lock()
+		if r.draining {
+			r.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		r.conns[conn] = struct{}{}
+		r.wg.Add(1)
+		r.mu.Unlock()
+		r.metrics.Int("router.sessions").Add(1)
+		r.metrics.Gauge("router.open_sessions").Inc()
+		go func() {
+			defer r.wg.Done()
+			defer func() {
+				r.mu.Lock()
+				delete(r.conns, conn)
+				r.mu.Unlock()
+				conn.Close()
+				r.metrics.Gauge("router.open_sessions").Dec()
+			}()
+			newSession(r, conn).run()
+		}()
+	}
+}
+
+// beginRequest claims a front-side admission slot; false means the
+// router is at MaxInflight and the request must be rejected as
+// overloaded.
+func (r *Router) beginRequest() bool {
+	select {
+	case r.sem <- struct{}{}:
+	default:
+		r.metrics.Int("router.rejected").Add(1)
+		return false
+	}
+	r.metrics.Gauge("router.inflight").Inc()
+	return true
+}
+
+func (r *Router) endRequest() {
+	<-r.sem
+	r.metrics.Gauge("router.inflight").Dec()
+}
+
+// Shutdown drains the router: stop accepting connections and requests,
+// give in-flight scatters up to DrainTimeout (bounded further by ctx)
+// to finish, cancel the stragglers, close every connection and every
+// backend pool, and stop the prober. Safe to call once; subsequent
+// calls return nil immediately.
+func (r *Router) Shutdown(ctx context.Context) error {
+	r.mu.Lock()
+	if r.draining {
+		r.mu.Unlock()
+		return nil
+	}
+	r.draining = true
+	for ln := range r.listeners {
+		ln.Close()
+	}
+	r.mu.Unlock()
+
+	// Grace window: in-flight scatters complete and release their
+	// admission slots; poll rather than plumb an idle channel — drains
+	// are rare and the granularity is fine.
+	deadline := time.NewTimer(r.cfg.DrainTimeout)
+	defer deadline.Stop()
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+wait:
+	for len(r.sem) > 0 {
+		select {
+		case <-tick.C:
+		case <-deadline.C:
+			break wait
+		case <-ctx.Done():
+			break wait
+		}
+	}
+
+	// Cancel whatever is still running, then close every front-side
+	// connection: idle sessions are blocked in ReadFrame and exit on the
+	// close; busy ones finish their (now cancelled) request first.
+	r.cancelBase(errDraining)
+	r.mu.Lock()
+	for conn := range r.conns {
+		conn.Close()
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+
+	close(r.probeStop)
+	r.probeWG.Wait()
+
+	for _, b := range r.backends {
+		for _, ep := range b.endpoints() {
+			ep.closePool()
+		}
+	}
+	return nil
+}

@@ -52,6 +52,10 @@ func (s *Server) serveReady(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
+	if err := s.readyErr(); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
 	fmt.Fprintln(w, "ready")
 }
 
@@ -65,16 +69,16 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	if err := s.db.Metrics().WritePrometheus(&buf, "probe_db"); err != nil {
+	if err := s.database().Metrics().WritePrometheus(&buf, "probe_db"); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	if err := s.db.TxMetrics().WritePrometheus(&buf, "probe_tx"); err != nil {
+	if err := s.database().TxMetrics().WritePrometheus(&buf, "probe_tx"); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	pi := s.db.PoolInfo()
-	mv := s.db.MVCCStats()
+	pi := s.database().PoolInfo()
+	mv := s.database().MVCCStats()
 	for _, g := range []struct {
 		name string
 		v    int
@@ -102,5 +106,5 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) serveVars(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	fmt.Fprintf(w, "{\"server\": %s, \"db\": %s, \"tx\": %s}\n",
-		s.metrics.String(), s.db.Metrics().String(), s.db.TxMetrics().String())
+		s.metrics.String(), s.database().Metrics().String(), s.database().TxMetrics().String())
 }

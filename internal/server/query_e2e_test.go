@@ -7,108 +7,22 @@ import (
 	"math/rand"
 	"net"
 	"os"
-	"sort"
 	"strings"
 	"testing"
 
 	"probe"
 	"probe/client"
+	"probe/internal/battery"
 	"probe/internal/wire"
 )
 
-// genQuery builds one random but always-valid statement from rng.
-// ordered reports whether the query carries a total ORDER BY (unique
-// key), in which case the differential compare is order-sensitive.
-// Shapes that materialize through map iteration (GROUP BY) only get
-// LIMIT together with a total order, so both executions select the
-// same rows.
-func genQuery(rng *rand.Rand) (sql string, ordered bool) {
-	box := func() string {
-		xlo := rng.Intn(1024)
-		ylo := rng.Intn(1024)
-		return fmt.Sprintf("BOX(%d, %d, %d, %d)",
-			xlo, xlo+rng.Intn(1024-xlo), ylo, ylo+rng.Intn(1024-ylo))
-	}
-	pred := []string{"CONTAINS", "INTERSECTS"}[rng.Intn(2)]
-	var b strings.Builder
-	switch rng.Intn(7) {
-	case 0: // star scan
-		fmt.Fprintf(&b, "SELECT * FROM points WHERE %s(%s)", pred, box())
-		if rng.Intn(2) == 0 {
-			fmt.Fprintf(&b, " AND x >= %d", rng.Intn(1024))
-		}
-		if rng.Intn(2) == 0 {
-			b.WriteString(" ORDER BY id")
-			ordered = true
-		}
-		if rng.Intn(2) == 0 {
-			fmt.Fprintf(&b, " LIMIT %d", 1+rng.Intn(50))
-		}
-	case 1: // projection with residual comparisons
-		fmt.Fprintf(&b, "SELECT id, x, y FROM points WHERE %s(%s) AND y < %d AND id != %d",
-			pred, box(), 1+rng.Intn(1024), 1+rng.Intn(4000))
-		if rng.Intn(2) == 0 {
-			fmt.Fprintf(&b, " ORDER BY %s DESC, id", []string{"x", "y"}[rng.Intn(2)])
-			ordered = true
-		}
-	case 2: // DISTINCT on one coordinate
-		col := []string{"x", "y"}[rng.Intn(2)]
-		fmt.Fprintf(&b, "SELECT DISTINCT %s FROM points WHERE %s(%s)", col, pred, box())
-		if rng.Intn(2) == 0 {
-			b.WriteString(" ORDER BY " + col)
-			ordered = true
-		}
-	case 3: // global aggregates
-		fmt.Fprintf(&b, "SELECT COUNT(*) AS n, MIN(x) AS mnx, MAX(y) AS mxy, SUM(x) AS sx FROM points WHERE %s(%s)", pred, box())
-	case 4: // grouped, totally ordered by the group key
-		col := []string{"x", "y"}[rng.Intn(2)]
-		fmt.Fprintf(&b, "SELECT %s, COUNT(*) AS n FROM points WHERE %s(%s) GROUP BY %s ORDER BY %s",
-			col, pred, box(), col, col)
-		ordered = true
-		if rng.Intn(2) == 0 {
-			fmt.Fprintf(&b, " LIMIT %d", 1+rng.Intn(20))
-		}
-	case 5: // nearest
-		fmt.Fprintf(&b, "SELECT id, x, y, dist FROM points WHERE NEAREST(POINT(%d, %d), %d)",
-			rng.Intn(1024), rng.Intn(1024), 1+rng.Intn(20))
-	case 6: // region join
-		n := 1 + rng.Intn(4)
-		fmt.Fprintf(&b, "SELECT region, id FROM points JOIN REGIONS(")
-		for i := 0; i < n; i++ {
-			if i > 0 {
-				b.WriteString(", ")
-			}
-			fmt.Fprintf(&b, "%d %s", i+1, box())
-		}
-		b.WriteString(") ON INTERSECTS")
-		if rng.Intn(2) == 0 {
-			b.WriteString(" ORDER BY region, id")
-			ordered = true
-		}
-	}
-	return b.String(), ordered
-}
-
-// renderRows canonicalizes a result set for comparison, one string
-// per row with value types spelled out.
-func renderRows(rows []probe.QueryRow) []string {
-	out := make([]string, len(rows))
-	for i, row := range rows {
-		parts := make([]string, len(row))
-		for j, v := range row {
-			parts[j] = fmt.Sprintf("%T:%v", v, v)
-		}
-		out[i] = strings.Join(parts, "|")
-	}
-	return out
-}
-
 // TestQueryDifferential is the battery the wire path is proven by:
-// 220 seeded random statements run both through DB.Query in process
-// and over a real server via client.Conn.Query; columns and row sets
-// must be identical (exact order when the statement carries a total
-// ORDER BY, multiset otherwise). Failing seeds are appended to
-// $QUERY_SEED_FILE when set, so CI archives reproducers.
+// 220 seeded random statements (internal/battery's generator) run
+// both through DB.Query in process and over a real server via
+// client.Conn.Query; columns and row sets must be identical (exact
+// order when the statement carries a total ORDER BY, multiset
+// otherwise). Failing seeds are appended to $QUERY_SEED_FILE when
+// set, so CI archives reproducers.
 func TestQueryDifferential(t *testing.T) {
 	rng := rand.New(rand.NewSource(1986))
 	seed := randPoints(rng, 4000, 1)
@@ -125,42 +39,19 @@ func TestQueryDifferential(t *testing.T) {
 	const n = 220
 	for i := 0; i < n; i++ {
 		qseed := int64(1000 + i)
-		sql, ordered := genQuery(rand.New(rand.NewSource(qseed)))
+		sql, ordered := battery.GenQuery(rand.New(rand.NewSource(qseed)))
 		local, lerr := db.Query(ctx, sql)
 		remote, rerr := cl.Query(ctx, sql)
 		if lerr != nil || rerr != nil {
 			fail(qseed, sql, fmt.Sprintf("errors differ or non-nil: local=%v remote=%v", lerr, rerr))
 			continue
 		}
-		if len(local.Columns) != len(remote.Columns) {
-			fail(qseed, sql, fmt.Sprintf("schema width: local %d, remote %d", len(local.Columns), len(remote.Columns)))
-			continue
-		}
-		mismatch := false
-		for j := range local.Columns {
-			if local.Columns[j].Name != remote.Columns[j].Name || local.Columns[j].Type != remote.Columns[j].Type {
-				fail(qseed, sql, fmt.Sprintf("column %d: local %v, remote %v", j, local.Columns[j], remote.Columns[j]))
-				mismatch = true
-				break
-			}
-		}
-		if mismatch {
-			continue
-		}
-		lr, rr := renderRows(local.Rows), renderRows(remote.Rows)
-		if !ordered {
-			sort.Strings(lr)
-			sort.Strings(rr)
-		}
-		if len(lr) != len(rr) {
-			fail(qseed, sql, fmt.Sprintf("row count: local %d, remote %d", len(lr), len(rr)))
-			continue
-		}
-		for j := range lr {
-			if lr[j] != rr[j] {
-				fail(qseed, sql, fmt.Sprintf("row %d: local %s, remote %s", j, lr[j], rr[j]))
-				break
-			}
+		if d := battery.Diff(
+			battery.Result{Columns: local.Columns, Rows: local.Rows},
+			battery.Result{Columns: remote.Columns, Rows: remote.Rows},
+			ordered,
+		); d != "" {
+			fail(qseed, sql, "local vs remote "+d)
 		}
 	}
 	if len(failures) > 0 {

@@ -129,6 +129,7 @@ func (ss *session) sendTimed(rq *request, typ uint8, payload []byte) error {
 // the recorded outcome.
 func (ss *session) reject(rq *request, msg string) {
 	rq.errCode = wire.CodeBadRequest
+	ss.respDone.Store(true)
 	ss.sendError(rq.id, wire.CodeBadRequest, msg)
 }
 
@@ -158,6 +159,7 @@ func codeOf(ctx context.Context, err error) uint8 {
 // recorded outcome.
 func (ss *session) failReq(ctx context.Context, rq *request, err error) {
 	rq.errCode = codeOf(ctx, err)
+	ss.respDone.Store(true)
 	ss.sendError(rq.id, rq.errCode, err.Error())
 }
 
@@ -180,6 +182,7 @@ func (ss *session) sendDone(rq *request, qs probe.QueryStats) {
 		rq.span.Add(probe.CounterResults, int64(qs.Results))
 	}
 	rq.span.End()
+	ss.respDone.Store(true)
 	if rq.traced() && rq.op != "explain" && rq.op != "stats" {
 		if ss.send(wire.MsgText, wire.TextMsg{ID: rq.id, Text: rq.span.Render(true)}.Encode()) != nil {
 			return

@@ -89,6 +89,18 @@ type Config struct {
 	// read). Zero disables sampling. Slow-query logging is independent
 	// of the sample.
 	LogEvery int
+
+	// ReadOnly rejects every mutating request (INSERT, DELETE,
+	// CHECKPOINT, BEGIN) with the typed read-only error before
+	// admission. Read replicas serve under this flag: their database is
+	// maintained by the replication applier, never by clients.
+	ReadOnly bool
+
+	// Metrics, when non-nil, is used as the server's registry instead
+	// of a fresh one. A replica passes the registry its lag gauges
+	// live in, so "repl.caught_up" surfaces through STATS (as
+	// "server.repl.caught_up") for the router's health prober.
+	Metrics *obs.Registry
 }
 
 func (c *Config) fillDefaults() {
@@ -121,8 +133,17 @@ var (
 // start with Serve, stop with Shutdown. The server owns the database:
 // Shutdown checkpoints and closes it.
 type Server struct {
-	db  *probe.DB
+	// db is the served database, behind an atomic pointer so a
+	// replication applier can swap in a freshly caught-up version
+	// (SwapDB) without stopping the server. Each access loads it once
+	// via database().
+	db  atomic.Pointer[probe.DB]
 	cfg Config
+
+	// readyCheck, when set, gates /readyz beyond the drain flag: a
+	// replica reports unready while it lags the primary.
+	readyMu    sync.Mutex
+	readyCheck func() error
 
 	// metrics holds the server-side telemetry: counters
 	// (server.accepted, server.active, server.rejected,
@@ -162,10 +183,13 @@ type Server struct {
 func New(db *probe.DB, cfg Config) *Server {
 	cfg.fillDefaults()
 	ctx, cancel := context.WithCancelCause(context.Background())
-	return &Server{
-		db:         db,
+	metrics := cfg.Metrics
+	if metrics == nil {
+		metrics = obs.NewRegistry()
+	}
+	s := &Server{
 		cfg:        cfg,
-		metrics:    obs.NewRegistry(),
+		metrics:    metrics,
 		baseCtx:    ctx,
 		cancelBase: cancel,
 		sem:        make(chan struct{}, cfg.MaxInflight),
@@ -173,13 +197,51 @@ func New(db *probe.DB, cfg Config) *Server {
 		conns:      make(map[net.Conn]struct{}),
 		idle:       make(chan struct{}),
 	}
+	s.db.Store(db)
+	return s
 }
 
 // Metrics returns the server's counter registry (expvar-compatible).
 func (s *Server) Metrics() *obs.Registry { return s.metrics }
 
 // DB returns the database the server fronts.
-func (s *Server) DB() *probe.DB { return s.db }
+func (s *Server) DB() *probe.DB { return s.database() }
+
+// database loads the served DB. Call sites load once per use; a
+// request racing a SwapDB may see either version, which is exactly a
+// replica's consistency contract (reads lag by at most one applied
+// segment).
+func (s *Server) database() *probe.DB { return s.db.Load() }
+
+// SwapDB atomically replaces the served database and returns the
+// previous one. The replication applier uses it to promote a freshly
+// caught-up store version; the caller owns closing the returned DB
+// (probe.DB.Close blocks until in-flight operations on it finish, so
+// close-after-swap is the quiesce point). New requests see the new
+// database immediately.
+func (s *Server) SwapDB(db *probe.DB) *probe.DB {
+	s.metrics.Int("server.db_swaps").Add(1)
+	return s.db.Swap(db)
+}
+
+// SetReadyCheck installs fn as an extra /readyz condition: the
+// endpoint reports 503 with fn's error while fn returns non-nil. A
+// replica's lag check plugs in here. nil removes the check.
+func (s *Server) SetReadyCheck(fn func() error) {
+	s.readyMu.Lock()
+	s.readyCheck = fn
+	s.readyMu.Unlock()
+}
+
+func (s *Server) readyErr() error {
+	s.readyMu.Lock()
+	fn := s.readyCheck
+	s.readyMu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
+}
 
 // Serve accepts connections on ln until Shutdown closes it (or ln
 // fails). It blocks; run it in a goroutine. The listener is closed by
@@ -343,9 +405,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 	// All sessions are gone; the database is quiescent. Make the
 	// state durable and release the store.
-	if _, err := s.db.Checkpoint(); err != nil && !errors.Is(err, probe.ErrClosed) {
-		s.db.Close()
+	db := s.database()
+	if _, err := db.Checkpoint(); err != nil && !errors.Is(err, probe.ErrClosed) {
+		db.Close()
 		return err
 	}
-	return s.db.Close()
+	return db.Close()
 }

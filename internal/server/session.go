@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"probe"
@@ -53,6 +54,14 @@ type session struct {
 	// I/O-attributed history of the connection. Folded into the
 	// server's metrics registry when the session ends.
 	root *probe.Trace
+
+	// respDone flips true when the executor starts writing the
+	// in-flight request's final frame. From that instant a conforming
+	// client may already have the answer and pipeline its next request
+	// ahead of the executor's done signal — the session loop uses this
+	// to wait out the bookkeeping gap instead of mis-reading the race
+	// as a pipelining violation.
+	respDone atomic.Bool
 }
 
 type frameMsg struct {
@@ -244,6 +253,23 @@ func (ss *session) run() {
 						fmt.Sprintf("opcode 0x%02x requires protocol minor >= %d (client said %d)", f.typ, need, ss.minor))
 					continue
 				}
+				if ss.srv.cfg.ReadOnly && mutatingOp(f.typ) {
+					ss.sendError(id, wire.CodeReadOnly,
+						"server is read-only (replica); send writes to the primary")
+					continue
+				}
+				if reqDone != nil && ss.respDone.Load() {
+					// The previous request's final frame is already on the
+					// wire — only executor bookkeeping separates us from its
+					// done signal, and the client was entitled to send this
+					// request the moment it read that frame. Wait the signal
+					// out rather than mis-typing a conforming client as a
+					// pipeliner.
+					<-reqDone
+					cancelReq(context.Canceled)
+					reqDone, cancelReq = nil, nil
+					armTxTimer()
+				}
 				if reqDone != nil {
 					ss.sendError(id, wire.CodeBadRequest,
 						fmt.Sprintf("request %d is still in flight on this connection", inflight))
@@ -263,6 +289,7 @@ func (ss *session) run() {
 				}
 				ctx, cancel := context.WithCancelCause(ss.srv.baseCtx)
 				done := make(chan struct{})
+				ss.respDone.Store(false)
 				reqDone, cancelReq, inflight = done, cancel, id
 				typ, payload := f.typ, f.payload
 				go func() {
@@ -307,6 +334,17 @@ func minorRequired(typ uint8) uint8 {
 	return 0
 }
 
+// mutatingOp reports opcodes a read-only (replica) server refuses:
+// anything that writes the database or opens a transaction that
+// could. QUERY is read-only by construction (SELECT only).
+func mutatingOp(typ uint8) bool {
+	switch typ {
+	case wire.MsgInsert, wire.MsgDelete, wire.MsgCheckpoint, wire.MsgBegin:
+		return true
+	}
+	return false
+}
+
 // handshake expects the client's Hello as the first frame and answers
 // Welcome with the grid shape; a major-version mismatch gets a typed
 // error and closes the session.
@@ -330,7 +368,7 @@ func (ss *session) handshake() bool {
 		return false
 	}
 	ss.minor = hello.Minor
-	g := ss.srv.db.Grid()
+	g := ss.srv.database().Grid()
 	bits := make([]uint32, g.Dims())
 	for i := range bits {
 		bits[i] = uint32(g.BitsOf(i))
@@ -409,9 +447,9 @@ func strategyOf(b uint8) (probe.Strategy, error) {
 
 // boxOf validates wire bounds against the server's grid.
 func (ss *session) boxOf(lo, hi []uint32) (probe.Box, error) {
-	if len(lo) != ss.srv.db.Grid().Dims() {
+	if len(lo) != ss.srv.database().Grid().Dims() {
 		return probe.Box{}, fmt.Errorf("box has %d dimensions, database has %d",
-			len(lo), ss.srv.db.Grid().Dims())
+			len(lo), ss.srv.database().Grid().Dims())
 	}
 	return probe.NewBox(lo, hi)
 }
@@ -461,7 +499,7 @@ func (ss *session) handleRange(ctx context.Context, rq *request, payload []byte)
 	defer stop()
 	rq.markPlanned()
 
-	dims := uint32(ss.srv.db.Grid().Dims())
+	dims := uint32(ss.srv.database().Grid().Dims())
 	batch := make([]wire.Point, 0, ss.srv.cfg.BatchSize)
 	var writeErr error
 	flush := func() bool {
@@ -493,7 +531,7 @@ func (ss *session) handleRange(ctx context.Context, rq *request, payload []byte)
 		qs, err = tx.RangeSearchFunc(box, each,
 			probe.WithContext(ctx), probe.WithStrategy(strat))
 	} else {
-		qs, err = ss.srv.db.RangeSearchFunc(box, each,
+		qs, err = ss.srv.database().RangeSearchFunc(box, each,
 			rq.queryOpts(ctx, probe.WithStrategy(strat))...)
 	}
 	if writeErr != nil {
@@ -516,8 +554,8 @@ func (ss *session) handleNearest(ctx context.Context, rq *request, payload []byt
 		return
 	}
 	rq.flags = req.Flags
-	if len(req.Q) != ss.srv.db.Grid().Dims() {
-		ss.reject(rq, fmt.Sprintf("query point has %d dimensions, database has %d", len(req.Q), ss.srv.db.Grid().Dims()))
+	if len(req.Q) != ss.srv.database().Grid().Dims() {
+		ss.reject(rq, fmt.Sprintf("query point has %d dimensions, database has %d", len(req.Q), ss.srv.database().Grid().Dims()))
 		return
 	}
 	var metric probe.Metric
@@ -544,13 +582,13 @@ func (ss *session) handleNearest(ctx context.Context, rq *request, payload []byt
 	if tx != nil {
 		nbs, qs, err = tx.Nearest(req.Q, int(req.M), metric, probe.WithContext(ctx))
 	} else {
-		nbs, qs, err = ss.srv.db.Nearest(req.Q, int(req.M), metric, rq.queryOpts(ctx)...)
+		nbs, qs, err = ss.srv.database().Nearest(req.Q, int(req.M), metric, rq.queryOpts(ctx)...)
 	}
 	if err != nil {
 		ss.failReq(ctx, rq, err)
 		return
 	}
-	dims := uint32(ss.srv.db.Grid().Dims())
+	dims := uint32(ss.srv.database().Grid().Dims())
 	for off := 0; off < len(nbs); off += ss.srv.cfg.BatchSize {
 		end := min(off+ss.srv.cfg.BatchSize, len(nbs))
 		out := make([]wire.Neighbor, 0, end-off)
@@ -579,7 +617,7 @@ func (ss *session) handleJoin(ctx context.Context, rq *request, payload []byte) 
 	ctx, stop := withTimeout(ctx, req.TimeoutMS)
 	defer stop()
 
-	g := ss.srv.db.Grid()
+	g := ss.srv.database().Grid()
 	decomposeRel := func(items []wire.JoinItem) ([]core.Item, error) {
 		var out []core.Item
 		for _, it := range items {
@@ -639,8 +677,8 @@ func (ss *session) handleInsert(ctx context.Context, rq *request, payload []byte
 		return
 	}
 	rq.flags = req.Flags
-	if int(req.Dims) != ss.srv.db.Grid().Dims() {
-		ss.reject(rq, fmt.Sprintf("points have %d dimensions, database has %d", req.Dims, ss.srv.db.Grid().Dims()))
+	if int(req.Dims) != ss.srv.database().Grid().Dims() {
+		ss.reject(rq, fmt.Sprintf("points have %d dimensions, database has %d", req.Dims, ss.srv.database().Grid().Dims()))
 		return
 	}
 	if err := ctx.Err(); err != nil {
@@ -664,7 +702,7 @@ func (ss *session) handleInsert(ctx context.Context, rq *request, payload []byte
 	if tx != nil {
 		err = tx.InsertAll(pts)
 	} else {
-		err = ss.srv.db.InsertAll(pts)
+		err = ss.srv.database().InsertAll(pts)
 	}
 	if err != nil {
 		ss.failReq(ctx, rq, err)
@@ -684,8 +722,8 @@ func (ss *session) handleDelete(ctx context.Context, rq *request, payload []byte
 		return
 	}
 	rq.flags = req.Flags
-	if int(req.Dims) != ss.srv.db.Grid().Dims() {
-		ss.reject(rq, fmt.Sprintf("points have %d dimensions, database has %d", req.Dims, ss.srv.db.Grid().Dims()))
+	if int(req.Dims) != ss.srv.database().Grid().Dims() {
+		ss.reject(rq, fmt.Sprintf("points have %d dimensions, database has %d", req.Dims, ss.srv.database().Grid().Dims()))
 		return
 	}
 	if err := ctx.Err(); err != nil {
@@ -706,7 +744,7 @@ func (ss *session) handleDelete(ctx context.Context, rq *request, payload []byte
 		if tx != nil {
 			ok, err = tx.Delete(p)
 		} else {
-			ok, err = ss.srv.db.Delete(p)
+			ok, err = ss.srv.database().Delete(p)
 		}
 		if err != nil {
 			ss.failReq(ctx, rq, err)
@@ -735,7 +773,7 @@ func (ss *session) handleBegin(ctx context.Context, rq *request, payload []byte)
 		return
 	}
 	rq.markPlanned()
-	tx, err := ss.srv.db.Begin(ss.srv.baseCtx)
+	tx, err := ss.srv.database().Begin(ss.srv.baseCtx)
 	if err != nil {
 		ss.failReq(ctx, rq, err)
 		return
@@ -830,7 +868,7 @@ func (ss *session) handleQuery(ctx context.Context, rq *request, payload []byte)
 	if tx != nil {
 		stmt, err = tx.Prepare(req.Text)
 	} else {
-		stmt, err = ss.srv.db.Prepare(req.Text)
+		stmt, err = ss.srv.database().Prepare(req.Text)
 	}
 	if err != nil {
 		var qe *probe.QueryError
@@ -840,6 +878,7 @@ func (ss *session) handleQuery(ctx context.Context, rq *request, payload []byte)
 				code = wire.CodePlan
 			}
 			rq.errCode = code
+			ss.respDone.Store(true)
 			ss.sendError(rq.id, code, err.Error())
 			return
 		}
@@ -924,7 +963,7 @@ func (ss *session) handleCheckpoint(ctx context.Context, rq *request, payload []
 	}
 	rq.flags = req.Flags
 	rq.markPlanned()
-	qs, err := ss.srv.db.Checkpoint(probe.WithTrace(rq.span))
+	qs, err := ss.srv.database().Checkpoint(probe.WithTrace(rq.span))
 	if err != nil {
 		ss.failReq(ctx, rq, err)
 		return
@@ -945,7 +984,7 @@ func (ss *session) handleExplain(ctx context.Context, rq *request, payload []byt
 		return
 	}
 	rq.markPlanned()
-	plan, err := ss.srv.db.Explain(box)
+	plan, err := ss.srv.database().Explain(box)
 	if err != nil {
 		ss.failReq(ctx, rq, err)
 		return
@@ -974,7 +1013,7 @@ func (ss *session) handleStats(ctx context.Context, rq *request, payload []byte)
 		ss.srv.metrics.DoNumeric(func(name string, v int64) {
 			kvs = append(kvs, wire.KV{Name: "server." + name, Value: v})
 		})
-		ss.srv.db.Metrics().DoNumeric(func(name string, v int64) {
+		ss.srv.database().Metrics().DoNumeric(func(name string, v int64) {
 			kvs = append(kvs, wire.KV{Name: "db." + name, Value: v})
 		})
 		if ss.sendTimed(rq, wire.MsgStatsKV, wire.StatsKV{ID: req.ID, KVs: kvs}.Encode()) != nil {
@@ -982,7 +1021,7 @@ func (ss *session) handleStats(ctx context.Context, rq *request, payload []byte)
 		}
 	} else {
 		text := fmt.Sprintf("{\"server\": %s, \"db\": %s}",
-			ss.srv.metrics.String(), ss.srv.db.Metrics().String())
+			ss.srv.metrics.String(), ss.srv.database().Metrics().String())
 		if ss.sendTimed(rq, wire.MsgText, wire.TextMsg{ID: req.ID, Text: text}.Encode()) != nil {
 			return
 		}

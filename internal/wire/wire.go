@@ -51,9 +51,15 @@ const Magic = "ZKDQ"
 // codes its statements can fail with. Like the minor-2 opcodes, a
 // 1.3 server rejects QUERY from a client that said minor < 3 with
 // CodeBadRequest before decoding the payload.
+//
+// Minor 4 added: no opcodes, only the UNAVAILABLE and READONLY error
+// codes the cluster layer returns — UNAVAILABLE when a router cannot
+// reach any live node for a shard the request needs, READONLY when a
+// write lands on a read replica. Older clients render them through
+// CodeString's default arm, so no gating is required.
 const (
 	VersionMajor = 1
-	VersionMinor = 3
+	VersionMinor = 4
 )
 
 // MaxFrame caps a frame's length field (type byte + payload). Frames
@@ -119,6 +125,8 @@ const (
 	CodeConflict     = 8  // COMMIT lost first-committer-wins validation; retry the tx
 	CodeParse        = 9  // QUERY text failed to parse (minor >= 3)
 	CodePlan         = 10 // QUERY parsed but cannot run against this database (minor >= 3)
+	CodeUnavailable  = 11 // a shard the request needs has no reachable node (minor >= 4)
+	CodeReadOnly     = 12 // write sent to a read-only replica (minor >= 4)
 )
 
 // CodeString names an error code for diagnostics.
@@ -144,6 +152,10 @@ func CodeString(code uint8) string {
 		return "parse-error"
 	case CodePlan:
 		return "plan-error"
+	case CodeUnavailable:
+		return "shard-unavailable"
+	case CodeReadOnly:
+		return "read-only"
 	default:
 		return fmt.Sprintf("code-%d", code)
 	}
