@@ -36,6 +36,15 @@ import (
 	"probe/internal/wire"
 )
 
+// A note on tracing (SetTrace and friends). While tracing is on, every
+// request carries FlagTrace and, when set, the connection's trace ID
+// (SetTraceID); after each request LastTiming holds the server's
+// per-phase breakdown, and after each traced data request — RANGE,
+// NEAREST, JOIN, INSERT, DELETE, and QUERY statements alike — the
+// server-side span tree is available rendered (LastTrace) and, against
+// a protocol 1.4 server, parsed (LastTraceTree) along with the trace
+// ID the server stamped on the request (LastTraceID).
+
 // Typed error sentinels for errors.Is. The concrete error is always a
 // *ServerError carrying the server's message, except ErrTxAborted,
 // which the client raises locally for operations on an ended Tx.
@@ -160,10 +169,17 @@ type Conn struct {
 	tx *Tx
 
 	// Tracing state (SetTrace / LastTiming / LastTrace), guarded by
-	// mu like everything per-request.
-	trace      bool
-	lastTiming Timing
-	lastTrace  string
+	// mu like everything per-request. traceID, when nonzero, is
+	// stamped on every traced request's header (protocol 1.4) so a
+	// coordinator can propagate one distributed trace ID to its
+	// backends; lastTraceID and lastSpan hold the TRACE frame of the
+	// most recent traced data request.
+	trace       bool
+	traceID     uint64
+	lastTiming  Timing
+	lastTrace   string
+	lastTraceID uint64
+	lastSpan    *probe.Trace
 }
 
 // Timing is the server's per-phase breakdown of the last traced
@@ -267,6 +283,38 @@ func (c *Conn) LastTrace() string {
 	return c.lastTrace
 }
 
+// SetTraceID sets the distributed trace ID stamped on every
+// subsequent traced request (protocol 1.4). A coordinator fanning one
+// client request out to backends sets the request's ID here so all
+// backend-side spans and log lines correlate; zero clears it, letting
+// the server mint per-request IDs again.
+func (c *Conn) SetTraceID(id uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.traceID = id
+}
+
+// LastTraceID returns the trace ID of the most recent traced data
+// request — the ID set via SetTraceID, or the one the server minted —
+// as reported in its TRACE frame; 0 if there is none (untraced, or a
+// server older than protocol 1.4).
+func (c *Conn) LastTraceID() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastTraceID
+}
+
+// LastTraceTree returns the parsed server-side span tree of the most
+// recent traced data request, nil if there is none. Only a protocol
+// 1.4 server ships the parseable form; older servers only fill
+// LastTrace. The tree is sealed: durations and counters read back
+// exactly as the server recorded them.
+func (c *Conn) LastTraceTree() *probe.Trace {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastSpan
+}
+
 // reqFlags returns the wire flags for the next request: FlagTrace
 // when tracing is on and the server speaks minor >= 1.
 func (c *Conn) reqFlags() uint8 {
@@ -274,6 +322,12 @@ func (c *Conn) reqFlags() uint8 {
 		return wire.FlagTrace
 	}
 	return 0
+}
+
+// header assembles a request header: id, the context's deadline as
+// the wire timeout, and the tracing tail (flags byte plus trace ID).
+func (c *Conn) header(id uint32, ctx context.Context) wire.Header {
+	return wire.Header{ID: id, TimeoutMS: timeoutMS(ctx), Flags: c.reqFlags(), Trace: c.traceID}
 }
 
 // Close closes the connection. In-flight requests fail with a
@@ -348,6 +402,7 @@ func (c *Conn) do(ctx context.Context, typ uint8, payload []byte, id uint32, h h
 		return probe.QueryStats{}, c.broken
 	}
 	c.lastTiming, c.lastTrace = Timing{}, ""
+	c.lastTraceID, c.lastSpan = 0, nil
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return probe.QueryStats{}, err
@@ -403,6 +458,20 @@ func (c *Conn) do(ctx context.Context, typ uint8, payload []byte, id uint32, h h
 				} else if c.trace {
 					c.lastTrace = tm.Text
 				}
+			}
+		case wire.MsgTrace:
+			tm, err := wire.DecodeTraceMsg(fp)
+			if err != nil {
+				return probe.QueryStats{}, c.poison(err)
+			}
+			if tm.ID == id {
+				root, err := probe.DecodeTrace(tm.Span)
+				if err != nil {
+					return probe.QueryStats{}, c.poison(fmt.Errorf("probed: malformed TRACE frame: %w", err))
+				}
+				c.lastTraceID = tm.TraceID
+				c.lastSpan = root
+				c.lastTrace = root.Render(true)
 			}
 		case wire.MsgStatsKV:
 			kv, err := wire.DecodeStatsKV(fp)
@@ -510,7 +579,7 @@ func (c *Conn) RangeFunc(ctx context.Context, lo, hi []uint32, strategy uint8, f
 func (c *Conn) rangeFuncLocked(ctx context.Context, lo, hi []uint32, strategy uint8, fn func(probe.Point) bool) (probe.QueryStats, error) {
 	id := c.begin()
 	req := wire.RangeReq{
-		Header:   wire.Header{ID: id, TimeoutMS: timeoutMS(ctx), Flags: c.reqFlags()},
+		Header:   c.header(id, ctx),
 		Strategy: strategy, Lo: lo, Hi: hi,
 	}
 	stopped := false
@@ -553,7 +622,7 @@ func (c *Conn) Nearest(ctx context.Context, q []uint32, m int, metric probe.Metr
 func (c *Conn) nearestLocked(ctx context.Context, q []uint32, m int, metric probe.Metric) ([]probe.Neighbor, probe.QueryStats, error) {
 	id := c.begin()
 	req := wire.NearestReq{
-		Header: wire.Header{ID: id, TimeoutMS: timeoutMS(ctx), Flags: c.reqFlags()},
+		Header: c.header(id, ctx),
 		Metric: uint8(metric), M: uint32(m), Q: q,
 	}
 	var nbs []probe.Neighbor
@@ -588,7 +657,7 @@ func (c *Conn) Join(ctx context.Context, a, b []BoxItem, workers int) ([]probe.P
 		return out
 	}
 	req := wire.JoinReq{
-		Header:  wire.Header{ID: id, TimeoutMS: timeoutMS(ctx), Flags: c.reqFlags()},
+		Header:  c.header(id, ctx),
 		Workers: uint32(workers), Dims: dims,
 		A: conv(a), B: conv(b),
 	}
@@ -621,7 +690,7 @@ func (c *Conn) insertLocked(ctx context.Context, pts []probe.Point) (probe.Query
 		wpts[i] = wire.Point{ID: p.ID, Coords: p.Coords}
 	}
 	req := wire.InsertReq{
-		Header: wire.Header{ID: id, TimeoutMS: timeoutMS(ctx), Flags: c.reqFlags()},
+		Header: c.header(id, ctx),
 		Dims:   uint32(len(c.bits)), Points: wpts,
 	}
 	return c.do(ctx, wire.MsgInsert, req.Encode(), id, handlers{})
@@ -646,7 +715,7 @@ func (c *Conn) deleteLocked(ctx context.Context, pts []probe.Point) (probe.Query
 		wpts[i] = wire.Point{ID: p.ID, Coords: p.Coords}
 	}
 	req := wire.DeleteReq{
-		Header: wire.Header{ID: id, TimeoutMS: timeoutMS(ctx), Flags: c.reqFlags()},
+		Header: c.header(id, ctx),
 		Dims:   uint32(len(c.bits)), Points: wpts,
 	}
 	return c.do(ctx, wire.MsgDelete, req.Encode(), id, handlers{})
@@ -657,7 +726,7 @@ func (c *Conn) Checkpoint(ctx context.Context) (probe.QueryStats, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	id := c.begin()
-	req := wire.SimpleReq{Header: wire.Header{ID: id, TimeoutMS: timeoutMS(ctx), Flags: c.reqFlags()}}
+	req := wire.SimpleReq{Header: c.header(id, ctx)}
 	return c.do(ctx, wire.MsgCheckpoint, req.Encode(), id, handlers{})
 }
 
@@ -667,7 +736,7 @@ func (c *Conn) Explain(ctx context.Context, lo, hi []uint32) (string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	id := c.begin()
-	req := wire.RangeReq{Header: wire.Header{ID: id, TimeoutMS: timeoutMS(ctx)}, Lo: lo, Hi: hi}
+	req := wire.RangeReq{Header: c.header(id, ctx), Lo: lo, Hi: hi}
 	var text string
 	_, err := c.do(ctx, wire.MsgExplain, req.Encode(), id, handlers{text: func(s string) { text = s }})
 	return text, err
@@ -729,7 +798,7 @@ func (c *Conn) queryFuncLocked(ctx context.Context, text string,
 	}
 	id := c.begin()
 	req := wire.QueryReq{
-		Header: wire.Header{ID: id, TimeoutMS: timeoutMS(ctx), Flags: c.reqFlags()},
+		Header: c.header(id, ctx),
 		Text:   text,
 	}
 	stopped := false
@@ -778,7 +847,7 @@ func (c *Conn) Stats(ctx context.Context) (map[string]int64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	id := c.begin()
-	req := wire.SimpleReq{Header: wire.Header{ID: id, TimeoutMS: timeoutMS(ctx)}}
+	req := wire.SimpleReq{Header: c.header(id, ctx)}
 	out := make(map[string]int64)
 	var legacy string
 	_, err := c.do(ctx, wire.MsgStats, req.Encode(), id, handlers{

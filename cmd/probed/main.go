@@ -81,6 +81,7 @@ type serveConfig struct {
 	batch                   int
 	slowQuery               time.Duration
 	logEvery                int
+	traceBuffer             int
 	replListen              string // primary: serve WAL shipping here
 	replicaOf               string // replica: follow this primary
 }
@@ -100,6 +101,7 @@ func main() {
 		batch   = flag.Int("batch", 512, "results per streamed batch frame")
 		slowQ   = flag.Duration("slow-query", -1, "log requests at/above this latency at warn with their trace; 0 logs every request; negative disables")
 		logEv   = flag.Int("log-requests", 0, "log every Nth request at info; 0 disables")
+		trBuf   = flag.Int("trace-buffer", 64, "capacity of the /debug/traces ring of recent traced, slow, and sampled requests")
 		replLn  = flag.String("repl-listen", "", "serve WAL-shipping replication on this address (requires -db); replicas point -replica-of here")
 		replOf  = flag.String("replica-of", "", "run as a read replica of the primary's -repl-listen address (requires -db for the local page files)")
 		check   = flag.Bool("check", false, "validate the serve configuration, then handshake with a running server and print stats")
@@ -121,7 +123,7 @@ func main() {
 		addr: *addr, admin: *admin, dbPath: *dbPath,
 		dims: *dims, bits: *bits, pool: *pool, seedN: *seedN,
 		seed: *seed, maxIn: *maxIn, drain: *drain, batch: *batch,
-		slowQuery: *slowQ, logEvery: *logEv,
+		slowQuery: *slowQ, logEvery: *logEv, traceBuffer: *trBuf,
 		replListen: *replLn, replicaOf: *replOf,
 	}
 	switch {
@@ -203,6 +205,7 @@ func serverConfig(cfg serveConfig) server.Config {
 		sc.SlowQuery = cfg.slowQuery
 	}
 	sc.LogEvery = cfg.logEvery
+	sc.TraceBuffer = cfg.traceBuffer
 	if cfg.slowQuery >= 0 || cfg.logEvery > 0 {
 		sc.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}

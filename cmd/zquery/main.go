@@ -66,7 +66,7 @@ func main() {
 
 	if *addr != "" {
 		if *sqlText != "" || *sqlRepl {
-			if err := runRemoteSQL(*addr, *sqlText, *sqlRepl, *timeout); err != nil {
+			if err := runRemoteSQL(*addr, *sqlText, *sqlRepl, *trace, *timeout); err != nil {
 				fatal(err)
 			}
 			return
@@ -104,7 +104,7 @@ func main() {
 			}
 		}
 		if *sqlRepl {
-			if err := repl(ctx, run, os.Stdin, os.Stdout); err != nil {
+			if err := repl(ctx, run, nil, os.Stdin, os.Stdout); err != nil {
 				fatal(err)
 			}
 		}
@@ -137,13 +137,17 @@ func main() {
 	fmt.Printf("random accesses (seeks): %d, elements/skips: %d\n", stats.Seeks, stats.Elements)
 }
 
-// runRemoteSQL executes -e / -repl statements over the wire.
-func runRemoteSQL(addr, text string, startRepl bool, timeout time.Duration) error {
+// runRemoteSQL executes -e / -repl statements over the wire. With
+// trace, every statement runs traced and prints its server timing,
+// trace ID, and span tree after the result — through a coordinator
+// the tree is the full fan-out tree with every shard's subtree.
+func runRemoteSQL(addr, text string, startRepl, trace bool, timeout time.Duration) error {
 	cl, err := client.Dial(addr)
 	if err != nil {
 		return err
 	}
 	defer cl.Close()
+	cl.SetTrace(trace)
 	fmt.Printf("connected to %s, grid bits %v\n", addr, cl.GridBits())
 	run := remoteRunner(cl)
 	if text != "" {
@@ -152,6 +156,7 @@ func runRemoteSQL(addr, text string, startRepl bool, timeout time.Duration) erro
 		if err := runSQL(ctx, run, text, os.Stdout); err != nil {
 			return err
 		}
+		printTrace(cl, trace)
 	}
 	if startRepl {
 		// No per-session deadline: each statement carries the -timeout
@@ -160,7 +165,7 @@ func runRemoteSQL(addr, text string, startRepl bool, timeout time.Duration) erro
 			sctx, cancel := context.WithTimeout(ctx, timeout)
 			defer cancel()
 			return run(sctx, stmt)
-		}, os.Stdin, os.Stdout)
+		}, func() { printTrace(cl, trace) }, os.Stdin, os.Stdout)
 	}
 	return nil
 }
@@ -251,8 +256,10 @@ func runRemote(addr, nearest string, explain, stats, checkpoint, trace bool, tim
 	return nil
 }
 
-// printTrace prints the server-side timing breakdown and span tree of
-// the last traced request.
+// printTrace prints the server-side timing breakdown, trace ID, and
+// span tree of the last traced request. The trace ID is the handle
+// for the rest of the cluster's observability: grep it in the router
+// and shard logs, or look the request up at /debug/traces.
 func printTrace(cl *client.Conn, trace bool) {
 	if !trace {
 		return
@@ -264,6 +271,9 @@ func printTrace(cl *client.Conn, trace bool) {
 	}
 	fmt.Printf("server timing: total %v = queue %v + plan %v + exec %v + stream %v\n",
 		t.Total, t.Queue, t.Plan, t.Exec, t.Stream)
+	if id := cl.LastTraceID(); id != 0 {
+		fmt.Printf("trace id: %s\n", probe.TraceIDString(id))
+	}
 	if tree := cl.LastTrace(); tree != "" {
 		fmt.Print("server trace:\n" + indent(tree, "  "))
 	}

@@ -109,8 +109,9 @@ func formatValue(v probe.QueryValue) string {
 // repl reads statements line by line, executing each. Empty lines and
 // -- comments are skipped; exit/quit (or EOF) ends the loop. Errors
 // are printed and the loop continues — a typo should not end the
-// session.
-func repl(ctx context.Context, run sqlRunner, in io.Reader, out io.Writer) error {
+// session. post, when non-nil, runs after each successful statement
+// (the remote path uses it to print the statement's trace).
+func repl(ctx context.Context, run sqlRunner, post func(), in io.Reader, out io.Writer) error {
 	sc := bufio.NewScanner(in)
 	fmt.Fprint(out, "sql> ")
 	for sc.Scan() {
@@ -122,6 +123,8 @@ func repl(ctx context.Context, run sqlRunner, in io.Reader, out io.Writer) error
 		default:
 			if err := runSQL(ctx, run, line, out); err != nil {
 				fmt.Fprintf(out, "error: %v\n", err)
+			} else if post != nil {
+				post()
 			}
 		}
 		fmt.Fprint(out, "sql> ")

@@ -28,6 +28,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -55,13 +56,85 @@ func main() {
 		probeInt = flag.Duration("probe-interval", time.Second, "health re-probe cadence for down shards and replica lag")
 		drain    = flag.Duration("drain", 5*time.Second, "graceful drain timeout on shutdown")
 		startT   = flag.Duration("start-timeout", 30*time.Second, "how long to wait for the first reachable shard at startup")
+		slowQ    = flag.Duration("slow-query", -1, "log requests at/above this latency at warn with their fan-out span tree; 0 logs every request; negative disables")
+		logEv    = flag.Int("log-requests", 0, "log every Nth request at info; 0 disables")
+		traceBuf = flag.Int("trace-buffer", 64, "capacity of the /debug/traces ring of recent traced, slow, and sampled requests")
 	)
 	flag.Parse()
 	if err := run(*addr, *admin, *shards, *replicas, *mapFile, *prefix,
-		*printMap, *check, *maxIn, *batch, *bTimeout, *probeInt, *drain, *startT); err != nil {
+		*printMap, *check, *maxIn, *batch, *bTimeout, *probeInt, *drain, *startT,
+		*slowQ, *logEv, *traceBuf); err != nil {
 		fmt.Fprintf(os.Stderr, "zrouted: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// validateConfig rejects configurations that would start and then
+// misbehave, mirroring probed -check: an admin endpoint colliding with
+// the front-side listener, or timeouts and logging thresholds outside
+// their meaningful range.
+func validateConfig(addr, admin string, bTimeout, slowQuery time.Duration, logEvery int) error {
+	if admin != "" {
+		ahost, aport, err := net.SplitHostPort(admin)
+		if err != nil {
+			return fmt.Errorf("bad -admin address %q: %v", admin, err)
+		}
+		qhost, qport, err := net.SplitHostPort(addr)
+		if err != nil {
+			return fmt.Errorf("bad -addr address %q: %v", addr, err)
+		}
+		// A port shared with the front-side listener is a clash when
+		// either side binds the wildcard or both name the same host.
+		if aport == qport && (ahost == "" || qhost == "" || ahost == qhost) {
+			return fmt.Errorf("-admin %s clashes with -addr %s: same port", admin, addr)
+		}
+	}
+	if bTimeout <= 0 {
+		return fmt.Errorf("-backend-timeout %s must be positive: a hung shard has to count as unavailable eventually", bTimeout)
+	}
+	if bTimeout > 24*time.Hour {
+		return fmt.Errorf("-backend-timeout %s is not a plausible bound (max 24h)", bTimeout)
+	}
+	if slowQuery > 24*time.Hour {
+		return fmt.Errorf("-slow-query %s is not a plausible threshold (max 24h)", slowQuery)
+	}
+	if logEvery < 0 {
+		return fmt.Errorf("-log-requests %d: the sample interval cannot be negative", logEvery)
+	}
+	return nil
+}
+
+// routerConfig maps the command line onto router.Config, with the
+// same slow-query flag convention as probed: the flag's 0 means "log
+// every request at warn" (the config's negative), the flag's negative
+// means disabled (the config's zero). -log-requests keeps probed's
+// 0-disables convention, which maps onto the router config's negative.
+func routerConfig(m *router.Map, maxIn, batch int, bTimeout, probeInt, drain time.Duration,
+	slowQuery time.Duration, logEvery, traceBuf int) router.Config {
+	rc := router.Config{
+		Map:            m,
+		MaxInflight:    maxIn,
+		BatchSize:      batch,
+		BackendTimeout: bTimeout,
+		ProbeInterval:  probeInt,
+		DrainTimeout:   drain,
+		TraceBuffer:    traceBuf,
+	}
+	switch {
+	case slowQuery == 0:
+		rc.SlowQuery = -1
+	case slowQuery > 0:
+		rc.SlowQuery = slowQuery
+	}
+	if logEvery > 0 {
+		rc.LogEvery = logEvery
+	} else {
+		rc.LogEvery = -1
+	}
+	if slowQuery >= 0 || logEvery > 0 {
+		rc.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	return rc
 }
 
 // loadMap resolves the shard map from -map or -shards/-replicas.
@@ -108,7 +181,8 @@ func splitNonEmpty(s, sep string) []string {
 }
 
 func run(addr, admin, shards, replicas, mapFile string, prefixBits int,
-	printMap, check bool, maxIn, batch int, bTimeout, probeInt, drain, startT time.Duration) error {
+	printMap, check bool, maxIn, batch int, bTimeout, probeInt, drain, startT time.Duration,
+	slowQuery time.Duration, logEvery, traceBuf int) error {
 	m, err := loadMap(shards, replicas, mapFile, prefixBits)
 	if err != nil {
 		return err
@@ -121,15 +195,18 @@ func run(addr, admin, shards, replicas, mapFile string, prefixBits int,
 		os.Stdout.Write(enc)
 		return nil
 	}
+	if err := validateConfig(addr, admin, bTimeout, slowQuery, logEvery); err != nil {
+		if check {
+			return fmt.Errorf("config: %w", err)
+		}
+		return err
+	}
+	if check {
+		fmt.Println("zrouted: configuration ok")
+	}
 
-	r, err := router.New(router.Config{
-		Map:            m,
-		MaxInflight:    maxIn,
-		BatchSize:      batch,
-		BackendTimeout: bTimeout,
-		ProbeInterval:  probeInt,
-		DrainTimeout:   drain,
-	})
+	r, err := router.New(routerConfig(m, maxIn, batch, bTimeout, probeInt, drain,
+		slowQuery, logEvery, traceBuf))
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,302 @@
+package obs
+
+// Span-tree wire codec: the binary form a server ships its per-request
+// trace tree in (docs/server.md, TRACE frame) so a coordinator can
+// graft backend subtrees under its own fan-out spans and a client can
+// re-render the whole cluster's tree with the ordinary Render.
+//
+// The encoding is canonical: for any byte string b that DecodeSpan
+// accepts, EncodeSpan(DecodeSpan(b)) reproduces b exactly. That
+// property is what makes the fuzz target in codec_test.go a real
+// differential check, and it falls out of three rules the decoder
+// enforces: counter entries carry only nonzero values, in strictly
+// ascending counter order; durations are at least 1ns (EncodeSpan
+// clamps, and a sealed Span can never hold 0); and no trailing bytes
+// follow the root node.
+//
+// Layout (all integers little-endian):
+//
+//	u8  version (1)
+//	node:
+//	  u32 nameLen | name bytes
+//	  u64 duration (ns, >= 1)
+//	  u8  nCounters | nCounters × (u8 counterID | u64 value)
+//	  u32 nChildren | nChildren × node
+//
+// The decoder is hardened against hostile input: name length, tree
+// depth, and total node count are capped, claimed counts are checked
+// against the bytes actually present before any allocation, and any
+// violation rejects the whole tree — a coordinator never grafts a
+// half-decoded subtree.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+const (
+	// spanCodecVersion is the leading version byte. Additions bump it;
+	// a decoder rejects versions it does not know.
+	spanCodecVersion = 1
+
+	// maxSpanName caps one span's name length; EncodeSpan truncates,
+	// DecodeSpan rejects.
+	maxSpanName = 1024
+	// maxSpanDepth caps tree depth on decode.
+	maxSpanDepth = 64
+	// maxSpanNodes caps total decoded nodes across the tree.
+	maxSpanNodes = 4096
+
+	// minNodeBytes is the smallest possible encoded node (empty name,
+	// no counters, no children): 4 + 8 + 1 + 4.
+	minNodeBytes = 17
+)
+
+// ErrSpanCodec wraps every DecodeSpan rejection, so callers can treat
+// "malformed trace" as one condition without matching message text.
+var ErrSpanCodec = errors.New("malformed span tree")
+
+// EncodeSpan serializes a span tree to its canonical wire form. The
+// duration written for each node is its Duration() at encode time
+// (clamped to >= 1ns), so encode a sealed tree — encoding a running
+// span freezes whatever has elapsed. A nil span encodes to nil.
+func EncodeSpan(s *Span) []byte {
+	if s == nil {
+		return nil
+	}
+	b := make([]byte, 1, 256)
+	b[0] = spanCodecVersion
+	return appendSpan(b, s)
+}
+
+func appendSpan(b []byte, s *Span) []byte {
+	name := s.name
+	if len(name) > maxSpanName {
+		name = name[:maxSpanName]
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(name)))
+	b = append(b, name...)
+	d := int64(s.Duration())
+	if d < 1 {
+		d = 1
+	}
+	b = binary.LittleEndian.AppendUint64(b, uint64(d))
+
+	n := 0
+	var ids [NumCounters]uint8
+	var vals [NumCounters]int64
+	for c := Counter(0); c < NumCounters; c++ {
+		if v := s.counters[c].Load(); v != 0 {
+			ids[n], vals[n] = uint8(c), v
+			n++
+		}
+	}
+	b = append(b, uint8(n))
+	for i := 0; i < n; i++ {
+		b = append(b, ids[i])
+		b = binary.LittleEndian.AppendUint64(b, uint64(vals[i]))
+	}
+
+	kids := s.Children()
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(kids)))
+	for _, ch := range kids {
+		b = appendSpan(b, ch)
+	}
+	return b
+}
+
+// spanDec is the decode cursor, carrying the shared node budget.
+type spanDec struct {
+	b     []byte
+	off   int
+	nodes int
+}
+
+func (d *spanDec) fail(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrSpanCodec, fmt.Sprintf(format, args...))
+}
+
+func (d *spanDec) remaining() int { return len(d.b) - d.off }
+
+func (d *spanDec) u8() (uint8, error) {
+	if d.remaining() < 1 {
+		return 0, d.fail("truncated at byte %d", d.off)
+	}
+	v := d.b[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *spanDec) u32() (uint32, error) {
+	if d.remaining() < 4 {
+		return 0, d.fail("truncated at byte %d", d.off)
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *spanDec) u64() (uint64, error) {
+	if d.remaining() < 8 {
+		return 0, d.fail("truncated at byte %d", d.off)
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+// DecodeSpan parses a canonical span-tree encoding back into a sealed
+// Span tree. Rejections (wrapped in ErrSpanCodec): unknown version,
+// truncation, trailing bytes, oversized names, counts exceeding the
+// bytes present, depth or node budget exceeded, unknown or
+// out-of-order counter IDs, zero counter values, and zero durations —
+// everything EncodeSpan cannot produce. Decoding nil or empty input
+// yields a nil span (the encoding of nil).
+func DecodeSpan(b []byte) (*Span, error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	d := &spanDec{b: b}
+	v, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if v != spanCodecVersion {
+		return nil, d.fail("unknown version %d", v)
+	}
+	s, err := d.node(0)
+	if err != nil {
+		return nil, err
+	}
+	if d.remaining() != 0 {
+		return nil, d.fail("%d trailing bytes after root", d.remaining())
+	}
+	return s, nil
+}
+
+func (d *spanDec) node(depth int) (*Span, error) {
+	if depth > maxSpanDepth {
+		return nil, d.fail("depth exceeds %d", maxSpanDepth)
+	}
+	d.nodes++
+	if d.nodes > maxSpanNodes {
+		return nil, d.fail("node count exceeds %d", maxSpanNodes)
+	}
+
+	nameLen, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > maxSpanName {
+		return nil, d.fail("name length %d exceeds %d", nameLen, maxSpanName)
+	}
+	if d.remaining() < int(nameLen) {
+		return nil, d.fail("name truncated at byte %d", d.off)
+	}
+	name := string(d.b[d.off : d.off+int(nameLen)])
+	d.off += int(nameLen)
+
+	dur, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	if dur == 0 {
+		return nil, d.fail("zero duration")
+	}
+	s := NewSealed(name, time.Duration(dur))
+
+	nc, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if nc > uint8(NumCounters) {
+		return nil, d.fail("counter count %d exceeds %d", nc, NumCounters)
+	}
+	prev := -1
+	for i := 0; i < int(nc); i++ {
+		id, err := d.u8()
+		if err != nil {
+			return nil, err
+		}
+		if id >= uint8(NumCounters) {
+			return nil, d.fail("unknown counter id %d", id)
+		}
+		if int(id) <= prev {
+			return nil, d.fail("counter ids not strictly ascending")
+		}
+		prev = int(id)
+		v, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		if v == 0 {
+			return nil, d.fail("zero counter value")
+		}
+		s.counters[id].Store(int64(v))
+	}
+
+	nk, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	// Each child occupies at least minNodeBytes; a claimed count the
+	// payload cannot hold is rejected before any child allocation.
+	if int64(nk)*minNodeBytes > int64(d.remaining()) {
+		return nil, d.fail("child count %d exceeds payload", nk)
+	}
+	for i := 0; i < int(nk); i++ {
+		ch, err := d.node(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		s.children = append(s.children, ch)
+	}
+	return s, nil
+}
+
+// NewSealed returns a span that is already ended with the given
+// duration (clamped to >= 1ns, the sealed minimum). It is the
+// constructor for synthetic nodes — a coordinator's per-backend
+// fan-out spans, decoded remote subtrees — whose timing was measured
+// elsewhere.
+func NewSealed(name string, dur time.Duration) *Span {
+	if dur < 1 {
+		dur = 1
+	}
+	s := &Span{name: name, start: time.Now()}
+	s.dur.Store(int64(dur))
+	return s
+}
+
+// Attach adds an existing span tree as a child of s, in creation
+// order alongside Child-created spans. No-op when either side is nil.
+// The attached tree must not be attached twice (a span tree is a
+// tree, not a DAG).
+func (s *Span) Attach(child *Span) {
+	if s == nil || child == nil {
+		return
+	}
+	s.mu.Lock()
+	s.children = append(s.children, child)
+	s.mu.Unlock()
+}
+
+// NewTraceID mints a nonzero random 64-bit trace ID. Zero is reserved
+// as "no trace ID" on the wire, so the generator never returns it.
+func NewTraceID() uint64 {
+	for {
+		if id := rand.Uint64(); id != 0 {
+			return id
+		}
+	}
+}
+
+// TraceIDString renders a trace ID the one way every log line, store
+// entry, and CLI prints it — 16 lowercase hex digits — so one grep
+// correlates a request across the fleet.
+func TraceIDString(id uint64) string {
+	return fmt.Sprintf("%016x", id)
+}

@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildTree constructs a deterministic sealed tree exercising names,
+// counters, and nesting.
+func buildTree() *Span {
+	root := NewSealed("router.range", 1500*time.Microsecond)
+	root.Add(Results, 42)
+	sh0 := NewSealed("fanout.shard0.primary", 900*time.Microsecond)
+	sh0.Add(Elements, 100)
+	sh0.Add(DataPages, 7)
+	exec := NewSealed("server.exec", 640*time.Microsecond)
+	exec.Add(PoolGets, 12)
+	exec.Add(PoolHits, 9)
+	sh0.Attach(exec)
+	root.Attach(sh0)
+	sh1 := NewSealed("fanout.shard1.replica", 1100*time.Microsecond)
+	sh1.Add(Seeks, 3)
+	root.Attach(sh1)
+	root.Attach(NewSealed("merge", 80*time.Microsecond))
+	return root
+}
+
+// TestSpanCodecRoundTrip pins the property the router depends on:
+// serialize → parse → render is byte-identical, and re-encoding the
+// parsed tree reproduces the original bytes (canonical encoding).
+func TestSpanCodecRoundTrip(t *testing.T) {
+	root := buildTree()
+	enc := EncodeSpan(root)
+	dec, err := DecodeSpan(enc)
+	if err != nil {
+		t.Fatalf("DecodeSpan: %v", err)
+	}
+	if got, want := dec.Render(true), root.Render(true); got != want {
+		t.Errorf("render mismatch after round trip:\ngot:\n%swant:\n%s", got, want)
+	}
+	if got, want := dec.Render(false), root.Render(false); got != want {
+		t.Errorf("untimed render mismatch:\ngot:\n%swant:\n%s", got, want)
+	}
+	re := EncodeSpan(dec)
+	if !bytes.Equal(re, enc) {
+		t.Errorf("re-encode not byte-identical: %d vs %d bytes", len(re), len(enc))
+	}
+}
+
+// TestSpanCodecLiveTree encodes a tree built through the ordinary
+// New/Child/End path (the server's actual shape).
+func TestSpanCodecLiveTree(t *testing.T) {
+	root := New("range")
+	root.Add(Results, 5)
+	c := root.Child("pool")
+	c.Add(PoolGets, 3)
+	c.End()
+	root.End()
+	dec, err := DecodeSpan(EncodeSpan(root))
+	if err != nil {
+		t.Fatalf("DecodeSpan: %v", err)
+	}
+	if got, want := dec.Render(true), root.Render(true); got != want {
+		t.Errorf("render mismatch:\ngot:\n%swant:\n%s", got, want)
+	}
+	if dec.Total(PoolGets) != 3 || dec.Get(Results) != 5 {
+		t.Errorf("counters lost: pool-gets=%d results=%d", dec.Total(PoolGets), dec.Get(Results))
+	}
+}
+
+func TestSpanCodecNil(t *testing.T) {
+	if b := EncodeSpan(nil); b != nil {
+		t.Errorf("EncodeSpan(nil) = %v, want nil", b)
+	}
+	s, err := DecodeSpan(nil)
+	if err != nil || s != nil {
+		t.Errorf("DecodeSpan(nil) = %v, %v; want nil, nil", s, err)
+	}
+}
+
+// TestSpanCodecTruncation: every proper prefix of a valid encoding is
+// rejected — a torn frame never yields a half tree.
+func TestSpanCodecTruncation(t *testing.T) {
+	enc := EncodeSpan(buildTree())
+	for i := 1; i < len(enc); i++ {
+		if _, err := DecodeSpan(enc[:i]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", i, len(enc))
+		} else if !errors.Is(err, ErrSpanCodec) {
+			t.Fatalf("prefix error not ErrSpanCodec: %v", err)
+		}
+	}
+}
+
+// TestSpanCodecCorruption: targeted malformed inputs are rejected.
+func TestSpanCodecCorruption(t *testing.T) {
+	valid := EncodeSpan(buildTree())
+
+	node := func(name string, dur uint64, counters []byte, nkids uint32) []byte {
+		var b []byte
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(name)))
+		b = append(b, name...)
+		b = binary.LittleEndian.AppendUint64(b, dur)
+		b = append(b, counters...)
+		b = binary.LittleEndian.AppendUint32(b, nkids)
+		return b
+	}
+	frame := func(payload []byte) []byte { return append([]byte{spanCodecVersion}, payload...) }
+	cnt := func(entries ...[2]uint64) []byte {
+		b := []byte{uint8(len(entries))}
+		for _, e := range entries {
+			b = append(b, uint8(e[0]))
+			b = binary.LittleEndian.AppendUint64(b, e[1])
+		}
+		return b
+	}
+
+	cases := map[string][]byte{
+		"bad version":        append([]byte{99}, valid[1:]...),
+		"trailing bytes":     append(append([]byte{}, valid...), 0),
+		"zero duration":      frame(node("x", 0, []byte{0}, 0)),
+		"zero counter value": frame(node("x", 1, cnt([2]uint64{0, 0}), 0)),
+		"unknown counter id": frame(node("x", 1, cnt([2]uint64{uint64(NumCounters), 5}), 0)),
+		"descending ids":     frame(node("x", 1, cnt([2]uint64{3, 1}, [2]uint64{1, 1}), 0)),
+		"duplicate ids":      frame(node("x", 1, cnt([2]uint64{3, 1}, [2]uint64{3, 1}), 0)),
+		"counter overcount":  frame(node("x", 1, []byte{uint8(NumCounters) + 1}, 0)),
+		"huge name": frame(func() []byte {
+			var b []byte
+			b = binary.LittleEndian.AppendUint32(b, maxSpanName+1)
+			return b
+		}()),
+		"huge child count": frame(node("x", 1, []byte{0}, 1<<30)),
+		"empty input tail": {spanCodecVersion},
+	}
+	for name, b := range cases {
+		if _, err := DecodeSpan(b); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		} else if !errors.Is(err, ErrSpanCodec) {
+			t.Errorf("%s: error not ErrSpanCodec: %v", name, err)
+		}
+	}
+}
+
+// TestSpanCodecDepthAndNodeCaps: a chain deeper than maxSpanDepth and
+// a tree wider than maxSpanNodes are rejected; one node under each cap
+// is accepted.
+func TestSpanCodecDepthAndNodeCaps(t *testing.T) {
+	chain := func(depth int) *Span {
+		root := NewSealed("d0", 1)
+		cur := root
+		for i := 1; i < depth; i++ {
+			next := NewSealed("d", 1)
+			cur.Attach(next)
+			cur = next
+		}
+		return root
+	}
+	if _, err := DecodeSpan(EncodeSpan(chain(maxSpanDepth + 1))); err != nil {
+		t.Errorf("depth %d rejected: %v", maxSpanDepth+1, err)
+	}
+	if _, err := DecodeSpan(EncodeSpan(chain(maxSpanDepth + 2))); err == nil {
+		t.Errorf("depth %d accepted", maxSpanDepth+2)
+	}
+
+	wide := NewSealed("root", 1)
+	for i := 0; i < maxSpanNodes; i++ { // root + maxSpanNodes children
+		wide.Attach(NewSealed("c", 1))
+	}
+	if _, err := DecodeSpan(EncodeSpan(wide)); err == nil {
+		t.Errorf("%d nodes accepted, cap is %d", maxSpanNodes+1, maxSpanNodes)
+	}
+}
+
+// TestSpanCodecRandomTrees is the property test over generated trees:
+// for 200 seeded random shapes, decode(encode(t)) renders identically
+// and re-encodes to the same bytes.
+func TestSpanCodecRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(1986))
+	var gen func(depth int) *Span
+	gen = func(depth int) *Span {
+		s := NewSealed(randName(rng), time.Duration(1+rng.Int63n(int64(time.Second))))
+		for c := Counter(0); c < NumCounters; c++ {
+			if rng.Intn(4) == 0 {
+				s.Add(c, 1+rng.Int63n(1<<40))
+			}
+		}
+		if depth < 5 {
+			for i := 0; i < rng.Intn(4); i++ {
+				s.Attach(gen(depth + 1))
+			}
+		}
+		return s
+	}
+	for i := 0; i < 200; i++ {
+		root := gen(0)
+		enc := EncodeSpan(root)
+		dec, err := DecodeSpan(enc)
+		if err != nil {
+			t.Fatalf("tree %d: decode: %v", i, err)
+		}
+		if got, want := dec.Render(true), root.Render(true); got != want {
+			t.Fatalf("tree %d: render mismatch:\ngot:\n%swant:\n%s", i, got, want)
+		}
+		if !bytes.Equal(EncodeSpan(dec), enc) {
+			t.Fatalf("tree %d: re-encode not canonical", i)
+		}
+	}
+}
+
+func randName(rng *rand.Rand) string {
+	const alpha = "abcdefghijklmnopqrstuvwxyz0123456789.-"
+	n := rng.Intn(24)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(alpha[rng.Intn(len(alpha))])
+	}
+	return b.String()
+}
+
+// FuzzSpanCodec is the differential fuzz target: any input the
+// decoder accepts must re-encode to exactly the input bytes (the
+// canonical-encoding property), and the decoded tree must render
+// stably through a second round trip.
+func FuzzSpanCodec(f *testing.F) {
+	f.Add(EncodeSpan(buildTree()))
+	f.Add(EncodeSpan(NewSealed("", 1)))
+	f.Add([]byte{spanCodecVersion})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := DecodeSpan(b)
+		if err != nil {
+			return
+		}
+		re := EncodeSpan(s)
+		if !bytes.Equal(re, b) {
+			t.Fatalf("accepted input is not canonical:\n in: %x\nout: %x", b, re)
+		}
+		s2, err := DecodeSpan(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if s2.Render(true) != s.Render(true) {
+			t.Fatal("render unstable across round trips")
+		}
+	})
+}
+
+func TestNewTraceID(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if id == 0 {
+			t.Fatal("NewTraceID returned 0")
+		}
+		seen[id] = true
+	}
+	if len(seen) < 100 {
+		t.Errorf("only %d distinct ids in 100 draws", len(seen))
+	}
+	if got := TraceIDString(0xabc); got != "0000000000000abc" {
+		t.Errorf("TraceIDString = %q", got)
+	}
+}
+
+func TestTraceStore(t *testing.T) {
+	ts := NewTraceStore(3)
+	if ts.Len() != 0 || ts.Snapshot() != nil && len(ts.Snapshot()) != 0 {
+		t.Fatal("new store not empty")
+	}
+	for i := 1; i <= 5; i++ {
+		ts.Add(TraceRecord{
+			TraceID: uint64(i), Op: "range", Start: time.Unix(int64(i), 0),
+			Dur: time.Duration(i) * time.Millisecond, Status: "ok", Kind: TraceKindSlow,
+		})
+	}
+	if ts.Len() != 3 || ts.Total() != 5 {
+		t.Fatalf("len=%d total=%d, want 3, 5", ts.Len(), ts.Total())
+	}
+	snap := ts.Snapshot()
+	for i, want := range []uint64{5, 4, 3} { // newest first, oldest evicted
+		if snap[i].TraceID != want {
+			t.Errorf("snap[%d].TraceID = %d, want %d", i, snap[i].TraceID, want)
+		}
+	}
+
+	var sb strings.Builder
+	if err := ts.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Total  uint64 `json:"total"`
+		Traces []struct {
+			TraceID string `json:"trace_id"`
+			Op      string `json:"op"`
+			Kind    string `json:"kind"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("WriteJSON not JSON: %v\n%s", err, sb.String())
+	}
+	if doc.Total != 5 || len(doc.Traces) != 3 || doc.Traces[0].TraceID != "0000000000000005" {
+		t.Errorf("JSON doc = %+v", doc)
+	}
+
+	sb.Reset()
+	rec := TraceRecord{TraceID: 7, Op: "query", Kind: TraceKindTraced, Status: "ok", Root: buildTree()}
+	ts.Add(rec)
+	if err := ts.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "trace_id=0000000000000007") ||
+		!strings.Contains(sb.String(), "fanout.shard0.primary") {
+		t.Errorf("WriteText missing fields:\n%s", sb.String())
+	}
+}
+
+// TestTraceStoreNil: the nil store is a no-op, like the nil span.
+func TestTraceStoreNil(t *testing.T) {
+	var ts *TraceStore
+	ts.Add(TraceRecord{})
+	if ts.Len() != 0 || ts.Total() != 0 || ts.Snapshot() != nil {
+		t.Fatal("nil store not inert")
+	}
+}

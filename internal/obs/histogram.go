@@ -83,6 +83,12 @@ func bucketLower(i int) int64 {
 	if i == 0 {
 		return 0
 	}
+	if i >= 64 {
+		// 1<<63 overflows int64; the top bucket's range is pinned to
+		// its upper bound so the exposition never emits it as a
+		// spurious below-max boundary.
+		return math.MaxInt64
+	}
 	return int64(1) << (i - 1)
 }
 

@@ -1,0 +1,193 @@
+package obs
+
+// TraceStore is the in-memory ring buffer behind /debug/traces: the
+// last N interesting requests (slow, sampled, or client-traced), each
+// with its trace ID, outcome, and — when the request ran traced — its
+// full span tree. It answers "what did the slow requests actually do"
+// without log archaeology: curl the admin endpoint, grep the trace ID
+// from the store against the fleet's structured logs.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Trace-record kinds: why a request was recorded.
+const (
+	// TraceKindTraced marks a request the client explicitly traced
+	// (FlagTrace set).
+	TraceKindTraced = "traced"
+	// TraceKindSlow marks a request at/above the slow-query threshold.
+	TraceKindSlow = "slow"
+	// TraceKindSampled marks a request caught by the every-Nth sample.
+	TraceKindSampled = "sampled"
+)
+
+// TraceRecord is one stored request trace.
+type TraceRecord struct {
+	TraceID uint64
+	Op      string
+	Start   time.Time
+	Dur     time.Duration
+	Status  string // "ok" or the wire error code name
+	Kind    string // TraceKind*
+	Root    *Span  // nil when the request ran untraced
+}
+
+// TraceStore is a fixed-capacity ring of TraceRecords, newest
+// overwriting oldest. All methods are safe for concurrent use and
+// nil-tolerant, so an unconfigured store costs one nil check.
+type TraceStore struct {
+	mu    sync.Mutex
+	buf   []TraceRecord
+	next  int
+	total uint64
+}
+
+// NewTraceStore returns a store keeping the last n records; n <= 0
+// picks the default capacity (64).
+func NewTraceStore(n int) *TraceStore {
+	if n <= 0 {
+		n = 64
+	}
+	return &TraceStore{buf: make([]TraceRecord, 0, n)}
+}
+
+// Add records one request, evicting the oldest once full. No-op on a
+// nil store.
+func (ts *TraceStore) Add(rec TraceRecord) {
+	if ts == nil {
+		return
+	}
+	ts.mu.Lock()
+	if len(ts.buf) < cap(ts.buf) {
+		ts.buf = append(ts.buf, rec)
+	} else {
+		ts.buf[ts.next] = rec
+		ts.next = (ts.next + 1) % cap(ts.buf)
+	}
+	ts.total++
+	ts.mu.Unlock()
+}
+
+// Len returns the number of records currently held.
+func (ts *TraceStore) Len() int {
+	if ts == nil {
+		return 0
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.buf)
+}
+
+// Total returns how many records have ever been added (including
+// evicted ones).
+func (ts *TraceStore) Total() uint64 {
+	if ts == nil {
+		return 0
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.total
+}
+
+// Snapshot returns the held records newest-first.
+func (ts *TraceStore) Snapshot() []TraceRecord {
+	if ts == nil {
+		return nil
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]TraceRecord, 0, len(ts.buf))
+	// Records live at next-1, next-2, ... wrapping; when the ring is
+	// not yet full, next is 0 and the newest is the last appended.
+	for i := 0; i < len(ts.buf); i++ {
+		idx := ts.next - 1 - i
+		for idx < 0 {
+			idx += len(ts.buf)
+		}
+		out = append(out, ts.buf[idx])
+	}
+	return out
+}
+
+// traceJSON is the /debug/traces JSON shape for one record. The span
+// tree ships rendered (the same text Render(true) produces) rather
+// than as a nested object: it is a human debugging artifact, and the
+// rendered form is what the logs and zquery print, so the three
+// surfaces stay grep-compatible.
+type traceJSON struct {
+	TraceID string `json:"trace_id"`
+	Op      string `json:"op"`
+	Start   string `json:"start"`
+	DurNS   int64  `json:"dur_ns"`
+	Status  string `json:"status"`
+	Kind    string `json:"kind"`
+	Trace   string `json:"trace,omitempty"`
+}
+
+// WriteJSON renders the store newest-first as one JSON document:
+// {"total": N, "traces": [...]}.
+func (ts *TraceStore) WriteJSON(w io.Writer) error {
+	recs := ts.Snapshot()
+	doc := struct {
+		Total  uint64      `json:"total"`
+		Traces []traceJSON `json:"traces"`
+	}{Total: ts.Total(), Traces: make([]traceJSON, 0, len(recs))}
+	for _, r := range recs {
+		doc.Traces = append(doc.Traces, traceJSON{
+			TraceID: TraceIDString(r.TraceID),
+			Op:      r.Op,
+			Start:   r.Start.UTC().Format(time.RFC3339Nano),
+			DurNS:   int64(r.Dur),
+			Status:  r.Status,
+			Kind:    r.Kind,
+			Trace:   r.Root.Render(true),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteText renders the store newest-first as indented text, one
+// header line per record followed by its span tree.
+func (ts *TraceStore) WriteText(w io.Writer) error {
+	for _, r := range ts.Snapshot() {
+		_, err := fmt.Fprintf(w, "trace_id=%s op=%s kind=%s status=%s dur=%v start=%s\n",
+			TraceIDString(r.TraceID), r.Op, r.Kind, r.Status, r.Dur,
+			r.Start.UTC().Format(time.RFC3339Nano))
+		if err != nil {
+			return err
+		}
+		if tree := r.Root.Render(true); tree != "" {
+			for _, line := range splitLines(tree) {
+				if _, err := fmt.Fprintf(w, "  %s\n", line); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// splitLines splits rendered span text into its non-empty lines.
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -18,6 +18,11 @@ import (
 //	/readyz   readiness: 200 while the grid is learned, the router is
 //	          not draining, and every shard has a live node; 503
 //	          otherwise, with the first failing condition in the body
+//	/debug/traces
+//	          recent request traces, newest first (JSON; ?format=text
+//	          for the rendered span trees): slow requests, sampled
+//	          requests, and every FlagTrace request, each with its
+//	          grafted fan-out span tree when traced
 //	/debug/pprof, /debug/vars as on probed
 //
 // The handler stays valid during and after Shutdown (readiness is how
@@ -26,6 +31,7 @@ import (
 func (r *Router) AdminHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", r.serveMetrics)
+	mux.HandleFunc("/debug/traces", r.serveTraces)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -42,6 +48,18 @@ func (r *Router) AdminHandler() http.Handler {
 		fmt.Fprintln(w, "ready")
 	})
 	return mux
+}
+
+// serveTraces dumps the trace store, newest first: JSON by default,
+// the rendered-text form with ?format=text.
+func (r *Router) serveTraces(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		r.traces.WriteText(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	r.traces.WriteJSON(w)
 }
 
 func (r *Router) serveMetrics(w http.ResponseWriter, req *http.Request) {

@@ -299,18 +299,35 @@ func (b *backend) call(ctx context.Context, eps []*endpoint, fn func(context.Con
 // connection when a pooled conn turns out poisoned), bounding the call
 // with the backend watchdog so a hung shard cannot wedge the router.
 // The bool reports whether the failure was transport-level (failover
-// is warranted).
+// is warranted). When the request carries a traceCtx, the call runs
+// traced — FlagTrace plus the request's trace ID propagate to the
+// shard — and the shard's answer is grafted under the request span as
+// a fanout.shard<N>.<primary|replica> subtree.
 func (b *backend) tryEndpoint(ctx context.Context, ep *endpoint, fn func(context.Context, *client.Conn) error) (error, bool) {
+	tc := traceFrom(ctx)
 	for attempt := 0; ; attempt++ {
 		c, pooled, err := ep.get(ctx)
 		if err != nil {
 			return err, true
 		}
+		if tc != nil {
+			c.SetTrace(true)
+			c.SetTraceID(tc.id)
+		}
 		t0 := time.Now()
 		err = b.callOnce(ctx, c, fn)
-		b.r.metrics.Histogram(fmt.Sprintf("router.fanout.shard%d.ns", b.id)).Observe(int64(time.Since(t0)))
+		callDur := time.Since(t0)
+		b.r.metrics.Histogram(fmt.Sprintf("router.fanout.shard%d.ns", b.id)).Observe(int64(callDur))
 		b.r.metrics.Int(fmt.Sprintf("router.fanout.shard%d.calls", b.id)).Add(1)
 		broken := c.Broken() != nil
+		if tc != nil {
+			tc.graft(b.id, ep.replica, callDur, c)
+			// Pooled connections are shared across requests: strip the
+			// trace state before returning the conn so an untraced
+			// request picking it up next does not run traced.
+			c.SetTrace(false)
+			c.SetTraceID(0)
+		}
 		if !broken {
 			ep.put(c)
 		} else {

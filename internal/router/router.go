@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"probe"
@@ -44,7 +45,28 @@ type Config struct {
 	// WriteTimeout bounds one front-side response frame write [10s].
 	WriteTimeout time.Duration
 	// Logger, when non-nil, receives structured request/health logs.
+	// Every logged request line carries its trace_id, so router lines
+	// grep-correlate with the shard lines of the same request.
 	Logger *slog.Logger
+
+	// SlowQuery is the slow-request log threshold: a front-side request
+	// whose total latency reaches it is logged at Warn with its rendered
+	// fan-out span tree. Zero disables; negative logs every request that
+	// way.
+	SlowQuery time.Duration
+
+	// LogEvery samples the per-request Info log: every Nth completed
+	// request logs one line [1 — every request, the router's historical
+	// behavior]. Negative disables the Info log entirely; slow-query
+	// logging is independent of the sample.
+	LogEvery int
+
+	// TraceBuffer is the capacity of the in-memory trace store behind
+	// the admin endpoint's /debug/traces: the last N interesting
+	// requests (client-traced, slow, or sampled), each with its trace
+	// ID, outcome, and — when traced — the full grafted fan-out span
+	// tree [64].
+	TraceBuffer int
 }
 
 func (c *Config) fillDefaults() {
@@ -72,6 +94,9 @@ func (c *Config) fillDefaults() {
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 10 * time.Second
 	}
+	if c.LogEvery == 0 {
+		c.LogEvery = 1
+	}
 }
 
 // Router is the scatter-gather coordinator: the wire protocol in
@@ -81,6 +106,12 @@ type Router struct {
 	m        *Map
 	backends []*backend
 	metrics  *obs.Registry
+
+	// traces is the ring buffer of recent interesting requests served
+	// at /debug/traces; reqSeq numbers completed requests for the
+	// sampled Info log.
+	traces *obs.TraceStore
+	reqSeq atomic.Uint64
 
 	// grid is learned from the first reachable shard's handshake and
 	// immutable afterwards (gridMu guards the learning window).
@@ -116,6 +147,7 @@ func New(cfg Config) (*Router, error) {
 		cfg:        cfg,
 		m:          cfg.Map,
 		metrics:    obs.NewRegistry(),
+		traces:     obs.NewTraceStore(cfg.TraceBuffer),
 		baseCtx:    baseCtx,
 		cancelBase: cancel,
 		listeners:  make(map[net.Listener]struct{}),
@@ -135,6 +167,10 @@ func (r *Router) Metrics() *obs.Registry { return r.metrics }
 
 // Map returns the routing table the router was built over.
 func (r *Router) Map() *Map { return r.m }
+
+// Traces returns the router's trace store: the ring of recent
+// interesting requests (traced, slow, sampled) behind /debug/traces.
+func (r *Router) Traces() *obs.TraceStore { return r.traces }
 
 // gridBits returns the cluster grid's bits per dimension, nil until
 // learned.
@@ -377,7 +413,14 @@ func (r *Router) RangeFunc(ctx context.Context, lo, hi []uint32, strategy uint8,
 
 	t0 := time.Now()
 	stopped, err := mergeZ(cursors, func(zp ZPoint) bool { return fn(zp.P) })
-	r.metrics.Histogram("router.merge.ns").Observe(int64(time.Since(t0)))
+	mergeDur := time.Since(t0)
+	r.metrics.Histogram("router.merge.ns").Observe(int64(mergeDur))
+	if tc := traceFrom(ctx); tc != nil {
+		// Attribute the router's own gather overhead: the z-merge loop
+		// (which includes delivering rows to the client) as a sibling of
+		// the per-shard fan-out subtrees.
+		tc.span.Attach(probe.NewSealedTrace("merge", mergeDur))
+	}
 	if stopped {
 		cancel(errScatterStop)
 	} else if err != nil {

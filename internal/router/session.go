@@ -13,6 +13,7 @@ import (
 
 	"probe"
 	"probe/client"
+	"probe/internal/obs"
 	"probe/internal/query"
 	"probe/internal/relation"
 	"probe/internal/wire"
@@ -235,12 +236,40 @@ func (ss *session) handshake() bool {
 }
 
 // request carries one request's identity and outcome through its
-// executor goroutine.
+// executor goroutine. Traced requests additionally carry the
+// distributed trace ID and the router-side request span the backend
+// layer grafts shard subtrees under.
 type request struct {
 	id      uint32
 	op      string
 	start   time.Time
 	errCode uint8
+
+	flags uint8
+	trace uint64
+	span  *probe.Trace // non-nil iff traced
+}
+
+// traced reports whether the client set FlagTrace on this request.
+func (rq *request) traced() bool { return rq.flags&wire.FlagTrace != 0 }
+
+// setHeader records the decoded header's tracing tail. The router is
+// the cluster's front door: a traced request arriving without a trace
+// ID gets one minted here, and that single ID propagates to every
+// backend call the request fans out to. For traced requests the
+// router-side request span is created and planted in the returned
+// context for the scatter-gather layer to graft under.
+func (ss *session) setHeader(ctx context.Context, rq *request, h wire.Header) context.Context {
+	rq.flags = h.Flags
+	rq.trace = h.Trace
+	if !rq.traced() {
+		return ctx
+	}
+	if rq.trace == 0 {
+		rq.trace = obs.NewTraceID()
+	}
+	rq.span = probe.NewTrace("router." + rq.op)
+	return withTraceCtx(ctx, &traceCtx{id: rq.trace, span: rq.span})
 }
 
 func opName(typ uint8) string {
@@ -268,7 +297,12 @@ func opName(typ uint8) string {
 	}
 }
 
-// execute runs one admitted request to completion.
+// execute runs one admitted request to completion, then records its
+// telemetry: the latency histogram, the trace store entry for
+// interesting requests (traced, slow, sampled), and the structured
+// log line — every logged or stored request carries a trace ID, so
+// router lines grep-correlate with the shard lines of the same
+// request.
 func (ss *session) execute(ctx context.Context, typ uint8, payload []byte) {
 	ss.r.metrics.Int("router.requests").Add(1)
 	rq := &request{id: peekID(payload), op: opName(typ), start: time.Now()}
@@ -292,15 +326,63 @@ func (ss *session) execute(ctx context.Context, typ uint8, payload []byte) {
 	case wire.MsgQuery:
 		ss.handleQuery(ctx, rq, payload)
 	}
-	ss.r.metrics.Histogram("router.latency."+rq.op).Observe(int64(time.Since(rq.start)))
-	if lg := ss.r.cfg.Logger; lg != nil {
-		status := "ok"
-		if rq.errCode != 0 {
-			status = wire.CodeString(rq.errCode)
+	ss.finish(rq)
+}
+
+// finish records one completed request's telemetry.
+func (ss *session) finish(rq *request) {
+	rq.span.End()
+	total := time.Since(rq.start)
+	ss.r.metrics.Histogram("router.latency." + rq.op).Observe(int64(total))
+
+	cfg := &ss.r.cfg
+	status := "ok"
+	if rq.errCode != 0 {
+		status = wire.CodeString(rq.errCode)
+	}
+	seq := ss.r.reqSeq.Add(1)
+	slow := cfg.SlowQuery < 0 || (cfg.SlowQuery > 0 && total >= cfg.SlowQuery)
+	sampled := cfg.LogEvery > 0 && seq%uint64(cfg.LogEvery) == 0
+	if rq.traced() || slow || sampled {
+		if rq.trace == 0 {
+			// Untraced but interesting (slow or sampled): mint an ID at
+			// record time so the store entry and log line still carry a
+			// grep-able trace ID.
+			rq.trace = obs.NewTraceID()
 		}
-		lg.Info("request", "op", rq.op, "id", rq.id,
-			"remote", ss.conn.RemoteAddr().String(),
-			"dur", time.Since(rq.start), "status", status)
+		kind := obs.TraceKindSampled
+		switch {
+		case slow:
+			kind = obs.TraceKindSlow
+		case rq.traced():
+			kind = obs.TraceKindTraced
+		}
+		ss.r.traces.Add(obs.TraceRecord{
+			TraceID: rq.trace, Op: rq.op, Start: rq.start, Dur: total,
+			Status: status, Kind: kind, Root: rq.span,
+		})
+	}
+
+	lg := cfg.Logger
+	if lg == nil {
+		return
+	}
+	args := []any{
+		"op", rq.op,
+		"id", rq.id,
+		"remote", ss.conn.RemoteAddr().String(),
+		"dur", total,
+		"status", status,
+	}
+	if rq.trace != 0 {
+		args = append(args, "trace_id", obs.TraceIDString(rq.trace))
+	}
+	if slow {
+		lg.Warn("slow query", append(args, "trace", rq.span.Render(true))...)
+		return
+	}
+	if sampled {
+		lg.Info("request", args...)
 	}
 }
 
@@ -345,9 +427,37 @@ func (ss *session) failReq(ctx context.Context, rq *request, err error) {
 	ss.sendError(rq.id, rq.errCode, err.Error())
 }
 
+// sendDone ends a successful request. A traced data request first
+// gets its grafted fan-out span tree — as a TRACE frame for a minor
+// >= 4 client, the legacy rendered-TEXT form for older ones — then its
+// DONE carries the router-side timing breakdown, mirroring the
+// single-node server so a wire client cannot tell it is talking to a
+// cluster.
 func (ss *session) sendDone(rq *request, qs probe.QueryStats) {
 	ss.respDone.Store(true)
-	ss.send(wire.MsgDone, wire.Done{ID: rq.id, Stats: statsArray(qs)}.Encode())
+	if rq.traced() && rq.op != "explain" && rq.op != "stats" {
+		rq.span.End()
+		if ss.minor >= 4 {
+			tm := wire.TraceMsg{ID: rq.id, TraceID: rq.trace, Span: probe.EncodeTrace(rq.span)}
+			if ss.send(wire.MsgTrace, tm.Encode()) != nil {
+				return
+			}
+		} else if ss.send(wire.MsgText, wire.TextMsg{ID: rq.id, Text: rq.span.Render(true)}.Encode()) != nil {
+			return
+		}
+	}
+	dn := wire.Done{ID: rq.id, Stats: statsArray(qs)}
+	if rq.traced() {
+		// The router has no decode/plan phase worth separating; report
+		// the whole residence time as exec (the grafted span tree holds
+		// the real breakdown).
+		total := uint64(time.Since(rq.start))
+		t := make([]uint64, wire.NumTimings)
+		t[wire.TimingExec] = total
+		t[wire.TimingTotal] = total
+		dn.Timings = t
+	}
+	ss.send(wire.MsgDone, dn.Encode())
 }
 
 // statsArray flattens QueryStats into the Done stats array, the same
@@ -380,6 +490,7 @@ func (ss *session) handleRange(ctx context.Context, rq *request, payload []byte)
 		ss.reject(rq, err.Error())
 		return
 	}
+	ctx = ss.setHeader(ctx, rq, req.Header)
 	ctx, stop := withTimeout(ctx, req.TimeoutMS)
 	defer stop()
 
@@ -422,6 +533,7 @@ func (ss *session) handleNearest(ctx context.Context, rq *request, payload []byt
 		ss.reject(rq, err.Error())
 		return
 	}
+	ctx = ss.setHeader(ctx, rq, req.Header)
 	var metric probe.Metric
 	switch req.Metric {
 	case 0:
@@ -464,6 +576,7 @@ func (ss *session) handleJoin(ctx context.Context, rq *request, payload []byte) 
 		ss.reject(rq, err.Error())
 		return
 	}
+	ctx = ss.setHeader(ctx, rq, req.Header)
 	ctx, stop := withTimeout(ctx, req.TimeoutMS)
 	defer stop()
 	conv := func(items []wire.JoinItem) []client.BoxItem {
@@ -499,6 +612,7 @@ func (ss *session) handleInsert(ctx context.Context, rq *request, payload []byte
 		ss.reject(rq, err.Error())
 		return
 	}
+	ctx = ss.setHeader(ctx, rq, req.Header)
 	if int(req.Dims) != ss.r.Grid().Dims() {
 		ss.reject(rq, fmt.Sprintf("points have %d dimensions, cluster has %d", req.Dims, ss.r.Grid().Dims()))
 		return
@@ -522,6 +636,7 @@ func (ss *session) handleDelete(ctx context.Context, rq *request, payload []byte
 		ss.reject(rq, err.Error())
 		return
 	}
+	ctx = ss.setHeader(ctx, rq, req.Header)
 	if int(req.Dims) != ss.r.Grid().Dims() {
 		ss.reject(rq, fmt.Sprintf("points have %d dimensions, cluster has %d", req.Dims, ss.r.Grid().Dims()))
 		return
@@ -539,10 +654,12 @@ func (ss *session) handleDelete(ctx context.Context, rq *request, payload []byte
 }
 
 func (ss *session) handleCheckpoint(ctx context.Context, rq *request, payload []byte) {
-	if _, err := wire.DecodeSimpleReq(payload); err != nil {
+	req, err := wire.DecodeSimpleReq(payload)
+	if err != nil {
 		ss.reject(rq, err.Error())
 		return
 	}
+	ctx = ss.setHeader(ctx, rq, req.Header)
 	qs, err := ss.r.Checkpoint(ctx)
 	if err != nil {
 		ss.failReq(ctx, rq, err)
@@ -557,6 +674,7 @@ func (ss *session) handleExplain(ctx context.Context, rq *request, payload []byt
 		ss.reject(rq, err.Error())
 		return
 	}
+	ctx = ss.setHeader(ctx, rq, req.Header)
 	text, err := ss.r.Explain(ctx, req.Lo, req.Hi)
 	if err != nil {
 		ss.failReq(ctx, rq, err)
@@ -577,6 +695,8 @@ func (ss *session) handleStats(ctx context.Context, rq *request, payload []byte)
 		ss.reject(rq, err.Error())
 		return
 	}
+	ctx = ss.setHeader(ctx, rq, req.Header)
+	_ = ctx
 	if ss.minor >= 1 {
 		m := ss.r.StatsMap()
 		names := make([]string, 0, len(m))
@@ -610,6 +730,7 @@ func (ss *session) handleQuery(ctx context.Context, rq *request, payload []byte)
 		ss.reject(rq, err.Error())
 		return
 	}
+	ctx = ss.setHeader(ctx, rq, req.Header)
 	ctx, stop := withTimeout(ctx, req.TimeoutMS)
 	defer stop()
 

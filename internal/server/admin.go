@@ -18,6 +18,9 @@ import (
 //	                  plus scrape-time pool and MVCC gauges (retained
 //	                  versions/pages, pinned snapshots)
 //	/debug/vars       expvar-style JSON snapshot of both registries
+//	/debug/traces     the trace store: the last Config.TraceBuffer
+//	                  interesting requests (traced, slow, sampled) as
+//	                  JSON, or as indented text with ?format=text
 //	/debug/pprof/     the standard Go profiling handlers
 //	/healthz          liveness: 200 while the process runs
 //	/readyz           readiness: 200 while accepting requests,
@@ -35,6 +38,7 @@ func (s *Server) AdminHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.serveMetrics)
 	mux.HandleFunc("/debug/vars", s.serveVars)
+	mux.HandleFunc("/debug/traces", s.serveTraces)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -97,6 +101,18 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write(buf.Bytes())
+}
+
+// serveTraces dumps the trace store, newest first: JSON by default,
+// the rendered-text form with ?format=text.
+func (s *Server) serveTraces(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.traces.WriteText(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	s.traces.WriteJSON(w)
 }
 
 // serveVars is the expvar-shaped JSON view: one object with the

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"probe"
+	"probe/internal/obs"
 	"probe/internal/wire"
 )
 
@@ -18,6 +19,14 @@ type request struct {
 	id    uint32
 	op    string
 	flags uint8
+
+	// trace is the request's distributed trace ID (wire header tail,
+	// minor 4). Zero means the client did not send one; setHeader mints
+	// an ID for traced requests so this server acts as the trace's
+	// front door, and finish mints one lazily for untraced requests
+	// that turn out slow or sampled so their log lines and trace-store
+	// records are still grep-correlatable.
+	trace uint64
 
 	// span is the request's operator span, a child of the session
 	// span; handlers pass it to the engine via WithTrace so page reads
@@ -66,6 +75,19 @@ func opName(typ uint8) string {
 		return "query"
 	default:
 		return "unknown"
+	}
+}
+
+// setHeader records the decoded wire header's instrumentation fields:
+// the flags byte and the trace ID. A traced request arriving without
+// an ID (an old client, or a coordinator that has not minted one) gets
+// a fresh ID here — this server is then the trace's front door — so
+// every traced request is grep-able by trace ID end to end.
+func (rq *request) setHeader(h wire.Header) {
+	rq.flags = h.Flags
+	rq.trace = h.Trace
+	if rq.traced() && rq.trace == 0 {
+		rq.trace = obs.NewTraceID()
 	}
 }
 
@@ -164,9 +186,11 @@ func (ss *session) failReq(ctx context.Context, rq *request, err error) {
 }
 
 // sendDone ends a successful request. A traced data request first
-// gets a TEXT frame with the rendered server-side span tree (EXPLAIN
-// and STATS keep their single TEXT body), then every traced request's
-// DONE carries the per-phase timing breakdown.
+// gets its server-side span tree — as a TRACE frame (trace ID plus
+// the canonical binary encoding) for a minor >= 4 client, or the
+// legacy rendered-TEXT form for older ones; EXPLAIN and STATS keep
+// their single TEXT body — then every traced request's DONE carries
+// the per-phase timing breakdown.
 func (ss *session) sendDone(rq *request, qs probe.QueryStats) {
 	rq.qs = qs
 	if !rq.traced() {
@@ -184,7 +208,12 @@ func (ss *session) sendDone(rq *request, qs probe.QueryStats) {
 	rq.span.End()
 	ss.respDone.Store(true)
 	if rq.traced() && rq.op != "explain" && rq.op != "stats" {
-		if ss.send(wire.MsgText, wire.TextMsg{ID: rq.id, Text: rq.span.Render(true)}.Encode()) != nil {
+		if ss.minor >= 4 {
+			tm := wire.TraceMsg{ID: rq.id, TraceID: rq.trace, Span: obs.EncodeSpan(rq.span)}
+			if ss.send(wire.MsgTrace, tm.Encode()) != nil {
+				return
+			}
+		} else if ss.send(wire.MsgText, wire.TextMsg{ID: rq.id, Text: rq.span.Render(true)}.Encode()) != nil {
 			return
 		}
 	}
@@ -197,8 +226,12 @@ func (ss *session) sendDone(rq *request, qs probe.QueryStats) {
 
 // finish runs once per executed request, after its handler returns:
 // it seals the span, feeds the per-opcode latency and page-read
-// histograms, and emits the structured log line — a Warn with the
-// rendered span tree for slow queries, or the sampled Info line.
+// histograms, records interesting requests (traced, slow, sampled)
+// into the trace store behind /debug/traces, and emits the structured
+// log line — a Warn with the rendered span tree for slow queries, or
+// the sampled Info line. Every recorded or logged request carries a
+// trace ID: the client's when it sent one, a freshly minted one
+// otherwise, so store entries and log lines always grep-correlate.
 func (ss *session) finish(rq *request) {
 	rq.span.End()
 	total := time.Since(rq.recv)
@@ -214,12 +247,36 @@ func (ss *session) finish(rq *request) {
 	m.Histogram("server.pages." + rq.op).Observe(pages)
 
 	cfg := &ss.srv.cfg
-	if cfg.Logger == nil {
-		return
-	}
 	status := "ok"
 	if rq.errCode != 0 {
 		status = wire.CodeString(rq.errCode)
+	}
+	seq := ss.srv.reqSeq.Add(1)
+	slow := cfg.SlowQuery < 0 || (cfg.SlowQuery > 0 && total >= cfg.SlowQuery)
+	sampled := cfg.LogEvery > 0 && seq%uint64(cfg.LogEvery) == 0
+	if rq.traced() || slow || sampled {
+		if rq.trace == 0 {
+			rq.trace = obs.NewTraceID()
+		}
+		kind := obs.TraceKindSampled
+		switch {
+		case slow:
+			kind = obs.TraceKindSlow
+		case rq.traced():
+			kind = obs.TraceKindTraced
+		}
+		var root *probe.Trace
+		if rq.traced() {
+			root = rq.span
+		}
+		ss.srv.traces.Add(obs.TraceRecord{
+			TraceID: rq.trace, Op: rq.op, Start: rq.recv, Dur: total,
+			Status: status, Kind: kind, Root: root,
+		})
+	}
+
+	if cfg.Logger == nil {
+		return
 	}
 	args := []any{
 		"op", rq.op,
@@ -230,12 +287,14 @@ func (ss *session) finish(rq *request) {
 		"pages", pages,
 		"status", status,
 	}
-	seq := ss.srv.reqSeq.Add(1)
-	if cfg.SlowQuery < 0 || (cfg.SlowQuery > 0 && total >= cfg.SlowQuery) {
+	if rq.trace != 0 {
+		args = append(args, "trace_id", obs.TraceIDString(rq.trace))
+	}
+	if slow {
 		cfg.Logger.Warn("slow query", append(args, "trace", rq.span.Render(true))...)
 		return
 	}
-	if n := cfg.LogEvery; n > 0 && seq%uint64(n) == 0 {
+	if sampled {
 		cfg.Logger.Info("request", args...)
 	}
 }

@@ -90,6 +90,12 @@ type Config struct {
 	// of the sample.
 	LogEvery int
 
+	// TraceBuffer is the capacity of the in-memory trace store behind
+	// the admin endpoint's /debug/traces: the last N interesting
+	// requests (client-traced, slow, or sampled), each with its trace
+	// ID, outcome, and — when traced — full span tree [64].
+	TraceBuffer int
+
 	// ReadOnly rejects every mutating request (INSERT, DELETE,
 	// CHECKPOINT, BEGIN) with the typed read-only error before
 	// admission. Read replicas serve under this flag: their database is
@@ -156,6 +162,10 @@ type Server struct {
 	// reqSeq numbers completed requests for the sampled Info log.
 	reqSeq atomic.Uint64
 
+	// traces is the ring buffer of recent interesting requests served
+	// at /debug/traces (capacity Config.TraceBuffer).
+	traces *obs.TraceStore
+
 	baseCtx    context.Context
 	cancelBase context.CancelCauseFunc
 
@@ -190,6 +200,7 @@ func New(db *probe.DB, cfg Config) *Server {
 	s := &Server{
 		cfg:        cfg,
 		metrics:    metrics,
+		traces:     obs.NewTraceStore(cfg.TraceBuffer),
 		baseCtx:    ctx,
 		cancelBase: cancel,
 		sem:        make(chan struct{}, cfg.MaxInflight),
@@ -203,6 +214,10 @@ func New(db *probe.DB, cfg Config) *Server {
 
 // Metrics returns the server's counter registry (expvar-compatible).
 func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// Traces returns the server's trace store: the ring of recent
+// interesting requests (traced, slow, sampled) behind /debug/traces.
+func (s *Server) Traces() *obs.TraceStore { return s.traces }
 
 // DB returns the database the server fronts.
 func (s *Server) DB() *probe.DB { return s.database() }

@@ -484,7 +484,7 @@ func (ss *session) handleRange(ctx context.Context, rq *request, payload []byte)
 		ss.reject(rq, err.Error())
 		return
 	}
-	rq.flags = req.Flags
+	rq.setHeader(req.Header)
 	strat, err := strategyOf(req.Strategy)
 	if err != nil {
 		ss.reject(rq, err.Error())
@@ -553,7 +553,7 @@ func (ss *session) handleNearest(ctx context.Context, rq *request, payload []byt
 		ss.reject(rq, err.Error())
 		return
 	}
-	rq.flags = req.Flags
+	rq.setHeader(req.Header)
 	if len(req.Q) != ss.srv.database().Grid().Dims() {
 		ss.reject(rq, fmt.Sprintf("query point has %d dimensions, database has %d", len(req.Q), ss.srv.database().Grid().Dims()))
 		return
@@ -613,7 +613,7 @@ func (ss *session) handleJoin(ctx context.Context, rq *request, payload []byte) 
 		ss.reject(rq, err.Error())
 		return
 	}
-	rq.flags = req.Flags
+	rq.setHeader(req.Header)
 	ctx, stop := withTimeout(ctx, req.TimeoutMS)
 	defer stop()
 
@@ -676,7 +676,7 @@ func (ss *session) handleInsert(ctx context.Context, rq *request, payload []byte
 		ss.reject(rq, err.Error())
 		return
 	}
-	rq.flags = req.Flags
+	rq.setHeader(req.Header)
 	if int(req.Dims) != ss.srv.database().Grid().Dims() {
 		ss.reject(rq, fmt.Sprintf("points have %d dimensions, database has %d", req.Dims, ss.srv.database().Grid().Dims()))
 		return
@@ -721,7 +721,7 @@ func (ss *session) handleDelete(ctx context.Context, rq *request, payload []byte
 		ss.reject(rq, err.Error())
 		return
 	}
-	rq.flags = req.Flags
+	rq.setHeader(req.Header)
 	if int(req.Dims) != ss.srv.database().Grid().Dims() {
 		ss.reject(rq, fmt.Sprintf("points have %d dimensions, database has %d", req.Dims, ss.srv.database().Grid().Dims()))
 		return
@@ -767,7 +767,7 @@ func (ss *session) handleBegin(ctx context.Context, rq *request, payload []byte)
 		ss.reject(rq, err.Error())
 		return
 	}
-	rq.flags = req.Flags
+	rq.setHeader(req.Header)
 	if ss.currentTx() != nil {
 		ss.reject(rq, "a transaction is already open on this connection")
 		return
@@ -792,7 +792,7 @@ func (ss *session) handleCommit(ctx context.Context, rq *request, payload []byte
 		ss.reject(rq, err.Error())
 		return
 	}
-	rq.flags = req.Flags
+	rq.setHeader(req.Header)
 	tx := ss.takeTx()
 	if tx == nil {
 		if ss.ackAborted() {
@@ -820,7 +820,7 @@ func (ss *session) handleRollback(ctx context.Context, rq *request, payload []by
 		ss.reject(rq, err.Error())
 		return
 	}
-	rq.flags = req.Flags
+	rq.setHeader(req.Header)
 	tx := ss.takeTx()
 	if tx == nil {
 		if ss.ackAborted() {
@@ -855,7 +855,7 @@ func (ss *session) handleQuery(ctx context.Context, rq *request, payload []byte)
 		ss.reject(rq, err.Error())
 		return
 	}
-	rq.flags = req.Flags
+	rq.setHeader(req.Header)
 	ctx, stop := withTimeout(ctx, req.TimeoutMS)
 	defer stop()
 
@@ -961,7 +961,7 @@ func (ss *session) handleCheckpoint(ctx context.Context, rq *request, payload []
 		ss.reject(rq, err.Error())
 		return
 	}
-	rq.flags = req.Flags
+	rq.setHeader(req.Header)
 	rq.markPlanned()
 	qs, err := ss.srv.database().Checkpoint(probe.WithTrace(rq.span))
 	if err != nil {
@@ -977,7 +977,7 @@ func (ss *session) handleExplain(ctx context.Context, rq *request, payload []byt
 		ss.reject(rq, err.Error())
 		return
 	}
-	rq.flags = req.Flags
+	rq.setHeader(req.Header)
 	box, err := ss.boxOf(req.Lo, req.Hi)
 	if err != nil {
 		ss.reject(rq, err.Error())
@@ -1006,7 +1006,7 @@ func (ss *session) handleStats(ctx context.Context, rq *request, payload []byte)
 		ss.reject(rq, err.Error())
 		return
 	}
-	rq.flags = req.Flags
+	rq.setHeader(req.Header)
 	rq.markPlanned()
 	if ss.minor >= 1 {
 		var kvs []wire.KV

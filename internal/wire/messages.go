@@ -111,10 +111,18 @@ func DecodeWelcome(p []byte) (Welcome, error) {
 // as the *final* byte of the request payload — minor version 1 added
 // it, and the additive-only promise permits appending, never
 // inserting. A payload without the byte decodes as Flags == 0.
+//
+// Trace (minor 4) extends the same tail: a u64 trace ID after the
+// flags byte, identifying the request across every node it touches
+// (docs/observability.md). Zero means unassigned — a front door
+// receiving a traced request with Trace == 0 mints an ID; a
+// coordinator fanning out propagates its ID unchanged. A payload
+// ending at the flags byte (a 1.1–1.3 peer) decodes as Trace == 0.
 type Header struct {
 	ID        uint32
 	TimeoutMS uint32
 	Flags     uint8
+	Trace     uint64
 }
 
 func (h Header) encodeTo(e *enc) {
@@ -122,18 +130,22 @@ func (h Header) encodeTo(e *enc) {
 	e.u32(h.TimeoutMS)
 }
 
-// encodeTail appends the minor-1 trailing flags byte. Every request
-// Encode calls it last.
+// encodeTail appends the additive header tail: the minor-1 flags byte,
+// then the minor-4 trace ID. Every request Encode calls it last.
 func (h Header) encodeTail(e *enc) {
 	e.u8(h.Flags)
+	e.u64(h.Trace)
 }
 
-// decodeTail reads the optional trailing flags byte into the header;
-// absent (a 1.0 peer) means zero flags. Every request decoder calls
-// it after its fixed fields.
+// decodeTail reads the optional trailing header fields; absent fields
+// (an older peer) decode as zero. Every request decoder calls it after
+// its fixed fields.
 func (h *Header) decodeTail(d *dec) {
 	if d.remaining() >= 1 {
 		h.Flags, _ = d.u8()
+	}
+	if d.remaining() >= 8 {
+		h.Trace, _ = d.u64()
 	}
 }
 
@@ -750,6 +762,44 @@ func DecodeTextMsg(p []byte) (TextMsg, error) {
 		return TextMsg{}, err
 	}
 	return TextMsg{ID: id, Text: string(body)}, nil
+}
+
+// TraceMsg carries a traced request's identity and span tree (minor
+// 4): the request's trace ID and the server-side span tree in the
+// canonical binary encoding of internal/obs's codec. A server sends it
+// immediately before DONE to clients whose Hello announced minor >= 4;
+// older traced clients keep receiving the minor-1 rendered-TEXT form.
+// The wire layer treats the tree as opaque bytes — encoding and
+// validation live with the span type, not the framing.
+type TraceMsg struct {
+	ID      uint32
+	TraceID uint64
+	Span    []byte
+}
+
+func (m TraceMsg) Encode() []byte {
+	var e enc
+	e.u32(m.ID)
+	e.u64(m.TraceID)
+	e.bytes(m.Span)
+	return e.b
+}
+
+func DecodeTraceMsg(p []byte) (TraceMsg, error) {
+	d := dec{b: p}
+	id, err := d.u32()
+	if err != nil {
+		return TraceMsg{}, err
+	}
+	tid, err := d.u64()
+	if err != nil {
+		return TraceMsg{}, err
+	}
+	span, err := d.bytes()
+	if err != nil {
+		return TraceMsg{}, err
+	}
+	return TraceMsg{ID: id, TraceID: tid, Span: span}, nil
 }
 
 // KV is one named scalar of a StatsKV snapshot.

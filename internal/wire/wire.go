@@ -52,11 +52,18 @@ const Magic = "ZKDQ"
 // 1.3 server rejects QUERY from a client that said minor < 3 with
 // CodeBadRequest before decoding the payload.
 //
-// Minor 4 added: no opcodes, only the UNAVAILABLE and READONLY error
-// codes the cluster layer returns — UNAVAILABLE when a router cannot
-// reach any live node for a shard the request needs, READONLY when a
-// write lands on a read replica. Older clients render them through
-// CodeString's default arm, so no gating is required.
+// Minor 4 added: the UNAVAILABLE and READONLY error codes the cluster
+// layer returns — UNAVAILABLE when a router cannot reach any live node
+// for a shard the request needs, READONLY when a write lands on a read
+// replica (older clients render them through CodeString's default arm,
+// so no gating is required) — and distributed tracing: a u64 trace ID
+// appended to the request header tail after the flags byte (absent
+// decodes as 0 = unassigned; the front door mints one when FlagTrace
+// is set without it), and the TRACE response frame carrying the
+// request's trace ID plus its span tree in the canonical binary
+// encoding (internal/obs codec), sent to minor >= 4 clients instead of
+// the minor-1 rendered-TEXT trace so a coordinator can parse and graft
+// backend subtrees under its own fan-out spans.
 const (
 	VersionMajor = 1
 	VersionMinor = 4
@@ -100,6 +107,7 @@ const (
 	MsgStatsKV = 0x24 // structured key/value counter snapshot (minor >= 1)
 	MsgSchema  = 0x25 // a QUERY result's column names and types (minor >= 3)
 	MsgRows    = 0x26 // one batch of typed QUERY result rows (minor >= 3)
+	MsgTrace   = 0x27 // a traced request's trace ID + encoded span tree (minor >= 4)
 )
 
 // Request flag bits, carried as the trailing flags byte every request

@@ -80,7 +80,7 @@ func TestMessageRoundTrips(t *testing.T) {
 	gw, err := DecodeWelcome(wel.Encode())
 	check("welcome", gw, wel, err)
 
-	rr := RangeReq{Header: Header{ID: 7, TimeoutMS: 1500, Flags: FlagTrace}, Strategy: 2,
+	rr := RangeReq{Header: Header{ID: 7, TimeoutMS: 1500, Flags: FlagTrace, Trace: 0xdeadbeefcafe0123}, Strategy: 2,
 		Lo: []uint32{1, 2}, Hi: []uint32{30, 40}}
 	gr, err := DecodeRangeReq(rr.Encode())
 	check("range", gr, rr, err)
@@ -167,19 +167,48 @@ func TestMessageRoundTrips(t *testing.T) {
 	em := ErrorMsg{ID: 7, Code: CodeOverloaded, Msg: "too busy"}
 	ge, err := DecodeErrorMsg(em.Encode())
 	check("error", ge, em, err)
+
+	tr := TraceMsg{ID: 7, TraceID: 0x0123456789abcdef, Span: []byte{1, 2, 3, 4}}
+	gtr, err := DecodeTraceMsg(tr.Encode())
+	check("trace", gtr, tr, err)
+}
+
+// TestHeaderTraceTail: the minor-4 trace ID tail. An older payload
+// ending at the flags byte decodes as Trace == 0; a 1.0 payload with
+// neither flags nor trace decodes as both zero; the full tail round-
+// trips.
+func TestHeaderTraceTail(t *testing.T) {
+	full := SimpleReq{Header: Header{ID: 5, Flags: FlagTrace, Trace: 42}}.Encode()
+	got, err := DecodeSimpleReq(full)
+	if err != nil || got.Trace != 42 || got.Flags != FlagTrace {
+		t.Fatalf("full tail: %+v, %v", got, err)
+	}
+	// 1.1–1.3 form: header + flags, no trace.
+	got, err = DecodeSimpleReq(full[:len(full)-8])
+	if err != nil || got.Trace != 0 || got.Flags != FlagTrace {
+		t.Fatalf("flags-only tail: %+v, %v", got, err)
+	}
+	// 1.0 form: header only.
+	got, err = DecodeSimpleReq(full[:len(full)-9])
+	if err != nil || got.Trace != 0 || got.Flags != 0 {
+		t.Fatalf("bare header: %+v, %v", got, err)
+	}
 }
 
 // TestDecodeTruncated: every decoder fails cleanly (no panic) on
 // every strict prefix of a valid payload — except the prefixes that
 // are themselves valid older-minor payloads. Requests carry a
-// trailing minor-1 flags byte, so the prefix one byte short is the
-// legal 1.0 form; Done's timing array is an optional tail, so any cut
-// before its count field decodes as a 1.0 Done.
+// trailing minor-1 flags byte plus a minor-4 u64 trace ID, so any cut
+// at or after the flags byte's position is a legal older form (a cut
+// inside the trace ID reads as a 1.1 payload with trailing garbage,
+// which the additive promise ignores); Done's timing array is an
+// optional tail, so any cut before its count field decodes as a 1.0
+// Done.
 func TestDecodeTruncated(t *testing.T) {
 	// okPrefix(full, n) reports whether a prefix of n bytes is a
 	// legal older-minor payload rather than a truncation.
 	strict := func(full []byte, n int) bool { return false }
-	flagTail := func(full []byte, n int) bool { return n == len(full)-1 }
+	flagTail := func(full []byte, n int) bool { return n >= len(full)-9 }
 
 	dn := Done{ID: 1, Stats: []uint64{1, 2}, Timings: []uint64{3, 4}}
 	dnStatsEnd := len(Done{ID: 1, Stats: []uint64{1, 2}}.Encode()) - 4 // minus the empty timing count
@@ -269,6 +298,7 @@ func TestTxOpcodes(t *testing.T) {
 		"cancel": MsgCancel, "delete": MsgDelete, "begin": MsgBegin,
 		"commit": MsgCommit, "rollback": MsgRollback, "batch": MsgBatch,
 		"done": MsgDone, "text": MsgText, "error": MsgError, "statskv": MsgStatsKV,
+		"query": MsgQuery, "schema": MsgSchema, "rows": MsgRows, "trace": MsgTrace,
 	}
 	seen := map[uint8]string{}
 	for name, op := range ops {

@@ -1,6 +1,10 @@
 package probe
 
-import "probe/internal/obs"
+import (
+	"time"
+
+	"probe/internal/obs"
+)
 
 // Trace is a hierarchical execution trace: a tree of named spans,
 // each carrying a wall-clock duration and a set of typed counters
@@ -62,6 +66,29 @@ const (
 
 // NewTrace creates the root span of a new execution trace.
 func NewTrace(name string) *Trace { return obs.New(name) }
+
+// NewSealedTrace creates a leaf span with a fixed, already-measured
+// duration. A coordinator grafting externally-timed work — a backend
+// call, a merge phase — into its own trace builds the grafted nodes
+// this way.
+func NewSealedTrace(name string, dur time.Duration) *Trace { return obs.NewSealed(name, dur) }
+
+// EncodeTrace serializes a span tree in the canonical binary form the
+// wire protocol's TRACE frame carries. A nil trace encodes to nil.
+func EncodeTrace(t *Trace) []byte { return obs.EncodeSpan(t) }
+
+// DecodeTrace parses a canonical span-tree encoding back into a
+// sealed Trace. Empty input decodes to nil; malformed input is
+// rejected.
+func DecodeTrace(b []byte) (*Trace, error) { return obs.DecodeSpan(b) }
+
+// NewTraceID mints a nonzero random distributed-trace ID.
+func NewTraceID() uint64 { return obs.NewTraceID() }
+
+// TraceIDString renders a trace ID in the canonical 16-hex-digit form
+// log lines and /debug/traces use, so IDs grep-correlate across every
+// node a request touched.
+func TraceIDString(id uint64) string { return obs.TraceIDString(id) }
 
 // Metrics is an expvar-compatible registry of named cumulative
 // counters: every DB operation bumps "<op>.count", and traced
